@@ -1,0 +1,191 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! FRA removal rule, correlation-threshold schedule, forest parallelism,
+//! GBDT column subsampling, and the cost of the three importance methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c100_core::dataset::assemble;
+use c100_core::fra::{run_fra, FraConfig, RemovalRule};
+use c100_core::profile::Profile;
+use c100_core::scenario::{build_scenario, Period, ScenarioData};
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::importance::{permutation_importance, PermutationConfig};
+use c100_ml::shap::mean_abs_shap;
+use c100_ml::tree::{MaxFeatures, TreeConfig};
+
+fn scenario_fixture() -> ScenarioData {
+    // One simulated year, small universe: single-core Criterion budget.
+    let data = c100_synth::generate(&c100_synth::SynthConfig {
+        seed: 11,
+        start: c100_timeseries::Date::from_ymd(2019, 1, 1).unwrap(),
+        end: c100_timeseries::Date::from_ymd(2019, 12, 31).unwrap(),
+        n_assets: 110,
+        warmup_days: 250,
+    });
+    let master = assemble(&data).unwrap();
+    build_scenario(&master, Period::Y2019, 7).unwrap()
+}
+
+/// DESIGN §6: joint bottom-50% across all four rankings (paper) vs any-one
+/// ranking. The aggressive rule converges in fewer iterations but risks
+/// dropping features a single biased ranking dislikes.
+fn ablation_fra_rule(c: &mut Criterion) {
+    let scenario = scenario_fixture();
+    let profile = Profile::fast();
+    let mut group = c.benchmark_group("ablation_fra_rule");
+    for (label, rule) in [("all_four", RemovalRule::AllFour), ("any_one", RemovalRule::AnyOne)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_fra(
+                    &scenario,
+                    &profile.rf_grid[0],
+                    &profile.gbdt_grid[0],
+                    &FraConfig {
+                        target_len: 180, // few iterations: Criterion budget
+                        max_iterations: 8,
+                        rule,
+                        ..Default::default()
+                    },
+                    1,
+                    0,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN §6: the tightening 0.5 + 0.025/iter schedule vs a fixed
+/// threshold (step 0).
+fn ablation_corr_schedule(c: &mut Criterion) {
+    let scenario = scenario_fixture();
+    let profile = Profile::fast();
+    let mut group = c.benchmark_group("ablation_corr_schedule");
+    for (label, step) in [("tightening_0.025", 0.025), ("fixed_0.5", 0.0)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_fra(
+                    &scenario,
+                    &profile.rf_grid[0],
+                    &profile.gbdt_grid[0],
+                    &FraConfig {
+                        // Fixed-threshold FRA cannot remove high-correlation
+                        // features at all, so bound the workload: this is a
+                        // per-iteration cost comparison, not a convergence
+                        // race.
+                        target_len: 180,
+                        max_iterations: 8,
+                        corr_step: step,
+                        ..Default::default()
+                    },
+                    1,
+                    0,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN §6: rayon per-tree forest fitting vs an equivalent serial loop
+/// of single-tree fits.
+fn ablation_parallel(c: &mut Criterion) {
+    let scenario = scenario_fixture();
+    let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
+    let train = scenario.train_matrix(&names).unwrap();
+    let x = Matrix::from_row_major(train.x.clone(), train.n_features).unwrap();
+    let y = train.y.clone();
+
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    group.bench_function("forest_rayon_24trees", |b| {
+        let cfg = RandomForestConfig {
+            n_estimators: 24,
+            max_depth: Some(8),
+            max_features: MaxFeatures::Sqrt,
+            ..Default::default()
+        };
+        b.iter(|| cfg.fit(&x, &y, 0).unwrap());
+    });
+    group.bench_function("trees_serial_24", |b| {
+        let cfg = TreeConfig {
+            max_depth: Some(8),
+            max_features: MaxFeatures::Sqrt,
+            ..Default::default()
+        };
+        b.iter(|| {
+            // Serial baseline: same work without the rayon fan-out.
+            (0..24)
+                .map(|i| cfg.fit(&x, &y, i).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+/// DESIGN §6: GBDT column subsampling fractions.
+fn ablation_gbdt_colsample(c: &mut Criterion) {
+    let scenario = scenario_fixture();
+    let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
+    let train = scenario.train_matrix(&names).unwrap();
+    let x = Matrix::from_row_major(train.x.clone(), train.n_features).unwrap();
+    let y = train.y.clone();
+
+    let mut group = c.benchmark_group("ablation_gbdt_colsample");
+    group.sample_size(10);
+    for colsample in [0.3, 1.0] {
+        group.bench_function(format!("colsample_{colsample}"), |b| {
+            let cfg = GbdtConfig {
+                n_estimators: 20,
+                max_depth: 4,
+                colsample_bytree: colsample,
+                ..Default::default()
+            };
+            b.iter(|| cfg.fit(&x, &y, 0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN §6: relative cost of the three importance methods on the same
+/// fitted forest (MDI is free at fit time; PFI and SHAP are post-hoc).
+fn ablation_importance(c: &mut Criterion) {
+    let scenario = scenario_fixture();
+    let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
+    let train = scenario.train_matrix(&names).unwrap();
+    let x = Matrix::from_row_major(train.x.clone(), train.n_features).unwrap();
+    let y = train.y.clone();
+    let cfg = RandomForestConfig {
+        n_estimators: 16,
+        max_depth: Some(8),
+        max_features: MaxFeatures::Sqrt,
+        ..Default::default()
+    };
+    let model = cfg.fit(&x, &y, 0).unwrap();
+
+    let mut group = c.benchmark_group("ablation_importance");
+    group.sample_size(10);
+    group.bench_function("mdi_at_fit_time", |b| b.iter(|| cfg.fit(&x, &y, 0).unwrap()));
+    group.bench_function("pfi_2repeats", |b| {
+        let pfi_cfg = PermutationConfig { n_repeats: 2, seed: 0 };
+        b.iter(|| permutation_importance(&model, &x, &y, &pfi_cfg).unwrap());
+    });
+    group.bench_function("treeshap_64rows", |b| {
+        let rows: Vec<usize> = (0..x.n_rows()).step_by((x.n_rows() / 64).max(1)).collect();
+        let sample = x.take_rows(&rows);
+        b.iter(|| mean_abs_shap(&model, &sample));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = ablation_fra_rule, ablation_corr_schedule, ablation_parallel,
+              ablation_gbdt_colsample, ablation_importance
+}
+criterion_main!(benches);

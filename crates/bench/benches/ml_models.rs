@@ -1,0 +1,137 @@
+//! Microbenchmarks of the ML substrate: tree/forest/GBDT fitting,
+//! prediction, permutation importance and TreeSHAP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::importance::{permutation_importance, PermutationConfig};
+use c100_ml::shap::{tree_shap, ShapExplainable};
+use c100_ml::tree::{MaxFeatures, TreeConfig};
+use c100_ml::Regressor;
+
+fn synthetic_regression(n_rows: usize, n_features: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n_rows);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let f: Vec<f64> = (0..n_features).map(|_| rng.gen::<f64>()).collect();
+        let target = 5.0 * f[0]
+            + 3.0 * (f[1] * std::f64::consts::PI).sin()
+            + f[2] * f[3 % n_features]
+            + 0.1 * rng.gen::<f64>();
+        rows.push(f);
+        y.push(target);
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn bench_tree_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_fit");
+    for &(rows, feats) in &[(500usize, 20usize), (1000, 50)] {
+        let data = synthetic_regression(rows, feats, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{feats}")),
+            &data,
+            |b, (x, y)| {
+                let cfg = TreeConfig {
+                    max_depth: Some(10),
+                    ..Default::default()
+                };
+                b.iter(|| cfg.fit(x, y, 0).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let (x, y) = synthetic_regression(800, 40, 2);
+    c.bench_function("forest_fit_50trees_800x40", |b| {
+        let cfg = RandomForestConfig {
+            n_estimators: 50,
+            max_depth: Some(10),
+            max_features: MaxFeatures::Sqrt,
+            ..Default::default()
+        };
+        b.iter(|| cfg.fit(&x, &y, 0).unwrap());
+    });
+}
+
+fn bench_gbdt_fit(c: &mut Criterion) {
+    let (x, y) = synthetic_regression(800, 40, 3);
+    c.bench_function("gbdt_fit_50rounds_800x40", |b| {
+        let cfg = GbdtConfig {
+            n_estimators: 50,
+            max_depth: 4,
+            colsample_bytree: 0.5,
+            ..Default::default()
+        };
+        b.iter(|| cfg.fit(&x, &y, 0).unwrap());
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = synthetic_regression(800, 40, 4);
+    let forest = RandomForestConfig {
+        n_estimators: 50,
+        max_depth: Some(10),
+        ..Default::default()
+    }
+    .fit(&x, &y, 0)
+    .unwrap();
+    c.bench_function("forest_predict_800rows", |b| b.iter(|| forest.predict(&x)));
+}
+
+fn bench_permutation_importance(c: &mut Criterion) {
+    let (x, y) = synthetic_regression(400, 30, 5);
+    let forest = RandomForestConfig {
+        n_estimators: 20,
+        max_depth: Some(8),
+        ..Default::default()
+    }
+    .fit(&x, &y, 0)
+    .unwrap();
+    c.bench_function("pfi_30features_3repeats", |b| {
+        let cfg = PermutationConfig {
+            n_repeats: 3,
+            seed: 0,
+        };
+        b.iter(|| permutation_importance(&forest, &x, &y, &cfg).unwrap());
+    });
+}
+
+fn bench_tree_shap(c: &mut Criterion) {
+    let (x, y) = synthetic_regression(500, 20, 6);
+    let fit = TreeConfig {
+        max_depth: Some(8),
+        ..Default::default()
+    }
+    .fit(&x, &y, 0)
+    .unwrap();
+    c.bench_function("treeshap_single_row_depth8", |b| {
+        b.iter(|| tree_shap(&fit.tree, x.row(0)))
+    });
+
+    let forest = RandomForestConfig {
+        n_estimators: 20,
+        max_depth: Some(8),
+        ..Default::default()
+    }
+    .fit(&x, &y, 0)
+    .unwrap();
+    c.bench_function("treeshap_forest_row_20trees", |b| {
+        b.iter(|| forest.shap_row(x.row(0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tree_fit, bench_forest_fit, bench_gbdt_fit, bench_predict,
+              bench_permutation_importance, bench_tree_shap
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! End-to-end pipeline-stage benchmarks: one per stage of the per-scenario
+//! experiment (synthesis, assembly, index construction, scenario build,
+//! FRA, SHAP ranking, diversity evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c100_core::dataset::assemble;
+use c100_core::diversity::diversity_experiment;
+use c100_core::fra::{run_fra, FraConfig};
+use c100_core::index::Crypto100Builder;
+use c100_core::profile::Profile;
+use c100_core::scenario::{build_scenario, Period};
+use c100_core::selection::shap_ranking;
+use c100_synth::{generate, SynthConfig};
+use c100_timeseries::Date;
+
+/// Very small fixture so single-core Criterion runs stay in seconds.
+fn tiny_config(seed: u64) -> SynthConfig {
+    SynthConfig {
+        seed,
+        start: Date::from_ymd(2019, 1, 1).unwrap(),
+        end: Date::from_ymd(2019, 12, 31).unwrap(),
+        n_assets: 110,
+        warmup_days: 250,
+    }
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let cfg = SynthConfig::small(1);
+    c.bench_function("synth_generate_small", |b| b.iter(|| generate(&cfg)));
+}
+
+fn bench_assembly_and_index(c: &mut Criterion) {
+    let data = generate(&SynthConfig::small(2));
+    c.bench_function("dataset_assemble", |b| b.iter(|| assemble(&data).unwrap()));
+    c.bench_function("crypto100_index_build", |b| {
+        b.iter(|| Crypto100Builder::default().build(&data.universe))
+    });
+}
+
+fn bench_scenario_build(c: &mut Criterion) {
+    let data = generate(&SynthConfig::small(3));
+    let master = assemble(&data).unwrap();
+    c.bench_function("scenario_build_2019_w30", |b| {
+        b.iter(|| build_scenario(&master, Period::Y2019, 30).unwrap())
+    });
+}
+
+fn bench_fra(c: &mut Criterion) {
+    let data = generate(&tiny_config(4));
+    let master = assemble(&data).unwrap();
+    let scenario = build_scenario(&master, Period::Y2019, 7).unwrap();
+    let profile = Profile::fast();
+    c.bench_function("fra_full_run_w7", |b| {
+        b.iter(|| {
+            run_fra(
+                &scenario,
+                &profile.rf_grid[0],
+                &profile.gbdt_grid[0],
+                &FraConfig {
+                    target_len: 180, // few iterations: Criterion budget
+                    max_iterations: 8,
+                    ..Default::default()
+                },
+                1,
+                0,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_shap_ranking(c: &mut Criterion) {
+    let data = generate(&tiny_config(5));
+    let master = assemble(&data).unwrap();
+    let scenario = build_scenario(&master, Period::Y2019, 7).unwrap();
+    let profile = Profile::fast();
+    c.bench_function("shap_ranking_96rows", |b| {
+        b.iter(|| shap_ranking(&scenario, &profile.shap_forest, 96, 0).unwrap())
+    });
+}
+
+fn bench_diversity(c: &mut Criterion) {
+    let data = generate(&tiny_config(6));
+    let master = assemble(&data).unwrap();
+    let scenario = build_scenario(&master, Period::Y2019, 30).unwrap();
+    let profile = Profile::fast();
+    // A mid-sized "final vector": first 80 candidates.
+    let final_features: Vec<String> = scenario.feature_names.iter().take(80).cloned().collect();
+    c.bench_function("diversity_experiment_w30", |b| {
+        b.iter(|| {
+            diversity_experiment(&scenario, &final_features, &profile.rf_grid[0], 0).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_synthesis, bench_assembly_and_index, bench_scenario_build,
+              bench_fra, bench_shap_ranking, bench_diversity
+}
+criterion_main!(benches);

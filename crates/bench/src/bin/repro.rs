@@ -1,0 +1,310 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! repro [--profile fast|full] [--seed N] [--out DIR] <artifact>...
+//!
+//! artifacts:
+//!   fig1    Top-100 vs total market cap (Figure 1)
+//!   fig2    Crypto100 scaling-power tuning (Figures 2a/2b)
+//!   table1  Final feature-vector sizes per scenario
+//!   fig3    Category contribution factors, set 2017 (Figure 3)
+//!   fig4    Category contribution factors, set 2019 (Figure 4)
+//!   table3  Top-5 short/long-term features
+//!   table4  Top-20 unique short/long-term features
+//!   table5  Avg MSE improvement by prediction window (RF)
+//!   table6  Avg MSE improvement by data category (RF)
+//!   overall Overall improvements, RF and XGB (§4.3)
+//!   all     Everything above
+//! ```
+//!
+//! Figure series are written as CSV into `--out` (default `results/`);
+//! tables print to stdout and are also saved as JSON.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use c100_bench::RunProfile;
+use c100_core::experiments::{figure1, figure2, run_full_evaluation, FullEvaluation};
+use c100_core::report::{pct, ratio, sparkline, TextTable};
+use c100_core::scenario::Period;
+use c100_synth::MarketData;
+use c100_timeseries::csv::write_frame_to_path;
+
+struct Args {
+    profile: RunProfile,
+    seed: u64,
+    out: PathBuf,
+    artifacts: BTreeSet<String>,
+}
+
+const ALL_ARTIFACTS: [&str; 10] = [
+    "fig1", "fig2", "table1", "fig3", "fig4", "table3", "table4", "table5", "table6", "overall",
+];
+
+fn parse_args() -> Result<Args, String> {
+    let mut profile = RunProfile::Full;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results");
+    let mut artifacts = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let v = args.next().ok_or("--profile needs a value")?;
+                profile = RunProfile::parse(&v).ok_or(format!("unknown profile {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "all" => {
+                artifacts.extend(ALL_ARTIFACTS.iter().map(|s| s.to_string()));
+            }
+            other if ALL_ARTIFACTS.contains(&other) => {
+                artifacts.insert(other.to_string());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if artifacts.is_empty() {
+        return Err(format!(
+            "no artifacts requested; pick from {ALL_ARTIFACTS:?} or 'all'"
+        ));
+    }
+    Ok(Args {
+        profile,
+        seed,
+        out,
+        artifacts,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+
+    println!(
+        "# Crypto100 reproduction — profile {:?}, seed {}",
+        args.profile, args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let data = c100_synth::generate(&args.profile.synth_config(args.seed));
+    println!(
+        "# synthesized {} days × ~{} metrics in {:.1?}\n",
+        data.config.n_days(),
+        data.onchain_btc.width()
+            + data.onchain_usdc.width()
+            + data.sentiment.width()
+            + data.tradfi.width()
+            + data.macro_econ.width(),
+        t0.elapsed()
+    );
+
+    // Cheap figure-only artifacts never need the scenario pipeline.
+    if args.artifacts.contains("fig1") {
+        run_fig1(&data, &args.out);
+    }
+    if args.artifacts.contains("fig2") {
+        run_fig2(&data, &args.out);
+    }
+
+    let needs_pipeline = args
+        .artifacts
+        .iter()
+        .any(|a| a != "fig1" && a != "fig2");
+    if !needs_pipeline {
+        return;
+    }
+
+    let t1 = std::time::Instant::now();
+    let evaluation = run_full_evaluation(&data, &args.profile.pipeline_profile(args.seed))
+        .expect("full evaluation");
+    println!("# 10-scenario pipeline completed in {:.1?}\n", t1.elapsed());
+
+    if args.artifacts.contains("table1") {
+        run_table1(&evaluation, &args.out);
+    }
+    if args.artifacts.contains("fig3") {
+        run_contribution(&evaluation, Period::Y2017, "fig3", &args.out);
+    }
+    if args.artifacts.contains("fig4") {
+        run_contribution(&evaluation, Period::Y2019, "fig4", &args.out);
+    }
+    if args.artifacts.contains("table3") {
+        run_table3(&evaluation, &args.out);
+    }
+    if args.artifacts.contains("table4") {
+        run_table4(&evaluation, &args.out);
+    }
+    if args.artifacts.contains("table5") {
+        run_table5(&evaluation, &args.out);
+    }
+    if args.artifacts.contains("table6") {
+        run_table6(&evaluation, &args.out);
+    }
+    if args.artifacts.contains("overall") {
+        run_overall(&evaluation, &args.out);
+    }
+    println!("# total wall time {:.1?}", t0.elapsed());
+}
+
+fn save_json(out: &Path, name: &str, json: String) {
+    let path = out.join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write JSON result");
+    println!("  -> {}", path.display());
+}
+
+fn run_fig1(data: &MarketData, out: &Path) {
+    println!("## Figure 1 — Top 100 cryptocurrencies vs total market cap");
+    let frame = figure1(data).expect("figure 1 frame");
+    let share = frame.column("top100_share").unwrap().values();
+    println!("  top100 share    {}", sparkline(share, 60));
+    println!(
+        "  share range: {:.3} .. {:.3} (paper: top-100 dominates the market)",
+        c100_timeseries::stats::min(share),
+        c100_timeseries::stats::max(share)
+    );
+    let path = out.join("fig1_top100_vs_total.csv");
+    write_frame_to_path(&frame, &path).expect("write fig1 CSV");
+    println!("  -> {}\n", path.display());
+}
+
+fn run_fig2(data: &MarketData, out: &Path) {
+    println!("## Figure 2 — Crypto100 scaling-factor tuning vs BTC price");
+    let (frame, comparisons) = figure2(data).expect("figure 2");
+    let mut table = TextTable::new(&["power", "mean index/BTC ratio", "corr with BTC"]);
+    for c in &comparisons {
+        table.row(&[
+            format!("{}", c.power),
+            format!("{:.4}", c.mean_ratio_to_btc),
+            format!("{:.4}", c.correlation_with_btc),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("  (power 7 keeps the index price-comparable to BTC, as the paper tunes)");
+    let path = out.join("fig2_scaling_powers.csv");
+    write_frame_to_path(&frame, &path).expect("write fig2 CSV");
+    save_json(out, "fig2_comparisons", c100_core::report::to_json(&comparisons));
+    println!("  -> {}\n", path.display());
+}
+
+fn run_table1(eval: &FullEvaluation, out: &Path) {
+    println!("## Table 1 — Final feature vectors per scenario");
+    let rows = eval.table1();
+    let mut table = TextTable::new(&["Scenario", "Number of Features"]);
+    for (id, n) in &rows {
+        table.row(&[id.clone(), n.to_string()]);
+    }
+    print!("{}", table.render());
+    save_json(out, "table1", c100_core::report::to_json(&rows));
+    println!();
+}
+
+fn run_contribution(eval: &FullEvaluation, period: Period, name: &str, out: &Path) {
+    println!(
+        "## {} — Contribution of data sources to the final feature vector, set {}",
+        if name == "fig3" { "Figure 3" } else { "Figure 4" },
+        period.label()
+    );
+    let figure = eval.contribution_figure(period);
+    let mut header = vec!["Category".to_string()];
+    for (w, _) in &figure {
+        header.push(format!("w={w}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(&header_refs);
+    if let Some((_, first)) = figure.first() {
+        for (i, contribution) in first.iter().enumerate() {
+            let mut row = vec![contribution.category.clone()];
+            for (_, contributions) in &figure {
+                row.push(ratio(contributions[i].factor));
+            }
+            table.row(&row);
+        }
+    }
+    print!("{}", table.render());
+    save_json(out, name, c100_core::report::to_json(&figure));
+    println!();
+}
+
+fn run_table3(eval: &FullEvaluation, out: &Path) {
+    println!("## Table 3 — Top 5 features, short-term vs long-term");
+    let rows = eval.table3();
+    let mut table = TextTable::new(&["Set", "Short-term", "Long-term"]);
+    for (set, (short, long)) in &rows {
+        for i in 0..5 {
+            table.row(&[
+                if i == 0 { set.to_string() } else { String::new() },
+                short.get(i).cloned().unwrap_or_default(),
+                long.get(i).cloned().unwrap_or_default(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    save_json(out, "table3", c100_core::report::to_json(&rows));
+    println!();
+}
+
+fn run_table4(eval: &FullEvaluation, out: &Path) {
+    println!("## Table 4 — Top 20 unique features per group");
+    let rows = eval.table4();
+    let mut table = TextTable::new(&["Set", "Short-term unique", "Long-term unique"]);
+    for (set, (short, long)) in &rows {
+        let n = short.len().max(long.len());
+        for i in 0..n {
+            table.row(&[
+                if i == 0 { set.to_string() } else { String::new() },
+                short.get(i).cloned().unwrap_or_default(),
+                long.get(i).cloned().unwrap_or_default(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    save_json(out, "table4", c100_core::report::to_json(&rows));
+    println!();
+}
+
+fn run_table5(eval: &FullEvaluation, out: &Path) {
+    println!("## Table 5 — Avg MSE decrease of the RF model by prediction window");
+    let rows = eval.table5();
+    let mut table = TextTable::new(&["Prediction Window", "2017", "2019"]);
+    for (w, a, b) in &rows {
+        table.row(&[w.to_string(), pct(*a), pct(*b)]);
+    }
+    print!("{}", table.render());
+    save_json(out, "table5", c100_core::report::to_json(&rows));
+    println!();
+}
+
+fn run_table6(eval: &FullEvaluation, out: &Path) {
+    println!("## Table 6 — Avg MSE decrease of the RF model by data category");
+    let rows = eval.table6();
+    let mut table = TextTable::new(&["Category", "2017", "2019"]);
+    for (cat, a, b) in &rows {
+        table.row(&[cat.clone(), pct(*a), pct(*b)]);
+    }
+    print!("{}", table.render());
+    save_json(out, "table6", c100_core::report::to_json(&rows));
+    println!();
+}
+
+fn run_overall(eval: &FullEvaluation, out: &Path) {
+    println!("## §4.3 — Overall average improvement per model family");
+    let rows = eval.overall_improvements();
+    let mut table = TextTable::new(&["Model/Set", "Improvement"]);
+    for (label, v) in &rows {
+        table.row(&[label.clone(), pct(*v)]);
+    }
+    print!("{}", table.render());
+    save_json(out, "overall", c100_core::report::to_json(&rows));
+    println!();
+}

@@ -1,0 +1,55 @@
+//! Shared setup for the reproduction binary and the Criterion benches.
+
+use c100_core::profile::Profile;
+use c100_synth::SynthConfig;
+
+/// The data/compute sizing of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunProfile {
+    /// Reduced span and grids: minutes, for smoke runs and benches.
+    Fast,
+    /// The paper-sized run: full 2017-2023 span, full grids.
+    Full,
+}
+
+impl RunProfile {
+    /// Parses `fast` / `full`.
+    pub fn parse(s: &str) -> Option<RunProfile> {
+        match s {
+            "fast" => Some(RunProfile::Fast),
+            "full" => Some(RunProfile::Full),
+            _ => None,
+        }
+    }
+
+    /// The synthetic-data configuration for this profile.
+    pub fn synth_config(self, seed: u64) -> SynthConfig {
+        match self {
+            RunProfile::Fast => SynthConfig {
+                seed,
+                n_assets: 150,
+                ..SynthConfig::default()
+            },
+            RunProfile::Full => SynthConfig {
+                seed,
+                ..SynthConfig::default()
+            },
+        }
+    }
+
+    /// The pipeline compute profile.
+    pub fn pipeline_profile(self, seed: u64) -> Profile {
+        let mut profile = match self {
+            RunProfile::Fast => {
+                let mut p = Profile::fast();
+                // The fast profile still runs the full 2017-2023 span, so
+                // give SHAP a few more rows than the test default.
+                p.shap_rows = 192;
+                p
+            }
+            RunProfile::Full => Profile::full(),
+        };
+        profile.seed = seed;
+        profile
+    }
+}

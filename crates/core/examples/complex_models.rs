@@ -1,0 +1,92 @@
+//! Impact of data-source diversity on a more complex model — the paper's
+//! "Impact on complex models" future-work direction: repeat the diversity
+//! comparison with an MLP next to the tree ensembles.
+//!
+//! ```text
+//! cargo run --release -p c100-core --example complex_models
+//! ```
+
+use c100_core::dataset::assemble;
+use c100_core::report::{pct, TextTable};
+use c100_core::scenario::{build_scenario, Period};
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::metrics::{mse, mse_percentage_decrease};
+use c100_ml::mlp::MlpConfig;
+use c100_ml::tree::MaxFeatures;
+use c100_ml::{Estimator, Regressor};
+use c100_synth::DataCategory;
+
+fn eval<E: Estimator>(
+    scenario: &c100_core::scenario::ScenarioData,
+    features: &[String],
+    estimator: &E,
+    seed: u64,
+) -> f64 {
+    let refs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+    let train = scenario.train_matrix(&refs).expect("train");
+    let test = scenario.test_matrix(&refs).expect("test");
+    let x_train = Matrix::from_row_major(train.x.clone(), train.n_features).unwrap();
+    let x_test = Matrix::from_row_major(test.x.clone(), test.n_features).unwrap();
+    let model = estimator.fit_model(&x_train, &train.y, seed).expect("fit");
+    mse(&test.y, &model.predict(&x_test))
+}
+
+fn main() {
+    let data = c100_synth::generate(&c100_synth::SynthConfig::small(23));
+    let master = assemble(&data).expect("assemble");
+    let scenario = build_scenario(&master, Period::Y2019, 30).expect("scenario");
+
+    let diverse = scenario.feature_names.clone();
+    let single: Vec<String> = scenario.features_of(DataCategory::Sentiment);
+    println!(
+        "scenario {}: diverse = {} features, sentiment-only = {} features\n",
+        scenario.id(),
+        diverse.len(),
+        single.len()
+    );
+
+    let rf = RandomForestConfig {
+        n_estimators: 30,
+        max_depth: Some(10),
+        max_features: MaxFeatures::All,
+        ..Default::default()
+    };
+    let gbdt = GbdtConfig {
+        n_estimators: 40,
+        learning_rate: 0.2,
+        max_depth: 4,
+        colsample_bytree: 0.5,
+        ..Default::default()
+    };
+    let mlp = MlpConfig {
+        hidden_layers: vec![64, 32],
+        epochs: 120,
+        ..Default::default()
+    };
+
+    let mut table = TextTable::new(&["Model", "diverse MSE", "sentiment MSE", "improvement"]);
+    let rows: Vec<(&str, f64, f64)> = vec![
+        ("RandomForest", eval(&scenario, &diverse, &rf, 1), eval(&scenario, &single, &rf, 1)),
+        ("GBDT (XGB-style)", eval(&scenario, &diverse, &gbdt, 2), eval(&scenario, &single, &gbdt, 2)),
+        ("MLP [64,32]", eval(&scenario, &diverse, &mlp, 3), eval(&scenario, &single, &mlp, 3)),
+    ];
+    for (name, diverse_mse, single_mse) in rows {
+        table.row(&[
+            name.to_string(),
+            format!("{diverse_mse:.3e}"),
+            format!("{single_mse:.3e}"),
+            pct(mse_percentage_decrease(single_mse, diverse_mse)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\n(the paper's open question — does diversity help or introduce noise\n\
+         once the model is more complex? — gets a nuanced answer: tree\n\
+         ensembles exploit the raw diverse candidate set, while the MLP can\n\
+         be overwhelmed by hundreds of unselected features — which is exactly\n\
+         why the paper's FRA-selected vector, not the raw panel, should feed\n\
+         complex models)"
+    );
+}

@@ -1,0 +1,77 @@
+//! Feature-selection walkthrough: watch the Feature Reduction Algorithm
+//! iterate and compare its survivors against the SHAP ranking.
+//!
+//! ```text
+//! cargo run --release -p c100-core --example feature_selection
+//! ```
+
+use c100_core::dataset::assemble;
+use c100_core::fra::{run_fra, FraConfig};
+use c100_core::profile::Profile;
+use c100_core::scenario::{build_scenario, Period};
+use c100_core::selection::{final_vector, shap_ranking};
+
+fn main() {
+    let data = c100_synth::generate(&c100_synth::SynthConfig::small(7));
+    let master = assemble(&data).expect("assemble master panel");
+    let scenario = build_scenario(&master, Period::Y2019, 30).expect("build scenario");
+    println!(
+        "scenario {}: {} candidate features over {} days",
+        scenario.id(),
+        scenario.feature_names.len(),
+        scenario.frame.len()
+    );
+    println!(
+        "cleaning dropped {} features (flat: {:?}, outage: {:?})",
+        scenario.clean_report.total_dropped(),
+        scenario.clean_report.dropped_flat.len(),
+        scenario.clean_report.dropped_missing_run.len(),
+    );
+
+    let profile = Profile::fast();
+    let fra_config = FraConfig {
+        target_len: 100,
+        ..Default::default()
+    };
+    println!("\nrunning FRA (target ≤ {} features)...", fra_config.target_len);
+    let fra = run_fra(
+        &scenario,
+        &profile.rf_grid[0],
+        &profile.gbdt_grid[0],
+        &fra_config,
+        profile.pfi_repeats,
+        1,
+    )
+    .expect("FRA run");
+
+    println!("iter  features  removed  corr-threshold");
+    for it in &fra.iterations {
+        println!(
+            "{:>4}  {:>8}  {:>7}  {:.3}{}",
+            it.iteration,
+            it.n_before,
+            it.n_removed,
+            it.corr_threshold,
+            if it.stall_break { "  (stall-break)" } else { "" }
+        );
+    }
+    println!("survivors: {}", fra.surviving.len());
+
+    println!("\ncomputing SHAP ranking for validation...");
+    let shap = shap_ranking(&scenario, &profile.shap_forest, profile.shap_rows, 2)
+        .expect("SHAP ranking");
+    let selection = final_vector(&fra, &shap, profile.union_top_k);
+    println!(
+        "SHAP top-100 ∩ FRA survivors: {} features (paper reports ≈78 on average)",
+        selection.overlap_shap100_fra
+    );
+    println!(
+        "final vector (FRA top-75 ∪ SHAP top-75): {} features",
+        selection.features.len()
+    );
+
+    println!("\ntop 10 FRA survivors by fine-tuned-RF importance:");
+    for (name, importance) in fra.ranked().iter().take(10) {
+        println!("  {name:<30} {importance:.4}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Crypto100 index construction and scaling-factor tuning: reproduces the
+//! paper's Figure 2 analysis and exports the series as CSV.
+//!
+//! ```text
+//! cargo run --release -p c100-core --example index_construction
+//! ```
+
+use c100_core::index::{crypto100_value, power_comparison, Crypto100Builder};
+use c100_core::report::sparkline;
+
+fn main() {
+    let data = c100_synth::generate(&c100_synth::SynthConfig::small(3));
+    let universe = &data.universe;
+
+    // The raw ingredient: the top-100 cap sum dominates the total market.
+    let shares = universe.top100_share();
+    println!("top-100 share of total market cap (Figure 1's argument):");
+    println!("  {}", sparkline(&shares, 60));
+    println!(
+        "  min {:.3}, max {:.3}\n",
+        c100_timeseries::stats::min(&shares),
+        c100_timeseries::stats::max(&shares)
+    );
+
+    // The scaling factor: divide by (log10 cap)^power.
+    let cap = universe.top100_cap[universe.n_days() / 2];
+    println!("scaling a top-100 cap of {cap:.3e}:");
+    for power in [5.0, 6.0, 7.0, 8.0] {
+        println!(
+            "  power {power}: index value {:>14.2}",
+            crypto100_value(cap, power)
+        );
+    }
+
+    // The paper's tuning: power 7 makes the index comparable to BTC.
+    println!("\npower comparison against the BTC price:");
+    let comparisons = power_comparison(universe, &data.btc.close, &[6.0, 7.0, 8.0])
+        .expect("power comparison");
+    for c in &comparisons {
+        println!(
+            "  power {}: mean index/BTC ratio {:>9.4}, correlation {:.4}",
+            c.power, c.mean_ratio_to_btc, c.correlation_with_btc
+        );
+    }
+
+    // Build the final index and write it next to BTC for plotting.
+    let index = Crypto100Builder::default().build(universe);
+    println!("\nCrypto100 (power 7):");
+    println!("  {}", sparkline(index.values(), 60));
+    println!("BTC close:");
+    println!("  {}", sparkline(&data.btc.close, 60));
+
+    let frame = c100_core::index::figure2_frame(universe, &data.btc.close, &[6.0, 7.0, 8.0])
+        .expect("figure 2 frame");
+    let path = std::path::Path::new("crypto100_series.csv");
+    c100_timeseries::csv::write_frame_to_path(&frame, path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

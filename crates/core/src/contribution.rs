@@ -1,0 +1,92 @@
+//! Per-category contribution factors (Figures 3 and 4).
+//!
+//! The paper defines a category's *contribution factor* for a scenario as
+//! the number of its features in the final feature vector divided by its
+//! number of candidate features before selection.
+
+use std::collections::HashMap;
+
+use c100_synth::DataCategory;
+
+use crate::scenario::ScenarioData;
+
+/// Contribution of one category in one scenario.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CategoryContribution {
+    /// Display name of the category.
+    pub category: String,
+    /// Features of the category in the final vector.
+    pub selected: usize,
+    /// Candidate features of the category before selection.
+    pub candidates: usize,
+    /// `selected / candidates` (0.0 when the category has no candidates).
+    pub factor: f64,
+}
+
+/// Computes contribution factors of every category for a final feature
+/// vector selected from `scenario`.
+pub fn contribution_factors(
+    scenario: &ScenarioData,
+    final_features: &[String],
+) -> Vec<CategoryContribution> {
+    let candidates = scenario.category_counts();
+    let mut selected: HashMap<DataCategory, usize> = HashMap::new();
+    for name in final_features {
+        if let Some(cat) = scenario.categories.get(name) {
+            *selected.entry(*cat).or_insert(0) += 1;
+        }
+    }
+    DataCategory::ALL
+        .iter()
+        .map(|cat| {
+            let n_candidates = candidates.get(cat).copied().unwrap_or(0);
+            let n_selected = selected.get(cat).copied().unwrap_or(0);
+            CategoryContribution {
+                category: cat.display_name().to_string(),
+                selected: n_selected,
+                candidates: n_candidates,
+                factor: if n_candidates > 0 {
+                    n_selected as f64 / n_candidates as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::assemble;
+    use crate::scenario::{build_scenario, Period};
+    use c100_synth::{generate, SynthConfig};
+
+    #[test]
+    fn factors_are_ratios_in_unit_interval() {
+        let master = assemble(&generate(&SynthConfig::small(121))).unwrap();
+        let s = build_scenario(&master, Period::Y2019, 7).unwrap();
+        // Fake final vector: the first 50 features.
+        let final_features: Vec<String> = s.feature_names.iter().take(50).cloned().collect();
+        let contributions = contribution_factors(&s, &final_features);
+        assert_eq!(contributions.len(), DataCategory::ALL.len());
+        let mut total_selected = 0;
+        for c in &contributions {
+            assert!(c.factor >= 0.0 && c.factor <= 1.0, "{c:?}");
+            assert!(c.selected <= c.candidates, "{c:?}");
+            total_selected += c.selected;
+        }
+        assert_eq!(total_selected, 50);
+    }
+
+    #[test]
+    fn empty_category_gets_zero_factor() {
+        let master = assemble(&generate(&SynthConfig::small(122))).unwrap();
+        let s = build_scenario(&master, Period::Y2019, 1).unwrap();
+        let contributions = contribution_factors(&s, &[]);
+        for c in contributions {
+            assert_eq!(c.selected, 0);
+            assert_eq!(c.factor, 0.0);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Full-evaluation orchestration: runs all 10 scenarios and extracts every
+//! table and figure of the paper's evaluation section.
+//!
+//! | Artifact | Extractor |
+//! |---|---|
+//! | Figure 1 (top-100 vs total cap) | [`figure1`] |
+//! | Figure 2 (scaling-power tuning) | [`figure2`] |
+//! | Table 1 (final vector sizes) | [`FullEvaluation::table1`] |
+//! | Figures 3–4 (contribution factors) | [`FullEvaluation::contribution_figure`] |
+//! | Table 3 (top-5 short/long) | [`FullEvaluation::table3`] |
+//! | Table 4 (top-20 unique) | [`FullEvaluation::table4`] |
+//! | Table 5 (improvement by window) | [`FullEvaluation::table5`] |
+//! | Table 6 (improvement by category) | [`FullEvaluation::table6`] |
+//! | §4.3 overall improvements | [`FullEvaluation::overall_improvements`] |
+
+use std::collections::BTreeMap;
+
+use c100_synth::{DataCategory, MarketData};
+use c100_timeseries::{Frame, Series};
+
+use crate::contribution::CategoryContribution;
+use crate::dataset::assemble;
+use crate::diversity::{diversity_experiment, DiversityResult};
+use crate::groups::{merge_group, unique_top, RankedFeatures, LONG_TERM_WINDOWS, SHORT_TERM_WINDOWS};
+use crate::index::{figure2_frame, power_comparison, PowerComparison};
+use crate::pipeline::{run_scenario_on, ScenarioResult, ScenarioSpec};
+use crate::profile::Profile;
+use crate::scenario::Period;
+use crate::Result;
+
+/// Results of the complete 10-scenario evaluation.
+pub struct FullEvaluation {
+    /// One pipeline result per scenario, in [`ScenarioSpec::all`] order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// RF diversity experiment per scenario (same order).
+    pub rf_diversity: Vec<DiversityResult>,
+    /// XGB diversity experiment per scenario (same order).
+    pub gbdt_diversity: Vec<DiversityResult>,
+}
+
+/// Runs every scenario plus both diversity experiments.
+pub fn run_full_evaluation(data: &MarketData, profile: &Profile) -> Result<FullEvaluation> {
+    let master = assemble(data)?;
+    let mut scenarios = Vec::with_capacity(10);
+    let mut rf_diversity = Vec::with_capacity(10);
+    let mut gbdt_diversity = Vec::with_capacity(10);
+    for spec in ScenarioSpec::all() {
+        let t0 = std::time::Instant::now();
+        let result = run_scenario_on(&master, &spec, profile)?;
+        let t1 = std::time::Instant::now();
+        let seed = profile.stage_seed(&format!("{}:diversity", spec.id()));
+        rf_diversity.push(diversity_experiment(
+            &result.scenario,
+            &result.final_features,
+            &result.tuned_rf,
+            seed,
+        )?);
+        gbdt_diversity.push(diversity_experiment(
+            &result.scenario,
+            &result.final_features,
+            &result.tuned_gbdt,
+            seed ^ 0x9B,
+        )?);
+        eprintln!(
+            "#   scenario {}: pipeline {:.1?}, diversity {:.1?}",
+            spec.id(),
+            t1 - t0,
+            t1.elapsed()
+        );
+        scenarios.push(result);
+    }
+    Ok(FullEvaluation {
+        scenarios,
+        rf_diversity,
+        gbdt_diversity,
+    })
+}
+
+impl FullEvaluation {
+    fn by_spec(&self, period: Period, window: usize) -> Option<&ScenarioResult> {
+        self.scenarios
+            .iter()
+            .find(|r| r.scenario.period == period && r.scenario.window == window)
+    }
+
+    /// Table 1: `(scenario id, final feature vector length)`.
+    pub fn table1(&self) -> Vec<(String, usize)> {
+        self.scenarios
+            .iter()
+            .map(|r| (r.scenario.id(), r.final_features.len()))
+            .collect()
+    }
+
+    /// Figures 3/4: per window, the contribution factor of every category
+    /// for the given period set.
+    pub fn contribution_figure(
+        &self,
+        period: Period,
+    ) -> Vec<(usize, Vec<CategoryContribution>)> {
+        crate::scenario::WINDOWS
+            .iter()
+            .filter_map(|&w| self.by_spec(period, w).map(|r| (w, r.contributions.clone())))
+            .collect()
+    }
+
+    fn group(&self, period: Period, windows: &[usize]) -> RankedFeatures {
+        let members: Vec<&RankedFeatures> = windows
+            .iter()
+            .filter_map(|&w| self.by_spec(period, w).map(|r| &r.final_importance))
+            .collect();
+        merge_group(&members)
+    }
+
+    /// Table 3: per period set, the top-5 features of the short-term and
+    /// long-term groups.
+    pub fn table3(&self) -> BTreeMap<&'static str, (Vec<String>, Vec<String>)> {
+        let mut out = BTreeMap::new();
+        for period in Period::ALL {
+            let short = self.group(period, &SHORT_TERM_WINDOWS);
+            let long = self.group(period, &LONG_TERM_WINDOWS);
+            out.insert(
+                period.label(),
+                (
+                    short.top(5).iter().map(|s| s.to_string()).collect(),
+                    long.top(5).iter().map(|s| s.to_string()).collect(),
+                ),
+            );
+        }
+        out
+    }
+
+    /// Table 4: per period set, the top-20 features unique to each group.
+    pub fn table4(&self) -> BTreeMap<&'static str, (Vec<String>, Vec<String>)> {
+        let mut out = BTreeMap::new();
+        for period in Period::ALL {
+            let short = self.group(period, &SHORT_TERM_WINDOWS);
+            let long = self.group(period, &LONG_TERM_WINDOWS);
+            out.insert(
+                period.label(),
+                (unique_top(&short, &long, 20), unique_top(&long, &short, 20)),
+            );
+        }
+        out
+    }
+
+    /// Table 5: average RF improvement per prediction window, per set.
+    pub fn table5(&self) -> Vec<(usize, f64, f64)> {
+        crate::scenario::WINDOWS
+            .iter()
+            .map(|&w| {
+                let get = |period: Period| {
+                    self.rf_diversity
+                        .iter()
+                        .zip(&self.scenarios)
+                        .find(|(_, s)| s.scenario.period == period && s.scenario.window == w)
+                        .map(|(d, _)| d.mean_improvement())
+                        .unwrap_or(f64::NAN)
+                };
+                (w, get(Period::Y2017), get(Period::Y2019))
+            })
+            .collect()
+    }
+
+    /// Table 6: average RF improvement per data category, per set.
+    /// `NaN` marks a category absent from the set (rendered as "-").
+    pub fn table6(&self) -> Vec<(String, f64, f64)> {
+        let average = |period: Period, cat: DataCategory| -> f64 {
+            let values: Vec<f64> = self
+                .rf_diversity
+                .iter()
+                .zip(&self.scenarios)
+                .filter(|(_, s)| s.scenario.period == period)
+                .filter_map(|(d, _)| {
+                    d.per_category
+                        .iter()
+                        .find(|c| c.category == cat.display_name())
+                        .map(|c| c.improvement_pct)
+                })
+                .collect();
+            if values.is_empty() {
+                f64::NAN
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            }
+        };
+        DataCategory::ALL
+            .iter()
+            .map(|&cat| {
+                (
+                    cat.display_name().to_string(),
+                    average(Period::Y2017, cat),
+                    average(Period::Y2019, cat),
+                )
+            })
+            .collect()
+    }
+
+    /// §4.3: overall average improvement per model family and set,
+    /// returned as `(label, value)` pairs.
+    pub fn overall_improvements(&self) -> Vec<(String, f64)> {
+        let mean_over = |diversity: &[DiversityResult], period: Period| -> f64 {
+            let values: Vec<f64> = diversity
+                .iter()
+                .zip(&self.scenarios)
+                .filter(|(_, s)| s.scenario.period == period)
+                .map(|(d, _)| d.mean_improvement())
+                .collect();
+            values.iter().sum::<f64>() / values.len().max(1) as f64
+        };
+        vec![
+            ("RF 2017".to_string(), mean_over(&self.rf_diversity, Period::Y2017)),
+            ("RF 2019".to_string(), mean_over(&self.rf_diversity, Period::Y2019)),
+            ("XGB 2017".to_string(), mean_over(&self.gbdt_diversity, Period::Y2017)),
+            ("XGB 2019".to_string(), mean_over(&self.gbdt_diversity, Period::Y2019)),
+        ]
+    }
+}
+
+/// Figure 1: daily top-100 and total market caps (plus the share ratio).
+pub fn figure1(data: &MarketData) -> Result<Frame> {
+    let u = &data.universe;
+    let mut frame = Frame::with_daily_index(u.start, u.n_days());
+    frame.push_column(Series::new("top100_cap", u.top100_cap.clone()))?;
+    frame.push_column(Series::new("total_cap", u.total_cap.clone()))?;
+    frame.push_column(Series::new("top100_share", u.top100_share()))?;
+    Ok(frame)
+}
+
+/// Figure 2: the Crypto100 series at powers 6/7/8 next to the BTC price,
+/// plus the comparison summary used to pick power 7.
+pub fn figure2(data: &MarketData) -> Result<(Frame, Vec<PowerComparison>)> {
+    let frame = figure2_frame(&data.universe, &data.btc.close, &[6.0, 7.0, 8.0])?;
+    let comparisons = power_comparison(&data.universe, &data.btc.close, &[6.0, 7.0, 8.0])?;
+    Ok((frame, comparisons))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c100_synth::{generate, SynthConfig};
+
+    #[test]
+    fn figure1_frame_has_share_below_one() {
+        let data = generate(&SynthConfig::small(151));
+        let frame = figure1(&data).unwrap();
+        for v in frame.column("top100_share").unwrap().values() {
+            assert!(*v > 0.5 && *v <= 1.0);
+        }
+    }
+
+    #[test]
+    fn figure2_has_three_powers() {
+        let data = generate(&SynthConfig::small(152));
+        let (frame, comps) = figure2(&data).unwrap();
+        assert_eq!(comps.len(), 3);
+        assert!(frame.has_column("crypto100_p7"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The Feature Reduction Algorithm (Algorithm 1 of the paper).
+//!
+//! Each iteration fits the scenario's fine-tuned RF and XGB models on the
+//! surviving features, extracts four importance rankings (RF-MDI,
+//! XGB-gain, RF-PFI, XGB-PFI), and removes every feature that
+//! simultaneously (a) ranks in the bottom 50% of *all four* rankings and
+//! (b) has absolute Pearson correlation with the target below a threshold
+//! that starts at 0.5 and tightens by 0.025 per iteration. The loop runs
+//! until at most `target_len` features survive.
+//!
+//! Two safeguards the paper leaves implicit are made explicit here: an
+//! iteration cap, and a stall-breaker that removes the worst features by
+//! mean rank when the four bottom-halves fail to intersect for several
+//! consecutive iterations (possible, though rare, with adversarial
+//! rankings).
+
+use std::collections::HashMap;
+
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::importance::{permutation_importance, PermutationConfig};
+use c100_timeseries::stats::pearson;
+
+use crate::scenario::ScenarioData;
+use crate::{CoreError, Result, TARGET};
+
+/// Which intersection rule drives removal (paper = [`RemovalRule::AllFour`];
+/// [`RemovalRule::AnyOne`] exists for the ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovalRule {
+    /// Bottom-50% in all four rankings (the paper's strict rule).
+    AllFour,
+    /// Bottom-50% in at least one ranking (aggressive ablation variant).
+    AnyOne,
+}
+
+/// FRA hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct FraConfig {
+    /// Stop once at most this many features survive (paper: 100).
+    pub target_len: usize,
+    /// Initial correlation threshold (paper: 0.5).
+    pub initial_corr_threshold: f64,
+    /// Per-iteration threshold increment (paper: 0.025).
+    pub corr_step: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Consecutive no-removal iterations tolerated before the
+    /// stall-breaker removes the worst features by mean rank.
+    pub stall_patience: usize,
+    /// Intersection rule.
+    pub rule: RemovalRule,
+}
+
+impl Default for FraConfig {
+    fn default() -> Self {
+        FraConfig {
+            target_len: 100,
+            initial_corr_threshold: 0.5,
+            corr_step: 0.025,
+            max_iterations: 60,
+            stall_patience: 3,
+            rule: RemovalRule::AllFour,
+        }
+    }
+}
+
+/// Diagnostics of one FRA iteration.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FraIteration {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Features alive at the start of the iteration.
+    pub n_before: usize,
+    /// Features removed this iteration.
+    pub n_removed: usize,
+    /// Correlation threshold in force.
+    pub corr_threshold: f64,
+    /// Whether the stall-breaker fired.
+    pub stall_break: bool,
+}
+
+/// Output of an FRA run.
+#[derive(Debug, Clone)]
+pub struct FraResult {
+    /// Surviving feature names, ranked by final fine-tuned-RF importance
+    /// (most important first).
+    pub surviving: Vec<String>,
+    /// Final importance value per surviving feature, same order.
+    pub importance: Vec<f64>,
+    /// Per-iteration diagnostics.
+    pub iterations: Vec<FraIteration>,
+}
+
+impl FraResult {
+    /// `(name, importance)` pairs, most important first.
+    pub fn ranked(&self) -> Vec<(&str, f64)> {
+        self.surviving
+            .iter()
+            .map(|s| s.as_str())
+            .zip(self.importance.iter().copied())
+            .collect()
+    }
+}
+
+/// Ranks of `values` ascending (rank 0 = smallest). Ties broken by index
+/// for determinism.
+fn ascending_ranks(values: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("importance values are finite")
+            .then(a.cmp(&b))
+    });
+    let mut ranks = vec![0; values.len()];
+    for (rank, &idx) in order.iter().enumerate() {
+        ranks[idx] = rank;
+    }
+    ranks
+}
+
+/// Runs FRA on a scenario with the already fine-tuned model configurations.
+pub fn run_fra(
+    scenario: &ScenarioData,
+    rf: &RandomForestConfig,
+    gbdt: &GbdtConfig,
+    config: &FraConfig,
+    pfi_repeats: usize,
+    seed: u64,
+) -> Result<FraResult> {
+    if scenario.feature_names.is_empty() {
+        return Err(CoreError::Pipeline("scenario has no features".into()));
+    }
+    let mut alive: Vec<String> = scenario.feature_names.clone();
+
+    // Feature ↔ target correlations are static: compute once.
+    let target_col = scenario
+        .frame
+        .column(TARGET)
+        .ok_or_else(|| CoreError::Pipeline("target column missing".into()))?
+        .values()
+        .to_vec();
+    let train_rows = scenario.split_row;
+    let mut corr: HashMap<String, f64> = HashMap::with_capacity(alive.len());
+    for name in &alive {
+        let col = scenario
+            .frame
+            .column(name)
+            .ok_or_else(|| CoreError::Pipeline(format!("feature {name} missing")))?;
+        let c = pearson(&col.values()[..train_rows], &target_col[..train_rows]);
+        corr.insert(name.clone(), c.abs());
+    }
+
+    let mut iterations = Vec::new();
+    let mut threshold = config.initial_corr_threshold;
+    let mut stall = 0usize;
+
+    for iteration in 0..config.max_iterations {
+        if alive.len() <= config.target_len {
+            break;
+        }
+        let names: Vec<&str> = alive.iter().map(|s| s.as_str()).collect();
+        let train = scenario.train_matrix(&names)?;
+        let x = c100_ml::data::Matrix::from_row_major(train.x.clone(), train.n_features)?;
+        let iter_seed = seed.wrapping_add(iteration as u64).wrapping_mul(0x9E37_79B9);
+
+        let rf_model = rf.fit(&x, &train.y, iter_seed)?;
+        let gbdt_model = gbdt.fit(&x, &train.y, iter_seed ^ 0xABCD)?;
+        let rf_pfi = permutation_importance(
+            &rf_model,
+            &x,
+            &train.y,
+            &PermutationConfig { n_repeats: pfi_repeats, seed: iter_seed ^ 0x11 },
+        )?;
+        let gbdt_pfi = permutation_importance(
+            &gbdt_model,
+            &x,
+            &train.y,
+            &PermutationConfig { n_repeats: pfi_repeats, seed: iter_seed ^ 0x22 },
+        )?;
+
+        let rankings = [
+            ascending_ranks(&rf_model.feature_importances),
+            ascending_ranks(&gbdt_model.feature_importances),
+            ascending_ranks(&rf_pfi.importances_mean),
+            ascending_ranks(&gbdt_pfi.importances_mean),
+        ];
+        let half = alive.len() / 2;
+
+        let mut removed: Vec<usize> = Vec::new();
+        for i in 0..alive.len() {
+            let bottom_count = rankings.iter().filter(|r| r[i] < half).count();
+            let in_bottom = match config.rule {
+                RemovalRule::AllFour => bottom_count == 4,
+                RemovalRule::AnyOne => bottom_count >= 1,
+            };
+            if in_bottom && corr[&alive[i]] < threshold {
+                removed.push(i);
+            }
+        }
+
+        let mut stall_break = false;
+        if removed.is_empty() {
+            stall += 1;
+            if stall >= config.stall_patience {
+                // Stall-breaker: drop the worst 5% (≥1) by mean rank.
+                stall_break = true;
+                let mean_rank: Vec<f64> = (0..alive.len())
+                    .map(|i| rankings.iter().map(|r| r[i] as f64).sum::<f64>() / 4.0)
+                    .collect();
+                let mut by_rank: Vec<usize> = (0..alive.len()).collect();
+                by_rank.sort_by(|&a, &b| {
+                    mean_rank[a]
+                        .partial_cmp(&mean_rank[b])
+                        .expect("ranks are finite")
+                        .then(a.cmp(&b))
+                });
+                let k = (alive.len() / 20).max(1);
+                removed = by_rank.into_iter().take(k).collect();
+                stall = 0;
+            }
+        } else {
+            stall = 0;
+        }
+
+        iterations.push(FraIteration {
+            iteration,
+            n_before: alive.len(),
+            n_removed: removed.len(),
+            corr_threshold: threshold,
+            stall_break,
+        });
+
+        // Remove back-to-front to keep indices valid.
+        removed.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in removed {
+            alive.remove(idx);
+        }
+        threshold += config.corr_step;
+    }
+
+    // Final importance: refit the tuned RF on the survivors.
+    let names: Vec<&str> = alive.iter().map(|s| s.as_str()).collect();
+    let train = scenario.train_matrix(&names)?;
+    let x = c100_ml::data::Matrix::from_row_major(train.x.clone(), train.n_features)?;
+    let final_model = rf.fit(&x, &train.y, seed ^ 0xF1AA)?;
+    let mut ranked: Vec<(String, f64)> = alive
+        .iter()
+        .cloned()
+        .zip(final_model.feature_importances.iter().copied())
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances").then(a.0.cmp(&b.0)));
+
+    Ok(FraResult {
+        surviving: ranked.iter().map(|(n, _)| n.clone()).collect(),
+        importance: ranked.iter().map(|(_, v)| *v).collect(),
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::assemble;
+    use crate::profile::Profile;
+    use crate::scenario::{build_scenario, Period};
+    use c100_synth::{generate, SynthConfig};
+
+    fn scenario() -> ScenarioData {
+        let master = assemble(&generate(&SynthConfig::small(101))).unwrap();
+        build_scenario(&master, Period::Y2019, 7).unwrap()
+    }
+
+    #[test]
+    fn ascending_ranks_basic() {
+        let ranks = ascending_ranks(&[0.3, 0.1, 0.2]);
+        assert_eq!(ranks, vec![2, 0, 1]);
+        // Ties break by index.
+        let ranks = ascending_ranks(&[0.5, 0.5]);
+        assert_eq!(ranks, vec![0, 1]);
+    }
+
+    #[test]
+    fn fra_reduces_below_target_and_terminates() {
+        let s = scenario();
+        let p = Profile::fast();
+        let n_start = s.feature_names.len();
+        let cfg = FraConfig {
+            target_len: 60,
+            ..Default::default()
+        };
+        let result = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 1).unwrap();
+        assert!(n_start > 60, "need a reducible scenario, had {n_start}");
+        assert!(
+            result.surviving.len() <= 60,
+            "{} features survive",
+            result.surviving.len()
+        );
+        assert!(!result.iterations.is_empty());
+        // Monotone shrinkage across iterations.
+        for w in result.iterations.windows(2) {
+            assert!(w[1].n_before <= w[0].n_before - w[0].n_removed);
+        }
+        // Threshold tightens by 0.025 per iteration.
+        for (k, it) in result.iterations.iter().enumerate() {
+            let expected = 0.5 + 0.025 * k as f64;
+            assert!((it.corr_threshold - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fra_importances_are_sorted_descending() {
+        let s = scenario();
+        let p = Profile::fast();
+        let cfg = FraConfig {
+            target_len: 80,
+            ..Default::default()
+        };
+        let result = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 2).unwrap();
+        for w in result.importance.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(result.surviving.len(), result.importance.len());
+    }
+
+    #[test]
+    fn noop_when_already_small_enough() {
+        let s = scenario();
+        let p = Profile::fast();
+        let cfg = FraConfig {
+            target_len: 10_000,
+            ..Default::default()
+        };
+        let result = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 3).unwrap();
+        assert_eq!(result.surviving.len(), s.feature_names.len());
+        assert!(result.iterations.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = scenario();
+        let p = Profile::fast();
+        let cfg = FraConfig {
+            target_len: 80,
+            ..Default::default()
+        };
+        let a = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 5).unwrap();
+        let b = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 5).unwrap();
+        assert_eq!(a.surviving, b.surviving);
+    }
+}

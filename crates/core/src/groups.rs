@@ -1,0 +1,116 @@
+//! Short-term vs long-term driving factors (Tables 3 and 4).
+//!
+//! Final feature vectors of windows {1, 7} merge into the *Short-term*
+//! group and {90, 180} into the *Long-term* group; a feature appearing in
+//! several merged vectors keeps the average of its importance values. The
+//! paper then reports each group's top-5 features (Table 3) and the top-20
+//! features unique to each group (Table 4).
+
+use std::collections::HashMap;
+
+/// Windows forming the short-term group.
+pub const SHORT_TERM_WINDOWS: [usize; 2] = [1, 7];
+/// Windows forming the long-term group.
+pub const LONG_TERM_WINDOWS: [usize; 2] = [90, 180];
+
+/// An importance-ranked feature list for one scenario or group.
+#[derive(Debug, Clone, Default)]
+pub struct RankedFeatures {
+    /// `(feature, importance)`, most important first.
+    pub entries: Vec<(String, f64)>,
+}
+
+impl RankedFeatures {
+    /// Builds from unsorted pairs, sorting by importance descending.
+    pub fn from_pairs(mut pairs: Vec<(String, f64)>) -> Self {
+        pairs.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite importances")
+                .then(a.0.cmp(&b.0))
+        });
+        RankedFeatures { entries: pairs }
+    }
+
+    /// The top-`n` feature names.
+    pub fn top(&self, n: usize) -> Vec<&str> {
+        self.entries.iter().take(n).map(|(f, _)| f.as_str()).collect()
+    }
+
+    /// Whether the group contains a feature.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(f, _)| f == name)
+    }
+}
+
+/// Merges several scenarios' ranked vectors into a group, averaging the
+/// importance of features that appear more than once.
+pub fn merge_group(vectors: &[&RankedFeatures]) -> RankedFeatures {
+    let mut acc: HashMap<&str, (f64, usize)> = HashMap::new();
+    for vector in vectors {
+        for (name, importance) in &vector.entries {
+            let slot = acc.entry(name.as_str()).or_insert((0.0, 0));
+            slot.0 += importance;
+            slot.1 += 1;
+        }
+    }
+    let pairs = acc
+        .into_iter()
+        .map(|(name, (sum, count))| (name.to_string(), sum / count as f64))
+        .collect();
+    RankedFeatures::from_pairs(pairs)
+}
+
+/// The top-`n` features of `group` that do **not** appear in `other`
+/// (Table 4's unique-feature analysis).
+pub fn unique_top(group: &RankedFeatures, other: &RankedFeatures, n: usize) -> Vec<String> {
+    group
+        .entries
+        .iter()
+        .filter(|(name, _)| !other.contains(name))
+        .take(n)
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(pairs: &[(&str, f64)]) -> RankedFeatures {
+        RankedFeatures::from_pairs(pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect())
+    }
+
+    #[test]
+    fn from_pairs_sorts_descending() {
+        let r = ranked(&[("a", 0.1), ("b", 0.5), ("c", 0.3)]);
+        assert_eq!(r.top(3), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn merge_averages_common_features() {
+        let a = ranked(&[("x", 0.4), ("y", 0.2)]);
+        let b = ranked(&[("x", 0.2), ("z", 0.3)]);
+        let merged = merge_group(&[&a, &b]);
+        let x = merged.entries.iter().find(|(n, _)| n == "x").unwrap();
+        assert!((x.1 - 0.3).abs() < 1e-12);
+        let z = merged.entries.iter().find(|(n, _)| n == "z").unwrap();
+        assert!((z.1 - 0.3).abs() < 1e-12);
+        assert_eq!(merged.entries.len(), 3);
+    }
+
+    #[test]
+    fn unique_top_excludes_shared_features() {
+        let a = ranked(&[("shared", 0.9), ("only_a1", 0.5), ("only_a2", 0.3)]);
+        let b = ranked(&[("shared", 0.8), ("only_b", 0.4)]);
+        let unique = unique_top(&a, &b, 10);
+        assert_eq!(unique, vec!["only_a1", "only_a2"]);
+        let unique_capped = unique_top(&a, &b, 1);
+        assert_eq!(unique_capped, vec!["only_a1"]);
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic() {
+        let r = ranked(&[("b", 0.5), ("a", 0.5)]);
+        assert_eq!(r.top(2), vec!["a", "b"]);
+    }
+}

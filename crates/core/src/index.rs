@@ -1,0 +1,186 @@
+//! The Crypto100 index.
+//!
+//! ```text
+//!                    Σ_{i=1..100} MarketCap_i
+//! Crypto100 = ─────────────────────────────────────
+//!              ( log₁₀( Σ_{i=1..100} MarketCap_i ) )^power
+//! ```
+//!
+//! with `power = 7` chosen by the paper so the index is price-comparable
+//! to Bitcoin (Figure 2a shows powers 7 vs 8, Figure 2b powers 6 vs 7).
+//! [`power_comparison`] reproduces that tuning analysis.
+
+use c100_timeseries::{Frame, Series};
+use c100_synth::universe::Universe;
+
+use crate::{CoreError, Result};
+
+/// The paper's chosen exponent for the scaling factor.
+pub const DEFAULT_POWER: f64 = 7.0;
+
+/// Computes the Crypto100 value for a single day's top-100 cap sum.
+pub fn crypto100_value(top100_cap: f64, power: f64) -> f64 {
+    if top100_cap <= 1.0 {
+        return f64::NAN;
+    }
+    top100_cap / top100_cap.log10().powf(power)
+}
+
+/// Builder for Crypto100 series at configurable scaling powers.
+#[derive(Debug, Clone, Copy)]
+pub struct Crypto100Builder {
+    /// Exponent applied to the `log₁₀` scaling factor.
+    pub power: f64,
+}
+
+impl Default for Crypto100Builder {
+    fn default() -> Self {
+        Crypto100Builder { power: DEFAULT_POWER }
+    }
+}
+
+impl Crypto100Builder {
+    /// Computes the daily index series from the simulated universe.
+    pub fn build(&self, universe: &Universe) -> Series {
+        let values: Vec<f64> = universe
+            .top100_cap
+            .iter()
+            .map(|&cap| crypto100_value(cap, self.power))
+            .collect();
+        Series::new(format!("crypto100_p{}", self.power), values)
+    }
+}
+
+/// Summary of how one scaling power compares to the BTC price — the
+/// quantities behind Figure 2.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PowerComparison {
+    /// The scaling power.
+    pub power: f64,
+    /// Mean of index / BTC-price over the window (≈1 means comparable).
+    pub mean_ratio_to_btc: f64,
+    /// Pearson correlation with the BTC price.
+    pub correlation_with_btc: f64,
+    /// Index level on the first day.
+    pub first_value: f64,
+    /// Index level on the last day.
+    pub last_value: f64,
+}
+
+/// Evaluates a set of candidate powers against the BTC price, reproducing
+/// the paper's scaling-factor tuning (Figures 2a/2b).
+pub fn power_comparison(
+    universe: &Universe,
+    btc_close: &[f64],
+    powers: &[f64],
+) -> Result<Vec<PowerComparison>> {
+    if btc_close.len() != universe.n_days() {
+        return Err(CoreError::Pipeline(format!(
+            "BTC close has {} days, universe {}",
+            btc_close.len(),
+            universe.n_days()
+        )));
+    }
+    Ok(powers
+        .iter()
+        .map(|&power| {
+            let series = Crypto100Builder { power }.build(universe);
+            let values = series.values();
+            let ratios: Vec<f64> = values
+                .iter()
+                .zip(btc_close)
+                .map(|(v, b)| v / b)
+                .collect();
+            PowerComparison {
+                power,
+                mean_ratio_to_btc: c100_timeseries::stats::mean(&ratios),
+                correlation_with_btc: c100_timeseries::stats::pearson(values, btc_close),
+                first_value: values[0],
+                last_value: *values.last().expect("non-empty index"),
+            }
+        })
+        .collect())
+}
+
+/// A frame holding the Figure 2 series: BTC price plus the index at each
+/// requested power, ready for CSV export.
+pub fn figure2_frame(
+    universe: &Universe,
+    btc_close: &[f64],
+    powers: &[f64],
+) -> Result<Frame> {
+    let mut frame = Frame::with_daily_index(universe.start, universe.n_days());
+    frame.push_column(Series::new("BTC_close", btc_close.to_vec()))?;
+    for &power in powers {
+        frame.push_column(Crypto100Builder { power }.build(universe))?;
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c100_synth::{generate, SynthConfig};
+
+    fn universe() -> (c100_synth::MarketData, Universe) {
+        let data = generate(&SynthConfig::small(71));
+        let u = data.universe.clone();
+        (data, u)
+    }
+
+    #[test]
+    fn index_is_positive_and_monotone_in_cap() {
+        // Higher top-100 cap ⇒ higher index, over the realistic range.
+        let mut prev = 0.0;
+        for cap in [1e9, 1e10, 1e11, 1e12] {
+            let v = crypto100_value(cap, 7.0);
+            assert!(v > prev, "cap {cap}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn degenerate_cap_is_nan() {
+        assert!(crypto100_value(0.5, 7.0).is_nan());
+        assert!(crypto100_value(0.0, 7.0).is_nan());
+    }
+
+    #[test]
+    fn lower_power_scales_index_up() {
+        // Dividing by a smaller power of log₁₀(cap) (>1) leaves more level.
+        let (_, u) = universe();
+        let p6 = Crypto100Builder { power: 6.0 }.build(&u);
+        let p7 = Crypto100Builder { power: 7.0 }.build(&u);
+        for (a, b) in p6.values().iter().zip(p7.values()) {
+            assert!(a > b);
+        }
+    }
+
+    #[test]
+    fn power7_is_most_btc_comparable() {
+        // Reproduces the paper's tuning: with caps around 10^11-10^12,
+        // power 7 lands the index near the BTC price scale while 6 is far
+        // above it.
+        let (data, u) = universe();
+        let comps = power_comparison(&u, &data.btc.close, &[6.0, 7.0, 8.0]).unwrap();
+        let dist = |c: &PowerComparison| (c.mean_ratio_to_btc.log10()).abs();
+        let d6 = dist(&comps[0]);
+        let d7 = dist(&comps[1]);
+        assert!(d7 < d6, "power 7 ratio distance {d7} vs power 6 {d6}");
+        // The index correlates strongly with BTC regardless of power.
+        for c in &comps {
+            assert!(c.correlation_with_btc > 0.9, "power {} corr {}", c.power, c.correlation_with_btc);
+        }
+    }
+
+    #[test]
+    fn figure2_frame_has_all_series() {
+        let (data, u) = universe();
+        let frame = figure2_frame(&u, &data.btc.close, &[6.0, 7.0, 8.0]).unwrap();
+        assert!(frame.has_column("BTC_close"));
+        assert!(frame.has_column("crypto100_p6"));
+        assert!(frame.has_column("crypto100_p7"));
+        assert!(frame.has_column("crypto100_p8"));
+        assert_eq!(frame.len(), u.n_days());
+    }
+}

@@ -1,0 +1,103 @@
+//! # c100-core
+//!
+//! The paper's primary contribution, reimplemented end to end:
+//!
+//! * [`index`] — the **Crypto100 index** over the top-100 assets by market
+//!   cap, with the `(log₁₀ Σcap)^power` scaling factor and the power-
+//!   comparison analysis behind the paper's Figure 2.
+//! * [`dataset`] — assembly of the master daily panel: all six data-source
+//!   categories merged onto one date index, with a name → category map.
+//! * [`scenario`] — the 10 experimental scenarios (sets 2017/2019 × the
+//!   prediction windows 1/7/30/90/180): start-date filtering, cleaning,
+//!   interpolation, target construction and the chronological split.
+//! * [`fra`] — the **Feature Reduction Algorithm** (Algorithm 1):
+//!   iterative removal of features ranking in the bottom half of RF-MDI,
+//!   XGB-gain, RF-PFI *and* XGB-PFI while falling under a tightening
+//!   correlation threshold.
+//! * [`selection`] — the final feature vector: union of FRA's and SHAP's
+//!   top-75 features (Table 1).
+//! * [`contribution`] — per-category contribution factors (Figures 3–4).
+//! * [`groups`] — short-term/long-term feature groups, top-5 and top-20
+//!   unique features (Tables 3–4).
+//! * [`diversity`] — the model-performance-improvement experiments:
+//!   diverse feature vector vs single-category models (Tables 5–6 and the
+//!   overall RF/XGB improvements of §4.3).
+//! * [`pipeline`] — one-call orchestration of a full scenario run.
+//! * [`profile`] — compute profiles (grid sizes, forest sizes) so tests,
+//!   examples and the full reproduction share one code path at different
+//!   costs.
+//! * [`report`] — plain-text table and CSV rendering for the experiment
+//!   binaries.
+//!
+//! ```no_run
+//! use c100_core::pipeline::{run_scenario, ScenarioSpec};
+//! use c100_core::profile::Profile;
+//! use c100_core::scenario::Period;
+//! use c100_synth::SynthConfig;
+//!
+//! let data = c100_synth::generate(&SynthConfig::default());
+//! let result = run_scenario(
+//!     &data,
+//!     &ScenarioSpec { period: Period::Y2017, window: 30 },
+//!     &Profile::fast(),
+//! ).unwrap();
+//! println!("final feature vector: {} features", result.final_features.len());
+//! ```
+
+pub mod contribution;
+pub mod dataset;
+pub mod diversity;
+pub mod experiments;
+pub mod fra;
+pub mod groups;
+pub mod index;
+pub mod pipeline;
+pub mod portfolio;
+pub mod profile;
+pub mod report;
+pub mod scenario;
+pub mod selection;
+
+/// Errors surfaced by the experiment pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Underlying time-series manipulation failed.
+    Ts(c100_timeseries::TsError),
+    /// Underlying model fitting failed.
+    Ml(c100_ml::MlError),
+    /// The pipeline hit an invalid state (message explains).
+    Pipeline(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Ts(e) => write!(f, "time-series error: {e}"),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Pipeline(s) => write!(f, "pipeline error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<c100_timeseries::TsError> for CoreError {
+    fn from(e: c100_timeseries::TsError) -> Self {
+        CoreError::Ts(e)
+    }
+}
+
+impl From<c100_ml::MlError> for CoreError {
+    fn from(e: c100_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Name of the prediction-target column in every scenario frame.
+pub const TARGET: &str = "crypto100_target";
+
+/// Name of the Crypto100 price column in the master panel.
+pub const CRYPTO100: &str = "crypto100";

@@ -1,0 +1,193 @@
+//! One-call orchestration of a full per-scenario pipeline run:
+//! fine-tune RF and XGB → FRA → SHAP validation → final feature vector →
+//! final importance ranking → category contributions.
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::model_selection::grid_search;
+use c100_synth::MarketData;
+
+use crate::contribution::{contribution_factors, CategoryContribution};
+use crate::dataset::{assemble, MasterDataset};
+use crate::fra::{run_fra, FraConfig, FraResult};
+use crate::groups::RankedFeatures;
+use crate::profile::Profile;
+use crate::scenario::{build_scenario, Period, ScenarioData};
+use crate::selection::{final_vector, shap_ranking};
+use crate::Result;
+
+/// Identifies one of the 10 scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Period set.
+    pub period: Period,
+    /// Prediction window in days.
+    pub window: usize,
+}
+
+impl ScenarioSpec {
+    /// All 10 scenarios in paper order.
+    pub fn all() -> Vec<ScenarioSpec> {
+        let mut specs = Vec::with_capacity(10);
+        for period in Period::ALL {
+            for window in crate::scenario::WINDOWS {
+                specs.push(ScenarioSpec { period, window });
+            }
+        }
+        specs
+    }
+
+    /// The paper's `period_window` id.
+    pub fn id(&self) -> String {
+        format!("{}_{}", self.period.label(), self.window)
+    }
+}
+
+/// Everything one scenario run produces.
+pub struct ScenarioResult {
+    /// The preprocessed scenario dataset (kept for follow-up experiments).
+    pub scenario: ScenarioData,
+    /// Candidate features after cleaning/start-date filtering.
+    pub n_candidates: usize,
+    /// Winning RF configuration of the fine-tuning grid search.
+    pub tuned_rf: RandomForestConfig,
+    /// Winning XGB-style configuration.
+    pub tuned_gbdt: GbdtConfig,
+    /// FRA output.
+    pub fra: FraResult,
+    /// |SHAP top-100 ∩ FRA survivors| (paper reports ≈78 on average).
+    pub shap_overlap: usize,
+    /// The final feature vector (FRA ∪ SHAP top-75, Table 1).
+    pub final_features: Vec<String>,
+    /// Fine-tuned-RF importance ranking over the final vector (the input
+    /// to the short/long-term group analysis).
+    pub final_importance: RankedFeatures,
+    /// Per-category contribution factors (Figures 3–4).
+    pub contributions: Vec<CategoryContribution>,
+}
+
+/// Runs the full pipeline for one scenario on an already assembled master
+/// dataset (preferred when running many scenarios).
+pub fn run_scenario_on(
+    master: &MasterDataset,
+    spec: &ScenarioSpec,
+    profile: &Profile,
+) -> Result<ScenarioResult> {
+    let scenario = build_scenario(master, spec.period, spec.window)?;
+    let n_candidates = scenario.feature_names.len();
+    let stage = |name: &str| profile.stage_seed(&format!("{}:{name}", spec.id()));
+
+    // Fine-tune both model families on the full candidate set.
+    let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
+    let train = scenario.train_matrix(&names)?;
+    let x = Matrix::from_row_major(train.x.clone(), train.n_features)?;
+    let t_tune = std::time::Instant::now();
+    let rf_search = grid_search(&profile.rf_grid, &x, &train.y, profile.cv_folds, stage("rf-tune"))?;
+    let gbdt_search =
+        grid_search(&profile.gbdt_grid, &x, &train.y, profile.cv_folds, stage("gbdt-tune"))?;
+    let tune_elapsed = t_tune.elapsed();
+    let tuned_rf = rf_search.best_config;
+    let tuned_gbdt = gbdt_search.best_config;
+
+    // FRA with the tuned models.
+    let fra_config = FraConfig {
+        target_len: profile.fra_target,
+        ..Default::default()
+    };
+    let t_fra = std::time::Instant::now();
+    let fra = run_fra(
+        &scenario,
+        &tuned_rf,
+        &tuned_gbdt,
+        &fra_config,
+        profile.pfi_repeats,
+        stage("fra"),
+    )?;
+    let fra_elapsed = t_fra.elapsed();
+
+    // SHAP validation on the original candidate set, then the union.
+    let t_shap = std::time::Instant::now();
+    let shap = shap_ranking(&scenario, &profile.shap_forest, profile.shap_rows, stage("shap"))?;
+    eprintln!(
+        "#     {} stages: tune {tune_elapsed:.1?}, fra {fra_elapsed:.1?} ({} iters), shap {:.1?}",
+        spec.id(),
+        fra.iterations.len(),
+        t_shap.elapsed()
+    );
+    let selection = final_vector(&fra, &shap, profile.union_top_k);
+
+    // Final importance: tuned RF refit on the final vector.
+    let final_refs: Vec<&str> = selection.features.iter().map(|s| s.as_str()).collect();
+    let final_train = scenario.train_matrix(&final_refs)?;
+    let fx = Matrix::from_row_major(final_train.x.clone(), final_train.n_features)?;
+    let final_model = tuned_rf.fit(&fx, &final_train.y, stage("final-importance"))?;
+    let final_importance = RankedFeatures::from_pairs(
+        selection
+            .features
+            .iter()
+            .cloned()
+            .zip(final_model.feature_importances.iter().copied())
+            .collect(),
+    );
+
+    let contributions = contribution_factors(&scenario, &selection.features);
+
+    Ok(ScenarioResult {
+        scenario,
+        n_candidates,
+        tuned_rf,
+        tuned_gbdt,
+        fra,
+        shap_overlap: selection.overlap_shap100_fra,
+        final_features: selection.features,
+        final_importance,
+        contributions,
+    })
+}
+
+/// Convenience wrapper that assembles the master dataset first.
+pub fn run_scenario(
+    data: &MarketData,
+    spec: &ScenarioSpec,
+    profile: &Profile,
+) -> Result<ScenarioResult> {
+    let master = assemble(data)?;
+    run_scenario_on(&master, spec, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c100_synth::{generate, SynthConfig};
+
+    #[test]
+    fn all_scenarios_enumerate_ten() {
+        let specs = ScenarioSpec::all();
+        assert_eq!(specs.len(), 10);
+        assert_eq!(specs[0].id(), "2017_1");
+        assert_eq!(specs[9].id(), "2019_180");
+    }
+
+    #[test]
+    fn fast_pipeline_produces_consistent_result() {
+        let data = generate(&SynthConfig::small(141));
+        let spec = ScenarioSpec {
+            period: Period::Y2019,
+            window: 7,
+        };
+        let result = run_scenario(&data, &spec, &Profile::fast()).unwrap();
+        assert!(result.n_candidates > 100);
+        assert!(!result.final_features.is_empty());
+        assert!(result.final_features.len() <= 150);
+        assert_eq!(
+            result.final_importance.entries.len(),
+            result.final_features.len()
+        );
+        // Contributions consistent with the final vector.
+        let selected: usize = result.contributions.iter().map(|c| c.selected).sum();
+        assert_eq!(selected, result.final_features.len());
+        // FRA survivors never exceed candidates.
+        assert!(result.fra.surviving.len() <= result.n_candidates);
+    }
+}

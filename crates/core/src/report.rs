@@ -1,0 +1,155 @@
+//! Plain-text rendering of tables and figure series for the experiment
+//! binaries, plus CSV/JSON export helpers so results can be re-plotted.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; it must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float as a percentage with two decimals (`455.67%`).
+pub fn pct(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.2}%")
+    }
+}
+
+/// Formats a ratio with three decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Renders an ASCII sparkline chart of a series (for figure previews in
+/// the terminal). Samples `width` points evenly.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if present.is_empty() || width == 0 {
+        return String::new();
+    }
+    let lo = present.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let step = (values.len() as f64 / width as f64).max(1.0);
+    let mut out = String::with_capacity(width);
+    let mut pos = 0.0;
+    while (pos as usize) < values.len() && out.chars().count() < width {
+        let v = values[pos as usize];
+        if v.is_nan() {
+            out.push(' ');
+        } else {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            out.push(BARS[idx.min(7)]);
+        }
+        pos += step;
+    }
+    out
+}
+
+/// Writes any serde-serializable experiment result as pretty JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment results serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["Scenario", "Features"]);
+        t.row(&["2017_1".into(), "79".into()]);
+        t.row(&["2019_180".into(), "90".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Scenario"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].starts_with("2019_180"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn pct_formats_and_handles_nan() {
+        assert_eq!(pct(455.666), "455.67%");
+        assert_eq!(pct(f64::NAN), "-");
+    }
+
+    #[test]
+    fn sparkline_maps_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[], 10), "");
+        // NaN renders as a gap.
+        let with_gap = sparkline(&[0.0, f64::NAN, 2.0], 3);
+        assert_eq!(with_gap.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        #[derive(serde::Serialize)]
+        struct T {
+            x: f64,
+        }
+        let s = to_json(&T { x: 1.5 });
+        assert!(s.contains("1.5"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The 10 experimental scenarios: 2 period sets × 5 prediction windows.
+//!
+//! Building a scenario applies the paper's preprocessing in order:
+//! window the panel to the period, discard features that began recording
+//! after the period's first day, run the cleaning pass (flat / missing-
+//! heavy feeds), interpolate interior gaps, attach the `w`-day-ahead
+//! Crypto100 target, and cut a chronological 80/20 train/test split.
+
+use std::collections::HashMap;
+
+use c100_synth::DataCategory;
+use c100_timeseries::clean::{clean_frame, CleanConfig, CleanReport};
+use c100_timeseries::frame::DesignMatrix;
+use c100_timeseries::{missing, transform, Date, Frame, Series};
+
+use crate::dataset::MasterDataset;
+use crate::{CoreError, Result, CRYPTO100, TARGET};
+
+/// The prediction windows (days ahead) the paper evaluates.
+pub const WINDOWS: [usize; 5] = [1, 7, 30, 90, 180];
+
+/// Fraction of rows used for training in the chronological split.
+pub const TRAIN_FRACTION: f64 = 0.8;
+
+/// The two period sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Period {
+    /// January 2017 → end of data.
+    Y2017,
+    /// January 2019 → end of data (USDC and fear/greed available).
+    Y2019,
+}
+
+impl Period {
+    /// Both periods, in paper order.
+    pub const ALL: [Period; 2] = [Period::Y2017, Period::Y2019];
+
+    /// The period's nominal first day.
+    pub fn start(self) -> Date {
+        match self {
+            Period::Y2017 => Date::from_ymd(2017, 1, 1).expect("valid constant"),
+            Period::Y2019 => Date::from_ymd(2019, 1, 1).expect("valid constant"),
+        }
+    }
+
+    /// Label used in scenario ids (`2017_30` style, as in Table 1).
+    pub fn label(self) -> &'static str {
+        match self {
+            Period::Y2017 => "2017",
+            Period::Y2019 => "2019",
+        }
+    }
+}
+
+/// A fully preprocessed scenario dataset.
+pub struct ScenarioData {
+    /// Which period set.
+    pub period: Period,
+    /// Prediction window in days.
+    pub window: usize,
+    /// Cleaned features + current index price + future target column.
+    pub frame: Frame,
+    /// Names of the surviving candidate features.
+    pub feature_names: Vec<String>,
+    /// Category of each surviving feature.
+    pub categories: HashMap<String, DataCategory>,
+    /// What the cleaning pass removed.
+    pub clean_report: CleanReport,
+    /// Row index where the test window begins.
+    pub split_row: usize,
+}
+
+impl ScenarioData {
+    /// Scenario id in the paper's `period_window` notation.
+    pub fn id(&self) -> String {
+        format!("{}_{}", self.period.label(), self.window)
+    }
+
+    /// Features of one category, in frame order.
+    pub fn features_of(&self, category: DataCategory) -> Vec<String> {
+        self.feature_names
+            .iter()
+            .filter(|n| self.categories.get(*n) == Some(&category))
+            .cloned()
+            .collect()
+    }
+
+    /// Candidate-feature counts per category (denominator of the paper's
+    /// contribution factor).
+    pub fn category_counts(&self) -> HashMap<DataCategory, usize> {
+        let mut counts = HashMap::new();
+        for name in &self.feature_names {
+            if let Some(cat) = self.categories.get(name) {
+                *counts.entry(*cat).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Extracts train-portion design matrix over the given features.
+    pub fn train_matrix(&self, features: &[&str]) -> Result<DesignMatrix> {
+        let train = self.frame.row_slice(0, self.split_row)?;
+        Ok(train.to_matrix(features, TARGET)?)
+    }
+
+    /// Extracts test-portion design matrix over the given features.
+    pub fn test_matrix(&self, features: &[&str]) -> Result<DesignMatrix> {
+        let test = self.frame.row_slice(self.split_row, self.frame.len())?;
+        Ok(test.to_matrix(features, TARGET)?)
+    }
+}
+
+/// Builds one scenario from the master dataset.
+pub fn build_scenario(
+    master: &MasterDataset,
+    period: Period,
+    window: usize,
+) -> Result<ScenarioData> {
+    if window == 0 {
+        return Err(CoreError::Pipeline("window must be >= 1".into()));
+    }
+    let panel_start = master.frame.start();
+    let start = if period.start() > panel_start {
+        period.start()
+    } else {
+        panel_start
+    };
+    let mut frame = master.frame.window(start, master.frame.end())?;
+
+    // Discard features that began recording after the period's first day.
+    let mut late_starters = Vec::new();
+    for name in master.feature_names() {
+        let col = frame
+            .column(&name)
+            .ok_or_else(|| CoreError::Pipeline(format!("feature {name} lost in window")))?;
+        if col.first_present() != Some(0) {
+            late_starters.push(name);
+        }
+    }
+    for name in &late_starters {
+        frame.drop_column(name)?;
+    }
+
+    // Cleaning pass, then interpolation of what survives.
+    let clean_report = clean_frame(&mut frame, &CleanConfig::default(), &[CRYPTO100]);
+    missing::interpolate_frame(&mut frame);
+
+    // Target: the index price `window` days ahead.
+    let index_col = frame
+        .column(CRYPTO100)
+        .ok_or_else(|| CoreError::Pipeline("crypto100 column missing".into()))?;
+    let mut target = transform::future_target(index_col, window);
+    target.set_name(TARGET);
+    frame.push_column(target)?;
+
+    let feature_names: Vec<String> = frame
+        .column_names()
+        .into_iter()
+        .filter(|n| *n != CRYPTO100 && *n != TARGET)
+        .map(|s| s.to_string())
+        .collect();
+    let categories: HashMap<String, DataCategory> = feature_names
+        .iter()
+        .filter_map(|n| master.categories.get(n).map(|c| (n.clone(), *c)))
+        .collect();
+
+    // Chronological split over rows with a defined target.
+    let usable_rows = frame.len().saturating_sub(window);
+    if usable_rows < 50 {
+        return Err(CoreError::Pipeline(format!(
+            "only {usable_rows} usable rows for window {window}"
+        )));
+    }
+    let split_row = (usable_rows as f64 * TRAIN_FRACTION).round() as usize;
+
+    Ok(ScenarioData {
+        period,
+        window,
+        frame,
+        feature_names,
+        categories,
+        clean_report,
+        split_row,
+    })
+}
+
+/// Convenience: add a series as a feature to an existing scenario frame
+/// (used by ablation experiments).
+pub fn add_feature(scenario: &mut ScenarioData, series: Series, category: DataCategory) -> Result<()> {
+    let name = series.name().to_string();
+    scenario.frame.push_column(series)?;
+    scenario.feature_names.push(name.clone());
+    scenario.categories.insert(name, category);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::assemble;
+    use c100_synth::{generate, SynthConfig};
+
+    fn master_small() -> MasterDataset {
+        assemble(&generate(&SynthConfig::small(91))).unwrap()
+    }
+
+    fn master_full() -> MasterDataset {
+        // Full 2017-2023 span but a light universe to keep tests quick.
+        let cfg = SynthConfig {
+            seed: 92,
+            n_assets: 120,
+            ..SynthConfig::default()
+        };
+        assemble(&generate(&cfg)).unwrap()
+    }
+
+    #[test]
+    fn scenario_ids_follow_paper_notation() {
+        let m = master_small();
+        let s = build_scenario(&m, Period::Y2019, 30).unwrap();
+        assert_eq!(s.id(), "2019_30");
+    }
+
+    #[test]
+    fn full_span_2017_set_drops_late_starters() {
+        let m = master_full();
+        let s2017 = build_scenario(&m, Period::Y2017, 7).unwrap();
+        // USDC metrics (born 2018-10) and fear/greed must be absent.
+        assert!(s2017.features_of(DataCategory::OnChainUsdc).is_empty());
+        assert!(!s2017.feature_names.iter().any(|n| n == "fear_greed_index"));
+        // But the 2019 set keeps them.
+        let s2019 = build_scenario(&m, Period::Y2019, 7).unwrap();
+        assert!(s2019.features_of(DataCategory::OnChainUsdc).len() > 30);
+        assert!(s2019.feature_names.iter().any(|n| n == "fear_greed_index"));
+        // 2019 has strictly more candidates, as in the paper (192 vs 283).
+        assert!(s2019.feature_names.len() > s2017.feature_names.len());
+    }
+
+    #[test]
+    fn cleaning_removes_defective_feeds() {
+        let m = master_full();
+        let s = build_scenario(&m, Period::Y2017, 30).unwrap();
+        assert!(s.clean_report.total_dropped() > 5);
+        assert!(!s.feature_names.iter().any(|n| n == "EEM_Close"));
+        assert!(!s.feature_names.iter().any(|n| n == "SplyMiner1HopAllUSD"));
+    }
+
+    #[test]
+    fn no_missing_values_in_feature_region() {
+        let m = master_small();
+        let s = build_scenario(&m, Period::Y2019, 7).unwrap();
+        for name in &s.feature_names {
+            let col = s.frame.column(name).unwrap();
+            assert_eq!(col.count_missing(), 0, "{name} still has holes");
+        }
+        // Target has exactly `window` trailing missing rows.
+        assert_eq!(s.frame.column(TARGET).unwrap().count_missing(), 7);
+    }
+
+    #[test]
+    fn matrices_respect_the_split() {
+        let m = master_small();
+        let s = build_scenario(&m, Period::Y2019, 30).unwrap();
+        let features: Vec<&str> = s.feature_names.iter().map(|s| s.as_str()).collect();
+        let train = s.train_matrix(&features).unwrap();
+        let test = s.test_matrix(&features).unwrap();
+        assert_eq!(train.n_rows(), s.split_row);
+        // Test rows: usable rows after the split.
+        let usable = s.frame.len() - 30;
+        assert_eq!(test.n_rows(), usable - s.split_row);
+        assert_eq!(train.n_features, s.feature_names.len());
+    }
+
+    #[test]
+    fn rejects_zero_window() {
+        let m = master_small();
+        assert!(build_scenario(&m, Period::Y2019, 0).is_err());
+    }
+
+    #[test]
+    fn category_counts_sum_to_feature_count() {
+        let m = master_small();
+        let s = build_scenario(&m, Period::Y2019, 1).unwrap();
+        let total: usize = s.category_counts().values().sum();
+        assert_eq!(total, s.feature_names.len());
+    }
+}

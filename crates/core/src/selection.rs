@@ -1,0 +1,179 @@
+//! SHAP validation and the final feature vector.
+//!
+//! The paper validates FRA with SHAP computed "from the original sets"
+//! (all cleaned candidate features, not just FRA's survivors), reports an
+//! average overlap of ~78 features between SHAP's top-100 and FRA's
+//! survivors, and builds the final vector per scenario as the union of the
+//! top-75 features of each ranking (Table 1).
+
+use std::collections::HashSet;
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::shap::mean_abs_shap;
+
+use crate::fra::FraResult;
+use crate::scenario::ScenarioData;
+use crate::{CoreError, Result};
+
+/// SHAP-based global importance ranking over all scenario features.
+#[derive(Debug, Clone)]
+pub struct ShapRanking {
+    /// `(feature, mean |SHAP|)`, most important first.
+    pub ranked: Vec<(String, f64)>,
+}
+
+impl ShapRanking {
+    /// The top-`k` feature names.
+    pub fn top(&self, k: usize) -> Vec<&str> {
+        self.ranked.iter().take(k).map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// Computes the mean-|SHAP| ranking on a row subsample of the train set.
+///
+/// TreeSHAP cost grows with rows × leaves × depth², so the forest is
+/// depth-capped and rows are subsampled deterministically (every k-th row,
+/// which for a time series is also a uniform temporal coverage).
+pub fn shap_ranking(
+    scenario: &ScenarioData,
+    forest: &RandomForestConfig,
+    max_rows: usize,
+    seed: u64,
+) -> Result<ShapRanking> {
+    let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
+    if names.is_empty() {
+        return Err(CoreError::Pipeline("no features for SHAP".into()));
+    }
+    let train = scenario.train_matrix(&names)?;
+    let x = Matrix::from_row_major(train.x.clone(), train.n_features)?;
+    let model = forest.fit(&x, &train.y, seed)?;
+
+    let stride = (x.n_rows() / max_rows.max(1)).max(1);
+    let rows: Vec<usize> = (0..x.n_rows()).step_by(stride).collect();
+    let sample = x.take_rows(&rows);
+    let importances = mean_abs_shap(&model, &sample);
+
+    let mut ranked: Vec<(String, f64)> = scenario
+        .feature_names
+        .iter()
+        .cloned()
+        .zip(importances)
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite SHAP values")
+            .then(a.0.cmp(&b.0))
+    });
+    Ok(ShapRanking { ranked })
+}
+
+/// The final per-scenario feature vector and its diagnostics.
+#[derive(Debug, Clone)]
+pub struct FinalSelection {
+    /// Union of the two top-`k` lists, FRA-ranked members first.
+    pub features: Vec<String>,
+    /// |SHAP top-100 ∩ FRA survivors| — the paper's validation overlap.
+    pub overlap_shap100_fra: usize,
+}
+
+/// Builds the final feature vector: union of FRA's and SHAP's top-`k`.
+pub fn final_vector(fra: &FraResult, shap: &ShapRanking, top_k: usize) -> FinalSelection {
+    let fra_top: Vec<&str> = fra
+        .surviving
+        .iter()
+        .take(top_k)
+        .map(|s| s.as_str())
+        .collect();
+    let shap_top = shap.top(top_k);
+
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut features = Vec::new();
+    for name in fra_top.iter().chain(shap_top.iter()) {
+        if seen.insert(name) {
+            features.push(name.to_string());
+        }
+    }
+
+    let fra_set: HashSet<&str> = fra.surviving.iter().map(|s| s.as_str()).collect();
+    let overlap = shap
+        .top(100)
+        .iter()
+        .filter(|n| fra_set.contains(**n))
+        .count();
+
+    FinalSelection {
+        features,
+        overlap_shap100_fra: overlap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::assemble;
+    use crate::fra::{run_fra, FraConfig};
+    use crate::profile::Profile;
+    use crate::scenario::{build_scenario, Period};
+    use c100_synth::{generate, SynthConfig};
+
+    fn scenario() -> ScenarioData {
+        let master = assemble(&generate(&SynthConfig::small(111))).unwrap();
+        build_scenario(&master, Period::Y2019, 7).unwrap()
+    }
+
+    #[test]
+    fn shap_ranking_is_sorted_and_complete() {
+        let s = scenario();
+        let p = Profile::fast();
+        let ranking = shap_ranking(&s, &p.shap_forest, p.shap_rows, 1).unwrap();
+        assert_eq!(ranking.ranked.len(), s.feature_names.len());
+        for w in ranking.ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(ranking.top(5).len(), 5);
+    }
+
+    #[test]
+    fn union_respects_bounds() {
+        let s = scenario();
+        let p = Profile::fast();
+        let fra = run_fra(
+            &s,
+            &p.rf_grid[0],
+            &p.gbdt_grid[0],
+            &FraConfig { target_len: 80, ..Default::default() },
+            p.pfi_repeats,
+            3,
+        )
+        .unwrap();
+        let shap = shap_ranking(&s, &p.shap_forest, p.shap_rows, 4).unwrap();
+        let selection = final_vector(&fra, &shap, 75);
+        // Union of two 75-lists: between 75 and 150, no duplicates.
+        assert!(selection.features.len() >= 75.min(fra.surviving.len()));
+        assert!(selection.features.len() <= 150);
+        let set: HashSet<&String> = selection.features.iter().collect();
+        assert_eq!(set.len(), selection.features.len());
+        // The two rankings agree substantially (paper: ~78/100 overlap).
+        assert!(
+            selection.overlap_shap100_fra >= 30,
+            "overlap {}",
+            selection.overlap_shap100_fra
+        );
+    }
+
+    #[test]
+    fn shap_and_fra_agree_on_strong_features() {
+        // Both rankings should put level-tracking features high; check the
+        // SHAP top-30 contains at least one of the known strong metrics.
+        let s = scenario();
+        let p = Profile::fast();
+        let ranking = shap_ranking(&s, &p.shap_forest, p.shap_rows, 5).unwrap();
+        let top30 = ranking.top(30);
+        let strong = ["market_cap", "CapMrktCurUSD", "RevAllTimeUSD", "CapRealUSD", "CapMrktFFUSD"];
+        assert!(
+            top30.iter().any(|n| strong.contains(n)),
+            "no strong level feature in SHAP top-30: {top30:?}"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # c100-indicators
+//!
+//! Technical indicators derived from BTC's historical market information —
+//! the paper constructs its *Technical Indicators* category exclusively
+//! from Bitcoin OHLCV data, on the observation that BTC is highly
+//! correlated with and influential on the broader cryptocurrency market.
+//!
+//! All functions take raw `&[f64]` slices and return a `Vec<f64>` of the
+//! same length, with `NaN` over the warm-up prefix where the indicator is
+//! undefined. [`suite`] assembles the paper's full category (moving
+//! averages over close price / market cap / volume at the windows named in
+//! Tables 3–4, plus the oscillator/volatility/volume indicators Section 2
+//! lists) into a [`c100_timeseries::Frame`].
+
+pub mod momentum;
+pub mod moving;
+pub mod suite;
+pub mod volatility;
+pub mod volume;
+
+pub use suite::{technical_suite, TechnicalInputs};
+
+/// Returns `NaN` padding followed by values from `f` starting at `start`.
+pub(crate) fn with_warmup(len: usize, start: usize, mut f: impl FnMut(usize) -> f64) -> Vec<f64> {
+    let mut out = vec![f64::NAN; len];
+    for (t, slot) in out.iter_mut().enumerate().skip(start) {
+        *slot = f(t);
+    }
+    out
+}

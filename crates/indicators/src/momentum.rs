@@ -1,0 +1,214 @@
+//! Momentum oscillators: RSI, ROC, MACD, stochastic oscillator.
+
+use crate::moving::{ema, sma};
+
+/// Relative Strength Index over `period` days, using Wilder's smoothing.
+/// Output is in `[0, 100]`; the first `period` entries are `NaN`.
+pub fn rsi(values: &[f64], period: usize) -> Vec<f64> {
+    assert!(period >= 1, "period must be >= 1");
+    let n = values.len();
+    let mut out = vec![f64::NAN; n];
+    if n <= period {
+        return out;
+    }
+    let mut avg_gain = 0.0;
+    let mut avg_loss = 0.0;
+    for t in 1..=period {
+        let change = values[t] - values[t - 1];
+        if change > 0.0 {
+            avg_gain += change;
+        } else {
+            avg_loss -= change;
+        }
+    }
+    avg_gain /= period as f64;
+    avg_loss /= period as f64;
+    out[period] = rsi_from(avg_gain, avg_loss);
+    for t in (period + 1)..n {
+        let change = values[t] - values[t - 1];
+        let (gain, loss) = if change > 0.0 { (change, 0.0) } else { (0.0, -change) };
+        avg_gain = (avg_gain * (period - 1) as f64 + gain) / period as f64;
+        avg_loss = (avg_loss * (period - 1) as f64 + loss) / period as f64;
+        out[t] = rsi_from(avg_gain, avg_loss);
+    }
+    out
+}
+
+fn rsi_from(avg_gain: f64, avg_loss: f64) -> f64 {
+    if avg_loss == 0.0 {
+        if avg_gain == 0.0 {
+            50.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 - 100.0 / (1.0 + avg_gain / avg_loss)
+    }
+}
+
+/// Rate of change over `period` days, as a percentage.
+pub fn roc(values: &[f64], period: usize) -> Vec<f64> {
+    assert!(period >= 1, "period must be >= 1");
+    crate::with_warmup(values.len(), period, |t| {
+        let past = values[t - period];
+        if past == 0.0 {
+            f64::NAN
+        } else {
+            (values[t] - past) / past * 100.0
+        }
+    })
+}
+
+/// Momentum: raw difference `x[t] - x[t-period]`.
+pub fn momentum(values: &[f64], period: usize) -> Vec<f64> {
+    assert!(period >= 1, "period must be >= 1");
+    crate::with_warmup(values.len(), period, |t| values[t] - values[t - period])
+}
+
+/// MACD line, signal line and histogram.
+#[derive(Debug, Clone)]
+pub struct Macd {
+    /// Fast EMA minus slow EMA.
+    pub macd: Vec<f64>,
+    /// EMA of the MACD line.
+    pub signal: Vec<f64>,
+    /// MACD minus signal.
+    pub histogram: Vec<f64>,
+}
+
+/// MACD with the conventional `(fast, slow, signal)` spans, e.g. (12, 26, 9).
+pub fn macd(values: &[f64], fast: usize, slow: usize, signal_span: usize) -> Macd {
+    assert!(fast < slow, "fast span must be shorter than slow");
+    let ema_fast = ema(values, fast);
+    let ema_slow = ema(values, slow);
+    let n = values.len();
+    let mut line = vec![f64::NAN; n];
+    for t in 0..n {
+        if !ema_fast[t].is_nan() && !ema_slow[t].is_nan() {
+            line[t] = ema_fast[t] - ema_slow[t];
+        }
+    }
+    // Signal = EMA of the defined part of the MACD line.
+    let first = line.iter().position(|v| !v.is_nan()).unwrap_or(n);
+    let mut signal = vec![f64::NAN; n];
+    if first < n {
+        let tail_signal = ema(&line[first..], signal_span);
+        signal[first..].copy_from_slice(&tail_signal);
+    }
+    let mut histogram = vec![f64::NAN; n];
+    for t in 0..n {
+        if !line[t].is_nan() && !signal[t].is_nan() {
+            histogram[t] = line[t] - signal[t];
+        }
+    }
+    Macd {
+        macd: line,
+        signal,
+        histogram,
+    }
+}
+
+/// Stochastic oscillator %K and %D.
+#[derive(Debug, Clone)]
+pub struct Stochastic {
+    /// Raw %K: position of the close within the trailing high-low range.
+    pub k: Vec<f64>,
+    /// %D: SMA of %K.
+    pub d: Vec<f64>,
+}
+
+/// Stochastic oscillator over `period` days with a `d_span`-day %D.
+pub fn stochastic(high: &[f64], low: &[f64], close: &[f64], period: usize, d_span: usize) -> Stochastic {
+    assert_eq!(high.len(), low.len());
+    assert_eq!(high.len(), close.len());
+    assert!(period >= 1, "period must be >= 1");
+    let n = close.len();
+    let k = crate::with_warmup(n, period - 1, |t| {
+        let lo = low[t + 1 - period..=t].iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = high[t + 1 - period..=t].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if hi > lo {
+            (close[t] - lo) / (hi - lo) * 100.0
+        } else {
+            50.0
+        }
+    });
+    let first = k.iter().position(|v| !v.is_nan()).unwrap_or(n);
+    let mut d = vec![f64::NAN; n];
+    if first < n {
+        let tail = sma(&k[first..], d_span);
+        d[first..].copy_from_slice(&tail);
+    }
+    Stochastic { k, d }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsi_extremes() {
+        let rising: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let out = rsi(&rising, 14);
+        assert!((out[29] - 100.0).abs() < 1e-9);
+        let falling: Vec<f64> = (0..30).map(|i| 100.0 - i as f64).collect();
+        let out = rsi(&falling, 14);
+        assert!(out[29].abs() < 1e-9);
+    }
+
+    #[test]
+    fn rsi_flat_is_fifty() {
+        let out = rsi(&[5.0; 20], 14);
+        assert_eq!(out[19], 50.0);
+    }
+
+    #[test]
+    fn rsi_in_range() {
+        let values: Vec<f64> = (0..200).map(|i| ((i * 83) % 97) as f64).collect();
+        for v in rsi(&values, 14).iter().filter(|v| !v.is_nan()) {
+            assert!((0.0..=100.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn roc_and_momentum() {
+        let v = [100.0, 110.0, 121.0];
+        let r = roc(&v, 1);
+        assert!((r[1] - 10.0).abs() < 1e-9);
+        assert!((r[2] - 10.0).abs() < 1e-9);
+        let m = momentum(&v, 2);
+        assert!((m[2] - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn macd_constant_input_is_zero() {
+        let out = macd(&[10.0; 60], 12, 26, 9);
+        let defined: Vec<f64> = out.macd.iter().copied().filter(|v| !v.is_nan()).collect();
+        assert!(!defined.is_empty());
+        for v in defined {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn macd_positive_in_uptrend() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.05).exp()).collect();
+        let out = macd(&values, 12, 26, 9);
+        assert!(out.macd[99] > 0.0);
+        assert!(!out.signal[99].is_nan());
+        assert!((out.histogram[99] - (out.macd[99] - out.signal[99])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stochastic_bounds_and_flat_case() {
+        let high: Vec<f64> = (0..40).map(|i| 10.0 + ((i * 7) % 5) as f64).collect();
+        let low: Vec<f64> = high.iter().map(|h| h - 2.0).collect();
+        let close: Vec<f64> = high.iter().map(|h| h - 1.0).collect();
+        let out = stochastic(&high, &low, &close, 14, 3);
+        for v in out.k.iter().filter(|v| !v.is_nan()) {
+            assert!((0.0..=100.0).contains(v));
+        }
+        // Degenerate flat market: %K pinned to 50.
+        let flat = stochastic(&[5.0; 20], &[5.0; 20], &[5.0; 20], 14, 3);
+        assert_eq!(flat.k[19], 50.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Moving averages: simple, exponential and weighted.
+
+/// Simple moving average over `window` trailing samples. The first
+/// `window - 1` outputs are `NaN`.
+pub fn sma(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be >= 1");
+    let n = values.len();
+    let mut out = vec![f64::NAN; n];
+    if n < window {
+        return out;
+    }
+    let mut sum: f64 = values[..window].iter().sum();
+    out[window - 1] = sum / window as f64;
+    for t in window..n {
+        sum += values[t] - values[t - window];
+        out[t] = sum / window as f64;
+    }
+    out
+}
+
+/// Exponential moving average with span `window`
+/// (`alpha = 2 / (window + 1)`), seeded with the SMA of the first window —
+/// the convention most charting platforms use. The first `window - 1`
+/// outputs are `NaN`.
+pub fn ema(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be >= 1");
+    let n = values.len();
+    let mut out = vec![f64::NAN; n];
+    if n < window {
+        return out;
+    }
+    let alpha = 2.0 / (window as f64 + 1.0);
+    let seed: f64 = values[..window].iter().sum::<f64>() / window as f64;
+    out[window - 1] = seed;
+    let mut prev = seed;
+    for t in window..n {
+        prev = alpha * values[t] + (1.0 - alpha) * prev;
+        out[t] = prev;
+    }
+    out
+}
+
+/// Linearly weighted moving average: the most recent sample gets weight
+/// `window`, the oldest weight 1.
+pub fn wma(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be >= 1");
+    let n = values.len();
+    let mut out = vec![f64::NAN; n];
+    let denom = (window * (window + 1)) as f64 / 2.0;
+    for t in (window - 1)..n {
+        let mut acc = 0.0;
+        for k in 0..window {
+            acc += values[t - k] * (window - k) as f64;
+        }
+        out[t] = acc / denom;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sma_basic() {
+        let out = sma(&[1.0, 2.0, 3.0, 4.0, 5.0], 3);
+        assert!(out[0].is_nan() && out[1].is_nan());
+        assert_eq!(&out[2..], &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sma_window_one_is_identity() {
+        let v = [3.0, 1.0, 4.0];
+        assert_eq!(sma(&v, 1), v.to_vec());
+    }
+
+    #[test]
+    fn sma_window_longer_than_input_is_all_nan() {
+        assert!(sma(&[1.0, 2.0], 5).iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn ema_constant_input_stays_constant() {
+        let out = ema(&[7.0; 10], 4);
+        for v in &out[3..] {
+            assert!((v - 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ema_tracks_trend_with_lag() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let out = ema(&values, 10);
+        // EMA of a ramp lags below the current value but rises.
+        assert!(out[49] < 49.0);
+        assert!(out[49] > out[30]);
+    }
+
+    #[test]
+    fn ema_seed_is_initial_sma() {
+        let values = [2.0, 4.0, 6.0, 100.0];
+        let out = ema(&values, 3);
+        assert_eq!(out[2], 4.0);
+    }
+
+    #[test]
+    fn ema_bounded_by_input_range() {
+        let values: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64).collect();
+        let out = ema(&values, 5);
+        for v in out.iter().filter(|v| !v.is_nan()) {
+            assert!((0.0..=10.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn wma_weights_recent_more() {
+        // Rising series: WMA > SMA.
+        let values: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let w = wma(&values, 5);
+        let s = sma(&values, 5);
+        assert!(w[19] > s[19]);
+        // Hand check: wma([1,2,3], 3) = (1*1 + 2*2 + 3*3)/6 = 14/6.
+        let out = wma(&[1.0, 2.0, 3.0], 3);
+        assert!((out[2] - 14.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 1")]
+    fn zero_window_panics() {
+        sma(&[1.0], 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! The paper's full Technical Indicators category as one frame.
+//!
+//! Names reproduce the paper's (slightly inconsistent) conventions from
+//! Tables 3–4: exponential averages are `EMA{w}_{variable}` while simple
+//! averages are `SMA_{w}_{variable}`, with variables `close-price`,
+//! `market-cap` and `volume`.
+//!
+//! The category is deliberately split between *level-tracking* moving
+//! averages (strong at every horizon because the target is a future price
+//! level) and *stationary oscillators* (RSI, ROC, stochastic, bandwidth,
+//! volatility) that only inform short-horizon moves — which is why the
+//! paper sees the category's contribution fade on long windows.
+
+use c100_timeseries::{Date, Frame, Series};
+
+use crate::momentum::{macd, momentum, roc, rsi, stochastic};
+use crate::moving::{ema, sma, wma};
+use crate::volatility::{atr, bollinger, rolling_std};
+use crate::volume::{cmf, obv, volume_ratio};
+
+/// EMA spans computed for close price and market cap (the windows seen in
+/// the paper's tables).
+pub const EMA_WINDOWS: [usize; 8] = [5, 10, 14, 20, 30, 50, 100, 200];
+/// EMA spans computed for volume (Table 4 lists EMA10/100/200_volume).
+pub const EMA_VOLUME_WINDOWS: [usize; 3] = [10, 100, 200];
+/// SMA windows for close price and market cap.
+pub const SMA_WINDOWS: [usize; 5] = [5, 10, 20, 30, 50];
+/// SMA windows for volume.
+pub const SMA_VOLUME_WINDOWS: [usize; 2] = [10, 50];
+
+/// Raw BTC market inputs the technical suite is computed from.
+#[derive(Debug, Clone)]
+pub struct TechnicalInputs {
+    /// First day of all slices.
+    pub start: Date,
+    /// Daily close price.
+    pub close: Vec<f64>,
+    /// Daily high.
+    pub high: Vec<f64>,
+    /// Daily low.
+    pub low: Vec<f64>,
+    /// Daily traded volume.
+    pub volume: Vec<f64>,
+    /// Daily market capitalization.
+    pub market_cap: Vec<f64>,
+}
+
+impl TechnicalInputs {
+    fn check(&self) -> Result<(), String> {
+        let n = self.close.len();
+        if n == 0 {
+            return Err("empty inputs".into());
+        }
+        for (name, v) in [
+            ("high", &self.high),
+            ("low", &self.low),
+            ("volume", &self.volume),
+            ("market_cap", &self.market_cap),
+        ] {
+            if v.len() != n {
+                return Err(format!("{name} has {} samples, close has {n}", v.len()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the complete technical category. The returned frame has one
+/// column per indicator; warm-up prefixes are `NaN`.
+pub fn technical_suite(inputs: &TechnicalInputs) -> Result<Frame, String> {
+    inputs.check()?;
+    let n = inputs.close.len();
+    let mut frame = Frame::with_daily_index(inputs.start, n);
+    let push = |frame: &mut Frame, name: String, values: Vec<f64>| {
+        frame
+            .push_column(Series::new(name, values))
+            .expect("suite names are unique and lengths match");
+    };
+
+    // --- Level-tracking moving averages -----------------------------------
+    for (var_name, values) in [
+        ("close-price", &inputs.close),
+        ("market-cap", &inputs.market_cap),
+    ] {
+        for w in EMA_WINDOWS {
+            push(&mut frame, format!("EMA{w}_{var_name}"), ema(values, w));
+        }
+        for w in SMA_WINDOWS {
+            push(&mut frame, format!("SMA_{w}_{var_name}"), sma(values, w));
+        }
+    }
+    for w in EMA_VOLUME_WINDOWS {
+        push(&mut frame, format!("EMA{w}_volume"), ema(&inputs.volume, w));
+    }
+    for w in SMA_VOLUME_WINDOWS {
+        push(&mut frame, format!("SMA_{w}_volume"), sma(&inputs.volume, w));
+    }
+    push(&mut frame, "WMA10_close-price".into(), wma(&inputs.close, 10));
+    push(&mut frame, "WMA50_close-price".into(), wma(&inputs.close, 50));
+
+    // --- Stationary oscillators -------------------------------------------
+    for period in [7, 14, 28] {
+        push(&mut frame, format!("RSI{period}"), rsi(&inputs.close, period));
+    }
+    for period in [1, 5, 10, 20, 60] {
+        push(&mut frame, format!("ROC{period}"), roc(&inputs.close, period));
+    }
+    for period in [10, 30] {
+        push(
+            &mut frame,
+            format!("momentum{period}"),
+            momentum(&inputs.close, period),
+        );
+    }
+
+    let m = macd(&inputs.close, 12, 26, 9);
+    push(&mut frame, "MACD".into(), m.macd);
+    push(&mut frame, "MACD_signal".into(), m.signal);
+    push(&mut frame, "MACD_hist".into(), m.histogram);
+
+    let bb = bollinger(&inputs.close, 20, 2.0);
+    push(&mut frame, "BB_upper".into(), bb.upper);
+    push(&mut frame, "BB_lower".into(), bb.lower);
+    push(&mut frame, "BB_width".into(), bb.width);
+    push(&mut frame, "BB_pctB".into(), bb.percent_b);
+
+    for period in [14, 28] {
+        push(
+            &mut frame,
+            format!("ATR{period}"),
+            atr(&inputs.high, &inputs.low, &inputs.close, period),
+        );
+    }
+
+    let st = stochastic(&inputs.high, &inputs.low, &inputs.close, 14, 3);
+    push(&mut frame, "STOCH_K".into(), st.k);
+    push(&mut frame, "STOCH_D".into(), st.d);
+
+    push(&mut frame, "OBV".into(), obv(&inputs.close, &inputs.volume));
+    for period in [10, 20, 60] {
+        push(
+            &mut frame,
+            format!("volume_ratio{period}"),
+            volume_ratio(&inputs.volume, period),
+        );
+    }
+    for period in [20, 60] {
+        push(
+            &mut frame,
+            format!("CMF{period}"),
+            cmf(&inputs.high, &inputs.low, &inputs.close, &inputs.volume, period),
+        );
+    }
+
+    // Realized volatility of daily returns (stationary).
+    let returns: Vec<f64> = std::iter::once(f64::NAN)
+        .chain(
+            inputs
+                .close
+                .windows(2)
+                .map(|w| if w[0] > 0.0 { w[1] / w[0] - 1.0 } else { f64::NAN }),
+        )
+        .collect();
+    for period in [20, 60] {
+        let mut vol = rolling_std(&returns[1..], period);
+        vol.insert(0, f64::NAN);
+        push(&mut frame, format!("volatility{period}"), vol);
+    }
+
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: usize) -> TechnicalInputs {
+        let close: Vec<f64> = (0..n)
+            .map(|i| 100.0 + (i as f64 * 0.13).sin() * 10.0 + i as f64 * 0.05)
+            .collect();
+        TechnicalInputs {
+            start: Date::from_ymd(2017, 1, 1).unwrap(),
+            high: close.iter().map(|c| c + 2.0).collect(),
+            low: close.iter().map(|c| c - 2.0).collect(),
+            volume: (0..n).map(|i| 1000.0 + ((i * 31) % 97) as f64).collect(),
+            market_cap: close.iter().map(|c| c * 1.9e7).collect(),
+            close,
+        }
+    }
+
+    #[test]
+    fn suite_produces_expected_columns() {
+        let frame = technical_suite(&inputs(300)).unwrap();
+        // 2 vars × (8 EMA + 5 SMA) + 3 vol EMA + 2 vol SMA + 2 WMA = 33 MAs,
+        // plus 29 oscillators.
+        assert_eq!(frame.width(), 62);
+        for name in [
+            "EMA100_market-cap",
+            "EMA200_close-price",
+            "EMA5_market-cap",
+            "EMA14_close-price",
+            "SMA_20_close-price",
+            "SMA_10_market-cap",
+            "SMA_50_volume",
+            "EMA200_volume",
+            "EMA100_volume",
+            "RSI14",
+            "MACD_hist",
+            "volatility20",
+            "ROC60",
+        ] {
+            assert!(frame.has_column(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn oscillator_majority_is_stationary() {
+        // Roughly half the suite must be oscillators (names without the
+        // moving-average prefixes) so the category can fade on long
+        // windows, as the paper observes.
+        let frame = technical_suite(&inputs(300)).unwrap();
+        let oscillators = frame
+            .column_names()
+            .iter()
+            .filter(|n| {
+                !n.starts_with("EMA") && !n.starts_with("SMA_") && !n.starts_with("WMA")
+            })
+            .count();
+        assert!(
+            oscillators * 2 >= frame.width() - 8,
+            "{oscillators} oscillators of {}",
+            frame.width()
+        );
+    }
+
+    #[test]
+    fn warmups_are_nan_then_defined() {
+        let frame = technical_suite(&inputs(300)).unwrap();
+        let ema200 = frame.column("EMA200_close-price").unwrap();
+        assert!(ema200.values()[198].is_nan());
+        assert!(!ema200.values()[199].is_nan());
+        assert_eq!(ema200.first_present(), Some(199));
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let mut bad = inputs(50);
+        bad.volume.pop();
+        assert!(technical_suite(&bad).is_err());
+        let empty = TechnicalInputs {
+            start: Date::from_ymd(2017, 1, 1).unwrap(),
+            close: vec![],
+            high: vec![],
+            low: vec![],
+            volume: vec![],
+            market_cap: vec![],
+        };
+        assert!(technical_suite(&empty).is_err());
+    }
+
+    #[test]
+    fn suite_values_are_finite_after_warmup() {
+        let frame = technical_suite(&inputs(400)).unwrap();
+        for col in frame.columns() {
+            let first = col.first_present().unwrap_or_else(|| panic!("{} all NaN", col.name()));
+            for (t, v) in col.values().iter().enumerate().skip(first) {
+                assert!(
+                    v.is_finite() || v.is_nan(),
+                    "{} at {t} is {v}",
+                    col.name()
+                );
+            }
+            // No column should be entirely NaN on 400 days of data.
+            assert!(first < 250, "{} first present at {first}", col.name());
+        }
+    }
+}

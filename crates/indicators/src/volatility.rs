@@ -1,0 +1,159 @@
+//! Volatility indicators: Bollinger Bands, ATR, rolling standard deviation.
+
+use crate::moving::sma;
+
+/// Rolling population standard deviation over `window` trailing samples.
+pub fn rolling_std(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be >= 1");
+    crate::with_warmup(values.len(), window - 1, |t| {
+        let slice = &values[t + 1 - window..=t];
+        let mean = slice.iter().sum::<f64>() / window as f64;
+        let var = slice.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / window as f64;
+        var.sqrt()
+    })
+}
+
+/// Bollinger Bands: middle SMA, upper/lower at ±k standard deviations,
+/// plus bandwidth and %B position.
+#[derive(Debug, Clone)]
+pub struct Bollinger {
+    /// Middle band (SMA).
+    pub middle: Vec<f64>,
+    /// Upper band.
+    pub upper: Vec<f64>,
+    /// Lower band.
+    pub lower: Vec<f64>,
+    /// Bandwidth `(upper - lower) / middle`.
+    pub width: Vec<f64>,
+    /// %B: position of the value within the bands (0 = lower, 1 = upper).
+    pub percent_b: Vec<f64>,
+}
+
+/// Bollinger Bands with window `window` and multiplier `k` (typically 20, 2).
+pub fn bollinger(values: &[f64], window: usize, k: f64) -> Bollinger {
+    let middle = sma(values, window);
+    let sd = rolling_std(values, window);
+    let n = values.len();
+    let mut upper = vec![f64::NAN; n];
+    let mut lower = vec![f64::NAN; n];
+    let mut width = vec![f64::NAN; n];
+    let mut percent_b = vec![f64::NAN; n];
+    for t in 0..n {
+        if middle[t].is_nan() || sd[t].is_nan() {
+            continue;
+        }
+        upper[t] = middle[t] + k * sd[t];
+        lower[t] = middle[t] - k * sd[t];
+        if middle[t] != 0.0 {
+            width[t] = (upper[t] - lower[t]) / middle[t];
+        }
+        let span = upper[t] - lower[t];
+        if span > 0.0 {
+            percent_b[t] = (values[t] - lower[t]) / span;
+        } else {
+            percent_b[t] = 0.5;
+        }
+    }
+    Bollinger {
+        middle,
+        upper,
+        lower,
+        width,
+        percent_b,
+    }
+}
+
+/// Average True Range over `period` days with Wilder's smoothing.
+pub fn atr(high: &[f64], low: &[f64], close: &[f64], period: usize) -> Vec<f64> {
+    assert_eq!(high.len(), low.len());
+    assert_eq!(high.len(), close.len());
+    assert!(period >= 1, "period must be >= 1");
+    let n = close.len();
+    let mut out = vec![f64::NAN; n];
+    if n <= period {
+        return out;
+    }
+    let true_range = |t: usize| -> f64 {
+        let hl = high[t] - low[t];
+        if t == 0 {
+            hl
+        } else {
+            hl.max((high[t] - close[t - 1]).abs())
+                .max((low[t] - close[t - 1]).abs())
+        }
+    };
+    let mut acc = 0.0;
+    for t in 1..=period {
+        acc += true_range(t);
+    }
+    let mut prev = acc / period as f64;
+    out[period] = prev;
+    for t in (period + 1)..n {
+        prev = (prev * (period - 1) as f64 + true_range(t)) / period as f64;
+        out[t] = prev;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_std_constant_is_zero() {
+        let out = rolling_std(&[4.0; 10], 5);
+        for v in out.iter().filter(|v| !v.is_nan()) {
+            assert_eq!(*v, 0.0);
+        }
+    }
+
+    #[test]
+    fn rolling_std_known_value() {
+        // Window [2,4,4,4,5,5,7,9] has population std 2.
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let out = rolling_std(&values, 8);
+        assert!((out[7] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bollinger_bands_bracket_the_series() {
+        let values: Vec<f64> = (0..60).map(|i| 100.0 + (i as f64 * 0.7).sin() * 5.0).collect();
+        let bb = bollinger(&values, 20, 2.0);
+        for t in 19..60 {
+            assert!(bb.upper[t] >= bb.middle[t]);
+            assert!(bb.lower[t] <= bb.middle[t]);
+            assert!(bb.width[t] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bollinger_percent_b_flat_market() {
+        let bb = bollinger(&[10.0; 30], 20, 2.0);
+        assert_eq!(bb.percent_b[25], 0.5);
+        assert_eq!(bb.width[25], 0.0);
+    }
+
+    #[test]
+    fn atr_constant_range() {
+        // Every day: high-low = 2, no gaps. ATR must converge to 2.
+        let high = vec![11.0; 40];
+        let low = vec![9.0; 40];
+        let close = vec![10.0; 40];
+        let out = atr(&high, &low, &close, 14);
+        assert!((out[39] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atr_captures_gaps() {
+        // A gap up beyond the daily range widens the true range.
+        let mut high = vec![11.0; 30];
+        let mut low = vec![9.0; 30];
+        let mut close = vec![10.0; 30];
+        high[20] = 31.0;
+        low[20] = 29.0;
+        close[20] = 30.0;
+        let with_gap = atr(&high, &low, &close, 14);
+        let without = atr(&vec![11.0; 30], &vec![9.0; 30], &vec![10.0; 30], 14);
+        assert!(with_gap[21] > without[21]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Volume-based indicators: OBV, volume ratio, Chaikin money flow.
+
+/// On-Balance Volume: cumulative volume signed by the close-to-close move.
+pub fn obv(close: &[f64], volume: &[f64]) -> Vec<f64> {
+    assert_eq!(close.len(), volume.len());
+    let n = close.len();
+    let mut out = vec![f64::NAN; n];
+    if n == 0 {
+        return out;
+    }
+    out[0] = 0.0;
+    for t in 1..n {
+        let delta = if close[t] > close[t - 1] {
+            volume[t]
+        } else if close[t] < close[t - 1] {
+            -volume[t]
+        } else {
+            0.0
+        };
+        out[t] = out[t - 1] + delta;
+    }
+    out
+}
+
+/// Ratio of today's volume to its trailing `window`-day mean.
+pub fn volume_ratio(volume: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be >= 1");
+    let means = crate::moving::sma(volume, window);
+    volume
+        .iter()
+        .zip(&means)
+        .map(|(&v, &m)| if m.is_nan() || m == 0.0 { f64::NAN } else { v / m })
+        .collect()
+}
+
+/// Chaikin Money Flow over `window` days.
+pub fn cmf(high: &[f64], low: &[f64], close: &[f64], volume: &[f64], window: usize) -> Vec<f64> {
+    assert_eq!(high.len(), low.len());
+    assert_eq!(high.len(), close.len());
+    assert_eq!(high.len(), volume.len());
+    assert!(window >= 1, "window must be >= 1");
+    let n = close.len();
+    let mfv: Vec<f64> = (0..n)
+        .map(|t| {
+            let span = high[t] - low[t];
+            if span <= 0.0 {
+                0.0
+            } else {
+                ((close[t] - low[t]) - (high[t] - close[t])) / span * volume[t]
+            }
+        })
+        .collect();
+    crate::with_warmup(n, window - 1, |t| {
+        let mfv_sum: f64 = mfv[t + 1 - window..=t].iter().sum();
+        let vol_sum: f64 = volume[t + 1 - window..=t].iter().sum();
+        if vol_sum == 0.0 {
+            0.0
+        } else {
+            mfv_sum / vol_sum
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obv_accumulates_signed_volume() {
+        let close = [1.0, 2.0, 1.5, 1.5, 3.0];
+        let volume = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let out = obv(&close, &volume);
+        assert_eq!(out, vec![0.0, 20.0, -10.0, -10.0, 40.0]);
+    }
+
+    #[test]
+    fn volume_ratio_centered_on_one_for_flat_volume() {
+        let out = volume_ratio(&[100.0; 20], 5);
+        for v in out.iter().filter(|v| !v.is_nan()) {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cmf_bounds() {
+        // Close pinned at the high → CMF = +1; at the low → −1.
+        let high = vec![10.0; 30];
+        let low = vec![8.0; 30];
+        let volume = vec![100.0; 30];
+        let at_high = cmf(&high, &low, &high, &volume, 10);
+        assert!((at_high[29] - 1.0).abs() < 1e-12);
+        let at_low = cmf(&high, &low, &low, &volume, 10);
+        assert!((at_low[29] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmf_zero_span_days_contribute_zero() {
+        let high = vec![10.0; 15];
+        let low = vec![10.0; 15];
+        let close = vec![10.0; 15];
+        let volume = vec![100.0; 15];
+        let out = cmf(&high, &low, &close, &volume, 10);
+        assert_eq!(out[14], 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the technical indicators.
+
+use c100_indicators::momentum::{macd, roc, rsi, stochastic};
+use c100_indicators::moving::{ema, sma, wma};
+use c100_indicators::volatility::{atr, bollinger, rolling_std};
+use c100_indicators::volume::{obv, volume_ratio};
+use proptest::prelude::*;
+
+fn prices(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0f64..10_000.0, 5..max_len)
+}
+
+proptest! {
+    #[test]
+    fn moving_averages_stay_within_input_range(values in prices(120), w in 1usize..30) {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for out in [sma(&values, w), ema(&values, w), wma(&values, w)] {
+            for v in out.iter().filter(|v| !v.is_nan()) {
+                prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sma_warmup_length_is_exact(values in prices(120), w in 1usize..30) {
+        let out = sma(&values, w);
+        for (t, v) in out.iter().enumerate() {
+            if t + 1 < w.min(values.len() + 1) {
+                prop_assert!(v.is_nan(), "t={t} should be warm-up");
+            } else if t + 1 >= w {
+                prop_assert!(!v.is_nan(), "t={t} should be defined");
+            }
+        }
+    }
+
+    #[test]
+    fn rsi_is_bounded(values in prices(150), period in 2usize..30) {
+        for v in rsi(&values, period).iter().filter(|v| !v.is_nan()) {
+            prop_assert!(*v >= 0.0 && *v <= 100.0);
+        }
+    }
+
+    #[test]
+    fn stochastic_is_bounded(values in prices(100), period in 2usize..20) {
+        let high: Vec<f64> = values.iter().map(|v| v * 1.01).collect();
+        let low: Vec<f64> = values.iter().map(|v| v * 0.99).collect();
+        let out = stochastic(&high, &low, &values, period, 3);
+        for v in out.k.iter().chain(&out.d).filter(|v| !v.is_nan()) {
+            prop_assert!(*v >= -1e-9 && *v <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bollinger_brackets_middle(values in prices(100), w in 2usize..25) {
+        let bb = bollinger(&values, w, 2.0);
+        for t in 0..values.len() {
+            if !bb.middle[t].is_nan() {
+                prop_assert!(bb.upper[t] >= bb.middle[t] - 1e-9);
+                prop_assert!(bb.lower[t] <= bb.middle[t] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_std_is_nonnegative(values in prices(100), w in 1usize..25) {
+        for v in rolling_std(&values, w).iter().filter(|v| !v.is_nan()) {
+            prop_assert!(*v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn atr_is_nonnegative(values in prices(80), period in 1usize..20) {
+        let high: Vec<f64> = values.iter().map(|v| v * 1.02).collect();
+        let low: Vec<f64> = values.iter().map(|v| v * 0.98).collect();
+        for v in atr(&high, &low, &values, period).iter().filter(|v| !v.is_nan()) {
+            prop_assert!(*v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn roc_of_constant_is_zero(level in 1.0f64..1000.0, n in 5usize..60, period in 1usize..10) {
+        let values = vec![level; n];
+        for v in roc(&values, period).iter().filter(|v| !v.is_nan()) {
+            prop_assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn macd_histogram_is_line_minus_signal(values in prices(150)) {
+        let out = macd(&values, 12, 26, 9);
+        for t in 0..values.len() {
+            if !out.histogram[t].is_nan() {
+                prop_assert!((out.histogram[t] - (out.macd[t] - out.signal[t])).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn obv_changes_by_at_most_daily_volume(values in prices(80)) {
+        let volume: Vec<f64> = values.iter().map(|v| v * 10.0).collect();
+        let out = obv(&values, &volume);
+        for t in 1..values.len() {
+            let delta = (out[t] - out[t - 1]).abs();
+            prop_assert!(delta <= volume[t] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn volume_ratio_is_positive(values in prices(80), w in 1usize..20) {
+        for v in volume_ratio(&values, w).iter().filter(|v| !v.is_nan()) {
+            prop_assert!(*v > 0.0);
+        }
+    }
+}

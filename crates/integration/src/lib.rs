@@ -1,0 +1,22 @@
+//! Integration-test host crate. The tests in `tests/` exercise the full
+//! stack — synthesizer → dataset assembly → scenario preprocessing → FRA /
+//! SHAP / diversity experiments — across crate boundaries. The library
+//! itself only provides shared fixtures.
+
+use c100_synth::{generate, MarketData, SynthConfig};
+
+/// A small but fully featured market fixture shared by the tests: short
+/// 2019-2020 span, reduced universe.
+pub fn small_market(seed: u64) -> MarketData {
+    generate(&SynthConfig::small(seed))
+}
+
+/// A 2017-2023 span fixture with a reduced universe, for tests that need
+/// both scenario periods (USDC present in 2019 set only).
+pub fn full_span_market(seed: u64) -> MarketData {
+    generate(&SynthConfig {
+        seed,
+        n_assets: 120,
+        ..SynthConfig::default()
+    })
+}

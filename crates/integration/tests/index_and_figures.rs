@@ -1,0 +1,76 @@
+//! Integration tests for the Crypto100 index and the figure-producing
+//! paths (Figures 1 and 2), including CSV round-trips of the exports.
+
+use c100_core::experiments::{figure1, figure2};
+use c100_core::index::{Crypto100Builder, DEFAULT_POWER};
+use c100_integration::{full_span_market, small_market};
+use c100_timeseries::csv;
+
+#[test]
+fn crypto100_tracks_the_market() {
+    let data = small_market(401);
+    let index = Crypto100Builder::default().build(&data.universe);
+    // The index must be strongly correlated with its own cap base and BTC.
+    let corr_btc = c100_timeseries::stats::pearson(index.values(), &data.btc.close);
+    assert!(corr_btc > 0.9, "index vs BTC corr {corr_btc}");
+    assert!(index.values().iter().all(|v| *v > 0.0));
+    assert_eq!(index.len(), data.universe.n_days());
+}
+
+#[test]
+fn default_power_matches_paper() {
+    assert_eq!(DEFAULT_POWER, 7.0);
+}
+
+#[test]
+fn figure1_export_round_trips() {
+    let data = small_market(402);
+    let frame = figure1(&data).unwrap();
+    let dir = std::env::temp_dir().join("c100_fig1_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig1.csv");
+    csv::write_frame_to_path(&frame, &path).unwrap();
+    let parsed = csv::read_frame_from_path(&path).unwrap();
+    assert_eq!(parsed.len(), frame.len());
+    assert_eq!(
+        parsed.column("top100_cap").unwrap().values(),
+        frame.column("top100_cap").unwrap().values()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure2_power_ordering_holds_on_full_span() {
+    // Over the full 2017-2023 span with realistic cap magnitudes the mean
+    // index/BTC ratio must be ordered p6 > p7 > p8 and p7 nearest to 1 —
+    // the tuning argument of the paper's Figure 2.
+    let data = full_span_market(403);
+    let (_, comparisons) = figure2(&data).unwrap();
+    assert_eq!(comparisons.len(), 3);
+    let ratio = |p: f64| {
+        comparisons
+            .iter()
+            .find(|c| c.power == p)
+            .map(|c| c.mean_ratio_to_btc)
+            .unwrap()
+    };
+    assert!(ratio(6.0) > ratio(7.0));
+    assert!(ratio(7.0) > ratio(8.0));
+    let log_distance = |p: f64| ratio(p).log10().abs();
+    assert!(log_distance(7.0) < log_distance(6.0));
+    assert!(log_distance(7.0) < log_distance(8.0));
+}
+
+#[test]
+fn index_is_continuous_despite_top100_churn() {
+    // The scaling factor must keep daily index moves in the same ballpark
+    // as BTC's daily moves (no jumps when the membership changes).
+    let data = full_span_market(404);
+    let index = Crypto100Builder::default().build(&data.universe);
+    let values = index.values();
+    let max_move = values
+        .windows(2)
+        .map(|w| (w[1] / w[0]).ln().abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_move < 0.5, "index jumped {max_move} in one day");
+}

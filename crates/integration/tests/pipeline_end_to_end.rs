@@ -1,0 +1,124 @@
+//! End-to-end pipeline tests across all crates.
+
+use c100_core::dataset::assemble;
+use c100_core::pipeline::{run_scenario_on, ScenarioSpec};
+use c100_core::profile::Profile;
+use c100_core::scenario::{build_scenario, Period};
+use c100_core::{CRYPTO100, TARGET};
+use c100_integration::{full_span_market, small_market};
+use c100_synth::DataCategory;
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let data = small_market(201);
+    let master = assemble(&data).unwrap();
+    let spec = ScenarioSpec {
+        period: Period::Y2019,
+        window: 7,
+    };
+    let a = run_scenario_on(&master, &spec, &Profile::fast()).unwrap();
+    let b = run_scenario_on(&master, &spec, &Profile::fast()).unwrap();
+    assert_eq!(a.final_features, b.final_features);
+    assert_eq!(a.fra.surviving, b.fra.surviving);
+    assert_eq!(a.shap_overlap, b.shap_overlap);
+}
+
+#[test]
+fn target_is_exactly_the_future_index() {
+    let data = small_market(202);
+    let master = assemble(&data).unwrap();
+    let window = 30;
+    let scenario = build_scenario(&master, Period::Y2019, window).unwrap();
+    let index = scenario.frame.column(CRYPTO100).unwrap().values();
+    let target = scenario.frame.column(TARGET).unwrap().values();
+    for t in 0..index.len() - window {
+        assert_eq!(target[t], index[t + window], "row {t}");
+    }
+    for t in index.len() - window..index.len() {
+        assert!(target[t].is_nan(), "future beyond data must be missing");
+    }
+}
+
+#[test]
+fn no_feature_leaks_the_target() {
+    // Pearson correlation of any *feature* with the future target must be
+    // strictly below 1 — a correlation of ~1.0 would mean the target
+    // leaked into the feature matrix.
+    let data = small_market(203);
+    let master = assemble(&data).unwrap();
+    let scenario = build_scenario(&master, Period::Y2019, 30).unwrap();
+    let target = scenario.frame.column(TARGET).unwrap().values().to_vec();
+    for name in &scenario.feature_names {
+        let col = scenario.frame.column(name).unwrap().values();
+        let corr = c100_timeseries::stats::pearson(col, &target).abs();
+        assert!(corr < 0.999, "{name} correlates {corr} with the future target");
+    }
+}
+
+#[test]
+fn scenario_counts_match_paper_structure() {
+    let data = full_span_market(204);
+    let master = assemble(&data).unwrap();
+    let s2017 = build_scenario(&master, Period::Y2017, 1).unwrap();
+    let s2019 = build_scenario(&master, Period::Y2019, 1).unwrap();
+
+    // 2019 has more candidates (USDC + late sentiment), as in the paper
+    // (192 vs 283).
+    assert!(
+        s2019.feature_names.len() >= s2017.feature_names.len() + 60,
+        "2017: {}, 2019: {}",
+        s2017.feature_names.len(),
+        s2019.feature_names.len()
+    );
+    // The paper's counts are 192/283; ours should be in that region.
+    assert!((150..=260).contains(&s2017.feature_names.len()), "{}", s2017.feature_names.len());
+    assert!((230..=340).contains(&s2019.feature_names.len()), "{}", s2019.feature_names.len());
+
+    // USDC only exists in the 2019 set.
+    assert!(s2017.features_of(DataCategory::OnChainUsdc).is_empty());
+    assert!(!s2019.features_of(DataCategory::OnChainUsdc).is_empty());
+}
+
+#[test]
+fn every_category_survives_into_both_scenario_sets() {
+    let data = full_span_market(205);
+    let master = assemble(&data).unwrap();
+    let s2019 = build_scenario(&master, Period::Y2019, 7).unwrap();
+    for cat in DataCategory::ALL {
+        assert!(
+            !s2019.features_of(cat).is_empty(),
+            "{cat} vanished from the 2019 set"
+        );
+    }
+    let s2017 = build_scenario(&master, Period::Y2017, 7).unwrap();
+    for cat in DataCategory::ALL {
+        if cat == DataCategory::OnChainUsdc {
+            continue;
+        }
+        assert!(
+            !s2017.features_of(cat).is_empty(),
+            "{cat} vanished from the 2017 set"
+        );
+    }
+}
+
+#[test]
+fn final_vector_mixes_categories() {
+    // The headline claim: the selected feature vector is *diverse*.
+    let data = small_market(206);
+    let master = assemble(&data).unwrap();
+    let spec = ScenarioSpec {
+        period: Period::Y2019,
+        window: 30,
+    };
+    let result = run_scenario_on(&master, &spec, &Profile::fast()).unwrap();
+    let categories: std::collections::HashSet<_> = result
+        .final_features
+        .iter()
+        .filter_map(|f| result.scenario.categories.get(f))
+        .collect();
+    assert!(
+        categories.len() >= 4,
+        "final vector covers only {categories:?}"
+    );
+}

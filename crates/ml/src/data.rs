@@ -1,0 +1,177 @@
+//! Dense row-major design matrix used by every model in this crate.
+
+use crate::{MlError, Result};
+
+/// A dense, row-major matrix of feature values.
+///
+/// Row-major keeps a single sample contiguous, which is what both tree
+/// traversal and prediction want; split finding gathers one feature column
+/// into a scratch buffer per node instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n_features: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Builds a matrix from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(MlError::BadInput("no rows".into()));
+        }
+        let n_features = rows[0].len();
+        if n_features == 0 {
+            return Err(MlError::BadInput("zero-width rows".into()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * n_features);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n_features {
+                return Err(MlError::BadInput(format!(
+                    "row {i} has {} values, expected {n_features}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { n_features, data })
+    }
+
+    /// Builds a matrix from an existing row-major buffer.
+    pub fn from_row_major(data: Vec<f64>, n_features: usize) -> Result<Self> {
+        if n_features == 0 || data.is_empty() || data.len() % n_features != 0 {
+            return Err(MlError::BadInput(format!(
+                "buffer of {} values is not a multiple of {n_features} features",
+                data.len()
+            )));
+        }
+        Ok(Matrix { n_features, data })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.data.len() / self.n_features
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// One sample row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.n_features..(r + 1) * self.n_features]
+    }
+
+    /// Value at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n_features + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n_features + col] = value;
+    }
+
+    /// Copies feature column `col` into `out` (resized to fit).
+    pub fn gather_column(&self, col: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.n_rows()).map(|r| self.get(r, col)));
+    }
+
+    /// Builds a new matrix from the given subset of row indices.
+    pub fn take_rows(&self, rows: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(rows.len() * self.n_features);
+        for &r in rows {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix {
+            n_features: self.n_features,
+            data,
+        }
+    }
+
+    /// Builds a new matrix keeping only the given feature columns, in order.
+    pub fn take_columns(&self, cols: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(self.n_rows() * cols.len());
+        for r in 0..self.n_rows() {
+            let row = self.row(r);
+            data.extend(cols.iter().map(|&c| row[c]));
+        }
+        Matrix {
+            n_features: cols.len(),
+            data,
+        }
+    }
+}
+
+/// Validates that `x` and `y` agree and are non-trivial for fitting.
+pub fn check_fit_input(x: &Matrix, y: &[f64]) -> Result<()> {
+    if x.n_rows() != y.len() {
+        return Err(MlError::BadInput(format!(
+            "{} rows but {} targets",
+            x.n_rows(),
+            y.len()
+        )));
+    }
+    if y.is_empty() {
+        return Err(MlError::BadInput("empty training set".into()));
+    }
+    if y.iter().any(|v| v.is_nan()) || (0..x.n_rows()).any(|r| x.row(r).iter().any(|v| v.is_nan()))
+    {
+        return Err(MlError::BadInput("NaN in training data".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![]]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_features(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_row_major_validates_multiple() {
+        assert!(Matrix::from_row_major(vec![1.0, 2.0, 3.0], 2).is_err());
+        assert!(Matrix::from_row_major(vec![], 2).is_err());
+        let m = Matrix::from_row_major(vec![1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_column_extracts_strided_values() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap();
+        let mut col = Vec::new();
+        m.gather_column(1, &mut col);
+        assert_eq!(col, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn take_rows_and_columns() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]])
+            .unwrap();
+        let sub = m.take_rows(&[2, 0]);
+        assert_eq!(sub.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(sub.row(1), &[1.0, 2.0, 3.0]);
+        let cols = m.take_columns(&[2, 0]);
+        assert_eq!(cols.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn check_fit_input_catches_nan_and_mismatch() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(check_fit_input(&m, &[1.0]).is_err());
+        assert!(check_fit_input(&m, &[1.0, f64::NAN]).is_err());
+        let bad = Matrix::from_rows(&[vec![f64::NAN], vec![2.0]]).unwrap();
+        assert!(check_fit_input(&bad, &[1.0, 2.0]).is_err());
+        assert!(check_fit_input(&m, &[1.0, 2.0]).is_ok());
+    }
+}

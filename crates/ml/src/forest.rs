@@ -1,0 +1,269 @@
+//! Bootstrap-aggregated random forest regressor.
+//!
+//! Mirrors scikit-learn's `RandomForestRegressor`: each tree is grown on a
+//! bootstrap resample with per-split feature subsampling; predictions are
+//! the mean over trees; MDI importances are the mean of per-tree normalized
+//! importances. Trees are fitted in parallel with rayon.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::data::{check_fit_input, Matrix};
+use crate::tree::{bootstrap_indices, FittedTree, MaxFeatures, TreeConfig};
+use crate::{Estimator, MlError, Regressor, Result};
+
+/// Hyper-parameters for the random forest; the fields mirror the sklearn
+/// names the paper's grid search sweeps (n_estimators, max_depth,
+/// min_samples_split, min_samples_leaf, max_features).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Per-tree depth cap; `None` is unlimited.
+    pub max_depth: Option<usize>,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+    /// Whether trees see bootstrap resamples (true) or the full data.
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_estimators: 100,
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            // sklearn's regressor default is all features; trees then
+            // decorrelate through bootstrapping alone.
+            max_features: MaxFeatures::All,
+            bootstrap: true,
+        }
+    }
+}
+
+impl RandomForestConfig {
+    fn tree_config(&self) -> TreeConfig {
+        TreeConfig {
+            max_depth: self.max_depth,
+            min_samples_split: self.min_samples_split,
+            min_samples_leaf: self.min_samples_leaf,
+            max_features: self.max_features,
+            min_impurity_decrease: 0.0,
+        }
+    }
+
+    /// Fits the forest; trees are grown in parallel, each from its own
+    /// seed derived deterministically from `seed`.
+    pub fn fit(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<RandomForest> {
+        if self.n_estimators == 0 {
+            return Err(MlError::BadConfig("n_estimators must be >= 1".into()));
+        }
+        check_fit_input(x, y)?;
+        let tree_config = self.tree_config();
+        tree_config
+            .fit_indices(x, y, &[0], seed)
+            .map(|_| ())
+            .or_else(|e| match e {
+                // A single-index fit probe can only fail on config errors;
+                // surface those before spawning the parallel loop.
+                MlError::BadConfig(_) => Err(e),
+                MlError::BadInput(_) => Ok(()),
+            })?;
+
+        // Derive independent per-tree seeds up front so the parallel loop
+        // is order-independent.
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let seeds: Vec<(u64, u64)> = (0..self.n_estimators)
+            .map(|_| (seeder.gen(), seeder.gen()))
+            .collect();
+
+        let trees: Result<Vec<FittedTree>> = seeds
+            .par_iter()
+            .map(|&(boot_seed, tree_seed)| {
+                let indices = if self.bootstrap {
+                    let mut rng = StdRng::seed_from_u64(boot_seed);
+                    bootstrap_indices(x.n_rows(), &mut rng)
+                } else {
+                    (0..x.n_rows()).collect()
+                };
+                tree_config.fit_indices(x, y, &indices, tree_seed)
+            })
+            .collect();
+        let trees = trees?;
+
+        let n_features = x.n_features();
+        let mut importances = vec![0.0; n_features];
+        for t in &trees {
+            for (acc, v) in importances.iter_mut().zip(&t.feature_importances) {
+                *acc += v;
+            }
+        }
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            for v in &mut importances {
+                *v /= total;
+            }
+        }
+        Ok(RandomForest {
+            trees,
+            feature_importances: importances,
+            n_features,
+        })
+    }
+}
+
+impl Estimator for RandomForestConfig {
+    type Model = RandomForest;
+
+    fn fit_model(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<RandomForest> {
+        self.fit(x, y, seed)
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// The fitted trees.
+    pub trees: Vec<FittedTree>,
+    /// Mean normalized MDI importance per feature (sums to 1 unless no
+    /// tree ever split).
+    pub feature_importances: Vec<f64>,
+    /// Width of rows this forest was trained on.
+    pub n_features: usize,
+}
+
+impl RandomForest {
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.tree.predict_row(row)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    fn friedman_like(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        // Smooth nonlinear target over 5 features, last 2 pure noise.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f: Vec<f64> = (0..5).map(|_| rng.gen::<f64>()).collect();
+            let target = 10.0 * (std::f64::consts::PI * f[0] * f[1]).sin()
+                + 20.0 * (f[2] - 0.5).powi(2);
+            rows.push(f);
+            y.push(target);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn beats_mean_baseline_on_nonlinear_data() {
+        let (x, y) = friedman_like(300, 1);
+        let (xt, yt) = friedman_like(100, 2);
+        let model = RandomForestConfig {
+            n_estimators: 50,
+            ..Default::default()
+        }
+        .fit(&x, &y, 3)
+        .unwrap();
+        let pred = model.predict(&xt);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let baseline = mse(&yt, &vec![mean; yt.len()]);
+        let forest_mse = mse(&yt, &pred);
+        assert!(
+            forest_mse < baseline * 0.3,
+            "forest {forest_mse} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn importances_rank_signal_over_noise() {
+        let (x, y) = friedman_like(400, 5);
+        let model = RandomForestConfig {
+            n_estimators: 40,
+            max_features: MaxFeatures::Sqrt,
+            ..Default::default()
+        }
+        .fit(&x, &y, 7)
+        .unwrap();
+        let imp = &model.feature_importances;
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Features 0..3 carry the signal; 3 and 4 are noise.
+        let signal = imp[0] + imp[1] + imp[2];
+        let noise = imp[3] + imp[4];
+        assert!(signal > 5.0 * noise, "signal {signal} noise {noise}");
+    }
+
+    #[test]
+    fn deterministic_under_seed_despite_parallelism() {
+        let (x, y) = friedman_like(120, 11);
+        let cfg = RandomForestConfig {
+            n_estimators: 16,
+            ..Default::default()
+        };
+        let a = cfg.fit(&x, &y, 9).unwrap();
+        let b = cfg.fit(&x, &y, 9).unwrap();
+        let row = vec![0.3, 0.7, 0.1, 0.9, 0.5];
+        assert_eq!(a.predict_row(&row), b.predict_row(&row));
+        assert_eq!(a.feature_importances, b.feature_importances);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = friedman_like(120, 11);
+        let cfg = RandomForestConfig {
+            n_estimators: 8,
+            ..Default::default()
+        };
+        let a = cfg.fit(&x, &y, 1).unwrap();
+        let b = cfg.fit(&x, &y, 2).unwrap();
+        let row = vec![0.3, 0.7, 0.1, 0.9, 0.5];
+        assert_ne!(a.predict_row(&row), b.predict_row(&row));
+    }
+
+    #[test]
+    fn rejects_zero_estimators() {
+        let (x, y) = friedman_like(30, 0);
+        let cfg = RandomForestConfig {
+            n_estimators: 0,
+            ..Default::default()
+        };
+        assert!(cfg.fit(&x, &y, 0).is_err());
+    }
+
+    #[test]
+    fn no_bootstrap_with_all_features_collapses_to_one_tree() {
+        let (x, y) = friedman_like(60, 3);
+        let cfg = RandomForestConfig {
+            n_estimators: 5,
+            bootstrap: false,
+            max_features: MaxFeatures::All,
+            ..Default::default()
+        };
+        let forest = cfg.fit(&x, &y, 0).unwrap();
+        // All trees see identical data and all features: identical trees
+        // (the averaged prediction differs only by summation rounding).
+        let row = vec![0.2, 0.4, 0.6, 0.8, 0.1];
+        let single = forest.trees[0].tree.predict_row(&row);
+        for t in &forest.trees {
+            assert_eq!(t.tree.predict_row(&row), single);
+        }
+        assert!((forest.predict_row(&row) - single).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! # c100-ml
+//!
+//! The machine-learning substrate for the Crypto100 reproduction, built
+//! from scratch because the paper's pipeline leans on scikit-learn and
+//! XGBoost, neither of which has a faithful Rust equivalent:
+//!
+//! * [`tree`] — CART regression trees with exact greedy split search and
+//!   Mean Decrease Impurity (MDI) accounting.
+//! * [`forest`] — bootstrap-aggregated random forests (rayon-parallel),
+//!   matching sklearn's `RandomForestRegressor` hyper-parameter surface.
+//! * [`gbdt`] — second-order gradient-boosted trees with XGBoost's split
+//!   gain `½[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ`, shrinkage and
+//!   row/column subsampling.
+//! * [`shap`] — polynomial-time TreeSHAP (Lundberg et al., Algorithm 2)
+//!   producing exact Shapley values for either ensemble.
+//! * [`importance`] — permutation feature importance measured as MSE
+//!   degradation, exactly as the paper extracts PFI.
+//! * [`model_selection`] — k-fold cross-validation and exhaustive grid
+//!   search with MSE objective (the paper's fine-tuning protocol).
+//! * [`mlp`] — a mini-batch-Adam multi-layer perceptron, the "complex
+//!   model" of the paper's future-work section.
+//! * [`metrics`] — regression metrics.
+//!
+//! Everything is deterministic given a seed: tree feature subsampling,
+//! bootstrap draws, permutation shuffles and CV shuffling all derive from
+//! explicit [`rand::rngs::StdRng`] streams.
+//!
+//! ## Example
+//!
+//! ```
+//! use c100_ml::data::Matrix;
+//! use c100_ml::forest::RandomForestConfig;
+//! use c100_ml::Regressor;
+//!
+//! // y = 3 x0 (x1 is noise)
+//! let x = Matrix::from_rows(&[
+//!     vec![1.0, 9.0], vec![2.0, 1.0], vec![3.0, 5.0], vec![4.0, 2.0],
+//!     vec![5.0, 8.0], vec![6.0, 3.0], vec![7.0, 7.0], vec![8.0, 4.0],
+//! ]).unwrap();
+//! let y: Vec<f64> = (1..=8).map(|v| 3.0 * v as f64).collect();
+//! let model = RandomForestConfig { n_estimators: 30, ..Default::default() }
+//!     .fit(&x, &y, 42).unwrap();
+//! let pred = model.predict_row(&[4.5, 0.0]);
+//! assert!((pred - 13.5).abs() < 4.0);
+//! ```
+
+pub mod data;
+pub mod forest;
+pub mod gbdt;
+pub mod importance;
+pub mod metrics;
+pub mod mlp;
+pub mod model_selection;
+pub mod shap;
+pub mod tree;
+
+/// Errors produced by model fitting and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// The training data was empty or shapes disagreed.
+    BadInput(String),
+    /// A hyper-parameter value is out of its valid range.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::BadInput(s) => write!(f, "bad input: {s}"),
+            MlError::BadConfig(s) => write!(f, "bad config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// A fitted regression model that maps a feature row to a prediction.
+pub trait Regressor {
+    /// Predicts the target for a single feature row.
+    fn predict_row(&self, row: &[f64]) -> f64;
+
+    /// Predicts the target for every row of `x`.
+    fn predict(&self, x: &data::Matrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+/// A model family that can be fitted to data; implemented by the config
+/// structs so grid search can treat RF and GBDT uniformly.
+pub trait Estimator: Clone + Send + Sync {
+    /// The fitted model type.
+    type Model: Regressor + Send + Sync;
+
+    /// Fits the model on `x`/`y` with randomness derived from `seed`.
+    fn fit_model(&self, x: &data::Matrix, y: &[f64], seed: u64) -> Result<Self::Model>;
+}

@@ -1,0 +1,137 @@
+//! Regression metrics. MSE is the paper's objective everywhere (grid
+//! search, PFI, performance improvement), so it leads the module.
+
+/// Mean squared error.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mse(y_true, y_pred).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Coefficient of determination R². 1.0 is perfect; 0.0 matches predicting
+/// the mean; negative is worse than the mean. Returns `NaN` for a constant
+/// target.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_res: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        f64::NAN
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean absolute percentage error over non-zero targets, as a fraction.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        if *t != 0.0 {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// The paper's "performance improvement": percentage decrease of MSE when
+/// moving from the single-category model (`mse_single`) to the diverse
+/// model (`mse_diverse`). A value of 100 means the diverse model's error is
+/// half the single-category error… no: it means `mse_single` exceeds
+/// `mse_diverse` by 100% of `mse_diverse` (i.e. 2× larger), matching the
+/// >1000% figures the paper reports.
+pub fn mse_percentage_decrease(mse_single: f64, mse_diverse: f64) -> f64 {
+    if mse_diverse <= 0.0 {
+        return f64::NAN;
+    }
+    (mse_single - mse_diverse) / mse_diverse * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_rmse() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 5.0];
+        assert!((mse(&t, &p) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn mae_is_l1() {
+        assert!((mae(&[1.0, 2.0], &[2.0, 0.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_reference_points() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r2(&t, &mean_pred).abs() < 1e-12);
+        let awful = [10.0, -10.0, 10.0, -10.0];
+        assert!(r2(&t, &awful) < 0.0);
+        assert!(r2(&[5.0, 5.0], &[5.0, 5.0]).is_nan());
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let v = mape(&[0.0, 2.0], &[1.0, 1.0]);
+        assert!((v - 0.5).abs() < 1e-12);
+        assert!(mape(&[0.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn percentage_decrease_matches_definition() {
+        // Single-category error 4×: improvement = 300%.
+        assert!((mse_percentage_decrease(4.0, 1.0) - 300.0).abs() < 1e-12);
+        assert_eq!(mse_percentage_decrease(1.0, 1.0), 0.0);
+        assert!(mse_percentage_decrease(1.0, 0.0).is_nan());
+        // Diversity can in principle hurt: negative improvement.
+        assert!(mse_percentage_decrease(1.0, 2.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_panics_on_shape_mismatch() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

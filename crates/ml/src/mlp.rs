@@ -1,0 +1,457 @@
+//! Multi-layer perceptron regressor — the "more complex model" of the
+//! paper's future-work section ("Impact on complex models"), so the
+//! diversity experiments can be repeated on a non-tree family.
+//!
+//! Implementation notes:
+//! * Inputs and the target are standardized internally (price-level
+//!   targets span orders of magnitude; raw-scale gradient descent would
+//!   not converge).
+//! * Training is mini-batch Adam with optional L2 weight decay.
+//! * Like every model in this crate it is a pure function of its seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::data::{check_fit_input, Matrix};
+use crate::{Estimator, MlError, Regressor, Result};
+
+/// Hidden-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    fn derivative(self, activated: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if activated > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - activated * activated,
+        }
+    }
+}
+
+/// Hyper-parameters of the MLP regressor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden layer widths, e.g. `[64, 32]`.
+    pub hidden_layers: Vec<usize>,
+    /// Training epochs over the whole dataset.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 weight-decay coefficient.
+    pub l2: f64,
+    /// Hidden activation.
+    pub activation: Activation,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden_layers: vec![64, 32],
+            epochs: 200,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            l2: 1e-5,
+            activation: Activation::Relu,
+        }
+    }
+}
+
+struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl AdamState {
+    fn new(n: usize) -> Self {
+        AdamState {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        let t = self.t as f64;
+        for i in 0..params.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * grads[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / (1.0 - B1.powf(t));
+            let v_hat = self.v[i] / (1.0 - B2.powf(t));
+            params[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+struct Layer {
+    /// Row-major `out × in` weights.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl Layer {
+    fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+        output.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.b[o];
+            output.push(z);
+        }
+    }
+}
+
+/// A fitted MLP regressor.
+pub struct Mlp {
+    layers: Vec<Layer>,
+    activation: Activation,
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl MlpConfig {
+    fn validate(&self) -> Result<()> {
+        if self.hidden_layers.iter().any(|&w| w == 0) {
+            return Err(MlError::BadConfig("zero-width hidden layer".into()));
+        }
+        if self.epochs == 0 || self.batch_size == 0 {
+            return Err(MlError::BadConfig("epochs and batch_size must be >= 1".into()));
+        }
+        if !(self.learning_rate > 0.0) || self.l2 < 0.0 {
+            return Err(MlError::BadConfig("learning_rate > 0, l2 >= 0 required".into()));
+        }
+        Ok(())
+    }
+
+    /// Trains the network with mini-batch Adam.
+    pub fn fit(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<Mlp> {
+        self.validate()?;
+        check_fit_input(x, y)?;
+        let n = x.n_rows();
+        let d = x.n_features();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Standardization statistics.
+        let mut x_mean = vec![0.0; d];
+        let mut x_std = vec![0.0; d];
+        for c in 0..d {
+            let mean = (0..n).map(|r| x.get(r, c)).sum::<f64>() / n as f64;
+            let var = (0..n).map(|r| (x.get(r, c) - mean).powi(2)).sum::<f64>() / n as f64;
+            x_mean[c] = mean;
+            x_std[c] = var.sqrt().max(1e-12);
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_std = (y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / n as f64)
+            .sqrt()
+            .max(1e-12);
+
+        // He/Xavier-ish init.
+        let mut sizes = vec![d];
+        sizes.extend(&self.hidden_layers);
+        sizes.push(1);
+        let mut layers = Vec::new();
+        for pair in sizes.windows(2) {
+            let (n_in, n_out) = (pair[0], pair[1]);
+            let scale = (2.0 / n_in as f64).sqrt();
+            let w: Vec<f64> = (0..n_in * n_out)
+                .map(|_| scale * crate_gaussian(&mut rng))
+                .collect();
+            layers.push(Layer {
+                w,
+                b: vec![0.0; n_out],
+                n_in,
+                n_out,
+            });
+        }
+
+        // Standardized training copies.
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|r| {
+                (0..d)
+                    .map(|c| (x.get(r, c) - x_mean[c]) / x_std[c])
+                    .collect()
+            })
+            .collect();
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let mut adam_w: Vec<AdamState> = layers.iter().map(|l| AdamState::new(l.w.len())).collect();
+        let mut adam_b: Vec<AdamState> = layers.iter().map(|l| AdamState::new(l.b.len())).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        // Per-layer scratch: activations and deltas.
+        let n_layers = layers.len();
+        for _epoch in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(self.batch_size) {
+                let mut grad_w: Vec<Vec<f64>> =
+                    layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+                let mut grad_b: Vec<Vec<f64>> =
+                    layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+                for &row in batch {
+                    // Forward pass, keeping activations per layer.
+                    let mut activations: Vec<Vec<f64>> = Vec::with_capacity(n_layers + 1);
+                    activations.push(xs[row].clone());
+                    for (li, layer) in layers.iter().enumerate() {
+                        let mut z = Vec::new();
+                        layer.forward(activations.last().expect("non-empty"), &mut z);
+                        if li + 1 < n_layers {
+                            for v in &mut z {
+                                *v = self.activation.apply(*v);
+                            }
+                        }
+                        activations.push(z);
+                    }
+                    let prediction = activations[n_layers][0];
+                    // d(MSE)/d(pred), up to the constant 2 (folded into lr).
+                    let mut delta = vec![prediction - ys[row]];
+
+                    // Backward pass.
+                    for li in (0..n_layers).rev() {
+                        let layer = &layers[li];
+                        let input = &activations[li];
+                        for o in 0..layer.n_out {
+                            grad_b[li][o] += delta[o];
+                            for i in 0..layer.n_in {
+                                grad_w[li][o * layer.n_in + i] += delta[o] * input[i];
+                            }
+                        }
+                        if li > 0 {
+                            let mut next_delta = vec![0.0; layer.n_in];
+                            for o in 0..layer.n_out {
+                                for (i, nd) in next_delta.iter_mut().enumerate() {
+                                    *nd += delta[o] * layer.w[o * layer.n_in + i];
+                                }
+                            }
+                            for (i, nd) in next_delta.iter_mut().enumerate() {
+                                *nd *= self.activation.derivative(activations[li][i]);
+                            }
+                            delta = next_delta;
+                        }
+                    }
+                }
+
+                let inv = 1.0 / batch.len() as f64;
+                for li in 0..n_layers {
+                    for (g, w) in grad_w[li].iter_mut().zip(&layers[li].w) {
+                        *g = *g * inv + self.l2 * w;
+                    }
+                    for g in grad_b[li].iter_mut() {
+                        *g *= inv;
+                    }
+                    adam_w[li].step(&mut layers[li].w, &grad_w[li], self.learning_rate);
+                    adam_b[li].step(&mut layers[li].b, &grad_b[li], self.learning_rate);
+                }
+            }
+        }
+
+        Ok(Mlp {
+            layers,
+            activation: self.activation,
+            x_mean,
+            x_std,
+            y_mean,
+            y_std,
+        })
+    }
+}
+
+impl Estimator for MlpConfig {
+    type Model = Mlp;
+
+    fn fit_model(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<Mlp> {
+        self.fit(x, y, seed)
+    }
+}
+
+impl Regressor for Mlp {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut current: Vec<f64> = row
+            .iter()
+            .zip(self.x_mean.iter().zip(&self.x_std))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect();
+        let n_layers = self.layers.len();
+        let mut next = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&current, &mut next);
+            if li + 1 < n_layers {
+                for v in &mut next {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        current[0] * self.y_std + self.y_mean
+    }
+}
+
+fn crate_gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    fn linear_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.gen::<f64>() * 10.0;
+            let b = rng.gen::<f64>() * 10.0;
+            rows.push(vec![a, b]);
+            y.push(1000.0 + 3.0 * a - 2.0 * b);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (x, y) = linear_data(300, 1);
+        let model = MlpConfig {
+            hidden_layers: vec![16],
+            epochs: 150,
+            ..Default::default()
+        }
+        .fit(&x, &y, 2)
+        .unwrap();
+        let (xt, yt) = linear_data(80, 3);
+        let pred = model.predict(&xt);
+        let error = mse(&yt, &pred);
+        let var = {
+            let m = yt.iter().sum::<f64>() / yt.len() as f64;
+            yt.iter().map(|v| (v - m).powi(2)).sum::<f64>() / yt.len() as f64
+        };
+        assert!(error < 0.05 * var, "mse {error} vs var {var}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen::<f64>() * 4.0 - 2.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = MlpConfig {
+            hidden_layers: vec![32, 16],
+            epochs: 300,
+            ..Default::default()
+        }
+        .fit(&x, &y, 7)
+        .unwrap();
+        // The parabola should be approximated well inside the range.
+        for probe in [-1.5, -0.5, 0.0, 0.5, 1.5] {
+            let p = model.predict_row(&[probe]);
+            assert!(
+                (p - probe * probe).abs() < 0.35,
+                "f({probe}) = {p}, want {}",
+                probe * probe
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = linear_data(100, 11);
+        let cfg = MlpConfig {
+            epochs: 20,
+            ..Default::default()
+        };
+        let a = cfg.fit(&x, &y, 9).unwrap();
+        let b = cfg.fit(&x, &y, 9).unwrap();
+        assert_eq!(a.predict_row(&[1.0, 2.0]), b.predict_row(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn validates_config() {
+        let (x, y) = linear_data(20, 13);
+        for cfg in [
+            MlpConfig { hidden_layers: vec![0], ..Default::default() },
+            MlpConfig { epochs: 0, ..Default::default() },
+            MlpConfig { batch_size: 0, ..Default::default() },
+            MlpConfig { learning_rate: 0.0, ..Default::default() },
+            MlpConfig { l2: -1.0, ..Default::default() },
+        ] {
+            assert!(cfg.fit(&x, &y, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn handles_constant_features_and_large_targets() {
+        // Standardization must absorb scale and degenerate columns.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 42.0]).collect();
+        let y: Vec<f64> = (0..100).map(|i| 1.0e9 + 1.0e6 * i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = MlpConfig {
+            hidden_layers: vec![8],
+            epochs: 200,
+            ..Default::default()
+        }
+        .fit(&x, &y, 1)
+        .unwrap();
+        let p = model.predict_row(&[50.0, 42.0]);
+        assert!(
+            (p - 1.05e9).abs() < 2.0e7,
+            "p = {p:.3e}, want ~1.05e9"
+        );
+    }
+
+    #[test]
+    fn tanh_activation_works_too() {
+        let (x, y) = linear_data(150, 17);
+        let model = MlpConfig {
+            hidden_layers: vec![16],
+            epochs: 150,
+            activation: Activation::Tanh,
+            ..Default::default()
+        }
+        .fit(&x, &y, 3)
+        .unwrap();
+        let pred = model.predict(&x);
+        let error = mse(&y, &pred);
+        let var = {
+            let m = y.iter().sum::<f64>() / y.len() as f64;
+            y.iter().map(|v| (v - m).powi(2)).sum::<f64>() / y.len() as f64
+        };
+        assert!(error < 0.1 * var, "mse {error} vs var {var}");
+    }
+}

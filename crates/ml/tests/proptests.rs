@@ -1,0 +1,175 @@
+//! Property-based tests for the ML substrate. The SHAP local-accuracy
+//! property is the strongest check in the crate: it holds exactly only for
+//! a correct TreeSHAP implementation.
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::metrics::{mae, mse, r2, rmse};
+use c100_ml::model_selection::kfold_indices;
+use c100_ml::shap::ShapExplainable;
+use c100_ml::tree::{MaxFeatures, TreeConfig};
+use c100_ml::Regressor;
+use proptest::prelude::*;
+
+/// Strategy: a small random regression dataset.
+fn dataset(max_rows: usize, n_features: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(-100.0f64..100.0, n_features),
+            -1000.0f64..1000.0,
+        ),
+        4..max_rows,
+    )
+    .prop_map(|rows| {
+        let x: Vec<Vec<f64>> = rows.iter().map(|(f, _)| f.clone()).collect();
+        let y: Vec<f64> = rows.iter().map(|(_, t)| *t).collect();
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_predictions_stay_within_target_range((rows, y) in dataset(40, 3)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig::default().fit(&x, &y, 0).unwrap();
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for row in &rows {
+            let p = fit.predict_row(row);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn forest_predictions_stay_within_target_range((rows, y) in dataset(30, 3)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = RandomForestConfig { n_estimators: 8, ..Default::default() }
+            .fit(&x, &y, 1).unwrap();
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for row in &rows {
+            let p = model.predict_row(row);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tree_mdi_is_a_distribution((rows, y) in dataset(40, 4)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig::default().fit(&x, &y, 2).unwrap();
+        let sum: f64 = fit.feature_importances.iter().sum();
+        prop_assert!(fit.feature_importances.iter().all(|v| *v >= 0.0));
+        prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn shap_local_accuracy_single_tree((rows, y) in dataset(30, 3)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit = TreeConfig { max_depth: Some(4), ..Default::default() }
+            .fit(&x, &y, 3).unwrap();
+        for row in rows.iter().take(8) {
+            let explanation = fit.shap_row(row);
+            let reconstructed = explanation.reconstructed();
+            let predicted = fit.predict_row(row);
+            prop_assert!(
+                (reconstructed - predicted).abs() < 1e-6 * (1.0 + predicted.abs()),
+                "Σφ + base = {reconstructed} but f(x) = {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn shap_local_accuracy_gbdt((rows, y) in dataset(25, 3)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = GbdtConfig { n_estimators: 6, max_depth: 3, ..Default::default() }
+            .fit(&x, &y, 4).unwrap();
+        for row in rows.iter().take(5) {
+            let explanation = model.shap_row(row);
+            let predicted = model.predict_row(row);
+            prop_assert!(
+                (explanation.reconstructed() - predicted).abs() < 1e-6 * (1.0 + predicted.abs())
+            );
+        }
+    }
+
+    #[test]
+    fn gbdt_training_error_decreases_with_rounds((rows, y) in dataset(40, 2)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let short = GbdtConfig { n_estimators: 1, ..Default::default() }.fit(&x, &y, 5).unwrap();
+        let long = GbdtConfig { n_estimators: 20, ..Default::default() }.fit(&x, &y, 5).unwrap();
+        let e_short = mse(&y, &short.predict(&x));
+        let e_long = mse(&y, &long.predict(&x));
+        prop_assert!(e_long <= e_short + 1e-9, "{e_long} > {e_short}");
+    }
+
+    #[test]
+    fn metrics_identities(y in prop::collection::vec(-100.0f64..100.0, 2..40)) {
+        // Perfect predictions: all error metrics zero, R² = 1 (if varied).
+        prop_assert_eq!(mse(&y, &y), 0.0);
+        prop_assert_eq!(mae(&y, &y), 0.0);
+        prop_assert_eq!(rmse(&y, &y), 0.0);
+        let spread = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - y.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread > 1e-9 {
+            prop_assert!((r2(&y, &y) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mse_dominates_squared_mae(
+        y in prop::collection::vec(-100.0f64..100.0, 2..30),
+        p in prop::collection::vec(-100.0f64..100.0, 2..30),
+    ) {
+        let n = y.len().min(p.len());
+        let (y, p) = (&y[..n], &p[..n]);
+        // Jensen: mean of squares ≥ square of mean of |errors|.
+        prop_assert!(mse(y, p) + 1e-9 >= mae(y, p).powi(2));
+    }
+
+    #[test]
+    fn kfold_partitions_exactly(n in 4usize..200, k in 2usize..6) {
+        prop_assume!(n >= k);
+        let folds = kfold_indices(n, k).unwrap();
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![false; n];
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), n);
+            for &i in test {
+                prop_assert!(!seen[i], "row {i} in two test folds");
+                seen[i] = true;
+                prop_assert!(!train.contains(&i));
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn max_features_resolve_in_range(n in 1usize..500, c in 0usize..600, f in 0.01f64..1.0) {
+        for mf in [
+            MaxFeatures::All,
+            MaxFeatures::Sqrt,
+            MaxFeatures::Log2,
+            MaxFeatures::Count(c),
+            MaxFeatures::Fraction(f),
+        ] {
+            let k = mf.resolve(n);
+            prop_assert!(k >= 1 && k <= n, "{mf:?} on {n} gave {k}");
+        }
+    }
+
+    #[test]
+    fn constant_features_get_zero_importance((rows, y) in dataset(30, 2)) {
+        // Append a constant column: it can never split usefully.
+        let augmented: Vec<Vec<f64>> = rows.iter().map(|r| {
+            let mut r = r.clone();
+            r.push(7.5);
+            r
+        }).collect();
+        let x = Matrix::from_rows(&augmented).unwrap();
+        let fit = TreeConfig::default().fit(&x, &y, 9).unwrap();
+        prop_assert_eq!(fit.feature_importances[2], 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! BTC daily OHLCV and market capitalization from the latent paths.
+//!
+//! Only the observed window is returned; the technical-indicator warm-up is
+//! handled upstream by slicing indicators from an extended series inside
+//! the dataset assembly (the suite tolerates `NaN` warm-ups anyway).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use c100_timeseries::Date;
+
+use crate::latent::{gaussian, LatentPaths};
+use crate::SynthConfig;
+
+/// Bitcoin's circulating supply on a given date, in BTC.
+///
+/// Piecewise-linear issuance with the May 2020 halving: ~1800 BTC/day
+/// before, ~900 BTC/day after (block subsidies of 12.5 and 6.25 BTC at
+/// ~144 blocks/day). Anchored at ≈16.08M BTC on 2017-01-01, matching the
+/// real chain closely enough for supply-derived metrics.
+pub fn btc_supply_on(date: Date) -> f64 {
+    let anchor = Date::from_ymd(2017, 1, 1).expect("valid constant");
+    let halving = Date::from_ymd(2020, 5, 11).expect("valid constant");
+    let base = 16_080_000.0;
+    let days = date.days_between(anchor) as f64;
+    let days_to_halving = halving.days_between(anchor) as f64;
+    if days <= days_to_halving {
+        base + 1800.0 * days
+    } else {
+        base + 1800.0 * days_to_halving + 900.0 * (days - days_to_halving)
+    }
+}
+
+/// Observed BTC market series (length = observed days).
+#[derive(Debug, Clone)]
+pub struct BtcMarket {
+    /// First observed day.
+    pub start: Date,
+    /// Daily open.
+    pub open: Vec<f64>,
+    /// Daily high.
+    pub high: Vec<f64>,
+    /// Daily low.
+    pub low: Vec<f64>,
+    /// Daily close.
+    pub close: Vec<f64>,
+    /// Daily traded dollar volume.
+    pub volume: Vec<f64>,
+    /// Circulating supply in BTC.
+    pub supply: Vec<f64>,
+    /// Market capitalization (`close × supply`).
+    pub market_cap: Vec<f64>,
+    /// Extended close series covering the warm-up too, so long moving
+    /// averages are defined from the first observed day.
+    pub close_extended: Vec<f64>,
+    /// Extended dollar volume (same coverage as `close_extended`).
+    pub volume_extended: Vec<f64>,
+    /// Extended market cap (supply extrapolated back through the warm-up).
+    pub market_cap_extended: Vec<f64>,
+    /// Extended daily high.
+    pub high_extended: Vec<f64>,
+    /// Extended daily low.
+    pub low_extended: Vec<f64>,
+}
+
+/// Derives the BTC market series from the simulated latent paths.
+pub fn simulate_btc(config: &SynthConfig, latents: &LatentPaths) -> BtcMarket {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    let n_total = latents.n_total();
+    let warmup = latents.warmup;
+
+    let mut close_extended = Vec::with_capacity(n_total);
+    let mut volume_extended = Vec::with_capacity(n_total);
+    let mut market_cap_extended = Vec::with_capacity(n_total);
+    let mut high_extended = Vec::with_capacity(n_total);
+    let mut low_extended = Vec::with_capacity(n_total);
+    let mut open = Vec::new();
+    let mut supply_series = Vec::new();
+
+    for t in 0..n_total {
+        let price = latents.log_price[t].exp();
+        let date = config.start.add_days(t as i32 - warmup as i32);
+        let supply = btc_supply_on(date);
+        let cap = price * supply;
+
+        // Turnover rises with momentum and with the day's absolute move.
+        let sigma = if latents.regime[t] == 1 {
+            crate::latent::SIGMA_TURB
+        } else {
+            crate::latent::SIGMA_CALM
+        };
+        let ret = latents.returns[t];
+        let turnover = 0.03
+            * (0.25 * latents.momentum[t] + 1.2 * (ret.abs() / sigma - 0.8)
+                + 0.35 * gaussian(&mut rng))
+            .exp();
+        let volume = cap * turnover;
+
+        close_extended.push(price);
+        volume_extended.push(volume);
+        market_cap_extended.push(cap);
+
+        let prev_price = if t > 0 { latents.log_price[t - 1].exp() } else { price };
+        let o = prev_price; // open at yesterday's close (24/7 market)
+        let intraday = sigma * (0.4 + 0.3 * gaussian(&mut rng).abs());
+        high_extended.push(price.max(o) * (1.0 + intraday));
+        low_extended.push(price.min(o) * (1.0 - intraday));
+        if t >= warmup {
+            open.push(o);
+            supply_series.push(supply);
+        }
+    }
+
+    let close = close_extended[warmup..].to_vec();
+    let volume = volume_extended[warmup..].to_vec();
+    let market_cap = market_cap_extended[warmup..].to_vec();
+    let high = high_extended[warmup..].to_vec();
+    let low = low_extended[warmup..].to_vec();
+
+    BtcMarket {
+        start: config.start,
+        open,
+        high,
+        low,
+        close,
+        volume,
+        supply: supply_series,
+        market_cap,
+        close_extended,
+        volume_extended,
+        market_cap_extended,
+        high_extended,
+        low_extended,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latent::simulate;
+
+    #[test]
+    fn supply_curve_anchors_and_halves() {
+        let d2017 = Date::from_ymd(2017, 1, 1).unwrap();
+        assert_eq!(btc_supply_on(d2017), 16_080_000.0);
+        let before = btc_supply_on(Date::from_ymd(2020, 5, 10).unwrap());
+        let at = btc_supply_on(Date::from_ymd(2020, 5, 11).unwrap());
+        let after = btc_supply_on(Date::from_ymd(2020, 5, 12).unwrap());
+        assert!((at - before - 1800.0).abs() < 1e-6);
+        assert!((after - at - 900.0).abs() < 1e-6);
+        // Mid-2023 supply near the real ~19.4M.
+        let s2023 = btc_supply_on(Date::from_ymd(2023, 6, 30).unwrap());
+        assert!((19.0e6..20.0e6).contains(&s2023), "supply {s2023}");
+    }
+
+    #[test]
+    fn ohlc_is_consistent() {
+        let cfg = SynthConfig::small(1);
+        let latents = simulate(&cfg);
+        let btc = simulate_btc(&cfg, &latents);
+        assert_eq!(btc.close.len(), cfg.n_days());
+        for t in 0..btc.close.len() {
+            assert!(btc.high[t] >= btc.close[t], "day {t}");
+            assert!(btc.high[t] >= btc.open[t], "day {t}");
+            assert!(btc.low[t] <= btc.close[t], "day {t}");
+            assert!(btc.low[t] <= btc.open[t], "day {t}");
+            assert!(btc.low[t] > 0.0);
+            assert!(btc.volume[t] > 0.0);
+        }
+    }
+
+    #[test]
+    fn market_cap_is_price_times_supply() {
+        let cfg = SynthConfig::small(2);
+        let latents = simulate(&cfg);
+        let btc = simulate_btc(&cfg, &latents);
+        for t in (0..btc.close.len()).step_by(97) {
+            assert!((btc.market_cap[t] - btc.close[t] * btc.supply[t]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn extended_series_cover_warmup() {
+        let cfg = SynthConfig::small(3);
+        let latents = simulate(&cfg);
+        let btc = simulate_btc(&cfg, &latents);
+        assert_eq!(btc.close_extended.len(), cfg.warmup_days + cfg.n_days());
+        assert_eq!(&btc.close_extended[cfg.warmup_days..], &btc.close[..]);
+    }
+
+    #[test]
+    fn open_equals_previous_close() {
+        let cfg = SynthConfig::small(4);
+        let latents = simulate(&cfg);
+        let btc = simulate_btc(&cfg, &latents);
+        for t in 1..50 {
+            assert!((btc.open[t] - btc.close[t - 1]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! # c100-synth
+//!
+//! A seedable latent-state market simulator that stands in for the paper's
+//! proprietary data feeds (Coinmetrics, CoinGecko, ECB, LunarCrush, Google
+//! Trends, Yahoo Finance). The substitution is documented in DESIGN.md; the
+//! essential property it must preserve is *which feature families carry
+//! predictive signal at which horizon*, because every experiment in the
+//! paper is an ablation over exactly that structure.
+//!
+//! ## The latent model
+//!
+//! A handful of unobserved AR(1)/Ornstein–Uhlenbeck factors drive the
+//! market ([`latent`]):
+//!
+//! * three **macro factors** (half-life ≈ 180 d) feed a **global trend**
+//!   with a ~40-day lag;
+//! * **traditional-market factors** share the global trend and lead the
+//!   **crypto trend** `T` (half-life ≈ 90 d) by ~25 days;
+//! * a **cycle** `C` (half-life ≈ 30 d) that stablecoin flows observe
+//!   almost noiselessly;
+//! * a fast **momentum** `F` (half-life ≈ 3 d) that technical and
+//!   sentiment features capture;
+//! * a near-unit-root **adoption** level `A` tracked by on-chain address
+//!   and supply metrics;
+//! * a two-state volatility **regime** chain giving crypto its fat tails.
+//!
+//! Daily BTC log-returns load on `T`, `C` and `F`; because an AR(1)
+//! factor's autocorrelation horizon equals its half-life, each feature
+//! family's forecasting reach at a `w`-day window emerges naturally: fast
+//! factors predict short windows, slow factors long windows, and features
+//! tracking the *level* (price, adoption, realized cap) matter at every
+//! window since the paper's target is the future price level itself.
+//!
+//! ## Observed metrics
+//!
+//! Each of the ~430 daily metrics is a [`spec::MetricSpec`]: a named
+//! transform of the latent paths plus measurement noise, a start date
+//! (USDC metrics begin 2018-10, the fear-and-greed index 2018-02, …) and
+//! optionally a deliberate data-quality defect so the cleaning phase has
+//! something realistic to discard. Generators per category live in
+//! [`onchain_btc`], [`onchain_usdc`], [`sentiment`], [`tradfi`] and
+//! [`macro_econ`]; [`universe`] simulates the ~300-asset market-cap panel
+//! from which the Crypto100 index and Figure 1 are computed; [`btc`]
+//! produces the OHLCV inputs for the technical-indicator suite.
+//!
+//! The whole dataset is produced by [`generate`] and is a pure function of
+//! [`SynthConfig`] — identical seeds give bit-identical data.
+
+pub mod btc;
+pub mod latent;
+pub mod macro_econ;
+pub mod onchain_btc;
+pub mod onchain_usdc;
+pub mod sentiment;
+pub mod spec;
+pub mod tradfi;
+pub mod universe;
+
+use c100_timeseries::{Date, Frame};
+
+/// The data-source categories the paper studies. Display names match the
+/// paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataCategory {
+    /// Moving averages, oscillators, bands derived from BTC OHLCV.
+    Technical,
+    /// Bitcoin blockchain metrics.
+    OnChainBtc,
+    /// USDC stablecoin blockchain metrics (start late 2018).
+    OnChainUsdc,
+    /// Social media, search-trend and fear/greed metrics.
+    Sentiment,
+    /// Traditional market indices (stocks, bonds, FX, metals).
+    TradFi,
+    /// Macroeconomic indicators (rates, inflation, policy uncertainty).
+    Macro,
+}
+
+impl DataCategory {
+    /// All categories in the paper's presentation order.
+    pub const ALL: [DataCategory; 6] = [
+        DataCategory::Technical,
+        DataCategory::OnChainBtc,
+        DataCategory::OnChainUsdc,
+        DataCategory::Sentiment,
+        DataCategory::TradFi,
+        DataCategory::Macro,
+    ];
+
+    /// The paper's display name for the category.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            DataCategory::Technical => "Technical Indicators",
+            DataCategory::OnChainBtc => "On-chain Metrics (BTC)",
+            DataCategory::OnChainUsdc => "On-chain Metrics (USDC)",
+            DataCategory::Sentiment => "Sentiment and Interest Metrics",
+            DataCategory::TradFi => "Traditional Market Indices",
+            DataCategory::Macro => "Macroeconomic Indicators",
+        }
+    }
+}
+
+impl std::fmt::Display for DataCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Configuration of a synthetic dataset run.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Master seed; every stream below derives from it.
+    pub seed: u64,
+    /// First observed day (the paper collects from 2017-01-01).
+    pub start: Date,
+    /// Last observed day (2023-06-30 in the paper).
+    pub end: Date,
+    /// Number of assets in the simulated universe (top-100 tracking needs
+    /// comfortably more than 100).
+    pub n_assets: usize,
+    /// Hidden warm-up days simulated before `start` so latent factors and
+    /// long indicators are in their stationary regime on day one.
+    pub warmup_days: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 42,
+            start: Date::from_ymd(2017, 1, 1).expect("valid constant"),
+            end: Date::from_ymd(2023, 6, 30).expect("valid constant"),
+            n_assets: 300,
+            warmup_days: 400,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A reduced configuration for tests: shorter period, fewer assets.
+    pub fn small(seed: u64) -> Self {
+        SynthConfig {
+            seed,
+            start: Date::from_ymd(2019, 1, 1).expect("valid constant"),
+            end: Date::from_ymd(2020, 6, 30).expect("valid constant"),
+            n_assets: 120,
+            warmup_days: 250,
+        }
+    }
+
+    /// Number of observed days.
+    pub fn n_days(&self) -> usize {
+        (self.end.days_between(self.start) + 1).max(0) as usize
+    }
+}
+
+/// Everything the pipeline downstream needs: one frame per category plus
+/// the raw inputs that feed derived artifacts.
+pub struct MarketData {
+    /// The configuration that produced this data.
+    pub config: SynthConfig,
+    /// BTC OHLCV + market cap (inputs to the technical suite).
+    pub btc: btc::BtcMarket,
+    /// On-chain BTC metric frame.
+    pub onchain_btc: Frame,
+    /// On-chain USDC metric frame (columns missing before late 2018).
+    pub onchain_usdc: Frame,
+    /// Sentiment and interest metric frame.
+    pub sentiment: Frame,
+    /// Traditional market index frame (weekend-forward-filled closes).
+    pub tradfi: Frame,
+    /// Macroeconomic indicator frame (monthly publication steps).
+    pub macro_econ: Frame,
+    /// The simulated asset universe (market caps, top-100 aggregates).
+    pub universe: universe::Universe,
+    /// The latent factor paths, exposed for diagnostics and tests.
+    pub latents: latent::LatentPaths,
+}
+
+/// Generates the complete synthetic market dataset.
+pub fn generate(config: &SynthConfig) -> MarketData {
+    let latents = latent::simulate(config);
+    let btc = btc::simulate_btc(config, &latents);
+    let universe = universe::simulate_universe(config, &latents, &btc);
+    let onchain_btc = spec::materialize(&onchain_btc::specs(config), config, &latents, &btc);
+    let onchain_usdc = spec::materialize(&onchain_usdc::specs(config), config, &latents, &btc);
+    let sentiment = spec::materialize(&sentiment::specs(config), config, &latents, &btc);
+    let tradfi = tradfi::generate(config, &latents);
+    let macro_econ = macro_econ::generate(config, &latents);
+    MarketData {
+        config: config.clone(),
+        btc,
+        onchain_btc,
+        onchain_usdc,
+        sentiment,
+        tradfi,
+        macro_econ,
+        universe,
+        latents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_day_count() {
+        let cfg = SynthConfig::default();
+        assert_eq!(cfg.n_days(), 2372);
+        let small = SynthConfig::small(0);
+        assert_eq!(small.n_days(), 547);
+    }
+
+    #[test]
+    fn categories_have_distinct_names() {
+        let names: std::collections::HashSet<&str> =
+            DataCategory::ALL.iter().map(|c| c.display_name()).collect();
+        assert_eq!(names.len(), DataCategory::ALL.len());
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = SynthConfig::small(7);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.btc.close, b.btc.close);
+        assert_eq!(
+            a.onchain_btc.column("RevAllTimeUSD").unwrap().values(),
+            b.onchain_btc.column("RevAllTimeUSD").unwrap().values()
+        );
+        assert_eq!(a.universe.top100_cap, b.universe.top100_cap);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthConfig::small(1));
+        let b = generate(&SynthConfig::small(2));
+        assert_ne!(a.btc.close, b.btc.close);
+    }
+}

@@ -1,0 +1,305 @@
+//! The Macroeconomic Indicators inventory (~16 series).
+//!
+//! Macro series observe the three slow macro factors — the very top of the
+//! causal chain (macro → global trend → traditional markets → crypto
+//! trend, with ~65 days of cumulative lead). They therefore only pay off
+//! at the paper's 90/180-day windows, and being monthly publications their
+//! within-window variance is small, which is why the shorter 2019 scenario
+//! set can drop the category entirely (Figure 4).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use c100_timeseries::{Date, Frame, Series};
+
+use crate::latent::{gaussian, LatentPaths};
+use crate::SynthConfig;
+
+struct MacroSpec {
+    name: &'static str,
+    /// Level around which the series moves.
+    base: f64,
+    /// Additive sensitivity to each macro factor.
+    loads: [f64; 3],
+    /// Measurement noise (additive, in series units).
+    noise: f64,
+    /// Monthly publication steps (false = daily, e.g. the EPU index).
+    monthly: bool,
+    /// Freeze date for deliberately degraded feeds.
+    freeze_after: Option<Date>,
+    /// Clamp at zero (rates cannot go very negative here).
+    floor_zero: bool,
+}
+
+fn d(y: i32, m: u32, day: u32) -> Date {
+    Date::from_ymd(y, m, day).expect("valid constant date")
+}
+
+fn table() -> Vec<MacroSpec> {
+    vec![
+        MacroSpec {
+            name: "fed_funds_rate",
+            base: 2.0,
+            loads: [1.6, 0.2, 0.0],
+            noise: 0.02,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: true,
+        },
+        MacroSpec {
+            name: "ecb_main_rate",
+            base: 1.0,
+            loads: [1.2, 0.1, 0.0],
+            noise: 0.02,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: true,
+        },
+        MacroSpec {
+            name: "us_cpi_yoy",
+            base: 3.0,
+            loads: [0.4, 1.8, 0.0],
+            noise: 0.08,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: false,
+        },
+        MacroSpec {
+            name: "hicp_yoy",
+            base: 2.5,
+            loads: [0.3, 1.6, 0.0],
+            noise: 0.08,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: false,
+        },
+        MacroSpec {
+            name: "us_unemployment",
+            base: 5.0,
+            loads: [-0.3, 0.4, 0.9],
+            noise: 0.06,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: true,
+        },
+        MacroSpec {
+            name: "us_10y_yield",
+            base: 2.4,
+            loads: [1.1, 0.8, 0.1],
+            noise: 0.04,
+            monthly: false,
+            freeze_after: None,
+            floor_zero: true,
+        },
+        MacroSpec {
+            name: "m2_money_supply_yoy",
+            base: 6.0,
+            loads: [-1.2, 0.8, 0.5],
+            noise: 0.10,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: false,
+        },
+        MacroSpec {
+            name: "epu_index",
+            base: 120.0,
+            loads: [5.0, 8.0, 35.0],
+            noise: 22.0,
+            monthly: false,
+            freeze_after: None,
+            floor_zero: true,
+        },
+        MacroSpec {
+            name: "epu_index_ma30",
+            base: 120.0,
+            loads: [5.0, 8.0, 35.0],
+            noise: 6.0,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: true,
+        },
+        MacroSpec {
+            name: "consumer_confidence",
+            base: 100.0,
+            loads: [-2.0, -4.0, -8.0],
+            noise: 1.5,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: true,
+        },
+        MacroSpec {
+            name: "ism_pmi",
+            base: 54.0,
+            loads: [-1.2, -1.6, -3.0],
+            noise: 0.8,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: true,
+        },
+        MacroSpec {
+            name: "retail_sales_yoy",
+            base: 4.0,
+            loads: [-0.6, 0.8, -1.5],
+            noise: 0.5,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: false,
+        },
+        MacroSpec {
+            name: "industrial_production_yoy",
+            base: 2.0,
+            loads: [-0.5, 0.4, -1.8],
+            noise: 0.5,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: false,
+        },
+        MacroSpec {
+            name: "housing_starts_yoy",
+            base: 3.0,
+            loads: [-1.5, -0.5, -1.0],
+            noise: 1.2,
+            monthly: true,
+            freeze_after: Some(d(2021, 11, 1)),
+            floor_zero: false,
+        },
+        MacroSpec {
+            name: "trade_balance_bn",
+            base: -45.0,
+            loads: [0.8, -1.2, 0.5],
+            noise: 2.0,
+            monthly: true,
+            freeze_after: Some(d(2020, 9, 1)),
+            floor_zero: false,
+        },
+        MacroSpec {
+            name: "gdp_nowcast",
+            base: 2.2,
+            loads: [-0.5, -0.3, -2.2],
+            noise: 0.3,
+            monthly: true,
+            freeze_after: None,
+            floor_zero: false,
+        },
+    ]
+}
+
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Generates the macro frame over the observed window.
+pub fn generate(config: &SynthConfig, latents: &LatentPaths) -> Frame {
+    let n_obs = config.n_days();
+    let warmup = latents.warmup;
+    let mut frame = Frame::with_daily_index(config.start, n_obs);
+
+    for spec in table() {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ name_hash(spec.name));
+        let mut values = Vec::with_capacity(n_obs);
+        let mut held = f64::NAN;
+        for t in 0..n_obs {
+            let s = warmup + t;
+            let date = config.start.add_days(t as i32);
+            let fresh = !spec.monthly || date.day() == 1 || t == 0;
+            if fresh {
+                // Macro factors only reach crypto through the long
+                // macro → global → tradfi → trend chain; the damped
+                // amplitude keeps the category marginal enough that the
+                // shorter 2019 set can drop it entirely, as the paper saw.
+                let amplitude = 0.8;
+                let mut v = spec.base
+                    + amplitude
+                        * (spec.loads[0] * latents.macro_factors[0][s]
+                            + spec.loads[1] * latents.macro_factors[1][s]
+                            + spec.loads[2] * latents.macro_factors[2][s])
+                    + spec.noise * gaussian(&mut rng);
+                if spec.floor_zero {
+                    v = v.max(0.0);
+                }
+                held = v;
+            }
+            values.push(held);
+        }
+        if let Some(freeze) = spec.freeze_after {
+            let from = freeze.days_between(config.start).clamp(0, n_obs as i32) as usize;
+            if from < n_obs {
+                let frozen = values[from];
+                for v in values[from..].iter_mut() {
+                    *v = frozen;
+                }
+            }
+        }
+        frame
+            .push_column(Series::new(spec.name, values))
+            .expect("unique macro names");
+    }
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latent::simulate;
+
+    #[test]
+    fn frame_shape_and_vocabulary() {
+        let cfg = SynthConfig::small(51);
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        assert!(frame.width() >= 15, "{}", frame.width());
+        for name in ["fed_funds_rate", "us_cpi_yoy", "epu_index", "hicp_yoy"] {
+            assert!(frame.has_column(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn monthly_series_step_on_the_first() {
+        let cfg = SynthConfig::small(52); // starts 2019-01-01
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        let cpi = frame.column("us_cpi_yoy").unwrap().values();
+        for t in 1..31 {
+            assert_eq!(cpi[t], cpi[0]);
+        }
+        // EPU is daily: it must move within the month.
+        let epu = frame.column("epu_index").unwrap().values();
+        assert!(epu[1..31].iter().any(|v| v != &epu[0]));
+    }
+
+    #[test]
+    fn rates_are_floored_at_zero() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        for v in frame.column("fed_funds_rate").unwrap().values() {
+            assert!(*v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn degraded_feeds_freeze() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        assert!(frame.column("trade_balance_bn").unwrap().longest_flat_run() > 365);
+        // Healthy monthly series have ~31-day flat runs, not year-long.
+        assert!(frame.column("us_cpi_yoy").unwrap().longest_flat_run() < 100);
+    }
+
+    #[test]
+    fn macro_tracks_macro_factors() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        let rate = frame.column("fed_funds_rate").unwrap().values();
+        let factor = latents.observed(&latents.macro_factors[0]);
+        let corr = c100_timeseries::stats::pearson(rate, factor);
+        assert!(corr > 0.5, "rate vs factor corr {corr}");
+    }
+}

@@ -1,0 +1,416 @@
+//! The On-chain Metrics (USDC) inventory (~66 metrics, history starting
+//! 2018-10-01 — the stablecoin launched in late 2018, which is one of the
+//! two reasons the paper cuts a second scenario set at January 2019).
+//!
+//! The economics this category encodes: stablecoin supply and flows are
+//! where capital waits when it enters or leaves the crypto market, so USDC
+//! metrics observe the latent **cycle** `C` (and, cumulatively, the trend)
+//! with *very little measurement noise*. That low-noise medium-horizon
+//! signal is what makes the category the top contributor for the 30/90/180
+//! day windows of the paper's 2019 set (Figure 4).
+
+use c100_timeseries::Date;
+
+use crate::latent::LatentPaths;
+use crate::spec::{Defect, GenCtx, MetricSpec};
+use crate::{DataCategory, SynthConfig};
+
+const CAT: DataCategory = DataCategory::OnChainUsdc;
+
+/// First day of USDC history.
+pub fn usdc_launch() -> Date {
+    Date::from_ymd(2018, 10, 1).expect("valid constant")
+}
+
+/// Deterministic USDC circulating supply path (extended indexing).
+///
+/// Supply growth responds to the cycle and trend:
+/// `S[t+1] = S[t]·exp(g + c₁·C[t] + c₂·T[t])`, anchored at $25M at launch.
+/// Being a pure function of the latents (no per-metric noise), every
+/// derived metric sees the *same* supply history.
+pub fn usdc_supply(config: &SynthConfig, latents: &LatentPaths) -> Vec<f64> {
+    let n = latents.n_total();
+    let warmup = latents.warmup as i32;
+    let launch = usdc_launch();
+    let mut out = vec![0.0; n];
+    let mut s = 25.0e6;
+    for t in 0..n {
+        let date = config.start.add_days(t as i32 - warmup);
+        if date < launch {
+            continue;
+        }
+        out[t] = s;
+        s *= (0.0042 + 0.0052 * latents.cycle[t] + 0.0036 * latents.trend[t]).exp();
+    }
+    out
+}
+
+fn supply_derived(
+    name: &str,
+    share_base: f64,
+    cycle_load: f64,
+    trend_load: f64,
+    noise: f64,
+) -> MetricSpec {
+    let share_base = share_base.clamp(1e-6, 1.0);
+    let name_owned = name.to_string();
+    MetricSpec::custom(name_owned, CAT, usdc_launch(), move |ctx: &mut GenCtx| {
+        let supply = usdc_supply(ctx.config, ctx.latents);
+        (0..ctx.latents.n_total())
+            .map(|t| {
+                if supply[t] == 0.0 {
+                    return 0.0;
+                }
+                let tilt =
+                    (cycle_load * ctx.latents.cycle[t] + trend_load * ctx.latents.trend[t]
+                        + noise * ctx.noise())
+                    .exp();
+                supply[t] * share_base * tilt
+            })
+            .collect()
+    })
+}
+
+/// Builds the USDC on-chain spec list.
+pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
+    let _ = config;
+    let launch = usdc_launch();
+    let mut specs: Vec<MetricSpec> = Vec::with_capacity(70);
+
+    // --- Address counts -------------------------------------------------
+    let one_in: [&str; 5] = ["1K", "10K", "100K", "1M", "100M"];
+    for (i, suffix) in one_in.iter().enumerate() {
+        specs.push(MetricSpec::log_linear(
+            format!("usdc_AdrBal1in{suffix}Cnt"),
+            CAT,
+            launch,
+            3.0 + 2.0 * i as f64,
+            (0.60, 0.15, 0.22 - 0.03 * i as f64, 0.0, 0.0),
+            0,
+            0.04,
+        ));
+    }
+    let usd_thresholds: [&str; 7] = ["1", "10", "100", "1K", "10K", "100K", "1M"];
+    for (i, suffix) in usd_thresholds.iter().enumerate() {
+        let x = i as f64 / 6.0;
+        specs.push(MetricSpec::log_linear(
+            format!("usdc_AdrBalUSD{suffix}Cnt"),
+            CAT,
+            launch,
+            13.0 - 1.4 * i as f64,
+            (0.70 - 0.2 * x, 0.12 + 0.08 * x, 0.28 + 0.12 * x, 0.05, 0.0),
+            0,
+            0.025,
+        ));
+    }
+    // Native thresholds are numerically the dollar thresholds for a
+    // stablecoin, but Coinmetrics reports them separately; so do we.
+    for (i, suffix) in usd_thresholds.iter().enumerate() {
+        let x = i as f64 / 6.0;
+        specs.push(MetricSpec::log_linear(
+            format!("usdc_AdrBalNtv{suffix}Cnt"),
+            CAT,
+            launch,
+            13.0 - 1.4 * i as f64,
+            (0.70 - 0.2 * x, 0.12 + 0.08 * x, 0.29 + 0.12 * x, 0.05, 0.0),
+            0,
+            0.025,
+        ));
+    }
+    specs.push(MetricSpec::log_linear(
+        "usdc_AdrBalCnt",
+        CAT,
+        launch,
+        13.4,
+        (0.72, 0.10, 0.18, 0.02, 0.0),
+        0,
+        0.03,
+    ));
+
+    // --- Supply distribution (shares of the common supply path) ----------
+    let sply_usd: [(&str, f64); 8] = [
+        ("1", 0.995),
+        ("10", 0.98),
+        ("100", 0.95),
+        ("1K", 0.90),
+        ("10K", 0.80),
+        ("100K", 0.65),
+        ("1M", 0.45),
+        ("10M", 0.25),
+    ];
+    for (i, (suffix, share)) in sply_usd.iter().enumerate() {
+        let x = i as f64 / 7.0;
+        specs.push(supply_derived(
+            &format!("usdc_SplyAdrBalUSD{suffix}"),
+            *share,
+            0.18 + 0.12 * x,
+            0.10 + 0.08 * x,
+            0.015,
+        ));
+    }
+    let sply_ntv: [(&str, f64); 8] = [
+        ("0.001", 0.999),
+        ("0.01", 0.998),
+        ("0.1", 0.997),
+        ("1", 0.995),
+        ("10", 0.98),
+        ("100", 0.95),
+        ("1K", 0.90),
+        ("10K", 0.80),
+    ];
+    for (i, (suffix, share)) in sply_ntv.iter().enumerate() {
+        let x = i as f64 / 7.0;
+        specs.push(supply_derived(
+            &format!("usdc_SplyAdrBalNtv{suffix}"),
+            *share,
+            0.16 + 0.12 * x,
+            0.10 + 0.07 * x,
+            0.015,
+        ));
+    }
+    for (i, suffix) in ["1K", "10K", "100K", "1M", "100M"].iter().enumerate() {
+        specs.push(supply_derived(
+            &format!("usdc_SplyAdrBal1in{suffix}"),
+            0.9 - 0.12 * i as f64,
+            0.20,
+            0.10,
+            0.02,
+        ));
+    }
+
+    // --- Supply activity ---------------------------------------------------
+    let act: [(&str, f64, f64); 7] = [
+        ("7d", 0.45, 0.30),
+        ("30d", 0.40, 0.15),
+        ("90d", 0.32, 0.08),
+        ("180d", 0.25, 0.04),
+        ("1yr", 0.18, 0.02),
+        ("2yr", 0.10, 0.0),
+        ("3yr", 0.06, 0.0),
+    ];
+    for (suffix, cy, mo) in act {
+        specs.push(supply_derived(
+            &format!("usdc_SplyAct{suffix}"),
+            0.5,
+            cy,
+            mo * 0.2,
+            0.04,
+        ));
+    }
+    specs.push(MetricSpec::bounded(
+        "usdc_SplyActPct1yr",
+        CAT,
+        launch,
+        (40.0, 95.0),
+        (0.25, 0.50, 0.05),
+        0.0,
+        0.10,
+    ));
+    specs.push(supply_derived("usdc_SplyActEver", 0.97, 0.01, 0.01, 0.005));
+    specs.push(supply_derived("usdc_SplyCur", 1.0, 0.0, 0.0, 0.0));
+    specs.push(supply_derived("usdc_SplyFF", 0.93, 0.02, 0.02, 0.01));
+
+    // --- Capitalization ---------------------------------------------------
+    specs.push(supply_derived("usdc_CapMrktCurUSD", 1.0, 0.0, 0.0, 0.002));
+    specs.push(supply_derived("usdc_CapMrktFFUSD", 0.93, 0.02, 0.02, 0.01));
+    specs.push(supply_derived("usdc_CapAct1yrUSD", 0.6, 0.22, 0.06, 0.03));
+
+    // --- Transactions and flows --------------------------------------------
+    specs.push(MetricSpec::log_linear(
+        "usdc_TxCnt",
+        CAT,
+        launch,
+        11.0,
+        (0.55, 0.10, 0.35, 0.25, 0.0),
+        0,
+        0.06,
+    ));
+    specs.push(MetricSpec::log_linear(
+        "usdc_TxTfrCnt",
+        CAT,
+        launch,
+        11.3,
+        (0.55, 0.10, 0.33, 0.24, 0.0),
+        0,
+        0.06,
+    ));
+    specs.push(MetricSpec::log_linear(
+        "usdc_TxTfrValAdjUSD",
+        CAT,
+        launch,
+        20.0,
+        (0.55, 0.12, 0.40, 0.22, 0.0),
+        0,
+        0.08,
+    ));
+    specs.push(MetricSpec::log_linear(
+        "usdc_TxTfrValMeanUSD",
+        CAT,
+        launch,
+        9.0,
+        (0.05, 0.05, 0.18, 0.10, 0.0),
+        0,
+        0.10,
+    ));
+    specs.push(
+        MetricSpec::log_linear(
+            "usdc_TxTfrValMedUSD",
+            CAT,
+            launch,
+            6.0,
+            (0.05, 0.05, 0.15, 0.08, 0.0),
+            0,
+            0.10,
+        )
+        .with_defect(Defect::FlatAfter(
+            Date::from_ymd(2022, 3, 1).expect("valid constant"),
+        )),
+    );
+    specs.push(MetricSpec::log_linear(
+        "usdc_AdrActCnt",
+        CAT,
+        launch,
+        10.6,
+        (0.55, 0.10, 0.32, 0.28, 0.0),
+        0,
+        0.06,
+    ));
+    specs.push(MetricSpec::log_linear(
+        "usdc_AdrNewCnt",
+        CAT,
+        launch,
+        10.0,
+        (0.55, 0.12, 0.32, 0.30, 0.0),
+        0,
+        0.07,
+    ));
+    // Exchange flows observe the cycle almost noiselessly — buying power
+    // entering and leaving the market.
+    specs.push(MetricSpec::log_linear(
+        "usdc_FlowInExUSD",
+        CAT,
+        launch,
+        18.5,
+        (0.50, 0.10, 0.45, 0.15, 0.0),
+        0,
+        0.05,
+    ));
+    specs.push(MetricSpec::log_linear(
+        "usdc_FlowOutExUSD",
+        CAT,
+        launch,
+        18.4,
+        (0.50, 0.08, -0.40, -0.10, 0.0),
+        0,
+        0.05,
+    ));
+    specs.push(MetricSpec::custom("usdc_FlowNetExUSD", CAT, launch, |ctx| {
+        // Net inflow: signed, proportional to supply and the cycle.
+        let supply = usdc_supply(ctx.config, ctx.latents);
+        (0..ctx.latents.n_total())
+            .map(|t| {
+                supply[t]
+                    * 0.01
+                    * (ctx.latents.cycle[t] + 0.3 * ctx.latents.momentum[t]
+                        + 0.15 * ctx.noise())
+            })
+            .collect()
+    }));
+
+    // --- Ratios ---------------------------------------------------------------
+    specs.push(MetricSpec::bounded(
+        "usdc_SER",
+        CAT,
+        launch,
+        (0.05, 0.35),
+        (-0.30, -0.20, 0.0),
+        0.0,
+        0.10,
+    ));
+    specs.push(MetricSpec::log_linear(
+        "usdc_VelCur1yr",
+        CAT,
+        launch,
+        (20.0f64).ln(),
+        (-0.05, 0.10, 0.30, 0.10, 0.0),
+        0,
+        0.06,
+    ));
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latent::simulate;
+    use crate::spec::materialize;
+
+    #[test]
+    fn inventory_size_and_vocabulary() {
+        let cfg = SynthConfig::default();
+        let list = specs(&cfg);
+        assert!(list.len() >= 60, "{} specs", list.len());
+        let names: std::collections::HashSet<&str> =
+            list.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), list.len());
+        for expected in [
+            "usdc_AdrBalNtv1Cnt",
+            "usdc_AdrBalNtv10KCnt",
+            "usdc_SplyAdrBalNtv100",
+            "usdc_SplyCur",
+            "usdc_SplyAct2yr",
+            "usdc_SplyAct7d",
+            "usdc_CapMrktFFUSD",
+            "usdc_SplyAdrBalUSD10",
+            "usdc_SplyAdrBal1in100M",
+        ] {
+            assert!(names.contains(expected), "missing {expected}");
+        }
+        for s in &list {
+            assert!(s.name.starts_with("usdc_"));
+            assert_eq!(s.start, usdc_launch());
+        }
+    }
+
+    #[test]
+    fn supply_is_zero_before_launch_then_grows() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let supply = usdc_supply(&cfg, &latents);
+        let launch_idx = latents.warmup + usdc_launch().days_between(cfg.start) as usize;
+        assert!(supply[..launch_idx].iter().all(|&v| v == 0.0));
+        assert!((supply[launch_idx] - 25.0e6).abs() < 1.0);
+        // Multi-billion by the end of the sample.
+        assert!(*supply.last().unwrap() > 1.0e9, "{}", supply.last().unwrap());
+    }
+
+    #[test]
+    fn metrics_start_at_launch_in_full_config() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let btc = crate::btc::simulate_btc(&cfg, &latents);
+        let frame = materialize(&specs(&cfg), &cfg, &latents, &btc);
+        let col = frame.column("usdc_SplyCur").unwrap();
+        let expected_first = usdc_launch().days_between(cfg.start) as usize;
+        assert_eq!(col.first_present(), Some(expected_first));
+    }
+
+    #[test]
+    fn flows_observe_the_cycle() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let btc = crate::btc::simulate_btc(&cfg, &latents);
+        let frame = materialize(&specs(&cfg), &cfg, &latents, &btc);
+        let flow = frame.column("usdc_FlowInExUSD").unwrap().values();
+        let first = frame.column("usdc_FlowInExUSD").unwrap().first_present().unwrap();
+        let log_flow: Vec<f64> = flow[first..].iter().map(|v| v.ln()).collect();
+        let cycle = &latents.observed(&latents.cycle)[first..];
+        // Partial out nothing — raw correlation should still be visible
+        // despite adoption growth, thanks to the low noise.
+        let diffs_flow: Vec<f64> = log_flow.windows(30).map(|w| w[29] - w[0]).collect();
+        let diffs_cycle: Vec<f64> = cycle.windows(30).map(|w| w[29] - w[0]).collect();
+        let corr = c100_timeseries::stats::pearson(&diffs_flow, &diffs_cycle);
+        assert!(corr > 0.5, "cycle observation corr {corr}");
+    }
+}

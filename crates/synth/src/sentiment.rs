@@ -1,0 +1,241 @@
+//! The Sentiment and Interest Metrics inventory (~40 metrics).
+//!
+//! Social and search metrics observe the fast **momentum** factor with
+//! heavy noise — they help predict immediate market reactions and little
+//! else, which is exactly the short-horizon profile the paper reports for
+//! this category. Monthly Google-Trends series additionally track the
+//! price level loosely (interest follows price), giving them the modest
+//! 90-day relevance the paper notes for `gt_*_monthly`.
+//!
+//! Start dates mirror reality: the fear-and-greed index begins 2018-02,
+//! the LunarCrush-style social metrics 2018-06; both therefore only enter
+//! the paper's 2019 scenario set.
+
+use c100_timeseries::Date;
+
+use crate::spec::{Defect, MetricSpec, Sampling};
+use crate::{DataCategory, SynthConfig};
+
+const CAT: DataCategory = DataCategory::Sentiment;
+
+fn d(y: i32, m: u32, day: u32) -> Date {
+    Date::from_ymd(y, m, day).expect("valid constant date")
+}
+
+/// Builds the sentiment/interest spec list.
+pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
+    let start = config.start;
+    let fear_greed_start = d(2018, 2, 1).max(start);
+    let lunar_start = d(2018, 6, 1).max(start);
+    let mut specs: Vec<MetricSpec> = Vec::with_capacity(42);
+
+    // --- Google Trends (monthly search volume) — available from 2017 -----
+    for term in [
+        "Bitcoin",
+        "Ethereum",
+        "Crypto",
+        "Cryptocurrency",
+        "Blockchain",
+        "BuyBitcoin",
+    ] {
+        specs.push(
+            MetricSpec::log_linear(
+                format!("gt_{term}_monthly"),
+                CAT,
+                start,
+                11.0,
+                (0.15, 0.05, 0.10, 0.40, 0.15),
+                0,
+                0.35,
+            )
+            .with_sampling(Sampling::MonthlyStep),
+        );
+    }
+
+    // --- Social volume and engagement — available from 2017 ---------------
+    for (name, momentum, noise) in [
+        ("tweet_volume", 0.60, 0.26),
+        ("reddit_posts", 0.55, 0.30),
+        ("reddit_comments", 0.55, 0.30),
+        ("reddit_subscribers", 0.10, 0.10),
+        ("news_volume", 0.50, 0.28),
+        ("social_engagement", 0.55, 0.26),
+    ] {
+        // Subscribers are cumulative-ish: adoption heavy; the rest are
+        // momentum-chasing bursts.
+        let adoption = if name == "reddit_subscribers" { 0.8 } else { 0.25 };
+        specs.push(MetricSpec::log_linear(
+            name,
+            CAT,
+            start,
+            10.0,
+            (adoption, 0.05, 0.15, momentum, 0.05),
+            0,
+            noise,
+        ));
+    }
+    for (name, bias) in [
+        ("social_sentiment_positive", 0.4),
+        ("social_sentiment_negative", -0.4),
+        ("social_sentiment_neutral", 0.0),
+    ] {
+        let sign = if name.contains("negative") { -1.0 } else { 1.0 };
+        specs.push(MetricSpec::bounded(
+            name,
+            CAT,
+            start,
+            (0.0, 1.0),
+            (0.10 * sign, 0.20 * sign, 0.80 * sign),
+            bias,
+            0.50,
+        ));
+    }
+
+    // --- Fear & Greed index — from February 2018 --------------------------
+    specs.push(MetricSpec::bounded(
+        "fear_greed_index",
+        CAT,
+        fear_greed_start,
+        (0.0, 100.0),
+        (0.35, 0.45, 1.10),
+        0.0,
+        0.45,
+    ));
+    specs.push(MetricSpec::bounded(
+        "fear_greed_ma7",
+        CAT,
+        fear_greed_start,
+        (0.0, 100.0),
+        (0.40, 0.55, 0.80),
+        0.0,
+        0.20,
+    ));
+
+    // --- LunarCrush-style social intelligence — from June 2018 ------------
+    for (name, loads, noise) in [
+        ("lc_galaxy_score", (0.20, 0.35, 0.70), 0.40),
+        ("lc_alt_rank", (-0.15, -0.30, -0.60), 0.45),
+        ("lc_social_volume", (0.05, 0.20, 0.60), 0.45),
+        ("lc_social_contributors", (0.05, 0.18, 0.55), 0.45),
+        ("lc_social_dominance", (0.10, 0.15, 0.45), 0.40),
+        ("lc_average_sentiment", (0.12, 0.25, 0.75), 0.50),
+        ("lc_bullish_posts", (0.10, 0.25, 0.75), 0.50),
+        ("lc_bearish_posts", (-0.10, -0.25, -0.75), 0.50),
+        ("lc_spam_volume", (0.0, 0.05, 0.30), 0.60),
+        ("lc_news_articles", (0.05, 0.12, 0.45), 0.50),
+        ("lc_influencer_count", (0.08, 0.12, 0.40), 0.45),
+        ("lc_url_shares", (0.05, 0.15, 0.55), 0.50),
+        ("lc_youtube_videos", (0.05, 0.10, 0.40), 0.55),
+        ("lc_medium_posts", (0.04, 0.10, 0.35), 0.55),
+        ("lc_github_commits", (0.10, 0.05, 0.05), 0.35),
+        ("lc_search_dominance", (0.10, 0.18, 0.50), 0.45),
+        ("lc_social_score", (0.15, 0.25, 0.65), 0.40),
+        ("lc_market_dominance_social", (0.12, 0.15, 0.35), 0.40),
+        ("lc_tweet_sentiment_net", (0.10, 0.28, 0.80), 0.50),
+        ("lc_volatility_chatter", (-0.05, 0.10, 0.55), 0.55),
+    ] {
+        specs.push(MetricSpec::bounded(
+            name,
+            CAT,
+            lunar_start,
+            (0.0, 100.0),
+            loads,
+            0.0,
+            noise,
+        ));
+    }
+    // Two deliberately broken feeds for the cleaning phase.
+    specs.push(
+        MetricSpec::bounded(
+            "lc_reach_estimate",
+            CAT,
+            lunar_start,
+            (0.0, 100.0),
+            (0.05, 0.10, 0.40),
+            0.0,
+            0.5,
+        )
+        .with_defect(Defect::FlatAfter(d(2020, 2, 1))),
+    );
+    specs.push(
+        MetricSpec::bounded(
+            "lc_forum_activity",
+            CAT,
+            lunar_start,
+            (0.0, 100.0),
+            (0.05, 0.10, 0.40),
+            0.0,
+            0.5,
+        )
+        .with_defect(Defect::MissingRange(d(2021, 1, 1), d(2021, 6, 1))),
+    );
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latent::simulate;
+    use crate::spec::materialize;
+
+    #[test]
+    fn inventory_and_start_dates() {
+        let cfg = SynthConfig::default();
+        let list = specs(&cfg);
+        assert!(list.len() >= 35, "{} specs", list.len());
+        let names: std::collections::HashSet<&str> =
+            list.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), list.len());
+        assert!(names.contains("gt_Ethereum_monthly"));
+        assert!(names.contains("gt_Cryptocurrency_monthly"));
+        assert!(names.contains("fear_greed_index"));
+
+        let fg = list.iter().find(|s| s.name == "fear_greed_index").unwrap();
+        assert_eq!(fg.start, d(2018, 2, 1));
+        let gt = list.iter().find(|s| s.name == "gt_Bitcoin_monthly").unwrap();
+        assert_eq!(gt.start, cfg.start);
+        let lc = list.iter().find(|s| s.name == "lc_galaxy_score").unwrap();
+        assert_eq!(lc.start, d(2018, 6, 1));
+    }
+
+    #[test]
+    fn bounded_sentiment_is_in_range() {
+        let cfg = SynthConfig::small(31);
+        let latents = simulate(&cfg);
+        let btc = crate::btc::simulate_btc(&cfg, &latents);
+        let frame = materialize(&specs(&cfg), &cfg, &latents, &btc);
+        for name in ["fear_greed_index", "lc_galaxy_score"] {
+            for v in frame.column(name).unwrap().values() {
+                assert!(v.is_nan() || (0.0..=100.0).contains(v), "{name}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn google_trends_is_monthly_stepped() {
+        let cfg = SynthConfig::small(32); // starts 2019-01-01
+        let latents = simulate(&cfg);
+        let btc = crate::btc::simulate_btc(&cfg, &latents);
+        let frame = materialize(&specs(&cfg), &cfg, &latents, &btc);
+        let col = frame.column("gt_Bitcoin_monthly").unwrap().values();
+        for t in 1..31 {
+            assert_eq!(col[t], col[0]);
+        }
+        assert_ne!(col[31], col[0]);
+    }
+
+    #[test]
+    fn fear_greed_rises_with_momentum() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let btc = crate::btc::simulate_btc(&cfg, &latents);
+        let frame = materialize(&specs(&cfg), &cfg, &latents, &btc);
+        let col = frame.column("fear_greed_ma7").unwrap();
+        let first = col.first_present().unwrap();
+        let fg = &col.values()[first..];
+        let momentum = &latents.observed(&latents.momentum)[first..];
+        let corr = c100_timeseries::stats::pearson(fg, momentum);
+        assert!(corr > 0.3, "fear/greed vs momentum corr {corr}");
+    }
+}

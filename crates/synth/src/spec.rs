@@ -1,0 +1,556 @@
+//! Table-driven metric generation.
+//!
+//! Every observed metric is declared as a [`MetricSpec`]: how its value
+//! derives from the latent paths (a log-linear factor mix, a bounded
+//! oscillator, or a fully custom path), when its history starts, how it is
+//! sampled (daily, or monthly publication steps for macro/search-trend
+//! series) and, for a deliberate minority, a data-quality [`Defect`] that
+//! gives the paper's cleaning phase something realistic to discard.
+//!
+//! [`materialize`] turns a list of specs into a
+//! [`c100_timeseries::Frame`] over the observed window. Each metric draws
+//! its measurement noise from its own RNG stream (seeded from the master
+//! seed and the metric name), so adding or reordering metrics never
+//! changes the values of the others.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use c100_timeseries::{Date, Frame, Series};
+
+use crate::btc::BtcMarket;
+use crate::latent::{gaussian, LatentPaths};
+use crate::{DataCategory, SynthConfig};
+
+/// Context handed to custom metric generators.
+pub struct GenCtx<'a> {
+    /// Run configuration.
+    pub config: &'a SynthConfig,
+    /// Latent factor paths (extended: warm-up + observed).
+    pub latents: &'a LatentPaths,
+    /// BTC market series (extended fields cover the warm-up).
+    pub btc: &'a BtcMarket,
+    /// Per-metric RNG stream.
+    pub rng: StdRng,
+}
+
+impl<'a> GenCtx<'a> {
+    /// Draws one standard normal from the metric's stream.
+    pub fn noise(&mut self) -> f64 {
+        gaussian(&mut self.rng)
+    }
+}
+
+/// How the metric's underlying (noise-free) path derives from the latents.
+#[derive(Clone)]
+pub enum MetricKind {
+    /// `exp(base_ln + a·A + t·T + c·C + m·F + lv·(logP − logP₀) + σ·ε)`,
+    /// with all factor values taken `lag` days in the past.
+    LogLinear {
+        /// Log of the metric's base level.
+        base_ln: f64,
+        /// Loading on adoption `A`.
+        adoption: f64,
+        /// Loading on the crypto trend `T`.
+        trend: f64,
+        /// Loading on the cycle `C`.
+        cycle: f64,
+        /// Loading on momentum `F`.
+        momentum: f64,
+        /// Loading on the BTC log-price level (demeaned at first obs day).
+        level: f64,
+        /// Days of lag applied to the factor values (the metric *trails*
+        /// the market, destroying rather than creating predictivity).
+        lag: usize,
+    },
+    /// Logistic squashing of a factor mix into `[lo, hi]` (oscillators,
+    /// percentage shares, the fear-and-greed index).
+    Bounded {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Loading on the trend.
+        trend: f64,
+        /// Loading on the cycle.
+        cycle: f64,
+        /// Loading on momentum.
+        momentum: f64,
+        /// Constant offset inside the logistic.
+        bias: f64,
+    },
+    /// Fully custom generator returning the complete extended path.
+    Custom(Arc<dyn Fn(&mut GenCtx) -> Vec<f64> + Send + Sync>),
+}
+
+/// Publication cadence of the metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampling {
+    /// A fresh value every day.
+    Daily,
+    /// Value refreshed on the first day of each month and held constant —
+    /// macro releases and monthly Google-Trends figures.
+    MonthlyStep,
+    /// Value refreshed every Monday and held constant.
+    WeeklyStep,
+}
+
+/// A deliberate data-quality defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// The feed freezes (stays flat) from this date onward.
+    FlatAfter(Date),
+    /// A missing-data outage over `[from, to]` (inclusive).
+    MissingRange(Date, Date),
+}
+
+/// Declarative description of one observed metric.
+#[derive(Clone)]
+pub struct MetricSpec {
+    /// Column name (paper vocabulary, e.g. `SplyAdrBalUSD100`).
+    pub name: String,
+    /// Data-source category.
+    pub category: DataCategory,
+    /// First date with data; earlier days are missing.
+    pub start: Date,
+    /// Measurement-noise sigma applied inside the transform.
+    pub noise: f64,
+    /// Path generator.
+    pub kind: MetricKind,
+    /// Publication cadence.
+    pub sampling: Sampling,
+    /// Optional deliberate quality defect.
+    pub defect: Option<Defect>,
+}
+
+impl MetricSpec {
+    /// A daily log-linear metric with no defect — the common case.
+    #[allow(clippy::too_many_arguments)]
+    pub fn log_linear(
+        name: impl Into<String>,
+        category: DataCategory,
+        start: Date,
+        base_ln: f64,
+        loads: (f64, f64, f64, f64, f64),
+        lag: usize,
+        noise: f64,
+    ) -> Self {
+        let (adoption, trend, cycle, momentum, level) = loads;
+        MetricSpec {
+            name: name.into(),
+            category,
+            start,
+            noise,
+            kind: MetricKind::LogLinear {
+                base_ln,
+                adoption,
+                trend,
+                cycle,
+                momentum,
+                level,
+                lag,
+            },
+            sampling: Sampling::Daily,
+            defect: None,
+        }
+    }
+
+    /// A bounded oscillator-style metric.
+    pub fn bounded(
+        name: impl Into<String>,
+        category: DataCategory,
+        start: Date,
+        range: (f64, f64),
+        loads: (f64, f64, f64),
+        bias: f64,
+        noise: f64,
+    ) -> Self {
+        let (trend, cycle, momentum) = loads;
+        MetricSpec {
+            name: name.into(),
+            category,
+            start,
+            noise,
+            kind: MetricKind::Bounded {
+                lo: range.0,
+                hi: range.1,
+                trend,
+                cycle,
+                momentum,
+                bias,
+            },
+            sampling: Sampling::Daily,
+            defect: None,
+        }
+    }
+
+    /// A custom-path metric.
+    pub fn custom(
+        name: impl Into<String>,
+        category: DataCategory,
+        start: Date,
+        f: impl Fn(&mut GenCtx) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
+        MetricSpec {
+            name: name.into(),
+            category,
+            start,
+            noise: 0.0,
+            kind: MetricKind::Custom(Arc::new(f)),
+            sampling: Sampling::Daily,
+            defect: None,
+        }
+    }
+
+    /// Sets the sampling cadence.
+    pub fn with_sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Attaches a defect.
+    pub fn with_defect(mut self, defect: Defect) -> Self {
+        self.defect = Some(defect);
+        self
+    }
+}
+
+/// FNV-1a hash of the metric name, mixed into its RNG seed.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Generates the extended (warm-up + observed) noise-free-then-noised path
+/// for one spec.
+fn generate_extended(spec: &MetricSpec, ctx: &mut GenCtx) -> Vec<f64> {
+    let latents = ctx.latents;
+    let n = latents.n_total();
+    match &spec.kind {
+        MetricKind::LogLinear {
+            base_ln,
+            adoption,
+            trend,
+            cycle,
+            momentum,
+            level,
+            lag,
+        } => {
+            let lp0 = latents.log_price[latents.obs(0)];
+            (0..n)
+                .map(|t| {
+                    let s = t.saturating_sub(*lag);
+                    let exponent = base_ln
+                        + adoption * latents.adoption[s]
+                        + trend * latents.trend[s]
+                        + cycle * latents.cycle[s]
+                        + momentum * latents.momentum[s]
+                        + level * (latents.log_price[s] - lp0)
+                        + spec.noise * ctx.rng_noise();
+                    exponent.exp()
+                })
+                .collect()
+        }
+        MetricKind::Bounded {
+            lo,
+            hi,
+            trend,
+            cycle,
+            momentum,
+            bias,
+        } => (0..n)
+            .map(|t| {
+                let z = bias
+                    + trend * latents.trend[t]
+                    + cycle * latents.cycle[t]
+                    + momentum * latents.momentum[t]
+                    + spec.noise * ctx.rng_noise();
+                lo + (hi - lo) / (1.0 + (-z).exp())
+            })
+            .collect(),
+        MetricKind::Custom(f) => {
+            let path = f(ctx);
+            assert_eq!(
+                path.len(),
+                n,
+                "custom metric {} returned wrong length",
+                spec.name
+            );
+            path
+        }
+    }
+}
+
+impl<'a> GenCtx<'a> {
+    fn rng_noise(&mut self) -> f64 {
+        gaussian(&mut self.rng)
+    }
+}
+
+/// Materializes a list of specs into an observed-window frame.
+pub fn materialize(
+    specs: &[MetricSpec],
+    config: &SynthConfig,
+    latents: &LatentPaths,
+    btc: &BtcMarket,
+) -> Frame {
+    let n_obs = config.n_days();
+    let mut frame = Frame::with_daily_index(config.start, n_obs);
+    for spec in specs {
+        let mut ctx = GenCtx {
+            config,
+            latents,
+            btc,
+            rng: StdRng::seed_from_u64(config.seed ^ name_hash(&spec.name)),
+        };
+        let extended = generate_extended(spec, &mut ctx);
+        let mut values: Vec<f64> = extended[latents.warmup..].to_vec();
+
+        apply_sampling(&mut values, config.start, spec.sampling);
+
+        // Start-date cut-off: earlier days are missing.
+        if spec.start > config.start {
+            let first = spec.start.days_between(config.start).max(0) as usize;
+            for v in values.iter_mut().take(first.min(n_obs)) {
+                *v = f64::NAN;
+            }
+        }
+
+        if let Some(defect) = spec.defect {
+            apply_defect(&mut values, config.start, defect);
+        }
+
+        frame
+            .push_column(Series::new(spec.name.clone(), values))
+            .unwrap_or_else(|e| panic!("duplicate metric name {}: {e}", spec.name));
+    }
+    frame
+}
+
+fn apply_sampling(values: &mut [f64], start: Date, sampling: Sampling) {
+    match sampling {
+        Sampling::Daily => {}
+        Sampling::MonthlyStep => {
+            let mut held = values.first().copied().unwrap_or(f64::NAN);
+            for (t, v) in values.iter_mut().enumerate() {
+                let date = start.add_days(t as i32);
+                if date.day() == 1 || t == 0 {
+                    held = *v;
+                } else {
+                    *v = held;
+                }
+            }
+        }
+        Sampling::WeeklyStep => {
+            let mut held = values.first().copied().unwrap_or(f64::NAN);
+            for (t, v) in values.iter_mut().enumerate() {
+                let date = start.add_days(t as i32);
+                if date.weekday() == 0 || t == 0 {
+                    held = *v;
+                } else {
+                    *v = held;
+                }
+            }
+        }
+    }
+}
+
+fn apply_defect(values: &mut [f64], start: Date, defect: Defect) {
+    let idx_of = |d: Date| d.days_between(start).clamp(0, values.len() as i32) as usize;
+    match defect {
+        Defect::FlatAfter(date) => {
+            let from = idx_of(date);
+            if from < values.len() {
+                let frozen = values[from];
+                for v in values[from..].iter_mut() {
+                    *v = frozen;
+                }
+            }
+        }
+        Defect::MissingRange(from, to) => {
+            let lo = idx_of(from);
+            let hi = idx_of(to.add_days(1));
+            for v in values[lo..hi].iter_mut() {
+                *v = f64::NAN;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latent::simulate;
+
+    fn setup() -> (SynthConfig, LatentPaths, BtcMarket) {
+        let cfg = SynthConfig::small(9);
+        let latents = simulate(&cfg);
+        let btc = crate::btc::simulate_btc(&cfg, &latents);
+        (cfg, latents, btc)
+    }
+
+    #[test]
+    fn log_linear_metric_is_positive_and_tracks_level() {
+        let (cfg, latents, btc) = setup();
+        let spec = MetricSpec::log_linear(
+            "m_level",
+            DataCategory::OnChainBtc,
+            cfg.start,
+            10.0,
+            (0.0, 0.0, 0.0, 0.0, 1.0),
+            0,
+            0.01,
+        );
+        let frame = materialize(&[spec], &cfg, &latents, &btc);
+        let col = frame.column("m_level").unwrap().values();
+        assert!(col.iter().all(|v| *v > 0.0));
+        // Level loading 1.0 with tiny noise ⇒ near-perfect correlation
+        // with the BTC price.
+        let corr = c100_timeseries::stats::pearson(col, &btc.close);
+        assert!(corr > 0.95, "corr {corr}");
+    }
+
+    #[test]
+    fn bounded_metric_respects_range() {
+        let (cfg, latents, btc) = setup();
+        let spec = MetricSpec::bounded(
+            "osc",
+            DataCategory::Sentiment,
+            cfg.start,
+            (0.0, 100.0),
+            (0.5, 0.5, 2.0),
+            0.0,
+            0.5,
+        );
+        let frame = materialize(&[spec], &cfg, &latents, &btc);
+        for v in frame.column("osc").unwrap().values() {
+            assert!((0.0..=100.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn start_date_blanks_prefix() {
+        let (cfg, latents, btc) = setup();
+        let late_start = cfg.start.add_days(100);
+        let spec = MetricSpec::log_linear(
+            "late",
+            DataCategory::OnChainUsdc,
+            late_start,
+            1.0,
+            (0.0, 0.0, 0.0, 0.0, 0.0),
+            0,
+            0.1,
+        );
+        let frame = materialize(&[spec], &cfg, &latents, &btc);
+        let col = frame.column("late").unwrap();
+        assert_eq!(col.first_present(), Some(100));
+    }
+
+    #[test]
+    fn monthly_step_holds_values() {
+        let (cfg, latents, btc) = setup();
+        let spec = MetricSpec::log_linear(
+            "monthly",
+            DataCategory::Macro,
+            cfg.start,
+            2.0,
+            (0.0, 1.0, 0.0, 0.0, 0.0),
+            0,
+            0.2,
+        )
+        .with_sampling(Sampling::MonthlyStep);
+        let frame = materialize(&[spec], &cfg, &latents, &btc);
+        let col = frame.column("monthly").unwrap().values();
+        // cfg starts 2019-01-01: the whole of January holds one value.
+        for t in 1..31 {
+            assert_eq!(col[t], col[0], "day {t}");
+        }
+        assert_ne!(col[31], col[30]); // February 1st refreshes
+    }
+
+    #[test]
+    fn defects_apply() {
+        let (cfg, latents, btc) = setup();
+        let flat = MetricSpec::log_linear(
+            "flat",
+            DataCategory::Macro,
+            cfg.start,
+            0.0,
+            (0.0, 0.0, 0.0, 1.0, 0.0),
+            0,
+            0.3,
+        )
+        .with_defect(Defect::FlatAfter(cfg.start.add_days(50)));
+        let gap = MetricSpec::log_linear(
+            "gap",
+            DataCategory::Macro,
+            cfg.start,
+            0.0,
+            (0.0, 0.0, 0.0, 1.0, 0.0),
+            0,
+            0.3,
+        )
+        .with_defect(Defect::MissingRange(
+            cfg.start.add_days(10),
+            cfg.start.add_days(20),
+        ));
+        let frame = materialize(&[flat, gap], &cfg, &latents, &btc);
+        let flat_col = frame.column("flat").unwrap();
+        assert!(flat_col.longest_flat_run() >= cfg.n_days() - 51);
+        let gap_col = frame.column("gap").unwrap();
+        assert_eq!(gap_col.longest_missing_run(), 11);
+        assert!(!gap_col.values()[9].is_nan());
+        assert!(gap_col.values()[10].is_nan());
+        assert!(gap_col.values()[20].is_nan());
+        assert!(!gap_col.values()[21].is_nan());
+    }
+
+    #[test]
+    fn metric_streams_are_independent() {
+        // Same metric materialized alone or alongside others: identical.
+        let (cfg, latents, btc) = setup();
+        let make = |name: &str| {
+            MetricSpec::log_linear(
+                name,
+                DataCategory::OnChainBtc,
+                cfg.start,
+                5.0,
+                (0.3, 0.2, 0.1, 0.0, 0.5),
+                0,
+                0.2,
+            )
+        };
+        let solo = materialize(&[make("alpha")], &cfg, &latents, &btc);
+        let multi = materialize(&[make("zeta"), make("alpha")], &cfg, &latents, &btc);
+        assert_eq!(
+            solo.column("alpha").unwrap().values(),
+            multi.column("alpha").unwrap().values()
+        );
+    }
+
+    #[test]
+    fn lag_makes_metric_trail_the_market() {
+        let (cfg, latents, btc) = setup();
+        let lagged = MetricSpec::log_linear(
+            "lagged",
+            DataCategory::OnChainBtc,
+            cfg.start,
+            0.0,
+            (0.0, 0.0, 0.0, 0.0, 1.0),
+            30,
+            0.0,
+        );
+        let frame = materialize(&[lagged], &cfg, &latents, &btc);
+        let col = frame.column("lagged").unwrap().values();
+        // Metric at t equals price at t-30 ⇒ corr with price lagged 30.
+        let corr_lag =
+            c100_timeseries::stats::pearson(&col[30..], &btc.close[..btc.close.len() - 30]);
+        assert!(corr_lag > 0.999, "corr {corr_lag}");
+    }
+}

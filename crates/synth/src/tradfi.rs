@@ -1,0 +1,327 @@
+//! The Traditional Market Indices inventory (~20 daily closes).
+//!
+//! Each index is a geometric random walk whose daily returns load on the
+//! two traditional-market factors and the global trend. Because those
+//! factors *lead* the crypto trend by [`crate::latent::TRADFI_LEAD`] days,
+//! index levels carry information about crypto's direction months out —
+//! the growing long-horizon relevance Figures 3–4 show for this category.
+//!
+//! Traditional markets close on weekends, so Saturday/Sunday closes repeat
+//! Friday's value (forward-fill), exactly as daily-sampled Yahoo-style
+//! feeds behave.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use c100_timeseries::{Date, Frame, Series};
+
+use crate::latent::{gaussian, LatentPaths};
+use crate::SynthConfig;
+
+/// Return-loading description of one index.
+struct IndexSpec {
+    name: &'static str,
+    /// Initial level on the first observed day.
+    base: f64,
+    /// Annualized drift.
+    drift: f64,
+    /// Loadings on (tradfi₀ equity, tradfi₁ dollar, global trend, macro₀
+    /// rates) — per-day return contribution per factor standard deviation.
+    loads: [f64; 4],
+    /// Idiosyncratic daily volatility.
+    sigma: f64,
+    /// Freeze the feed from this date (defect for the cleaning phase).
+    freeze_after: Option<Date>,
+}
+
+fn d(y: i32, m: u32, day: u32) -> Date {
+    Date::from_ymd(y, m, day).expect("valid constant date")
+}
+
+fn index_table() -> Vec<IndexSpec> {
+    let eq = |name, base, sigma| IndexSpec {
+        name,
+        base,
+        drift: 0.10,
+        loads: [0.0035, 0.0005, 0.0012, -0.0008],
+        sigma,
+        freeze_after: None,
+    };
+    vec![
+        // Equity indices — share the equity factor.
+        eq("QQQ_Close", 120.0, 0.011),
+        eq("SPY_Close", 225.0, 0.009),
+        eq("DIA_Close", 198.0, 0.009),
+        eq("IWM_Close", 135.0, 0.012),
+        eq("VTI_Close", 115.0, 0.009),
+        eq("XLK_Close", 48.0, 0.012),
+        eq("XLF_Close", 23.0, 0.011),
+        // Dollar strength and FX.
+        IndexSpec {
+            name: "UUP_Close",
+            base: 26.0,
+            drift: 0.0,
+            loads: [-0.0005, 0.0030, -0.0012, 0.0010],
+            sigma: 0.004,
+            freeze_after: None,
+        },
+        IndexSpec {
+            name: "EURUSD_Close",
+            base: 1.05,
+            drift: 0.0,
+            loads: [0.0004, -0.0028, 0.0010, -0.0008],
+            sigma: 0.004,
+            freeze_after: None,
+        },
+        IndexSpec {
+            name: "GBPUSD_Close",
+            base: 1.23,
+            drift: 0.0,
+            loads: [0.0005, -0.0026, 0.0010, -0.0007],
+            sigma: 0.005,
+            freeze_after: None,
+        },
+        IndexSpec {
+            name: "JPYUSD_Close",
+            base: 0.0086,
+            drift: 0.0,
+            loads: [-0.0003, -0.0022, -0.0006, -0.0012],
+            sigma: 0.004,
+            freeze_after: None,
+        },
+        // Bonds — fall when the rates factor rises.
+        IndexSpec {
+            name: "BSV_Close",
+            base: 79.0,
+            drift: 0.01,
+            loads: [0.0001, 0.0002, 0.0001, -0.0018],
+            sigma: 0.0015,
+            freeze_after: None,
+        },
+        IndexSpec {
+            name: "MBB_Close",
+            base: 106.0,
+            drift: 0.01,
+            loads: [0.0002, 0.0002, 0.0002, -0.0022],
+            sigma: 0.002,
+            freeze_after: None,
+        },
+        IndexSpec {
+            name: "TLT_Close",
+            base: 119.0,
+            drift: 0.01,
+            loads: [-0.0004, 0.0004, -0.0003, -0.0045],
+            sigma: 0.007,
+            freeze_after: None,
+        },
+        IndexSpec {
+            name: "AGG_Close",
+            base: 108.0,
+            drift: 0.01,
+            loads: [0.0001, 0.0002, 0.0001, -0.0020],
+            sigma: 0.002,
+            freeze_after: None,
+        },
+        // Metals and commodities.
+        IndexSpec {
+            name: "GLD_Close",
+            base: 110.0,
+            drift: 0.04,
+            loads: [-0.0005, -0.0020, 0.0006, -0.0015],
+            sigma: 0.008,
+            freeze_after: None,
+        },
+        IndexSpec {
+            name: "SLV_Close",
+            base: 15.0,
+            drift: 0.03,
+            loads: [0.0002, -0.0022, 0.0008, -0.0013],
+            sigma: 0.013,
+            freeze_after: None,
+        },
+        IndexSpec {
+            name: "USO_Close",
+            base: 11.0,
+            drift: 0.0,
+            loads: [0.0015, -0.0010, 0.0018, 0.0004],
+            sigma: 0.020,
+            freeze_after: None,
+        },
+        // Two degraded feeds for the cleaning phase.
+        IndexSpec {
+            name: "VNQ_Close",
+            base: 84.0,
+            drift: 0.05,
+            loads: [0.0022, 0.0002, 0.0008, -0.0020],
+            sigma: 0.010,
+            freeze_after: Some(d(2021, 9, 1)),
+        },
+        IndexSpec {
+            name: "EEM_Close",
+            base: 35.0,
+            drift: 0.04,
+            loads: [0.0028, -0.0012, 0.0016, -0.0010],
+            sigma: 0.012,
+            freeze_after: Some(d(2020, 6, 1)),
+        },
+    ]
+}
+
+/// FNV-1a name hash (same scheme as the spec generator).
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Generates the traditional-market frame over the observed window.
+pub fn generate(config: &SynthConfig, latents: &LatentPaths) -> Frame {
+    let n_obs = config.n_days();
+    let warmup = latents.warmup;
+    let mut frame = Frame::with_daily_index(config.start, n_obs);
+
+    for spec in index_table() {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ name_hash(spec.name));
+        let mut level = spec.base;
+        let mut values = Vec::with_capacity(n_obs);
+        // Each index also follows its own slow idiosyncratic trend (sector
+        // rotations, duration bets, …): this decorrelates index *levels*
+        // from the crypto level over sub-periods, so traditional indices
+        // only pay off through the factor lead at long horizons — the
+        // profile Figures 3-4 show.
+        let own_phi = crate::latent::phi_for_half_life(120.0);
+        let own_sd = (1.0 - own_phi * own_phi).sqrt();
+        let mut own = gaussian(&mut rng);
+        // Integrate the walk over the full extended horizon so the level on
+        // day one reflects factor history; rescale to base afterwards.
+        let mut path = Vec::with_capacity(latents.n_total());
+        for t in 0..latents.n_total() {
+            own = own_phi * own + own_sd * gaussian(&mut rng);
+            let r = spec.drift / 365.25
+                + spec.loads[0] * latents.tradfi_factors[0][t]
+                + spec.loads[1] * latents.tradfi_factors[1][t]
+                + spec.loads[2] * latents.global_trend[t]
+                + spec.loads[3] * latents.macro_factors[0][t]
+                + 0.0035 * own
+                + spec.sigma * gaussian(&mut rng);
+            level *= r.exp();
+            path.push(level);
+        }
+        let anchor = spec.base / path[warmup];
+        for t in 0..n_obs {
+            let date = config.start.add_days(t as i32);
+            if date.is_weekend() && t > 0 {
+                values.push(values[t - 1]); // market closed: repeat Friday
+            } else {
+                values.push(path[warmup + t] * anchor);
+            }
+        }
+        if let Some(freeze) = spec.freeze_after {
+            let from = freeze.days_between(config.start).clamp(0, n_obs as i32) as usize;
+            if from < n_obs {
+                let frozen = values[from];
+                for v in values[from..].iter_mut() {
+                    *v = frozen;
+                }
+            }
+        }
+        frame
+            .push_column(Series::new(spec.name, values))
+            .expect("unique tradfi names");
+    }
+
+    // VIX-style volatility index: mean-reverting, spikes in the turbulent
+    // regime — not a random walk, so handled outside the table.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ name_hash("VIX_Close"));
+    let mut vix = Vec::with_capacity(n_obs);
+    for t in 0..n_obs {
+        let date = config.start.add_days(t as i32);
+        if date.is_weekend() && t > 0 {
+            vix.push(vix[t - 1]);
+            continue;
+        }
+        let s = warmup + t;
+        let v = (18.0f64.ln() + 0.55 * latents.regime[s] as f64
+            - 0.12 * latents.global_trend[s]
+            + 0.15 * gaussian(&mut rng))
+        .exp();
+        vix.push(v);
+    }
+    frame
+        .push_column(Series::new("VIX_Close", vix))
+        .expect("unique VIX name");
+
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latent::simulate;
+
+    #[test]
+    fn frame_has_paper_vocabulary() {
+        let cfg = SynthConfig::small(41);
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        assert!(frame.width() >= 20, "{} columns", frame.width());
+        for name in ["QQQ_Close", "UUP_Close", "EURUSD_Close", "BSV_Close", "MBB_Close", "VIX_Close"] {
+            assert!(frame.has_column(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn weekends_repeat_friday() {
+        let cfg = SynthConfig::small(42); // starts 2019-01-01 (a Tuesday)
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        let qqq = frame.column("QQQ_Close").unwrap().values();
+        for t in 1..qqq.len() {
+            let date = cfg.start.add_days(t as i32);
+            if date.is_weekend() {
+                assert_eq!(qqq[t], qqq[t - 1], "weekend {date} should repeat");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_anchor_at_base() {
+        let cfg = SynthConfig::small(43);
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        let spy = frame.column("SPY_Close").unwrap().values();
+        assert!((spy[0] - 225.0).abs() < 1e-9);
+        assert!(spy.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn frozen_feed_is_flat() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        let eem = frame.column("EEM_Close").unwrap();
+        assert!(eem.longest_flat_run() > 365);
+        let qqq = frame.column("QQQ_Close").unwrap();
+        assert!(qqq.longest_flat_run() < 10);
+    }
+
+    #[test]
+    fn equities_share_a_factor() {
+        let cfg = SynthConfig::default();
+        let latents = simulate(&cfg);
+        let frame = generate(&cfg, &latents);
+        let qqq = frame.column("QQQ_Close").unwrap().values();
+        let spy = frame.column("SPY_Close").unwrap().values();
+        let rets = |v: &[f64]| -> Vec<f64> {
+            v.windows(2).map(|w| (w[1] / w[0]).ln()).collect()
+        };
+        // The shared equity factor is deliberately modest (idiosyncratic
+        // trends dominate so index *levels* decouple from crypto); daily
+        // return correlation just needs to be clearly positive.
+        let corr = c100_timeseries::stats::pearson(&rets(qqq), &rets(spy));
+        assert!(corr > 0.1, "equity return corr {corr}");
+    }
+}

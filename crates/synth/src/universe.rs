@@ -1,0 +1,222 @@
+//! The simulated cryptocurrency universe: ~300 assets with churn in the
+//! top-100 list, from which the Crypto100 index (and Figure 1's top-100
+//! vs total market-cap comparison) is computed.
+//!
+//! Asset 0 is BTC itself (its cap comes from the BTC simulation). Every
+//! other asset follows a market model: `cap_i(t) = base_i ·
+//! exp(β_i·(log P_btc(t) − log P_btc(0)) + idio_i(t))` with Pareto base
+//! caps, market betas around 1, and an idiosyncratic OU path whose
+//! volatility grows as caps shrink. A share of assets launches mid-sample
+//! with a small cap that mean-reverts upward, reproducing the churn of a
+//! maturing market.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use c100_timeseries::Date;
+
+use crate::btc::BtcMarket;
+use crate::latent::{gaussian, LatentPaths};
+use crate::SynthConfig;
+
+/// Daily market caps for every asset plus the aggregates the index needs.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// First observed day.
+    pub start: Date,
+    /// Per-asset daily market caps (`caps[asset][day]`, 0.0 before launch).
+    pub caps: Vec<Vec<f64>>,
+    /// Sum of the 100 largest caps per day.
+    pub top100_cap: Vec<f64>,
+    /// Sum of all caps per day.
+    pub total_cap: Vec<f64>,
+}
+
+impl Universe {
+    /// Number of observed days.
+    pub fn n_days(&self) -> usize {
+        self.total_cap.len()
+    }
+
+    /// Number of simulated assets.
+    pub fn n_assets(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Indices of the `k` largest assets on `day`, largest first.
+    pub fn top_k(&self, day: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.caps.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.caps[b][day]
+                .partial_cmp(&self.caps[a][day])
+                .expect("caps are finite")
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// Fraction of total cap held by the top 100, per day (Figure 1).
+    pub fn top100_share(&self) -> Vec<f64> {
+        self.top100_cap
+            .iter()
+            .zip(&self.total_cap)
+            .map(|(t, total)| {
+                if *total > 0.0 {
+                    // The two sums accumulate in different orders; clamp the
+                    // share so rounding never pushes it past 1.
+                    (t / total).min(1.0)
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect()
+    }
+}
+
+/// Simulates the asset universe from the BTC path.
+pub fn simulate_universe(
+    config: &SynthConfig,
+    latents: &LatentPaths,
+    btc: &BtcMarket,
+) -> Universe {
+    let n_obs = config.n_days();
+    let n_assets = config.n_assets.max(101);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x94D0_49BB_1331_11EB));
+
+    let lp0 = latents.log_price[latents.obs(0)];
+    let mut caps: Vec<Vec<f64>> = Vec::with_capacity(n_assets);
+
+    // Asset 0: BTC.
+    caps.push(btc.market_cap.clone());
+
+    for i in 1..n_assets {
+        // Pareto-like base cap: rank 1 ≈ 40% of BTC (ETH), tail tiny.
+        // Large caps get little base jitter and betas near 1 so BTC stays
+        // the market leader, as it did throughout 2017-2023.
+        let rank = i as f64;
+        let damping = (rank / 20.0).min(1.0);
+        let jitter = ((0.15 + 0.35 * damping) * gaussian(&mut rng)).exp();
+        let base = btc.market_cap[0] * 0.40 * rank.powf(-1.05) * jitter;
+        let beta = 1.0 + (0.2 + 0.4 * damping) * (rng.gen::<f64>() - 0.5);
+        // Smaller assets are noisier; the top of the table is stable.
+        let idio_sigma = (0.008 + 0.012 * damping) + 0.03 * (rank / n_assets as f64);
+        let phi = crate::latent::phi_for_half_life(45.0);
+
+        // ~35% of the alt universe launches during the sample window.
+        let launch_day = if rng.gen::<f64>() < 0.35 {
+            (rng.gen::<f64>() * n_obs as f64 * 0.8) as usize
+        } else {
+            0
+        };
+
+        // New launches start depressed and mean-revert upward.
+        let mut idio: f64 = if launch_day > 0 { -2.5 } else { gaussian(&mut rng) * 0.8 };
+        let mut series = vec![0.0; n_obs];
+        for (t, slot) in series.iter_mut().enumerate() {
+            if t < launch_day {
+                continue;
+            }
+            idio = phi * idio + idio_sigma * 8.0f64.sqrt() * gaussian(&mut rng);
+            let market_term = beta * (latents.log_price[latents.obs(t)] - lp0);
+            *slot = base * (market_term + idio).exp();
+        }
+        caps.push(series);
+    }
+
+    // Daily aggregates via partial selection of the 100 largest.
+    let mut top100_cap = Vec::with_capacity(n_obs);
+    let mut total_cap = Vec::with_capacity(n_obs);
+    let mut day_caps: Vec<f64> = Vec::with_capacity(n_assets);
+    for t in 0..n_obs {
+        day_caps.clear();
+        day_caps.extend(caps.iter().map(|c| c[t]));
+        let total: f64 = day_caps.iter().sum();
+        let k = 100.min(day_caps.len());
+        day_caps.select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).expect("finite caps"));
+        let top: f64 = day_caps[..k].iter().sum();
+        top100_cap.push(top);
+        total_cap.push(total);
+    }
+
+    Universe {
+        start: config.start,
+        caps,
+        top100_cap,
+        total_cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btc::simulate_btc;
+    use crate::latent::simulate;
+
+    fn build(seed: u64) -> (SynthConfig, Universe) {
+        let cfg = SynthConfig::small(seed);
+        let latents = simulate(&cfg);
+        let btc = simulate_btc(&cfg, &latents);
+        let universe = simulate_universe(&cfg, &latents, &btc);
+        (cfg, universe)
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let (cfg, u) = build(61);
+        assert_eq!(u.n_days(), cfg.n_days());
+        assert_eq!(u.n_assets(), cfg.n_assets);
+        for t in (0..u.n_days()).step_by(50) {
+            assert!(u.top100_cap[t] <= u.total_cap[t] * (1.0 + 1e-12));
+            assert!(u.top100_cap[t] > 0.0);
+            // Top-100 must dominate the market, as in Figure 1.
+            let share = u.top100_cap[t] / u.total_cap[t];
+            assert!(share > 0.85, "day {t} share {share}");
+        }
+    }
+
+    #[test]
+    fn btc_is_asset_zero_and_usually_the_largest() {
+        let (_, u) = build(62);
+        let mut btc_top = 0;
+        let checks = (0..u.n_days()).step_by(25);
+        let mut total = 0;
+        for t in checks {
+            total += 1;
+            if u.top_k(t, 1)[0] == 0 {
+                btc_top += 1;
+            }
+        }
+        assert!(btc_top * 10 >= total * 9, "BTC top on {btc_top}/{total} checks");
+    }
+
+    #[test]
+    fn top_k_is_sorted_descending() {
+        let (_, u) = build(63);
+        let day = u.n_days() / 2;
+        let top = u.top_k(day, 20);
+        for w in top.windows(2) {
+            assert!(u.caps[w[0]][day] >= u.caps[w[1]][day]);
+        }
+    }
+
+    #[test]
+    fn late_launches_create_churn() {
+        let (_, u) = build(64);
+        let early: std::collections::HashSet<usize> = u.top_k(10, 100).into_iter().collect();
+        let late: std::collections::HashSet<usize> = u.top_k(u.n_days() - 1, 100).into_iter().collect();
+        let overlap = early.intersection(&late).count();
+        assert!(overlap < 100, "top-100 membership never changed");
+        // Some asset launched mid-sample (cap exactly zero early on).
+        assert!(u.caps.iter().any(|c| c[0] == 0.0 && *c.last().unwrap() > 0.0));
+    }
+
+    #[test]
+    fn caps_are_finite_and_nonnegative() {
+        let (_, u) = build(65);
+        for c in &u.caps {
+            for v in c {
+                assert!(v.is_finite() && *v >= 0.0);
+            }
+        }
+    }
+}

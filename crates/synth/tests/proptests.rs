@@ -1,0 +1,80 @@
+//! Property-based tests for the market simulator: determinism, structural
+//! invariants and cross-seed robustness of the latent model.
+
+use c100_synth::latent::{phi_for_half_life, simulate};
+use c100_synth::universe::simulate_universe;
+use c100_synth::{btc, SynthConfig};
+use c100_timeseries::Date;
+use proptest::prelude::*;
+
+fn tiny_config(seed: u64) -> SynthConfig {
+    SynthConfig {
+        seed,
+        start: Date::from_ymd(2019, 1, 1).unwrap(),
+        end: Date::from_ymd(2019, 12, 31).unwrap(),
+        n_assets: 110,
+        warmup_days: 120,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn phi_is_in_unit_interval(half_life in 0.5f64..1000.0) {
+        let phi = phi_for_half_life(half_life);
+        prop_assert!(phi > 0.0 && phi < 1.0);
+        // Half-life property: phi^h = 1/2.
+        prop_assert!((phi.powf(half_life) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latents_are_finite_for_any_seed(seed in 0u64..10_000) {
+        let paths = simulate(&tiny_config(seed));
+        for path in [&paths.trend, &paths.cycle, &paths.momentum, &paths.adoption, &paths.log_price] {
+            prop_assert!(path.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn btc_prices_positive_for_any_seed(seed in 0u64..10_000) {
+        let cfg = tiny_config(seed);
+        let latents = simulate(&cfg);
+        let market = btc::simulate_btc(&cfg, &latents);
+        prop_assert!(market.close.iter().all(|v| *v > 0.0));
+        prop_assert!(market.volume.iter().all(|v| *v > 0.0));
+        for t in 0..market.close.len() {
+            prop_assert!(market.high[t] >= market.low[t]);
+        }
+    }
+
+    #[test]
+    fn universe_top100_never_exceeds_total(seed in 0u64..5_000) {
+        let cfg = tiny_config(seed);
+        let latents = simulate(&cfg);
+        let market = btc::simulate_btc(&cfg, &latents);
+        let universe = simulate_universe(&cfg, &latents, &market);
+        for t in (0..universe.n_days()).step_by(30) {
+            prop_assert!(universe.top100_cap[t] <= universe.total_cap[t] * (1.0 + 1e-9));
+            prop_assert!(universe.top100_cap[t] > 0.0);
+        }
+        for share in universe.top100_share() {
+            prop_assert!(share > 0.0 && share <= 1.0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_a_pure_function_of_seed(seed in 0u64..1_000) {
+        let cfg = tiny_config(seed);
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn supply_is_monotone(days in 0i32..5000) {
+        let d0 = Date::from_ymd(2017, 1, 1).unwrap().add_days(days);
+        let d1 = d0.add_days(1);
+        prop_assert!(btc::btc_supply_on(d1) > btc::btc_supply_on(d0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Data-cleaning pass: the paper's preprocessing discards features that are
+//! "flat or missing for very long periods" and removes duplicate values.
+
+use crate::frame::Frame;
+
+/// Thresholds controlling which features the cleaning pass discards.
+#[derive(Debug, Clone, Copy)]
+pub struct CleanConfig {
+    /// Drop a feature whose longest missing run exceeds this many days.
+    pub max_missing_run: usize,
+    /// Drop a feature whose longest flat (unchanging) run exceeds this many
+    /// days.
+    pub max_flat_run: usize,
+    /// Drop a feature with more than this fraction of missing samples.
+    pub max_missing_fraction: f64,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        CleanConfig {
+            max_missing_run: 60,
+            max_flat_run: 120,
+            max_missing_fraction: 0.25,
+        }
+    }
+}
+
+/// Outcome of a cleaning pass.
+#[derive(Debug, Clone, Default)]
+pub struct CleanReport {
+    /// Features dropped for a too-long missing run.
+    pub dropped_missing_run: Vec<String>,
+    /// Features dropped for a too-long flat run.
+    pub dropped_flat: Vec<String>,
+    /// Features dropped for too many missing samples overall.
+    pub dropped_missing_fraction: Vec<String>,
+}
+
+impl CleanReport {
+    /// Total number of features removed.
+    pub fn total_dropped(&self) -> usize {
+        self.dropped_missing_run.len() + self.dropped_flat.len() + self.dropped_missing_fraction.len()
+    }
+}
+
+/// Removes features violating the config from the frame, in place.
+///
+/// Features in `protected` (typically the target column) are never dropped.
+pub fn clean_frame(frame: &mut Frame, config: &CleanConfig, protected: &[&str]) -> CleanReport {
+    let mut report = CleanReport::default();
+    let names: Vec<String> = frame.column_names().iter().map(|s| s.to_string()).collect();
+    for name in names {
+        if protected.contains(&name.as_str()) {
+            continue;
+        }
+        let col = frame.column(&name).expect("column listed but absent");
+        let n = col.len().max(1);
+        let missing_fraction = col.count_missing() as f64 / n as f64;
+        // Ignore the leading missing run when judging interior gaps: a
+        // feature that starts late is handled by the scenario cut, not here.
+        let interior_missing_run = match col.first_present() {
+            Some(first) => col.slice(first, col.len()).longest_missing_run(),
+            None => col.len(),
+        };
+        if interior_missing_run > config.max_missing_run {
+            report.dropped_missing_run.push(name.clone());
+            frame.drop_column(&name).expect("drop listed column");
+        } else if col.longest_flat_run() > config.max_flat_run {
+            report.dropped_flat.push(name.clone());
+            frame.drop_column(&name).expect("drop listed column");
+        } else if missing_fraction > config.max_missing_fraction {
+            report.dropped_missing_fraction.push(name.clone());
+            frame.drop_column(&name).expect("drop listed column");
+        }
+    }
+    report
+}
+
+/// Replaces exact consecutive duplicates beyond `max_consecutive` repeats
+/// with interpolation anchors (NaN), so a later interpolation pass smooths
+/// the stale stretch. Mirrors the paper's "removing duplicate values" step
+/// without deleting rows (the panel must stay strictly daily).
+pub fn blank_stale_repeats(frame: &mut Frame, max_consecutive: usize) {
+    for col in frame.columns_mut() {
+        let values = col.values_mut();
+        let mut run_start = 0usize;
+        let mut i = 1;
+        let n = values.len();
+        while i <= n {
+            let continues = i < n
+                && !values[i].is_nan()
+                && !values[run_start].is_nan()
+                && values[i] == values[run_start];
+            if !continues {
+                let run_len = i - run_start;
+                if run_len > max_consecutive && !values[run_start].is_nan() {
+                    // Keep the first sample of the stale run, blank the rest.
+                    for v in values[(run_start + 1)..i].iter_mut() {
+                        *v = f64::NAN;
+                    }
+                }
+                run_start = i;
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+    use crate::series::Series;
+
+    fn frame_with(values: &[(&str, Vec<f64>)]) -> Frame {
+        let len = values[0].1.len();
+        let mut f = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), len);
+        for (name, vals) in values {
+            f.push_column(Series::new(*name, vals.clone())).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn drops_flat_features() {
+        let mut f = frame_with(&[
+            ("flat", vec![5.0; 10]),
+            ("ok", (0..10).map(|i| i as f64).collect()),
+        ]);
+        let cfg = CleanConfig {
+            max_flat_run: 5,
+            ..CleanConfig::default()
+        };
+        let report = clean_frame(&mut f, &cfg, &[]);
+        assert_eq!(report.dropped_flat, vec!["flat"]);
+        assert!(f.has_column("ok"));
+        assert!(!f.has_column("flat"));
+    }
+
+    #[test]
+    fn drops_missing_heavy_features() {
+        let mut sparse = vec![f64::NAN; 10];
+        sparse[0] = 1.0;
+        sparse[5] = 2.0;
+        let mut f = frame_with(&[("sparse", sparse), ("ok", (0..10).map(|i| i as f64).collect())]);
+        let cfg = CleanConfig {
+            max_missing_run: 3,
+            ..CleanConfig::default()
+        };
+        let report = clean_frame(&mut f, &cfg, &[]);
+        assert_eq!(report.total_dropped(), 1);
+        assert!(!f.has_column("sparse"));
+    }
+
+    #[test]
+    fn leading_missing_run_is_tolerated() {
+        // Starts late but is dense afterwards — the scenario cut handles it.
+        let mut values = vec![f64::NAN; 50];
+        values.extend((0..50).map(|i| i as f64));
+        let mut f = frame_with(&[("late", values)]);
+        let cfg = CleanConfig {
+            max_missing_run: 10,
+            max_missing_fraction: 0.6,
+            ..CleanConfig::default()
+        };
+        let report = clean_frame(&mut f, &cfg, &[]);
+        assert_eq!(report.total_dropped(), 0);
+        assert!(f.has_column("late"));
+    }
+
+    #[test]
+    fn protected_columns_survive() {
+        let mut f = frame_with(&[("target", vec![5.0; 10])]);
+        let cfg = CleanConfig {
+            max_flat_run: 2,
+            ..CleanConfig::default()
+        };
+        clean_frame(&mut f, &cfg, &["target"]);
+        assert!(f.has_column("target"));
+    }
+
+    #[test]
+    fn blank_stale_repeats_keeps_first_sample() {
+        let mut f = frame_with(&[("x", vec![1.0, 2.0, 2.0, 2.0, 2.0, 3.0])]);
+        blank_stale_repeats(&mut f, 2);
+        let x = f.column("x").unwrap().values();
+        assert_eq!(x[0], 1.0);
+        assert_eq!(x[1], 2.0);
+        assert!(x[2].is_nan() && x[3].is_nan() && x[4].is_nan());
+        assert_eq!(x[5], 3.0);
+    }
+
+    #[test]
+    fn blank_stale_repeats_ignores_short_runs() {
+        let mut f = frame_with(&[("x", vec![1.0, 1.0, 2.0, 2.0])]);
+        blank_stale_repeats(&mut f, 2);
+        assert_eq!(f.column("x").unwrap().values(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Minimal CSV persistence for frames.
+//!
+//! Experiment outputs (figure series, tables) are written as plain CSV so
+//! they can be inspected or re-plotted outside Rust. The format is strict:
+//! a `date` column first, ISO dates, empty cells for missing values. Column
+//! names in our dataset never contain commas or quotes, so no quoting layer
+//! is needed; writing a name containing one is rejected.
+
+use std::io::{BufRead, Write};
+
+use crate::date::Date;
+use crate::frame::Frame;
+use crate::series::Series;
+use crate::{Result, TsError};
+
+/// Serializes the frame as CSV into `writer`.
+pub fn write_frame<W: Write>(frame: &Frame, writer: &mut W) -> std::io::Result<()> {
+    let bad_name = frame
+        .column_names()
+        .iter()
+        .find(|n| n.contains(',') || n.contains('"') || n.contains('\n'))
+        .map(|n| n.to_string());
+    if let Some(name) = bad_name {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("column name needs quoting, unsupported: {name}"),
+        ));
+    }
+    write!(writer, "date")?;
+    for name in frame.column_names() {
+        write!(writer, ",{name}")?;
+    }
+    writeln!(writer)?;
+    for (row, date) in frame.dates().enumerate() {
+        write!(writer, "{date}")?;
+        for col in frame.columns() {
+            let v = col.values()[row];
+            if v.is_nan() {
+                write!(writer, ",")?;
+            } else {
+                write!(writer, ",{v}")?;
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Writes the frame to a file path.
+pub fn write_frame_to_path(frame: &Frame, path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_frame(frame, &mut writer)
+}
+
+/// Parses a frame from CSV produced by [`write_frame`]. The index must be
+/// strictly daily and gap-free.
+pub fn read_frame<R: BufRead>(reader: R) -> Result<Frame> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TsError::Parse("empty input".into()))?
+        .map_err(|e| TsError::Parse(e.to_string()))?;
+    let mut cols = header.split(',');
+    if cols.next() != Some("date") {
+        return Err(TsError::Parse("first column must be 'date'".into()));
+    }
+    let names: Vec<String> = cols.map(|s| s.to_string()).collect();
+
+    let mut dates: Vec<Date> = Vec::new();
+    let mut data: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    for line in lines {
+        let line = line.map_err(|e| TsError::Parse(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let date_str = fields
+            .next()
+            .ok_or_else(|| TsError::Parse(format!("missing date in row: {line}")))?;
+        dates.push(Date::parse(date_str)?);
+        for (i, column) in data.iter_mut().enumerate() {
+            let field = fields
+                .next()
+                .ok_or_else(|| TsError::Parse(format!("row too short: {line}")))?;
+            if field.is_empty() {
+                column.push(f64::NAN);
+            } else {
+                column.push(
+                    field
+                        .parse()
+                        .map_err(|_| TsError::Parse(format!("bad number '{field}' (col {i})")))?,
+                );
+            }
+        }
+        if fields.next().is_some() {
+            return Err(TsError::Parse(format!("row too long: {line}")));
+        }
+    }
+    if dates.is_empty() {
+        return Err(TsError::Parse("no data rows".into()));
+    }
+    for (i, pair) in dates.windows(2).enumerate() {
+        if pair[1].days_between(pair[0]) != 1 {
+            return Err(TsError::Parse(format!(
+                "index not strictly daily between rows {i} and {}",
+                i + 1
+            )));
+        }
+    }
+    let mut frame = Frame::with_daily_index(dates[0], dates.len());
+    for (name, values) in names.into_iter().zip(data) {
+        frame.push_column(Series::new(name, values))?;
+    }
+    Ok(frame)
+}
+
+/// Reads a frame from a file path.
+pub fn read_frame_from_path(path: &std::path::Path) -> Result<Frame> {
+    let file = std::fs::File::open(path).map_err(|e| TsError::Parse(e.to_string()))?;
+    read_frame(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Frame {
+        let mut f = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), 3);
+        f.push_column(Series::new("price", vec![1.5, f64::NAN, 3.25]))
+            .unwrap();
+        f.push_column(Series::new("volume", vec![10.0, 20.0, 30.0]))
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn round_trip_preserves_frame() {
+        let frame = sample_frame();
+        let mut buf = Vec::new();
+        write_frame(&frame, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("date,price,volume\n"));
+        assert!(text.contains("2020-01-02,,20\n"));
+
+        let parsed = read_frame(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.start(), frame.start());
+        assert_eq!(parsed.column("volume").unwrap().values(), &[10.0, 20.0, 30.0]);
+        assert!(parsed.column("price").unwrap().values()[1].is_nan());
+    }
+
+    #[test]
+    fn rejects_gappy_index() {
+        let text = "date,x\n2020-01-01,1\n2020-01-03,2\n";
+        let err = read_frame(std::io::BufReader::new(text.as_bytes()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(read_frame(std::io::BufReader::new("x,y\n".as_bytes())).is_err());
+        assert!(read_frame(std::io::BufReader::new("date,x\n".as_bytes())).is_err());
+        assert!(
+            read_frame(std::io::BufReader::new("date,x\n2020-01-01,1,9\n".as_bytes())).is_err()
+        );
+        assert!(read_frame(std::io::BufReader::new("date,x\n2020-01-01\n".as_bytes())).is_err());
+        assert!(read_frame(std::io::BufReader::new("date,x\n2020-01-01,abc\n".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_unquotable_column_names() {
+        let mut f = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), 1);
+        f.push_column(Series::new("bad,name", vec![1.0])).unwrap();
+        let mut buf = Vec::new();
+        assert!(write_frame(&f, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Civil (proleptic Gregorian) dates with O(1) day arithmetic.
+//!
+//! The dataset is strictly daily, so a date is represented internally as a
+//! count of days since the Unix epoch (1970-01-01). Conversions to and from
+//! year/month/day use the classic Howard Hinnant `days_from_civil`
+//! algorithm, which is exact over the entire `i32` day range.
+
+use crate::{Result, TsError};
+
+/// A civil calendar date, stored as days since 1970-01-01.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    days: i32,
+}
+
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Whether `year` is a leap year in the proleptic Gregorian calendar.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` (1-12) of `year`.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    if month == 2 && is_leap_year(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize] as u32
+    }
+}
+
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    // Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl Date {
+    /// Builds a date from year/month/day, validating the components.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(TsError::InvalidDate(format!("{year}-{month:02}-{day:02}")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(TsError::InvalidDate(format!("{year}-{month:02}-{day:02}")));
+        }
+        Ok(Date {
+            days: days_from_civil(year, month, day),
+        })
+    }
+
+    /// Builds a date directly from a days-since-epoch count.
+    pub fn from_days(days: i32) -> Self {
+        Date { days }
+    }
+
+    /// Days since 1970-01-01 (negative before the epoch).
+    pub fn days_since_epoch(self) -> i32 {
+        self.days
+    }
+
+    /// The `(year, month, day)` components of this date.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.days)
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Calendar month, 1-12.
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// Day of month, 1-31.
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// Day of week with Monday = 0 … Sunday = 6.
+    pub fn weekday(self) -> u32 {
+        // 1970-01-01 was a Thursday (index 3).
+        ((self.days % 7 + 7 + 3) % 7) as u32
+    }
+
+    /// True for Saturday or Sunday — traditional markets are closed, so the
+    /// synthetic traditional-index generators forward-fill these days.
+    pub fn is_weekend(self) -> bool {
+        self.weekday() >= 5
+    }
+
+    /// This date plus `n` days (`n` may be negative).
+    pub fn add_days(self, n: i32) -> Self {
+        Date { days: self.days + n }
+    }
+
+    /// Signed number of days from `other` to `self`.
+    pub fn days_between(self, other: Date) -> i32 {
+        self.days - other.days
+    }
+
+    /// Parses an ISO-8601 `YYYY-MM-DD` string.
+    pub fn parse(s: &str) -> Result<Self> {
+        let mut parts = s.splitn(3, '-');
+        let bad = || TsError::InvalidDate(s.to_string());
+        let y: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::from_ymd(y, m, d)
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Inclusive range of consecutive days, iterable.
+#[derive(Debug, Clone, Copy)]
+pub struct DateRange {
+    next: i32,
+    last: i32,
+}
+
+impl DateRange {
+    /// Inclusive daily range `[start, end]`; empty if `end < start`.
+    pub fn inclusive(start: Date, end: Date) -> Self {
+        DateRange {
+            next: start.days,
+            last: end.days,
+        }
+    }
+
+    /// Number of days in the range.
+    pub fn len(&self) -> usize {
+        if self.last < self.next {
+            0
+        } else {
+            (self.last - self.next + 1) as usize
+        }
+    }
+
+    /// True when the range contains no days.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Iterator for DateRange {
+    type Item = Date;
+
+    fn next(&mut self) -> Option<Date> {
+        if self.next > self.last {
+            None
+        } else {
+            let d = Date::from_days(self.next);
+            self.next += 1;
+            Some(d)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DateRange {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let d = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(d.days_since_epoch(), 0);
+        assert_eq!(d.ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        for &(y, m, d) in &[
+            (2017, 1, 1),
+            (2019, 1, 1),
+            (2020, 2, 29),
+            (2023, 6, 30),
+            (1999, 12, 31),
+            (2000, 1, 1),
+            (1900, 3, 1),
+        ] {
+            let date = Date::from_ymd(y, m, d).unwrap();
+            assert_eq!(date.ymd(), (y, m, d), "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2020));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2023));
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2021, 2), 28);
+    }
+
+    #[test]
+    fn rejects_invalid_components() {
+        assert!(Date::from_ymd(2021, 2, 29).is_err());
+        assert!(Date::from_ymd(2021, 13, 1).is_err());
+        assert!(Date::from_ymd(2021, 0, 1).is_err());
+        assert!(Date::from_ymd(2021, 4, 31).is_err());
+        assert!(Date::from_ymd(2021, 4, 0).is_err());
+    }
+
+    #[test]
+    fn weekday_is_correct() {
+        // 2017-01-01 was a Sunday; 2023-06-30 was a Friday.
+        assert_eq!(Date::from_ymd(2017, 1, 1).unwrap().weekday(), 6);
+        assert_eq!(Date::from_ymd(2023, 6, 30).unwrap().weekday(), 4);
+        assert!(Date::from_ymd(2017, 1, 1).unwrap().is_weekend());
+        assert!(!Date::from_ymd(2023, 6, 30).unwrap().is_weekend());
+    }
+
+    #[test]
+    fn arithmetic_and_span() {
+        let start = Date::from_ymd(2017, 1, 1).unwrap();
+        let end = Date::from_ymd(2023, 6, 30).unwrap();
+        // 2017..2023 spans two leap years (2020 is inside, 2017+2372 days).
+        assert_eq!(end.days_between(start), 2371);
+        assert_eq!(start.add_days(2371), end);
+        assert_eq!(start.add_days(-1).ymd(), (2016, 12, 31));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let d = Date::parse("2019-01-01").unwrap();
+        assert_eq!(d.ymd(), (2019, 1, 1));
+        assert_eq!(d.to_string(), "2019-01-01");
+        assert!(Date::parse("2019-1").is_err());
+        assert!(Date::parse("abc").is_err());
+        assert!(Date::parse("2019-02-30").is_err());
+    }
+
+    #[test]
+    fn date_range_iterates_inclusively() {
+        let start = Date::from_ymd(2020, 2, 27).unwrap();
+        let end = Date::from_ymd(2020, 3, 1).unwrap();
+        let days: Vec<String> = DateRange::inclusive(start, end).map(|d| d.to_string()).collect();
+        assert_eq!(days, ["2020-02-27", "2020-02-28", "2020-02-29", "2020-03-01"]);
+        assert!(DateRange::inclusive(end, start).is_empty());
+    }
+
+    #[test]
+    fn sequential_scan_matches_component_math() {
+        // Walk five years day by day and re-derive components each step.
+        let mut date = Date::from_ymd(2016, 12, 31).unwrap();
+        let (mut y, mut m, mut d) = date.ymd();
+        for _ in 0..2000 {
+            date = date.add_days(1);
+            d += 1;
+            if d > days_in_month(y, m) {
+                d = 1;
+                m += 1;
+                if m > 12 {
+                    m = 1;
+                    y += 1;
+                }
+            }
+            assert_eq!(date.ymd(), (y, m, d));
+        }
+    }
+}

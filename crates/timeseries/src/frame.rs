@@ -1,0 +1,390 @@
+//! A date-indexed columnar frame.
+//!
+//! The frame owns a contiguous daily [`Date`] index plus a set of named
+//! [`Series`] columns of identical length. Column lookup is O(1) through a
+//! name → position map; the column order is preserved so experiment output
+//! is stable across runs.
+
+use std::collections::HashMap;
+
+use crate::date::{Date, DateRange};
+use crate::series::Series;
+use crate::{Result, TsError};
+
+/// A daily, date-indexed collection of equally long named columns.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    start: Date,
+    len: usize,
+    columns: Vec<Series>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Frame {
+    /// An empty frame over `len` consecutive days starting at `start`.
+    pub fn with_daily_index(start: Date, len: usize) -> Self {
+        Frame {
+            start,
+            len,
+            columns: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// An empty frame spanning `[start, end]` inclusive.
+    pub fn spanning(start: Date, end: Date) -> Result<Self> {
+        let range = DateRange::inclusive(start, end);
+        if range.is_empty() {
+            return Err(TsError::BadRange(format!("{start} > {end}")));
+        }
+        Ok(Frame::with_daily_index(start, range.len()))
+    }
+
+    /// First date of the index.
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// Last date of the index.
+    pub fn end(&self) -> Date {
+        self.start.add_days(self.len as i32 - 1)
+    }
+
+    /// Number of rows (days).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the frame has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The date at row `row`.
+    pub fn date_at(&self, row: usize) -> Date {
+        self.start.add_days(row as i32)
+    }
+
+    /// The row index of `date`, if it falls inside the frame.
+    pub fn row_of(&self, date: Date) -> Option<usize> {
+        let offset = date.days_between(self.start);
+        if offset >= 0 && (offset as usize) < self.len {
+            Some(offset as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the index dates in order.
+    pub fn dates(&self) -> DateRange {
+        DateRange::inclusive(self.start, self.end())
+    }
+
+    /// Adds a column; its length must match the index.
+    pub fn push_column(&mut self, series: Series) -> Result<()> {
+        if series.len() != self.len {
+            return Err(TsError::LengthMismatch {
+                expected: self.len,
+                actual: series.len(),
+            });
+        }
+        if self.by_name.contains_key(series.name()) {
+            return Err(TsError::DuplicateColumn(series.name().to_string()));
+        }
+        self.by_name.insert(series.name().to_string(), self.columns.len());
+        self.columns.push(series);
+        Ok(())
+    }
+
+    /// Immutable access to a column by name.
+    pub fn column(&self, name: &str) -> Option<&Series> {
+        self.by_name.get(name).map(|&i| &self.columns[i])
+    }
+
+    /// Mutable access to a column by name.
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut Series> {
+        let idx = *self.by_name.get(name)?;
+        Some(&mut self.columns[idx])
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, idx: usize) -> &Series {
+        &self.columns[idx]
+    }
+
+    /// All columns in insertion order.
+    pub fn columns(&self) -> &[Series] {
+        &self.columns
+    }
+
+    /// Mutable iteration over all columns.
+    pub fn columns_mut(&mut self) -> impl Iterator<Item = &mut Series> {
+        self.columns.iter_mut()
+    }
+
+    /// Column names in insertion order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name()).collect()
+    }
+
+    /// True when a column with this name exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Removes a column by name, returning it.
+    pub fn drop_column(&mut self, name: &str) -> Result<Series> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| TsError::MissingColumn(name.to_string()))?;
+        let series = self.columns.remove(idx);
+        self.by_name.remove(name);
+        for pos in self.by_name.values_mut() {
+            if *pos > idx {
+                *pos -= 1;
+            }
+        }
+        Ok(series)
+    }
+
+    /// Keeps only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Frame> {
+        let mut out = Frame::with_daily_index(self.start, self.len);
+        for &name in names {
+            let col = self
+                .column(name)
+                .ok_or_else(|| TsError::MissingColumn(name.to_string()))?;
+            out.push_column(col.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Slices all columns to the inclusive date window `[from, to]`.
+    pub fn window(&self, from: Date, to: Date) -> Result<Frame> {
+        let lo = self
+            .row_of(from)
+            .ok_or_else(|| TsError::BadRange(format!("{from} outside frame")))?;
+        let hi = self
+            .row_of(to)
+            .ok_or_else(|| TsError::BadRange(format!("{to} outside frame")))?;
+        if hi < lo {
+            return Err(TsError::BadRange(format!("{from} > {to}")));
+        }
+        let mut out = Frame::with_daily_index(from, hi - lo + 1);
+        for col in &self.columns {
+            out.push_column(col.slice(lo, hi + 1))?;
+        }
+        Ok(out)
+    }
+
+    /// Slices all columns to rows `[start_row, end_row)`.
+    pub fn row_slice(&self, start_row: usize, end_row: usize) -> Result<Frame> {
+        if start_row > end_row || end_row > self.len {
+            return Err(TsError::BadRange(format!("rows {start_row}..{end_row}")));
+        }
+        let mut out = Frame::with_daily_index(self.date_at(start_row), end_row - start_row);
+        for col in &self.columns {
+            out.push_column(col.slice(start_row, end_row))?;
+        }
+        Ok(out)
+    }
+
+    /// Merges another frame's columns into this one, aligning by date.
+    ///
+    /// Rows of `other` outside this frame's index are dropped; rows of this
+    /// frame not covered by `other` become missing. This is how the
+    /// differently dated raw sources (USDC from 2018-10, fear-greed from
+    /// 2018-02, …) are folded into the master panel.
+    pub fn merge_aligned(&mut self, other: &Frame) -> Result<()> {
+        let offset = other.start.days_between(self.start); // other row 0 lands here
+        for col in &other.columns {
+            let mut values = vec![f64::NAN; self.len];
+            for (i, &v) in col.values().iter().enumerate() {
+                let row = offset + i as i32;
+                if row >= 0 && (row as usize) < self.len {
+                    values[row as usize] = v;
+                }
+            }
+            self.push_column(Series::new(col.name(), values))?;
+        }
+        Ok(())
+    }
+
+    /// Extracts the named columns into a dense row-major matrix plus the
+    /// target column, dropping any row with a missing value in either.
+    ///
+    /// This is the hand-off point into the ML substrate: trees consume a
+    /// dense design matrix.
+    pub fn to_matrix(&self, feature_names: &[&str], target: &str) -> Result<DesignMatrix> {
+        let target_col = self
+            .column(target)
+            .ok_or_else(|| TsError::MissingColumn(target.to_string()))?;
+        let mut cols = Vec::with_capacity(feature_names.len());
+        for &name in feature_names {
+            cols.push(
+                self.column(name)
+                    .ok_or_else(|| TsError::MissingColumn(name.to_string()))?,
+            );
+        }
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut kept_rows = Vec::new();
+        'rows: for r in 0..self.len {
+            let t = target_col.values()[r];
+            if t.is_nan() {
+                continue;
+            }
+            for col in &cols {
+                if col.values()[r].is_nan() {
+                    continue 'rows;
+                }
+            }
+            for col in &cols {
+                rows.push(col.values()[r]);
+            }
+            y.push(t);
+            kept_rows.push(r);
+        }
+        Ok(DesignMatrix {
+            feature_names: feature_names.iter().map(|s| s.to_string()).collect(),
+            n_features: feature_names.len(),
+            x: rows,
+            y,
+            kept_rows,
+        })
+    }
+}
+
+/// A dense row-major design matrix extracted from a frame.
+#[derive(Debug, Clone)]
+pub struct DesignMatrix {
+    /// Names of the feature columns, in matrix column order.
+    pub feature_names: Vec<String>,
+    /// Number of feature columns.
+    pub n_features: usize,
+    /// Row-major features: `x[row * n_features + col]`.
+    pub x: Vec<f64>,
+    /// Target values, one per kept row.
+    pub y: Vec<f64>,
+    /// Original frame row index of each kept row.
+    pub kept_rows: Vec<usize>,
+}
+
+impl DesignMatrix {
+    /// Number of rows that survived missing-value filtering.
+    pub fn n_rows(&self) -> usize {
+        self.y.len()
+    }
+
+    /// One row of features.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.x[r * self.n_features..(r + 1) * self.n_features]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn frame_with(values: &[(&str, Vec<f64>)]) -> Frame {
+        let len = values[0].1.len();
+        let mut f = Frame::with_daily_index(day("2020-01-01"), len);
+        for (name, vals) in values {
+            f.push_column(Series::new(*name, vals.clone())).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn index_maps_dates_to_rows() {
+        let f = Frame::with_daily_index(day("2020-01-01"), 10);
+        assert_eq!(f.end(), day("2020-01-10"));
+        assert_eq!(f.row_of(day("2020-01-03")), Some(2));
+        assert_eq!(f.row_of(day("2019-12-31")), None);
+        assert_eq!(f.row_of(day("2020-01-11")), None);
+        assert_eq!(f.date_at(9), day("2020-01-10"));
+    }
+
+    #[test]
+    fn rejects_mismatched_and_duplicate_columns() {
+        let mut f = Frame::with_daily_index(day("2020-01-01"), 3);
+        assert!(matches!(
+            f.push_column(Series::new("a", vec![1.0])),
+            Err(TsError::LengthMismatch { .. })
+        ));
+        f.push_column(Series::new("a", vec![1.0, 2.0, 3.0])).unwrap();
+        assert!(matches!(
+            f.push_column(Series::new("a", vec![1.0, 2.0, 3.0])),
+            Err(TsError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn drop_column_keeps_lookup_consistent() {
+        let mut f = frame_with(&[
+            ("a", vec![1.0, 2.0]),
+            ("b", vec![3.0, 4.0]),
+            ("c", vec![5.0, 6.0]),
+        ]);
+        f.drop_column("b").unwrap();
+        assert_eq!(f.width(), 2);
+        assert_eq!(f.column("c").unwrap().values(), &[5.0, 6.0]);
+        assert!(f.column("b").is_none());
+        assert!(f.drop_column("b").is_err());
+    }
+
+    #[test]
+    fn select_preserves_requested_order() {
+        let f = frame_with(&[("a", vec![1.0]), ("b", vec![2.0]), ("c", vec![3.0])]);
+        let sel = f.select(&["c", "a"]).unwrap();
+        assert_eq!(sel.column_names(), vec!["c", "a"]);
+        assert!(f.select(&["zzz"]).is_err());
+    }
+
+    #[test]
+    fn window_slices_by_date() {
+        let f = frame_with(&[("a", vec![1.0, 2.0, 3.0, 4.0, 5.0])]);
+        let w = f.window(day("2020-01-02"), day("2020-01-04")).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.start(), day("2020-01-02"));
+        assert_eq!(w.column("a").unwrap().values(), &[2.0, 3.0, 4.0]);
+        assert!(f.window(day("2019-01-01"), day("2020-01-02")).is_err());
+    }
+
+    #[test]
+    fn merge_aligned_pads_and_clips() {
+        let mut base = Frame::with_daily_index(day("2020-01-01"), 4);
+        let mut late = Frame::with_daily_index(day("2020-01-03"), 4);
+        late.push_column(Series::new("x", vec![10.0, 20.0, 30.0, 40.0]))
+            .unwrap();
+        base.merge_aligned(&late).unwrap();
+        let x = base.column("x").unwrap().values();
+        assert!(x[0].is_nan() && x[1].is_nan());
+        assert_eq!(&x[2..], &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn to_matrix_drops_rows_with_missing() {
+        let f = frame_with(&[
+            ("f1", vec![1.0, f64::NAN, 3.0, 4.0]),
+            ("f2", vec![10.0, 20.0, 30.0, f64::NAN]),
+            ("y", vec![0.1, 0.2, f64::NAN, 0.4]),
+        ]);
+        let m = f.to_matrix(&["f1", "f2"], "y").unwrap();
+        // Rows 1 (f1 NaN), 2 (y NaN) and 3 (f2 NaN) are dropped.
+        assert_eq!(m.n_rows(), 1);
+        assert_eq!(m.row(0), &[1.0, 10.0]);
+        assert_eq!(m.y, vec![0.1]);
+        assert_eq!(m.kept_rows, vec![0]);
+    }
+}

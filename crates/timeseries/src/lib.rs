@@ -1,0 +1,91 @@
+//! # c100-timeseries
+//!
+//! Columnar daily time-series substrate for the Crypto100 reproduction.
+//!
+//! The paper's pipeline manipulates a daily panel of ~429 market metrics
+//! spanning January 2017 → June 2023. This crate provides the minimal but
+//! complete data-frame machinery that pipeline needs:
+//!
+//! * [`Date`] — a proleptic-Gregorian civil date with O(1) day arithmetic,
+//!   used as the row index of every frame.
+//! * [`Series`] — a named column of `f64` samples where missing values are
+//!   encoded as `NaN`.
+//! * [`Frame`] — a date-indexed collection of columns with alignment,
+//!   selection and range-slicing operations.
+//! * [`missing`] — interpolation and fill strategies used during the
+//!   paper's preprocessing phase.
+//! * [`clean`] — duplicate removal and flat/missing-heavy feature pruning
+//!   (the paper's "standard methods used in ML" cleaning step).
+//! * [`transform`] — lags, horizon-shifted targets, returns and scalers.
+//! * [`stats`] — the scalar statistics (Pearson correlation above all)
+//!   that the Feature Reduction Algorithm consumes.
+//! * [`csv`] — plain-text persistence so experiment outputs can be
+//!   inspected and re-plotted outside Rust.
+//!
+//! All columns are plain `Vec<f64>` in column-major layout: every algorithm
+//! downstream (tree building, correlation scans, permutation importance)
+//! walks one feature at a time, so the columnar layout keeps those scans
+//! sequential in memory.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use c100_timeseries::{Date, Frame, Series};
+//!
+//! let start = Date::from_ymd(2017, 1, 1).unwrap();
+//! let mut frame = Frame::with_daily_index(start, 4);
+//! frame.push_column(Series::new("price", vec![1.0, 2.0, f64::NAN, 4.0])).unwrap();
+//! c100_timeseries::missing::interpolate_frame(&mut frame);
+//! assert_eq!(frame.column("price").unwrap().values()[2], 3.0);
+//! ```
+
+pub mod clean;
+pub mod csv;
+pub mod date;
+pub mod frame;
+pub mod missing;
+pub mod series;
+pub mod split;
+pub mod stats;
+pub mod transform;
+
+pub use date::Date;
+pub use frame::Frame;
+pub use series::Series;
+
+/// Errors produced by frame and series operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsError {
+    /// A column with this name already exists in the frame.
+    DuplicateColumn(String),
+    /// The named column does not exist.
+    MissingColumn(String),
+    /// A column's length does not match the frame's index length.
+    LengthMismatch { expected: usize, actual: usize },
+    /// A date string or component set was not a valid civil date.
+    InvalidDate(String),
+    /// The requested range is empty or out of bounds.
+    BadRange(String),
+    /// CSV text could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            TsError::MissingColumn(name) => write!(f, "missing column: {name}"),
+            TsError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            TsError::InvalidDate(s) => write!(f, "invalid date: {s}"),
+            TsError::BadRange(s) => write!(f, "bad range: {s}"),
+            TsError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, TsError>;

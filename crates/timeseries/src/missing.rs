@@ -1,0 +1,152 @@
+//! Missing-value handling: the paper fills empty data with interpolation
+//! during preprocessing; forward/backward fill support the synthetic
+//! traditional-market feeds (closed on weekends).
+
+use crate::frame::Frame;
+use crate::series::Series;
+
+/// Linearly interpolates interior gaps in place.
+///
+/// Leading and trailing missing runs are left untouched — there is nothing
+/// to anchor them; the scenario cut later discards features whose history
+/// starts after the scenario's first day.
+pub fn interpolate(series: &mut Series) {
+    let values = series.values_mut();
+    let n = values.len();
+    let mut i = 0;
+    // Skip the leading missing run.
+    while i < n && values[i].is_nan() {
+        i += 1;
+    }
+    while i < n {
+        if !values[i].is_nan() {
+            i += 1;
+            continue;
+        }
+        // values[i] is NaN and values[i-1] is present; find the next anchor.
+        let left = i - 1;
+        let mut right = i;
+        while right < n && values[right].is_nan() {
+            right += 1;
+        }
+        if right == n {
+            break; // trailing run, leave it
+        }
+        let lo = values[left];
+        let hi = values[right];
+        let span = (right - left) as f64;
+        for k in (left + 1)..right {
+            let t = (k - left) as f64 / span;
+            values[k] = lo + (hi - lo) * t;
+        }
+        i = right + 1;
+    }
+}
+
+/// Propagates the last present value forward over gaps (and trailing run).
+pub fn forward_fill(series: &mut Series) {
+    let values = series.values_mut();
+    let mut last = f64::NAN;
+    for v in values.iter_mut() {
+        if v.is_nan() {
+            if !last.is_nan() {
+                *v = last;
+            }
+        } else {
+            last = *v;
+        }
+    }
+}
+
+/// Propagates the next present value backward over gaps (and leading run).
+pub fn backward_fill(series: &mut Series) {
+    let values = series.values_mut();
+    let mut next = f64::NAN;
+    for v in values.iter_mut().rev() {
+        if v.is_nan() {
+            if !next.is_nan() {
+                *v = next;
+            }
+        } else {
+            next = *v;
+        }
+    }
+}
+
+/// Interpolates every column of the frame in place.
+pub fn interpolate_frame(frame: &mut Frame) {
+    for col in frame.columns_mut() {
+        interpolate(col);
+    }
+}
+
+/// Forward-fills every column of the frame in place.
+pub fn forward_fill_frame(frame: &mut Frame) {
+    for col in frame.columns_mut() {
+        forward_fill(col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(values: &[f64]) -> Series {
+        Series::new("x", values.to_vec())
+    }
+
+    #[test]
+    fn interpolates_interior_gap() {
+        let mut series = s(&[1.0, f64::NAN, f64::NAN, 4.0]);
+        interpolate(&mut series);
+        assert_eq!(series.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn interpolation_leaves_edges_missing() {
+        let mut series = s(&[f64::NAN, 2.0, f64::NAN, 4.0, f64::NAN]);
+        interpolate(&mut series);
+        assert!(series.values()[0].is_nan());
+        assert_eq!(series.values()[2], 3.0);
+        assert!(series.values()[4].is_nan());
+    }
+
+    #[test]
+    fn interpolation_noop_on_complete_or_empty() {
+        let mut full = s(&[1.0, 2.0]);
+        interpolate(&mut full);
+        assert_eq!(full.values(), &[1.0, 2.0]);
+
+        let mut empty = Series::missing("m", 3);
+        interpolate(&mut empty);
+        assert_eq!(empty.count_missing(), 3);
+    }
+
+    #[test]
+    fn forward_fill_carries_last_value() {
+        let mut series = s(&[f64::NAN, 1.0, f64::NAN, f64::NAN, 5.0, f64::NAN]);
+        forward_fill(&mut series);
+        assert!(series.values()[0].is_nan());
+        assert_eq!(&series.values()[1..], &[1.0, 1.0, 1.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_fill_mirrors_forward() {
+        let mut series = s(&[f64::NAN, 1.0, f64::NAN, 5.0]);
+        backward_fill(&mut series);
+        assert_eq!(series.values(), &[1.0, 1.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn frame_level_fill_touches_all_columns() {
+        use crate::date::Date;
+        let mut f = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), 3);
+        f.push_column(s(&[1.0, f64::NAN, 3.0])).unwrap();
+        let mut other = s(&[2.0, f64::NAN, 4.0]);
+        other.set_name("y");
+        f.push_column(other).unwrap();
+        interpolate_frame(&mut f);
+        assert_eq!(f.column("x").unwrap().values()[1], 2.0);
+        assert_eq!(f.column("y").unwrap().values()[1], 3.0);
+    }
+}

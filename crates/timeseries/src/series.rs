@@ -1,0 +1,202 @@
+//! A named column of daily `f64` samples.
+//!
+//! Missing observations are encoded as `NaN`: the paper's raw sources start
+//! at different dates (USDC metrics in late 2018, the fear-and-greed index
+//! in early 2018) and have gaps, so every column must tolerate holes until
+//! the preprocessing phase fills or drops them.
+
+/// A named column of `f64` values; `NaN` encodes a missing observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series from a name and raw values.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Creates a series of `len` missing values.
+    pub fn missing(name: impl Into<String>, len: usize) -> Self {
+        Series::new(name, vec![f64::NAN; len])
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the series in place.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Immutable view of the samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable view of the samples.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the series, returning its backing vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Number of samples (present or missing).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series has no samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of non-missing samples.
+    pub fn count_present(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_nan()).count()
+    }
+
+    /// Number of missing (`NaN`) samples.
+    pub fn count_missing(&self) -> usize {
+        self.len() - self.count_present()
+    }
+
+    /// Index of the first non-missing sample, if any.
+    pub fn first_present(&self) -> Option<usize> {
+        self.values.iter().position(|v| !v.is_nan())
+    }
+
+    /// Index of the last non-missing sample, if any.
+    pub fn last_present(&self) -> Option<usize> {
+        self.values.iter().rposition(|v| !v.is_nan())
+    }
+
+    /// Length of the longest run of consecutive missing samples.
+    pub fn longest_missing_run(&self) -> usize {
+        let mut longest = 0;
+        let mut current = 0;
+        for v in &self.values {
+            if v.is_nan() {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        longest
+    }
+
+    /// Length of the longest run over which the present values do not
+    /// change (missing samples extend the current run). The cleaning phase
+    /// uses this to discard features that are flat for very long periods.
+    pub fn longest_flat_run(&self) -> usize {
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        let mut last: Option<f64> = None;
+        for v in &self.values {
+            if v.is_nan() {
+                // A gap does not break a flat run: a stale feed keeps its
+                // last value conceptually.
+                if last.is_some() {
+                    current += 1;
+                    longest = longest.max(current);
+                }
+                continue;
+            }
+            match last {
+                Some(prev) if prev == *v => {
+                    current += 1;
+                }
+                _ => {
+                    current = 1;
+                }
+            }
+            last = Some(*v);
+            longest = longest.max(current);
+        }
+        longest
+    }
+
+    /// Returns a slice copy of the series over `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> Series {
+        Series::new(self.name.clone(), self.values[start..end].to_vec())
+    }
+
+    /// Applies `f` to every present value in place; missing values are kept.
+    pub fn map_present(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.values {
+            if !v.is_nan() {
+                *v = f(*v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(values: &[f64]) -> Series {
+        Series::new("x", values.to_vec())
+    }
+
+    #[test]
+    fn counts_present_and_missing() {
+        let series = s(&[1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(series.len(), 4);
+        assert_eq!(series.count_present(), 2);
+        assert_eq!(series.count_missing(), 2);
+    }
+
+    #[test]
+    fn first_and_last_present() {
+        let series = s(&[f64::NAN, f64::NAN, 3.0, 4.0, f64::NAN]);
+        assert_eq!(series.first_present(), Some(2));
+        assert_eq!(series.last_present(), Some(3));
+        assert_eq!(Series::missing("m", 3).first_present(), None);
+    }
+
+    #[test]
+    fn longest_missing_run_counts_gaps() {
+        let series = s(&[1.0, f64::NAN, f64::NAN, 4.0, f64::NAN]);
+        assert_eq!(series.longest_missing_run(), 2);
+        assert_eq!(s(&[1.0, 2.0]).longest_missing_run(), 0);
+    }
+
+    #[test]
+    fn longest_flat_run_detects_stale_features() {
+        assert_eq!(s(&[5.0, 5.0, 5.0, 6.0]).longest_flat_run(), 3);
+        assert_eq!(s(&[1.0, 2.0, 3.0]).longest_flat_run(), 1);
+        // A NaN gap between equal values keeps the run alive.
+        assert_eq!(s(&[5.0, f64::NAN, 5.0]).longest_flat_run(), 3);
+        // Leading missing values do not start a run.
+        assert_eq!(s(&[f64::NAN, 1.0, 1.0]).longest_flat_run(), 2);
+    }
+
+    #[test]
+    fn map_present_skips_missing() {
+        let mut series = s(&[1.0, f64::NAN, 3.0]);
+        series.map_present(|v| v * 2.0);
+        assert_eq!(series.values()[0], 2.0);
+        assert!(series.values()[1].is_nan());
+        assert_eq!(series.values()[2], 6.0);
+    }
+
+    #[test]
+    fn slice_copies_range() {
+        let series = s(&[1.0, 2.0, 3.0, 4.0]);
+        let cut = series.slice(1, 3);
+        assert_eq!(cut.values(), &[2.0, 3.0]);
+        assert_eq!(cut.name(), "x");
+    }
+}

@@ -1,0 +1,118 @@
+//! Chronological train/test splitting.
+//!
+//! Time-series forecasting must never train on the future, so the split is
+//! a single chronological cut rather than a shuffle.
+
+use crate::frame::Frame;
+use crate::{Result, TsError};
+
+/// A chronological split of a frame into train and test windows.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Earlier portion used for fitting.
+    pub train: Frame,
+    /// Later, held-out portion used for evaluation.
+    pub test: Frame,
+}
+
+/// Splits `frame` at `train_fraction` of its rows (train gets the earlier
+/// part). Fails if either side would be empty.
+pub fn chronological_split(frame: &Frame, train_fraction: f64) -> Result<TrainTestSplit> {
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err(TsError::BadRange(format!(
+            "train_fraction {train_fraction} outside [0, 1]"
+        )));
+    }
+    let cut = (frame.len() as f64 * train_fraction).round() as usize;
+    if cut == 0 || cut >= frame.len() {
+        return Err(TsError::BadRange(format!(
+            "cut {cut} leaves an empty side (len {})",
+            frame.len()
+        )));
+    }
+    Ok(TrainTestSplit {
+        train: frame.row_slice(0, cut)?,
+        test: frame.row_slice(cut, frame.len())?,
+    })
+}
+
+/// Expanding-window walk-forward folds: fold `k` trains on rows
+/// `[0, train_end_k)` and tests on the following `test_len` rows. Used for
+/// robustness checks beyond the paper's single split.
+pub fn walk_forward_folds(
+    n_rows: usize,
+    n_folds: usize,
+    min_train: usize,
+) -> Result<Vec<(std::ops::Range<usize>, std::ops::Range<usize>)>> {
+    if n_folds == 0 || min_train >= n_rows {
+        return Err(TsError::BadRange(format!(
+            "cannot cut {n_folds} folds with min_train {min_train} from {n_rows} rows"
+        )));
+    }
+    let test_total = n_rows - min_train;
+    let test_len = test_total / n_folds;
+    if test_len == 0 {
+        return Err(TsError::BadRange(format!(
+            "{test_total} test rows cannot cover {n_folds} folds"
+        )));
+    }
+    let mut folds = Vec::with_capacity(n_folds);
+    for k in 0..n_folds {
+        let test_start = min_train + k * test_len;
+        let test_end = if k == n_folds - 1 {
+            n_rows
+        } else {
+            test_start + test_len
+        };
+        folds.push((0..test_start, test_start..test_end));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+    use crate::series::Series;
+
+    fn frame(len: usize) -> Frame {
+        let mut f = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), len);
+        f.push_column(Series::new("x", (0..len).map(|i| i as f64).collect()))
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn split_is_chronological() {
+        let f = frame(10);
+        let split = chronological_split(&f, 0.8).unwrap();
+        assert_eq!(split.train.len(), 8);
+        assert_eq!(split.test.len(), 2);
+        assert_eq!(split.test.column("x").unwrap().values(), &[8.0, 9.0]);
+        assert_eq!(split.test.start(), f.date_at(8));
+    }
+
+    #[test]
+    fn split_rejects_degenerate_fractions() {
+        let f = frame(10);
+        assert!(chronological_split(&f, 0.0).is_err());
+        assert!(chronological_split(&f, 1.0).is_err());
+        assert!(chronological_split(&f, 1.5).is_err());
+    }
+
+    #[test]
+    fn walk_forward_folds_cover_tail_exactly() {
+        let folds = walk_forward_folds(100, 3, 40).unwrap();
+        assert_eq!(folds.len(), 3);
+        assert_eq!(folds[0], (0..40, 40..60));
+        assert_eq!(folds[1], (0..60, 60..80));
+        assert_eq!(folds[2], (0..80, 80..100));
+    }
+
+    #[test]
+    fn walk_forward_rejects_impossible_cuts() {
+        assert!(walk_forward_folds(10, 0, 5).is_err());
+        assert!(walk_forward_folds(10, 3, 10).is_err());
+        assert!(walk_forward_folds(10, 20, 5).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Scalar statistics over (possibly gappy) samples.
+//!
+//! Pearson correlation is load-bearing here: the Feature Reduction
+//! Algorithm gates feature removal on each feature's correlation with the
+//! target. All functions skip `NaN` samples pairwise.
+
+/// Arithmetic mean over present values; `NaN` if none are present.
+pub fn mean(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &v in values {
+        if !v.is_nan() {
+            sum += v;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Population variance over present values; `NaN` with fewer than 2.
+pub fn variance(values: &[f64]) -> f64 {
+    let m = mean(values);
+    if m.is_nan() {
+        return f64::NAN;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &v in values {
+        if !v.is_nan() {
+            let d = v - m;
+            sum += d * d;
+            n += 1;
+        }
+    }
+    if n < 2 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Pearson correlation between two equally long slices, skipping any pair
+/// with a missing side. Returns 0.0 when either side is constant (the FRA
+/// treats a feature uncorrelated with the target as removable, which is the
+/// right behaviour for a constant feature).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut n = 0usize;
+    let mut sa = 0.0;
+    let mut sb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if !x.is_nan() && !y.is_nan() {
+            sa += x;
+            sb += y;
+            n += 1;
+        }
+    }
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = sa / n as f64;
+    let mb = sb / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if !x.is_nan() && !y.is_nan() {
+            let dx = x - ma;
+            let dy = y - mb;
+            cov += dx * dy;
+            va += dx * dx;
+            vb += dy * dy;
+        }
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Covariance between two slices (population, pairwise-complete).
+pub fn covariance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut n = 0usize;
+    let mut sa = 0.0;
+    let mut sb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if !x.is_nan() && !y.is_nan() {
+            sa += x;
+            sb += y;
+            n += 1;
+        }
+    }
+    if n < 2 {
+        return f64::NAN;
+    }
+    let ma = sa / n as f64;
+    let mb = sb / n as f64;
+    let mut cov = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if !x.is_nan() && !y.is_nan() {
+            cov += (x - ma) * (y - mb);
+        }
+    }
+    cov / n as f64
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` over present values.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if present.is_empty() {
+        return f64::NAN;
+    }
+    present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    let pos = q.clamp(0.0, 1.0) * (present.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        present[lo]
+    } else {
+        let t = pos - lo as f64;
+        present[lo] * (1.0 - t) + present[hi] * t
+    }
+}
+
+/// Minimum over present values; `NaN` if none.
+pub fn min(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::NAN, |acc, v| if acc.is_nan() || v < acc { v } else { acc })
+}
+
+/// Maximum over present values; `NaN` if none.
+pub fn max(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::NAN, |acc, v| if acc.is_nan() || v > acc { v } else { acc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_skips_missing() {
+        assert_eq!(mean(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert!(mean(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&v) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 5.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+        assert_eq!(pearson(&b, &a), 0.0);
+    }
+
+    #[test]
+    fn pearson_pairwise_complete() {
+        // The NaN pair is skipped; remaining pairs are perfectly correlated.
+        let a = [1.0, f64::NAN, 3.0, 4.0];
+        let b = [1.0, 100.0, 3.0, 4.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn covariance_matches_pearson_scaling() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let cov = covariance(&a, &b);
+        let expected = pearson(&a, &b) * std_dev(&a) * std_dev(&b);
+        assert!((cov - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_skip_missing() {
+        let v = [f64::NAN, 3.0, -1.0, 7.0];
+        assert_eq!(min(&v), -1.0);
+        assert_eq!(max(&v), 7.0);
+        assert!(min(&[f64::NAN]).is_nan());
+    }
+}

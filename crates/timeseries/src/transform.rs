@@ -1,0 +1,247 @@
+//! Column transforms: lags, horizon targets, returns, scaling.
+//!
+//! The forecasting task predicts the Crypto100 price `w` days ahead, so the
+//! central transform here is [`future_target`], which shifts a column
+//! backward by the prediction window to produce the supervised target.
+
+use crate::frame::Frame;
+use crate::series::Series;
+use crate::{Result, TsError};
+
+/// A copy of the series shifted forward by `lag` days: row `t` holds the
+/// value observed at `t - lag`. The first `lag` rows are missing.
+pub fn lag(series: &Series, lag: usize) -> Series {
+    let n = series.len();
+    let mut out = vec![f64::NAN; n];
+    for t in lag..n {
+        out[t] = series.values()[t - lag];
+    }
+    Series::new(format!("{}_lag{}", series.name(), lag), out)
+}
+
+/// The supervised target for a `horizon`-day-ahead prediction: row `t`
+/// holds the value observed at `t + horizon`. The last `horizon` rows are
+/// missing (their future is unobserved).
+pub fn future_target(series: &Series, horizon: usize) -> Series {
+    let n = series.len();
+    let mut out = vec![f64::NAN; n];
+    for t in 0..n.saturating_sub(horizon) {
+        out[t] = series.values()[t + horizon];
+    }
+    Series::new(format!("{}_t+{}", series.name(), horizon), out)
+}
+
+/// First difference: row `t` holds `x[t] - x[t-1]`.
+pub fn diff(series: &Series) -> Series {
+    let n = series.len();
+    let mut out = vec![f64::NAN; n];
+    for t in 1..n {
+        let a = series.values()[t];
+        let b = series.values()[t - 1];
+        out[t] = a - b;
+    }
+    Series::new(format!("{}_diff", series.name()), out)
+}
+
+/// Simple returns: row `t` holds `x[t]/x[t-1] - 1`.
+pub fn pct_change(series: &Series) -> Series {
+    let n = series.len();
+    let mut out = vec![f64::NAN; n];
+    for t in 1..n {
+        let a = series.values()[t];
+        let b = series.values()[t - 1];
+        if b != 0.0 {
+            out[t] = a / b - 1.0;
+        }
+    }
+    Series::new(format!("{}_ret", series.name()), out)
+}
+
+/// Natural log of each present value; non-positive values become missing.
+pub fn log(series: &Series) -> Series {
+    let out = series
+        .values()
+        .iter()
+        .map(|&v| if v > 0.0 { v.ln() } else { f64::NAN })
+        .collect();
+    Series::new(format!("{}_log", series.name()), out)
+}
+
+/// Per-column standardization (z-score) fitted on one frame and applied to
+/// others, so test data never leaks into the fit.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    /// Per-column `(name, mean, std)` fitted statistics.
+    pub stats: Vec<(String, f64, f64)>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on every column of `frame`.
+    pub fn fit(frame: &Frame) -> Self {
+        let stats = frame
+            .columns()
+            .iter()
+            .map(|col| {
+                let m = crate::stats::mean(col.values());
+                let s = crate::stats::std_dev(col.values());
+                (col.name().to_string(), m, s)
+            })
+            .collect();
+        StandardScaler { stats }
+    }
+
+    /// Applies `(x - mean) / std` in place to the matching columns of
+    /// `frame`. Columns with zero or NaN fitted std are centered only.
+    pub fn transform(&self, frame: &mut Frame) -> Result<()> {
+        for (name, m, s) in &self.stats {
+            let col = frame
+                .column_mut(name)
+                .ok_or_else(|| TsError::MissingColumn(name.clone()))?;
+            let (m, s) = (*m, *s);
+            if s.is_nan() || m.is_nan() {
+                continue;
+            }
+            col.map_present(|v| if s > 0.0 { (v - m) / s } else { v - m });
+        }
+        Ok(())
+    }
+
+    /// Inverts the scaling for a single named column's values.
+    pub fn inverse_transform_column(&self, name: &str, values: &mut [f64]) -> Result<()> {
+        let (_, m, s) = self
+            .stats
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| TsError::MissingColumn(name.to_string()))?;
+        for v in values.iter_mut() {
+            if !v.is_nan() {
+                *v = if *s > 0.0 { *v * s + m } else { *v + m };
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Min-max scaling to `[0, 1]` fitted on one frame.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    /// Per-column `(name, min, max)` fitted statistics.
+    pub stats: Vec<(String, f64, f64)>,
+}
+
+impl MinMaxScaler {
+    /// Fits per-column minima and maxima.
+    pub fn fit(frame: &Frame) -> Self {
+        let stats = frame
+            .columns()
+            .iter()
+            .map(|col| {
+                (
+                    col.name().to_string(),
+                    crate::stats::min(col.values()),
+                    crate::stats::max(col.values()),
+                )
+            })
+            .collect();
+        MinMaxScaler { stats }
+    }
+
+    /// Applies `(x - min) / (max - min)` in place; constant columns map to 0.
+    pub fn transform(&self, frame: &mut Frame) -> Result<()> {
+        for (name, lo, hi) in &self.stats {
+            let col = frame
+                .column_mut(name)
+                .ok_or_else(|| TsError::MissingColumn(name.clone()))?;
+            let (lo, hi) = (*lo, *hi);
+            if lo.is_nan() || hi.is_nan() {
+                continue;
+            }
+            let span = hi - lo;
+            col.map_present(|v| if span > 0.0 { (v - lo) / span } else { 0.0 });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+
+    fn s(values: &[f64]) -> Series {
+        Series::new("x", values.to_vec())
+    }
+
+    #[test]
+    fn lag_shifts_forward() {
+        let out = lag(&s(&[1.0, 2.0, 3.0, 4.0]), 2);
+        assert!(out.values()[0].is_nan() && out.values()[1].is_nan());
+        assert_eq!(&out.values()[2..], &[1.0, 2.0]);
+        assert_eq!(out.name(), "x_lag2");
+    }
+
+    #[test]
+    fn future_target_shifts_backward() {
+        let out = future_target(&s(&[1.0, 2.0, 3.0, 4.0]), 1);
+        assert_eq!(&out.values()[..3], &[2.0, 3.0, 4.0]);
+        assert!(out.values()[3].is_nan());
+    }
+
+    #[test]
+    fn future_target_longer_than_series() {
+        let out = future_target(&s(&[1.0, 2.0]), 5);
+        assert_eq!(out.count_missing(), 2);
+    }
+
+    #[test]
+    fn diff_and_pct_change() {
+        let d = diff(&s(&[1.0, 3.0, 6.0]));
+        assert!(d.values()[0].is_nan());
+        assert_eq!(&d.values()[1..], &[2.0, 3.0]);
+        let r = pct_change(&s(&[2.0, 3.0, 6.0]));
+        assert!((r.values()[1] - 0.5).abs() < 1e-12);
+        assert!((r.values()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_blanks_non_positive() {
+        let l = log(&s(&[std::f64::consts::E, 0.0, -1.0]));
+        assert!((l.values()[0] - 1.0).abs() < 1e-12);
+        assert!(l.values()[1].is_nan());
+        assert!(l.values()[2].is_nan());
+    }
+
+    #[test]
+    fn standard_scaler_round_trip() {
+        let mut f = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), 4);
+        f.push_column(s(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        let scaler = StandardScaler::fit(&f);
+        scaler.transform(&mut f).unwrap();
+        let scaled = f.column("x").unwrap().values().to_vec();
+        assert!(crate::stats::mean(&scaled).abs() < 1e-12);
+        assert!((crate::stats::std_dev(&scaled) - 1.0).abs() < 1e-12);
+        let mut back = scaled;
+        scaler.inverse_transform_column("x", &mut back).unwrap();
+        for (a, b) in back.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_constant_column_centers() {
+        let mut f = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), 3);
+        f.push_column(s(&[5.0, 5.0, 5.0])).unwrap();
+        let scaler = StandardScaler::fit(&f);
+        scaler.transform(&mut f).unwrap();
+        assert_eq!(f.column("x").unwrap().values(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_scaler_hits_unit_interval() {
+        let mut f = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), 3);
+        f.push_column(s(&[10.0, 20.0, 30.0])).unwrap();
+        let scaler = MinMaxScaler::fit(&f);
+        scaler.transform(&mut f).unwrap();
+        assert_eq!(f.column("x").unwrap().values(), &[0.0, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the time-series substrate.
+
+use c100_timeseries::{clean, csv, date::Date, missing, stats, transform, Frame, Series};
+use proptest::prelude::*;
+
+/// Strategy: a vector of finite values with some NaN holes.
+fn gappy_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (-1.0e6f64..1.0e6).prop_map(|v| v),
+            1 => Just(f64::NAN),
+        ],
+        1..max_len,
+    )
+}
+
+fn finite_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6f64..1.0e6, 2..max_len)
+}
+
+proptest! {
+    #[test]
+    fn interpolation_preserves_present_values(values in gappy_values(60)) {
+        let mut series = Series::new("x", values.clone());
+        missing::interpolate(&mut series);
+        for (before, after) in values.iter().zip(series.values()) {
+            if !before.is_nan() {
+                prop_assert_eq!(*before, *after);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_fills_within_bounds(values in gappy_values(60)) {
+        let mut series = Series::new("x", values.clone());
+        missing::interpolate(&mut series);
+        let lo = stats::min(&values);
+        let hi = stats::max(&values);
+        for v in series.values().iter().filter(|v| !v.is_nan()) {
+            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn interpolation_never_unfills_edges(values in gappy_values(60)) {
+        let mut series = Series::new("x", values.clone());
+        let first = series.first_present();
+        let last = series.last_present();
+        missing::interpolate(&mut series);
+        prop_assert_eq!(series.first_present(), first);
+        prop_assert_eq!(series.last_present(), last);
+    }
+
+    #[test]
+    fn forward_fill_leaves_no_gaps_after_first(values in gappy_values(60)) {
+        let mut series = Series::new("x", values);
+        let first = series.first_present();
+        missing::forward_fill(&mut series);
+        if let Some(first) = first {
+            for v in &series.values()[first..] {
+                prop_assert!(!v.is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        a in finite_values(50),
+        b in finite_values(50),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let r = stats::pearson(a, b);
+        prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9, "r = {r}");
+        let r2 = stats::pearson(b, a);
+        prop_assert!((r - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_scale_invariant(a in finite_values(50), scale in 0.1f64..100.0, shift in -1000.0f64..1000.0) {
+        let b: Vec<f64> = a.iter().map(|v| v * scale + shift).collect();
+        let r = stats::pearson(&a, &b);
+        // Either degenerate (constant input) or perfectly correlated.
+        prop_assert!(r == 0.0 || (r - 1.0).abs() < 1e-6, "r = {r}");
+    }
+
+    #[test]
+    fn quantile_is_monotone(values in finite_values(50), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(stats::quantile(&values, lo) <= stats::quantile(&values, hi) + 1e-9);
+    }
+
+    #[test]
+    fn scaler_round_trips(values in finite_values(40)) {
+        let mut frame = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), values.len());
+        frame.push_column(Series::new("x", values.clone())).unwrap();
+        let scaler = transform::StandardScaler::fit(&frame);
+        scaler.transform(&mut frame).unwrap();
+        let mut back = frame.column("x").unwrap().values().to_vec();
+        scaler.inverse_transform_column("x", &mut back).unwrap();
+        for (orig, restored) in values.iter().zip(&back) {
+            prop_assert!((orig - restored).abs() < 1e-6 * (1.0 + orig.abs()));
+        }
+    }
+
+    #[test]
+    fn future_target_then_lag_is_identity_in_the_middle(values in finite_values(40), k in 1usize..10) {
+        let series = Series::new("x", values.clone());
+        let shifted = transform::future_target(&series, k);
+        let back = transform::lag(&shifted, k);
+        for t in k..values.len().saturating_sub(k) {
+            prop_assert_eq!(back.values()[t], values[t]);
+        }
+    }
+
+    #[test]
+    fn date_round_trip(days in -200_000i32..200_000) {
+        let d = Date::from_days(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+        prop_assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
+    }
+
+    #[test]
+    fn date_add_days_is_consistent(days in -100_000i32..100_000, delta in -5000i32..5000) {
+        let d = Date::from_days(days);
+        let moved = d.add_days(delta);
+        prop_assert_eq!(moved.days_between(d), delta);
+    }
+
+    #[test]
+    fn csv_round_trip(values in gappy_values(40)) {
+        let mut frame = Frame::with_daily_index(Date::from_ymd(2021, 6, 1).unwrap(), values.len());
+        frame.push_column(Series::new("col", values.clone())).unwrap();
+        let mut buf = Vec::new();
+        csv::write_frame(&frame, &mut buf).unwrap();
+        let parsed = csv::read_frame(std::io::BufReader::new(&buf[..])).unwrap();
+        let restored = parsed.column("col").unwrap().values();
+        prop_assert_eq!(restored.len(), values.len());
+        for (a, b) in values.iter().zip(restored) {
+            if a.is_nan() {
+                prop_assert!(b.is_nan());
+            } else {
+                prop_assert_eq!(*a, *b);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_never_drops_protected(values in gappy_values(50)) {
+        let mut frame = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), values.len());
+        frame.push_column(Series::new("target", values)).unwrap();
+        let config = clean::CleanConfig {
+            max_missing_run: 0,
+            max_flat_run: 0,
+            max_missing_fraction: 0.0,
+        };
+        clean::clean_frame(&mut frame, &config, &["target"]);
+        prop_assert!(frame.has_column("target"));
+    }
+
+    #[test]
+    fn longest_flat_run_at_most_len(values in gappy_values(50)) {
+        let series = Series::new("x", values);
+        prop_assert!(series.longest_flat_run() <= series.len());
+        prop_assert!(series.longest_missing_run() <= series.len());
+    }
+}
