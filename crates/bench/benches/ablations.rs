@@ -35,19 +35,22 @@ fn ablation_fra_rule(c: &mut Criterion) {
     let scenario = scenario_fixture();
     let profile = Profile::fast();
     let mut group = c.benchmark_group("ablation_fra_rule");
-    for (label, rule) in [("all_four", RemovalRule::AllFour), ("any_one", RemovalRule::AnyOne)] {
+    for (label, rule) in [
+        ("all_four", RemovalRule::AllFour),
+        ("any_one", RemovalRule::AnyOne),
+    ] {
+        // Few iterations: Criterion budget.
+        let config = FraConfig::new()
+            .with_target_len(180)
+            .with_max_iterations(8)
+            .with_rule(rule);
         group.bench_function(label, |b| {
             b.iter(|| {
                 run_fra(
                     &scenario,
                     &profile.rf_grid[0],
                     &profile.gbdt_grid[0],
-                    &FraConfig {
-                        target_len: 180, // few iterations: Criterion budget
-                        max_iterations: 8,
-                        rule,
-                        ..Default::default()
-                    },
+                    &config,
                     1,
                     0,
                 )
@@ -65,22 +68,20 @@ fn ablation_corr_schedule(c: &mut Criterion) {
     let profile = Profile::fast();
     let mut group = c.benchmark_group("ablation_corr_schedule");
     for (label, step) in [("tightening_0.025", 0.025), ("fixed_0.5", 0.0)] {
+        // Fixed-threshold FRA cannot remove high-correlation features at
+        // all, so bound the workload: this is a per-iteration cost
+        // comparison, not a convergence race.
+        let config = FraConfig::new()
+            .with_target_len(180)
+            .with_max_iterations(8)
+            .with_corr_step(step);
         group.bench_function(label, |b| {
             b.iter(|| {
                 run_fra(
                     &scenario,
                     &profile.rf_grid[0],
                     &profile.gbdt_grid[0],
-                    &FraConfig {
-                        // Fixed-threshold FRA cannot remove high-correlation
-                        // features at all, so bound the workload: this is a
-                        // per-iteration cost comparison, not a convergence
-                        // race.
-                        target_len: 180,
-                        max_iterations: 8,
-                        corr_step: step,
-                        ..Default::default()
-                    },
+                    &config,
                     1,
                     0,
                 )
@@ -169,9 +170,14 @@ fn ablation_importance(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_importance");
     group.sample_size(10);
-    group.bench_function("mdi_at_fit_time", |b| b.iter(|| cfg.fit(&x, &y, 0).unwrap()));
+    group.bench_function("mdi_at_fit_time", |b| {
+        b.iter(|| cfg.fit(&x, &y, 0).unwrap())
+    });
     group.bench_function("pfi_2repeats", |b| {
-        let pfi_cfg = PermutationConfig { n_repeats: 2, seed: 0 };
+        let pfi_cfg = PermutationConfig {
+            n_repeats: 2,
+            seed: 0,
+        };
         b.iter(|| permutation_importance(&model, &x, &y, &pfi_cfg).unwrap());
     });
     group.bench_function("treeshap_64rows", |b| {

@@ -1,16 +1,19 @@
 //! End-to-end pipeline-stage benchmarks: one per stage of the per-scenario
 //! experiment (synthesis, assembly, index construction, scenario build,
-//! FRA, SHAP ranking, diversity evaluation).
+//! FRA, SHAP ranking, diversity evaluation), plus the observer-overhead
+//! check backing the c100-obs design claim that a `NullObserver` costs
+//! nothing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use c100_core::dataset::assemble;
 use c100_core::diversity::diversity_experiment;
-use c100_core::fra::{run_fra, FraConfig};
+use c100_core::fra::{run_fra, run_fra_observed, FraConfig};
 use c100_core::index::Crypto100Builder;
 use c100_core::profile::Profile;
 use c100_core::scenario::{build_scenario, Period};
 use c100_core::selection::shap_ranking;
+use c100_obs::NullObserver;
 use c100_synth::{generate, SynthConfig};
 use c100_timeseries::Date;
 
@@ -51,23 +54,62 @@ fn bench_fra(c: &mut Criterion) {
     let master = assemble(&data).unwrap();
     let scenario = build_scenario(&master, Period::Y2019, 7).unwrap();
     let profile = Profile::fast();
+    // Few iterations: Criterion budget.
+    let config = FraConfig::new().with_target_len(180).with_max_iterations(8);
     c.bench_function("fra_full_run_w7", |b| {
         b.iter(|| {
             run_fra(
                 &scenario,
                 &profile.rf_grid[0],
                 &profile.gbdt_grid[0],
-                &FraConfig {
-                    target_len: 180, // few iterations: Criterion budget
-                    max_iterations: 8,
-                    ..Default::default()
-                },
+                &config,
                 1,
                 0,
             )
             .unwrap()
         })
     });
+}
+
+/// The c100-obs design claim: threading a `NullObserver` through the
+/// pipeline costs nothing measurable versus the silent legacy signature.
+/// Compare the two `fra` bars of this group — they should be within noise
+/// (<1%) of each other.
+fn bench_observer_overhead(c: &mut Criterion) {
+    let data = generate(&tiny_config(7));
+    let master = assemble(&data).unwrap();
+    let scenario = build_scenario(&master, Period::Y2019, 7).unwrap();
+    let profile = Profile::fast();
+    let config = FraConfig::new().with_target_len(180).with_max_iterations(8);
+    let mut group = c.benchmark_group("observer_overhead");
+    group.bench_function("fra_silent_wrapper", |b| {
+        b.iter(|| {
+            run_fra(
+                &scenario,
+                &profile.rf_grid[0],
+                &profile.gbdt_grid[0],
+                &config,
+                1,
+                0,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("fra_null_observer", |b| {
+        b.iter(|| {
+            run_fra_observed(
+                &scenario,
+                &profile.rf_grid[0],
+                &profile.gbdt_grid[0],
+                &config,
+                1,
+                0,
+                &NullObserver,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
 }
 
 fn bench_shap_ranking(c: &mut Criterion) {
@@ -88,9 +130,7 @@ fn bench_diversity(c: &mut Criterion) {
     // A mid-sized "final vector": first 80 candidates.
     let final_features: Vec<String> = scenario.feature_names.iter().take(80).cloned().collect();
     c.bench_function("diversity_experiment_w30", |b| {
-        b.iter(|| {
-            diversity_experiment(&scenario, &final_features, &profile.rf_grid[0], 0).unwrap()
-        })
+        b.iter(|| diversity_experiment(&scenario, &final_features, &profile.rf_grid[0], 0).unwrap())
     });
 }
 
@@ -98,6 +138,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_synthesis, bench_assembly_and_index, bench_scenario_build,
-              bench_fra, bench_shap_ranking, bench_diversity
+              bench_fra, bench_observer_overhead, bench_shap_ranking, bench_diversity
 }
 criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro [--profile fast|full] [--seed N] [--out DIR] <artifact>...
+//! repro [--profile fast|full] [--seed N] [--out DIR]
+//!       [--log-jsonl PATH] [--quiet] <artifact>...
 //!
 //! artifacts:
 //!   fig1    Top-100 vs total market cap (Figure 1)
@@ -18,15 +19,21 @@
 //! ```
 //!
 //! Figure series are written as CSV into `--out` (default `results/`);
-//! tables print to stdout and are also saved as JSON.
+//! tables print to stdout and are also saved as JSON. Pipeline runs emit
+//! structured telemetry: progress lines on stderr (suppress with
+//! `--quiet`), an optional machine-readable event log (`--log-jsonl`),
+//! and aggregated run metrics written to `<out>/metrics.json`.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use c100_bench::RunProfile;
-use c100_core::experiments::{figure1, figure2, run_full_evaluation, FullEvaluation};
-use c100_core::report::{pct, ratio, sparkline, TextTable};
+use c100_core::context::RunContext;
+use c100_core::experiments::{figure1, figure2, run_full_evaluation_with, FullEvaluation};
+use c100_core::report::{metrics_table, pct, ratio, sparkline, TextTable};
 use c100_core::scenario::Period;
+use c100_obs::{Fanout, JsonlObserver, MetricsRegistry, RunObserver, StderrObserver};
 use c100_synth::MarketData;
 use c100_timeseries::csv::write_frame_to_path;
 
@@ -34,6 +41,8 @@ struct Args {
     profile: RunProfile,
     seed: u64,
     out: PathBuf,
+    log_jsonl: Option<PathBuf>,
+    quiet: bool,
     artifacts: BTreeSet<String>,
 }
 
@@ -45,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = RunProfile::Full;
     let mut seed = 42u64;
     let mut out = PathBuf::from("results");
+    let mut log_jsonl = None;
+    let mut quiet = false;
     let mut artifacts = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,6 +70,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--log-jsonl" => {
+                log_jsonl = Some(PathBuf::from(
+                    args.next().ok_or("--log-jsonl needs a value")?,
+                ));
+            }
+            "--quiet" => {
+                quiet = true;
             }
             "all" => {
                 artifacts.extend(ALL_ARTIFACTS.iter().map(|s| s.to_string()));
@@ -78,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
         profile,
         seed,
         out,
+        log_jsonl,
+        quiet,
         artifacts,
     })
 }
@@ -117,18 +138,43 @@ fn main() {
         run_fig2(&data, &args.out);
     }
 
-    let needs_pipeline = args
-        .artifacts
-        .iter()
-        .any(|a| a != "fig1" && a != "fig2");
+    let needs_pipeline = args.artifacts.iter().any(|a| a != "fig1" && a != "fig2");
     if !needs_pipeline {
         return;
     }
 
+    // Telemetry sinks for the pipeline run: progress on stderr (unless
+    // --quiet), an optional JSONL event log, and always a metrics
+    // registry whose aggregate lands in <out>/metrics.json.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut observer = Fanout::new().with(metrics.clone() as Arc<dyn RunObserver>);
+    if !args.quiet {
+        observer.push(Arc::new(StderrObserver::new()));
+    }
+    let jsonl = args.log_jsonl.as_ref().map(|path| {
+        let sink = Arc::new(JsonlObserver::create(path).expect("create JSONL event log"));
+        observer.push(sink.clone() as Arc<dyn RunObserver>);
+        (path, sink)
+    });
+
     let t1 = std::time::Instant::now();
-    let evaluation = run_full_evaluation(&data, &args.profile.pipeline_profile(args.seed))
-        .expect("full evaluation");
+    let profile = args.profile.pipeline_profile(args.seed);
+    let ctx = RunContext::with_observer(&profile, &observer);
+    let evaluation = run_full_evaluation_with(&data, &ctx).expect("full evaluation");
     println!("# 10-scenario pipeline completed in {:.1?}\n", t1.elapsed());
+
+    if let Some((path, sink)) = jsonl {
+        sink.flush().expect("flush JSONL event log");
+        println!("  -> {}", path.display());
+    }
+    let snapshot = metrics.snapshot();
+    let metrics_path = args.out.join("metrics.json");
+    std::fs::write(&metrics_path, snapshot.to_json()).expect("write metrics.json");
+    println!("  -> {}", metrics_path.display());
+    if !args.quiet {
+        print!("{}", metrics_table(&snapshot));
+    }
+    println!();
 
     if args.artifacts.contains("table1") {
         run_table1(&evaluation, &args.out);
@@ -193,7 +239,11 @@ fn run_fig2(data: &MarketData, out: &Path) {
     println!("  (power 7 keeps the index price-comparable to BTC, as the paper tunes)");
     let path = out.join("fig2_scaling_powers.csv");
     write_frame_to_path(&frame, &path).expect("write fig2 CSV");
-    save_json(out, "fig2_comparisons", c100_core::report::to_json(&comparisons));
+    save_json(
+        out,
+        "fig2_comparisons",
+        c100_core::report::to_json(&comparisons),
+    );
     println!("  -> {}\n", path.display());
 }
 
@@ -212,7 +262,11 @@ fn run_table1(eval: &FullEvaluation, out: &Path) {
 fn run_contribution(eval: &FullEvaluation, period: Period, name: &str, out: &Path) {
     println!(
         "## {} — Contribution of data sources to the final feature vector, set {}",
-        if name == "fig3" { "Figure 3" } else { "Figure 4" },
+        if name == "fig3" {
+            "Figure 3"
+        } else {
+            "Figure 4"
+        },
         period.label()
     );
     let figure = eval.contribution_figure(period);
@@ -243,7 +297,11 @@ fn run_table3(eval: &FullEvaluation, out: &Path) {
     for (set, (short, long)) in &rows {
         for i in 0..5 {
             table.row(&[
-                if i == 0 { set.to_string() } else { String::new() },
+                if i == 0 {
+                    set.to_string()
+                } else {
+                    String::new()
+                },
                 short.get(i).cloned().unwrap_or_default(),
                 long.get(i).cloned().unwrap_or_default(),
             ]);
@@ -262,7 +320,11 @@ fn run_table4(eval: &FullEvaluation, out: &Path) {
         let n = short.len().max(long.len());
         for i in 0..n {
             table.row(&[
-                if i == 0 { set.to_string() } else { String::new() },
+                if i == 0 {
+                    set.to_string()
+                } else {
+                    String::new()
+                },
                 short.get(i).cloned().unwrap_or_default(),
                 long.get(i).cloned().unwrap_or_default(),
             ]);

@@ -39,17 +39,12 @@ impl RunProfile {
 
     /// The pipeline compute profile.
     pub fn pipeline_profile(self, seed: u64) -> Profile {
-        let mut profile = match self {
-            RunProfile::Fast => {
-                let mut p = Profile::fast();
-                // The fast profile still runs the full 2017-2023 span, so
-                // give SHAP a few more rows than the test default.
-                p.shap_rows = 192;
-                p
-            }
+        match self {
+            // The fast profile still runs the full 2017-2023 span, so
+            // give SHAP a few more rows than the test default.
+            RunProfile::Fast => Profile::fast().with_shap_rows(192),
             RunProfile::Full => Profile::full(),
-        };
-        profile.seed = seed;
-        profile
+        }
+        .with_seed(seed)
     }
 }

@@ -68,9 +68,21 @@ fn main() {
 
     let mut table = TextTable::new(&["Model", "diverse MSE", "sentiment MSE", "improvement"]);
     let rows: Vec<(&str, f64, f64)> = vec![
-        ("RandomForest", eval(&scenario, &diverse, &rf, 1), eval(&scenario, &single, &rf, 1)),
-        ("GBDT (XGB-style)", eval(&scenario, &diverse, &gbdt, 2), eval(&scenario, &single, &gbdt, 2)),
-        ("MLP [64,32]", eval(&scenario, &diverse, &mlp, 3), eval(&scenario, &single, &mlp, 3)),
+        (
+            "RandomForest",
+            eval(&scenario, &diverse, &rf, 1),
+            eval(&scenario, &single, &rf, 1),
+        ),
+        (
+            "GBDT (XGB-style)",
+            eval(&scenario, &diverse, &gbdt, 2),
+            eval(&scenario, &single, &gbdt, 2),
+        ),
+        (
+            "MLP [64,32]",
+            eval(&scenario, &diverse, &mlp, 3),
+            eval(&scenario, &single, &mlp, 3),
+        ),
     ];
     for (name, diverse_mse, single_mse) in rows {
         table.row(&[

@@ -29,11 +29,11 @@ fn main() {
     );
 
     let profile = Profile::fast();
-    let fra_config = FraConfig {
-        target_len: 100,
-        ..Default::default()
-    };
-    println!("\nrunning FRA (target ≤ {} features)...", fra_config.target_len);
+    let fra_config = FraConfig::new().with_target_len(100);
+    println!(
+        "\nrunning FRA (target ≤ {} features)...",
+        fra_config.target_len
+    );
     let fra = run_fra(
         &scenario,
         &profile.rf_grid[0],
@@ -52,14 +52,18 @@ fn main() {
             it.n_before,
             it.n_removed,
             it.corr_threshold,
-            if it.stall_break { "  (stall-break)" } else { "" }
+            if it.stall_break {
+                "  (stall-break)"
+            } else {
+                ""
+            }
         );
     }
     println!("survivors: {}", fra.surviving.len());
 
     println!("\ncomputing SHAP ranking for validation...");
-    let shap = shap_ranking(&scenario, &profile.shap_forest, profile.shap_rows, 2)
-        .expect("SHAP ranking");
+    let shap =
+        shap_ranking(&scenario, &profile.shap_forest, profile.shap_rows, 2).expect("SHAP ranking");
     let selection = final_vector(&fra, &shap, profile.union_top_k);
     println!(
         "SHAP top-100 ∩ FRA survivors: {} features (paper reports ≈78 on average)",

@@ -34,8 +34,8 @@ fn main() {
 
     // The paper's tuning: power 7 makes the index comparable to BTC.
     println!("\npower comparison against the BTC price:");
-    let comparisons = power_comparison(universe, &data.btc.close, &[6.0, 7.0, 8.0])
-        .expect("power comparison");
+    let comparisons =
+        power_comparison(universe, &data.btc.close, &[6.0, 7.0, 8.0]).expect("power comparison");
     for c in &comparisons {
         println!(
             "  power {}: mean index/BTC ratio {:>9.4}, correlation {:.4}",

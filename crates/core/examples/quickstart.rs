@@ -36,7 +36,10 @@ fn main() {
         period: Period::Y2019,
         window: 7,
     };
-    println!("\nrunning scenario {} (fine-tune → FRA → SHAP → final vector)...", spec.id());
+    println!(
+        "\nrunning scenario {} (fine-tune → FRA → SHAP → final vector)...",
+        spec.id()
+    );
     let result = run_scenario(&data, &spec, &Profile::fast()).expect("pipeline run");
     println!(
         "candidates: {}, FRA survivors: {}, final vector: {} features",
@@ -51,11 +54,17 @@ fn main() {
 
     // 4. Train the tuned forest on the final features and evaluate.
     let features: Vec<&str> = result.final_features.iter().map(|s| s.as_str()).collect();
-    let train = result.scenario.train_matrix(&features).expect("train matrix");
+    let train = result
+        .scenario
+        .train_matrix(&features)
+        .expect("train matrix");
     let test = result.scenario.test_matrix(&features).expect("test matrix");
     let x_train = Matrix::from_row_major(train.x.clone(), train.n_features).unwrap();
     let x_test = Matrix::from_row_major(test.x.clone(), test.n_features).unwrap();
-    let model = result.tuned_rf.fit(&x_train, &train.y, 7).expect("fit forest");
+    let model = result
+        .tuned_rf
+        .fit(&x_train, &train.y, 7)
+        .expect("fit forest");
     let predictions = model.predict(&x_test);
     println!(
         "\nheld-out 7-day-ahead forecast: MSE {:.1}, R² {:.3} over {} days",

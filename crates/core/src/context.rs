@@ -1,0 +1,101 @@
+//! The observer-carrying run context threaded through the orchestration
+//! API.
+//!
+//! A [`RunContext`] bundles the compute [`Profile`] with the
+//! [`RunObserver`] that receives pipeline telemetry. The silent
+//! constructors ([`RunContext::new`]) make the context free when
+//! observability is not wanted — every legacy entry point
+//! (`run_scenario_on`, `run_full_evaluation`, …) wraps one of these, so
+//! existing callers keep compiling unchanged.
+
+use std::time::Instant;
+
+use c100_obs::{Event, NullObserver, RunObserver, Stage};
+
+use crate::profile::Profile;
+
+/// Shared state for one pipeline run: the compute profile plus the event
+/// sink. Cheap to construct and copy; borrows both members.
+#[derive(Clone, Copy)]
+pub struct RunContext<'a> {
+    /// The compute profile (grids, folds, sampling counts, master seed).
+    pub profile: &'a Profile,
+    /// Receives every pipeline event.
+    pub observer: &'a dyn RunObserver,
+}
+
+impl<'a> RunContext<'a> {
+    /// A silent context: all events go to [`NullObserver`].
+    pub fn new(profile: &'a Profile) -> RunContext<'a> {
+        RunContext {
+            profile,
+            observer: &NullObserver,
+        }
+    }
+
+    /// A context that reports to `observer`.
+    pub fn with_observer(profile: &'a Profile, observer: &'a dyn RunObserver) -> RunContext<'a> {
+        RunContext { profile, observer }
+    }
+
+    /// Emits one event.
+    pub fn emit(&self, event: Event) {
+        self.observer.on_event(&event);
+    }
+
+    /// Runs `f` bracketed by [`Event::StageStarted`] /
+    /// [`Event::StageFinished`] events carrying the measured duration.
+    pub fn time_stage<T>(&self, scenario: &str, stage: Stage, f: impl FnOnce() -> T) -> T {
+        self.emit(Event::StageStarted {
+            scenario: scenario.to_string(),
+            stage,
+        });
+        let start = Instant::now();
+        let out = f();
+        self.emit(Event::StageFinished {
+            scenario: scenario.to_string(),
+            stage,
+            micros: duration_micros(start),
+        });
+        out
+    }
+}
+
+/// Microseconds elapsed since `start`, saturating at `u64::MAX`.
+pub(crate) fn duration_micros(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c100_obs::RecordingObserver;
+
+    #[test]
+    fn time_stage_brackets_the_closure() {
+        let profile = Profile::fast();
+        let rec = RecordingObserver::new();
+        let ctx = RunContext::with_observer(&profile, &rec);
+        let out = ctx.time_stage("2019_7", Stage::Fra, || 42);
+        assert_eq!(out, 42);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            Event::StageStarted { scenario, stage: Stage::Fra } if scenario == "2019_7"
+        ));
+        assert!(matches!(
+            &events[1],
+            Event::StageFinished { scenario, stage: Stage::Fra, .. } if scenario == "2019_7"
+        ));
+    }
+
+    #[test]
+    fn silent_context_swallows_events() {
+        let profile = Profile::fast();
+        let ctx = RunContext::new(&profile);
+        // Nothing to assert beyond "does not panic": NullObserver drops it.
+        ctx.emit(Event::RunStarted { scenarios: 10 });
+        assert_eq!(ctx.profile.cv_folds, profile.cv_folds);
+    }
+}

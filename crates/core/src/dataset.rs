@@ -64,9 +64,9 @@ pub fn assemble(data: &MarketData) -> Result<MasterDataset> {
     let mut categories = HashMap::new();
 
     let merge = |frame: &mut Frame,
-                     categories: &mut HashMap<String, DataCategory>,
-                     part: &Frame,
-                     cat: DataCategory|
+                 categories: &mut HashMap<String, DataCategory>,
+                 part: &Frame,
+                 cat: DataCategory|
      -> Result<()> {
         for name in part.column_names() {
             categories.insert(name.to_string(), cat);
@@ -75,12 +75,42 @@ pub fn assemble(data: &MarketData) -> Result<MasterDataset> {
         Ok(())
     };
 
-    merge(&mut frame, &mut categories, &technical, DataCategory::Technical)?;
-    merge(&mut frame, &mut categories, &data.onchain_btc, DataCategory::OnChainBtc)?;
-    merge(&mut frame, &mut categories, &data.onchain_usdc, DataCategory::OnChainUsdc)?;
-    merge(&mut frame, &mut categories, &data.sentiment, DataCategory::Sentiment)?;
-    merge(&mut frame, &mut categories, &data.tradfi, DataCategory::TradFi)?;
-    merge(&mut frame, &mut categories, &data.macro_econ, DataCategory::Macro)?;
+    merge(
+        &mut frame,
+        &mut categories,
+        &technical,
+        DataCategory::Technical,
+    )?;
+    merge(
+        &mut frame,
+        &mut categories,
+        &data.onchain_btc,
+        DataCategory::OnChainBtc,
+    )?;
+    merge(
+        &mut frame,
+        &mut categories,
+        &data.onchain_usdc,
+        DataCategory::OnChainUsdc,
+    )?;
+    merge(
+        &mut frame,
+        &mut categories,
+        &data.sentiment,
+        DataCategory::Sentiment,
+    )?;
+    merge(
+        &mut frame,
+        &mut categories,
+        &data.tradfi,
+        DataCategory::TradFi,
+    )?;
+    merge(
+        &mut frame,
+        &mut categories,
+        &data.macro_econ,
+        DataCategory::Macro,
+    )?;
 
     // The target: Crypto100 at the paper's power-7 scaling.
     let index = Crypto100Builder::default().build(&data.universe);

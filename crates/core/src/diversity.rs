@@ -50,7 +50,10 @@ impl DiversityResult {
         if self.per_category.is_empty() {
             return f64::NAN;
         }
-        self.per_category.iter().map(|c| c.improvement_pct).sum::<f64>()
+        self.per_category
+            .iter()
+            .map(|c| c.improvement_pct)
+            .sum::<f64>()
             / self.per_category.len() as f64
     }
 }
@@ -104,8 +107,7 @@ pub fn diversity_experiment<E: Estimator>(
             }))
         })
         .collect();
-    let per_category: Vec<CategoryImprovement> =
-        per_category?.into_iter().flatten().collect();
+    let per_category: Vec<CategoryImprovement> = per_category?.into_iter().flatten().collect();
 
     Ok(DiversityResult {
         scenario: scenario.id(),

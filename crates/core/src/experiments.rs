@@ -14,16 +14,21 @@
 //! | §4.3 overall improvements | [`FullEvaluation::overall_improvements`] |
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
+use c100_obs::{Event, Stage};
 use c100_synth::{DataCategory, MarketData};
 use c100_timeseries::{Frame, Series};
 
+use crate::context::{duration_micros, RunContext};
 use crate::contribution::CategoryContribution;
 use crate::dataset::assemble;
 use crate::diversity::{diversity_experiment, DiversityResult};
-use crate::groups::{merge_group, unique_top, RankedFeatures, LONG_TERM_WINDOWS, SHORT_TERM_WINDOWS};
+use crate::groups::{
+    merge_group, unique_top, RankedFeatures, LONG_TERM_WINDOWS, SHORT_TERM_WINDOWS,
+};
 use crate::index::{figure2_frame, power_comparison, PowerComparison};
-use crate::pipeline::{run_scenario_on, ScenarioResult, ScenarioSpec};
+use crate::pipeline::{run_scenario_with, ScenarioResult, ScenarioSpec};
 use crate::profile::Profile;
 use crate::scenario::Period;
 use crate::Result;
@@ -38,37 +43,55 @@ pub struct FullEvaluation {
     pub gbdt_diversity: Vec<DiversityResult>,
 }
 
-/// Runs every scenario plus both diversity experiments.
+/// Runs every scenario plus both diversity experiments, silently.
+/// Wrapper around [`run_full_evaluation_with`] with a
+/// [`c100_obs::NullObserver`].
 pub fn run_full_evaluation(data: &MarketData, profile: &Profile) -> Result<FullEvaluation> {
+    run_full_evaluation_with(data, &RunContext::new(profile))
+}
+
+/// Runs every scenario plus both diversity experiments, reporting
+/// progress to the context's observer: one `run_started`/`run_finished`
+/// pair bracketing the whole evaluation, the full per-scenario pipeline
+/// event stream, and a timed `diversity` stage per scenario.
+pub fn run_full_evaluation_with(data: &MarketData, ctx: &RunContext<'_>) -> Result<FullEvaluation> {
+    let profile = ctx.profile;
+    let specs = ScenarioSpec::all();
+    let t_run = Instant::now();
+    ctx.emit(Event::RunStarted {
+        scenarios: specs.len(),
+    });
     let master = assemble(data)?;
-    let mut scenarios = Vec::with_capacity(10);
-    let mut rf_diversity = Vec::with_capacity(10);
-    let mut gbdt_diversity = Vec::with_capacity(10);
-    for spec in ScenarioSpec::all() {
-        let t0 = std::time::Instant::now();
-        let result = run_scenario_on(&master, &spec, profile)?;
-        let t1 = std::time::Instant::now();
-        let seed = profile.stage_seed(&format!("{}:diversity", spec.id()));
-        rf_diversity.push(diversity_experiment(
-            &result.scenario,
-            &result.final_features,
-            &result.tuned_rf,
-            seed,
-        )?);
-        gbdt_diversity.push(diversity_experiment(
-            &result.scenario,
-            &result.final_features,
-            &result.tuned_gbdt,
-            seed ^ 0x9B,
-        )?);
-        eprintln!(
-            "#   scenario {}: pipeline {:.1?}, diversity {:.1?}",
-            spec.id(),
-            t1 - t0,
-            t1.elapsed()
-        );
+    let mut scenarios = Vec::with_capacity(specs.len());
+    let mut rf_diversity = Vec::with_capacity(specs.len());
+    let mut gbdt_diversity = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let result = run_scenario_with(&master, spec, ctx)?;
+        let id = spec.id();
+        let seed = profile.stage_seed(&format!("{id}:diversity"));
+        let (rf, gbdt) = ctx.time_stage(&id, Stage::Diversity, || -> Result<_> {
+            let rf = diversity_experiment(
+                &result.scenario,
+                &result.final_features,
+                &result.tuned_rf,
+                seed,
+            )?;
+            let gbdt = diversity_experiment(
+                &result.scenario,
+                &result.final_features,
+                &result.tuned_gbdt,
+                seed ^ 0x9B,
+            )?;
+            Ok((rf, gbdt))
+        })?;
+        rf_diversity.push(rf);
+        gbdt_diversity.push(gbdt);
         scenarios.push(result);
     }
+    ctx.emit(Event::RunFinished {
+        scenarios: scenarios.len(),
+        micros: duration_micros(t_run),
+    });
     Ok(FullEvaluation {
         scenarios,
         rf_diversity,
@@ -93,13 +116,13 @@ impl FullEvaluation {
 
     /// Figures 3/4: per window, the contribution factor of every category
     /// for the given period set.
-    pub fn contribution_figure(
-        &self,
-        period: Period,
-    ) -> Vec<(usize, Vec<CategoryContribution>)> {
+    pub fn contribution_figure(&self, period: Period) -> Vec<(usize, Vec<CategoryContribution>)> {
         crate::scenario::WINDOWS
             .iter()
-            .filter_map(|&w| self.by_spec(period, w).map(|r| (w, r.contributions.clone())))
+            .filter_map(|&w| {
+                self.by_spec(period, w)
+                    .map(|r| (w, r.contributions.clone()))
+            })
             .collect()
     }
 
@@ -208,10 +231,22 @@ impl FullEvaluation {
             values.iter().sum::<f64>() / values.len().max(1) as f64
         };
         vec![
-            ("RF 2017".to_string(), mean_over(&self.rf_diversity, Period::Y2017)),
-            ("RF 2019".to_string(), mean_over(&self.rf_diversity, Period::Y2019)),
-            ("XGB 2017".to_string(), mean_over(&self.gbdt_diversity, Period::Y2017)),
-            ("XGB 2019".to_string(), mean_over(&self.gbdt_diversity, Period::Y2019)),
+            (
+                "RF 2017".to_string(),
+                mean_over(&self.rf_diversity, Period::Y2017),
+            ),
+            (
+                "RF 2019".to_string(),
+                mean_over(&self.rf_diversity, Period::Y2019),
+            ),
+            (
+                "XGB 2017".to_string(),
+                mean_over(&self.gbdt_diversity, Period::Y2017),
+            ),
+            (
+                "XGB 2019".to_string(),
+                mean_over(&self.gbdt_diversity, Period::Y2019),
+            ),
         ]
     }
 }

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::importance::{permutation_importance, PermutationConfig};
+use c100_obs::{Event, NullObserver, RunObserver};
 use c100_timeseries::stats::pearson;
 
 use crate::scenario::ScenarioData;
@@ -35,7 +36,23 @@ pub enum RemovalRule {
 }
 
 /// FRA hyper-parameters.
+///
+/// `#[non_exhaustive]`: construct via [`FraConfig::new`] (the paper's
+/// defaults) and the chainable `with_*` setters, so future knobs
+/// (threshold schedules, alternative ranking sets) can be added without
+/// breaking downstream callers.
+///
+/// ```
+/// use c100_core::fra::{FraConfig, RemovalRule};
+///
+/// let config = FraConfig::new()
+///     .with_target_len(80)
+///     .with_max_iterations(8)
+///     .with_rule(RemovalRule::AnyOne);
+/// assert_eq!(config.target_len, 80);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct FraConfig {
     /// Stop once at most this many features survive (paper: 100).
     pub target_len: usize,
@@ -62,6 +79,49 @@ impl Default for FraConfig {
             stall_patience: 3,
             rule: RemovalRule::AllFour,
         }
+    }
+}
+
+impl FraConfig {
+    /// The paper's configuration (identical to `Default`).
+    pub fn new() -> FraConfig {
+        FraConfig::default()
+    }
+
+    /// Sets the survivor target (paper: 100).
+    pub fn with_target_len(mut self, target_len: usize) -> FraConfig {
+        self.target_len = target_len;
+        self
+    }
+
+    /// Sets the initial correlation threshold (paper: 0.5).
+    pub fn with_initial_corr_threshold(mut self, threshold: f64) -> FraConfig {
+        self.initial_corr_threshold = threshold;
+        self
+    }
+
+    /// Sets the per-iteration threshold increment (paper: 0.025).
+    pub fn with_corr_step(mut self, corr_step: f64) -> FraConfig {
+        self.corr_step = corr_step;
+        self
+    }
+
+    /// Sets the hard iteration cap.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> FraConfig {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the stall-breaker patience.
+    pub fn with_stall_patience(mut self, stall_patience: usize) -> FraConfig {
+        self.stall_patience = stall_patience;
+        self
+    }
+
+    /// Sets the intersection rule.
+    pub fn with_rule(mut self, rule: RemovalRule) -> FraConfig {
+        self.rule = rule;
+        self
     }
 }
 
@@ -120,7 +180,8 @@ fn ascending_ranks(values: &[f64]) -> Vec<usize> {
     ranks
 }
 
-/// Runs FRA on a scenario with the already fine-tuned model configurations.
+/// Runs FRA on a scenario with the already fine-tuned model
+/// configurations. Silent wrapper around [`run_fra_observed`].
 pub fn run_fra(
     scenario: &ScenarioData,
     rf: &RandomForestConfig,
@@ -128,6 +189,22 @@ pub fn run_fra(
     config: &FraConfig,
     pfi_repeats: usize,
     seed: u64,
+) -> Result<FraResult> {
+    run_fra_observed(scenario, rf, gbdt, config, pfi_repeats, seed, &NullObserver)
+}
+
+/// [`run_fra`] with telemetry: emits one [`Event::FraIteration`] per
+/// iteration, mirroring the [`FraIteration`] diagnostics also returned in
+/// the result.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fra_observed(
+    scenario: &ScenarioData,
+    rf: &RandomForestConfig,
+    gbdt: &GbdtConfig,
+    config: &FraConfig,
+    pfi_repeats: usize,
+    seed: u64,
+    observer: &dyn RunObserver,
 ) -> Result<FraResult> {
     if scenario.feature_names.is_empty() {
         return Err(CoreError::Pipeline("scenario has no features".into()));
@@ -163,7 +240,9 @@ pub fn run_fra(
         let names: Vec<&str> = alive.iter().map(|s| s.as_str()).collect();
         let train = scenario.train_matrix(&names)?;
         let x = c100_ml::data::Matrix::from_row_major(train.x.clone(), train.n_features)?;
-        let iter_seed = seed.wrapping_add(iteration as u64).wrapping_mul(0x9E37_79B9);
+        let iter_seed = seed
+            .wrapping_add(iteration as u64)
+            .wrapping_mul(0x9E37_79B9);
 
         let rf_model = rf.fit(&x, &train.y, iter_seed)?;
         let gbdt_model = gbdt.fit(&x, &train.y, iter_seed ^ 0xABCD)?;
@@ -171,13 +250,19 @@ pub fn run_fra(
             &rf_model,
             &x,
             &train.y,
-            &PermutationConfig { n_repeats: pfi_repeats, seed: iter_seed ^ 0x11 },
+            &PermutationConfig {
+                n_repeats: pfi_repeats,
+                seed: iter_seed ^ 0x11,
+            },
         )?;
         let gbdt_pfi = permutation_importance(
             &gbdt_model,
             &x,
             &train.y,
-            &PermutationConfig { n_repeats: pfi_repeats, seed: iter_seed ^ 0x22 },
+            &PermutationConfig {
+                n_repeats: pfi_repeats,
+                seed: iter_seed ^ 0x22,
+            },
         )?;
 
         let rankings = [
@@ -224,6 +309,14 @@ pub fn run_fra(
             stall = 0;
         }
 
+        observer.on_event(&Event::FraIteration {
+            scenario: scenario.id(),
+            iteration,
+            n_before: alive.len(),
+            n_removed: removed.len(),
+            corr_threshold: threshold,
+            stall_break,
+        });
         iterations.push(FraIteration {
             iteration,
             n_before: alive.len(),
@@ -250,7 +343,11 @@ pub fn run_fra(
         .cloned()
         .zip(final_model.feature_importances.iter().copied())
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite importances")
+            .then(a.0.cmp(&b.0))
+    });
 
     Ok(FraResult {
         surviving: ranked.iter().map(|(n, _)| n.clone()).collect(),
@@ -286,10 +383,7 @@ mod tests {
         let s = scenario();
         let p = Profile::fast();
         let n_start = s.feature_names.len();
-        let cfg = FraConfig {
-            target_len: 60,
-            ..Default::default()
-        };
+        let cfg = FraConfig::new().with_target_len(60);
         let result = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 1).unwrap();
         assert!(n_start > 60, "need a reducible scenario, had {n_start}");
         assert!(
@@ -313,10 +407,7 @@ mod tests {
     fn fra_importances_are_sorted_descending() {
         let s = scenario();
         let p = Profile::fast();
-        let cfg = FraConfig {
-            target_len: 80,
-            ..Default::default()
-        };
+        let cfg = FraConfig::new().with_target_len(80);
         let result = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 2).unwrap();
         for w in result.importance.windows(2) {
             assert!(w[0] >= w[1]);
@@ -328,10 +419,7 @@ mod tests {
     fn noop_when_already_small_enough() {
         let s = scenario();
         let p = Profile::fast();
-        let cfg = FraConfig {
-            target_len: 10_000,
-            ..Default::default()
-        };
+        let cfg = FraConfig::new().with_target_len(10_000);
         let result = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 3).unwrap();
         assert_eq!(result.surviving.len(), s.feature_names.len());
         assert!(result.iterations.is_empty());
@@ -341,10 +429,7 @@ mod tests {
     fn deterministic_under_seed() {
         let s = scenario();
         let p = Profile::fast();
-        let cfg = FraConfig {
-            target_len: 80,
-            ..Default::default()
-        };
+        let cfg = FraConfig::new().with_target_len(80);
         let a = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 5).unwrap();
         let b = run_fra(&s, &p.rf_grid[0], &p.gbdt_grid[0], &cfg, p.pfi_repeats, 5).unwrap();
         assert_eq!(a.surviving, b.surviving);

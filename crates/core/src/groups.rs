@@ -33,7 +33,11 @@ impl RankedFeatures {
 
     /// The top-`n` feature names.
     pub fn top(&self, n: usize) -> Vec<&str> {
-        self.entries.iter().take(n).map(|(f, _)| f.as_str()).collect()
+        self.entries
+            .iter()
+            .take(n)
+            .map(|(f, _)| f.as_str())
+            .collect()
     }
 
     /// Whether the group contains a feature.

@@ -10,8 +10,8 @@
 //! to Bitcoin (Figure 2a shows powers 7 vs 8, Figure 2b powers 6 vs 7).
 //! [`power_comparison`] reproduces that tuning analysis.
 
-use c100_timeseries::{Frame, Series};
 use c100_synth::universe::Universe;
+use c100_timeseries::{Frame, Series};
 
 use crate::{CoreError, Result};
 
@@ -35,7 +35,9 @@ pub struct Crypto100Builder {
 
 impl Default for Crypto100Builder {
     fn default() -> Self {
-        Crypto100Builder { power: DEFAULT_POWER }
+        Crypto100Builder {
+            power: DEFAULT_POWER,
+        }
     }
 }
 
@@ -86,11 +88,7 @@ pub fn power_comparison(
         .map(|&power| {
             let series = Crypto100Builder { power }.build(universe);
             let values = series.values();
-            let ratios: Vec<f64> = values
-                .iter()
-                .zip(btc_close)
-                .map(|(v, b)| v / b)
-                .collect();
+            let ratios: Vec<f64> = values.iter().zip(btc_close).map(|(v, b)| v / b).collect();
             PowerComparison {
                 power,
                 mean_ratio_to_btc: c100_timeseries::stats::mean(&ratios),
@@ -104,11 +102,7 @@ pub fn power_comparison(
 
 /// A frame holding the Figure 2 series: BTC price plus the index at each
 /// requested power, ready for CSV export.
-pub fn figure2_frame(
-    universe: &Universe,
-    btc_close: &[f64],
-    powers: &[f64],
-) -> Result<Frame> {
+pub fn figure2_frame(universe: &Universe, btc_close: &[f64], powers: &[f64]) -> Result<Frame> {
     let mut frame = Frame::with_daily_index(universe.start, universe.n_days());
     frame.push_column(Series::new("BTC_close", btc_close.to_vec()))?;
     for &power in powers {
@@ -169,7 +163,12 @@ mod tests {
         assert!(d7 < d6, "power 7 ratio distance {d7} vs power 6 {d6}");
         // The index correlates strongly with BTC regardless of power.
         for c in &comps {
-            assert!(c.correlation_with_btc > 0.9, "power {} corr {}", c.power, c.correlation_with_btc);
+            assert!(
+                c.correlation_with_btc > 0.9,
+                "power {} corr {}",
+                c.power,
+                c.correlation_with_btc
+            );
         }
     }
 

@@ -23,6 +23,9 @@
 //!   diverse feature vector vs single-category models (Tables 5–6 and the
 //!   overall RF/XGB improvements of §4.3).
 //! * [`pipeline`] — one-call orchestration of a full scenario run.
+//! * [`context`] — the observer-carrying [`context::RunContext`] threaded
+//!   through the orchestration API; pair it with any
+//!   [`c100_obs::RunObserver`] sink for structured telemetry.
 //! * [`profile`] — compute profiles (grid sizes, forest sizes) so tests,
 //!   examples and the full reproduction share one code path at different
 //!   costs.
@@ -30,20 +33,37 @@
 //!   binaries.
 //!
 //! ```no_run
-//! use c100_core::pipeline::{run_scenario, ScenarioSpec};
+//! use c100_core::context::RunContext;
+//! use c100_core::pipeline::{run_scenario_on, ScenarioSpec};
+//! use c100_core::dataset::assemble;
 //! use c100_core::profile::Profile;
 //! use c100_core::scenario::Period;
+//! use c100_obs::StderrObserver;
 //! use c100_synth::SynthConfig;
 //!
 //! let data = c100_synth::generate(&SynthConfig::default());
-//! let result = run_scenario(
-//!     &data,
+//! let master = assemble(&data).unwrap();
+//! let profile = Profile::fast().with_seed(7);
+//! // Silent run — the legacy signature still works:
+//! let result = run_scenario_on(
+//!     &master,
 //!     &ScenarioSpec { period: Period::Y2017, window: 30 },
-//!     &Profile::fast(),
+//!     &profile,
 //! ).unwrap();
 //! println!("final feature vector: {} features", result.final_features.len());
+//!
+//! // Observed run — same pipeline, telemetry on stderr:
+//! let observer = StderrObserver::new();
+//! let ctx = RunContext::with_observer(&profile, &observer);
+//! let observed = c100_core::pipeline::run_scenario_with(
+//!     &master,
+//!     &ScenarioSpec { period: Period::Y2019, window: 7 },
+//!     &ctx,
+//! ).unwrap();
+//! assert!(!observed.final_features.is_empty());
 //! ```
 
+pub mod context;
 pub mod contribution;
 pub mod dataset;
 pub mod diversity;

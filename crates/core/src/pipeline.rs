@@ -1,20 +1,28 @@
 //! One-call orchestration of a full per-scenario pipeline run:
 //! fine-tune RF and XGB → FRA → SHAP validation → final feature vector →
 //! final importance ranking → category contributions.
+//!
+//! The observer-carrying entry point is [`run_scenario_with`]; the
+//! [`run_scenario_on`] / [`run_scenario`] wrappers keep the original
+//! silent signatures.
+
+use std::time::Instant;
 
 use c100_ml::data::Matrix;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
-use c100_ml::model_selection::grid_search;
+use c100_ml::model_selection::grid_search_observed;
+use c100_obs::{Event, Stage};
 use c100_synth::MarketData;
 
+use crate::context::{duration_micros, RunContext};
 use crate::contribution::{contribution_factors, CategoryContribution};
 use crate::dataset::{assemble, MasterDataset};
-use crate::fra::{run_fra, FraConfig, FraResult};
+use crate::fra::{run_fra_observed, FraConfig, FraResult};
 use crate::groups::RankedFeatures;
 use crate::profile::Profile;
 use crate::scenario::{build_scenario, Period, ScenarioData};
-use crate::selection::{final_vector, shap_ranking};
+use crate::selection::{final_vector, shap_ranking_observed};
 use crate::Result;
 
 /// Identifies one of the 10 scenarios.
@@ -67,71 +75,107 @@ pub struct ScenarioResult {
     pub contributions: Vec<CategoryContribution>,
 }
 
-/// Runs the full pipeline for one scenario on an already assembled master
-/// dataset (preferred when running many scenarios).
-pub fn run_scenario_on(
+/// Runs the full pipeline for one scenario, reporting progress to the
+/// context's observer: `scenario_started`, bracketing `stage_*` events
+/// for tune/FRA/SHAP/final-fit, per-candidate grid scores, per-iteration
+/// FRA diagnostics and a closing `scenario_finished` summary.
+pub fn run_scenario_with(
     master: &MasterDataset,
     spec: &ScenarioSpec,
-    profile: &Profile,
+    ctx: &RunContext<'_>,
 ) -> Result<ScenarioResult> {
+    let profile = ctx.profile;
+    let t_scenario = Instant::now();
     let scenario = build_scenario(master, spec.period, spec.window)?;
+    let id = spec.id();
     let n_candidates = scenario.feature_names.len();
-    let stage = |name: &str| profile.stage_seed(&format!("{}:{name}", spec.id()));
+    let stage_seed = |name: &str| profile.stage_seed(&format!("{id}:{name}"));
+    ctx.emit(Event::ScenarioStarted {
+        scenario: id.clone(),
+        n_candidates,
+    });
 
     // Fine-tune both model families on the full candidate set.
     let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
     let train = scenario.train_matrix(&names)?;
     let x = Matrix::from_row_major(train.x.clone(), train.n_features)?;
-    let t_tune = std::time::Instant::now();
-    let rf_search = grid_search(&profile.rf_grid, &x, &train.y, profile.cv_folds, stage("rf-tune"))?;
-    let gbdt_search =
-        grid_search(&profile.gbdt_grid, &x, &train.y, profile.cv_folds, stage("gbdt-tune"))?;
-    let tune_elapsed = t_tune.elapsed();
-    let tuned_rf = rf_search.best_config;
-    let tuned_gbdt = gbdt_search.best_config;
+    let (rf_search, gbdt_search) = ctx.time_stage(&id, Stage::Tune, || {
+        let rf = grid_search_observed(
+            &profile.rf_grid,
+            &x,
+            &train.y,
+            profile.cv_folds,
+            stage_seed("rf-tune"),
+            &format!("{id}:rf"),
+            ctx.observer,
+        );
+        let gbdt = grid_search_observed(
+            &profile.gbdt_grid,
+            &x,
+            &train.y,
+            profile.cv_folds,
+            stage_seed("gbdt-tune"),
+            &format!("{id}:gbdt"),
+            ctx.observer,
+        );
+        (rf, gbdt)
+    });
+    let tuned_rf = rf_search?.best_config;
+    let tuned_gbdt = gbdt_search?.best_config;
 
     // FRA with the tuned models.
-    let fra_config = FraConfig {
-        target_len: profile.fra_target,
-        ..Default::default()
-    };
-    let t_fra = std::time::Instant::now();
-    let fra = run_fra(
-        &scenario,
-        &tuned_rf,
-        &tuned_gbdt,
-        &fra_config,
-        profile.pfi_repeats,
-        stage("fra"),
-    )?;
-    let fra_elapsed = t_fra.elapsed();
+    let fra_config = FraConfig::new().with_target_len(profile.fra_target);
+    let fra = ctx.time_stage(&id, Stage::Fra, || {
+        run_fra_observed(
+            &scenario,
+            &tuned_rf,
+            &tuned_gbdt,
+            &fra_config,
+            profile.pfi_repeats,
+            stage_seed("fra"),
+            ctx.observer,
+        )
+    })?;
 
     // SHAP validation on the original candidate set, then the union.
-    let t_shap = std::time::Instant::now();
-    let shap = shap_ranking(&scenario, &profile.shap_forest, profile.shap_rows, stage("shap"))?;
-    eprintln!(
-        "#     {} stages: tune {tune_elapsed:.1?}, fra {fra_elapsed:.1?} ({} iters), shap {:.1?}",
-        spec.id(),
-        fra.iterations.len(),
-        t_shap.elapsed()
-    );
+    let shap = ctx.time_stage(&id, Stage::Shap, || {
+        shap_ranking_observed(
+            &scenario,
+            &profile.shap_forest,
+            profile.shap_rows,
+            stage_seed("shap"),
+            ctx.observer,
+        )
+    })?;
     let selection = final_vector(&fra, &shap, profile.union_top_k);
 
     // Final importance: tuned RF refit on the final vector.
-    let final_refs: Vec<&str> = selection.features.iter().map(|s| s.as_str()).collect();
-    let final_train = scenario.train_matrix(&final_refs)?;
-    let fx = Matrix::from_row_major(final_train.x.clone(), final_train.n_features)?;
-    let final_model = tuned_rf.fit(&fx, &final_train.y, stage("final-importance"))?;
-    let final_importance = RankedFeatures::from_pairs(
-        selection
-            .features
-            .iter()
-            .cloned()
-            .zip(final_model.feature_importances.iter().copied())
-            .collect(),
-    );
+    let final_importance = ctx.time_stage(&id, Stage::FinalFit, || -> Result<RankedFeatures> {
+        let final_refs: Vec<&str> = selection.features.iter().map(|s| s.as_str()).collect();
+        let final_train = scenario.train_matrix(&final_refs)?;
+        let fx = Matrix::from_row_major(final_train.x.clone(), final_train.n_features)?;
+        let final_model = tuned_rf.fit(&fx, &final_train.y, stage_seed("final-importance"))?;
+        Ok(RankedFeatures::from_pairs(
+            selection
+                .features
+                .iter()
+                .cloned()
+                .zip(final_model.feature_importances.iter().copied())
+                .collect(),
+        ))
+    })?;
 
     let contributions = contribution_factors(&scenario, &selection.features);
+
+    ctx.emit(Event::ScenarioFinished {
+        scenario: id,
+        n_candidates,
+        fra_survivors: fra.surviving.len(),
+        fra_iterations: fra.iterations.len(),
+        shap_overlap: selection.overlap_shap100_fra,
+        final_features: selection.features.len(),
+        micros: duration_micros(t_scenario),
+    });
 
     Ok(ScenarioResult {
         scenario,
@@ -144,6 +188,17 @@ pub fn run_scenario_on(
         final_importance,
         contributions,
     })
+}
+
+/// Runs the full pipeline for one scenario on an already assembled master
+/// dataset (preferred when running many scenarios), silently. Wrapper
+/// around [`run_scenario_with`] with a [`c100_obs::NullObserver`].
+pub fn run_scenario_on(
+    master: &MasterDataset,
+    spec: &ScenarioSpec,
+    profile: &Profile,
+) -> Result<ScenarioResult> {
+    run_scenario_with(master, spec, &RunContext::new(profile))
 }
 
 /// Convenience wrapper that assembles the master dataset first.

@@ -65,7 +65,11 @@ fn sharpe(daily_returns: &[f64]) -> f64 {
     }
     let n = daily_returns.len() as f64;
     let mean = daily_returns.iter().sum::<f64>() / n;
-    let var = daily_returns.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+    let var = daily_returns
+        .iter()
+        .map(|r| (r - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let sd = var.sqrt();
     if sd == 0.0 {
         return 0.0;
@@ -99,7 +103,9 @@ pub fn timing_backtest<E: Estimator>(
         || !(0.0..1.0).contains(&config.warmup_fraction)
         || config.full_allocation_return <= 0.0
     {
-        return Err(CoreError::Pipeline(format!("bad backtest config {config:?}")));
+        return Err(CoreError::Pipeline(format!(
+            "bad backtest config {config:?}"
+        )));
     }
     let refs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
     let full = scenario.frame.to_matrix(&refs, TARGET)?;
@@ -230,15 +236,22 @@ mod tests {
         let p = Profile::fast();
         let features = s.feature_names.clone();
         for config in [
-            BacktestConfig { rebalance_every: 0, ..Default::default() },
-            BacktestConfig { warmup_fraction: 1.5, ..Default::default() },
-            BacktestConfig { full_allocation_return: 0.0, ..Default::default() },
+            BacktestConfig {
+                rebalance_every: 0,
+                ..Default::default()
+            },
+            BacktestConfig {
+                warmup_fraction: 1.5,
+                ..Default::default()
+            },
+            BacktestConfig {
+                full_allocation_return: 0.0,
+                ..Default::default()
+            },
         ] {
             assert!(timing_backtest(&s, &features, &p.rf_grid[0], &config, 0).is_err());
         }
         let empty: Vec<String> = vec![];
-        assert!(
-            timing_backtest(&s, &empty, &p.rf_grid[0], &BacktestConfig::default(), 0).is_err()
-        );
+        assert!(timing_backtest(&s, &empty, &p.rf_grid[0], &BacktestConfig::default(), 0).is_err());
     }
 }

@@ -137,6 +137,69 @@ impl Profile {
         }
     }
 
+    /// Replaces the master seed.
+    ///
+    /// All `with_*` methods consume and return `self`, so presets chain:
+    ///
+    /// ```
+    /// use c100_core::profile::Profile;
+    /// let p = Profile::fast().with_seed(7).with_cv_folds(3);
+    /// assert_eq!(p.seed, 7);
+    /// assert_eq!(p.cv_folds, 3);
+    /// ```
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the cross-validation fold count.
+    pub fn with_cv_folds(mut self, cv_folds: usize) -> Self {
+        self.cv_folds = cv_folds;
+        self
+    }
+
+    /// Replaces the permutation-importance repeat count used inside FRA.
+    pub fn with_pfi_repeats(mut self, pfi_repeats: usize) -> Self {
+        self.pfi_repeats = pfi_repeats;
+        self
+    }
+
+    /// Replaces the SHAP row-subsample budget.
+    pub fn with_shap_rows(mut self, shap_rows: usize) -> Self {
+        self.shap_rows = shap_rows;
+        self
+    }
+
+    /// Replaces the forest configuration used for the SHAP ranking.
+    pub fn with_shap_forest(mut self, shap_forest: RandomForestConfig) -> Self {
+        self.shap_forest = shap_forest;
+        self
+    }
+
+    /// Replaces the FRA target vector length.
+    pub fn with_fra_target(mut self, fra_target: usize) -> Self {
+        self.fra_target = fra_target;
+        self
+    }
+
+    /// Replaces the per-ranking top-k taken into the final union.
+    pub fn with_union_top_k(mut self, union_top_k: usize) -> Self {
+        self.union_top_k = union_top_k;
+        self
+    }
+
+    /// Replaces the RF fine-tuning grid.
+    pub fn with_rf_grid(mut self, rf_grid: Vec<RandomForestConfig>) -> Self {
+        self.rf_grid = rf_grid;
+        self
+    }
+
+    /// Replaces the XGB-style fine-tuning grid.
+    pub fn with_gbdt_grid(mut self, gbdt_grid: Vec<GbdtConfig>) -> Self {
+        self.gbdt_grid = gbdt_grid;
+        self
+    }
+
     /// Derives a deterministic sub-seed for a named pipeline stage.
     pub fn stage_seed(&self, stage: &str) -> u64 {
         let mut h: u64 = self.seed ^ 0x9E37_79B9_7F4A_7C15;
@@ -166,8 +229,37 @@ mod tests {
     fn stage_seeds_differ_by_stage_and_run() {
         let p = Profile::fast();
         assert_ne!(p.stage_seed("fra"), p.stage_seed("shap"));
-        let mut q = Profile::fast();
-        q.seed = 8;
+        let q = Profile::fast().with_seed(8);
         assert_ne!(p.stage_seed("fra"), q.stage_seed("fra"));
+    }
+
+    #[test]
+    fn builder_chain_overrides_preset_fields() {
+        let p = Profile::fast()
+            .with_seed(99)
+            .with_cv_folds(4)
+            .with_pfi_repeats(1)
+            .with_shap_rows(32)
+            .with_fra_target(50)
+            .with_union_top_k(40);
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.cv_folds, 4);
+        assert_eq!(p.pfi_repeats, 1);
+        assert_eq!(p.shap_rows, 32);
+        assert_eq!(p.fra_target, 50);
+        assert_eq!(p.union_top_k, 40);
+        // Untouched fields keep the preset values.
+        assert_eq!(p.rf_grid.len(), Profile::fast().rf_grid.len());
+
+        let grids = Profile::full()
+            .with_rf_grid(vec![RandomForestConfig::default()])
+            .with_gbdt_grid(vec![GbdtConfig::default()])
+            .with_shap_forest(RandomForestConfig {
+                n_estimators: 5,
+                ..Default::default()
+            });
+        assert_eq!(grids.rf_grid.len(), 1);
+        assert_eq!(grids.gbdt_grid.len(), 1);
+        assert_eq!(grids.shap_forest.n_estimators, 5);
     }
 }

@@ -3,6 +3,8 @@
 
 use std::fmt::Write as _;
 
+use c100_obs::{fmt_micros, MetricsSnapshot};
+
 /// A simple left-aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct TextTable {
@@ -101,6 +103,37 @@ pub fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("experiment results serialize")
 }
 
+/// Renders a [`MetricsSnapshot`] as two text tables: every counter, then
+/// every duration histogram with count/mean/min/max/total columns.
+pub fn metrics_table(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        let mut counters = TextTable::new(&["Counter", "Value"]);
+        for (name, value) in &snapshot.counters {
+            counters.row(&[name.clone(), value.to_string()]);
+        }
+        out.push_str(&counters.render());
+    }
+    if !snapshot.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let mut durations = TextTable::new(&["Duration", "Count", "Mean", "Min", "Max", "Total"]);
+        for (name, h) in &snapshot.histograms {
+            durations.row(&[
+                name.clone(),
+                h.count.to_string(),
+                fmt_micros(h.mean_micros().round() as u64),
+                fmt_micros(h.min_micros),
+                fmt_micros(h.max_micros),
+                fmt_micros(h.sum_micros),
+            ]);
+        }
+        out.push_str(&durations.render());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +174,21 @@ mod tests {
         // NaN renders as a gap.
         let with_gap = sparkline(&[0.0, f64::NAN, 2.0], 3);
         assert_eq!(with_gap.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn metrics_table_lists_counters_and_histograms() {
+        use c100_obs::MetricsRegistry;
+        let m = MetricsRegistry::new();
+        m.add("grid_candidates_total", 12);
+        m.observe_micros("stage.fra_micros", 1_500_000);
+        let text = metrics_table(&m.snapshot());
+        assert!(text.contains("grid_candidates_total"));
+        assert!(text.contains("12"));
+        assert!(text.contains("stage.fra_micros"));
+        assert!(text.contains("1.50s"));
+        // Empty snapshots render nothing rather than empty tables.
+        assert_eq!(metrics_table(&MetricsSnapshot::default()), "");
     }
 
     #[test]

@@ -186,7 +186,11 @@ pub fn build_scenario(
 
 /// Convenience: add a series as a feature to an existing scenario frame
 /// (used by ablation experiments).
-pub fn add_feature(scenario: &mut ScenarioData, series: Series, category: DataCategory) -> Result<()> {
+pub fn add_feature(
+    scenario: &mut ScenarioData,
+    series: Series,
+    category: DataCategory,
+) -> Result<()> {
     let name = series.name().to_string();
     scenario.frame.push_column(series)?;
     scenario.feature_names.push(name.clone());

@@ -11,6 +11,7 @@ use std::collections::HashSet;
 use c100_ml::data::Matrix;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::shap::mean_abs_shap;
+use c100_obs::{Event, NullObserver, RunObserver};
 
 use crate::fra::FraResult;
 use crate::scenario::ScenarioData;
@@ -26,7 +27,11 @@ pub struct ShapRanking {
 impl ShapRanking {
     /// The top-`k` feature names.
     pub fn top(&self, k: usize) -> Vec<&str> {
-        self.ranked.iter().take(k).map(|(n, _)| n.as_str()).collect()
+        self.ranked
+            .iter()
+            .take(k)
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 }
 
@@ -35,11 +40,25 @@ impl ShapRanking {
 /// TreeSHAP cost grows with rows × leaves × depth², so the forest is
 /// depth-capped and rows are subsampled deterministically (every k-th row,
 /// which for a time series is also a uniform temporal coverage).
+///
+/// Silent wrapper around [`shap_ranking_observed`].
 pub fn shap_ranking(
     scenario: &ScenarioData,
     forest: &RandomForestConfig,
     max_rows: usize,
     seed: u64,
+) -> Result<ShapRanking> {
+    shap_ranking_observed(scenario, forest, max_rows, seed, &NullObserver)
+}
+
+/// [`shap_ranking`] with telemetry: emits one [`Event::ShapSampled`]
+/// reporting the rows actually evaluated and the features ranked.
+pub fn shap_ranking_observed(
+    scenario: &ScenarioData,
+    forest: &RandomForestConfig,
+    max_rows: usize,
+    seed: u64,
+    observer: &dyn RunObserver,
 ) -> Result<ShapRanking> {
     let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
     if names.is_empty() {
@@ -51,6 +70,11 @@ pub fn shap_ranking(
 
     let stride = (x.n_rows() / max_rows.max(1)).max(1);
     let rows: Vec<usize> = (0..x.n_rows()).step_by(stride).collect();
+    observer.on_event(&Event::ShapSampled {
+        scenario: scenario.id(),
+        rows: rows.len(),
+        features: names.len(),
+    });
     let sample = x.take_rows(&rows);
     let importances = mean_abs_shap(&model, &sample);
 
@@ -142,7 +166,7 @@ mod tests {
             &s,
             &p.rf_grid[0],
             &p.gbdt_grid[0],
-            &FraConfig { target_len: 80, ..Default::default() },
+            &FraConfig::new().with_target_len(80),
             p.pfi_repeats,
             3,
         )
@@ -170,7 +194,13 @@ mod tests {
         let p = Profile::fast();
         let ranking = shap_ranking(&s, &p.shap_forest, p.shap_rows, 5).unwrap();
         let top30 = ranking.top(30);
-        let strong = ["market_cap", "CapMrktCurUSD", "RevAllTimeUSD", "CapRealUSD", "CapMrktFFUSD"];
+        let strong = [
+            "market_cap",
+            "CapMrktCurUSD",
+            "RevAllTimeUSD",
+            "CapRealUSD",
+            "CapMrktFFUSD",
+        ];
         assert!(
             top30.iter().any(|n| strong.contains(n)),
             "no strong level feature in SHAP top-30: {top30:?}"

@@ -26,7 +26,11 @@ pub fn rsi(values: &[f64], period: usize) -> Vec<f64> {
     out[period] = rsi_from(avg_gain, avg_loss);
     for t in (period + 1)..n {
         let change = values[t] - values[t - 1];
-        let (gain, loss) = if change > 0.0 { (change, 0.0) } else { (0.0, -change) };
+        let (gain, loss) = if change > 0.0 {
+            (change, 0.0)
+        } else {
+            (0.0, -change)
+        };
         avg_gain = (avg_gain * (period - 1) as f64 + gain) / period as f64;
         avg_loss = (avg_loss * (period - 1) as f64 + loss) / period as f64;
         out[t] = rsi_from(avg_gain, avg_loss);
@@ -118,14 +122,26 @@ pub struct Stochastic {
 }
 
 /// Stochastic oscillator over `period` days with a `d_span`-day %D.
-pub fn stochastic(high: &[f64], low: &[f64], close: &[f64], period: usize, d_span: usize) -> Stochastic {
+pub fn stochastic(
+    high: &[f64],
+    low: &[f64],
+    close: &[f64],
+    period: usize,
+    d_span: usize,
+) -> Stochastic {
     assert_eq!(high.len(), low.len());
     assert_eq!(high.len(), close.len());
     assert!(period >= 1, "period must be >= 1");
     let n = close.len();
     let k = crate::with_warmup(n, period - 1, |t| {
-        let lo = low[t + 1 - period..=t].iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = high[t + 1 - period..=t].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = low[t + 1 - period..=t]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = high[t + 1 - period..=t]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         if hi > lo {
             (close[t] - lo) / (hi - lo) * 100.0
         } else {

@@ -93,17 +93,37 @@ pub fn technical_suite(inputs: &TechnicalInputs) -> Result<Frame, String> {
         push(&mut frame, format!("EMA{w}_volume"), ema(&inputs.volume, w));
     }
     for w in SMA_VOLUME_WINDOWS {
-        push(&mut frame, format!("SMA_{w}_volume"), sma(&inputs.volume, w));
+        push(
+            &mut frame,
+            format!("SMA_{w}_volume"),
+            sma(&inputs.volume, w),
+        );
     }
-    push(&mut frame, "WMA10_close-price".into(), wma(&inputs.close, 10));
-    push(&mut frame, "WMA50_close-price".into(), wma(&inputs.close, 50));
+    push(
+        &mut frame,
+        "WMA10_close-price".into(),
+        wma(&inputs.close, 10),
+    );
+    push(
+        &mut frame,
+        "WMA50_close-price".into(),
+        wma(&inputs.close, 50),
+    );
 
     // --- Stationary oscillators -------------------------------------------
     for period in [7, 14, 28] {
-        push(&mut frame, format!("RSI{period}"), rsi(&inputs.close, period));
+        push(
+            &mut frame,
+            format!("RSI{period}"),
+            rsi(&inputs.close, period),
+        );
     }
     for period in [1, 5, 10, 20, 60] {
-        push(&mut frame, format!("ROC{period}"), roc(&inputs.close, period));
+        push(
+            &mut frame,
+            format!("ROC{period}"),
+            roc(&inputs.close, period),
+        );
     }
     for period in [10, 30] {
         push(
@@ -148,18 +168,25 @@ pub fn technical_suite(inputs: &TechnicalInputs) -> Result<Frame, String> {
         push(
             &mut frame,
             format!("CMF{period}"),
-            cmf(&inputs.high, &inputs.low, &inputs.close, &inputs.volume, period),
+            cmf(
+                &inputs.high,
+                &inputs.low,
+                &inputs.close,
+                &inputs.volume,
+                period,
+            ),
         );
     }
 
     // Realized volatility of daily returns (stationary).
     let returns: Vec<f64> = std::iter::once(f64::NAN)
-        .chain(
-            inputs
-                .close
-                .windows(2)
-                .map(|w| if w[0] > 0.0 { w[1] / w[0] - 1.0 } else { f64::NAN }),
-        )
+        .chain(inputs.close.windows(2).map(|w| {
+            if w[0] > 0.0 {
+                w[1] / w[0] - 1.0
+            } else {
+                f64::NAN
+            }
+        }))
         .collect();
     for period in [20, 60] {
         let mut vol = rolling_std(&returns[1..], period);
@@ -222,9 +249,7 @@ mod tests {
         let oscillators = frame
             .column_names()
             .iter()
-            .filter(|n| {
-                !n.starts_with("EMA") && !n.starts_with("SMA_") && !n.starts_with("WMA")
-            })
+            .filter(|n| !n.starts_with("EMA") && !n.starts_with("SMA_") && !n.starts_with("WMA"))
             .count();
         assert!(
             oscillators * 2 >= frame.width() - 8,
@@ -262,13 +287,11 @@ mod tests {
     fn suite_values_are_finite_after_warmup() {
         let frame = technical_suite(&inputs(400)).unwrap();
         for col in frame.columns() {
-            let first = col.first_present().unwrap_or_else(|| panic!("{} all NaN", col.name()));
+            let first = col
+                .first_present()
+                .unwrap_or_else(|| panic!("{} all NaN", col.name()));
             for (t, v) in col.values().iter().enumerate().skip(first) {
-                assert!(
-                    v.is_finite() || v.is_nan(),
-                    "{} at {t} is {v}",
-                    col.name()
-                );
+                assert!(v.is_finite() || v.is_nan(), "{} at {t} is {v}", col.name());
             }
             // No column should be entirely NaN on 400 days of data.
             assert!(first < 250, "{} first present at {first}", col.name());

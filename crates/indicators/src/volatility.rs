@@ -88,9 +88,9 @@ pub fn atr(high: &[f64], low: &[f64], close: &[f64], period: usize) -> Vec<f64> 
     }
     let mut prev = acc / period as f64;
     out[period] = prev;
-    for t in (period + 1)..n {
+    for (t, slot) in out.iter_mut().enumerate().take(n).skip(period + 1) {
         prev = (prev * (period - 1) as f64 + true_range(t)) / period as f64;
-        out[t] = prev;
+        *slot = prev;
     }
     out
 }
@@ -117,7 +117,9 @@ mod tests {
 
     #[test]
     fn bollinger_bands_bracket_the_series() {
-        let values: Vec<f64> = (0..60).map(|i| 100.0 + (i as f64 * 0.7).sin() * 5.0).collect();
+        let values: Vec<f64> = (0..60)
+            .map(|i| 100.0 + (i as f64 * 0.7).sin() * 5.0)
+            .collect();
         let bb = bollinger(&values, 20, 2.0);
         for t in 19..60 {
             assert!(bb.upper[t] >= bb.middle[t]);

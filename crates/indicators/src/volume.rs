@@ -29,7 +29,13 @@ pub fn volume_ratio(volume: &[f64], window: usize) -> Vec<f64> {
     volume
         .iter()
         .zip(&means)
-        .map(|(&v, &m)| if m.is_nan() || m == 0.0 { f64::NAN } else { v / m })
+        .map(|(&v, &m)| {
+            if m.is_nan() || m == 0.0 {
+                f64::NAN
+            } else {
+                v / m
+            }
+        })
         .collect()
 }
 

@@ -12,11 +12,7 @@ use c100_ml::metrics::mse;
 use c100_ml::tree::MaxFeatures;
 use c100_ml::Regressor;
 
-fn matrices(
-    window: usize,
-    features: &[&str],
-    seed: u64,
-) -> (Matrix, Vec<f64>, Matrix, Vec<f64>) {
+fn matrices(window: usize, features: &[&str], seed: u64) -> (Matrix, Vec<f64>, Matrix, Vec<f64>) {
     let data = small_market(seed);
     let master = assemble(&data).unwrap();
     let scenario = build_scenario(&master, Period::Y2019, window).unwrap();

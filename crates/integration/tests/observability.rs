@@ -1,0 +1,158 @@
+//! End-to-end observability: a real `Profile::fast()` pipeline run must
+//! emit the documented event sequence, round-trip through the JSONL
+//! sink, and aggregate into sane metrics.
+
+use std::sync::Arc;
+
+use c100_core::context::RunContext;
+use c100_core::dataset::assemble;
+use c100_core::pipeline::{run_scenario_with, ScenarioSpec};
+use c100_core::profile::Profile;
+use c100_core::scenario::Period;
+use c100_obs::{
+    Event, Fanout, JsonlObserver, MetricsRegistry, RecordingObserver, RunObserver, Stage,
+};
+use c100_synth::{generate, SynthConfig};
+
+fn run_observed() -> (Vec<Event>, String, c100_obs::MetricsSnapshot) {
+    let data = generate(&SynthConfig::small(171));
+    let master = assemble(&data).unwrap();
+    let profile = Profile::fast().with_seed(17);
+    let spec = ScenarioSpec {
+        period: Period::Y2019,
+        window: 7,
+    };
+
+    let recorder = Arc::new(RecordingObserver::new());
+    let jsonl = Arc::new(JsonlObserver::new(Vec::new()));
+    let metrics = Arc::new(MetricsRegistry::new());
+    let fanout = Fanout::new()
+        .with(recorder.clone() as Arc<dyn RunObserver>)
+        .with(jsonl.clone() as Arc<dyn RunObserver>)
+        .with(metrics.clone() as Arc<dyn RunObserver>);
+
+    let ctx = RunContext::with_observer(&profile, &fanout);
+    let result = run_scenario_with(&master, &spec, &ctx).unwrap();
+    assert!(!result.final_features.is_empty());
+
+    let snapshot = metrics.snapshot();
+    let events = recorder.take();
+    drop(fanout);
+    let bytes = Arc::try_unwrap(jsonl)
+        .expect("sole JSONL owner")
+        .into_inner();
+    (events, String::from_utf8(bytes).unwrap(), snapshot)
+}
+
+#[test]
+fn fast_run_emits_expected_ordered_event_sequence() {
+    let (events, jsonl_text, snapshot) = run_observed();
+
+    // --- Ordered skeleton -------------------------------------------------
+    // scenario_started, then tune / fra / shap / final_fit stage pairs in
+    // pipeline order, then scenario_finished — with the stage-specific
+    // events strictly inside their brackets.
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(kinds.first(), Some(&"scenario_started"));
+    assert_eq!(kinds.last(), Some(&"scenario_finished"));
+
+    let pos = |kind: &str| kinds.iter().position(|k| *k == kind).unwrap();
+    let stage_bounds = |stage: Stage| {
+        let start = events
+            .iter()
+            .position(|e| matches!(e, Event::StageStarted { stage: s, .. } if *s == stage))
+            .unwrap_or_else(|| panic!("no stage_started for {}", stage.label()));
+        let end = events
+            .iter()
+            .position(|e| matches!(e, Event::StageFinished { stage: s, .. } if *s == stage))
+            .unwrap_or_else(|| panic!("no stage_finished for {}", stage.label()));
+        assert!(start < end, "{} brackets inverted", stage.label());
+        (start, end)
+    };
+
+    let tune = stage_bounds(Stage::Tune);
+    let fra = stage_bounds(Stage::Fra);
+    let shap = stage_bounds(Stage::Shap);
+    let final_fit = stage_bounds(Stage::FinalFit);
+    assert!(tune.1 < fra.0, "tune finishes before fra starts");
+    assert!(fra.1 < shap.0, "fra finishes before shap starts");
+    assert!(
+        shap.1 < final_fit.0,
+        "shap finishes before final fit starts"
+    );
+
+    // Grid events live inside the tune bracket: one score per candidate
+    // plus a summary, for each model family.
+    let grid_scored: Vec<usize> = kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| **k == "grid_candidate_scored")
+        .map(|(i, _)| i)
+        .collect();
+    let profile = Profile::fast();
+    assert_eq!(
+        grid_scored.len(),
+        profile.rf_grid.len() + profile.gbdt_grid.len()
+    );
+    for i in &grid_scored {
+        assert!(tune.0 < *i && *i < tune.1, "grid score outside tune stage");
+    }
+    let grid_finished = events
+        .iter()
+        .filter(|e| matches!(e, Event::GridSearchFinished { .. }))
+        .count();
+    assert_eq!(grid_finished, 2, "one grid summary per model family");
+
+    // FRA iterations inside the FRA bracket, numbered 0.. in order.
+    let fra_iters: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::FraIteration { .. }))
+        .collect();
+    assert!(!fra_iters.is_empty());
+    for (n, e) in fra_iters.iter().enumerate() {
+        if let Event::FraIteration { iteration, .. } = e {
+            assert_eq!(*iteration, n);
+        }
+    }
+    let shap_sampled = pos("shap_sampled");
+    assert!(shap.0 < shap_sampled && shap_sampled < shap.1);
+
+    // Every event carries the scenario id (grid events via their scope).
+    for e in &events {
+        match e {
+            Event::GridCandidateScored { scope, .. } | Event::GridSearchFinished { scope, .. } => {
+                assert!(scope.starts_with("2019_7:"), "scope {scope}");
+            }
+            other => assert_eq!(other.scenario(), Some("2019_7")),
+        }
+    }
+
+    // --- JSONL round-trip -------------------------------------------------
+    let reparsed: Vec<Event> = jsonl_text
+        .lines()
+        .map(|l| Event::parse_json_line(l).unwrap())
+        .collect();
+    assert_eq!(reparsed, events);
+
+    // --- Metrics aggregation ----------------------------------------------
+    assert_eq!(snapshot.counters["events_total"], events.len() as u64);
+    assert_eq!(snapshot.counters["scenarios_finished_total"], 1);
+    assert_eq!(
+        snapshot.counters["fra_iterations_total"],
+        fra_iters.len() as u64
+    );
+    assert_eq!(
+        snapshot.counters["grid_candidates_total"],
+        grid_scored.len() as u64
+    );
+    // Stage durations nest inside the scenario total.
+    let scenario_micros = snapshot.histograms["scenario_micros"].sum_micros;
+    for stage in ["tune", "fra", "shap", "final_fit"] {
+        let h = &snapshot.histograms[&format!("stage.{stage}_micros")];
+        assert_eq!(h.count, 1);
+        assert!(
+            h.sum_micros <= scenario_micros,
+            "stage {stage} longer than its scenario"
+        );
+    }
+}

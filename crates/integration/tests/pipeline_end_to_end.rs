@@ -34,8 +34,8 @@ fn target_is_exactly_the_future_index() {
     for t in 0..index.len() - window {
         assert_eq!(target[t], index[t + window], "row {t}");
     }
-    for t in index.len() - window..index.len() {
-        assert!(target[t].is_nan(), "future beyond data must be missing");
+    for tail in &target[index.len() - window..] {
+        assert!(tail.is_nan(), "future beyond data must be missing");
     }
 }
 
@@ -51,7 +51,10 @@ fn no_feature_leaks_the_target() {
     for name in &scenario.feature_names {
         let col = scenario.frame.column(name).unwrap().values();
         let corr = c100_timeseries::stats::pearson(col, &target).abs();
-        assert!(corr < 0.999, "{name} correlates {corr} with the future target");
+        assert!(
+            corr < 0.999,
+            "{name} correlates {corr} with the future target"
+        );
     }
 }
 
@@ -71,8 +74,16 @@ fn scenario_counts_match_paper_structure() {
         s2019.feature_names.len()
     );
     // The paper's counts are 192/283; ours should be in that region.
-    assert!((150..=260).contains(&s2017.feature_names.len()), "{}", s2017.feature_names.len());
-    assert!((230..=340).contains(&s2019.feature_names.len()), "{}", s2019.feature_names.len());
+    assert!(
+        (150..=260).contains(&s2017.feature_names.len()),
+        "{}",
+        s2017.feature_names.len()
+    );
+    assert!(
+        (230..=340).contains(&s2019.feature_names.len()),
+        "{}",
+        s2019.feature_names.len()
+    );
 
     // USDC only exists in the 2019 set.
     assert!(s2017.features_of(DataCategory::OnChainUsdc).is_empty());

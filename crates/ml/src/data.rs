@@ -156,8 +156,12 @@ mod tests {
 
     #[test]
     fn take_rows_and_columns() {
-        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]])
-            .unwrap();
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
         let sub = m.take_rows(&[2, 0]);
         assert_eq!(sub.row(0), &[7.0, 8.0, 9.0]);
         assert_eq!(sub.row(1), &[1.0, 2.0, 3.0]);

@@ -164,8 +164,8 @@ mod tests {
         let mut y = Vec::with_capacity(n);
         for _ in 0..n {
             let f: Vec<f64> = (0..5).map(|_| rng.gen::<f64>()).collect();
-            let target = 10.0 * (std::f64::consts::PI * f[0] * f[1]).sin()
-                + 20.0 * (f[2] - 0.5).powi(2);
+            let target =
+                10.0 * (std::f64::consts::PI * f[0] * f[1]).sin() + 20.0 * (f[2] - 0.5).powi(2);
             rows.push(f);
             y.push(target);
         }

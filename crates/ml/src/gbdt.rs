@@ -64,16 +64,21 @@ impl GbdtConfig {
         if self.n_estimators == 0 {
             return Err(MlError::BadConfig("n_estimators must be >= 1".into()));
         }
-        if !(self.learning_rate > 0.0) {
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
             return Err(MlError::BadConfig("learning_rate must be > 0".into()));
         }
         if self.max_depth == 0 {
             return Err(MlError::BadConfig("max_depth must be >= 1".into()));
         }
         if self.lambda < 0.0 || self.gamma < 0.0 || self.min_child_weight < 0.0 {
-            return Err(MlError::BadConfig("lambda/gamma/min_child_weight must be >= 0".into()));
+            return Err(MlError::BadConfig(
+                "lambda/gamma/min_child_weight must be >= 0".into(),
+            ));
         }
-        for (name, v) in [("subsample", self.subsample), ("colsample_bytree", self.colsample_bytree)] {
+        for (name, v) in [
+            ("subsample", self.subsample),
+            ("colsample_bytree", self.colsample_bytree),
+        ] {
             if !(v > 0.0 && v <= 1.0) {
                 return Err(MlError::BadConfig(format!("{name} {v} outside (0, 1]")));
             }
@@ -268,7 +273,11 @@ impl<'a> GbdtTreeBuilder<'a> {
         let min_child = self.config.min_child_weight;
         let n = indices.len();
         scratch.clear();
-        scratch.extend(indices.iter().map(|&i| (self.x.get(i, feature), self.grad[i])));
+        scratch.extend(
+            indices
+                .iter()
+                .map(|&i| (self.x.get(i, feature), self.grad[i])),
+        );
         scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN rejected at fit entry"));
 
         let mut best: Option<GbdtSplit> = None;
@@ -369,7 +378,10 @@ mod tests {
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         let baseline = mse(&yt, &vec![mean; yt.len()]);
         let model_mse = mse(&yt, &pred);
-        assert!(model_mse < baseline * 0.05, "gbdt {model_mse} vs {baseline}");
+        assert!(
+            model_mse < baseline * 0.05,
+            "gbdt {model_mse} vs {baseline}"
+        );
     }
 
     #[test]
@@ -457,12 +469,30 @@ mod tests {
     fn validates_config_ranges() {
         let (x, y) = sine_data(30, 0);
         for cfg in [
-            GbdtConfig { n_estimators: 0, ..Default::default() },
-            GbdtConfig { learning_rate: 0.0, ..Default::default() },
-            GbdtConfig { max_depth: 0, ..Default::default() },
-            GbdtConfig { lambda: -1.0, ..Default::default() },
-            GbdtConfig { subsample: 0.0, ..Default::default() },
-            GbdtConfig { colsample_bytree: 1.5, ..Default::default() },
+            GbdtConfig {
+                n_estimators: 0,
+                ..Default::default()
+            },
+            GbdtConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
+            GbdtConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+            GbdtConfig {
+                lambda: -1.0,
+                ..Default::default()
+            },
+            GbdtConfig {
+                subsample: 0.0,
+                ..Default::default()
+            },
+            GbdtConfig {
+                colsample_bytree: 1.5,
+                ..Default::default()
+            },
         ] {
             assert!(cfg.fit(&x, &y, 0).is_err(), "{cfg:?} should be rejected");
         }

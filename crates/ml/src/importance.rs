@@ -27,7 +27,10 @@ pub struct PermutationConfig {
 
 impl Default for PermutationConfig {
     fn default() -> Self {
-        PermutationConfig { n_repeats: 5, seed: 0 }
+        PermutationConfig {
+            n_repeats: 5,
+            seed: 0,
+        }
     }
 }
 
@@ -96,8 +99,7 @@ where
             }
             // Restore is unnecessary: `shuffled` is a per-feature clone.
             let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
-            let var = deltas.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
-                / deltas.len() as f64;
+            let var = deltas.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / deltas.len() as f64;
             (mean, var.sqrt())
         })
         .collect();
@@ -169,7 +171,10 @@ mod tests {
         }
         .fit(&x, &y, 6)
         .unwrap();
-        let cfg = PermutationConfig { n_repeats: 3, seed: 9 };
+        let cfg = PermutationConfig {
+            n_repeats: 3,
+            seed: 9,
+        };
         let a = permutation_importance(&model, &x, &y, &cfg).unwrap();
         let b = permutation_importance(&model, &x, &y, &cfg).unwrap();
         assert_eq!(a.importances_mean, b.importances_mean);
@@ -185,8 +190,13 @@ mod tests {
         }
         .fit(&x, &y, 8)
         .unwrap();
-        assert!(permutation_importance(&model, &x, &y[..10], &PermutationConfig::default()).is_err());
-        let zero_repeats = PermutationConfig { n_repeats: 0, seed: 0 };
+        assert!(
+            permutation_importance(&model, &x, &y[..10], &PermutationConfig::default()).is_err()
+        );
+        let zero_repeats = PermutationConfig {
+            n_repeats: 0,
+            seed: 0,
+        };
         assert!(permutation_importance(&model, &x, &y, &zero_repeats).is_err());
     }
 
@@ -199,7 +209,10 @@ mod tests {
         }
         .fit(&x, &y, 12)
         .unwrap();
-        let cfg = PermutationConfig { n_repeats: 1, seed: 0 };
+        let cfg = PermutationConfig {
+            n_repeats: 1,
+            seed: 0,
+        };
         let pfi = permutation_importance(&model, &x, &y, &cfg).unwrap();
         assert!(pfi.importances_std.iter().all(|&s| s == 0.0));
     }

@@ -84,7 +84,9 @@ pub trait Regressor {
 
     /// Predicts the target for every row of `x`.
     fn predict(&self, x: &data::Matrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|r| self.predict_row(x.row(r))).collect()
+        (0..x.n_rows())
+            .map(|r| self.predict_row(x.row(r)))
+            .collect()
     }
 }
 

@@ -43,7 +43,11 @@ pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
         return f64::NAN;
     }
     let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
-    let ss_res: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
     let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
     if ss_tot == 0.0 {
         f64::NAN

@@ -139,14 +139,18 @@ pub struct Mlp {
 
 impl MlpConfig {
     fn validate(&self) -> Result<()> {
-        if self.hidden_layers.iter().any(|&w| w == 0) {
+        if self.hidden_layers.contains(&0) {
             return Err(MlError::BadConfig("zero-width hidden layer".into()));
         }
         if self.epochs == 0 || self.batch_size == 0 {
-            return Err(MlError::BadConfig("epochs and batch_size must be >= 1".into()));
+            return Err(MlError::BadConfig(
+                "epochs and batch_size must be >= 1".into(),
+            ));
         }
-        if !(self.learning_rate > 0.0) || self.l2 < 0.0 {
-            return Err(MlError::BadConfig("learning_rate > 0, l2 >= 0 required".into()));
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() || self.l2 < 0.0 {
+            return Err(MlError::BadConfig(
+                "learning_rate > 0, l2 >= 0 required".into(),
+            ));
         }
         Ok(())
     }
@@ -246,9 +250,9 @@ impl MlpConfig {
                         }
                         if li > 0 {
                             let mut next_delta = vec![0.0; layer.n_in];
-                            for o in 0..layer.n_out {
+                            for (o, &d) in delta.iter().enumerate() {
                                 for (i, nd) in next_delta.iter_mut().enumerate() {
-                                    *nd += delta[o] * layer.w[o * layer.n_in + i];
+                                    *nd += d * layer.w[o * layer.n_in + i];
                                 }
                             }
                             for (i, nd) in next_delta.iter_mut().enumerate() {
@@ -405,11 +409,26 @@ mod tests {
     fn validates_config() {
         let (x, y) = linear_data(20, 13);
         for cfg in [
-            MlpConfig { hidden_layers: vec![0], ..Default::default() },
-            MlpConfig { epochs: 0, ..Default::default() },
-            MlpConfig { batch_size: 0, ..Default::default() },
-            MlpConfig { learning_rate: 0.0, ..Default::default() },
-            MlpConfig { l2: -1.0, ..Default::default() },
+            MlpConfig {
+                hidden_layers: vec![0],
+                ..Default::default()
+            },
+            MlpConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+            MlpConfig {
+                batch_size: 0,
+                ..Default::default()
+            },
+            MlpConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
+            MlpConfig {
+                l2: -1.0,
+                ..Default::default()
+            },
         ] {
             assert!(cfg.fit(&x, &y, 0).is_err());
         }
@@ -429,10 +448,7 @@ mod tests {
         .fit(&x, &y, 1)
         .unwrap();
         let p = model.predict_row(&[50.0, 42.0]);
-        assert!(
-            (p - 1.05e9).abs() < 2.0e7,
-            "p = {p:.3e}, want ~1.05e9"
-        );
+        assert!((p - 1.05e9).abs() < 2.0e7, "p = {p:.3e}, want ~1.05e9");
     }
 
     #[test]

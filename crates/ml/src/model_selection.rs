@@ -7,6 +7,7 @@
 //! series), exhaustive sweep over a parameter grid, selection by mean CV
 //! MSE, then a refit on the full training data.
 
+use c100_obs::{Event, NullObserver, RunObserver};
 use rayon::prelude::*;
 
 use crate::data::Matrix;
@@ -82,12 +83,30 @@ pub struct GridSearchResult<E: Estimator> {
 ///
 /// Ties break toward the earlier candidate, so ordering the grid from
 /// simplest to most complex yields the simplest adequate model.
+///
+/// Silent convenience wrapper around [`grid_search_observed`].
 pub fn grid_search<E: Estimator>(
     candidates: &[E],
     x: &Matrix,
     y: &[f64],
     k: usize,
     seed: u64,
+) -> Result<GridSearchResult<E>> {
+    grid_search_observed(candidates, x, y, k, seed, "", &NullObserver)
+}
+
+/// [`grid_search`] with telemetry: emits one
+/// [`Event::GridCandidateScored`] per candidate (in grid order, after all
+/// CV folds complete) and a final [`Event::GridSearchFinished`], all
+/// tagged with the caller-supplied `scope` label (e.g. `2019_7:rf`).
+pub fn grid_search_observed<E: Estimator>(
+    candidates: &[E],
+    x: &Matrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+    scope: &str,
+    observer: &dyn RunObserver,
 ) -> Result<GridSearchResult<E>> {
     if candidates.is_empty() {
         return Err(MlError::BadConfig("empty candidate grid".into()));
@@ -115,11 +134,24 @@ pub fn grid_search<E: Estimator>(
     for ((c, _), s) in fold_scores? {
         scores[c] += s / folds.len() as f64;
     }
+    for (candidate, &cv_mse) in scores.iter().enumerate() {
+        observer.on_event(&Event::GridCandidateScored {
+            scope: scope.to_string(),
+            candidate,
+            cv_mse,
+        });
+    }
     let (best_idx, &best_score) = scores
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("CV MSE is never NaN"))
         .expect("non-empty grid");
+    observer.on_event(&Event::GridSearchFinished {
+        scope: scope.to_string(),
+        candidates: candidates.len(),
+        best: best_idx,
+        best_mse: best_score,
+    });
     let best_config = candidates[best_idx].clone();
     let best_model = best_config.fit_model(x, y, seed)?;
     Ok(GridSearchResult {
@@ -228,6 +260,54 @@ mod tests {
         ];
         let result = grid_search(&grid, &x, &y, 4, 0).unwrap();
         assert_eq!(result.best_config.n_estimators, 50);
+    }
+
+    #[test]
+    fn observed_grid_search_emits_candidate_scores_then_summary() {
+        use c100_obs::RecordingObserver;
+        let (x, y) = quadratic_data(80, 0.1, 11);
+        let grid: Vec<RandomForestConfig> = vec![
+            RandomForestConfig {
+                n_estimators: 5,
+                ..Default::default()
+            },
+            RandomForestConfig {
+                n_estimators: 10,
+                ..Default::default()
+            },
+        ];
+        let rec = RecordingObserver::new();
+        let result = grid_search_observed(&grid, &x, &y, 4, 0, "test:rf", &rec).unwrap();
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        for (i, event) in events.iter().take(2).enumerate() {
+            match event {
+                Event::GridCandidateScored {
+                    scope,
+                    candidate,
+                    cv_mse,
+                } => {
+                    assert_eq!(scope, "test:rf");
+                    assert_eq!(*candidate, i);
+                    assert!((cv_mse - result.scores[i]).abs() < 1e-12);
+                }
+                other => panic!("expected candidate score, got {other:?}"),
+            }
+        }
+        match &events[2] {
+            Event::GridSearchFinished {
+                scope,
+                candidates,
+                best,
+                best_mse,
+            } => {
+                assert_eq!(scope, "test:rf");
+                assert_eq!(*candidates, 2);
+                assert!((best_mse - result.best_score).abs() < 1e-12);
+                assert!((result.scores[*best] - result.best_score).abs() < 1e-12);
+            }
+            other => panic!("expected grid summary, got {other:?}"),
+        }
     }
 
     #[test]

@@ -402,9 +402,9 @@ mod tests {
         .fit(&x, &y, 19)
         .unwrap();
         let parallel = shap_values(&model, &x);
-        for r in 0..x.n_rows() {
+        for (r, par) in parallel.iter().enumerate() {
             let serial = model.shap_row(x.row(r));
-            assert_eq!(parallel[r].values, serial.values);
+            assert_eq!(par.values, serial.values);
         }
     }
 }

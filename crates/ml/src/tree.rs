@@ -186,7 +186,9 @@ impl TreeConfig {
             }
         }
         if self.min_impurity_decrease < 0.0 {
-            return Err(MlError::BadConfig("min_impurity_decrease must be >= 0".into()));
+            return Err(MlError::BadConfig(
+                "min_impurity_decrease must be >= 0".into(),
+            ));
         }
         Ok(())
     }
@@ -592,9 +594,7 @@ mod tests {
     #[test]
     fn importance_favors_informative_feature() {
         // Feature 0 carries the signal; feature 1 is a constant.
-        let rows: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![i as f64, 1.0])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, 1.0]).collect();
         let y: Vec<f64> = (0..40).map(|i| (i as f64).sin() * 5.0 + i as f64).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let fit = TreeConfig::default().fit(&x, &y, 0).unwrap();

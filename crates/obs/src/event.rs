@@ -1,0 +1,494 @@
+//! The pipeline event vocabulary and its JSONL encoding.
+//!
+//! Every event serializes to a single JSON object whose `event` field
+//! names the variant in `snake_case`; the remaining fields mirror the
+//! variant's fields one-to-one. See `crates/obs/README.md` for the full
+//! schema table. Durations are carried as integer microseconds (`micros`)
+//! so logs stay exact and language-agnostic.
+
+use crate::json::{self, JsonError, Value};
+
+/// A named pipeline stage, as timed by stage start/finish events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Per-scenario RF + XGB fine-tuning (both grid searches).
+    Tune,
+    /// The Feature Reduction Algorithm loop.
+    Fra,
+    /// The SHAP validation ranking.
+    Shap,
+    /// The final refit of the tuned RF on the final feature vector.
+    FinalFit,
+    /// The data-source-diversity experiment (runs after the pipeline).
+    Diversity,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Tune,
+        Stage::Fra,
+        Stage::Shap,
+        Stage::FinalFit,
+        Stage::Diversity,
+    ];
+
+    /// Stable `snake_case` label used in serialized events and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Tune => "tune",
+            Stage::Fra => "fra",
+            Stage::Shap => "shap",
+            Stage::FinalFit => "final_fit",
+            Stage::Diversity => "diversity",
+        }
+    }
+
+    /// Inverse of [`Stage::label`].
+    pub fn parse(label: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+/// One observation from a pipeline run.
+///
+/// The enum is `#[non_exhaustive]`: future PRs will add variants (cache
+/// hits, shard assignments, backend calls) without breaking observers,
+/// which must therefore carry a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A multi-scenario evaluation began.
+    RunStarted {
+        /// Number of scenarios the run will execute.
+        scenarios: usize,
+    },
+    /// One scenario's pipeline began.
+    ScenarioStarted {
+        /// Scenario id in the paper's `period_window` notation.
+        scenario: String,
+        /// Candidate features after cleaning/start-date filtering.
+        n_candidates: usize,
+    },
+    /// A pipeline stage began.
+    StageStarted {
+        /// Owning scenario id.
+        scenario: String,
+        /// Which stage.
+        stage: Stage,
+    },
+    /// A pipeline stage finished.
+    StageFinished {
+        /// Owning scenario id.
+        scenario: String,
+        /// Which stage.
+        stage: Stage,
+        /// Wall-clock duration in microseconds.
+        micros: u64,
+    },
+    /// A grid-search candidate received its mean CV score.
+    GridCandidateScored {
+        /// Caller-supplied scope label, e.g. `2019_7:rf`.
+        scope: String,
+        /// Candidate index in the submitted grid.
+        candidate: usize,
+        /// Mean cross-validation MSE of the candidate.
+        cv_mse: f64,
+    },
+    /// A grid search selected its winner.
+    GridSearchFinished {
+        /// Caller-supplied scope label, e.g. `2019_7:rf`.
+        scope: String,
+        /// Size of the candidate grid.
+        candidates: usize,
+        /// Index of the winning candidate.
+        best: usize,
+        /// The winner's mean CV MSE.
+        best_mse: f64,
+    },
+    /// One FRA iteration completed.
+    FraIteration {
+        /// Owning scenario id.
+        scenario: String,
+        /// Iteration number (0-based).
+        iteration: usize,
+        /// Features alive at the start of the iteration.
+        n_before: usize,
+        /// Features removed this iteration.
+        n_removed: usize,
+        /// Correlation threshold in force.
+        corr_threshold: f64,
+        /// Whether the stall-breaker fired.
+        stall_break: bool,
+    },
+    /// The SHAP ranking sampled its evaluation rows.
+    ShapSampled {
+        /// Owning scenario id.
+        scenario: String,
+        /// Rows actually used for TreeSHAP.
+        rows: usize,
+        /// Features ranked.
+        features: usize,
+    },
+    /// One scenario's pipeline finished.
+    ScenarioFinished {
+        /// Scenario id.
+        scenario: String,
+        /// Candidate features entering the pipeline.
+        n_candidates: usize,
+        /// FRA survivors.
+        fra_survivors: usize,
+        /// FRA iterations executed.
+        fra_iterations: usize,
+        /// |SHAP top-100 ∩ FRA survivors|.
+        shap_overlap: usize,
+        /// Final feature-vector length.
+        final_features: usize,
+        /// Whole-scenario wall-clock duration in microseconds.
+        micros: u64,
+    },
+    /// The multi-scenario evaluation finished.
+    RunFinished {
+        /// Scenarios executed.
+        scenarios: usize,
+        /// Whole-run wall-clock duration in microseconds.
+        micros: u64,
+    },
+}
+
+impl Event {
+    /// The `snake_case` discriminant used in the serialized form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStarted { .. } => "run_started",
+            Event::ScenarioStarted { .. } => "scenario_started",
+            Event::StageStarted { .. } => "stage_started",
+            Event::StageFinished { .. } => "stage_finished",
+            Event::GridCandidateScored { .. } => "grid_candidate_scored",
+            Event::GridSearchFinished { .. } => "grid_search_finished",
+            Event::FraIteration { .. } => "fra_iteration",
+            Event::ShapSampled { .. } => "shap_sampled",
+            Event::ScenarioFinished { .. } => "scenario_finished",
+            Event::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// The scenario id this event belongs to, if it is scenario-scoped.
+    pub fn scenario(&self) -> Option<&str> {
+        match self {
+            Event::ScenarioStarted { scenario, .. }
+            | Event::StageStarted { scenario, .. }
+            | Event::StageFinished { scenario, .. }
+            | Event::FraIteration { scenario, .. }
+            | Event::ShapSampled { scenario, .. }
+            | Event::ScenarioFinished { scenario, .. } => Some(scenario),
+            _ => None,
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = json::Writer::new();
+        w.begin();
+        w.str_field("event", self.kind());
+        match self {
+            Event::RunStarted { scenarios } => {
+                w.uint_field("scenarios", *scenarios as u64);
+            }
+            Event::ScenarioStarted {
+                scenario,
+                n_candidates,
+            } => {
+                w.str_field("scenario", scenario);
+                w.uint_field("n_candidates", *n_candidates as u64);
+            }
+            Event::StageStarted { scenario, stage } => {
+                w.str_field("scenario", scenario);
+                w.str_field("stage", stage.label());
+            }
+            Event::StageFinished {
+                scenario,
+                stage,
+                micros,
+            } => {
+                w.str_field("scenario", scenario);
+                w.str_field("stage", stage.label());
+                w.uint_field("micros", *micros);
+            }
+            Event::GridCandidateScored {
+                scope,
+                candidate,
+                cv_mse,
+            } => {
+                w.str_field("scope", scope);
+                w.uint_field("candidate", *candidate as u64);
+                w.float_field("cv_mse", *cv_mse);
+            }
+            Event::GridSearchFinished {
+                scope,
+                candidates,
+                best,
+                best_mse,
+            } => {
+                w.str_field("scope", scope);
+                w.uint_field("candidates", *candidates as u64);
+                w.uint_field("best", *best as u64);
+                w.float_field("best_mse", *best_mse);
+            }
+            Event::FraIteration {
+                scenario,
+                iteration,
+                n_before,
+                n_removed,
+                corr_threshold,
+                stall_break,
+            } => {
+                w.str_field("scenario", scenario);
+                w.uint_field("iteration", *iteration as u64);
+                w.uint_field("n_before", *n_before as u64);
+                w.uint_field("n_removed", *n_removed as u64);
+                w.float_field("corr_threshold", *corr_threshold);
+                w.bool_field("stall_break", *stall_break);
+            }
+            Event::ShapSampled {
+                scenario,
+                rows,
+                features,
+            } => {
+                w.str_field("scenario", scenario);
+                w.uint_field("rows", *rows as u64);
+                w.uint_field("features", *features as u64);
+            }
+            Event::ScenarioFinished {
+                scenario,
+                n_candidates,
+                fra_survivors,
+                fra_iterations,
+                shap_overlap,
+                final_features,
+                micros,
+            } => {
+                w.str_field("scenario", scenario);
+                w.uint_field("n_candidates", *n_candidates as u64);
+                w.uint_field("fra_survivors", *fra_survivors as u64);
+                w.uint_field("fra_iterations", *fra_iterations as u64);
+                w.uint_field("shap_overlap", *shap_overlap as u64);
+                w.uint_field("final_features", *final_features as u64);
+                w.uint_field("micros", *micros);
+            }
+            Event::RunFinished { scenarios, micros } => {
+                w.uint_field("scenarios", *scenarios as u64);
+                w.uint_field("micros", *micros);
+            }
+        }
+        w.end();
+        w.finish()
+    }
+
+    /// Parses one JSONL line produced by [`Event::to_json_line`].
+    pub fn parse_json_line(line: &str) -> Result<Event, JsonError> {
+        let value = json::parse(line)?;
+        Event::from_value(&value)
+    }
+
+    fn from_value(value: &Value) -> Result<Event, JsonError> {
+        let kind = value.req_str("event")?;
+        let scenario = |v: &Value| v.req_str("scenario").map(str::to_string);
+        let stage = |v: &Value| {
+            let label = v.req_str("stage")?;
+            Stage::parse(label)
+                .ok_or_else(|| JsonError::new(format!("unknown stage label {label:?}")))
+        };
+        match kind {
+            "run_started" => Ok(Event::RunStarted {
+                scenarios: value.req_uint("scenarios")? as usize,
+            }),
+            "scenario_started" => Ok(Event::ScenarioStarted {
+                scenario: scenario(value)?,
+                n_candidates: value.req_uint("n_candidates")? as usize,
+            }),
+            "stage_started" => Ok(Event::StageStarted {
+                scenario: scenario(value)?,
+                stage: stage(value)?,
+            }),
+            "stage_finished" => Ok(Event::StageFinished {
+                scenario: scenario(value)?,
+                stage: stage(value)?,
+                micros: value.req_uint("micros")?,
+            }),
+            "grid_candidate_scored" => Ok(Event::GridCandidateScored {
+                scope: value.req_str("scope")?.to_string(),
+                candidate: value.req_uint("candidate")? as usize,
+                cv_mse: value.req_float("cv_mse")?,
+            }),
+            "grid_search_finished" => Ok(Event::GridSearchFinished {
+                scope: value.req_str("scope")?.to_string(),
+                candidates: value.req_uint("candidates")? as usize,
+                best: value.req_uint("best")? as usize,
+                best_mse: value.req_float("best_mse")?,
+            }),
+            "fra_iteration" => Ok(Event::FraIteration {
+                scenario: scenario(value)?,
+                iteration: value.req_uint("iteration")? as usize,
+                n_before: value.req_uint("n_before")? as usize,
+                n_removed: value.req_uint("n_removed")? as usize,
+                corr_threshold: value.req_float("corr_threshold")?,
+                stall_break: value.req_bool("stall_break")?,
+            }),
+            "shap_sampled" => Ok(Event::ShapSampled {
+                scenario: scenario(value)?,
+                rows: value.req_uint("rows")? as usize,
+                features: value.req_uint("features")? as usize,
+            }),
+            "scenario_finished" => Ok(Event::ScenarioFinished {
+                scenario: scenario(value)?,
+                n_candidates: value.req_uint("n_candidates")? as usize,
+                fra_survivors: value.req_uint("fra_survivors")? as usize,
+                fra_iterations: value.req_uint("fra_iterations")? as usize,
+                shap_overlap: value.req_uint("shap_overlap")? as usize,
+                final_features: value.req_uint("final_features")? as usize,
+                micros: value.req_uint("micros")?,
+            }),
+            "run_finished" => Ok(Event::RunFinished {
+                scenarios: value.req_uint("scenarios")? as usize,
+                micros: value.req_uint("micros")?,
+            }),
+            other => Err(JsonError::new(format!("unknown event kind {other:?}"))),
+        }
+    }
+}
+
+/// Renders a microsecond duration for humans (`850µs`, `12.3ms`, `4.56s`).
+pub fn fmt_micros(micros: u64) -> String {
+    if micros < 1_000 {
+        format!("{micros}µs")
+    } else if micros < 1_000_000 {
+        format!("{:.1}ms", micros as f64 / 1_000.0)
+    } else if micros < 60_000_000 {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    } else {
+        let secs = micros / 1_000_000;
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One instance of every variant, with awkward values (zeros, floats
+    /// needing full precision, strings needing escapes).
+    pub(crate) fn exemplars() -> Vec<Event> {
+        vec![
+            Event::RunStarted { scenarios: 10 },
+            Event::ScenarioStarted {
+                scenario: "2019_7".into(),
+                n_candidates: 214,
+            },
+            Event::StageStarted {
+                scenario: "2019_7".into(),
+                stage: Stage::Tune,
+            },
+            Event::StageFinished {
+                scenario: "2019_7".into(),
+                stage: Stage::FinalFit,
+                micros: 0,
+            },
+            Event::GridCandidateScored {
+                scope: "2019_7:rf".into(),
+                candidate: 3,
+                cv_mse: 0.000123456789,
+            },
+            Event::GridSearchFinished {
+                scope: "2019_7:gbdt".into(),
+                candidates: 2,
+                best: 0,
+                best_mse: 1.5e-8,
+            },
+            Event::FraIteration {
+                scenario: "2017_180".into(),
+                iteration: 12,
+                n_before: 180,
+                n_removed: 0,
+                corr_threshold: 0.7999999999999999,
+                stall_break: true,
+            },
+            Event::ShapSampled {
+                scenario: "2017_1".into(),
+                rows: 96,
+                features: 214,
+            },
+            Event::ScenarioFinished {
+                scenario: "weird \"id\"\\with\nescapes".into(),
+                n_candidates: 214,
+                fra_survivors: 100,
+                fra_iterations: 17,
+                shap_overlap: 78,
+                final_features: 112,
+                micros: u64::MAX >> 12,
+            },
+            Event::RunFinished {
+                scenarios: 10,
+                micros: 123_456_789,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        for event in exemplars() {
+            let line = event.to_json_line();
+            assert!(!line.contains('\n'), "JSONL lines must be single-line");
+            let back = Event::parse_json_line(&line)
+                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            assert_eq!(back, event, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn kind_matches_serialized_discriminant() {
+        for event in exemplars() {
+            assert!(event
+                .to_json_line()
+                .starts_with(&format!("{{\"event\":\"{}\"", event.kind())));
+        }
+    }
+
+    #[test]
+    fn stage_labels_round_trip() {
+        for stage in Stage::ALL {
+            assert_eq!(Stage::parse(stage.label()), Some(stage));
+        }
+        assert_eq!(Stage::parse("nope"), None);
+    }
+
+    #[test]
+    fn scenario_accessor_matches_scoping() {
+        assert_eq!(Event::RunStarted { scenarios: 1 }.scenario(), None);
+        let e = Event::ShapSampled {
+            scenario: "2019_30".into(),
+            rows: 1,
+            features: 2,
+        };
+        assert_eq!(e.scenario(), Some("2019_30"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Event::parse_json_line("not json").is_err());
+        assert!(Event::parse_json_line("{\"event\":\"no_such_kind\"}").is_err());
+        assert!(Event::parse_json_line("{\"event\":\"run_started\"}").is_err());
+        assert!(Event::parse_json_line(
+            "{\"event\":\"stage_started\",\"scenario\":\"x\",\"stage\":\"zzz\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fmt_micros_picks_sane_units() {
+        assert_eq!(fmt_micros(850), "850µs");
+        assert_eq!(fmt_micros(12_300), "12.3ms");
+        assert_eq!(fmt_micros(4_560_000), "4.56s");
+        assert_eq!(fmt_micros(83_000_000), "1m23s");
+    }
+}

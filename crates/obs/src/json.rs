@@ -1,0 +1,485 @@
+//! Minimal JSON support for the event log: a flat-object writer and a
+//! small recursive-descent parser.
+//!
+//! The observability layer sits at the bottom of the workspace dependency
+//! graph, so it hand-rolls the tiny JSON subset it needs instead of
+//! pulling in serde. The writer emits exactly the shape
+//! [`crate::Event::to_json_line`] needs (one flat object per line); the
+//! parser accepts arbitrary JSON values so logs written by future
+//! versions (or other tools) still load.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced when parsing or interpreting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    pub(crate) fn new(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always held as `f64`; integers up to 2⁵³ are exact).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys are sorted (BTreeMap) for deterministic iteration.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn req(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field {key:?}")))
+    }
+
+    /// A required string field.
+    pub fn req_str(&self, key: &str) -> Result<&str, JsonError> {
+        match self.req(key)? {
+            Value::String(s) => Ok(s),
+            other => Err(JsonError::new(format!(
+                "field {key:?} is not a string: {other:?}"
+            ))),
+        }
+    }
+
+    /// A required boolean field.
+    pub fn req_bool(&self, key: &str) -> Result<bool, JsonError> {
+        match self.req(key)? {
+            Value::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!(
+                "field {key:?} is not a bool: {other:?}"
+            ))),
+        }
+    }
+
+    /// A required non-negative integer field (exact below 2⁵³).
+    pub fn req_uint(&self, key: &str) -> Result<u64, JsonError> {
+        match self.req(key)? {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Ok(*n as u64)
+            }
+            other => Err(JsonError::new(format!(
+                "field {key:?} is not a non-negative integer: {other:?}"
+            ))),
+        }
+    }
+
+    /// A required float field; JSON `null` reads back as NaN (the writer
+    /// encodes non-finite floats as `null`).
+    pub fn req_float(&self, key: &str) -> Result<f64, JsonError> {
+        match self.req(key)? {
+            Value::Number(n) => Ok(*n),
+            Value::Null => Ok(f64::NAN),
+            other => Err(JsonError::new(format!(
+                "field {key:?} is not a number: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a float to `out`; non-finite values become `null`.
+pub fn write_float(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` prints the shortest representation that parses back to
+        // the same f64 (and is valid JSON for finite values).
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Builder for one flat JSON object (the shape of every event line).
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: String,
+    needs_comma: bool,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Opens the object.
+    pub fn begin(&mut self) {
+        self.out.push('{');
+        self.needs_comma = false;
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.needs_comma {
+            self.out.push(',');
+        }
+        write_escaped(&mut self.out, key);
+        self.out.push(':');
+        self.needs_comma = true;
+    }
+
+    /// Writes a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        write_escaped(&mut self.out, value);
+    }
+
+    /// Writes an unsigned-integer field.
+    pub fn uint_field(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Writes a float field (`null` for non-finite values).
+    pub fn float_field(&mut self, key: &str, value: f64) {
+        self.key(key);
+        write_float(&mut self.out, value);
+    }
+
+    /// Writes a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Closes the object.
+    pub fn end(&mut self) {
+        self.out.push('}');
+    }
+
+    /// Returns the serialized object.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected literal {lit:?} at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.expect_literal("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.expect_literal("null").map(|_| Value::Null),
+            Some(_) => self.number(),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for our own
+                            // logs (the writer never emits them) but
+                            // handle lone BMP code points properly.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| JsonError::new("invalid \\u code point"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(JsonError::new(format!(
+                                "unknown escape \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(_) => return Err(JsonError::new("control character in string")),
+                None => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| JsonError::new(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), Value::Number(-1250.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::String("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse("{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}").unwrap();
+        assert_eq!(v.req_str("c").unwrap(), "x");
+        match v.get("a").unwrap() {
+            Value::Array(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("01a").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "quote\" slash\\ newline\n tab\t ctrl\u{1} unicode\u{2603}";
+        let mut out = String::new();
+        write_escaped(&mut out, nasty);
+        assert_eq!(parse(&out).unwrap(), Value::String(nasty.to_string()));
+    }
+
+    #[test]
+    fn floats_round_trip_or_become_null() {
+        for v in [0.0, -1.5, 1e-300, 123456789.123456, f64::MAX] {
+            let mut out = String::new();
+            write_float(&mut out, v);
+            assert_eq!(parse(&out).unwrap(), Value::Number(v), "for {v}");
+        }
+        let mut out = String::new();
+        write_float(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn uint_bounds_are_enforced() {
+        let v = parse("{\"n\":-1,\"m\":1.5,\"k\":7}").unwrap();
+        assert!(v.req_uint("n").is_err());
+        assert!(v.req_uint("m").is_err());
+        assert_eq!(v.req_uint("k").unwrap(), 7);
+    }
+}

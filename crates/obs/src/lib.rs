@@ -1,0 +1,86 @@
+//! # c100-obs
+//!
+//! Typed, thread-safe observability for the Crypto100 pipeline.
+//!
+//! The experiment pipeline used to announce progress with hard-coded
+//! `eprintln!` calls; nothing could time stages, count FRA iterations or
+//! export per-run metrics without scraping stderr. This crate replaces
+//! printf-debugging with a typed event stream:
+//!
+//! * [`Event`] — everything the pipeline can report: stage start/end with
+//!   durations, grid-search candidate scores, FRA per-iteration survivor
+//!   counts and thresholds, and scenario/run summaries.
+//! * [`RunObserver`] — the sink trait; `on_event` receives every event.
+//!   Observers must be `Send + Sync` because pipeline stages may run on
+//!   worker threads.
+//! * Shipped sinks: [`NullObserver`] (free), [`StderrObserver`] (the old
+//!   human-readable progress lines), [`JsonlObserver`] (append-only
+//!   machine-readable run log), [`RecordingObserver`] (in-memory capture
+//!   for tests) and [`Fanout`] (broadcast to several sinks).
+//! * [`MetricsRegistry`] — monotonic counters and duration histograms
+//!   aggregated across scenarios, exportable as JSON.
+//!
+//! The crate is intentionally dependency-free: events serialize to JSON
+//! lines through a small hand-rolled writer ([`Event::to_json_line`]) and
+//! parse back through the minimal parser in [`json`], so logs round-trip
+//! without pulling serde into the base of the dependency graph.
+//!
+//! ## Example
+//!
+//! ```
+//! use c100_obs::{Event, RecordingObserver, RunObserver, Stage};
+//!
+//! let rec = RecordingObserver::new();
+//! rec.on_event(&Event::StageStarted { scenario: "2019_7".into(), stage: Stage::Fra });
+//! rec.on_event(&Event::StageFinished {
+//!     scenario: "2019_7".into(),
+//!     stage: Stage::Fra,
+//!     micros: 1500,
+//! });
+//! assert_eq!(rec.events().len(), 2);
+//!
+//! // Every event round-trips through its JSONL representation.
+//! for event in rec.events() {
+//!     let line = event.to_json_line();
+//!     assert_eq!(Event::parse_json_line(&line).unwrap(), event);
+//! }
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{fmt_micros, Event, Stage};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use sink::{Fanout, JsonlObserver, NullObserver, RecordingObserver, StderrObserver};
+
+/// A sink for pipeline events.
+///
+/// Implementations must be cheap when idle: `on_event` sits on the hot
+/// path of every grid-search candidate and FRA iteration, so observers
+/// that do real work should buffer internally. Observers are shared
+/// across stages (and potentially threads), hence `&self` and the
+/// `Send + Sync` bound.
+pub trait RunObserver: Send + Sync {
+    /// Receives one pipeline event.
+    fn on_event(&self, event: &Event);
+}
+
+impl<T: RunObserver + ?Sized> RunObserver for &T {
+    fn on_event(&self, event: &Event) {
+        (**self).on_event(event);
+    }
+}
+
+impl<T: RunObserver + ?Sized> RunObserver for std::sync::Arc<T> {
+    fn on_event(&self, event: &Event) {
+        (**self).on_event(event);
+    }
+}
+
+impl<T: RunObserver + ?Sized> RunObserver for Box<T> {
+    fn on_event(&self, event: &Event) {
+        (**self).on_event(event);
+    }
+}

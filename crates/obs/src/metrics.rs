@@ -1,0 +1,373 @@
+//! Monotonic counters and duration histograms aggregated across a run.
+//!
+//! [`MetricsRegistry`] can be used directly (`inc` / `observe_micros`) or
+//! registered as a [`RunObserver`] sink, in which case it derives a
+//! standard set of metrics from the event stream: per-stage duration
+//! histograms, scenario/run totals, FRA iteration and grid-candidate
+//! counters. Snapshots are plain data and render to JSON without serde.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::event::Event;
+use crate::json::{write_escaped, write_float};
+use crate::RunObserver;
+
+/// Upper bounds (inclusive, in microseconds) of the histogram buckets:
+/// decades from 1µs to ~17min, plus a catch-all.
+pub const BUCKET_BOUNDS_MICROS: [u64; 10] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+const N_BUCKETS: usize = BUCKET_BOUNDS_MICROS.len() + 1;
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum_micros: u64,
+    min_micros: u64,
+    max_micros: u64,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum_micros: 0,
+            min_micros: u64::MAX,
+            max_micros: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, micros: u64) {
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+        self.min_micros = self.min_micros.min(micros);
+        self.max_micros = self.max_micros.max(micros);
+        let idx = BUCKET_BOUNDS_MICROS
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(N_BUCKETS - 1);
+        self.buckets[idx] += 1;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe counters + duration histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds 1 to the named monotonic counter.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records one duration observation in the named histogram.
+    pub fn observe_micros(&self, name: &str, micros: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::new)
+            .observe(micros);
+    }
+
+    /// Records one [`Duration`] observation in the named histogram.
+    pub fn observe(&self, name: &str, duration: Duration) {
+        self.observe_micros(name, duration.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// A consistent copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum_micros: h.sum_micros,
+                            min_micros: if h.count == 0 { 0 } else { h.min_micros },
+                            max_micros: h.max_micros,
+                            buckets: BUCKET_BOUNDS_MICROS
+                                .iter()
+                                .copied()
+                                .map(Some)
+                                .chain([None])
+                                .zip(h.buckets.iter().copied())
+                                .map(|(le_micros, count)| Bucket { le_micros, count })
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The registry as an event sink: derives the standard pipeline metrics.
+impl RunObserver for MetricsRegistry {
+    fn on_event(&self, event: &Event) {
+        self.inc("events_total");
+        self.inc(&format!("events.{}", event.kind()));
+        match event {
+            Event::StageFinished { stage, micros, .. } => {
+                self.observe_micros(&format!("stage.{}_micros", stage.label()), *micros);
+            }
+            Event::GridCandidateScored { .. } => self.inc("grid_candidates_total"),
+            Event::FraIteration { n_removed, .. } => {
+                self.inc("fra_iterations_total");
+                self.add("fra_features_removed_total", *n_removed as u64);
+            }
+            Event::ScenarioFinished { micros, .. } => {
+                self.inc("scenarios_finished_total");
+                self.observe_micros("scenario_micros", *micros);
+            }
+            Event::RunFinished { micros, .. } => {
+                self.observe_micros("run_micros", *micros);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One histogram bucket: observations with duration ≤ `le_micros`
+/// (`None` = the +∞ catch-all), exclusive of lower buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucket {
+    /// Inclusive upper bound in microseconds; `None` for the overflow
+    /// bucket.
+    pub le_micros: Option<u64>,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed durations, in microseconds.
+    pub sum_micros: u64,
+    /// Smallest observation (0 when empty).
+    pub min_micros: u64,
+    /// Largest observation.
+    pub max_micros: u64,
+    /// Per-bucket counts, smallest bound first.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → snapshot.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum_micros\": {}, \"min_micros\": {}, \"max_micros\": {}, \"mean_micros\": ",
+                h.count, h.sum_micros, h.min_micros, h.max_micros
+            ));
+            write_float(&mut out, h.mean_micros());
+            out.push_str(", \"buckets\": [");
+            for (j, bucket) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                match bucket.le_micros {
+                    Some(le) => out.push_str(&format!(
+                        "{{\"le_micros\": {le}, \"count\": {}}}",
+                        bucket.count
+                    )),
+                    None => out.push_str(&format!(
+                        "{{\"le_micros\": null, \"count\": {}}}",
+                        bucket.count
+                    )),
+                }
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+    use crate::json;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc("a");
+        m.inc("a");
+        m.add("b", 40);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["a"], 2);
+        assert_eq!(snap.counters["b"], 40);
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max_and_buckets() {
+        let m = MetricsRegistry::new();
+        m.observe_micros("d", 1); // bucket 0 (≤1)
+        m.observe_micros("d", 500); // bucket 3 (≤1_000)
+        m.observe_micros("d", 2_000_000_000); // overflow bucket
+        let h = &m.snapshot().histograms["d"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_micros, 2_000_000_501);
+        assert_eq!(h.min_micros, 1);
+        assert_eq!(h.max_micros, 2_000_000_000);
+        assert_eq!(h.buckets.len(), BUCKET_BOUNDS_MICROS.len() + 1);
+        assert_eq!(h.buckets[0].count, 1);
+        assert_eq!(h.buckets[3].count, 1);
+        assert_eq!(h.buckets.last().unwrap().count, 1);
+        assert_eq!(h.buckets.last().unwrap().le_micros, None);
+        let total: u64 = h.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, h.count);
+        assert!((h.mean_micros() - 2_000_000_501.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observer_impl_aggregates_across_scenarios() {
+        let m = MetricsRegistry::new();
+        for scenario in ["2019_7", "2019_30"] {
+            m.on_event(&Event::ScenarioStarted {
+                scenario: scenario.into(),
+                n_candidates: 200,
+            });
+            m.on_event(&Event::StageFinished {
+                scenario: scenario.into(),
+                stage: Stage::Tune,
+                micros: 1_000,
+            });
+            for i in 0..3 {
+                m.on_event(&Event::FraIteration {
+                    scenario: scenario.into(),
+                    iteration: i,
+                    n_before: 200 - 5 * i,
+                    n_removed: 5,
+                    corr_threshold: 0.5,
+                    stall_break: false,
+                });
+            }
+            m.on_event(&Event::ScenarioFinished {
+                scenario: scenario.into(),
+                n_candidates: 200,
+                fra_survivors: 100,
+                fra_iterations: 3,
+                shap_overlap: 70,
+                final_features: 110,
+                micros: 9_000,
+            });
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["scenarios_finished_total"], 2);
+        assert_eq!(snap.counters["fra_iterations_total"], 6);
+        assert_eq!(snap.counters["fra_features_removed_total"], 30);
+        assert_eq!(snap.counters["events.stage_finished"], 2);
+        assert_eq!(snap.counters["events_total"], 12);
+        assert_eq!(snap.histograms["stage.tune_micros"].count, 2);
+        assert_eq!(snap.histograms["scenario_micros"].sum_micros, 18_000);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_and_complete() {
+        let m = MetricsRegistry::new();
+        m.inc("events_total");
+        m.observe_micros("stage.fra_micros", 1234);
+        let text = m.snapshot().to_json();
+        let value = json::parse(&text).expect("snapshot JSON parses");
+        assert_eq!(
+            value
+                .get("counters")
+                .and_then(|c| c.req_uint("events_total").ok()),
+            Some(1)
+        );
+        let h = value
+            .get("histograms")
+            .and_then(|h| h.get("stage.fra_micros"))
+            .expect("histogram present");
+        assert_eq!(h.req_uint("count").unwrap(), 1);
+        assert_eq!(h.req_uint("sum_micros").unwrap(), 1234);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_objects() {
+        let text = MetricsRegistry::new().snapshot().to_json();
+        let value = json::parse(&text).unwrap();
+        assert!(value.get("counters").is_some());
+        assert!(value.get("histograms").is_some());
+    }
+}

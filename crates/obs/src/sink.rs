@@ -1,0 +1,389 @@
+//! Shipped observer sinks: null, stderr, JSONL, in-memory recording and
+//! fan-out composition.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{fmt_micros, Event, Stage};
+use crate::RunObserver;
+
+/// The do-nothing observer. This is the default everywhere, and the
+/// pipeline bench asserts it adds negligible overhead over no
+/// instrumentation at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn on_event(&self, _event: &Event) {}
+}
+
+/// The shared silent observer, for contexts that need a `&'static dyn`.
+pub static NULL_OBSERVER: NullObserver = NullObserver;
+
+/// Replicates the progress lines the pipeline used to hard-code with
+/// `eprintln!`: one stage-breakdown line per scenario plus a diversity
+/// timing line, now driven by events instead of being baked into library
+/// code.
+#[derive(Debug, Default)]
+pub struct StderrObserver {
+    state: Mutex<HashMap<String, ScenarioProgress>>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct ScenarioProgress {
+    stage_micros: HashMap<Stage, u64>,
+    fra_iterations: usize,
+}
+
+impl StderrObserver {
+    /// A fresh stderr progress printer.
+    pub fn new() -> StderrObserver {
+        StderrObserver::default()
+    }
+
+    /// The line (if any) this event should print. Split out from
+    /// [`RunObserver::on_event`] so tests can assert on output without
+    /// capturing stderr.
+    fn line_for(&self, event: &Event) -> Option<String> {
+        let mut state = self.state.lock().expect("stderr observer poisoned");
+        match event {
+            Event::FraIteration { scenario, .. } => {
+                state.entry(scenario.clone()).or_default().fra_iterations += 1;
+                None
+            }
+            Event::StageFinished {
+                scenario,
+                stage: Stage::Diversity,
+                micros,
+            } => Some(format!(
+                "#   scenario {scenario}: diversity {}",
+                fmt_micros(*micros)
+            )),
+            Event::StageFinished {
+                scenario,
+                stage,
+                micros,
+            } => {
+                state
+                    .entry(scenario.clone())
+                    .or_default()
+                    .stage_micros
+                    .insert(*stage, *micros);
+                None
+            }
+            Event::ScenarioFinished {
+                scenario, micros, ..
+            } => {
+                let progress = state.remove(scenario).unwrap_or_default();
+                let stage =
+                    |s: Stage| fmt_micros(progress.stage_micros.get(&s).copied().unwrap_or(0));
+                Some(format!(
+                    "#     {scenario} stages: tune {}, fra {} ({} iters), shap {} (total {})",
+                    stage(Stage::Tune),
+                    stage(Stage::Fra),
+                    progress.fra_iterations,
+                    stage(Stage::Shap),
+                    fmt_micros(*micros)
+                ))
+            }
+            Event::RunFinished { scenarios, micros } => Some(format!(
+                "#   {scenarios}-scenario evaluation finished in {}",
+                fmt_micros(*micros)
+            )),
+            _ => None,
+        }
+    }
+}
+
+impl RunObserver for StderrObserver {
+    fn on_event(&self, event: &Event) {
+        if let Some(line) = self.line_for(event) {
+            eprintln!("{line}");
+        }
+    }
+}
+
+/// Appends every event as one JSON object per line to any writer.
+///
+/// Write errors do not panic the pipeline: the first error is retained
+/// and surfaced by [`JsonlObserver::flush`] (and all later events are
+/// dropped).
+#[derive(Debug)]
+pub struct JsonlObserver<W: Write + Send> {
+    inner: Mutex<JsonlInner<W>>,
+}
+
+#[derive(Debug)]
+struct JsonlInner<W: Write + Send> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl JsonlObserver<BufWriter<File>> {
+    /// Creates (truncating) a JSONL log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlObserver::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlObserver<W> {
+    /// Wraps an arbitrary writer (e.g. a `Vec<u8>` in tests).
+    pub fn new(writer: W) -> Self {
+        JsonlObserver {
+            inner: Mutex::new(JsonlInner {
+                writer,
+                error: None,
+            }),
+        }
+    }
+
+    /// Flushes the underlying writer, surfacing any write error seen so
+    /// far.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("jsonl observer poisoned");
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        inner.writer.flush()
+    }
+
+    /// Unwraps the underlying writer (after flushing as far as possible).
+    pub fn into_inner(self) -> W {
+        let mut inner = self.inner.into_inner().expect("jsonl observer poisoned");
+        let _ = inner.writer.flush();
+        inner.writer
+    }
+}
+
+impl<W: Write + Send> RunObserver for JsonlObserver<W> {
+    fn on_event(&self, event: &Event) {
+        let mut inner = self.inner.lock().expect("jsonl observer poisoned");
+        if inner.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json_line();
+        line.push('\n');
+        if let Err(e) = inner.writer.write_all(line.as_bytes()) {
+            inner.error = Some(e);
+        }
+    }
+}
+
+/// Captures every event in memory, in arrival order. Intended for tests
+/// and for tools that post-process a run programmatically.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingObserver {
+    /// A fresh, empty recorder.
+    pub fn new() -> RecordingObserver {
+        RecordingObserver::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("recording observer poisoned")
+            .clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("recording observer poisoned"))
+    }
+}
+
+impl RunObserver for RecordingObserver {
+    fn on_event(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("recording observer poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Broadcasts every event to several sinks, in registration order.
+#[derive(Default)]
+pub struct Fanout {
+    sinks: Vec<Arc<dyn RunObserver>>,
+}
+
+impl Fanout {
+    /// An empty fan-out (equivalent to [`NullObserver`]).
+    pub fn new() -> Fanout {
+        Fanout::default()
+    }
+
+    /// Adds a sink; builder-style.
+    pub fn with(mut self, sink: Arc<dyn RunObserver>) -> Fanout {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a sink.
+    pub fn push(&mut self, sink: Arc<dyn RunObserver>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of registered sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl RunObserver for Fanout {
+    fn on_event(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage_finished(scenario: &str, stage: Stage, micros: u64) -> Event {
+        Event::StageFinished {
+            scenario: scenario.into(),
+            stage,
+            micros,
+        }
+    }
+
+    #[test]
+    fn jsonl_observer_writes_parseable_lines() {
+        let obs = JsonlObserver::new(Vec::new());
+        let events = vec![
+            Event::RunStarted { scenarios: 2 },
+            stage_finished("2019_7", Stage::Tune, 1234),
+            Event::RunFinished {
+                scenarios: 2,
+                micros: 99,
+            },
+        ];
+        for e in &events {
+            obs.on_event(e);
+        }
+        obs.flush().unwrap();
+        let bytes = obs.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|l| Event::parse_json_line(l).unwrap())
+            .collect();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn recording_observer_preserves_order_and_drains() {
+        let rec = RecordingObserver::new();
+        rec.on_event(&Event::RunStarted { scenarios: 1 });
+        rec.on_event(&stage_finished("x", Stage::Fra, 5));
+        assert_eq!(rec.events().len(), 2);
+        let drained = rec.take();
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(drained[0], Event::RunStarted { scenarios: 1 }));
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn fanout_broadcasts_to_all_sinks() {
+        let a = Arc::new(RecordingObserver::new());
+        let b = Arc::new(RecordingObserver::new());
+        let fan = Fanout::new()
+            .with(a.clone() as Arc<dyn RunObserver>)
+            .with(b.clone() as Arc<dyn RunObserver>);
+        assert_eq!(fan.len(), 2);
+        fan.on_event(&Event::RunStarted { scenarios: 3 });
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 1);
+    }
+
+    #[test]
+    fn stderr_observer_formats_scenario_summary() {
+        let obs = StderrObserver::new();
+        assert!(obs
+            .line_for(&Event::StageStarted {
+                scenario: "2019_7".into(),
+                stage: Stage::Tune,
+            })
+            .is_none());
+        assert!(obs
+            .line_for(&stage_finished("2019_7", Stage::Tune, 1_200_000))
+            .is_none());
+        assert!(obs
+            .line_for(&stage_finished("2019_7", Stage::Fra, 3_400_000))
+            .is_none());
+        for i in 0..5 {
+            let none = obs.line_for(&Event::FraIteration {
+                scenario: "2019_7".into(),
+                iteration: i,
+                n_before: 200,
+                n_removed: 10,
+                corr_threshold: 0.5,
+                stall_break: false,
+            });
+            assert!(none.is_none());
+        }
+        assert!(obs
+            .line_for(&stage_finished("2019_7", Stage::Shap, 800_000))
+            .is_none());
+        let line = obs
+            .line_for(&Event::ScenarioFinished {
+                scenario: "2019_7".into(),
+                n_candidates: 214,
+                fra_survivors: 100,
+                fra_iterations: 5,
+                shap_overlap: 78,
+                final_features: 112,
+                micros: 6_000_000,
+            })
+            .unwrap();
+        assert_eq!(
+            line,
+            "#     2019_7 stages: tune 1.20s, fra 3.40s (5 iters), shap 800.0ms (total 6.00s)"
+        );
+        // State for the scenario is dropped after the summary line.
+        assert!(obs.state.lock().unwrap().is_empty());
+
+        let diversity = obs
+            .line_for(&stage_finished("2019_7", Stage::Diversity, 2_500_000))
+            .unwrap();
+        assert_eq!(diversity, "#   scenario 2019_7: diversity 2.50s");
+    }
+
+    #[test]
+    fn jsonl_observer_retains_first_error() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let obs = JsonlObserver::new(FailingWriter);
+        obs.on_event(&Event::RunStarted { scenarios: 1 });
+        obs.on_event(&Event::RunFinished {
+            scenarios: 1,
+            micros: 1,
+        });
+        let err = obs.flush().unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+        // After surfacing, the observer is quiet but functional.
+        obs.flush().unwrap();
+    }
+}

@@ -91,7 +91,8 @@ pub fn simulate_btc(config: &SynthConfig, latents: &LatentPaths) -> BtcMarket {
         };
         let ret = latents.returns[t];
         let turnover = 0.03
-            * (0.25 * latents.momentum[t] + 1.2 * (ret.abs() / sigma - 0.8)
+            * (0.25 * latents.momentum[t]
+                + 1.2 * (ret.abs() / sigma - 0.8)
                 + 0.35 * gaussian(&mut rng))
             .exp();
         let volume = cap * turnover;
@@ -100,7 +101,11 @@ pub fn simulate_btc(config: &SynthConfig, latents: &LatentPaths) -> BtcMarket {
         volume_extended.push(volume);
         market_cap_extended.push(cap);
 
-        let prev_price = if t > 0 { latents.log_price[t - 1].exp() } else { price };
+        let prev_price = if t > 0 {
+            latents.log_price[t - 1].exp()
+        } else {
+            price
+        };
         let o = prev_price; // open at yesterday's close (24/7 market)
         let intraday = sigma * (0.4 + 0.3 * gaussian(&mut rng).abs());
         high_extended.push(price.max(o) * (1.0 + intraday));

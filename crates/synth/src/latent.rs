@@ -176,15 +176,20 @@ pub fn simulate(config: &SynthConfig) -> LatentPaths {
         .collect();
     standardize(&mut tradfi_mix);
 
-    let trend = combine_lagged(&tradfi_mix, &ou_path(n, HL_TREND, &mut rng), 0.55, TRADFI_LEAD);
+    let trend = combine_lagged(
+        &tradfi_mix,
+        &ou_path(n, HL_TREND, &mut rng),
+        0.55,
+        TRADFI_LEAD,
+    );
     let cycle = ou_path(n, HL_CYCLE, &mut rng);
     let momentum = ou_path(n, HL_MOMENTUM, &mut rng);
 
     // Adoption: integrated growth, slightly pro-cyclical.
     let mut adoption = Vec::with_capacity(n);
     let mut a = 0.0;
-    for t in 0..n {
-        a += 0.0015 + 0.0020 * trend[t] + 0.0015 * gaussian(&mut rng);
+    for &trend_t in trend.iter().take(n) {
+        a += 0.0015 + 0.0020 * trend_t + 0.0015 * gaussian(&mut rng);
         adoption.push(a);
     }
 
@@ -205,9 +210,13 @@ pub fn simulate(config: &SynthConfig) -> LatentPaths {
     let mut returns = Vec::with_capacity(n);
     let mut log_price = Vec::with_capacity(n);
     let mut lp = 0.0; // anchored after the loop
-    for t in 0..n {
+    for (t, &regime_t) in regime.iter().enumerate().take(n) {
         let tm1 = t.saturating_sub(1);
-        let sigma = if regime[t] == 1 { SIGMA_TURB } else { SIGMA_CALM };
+        let sigma = if regime_t == 1 {
+            SIGMA_TURB
+        } else {
+            SIGMA_CALM
+        };
         let r = DRIFT
             + BETA_TREND * trend[tm1]
             + BETA_CYCLE * cycle[tm1]
@@ -272,7 +281,12 @@ mod tests {
     #[test]
     fn factors_are_standardized() {
         let paths = simulate(&config());
-        for path in [&paths.trend, &paths.cycle, &paths.momentum, &paths.global_trend] {
+        for path in [
+            &paths.trend,
+            &paths.cycle,
+            &paths.momentum,
+            &paths.global_trend,
+        ] {
             let n = path.len() as f64;
             let mean = path.iter().sum::<f64>() / n;
             let var = path.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;

@@ -212,7 +212,13 @@ pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
         ("SplyAdrTop100", 0.38),
     ] {
         specs.push(MetricSpec::log_linear(
-            name, CAT, start, 16.3, (0.2, load_trend, 0.05, 0.0, 0.03), 0, 0.04,
+            name,
+            CAT,
+            start,
+            16.3,
+            (0.2, load_trend, 0.05, 0.0, 0.03),
+            0,
+            0.04,
         ));
     }
 
@@ -343,16 +349,19 @@ pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
     );
 
     // --- Miner revenue and fees --------------------------------------------
-    specs.push(MetricSpec::custom("RevAllTimeUSD", CAT, start, rev_all_time));
+    specs.push(MetricSpec::custom(
+        "RevAllTimeUSD",
+        CAT,
+        start,
+        rev_all_time,
+    ));
     specs.push(MetricSpec::custom("RevUSD", CAT, start, |ctx| {
         let n = ctx.latents.n_total();
         let warmup = ctx.latents.warmup as i32;
         (0..n)
             .map(|t| {
                 let date = ctx.config.start.add_days(t as i32 - warmup);
-                daily_issuance(date)
-                    * ctx.btc.close_extended[t]
-                    * (1.03 + 0.02 * ctx.noise().abs())
+                daily_issuance(date) * ctx.btc.close_extended[t] * (1.03 + 0.02 * ctx.noise().abs())
             })
             .collect()
     }));
@@ -437,10 +446,22 @@ pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
 
     // --- Transactions ----------------------------------------------------------
     specs.push(MetricSpec::log_linear(
-        "TxCnt", CAT, start, 12.5, (0.30, 0.08, 0.30, 0.35, 0.05), 0, 0.07,
+        "TxCnt",
+        CAT,
+        start,
+        12.5,
+        (0.30, 0.08, 0.30, 0.35, 0.05),
+        0,
+        0.07,
     ));
     specs.push(MetricSpec::log_linear(
-        "TxTfrCnt", CAT, start, 12.9, (0.30, 0.08, 0.28, 0.33, 0.05), 0, 0.07,
+        "TxTfrCnt",
+        CAT,
+        start,
+        12.9,
+        (0.30, 0.08, 0.28, 0.33, 0.05),
+        0,
+        0.07,
     ));
     specs.push(MetricSpec::log_linear(
         "TxTfrValAdjUSD",
@@ -470,10 +491,22 @@ pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
         0.15,
     ));
     specs.push(MetricSpec::log_linear(
-        "AdrActCnt", CAT, start, 13.5, (0.35, 0.10, 0.30, 0.40, 0.05), 0, 0.06,
+        "AdrActCnt",
+        CAT,
+        start,
+        13.5,
+        (0.35, 0.10, 0.30, 0.40, 0.05),
+        0,
+        0.06,
     ));
     specs.push(MetricSpec::log_linear(
-        "AdrNewCnt", CAT, start, 12.8, (0.35, 0.10, 0.30, 0.45, 0.05), 0, 0.08,
+        "AdrNewCnt",
+        CAT,
+        start,
+        12.8,
+        (0.35, 0.10, 0.30, 0.45, 0.05),
+        0,
+        0.08,
     ));
 
     // --- Ratios, velocity, ROI ----------------------------------------------
@@ -508,7 +541,9 @@ pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
         0.05,
     ));
     specs.push(MetricSpec::custom("ROI30d", CAT, start, |ctx| roi(ctx, 30)));
-    specs.push(MetricSpec::custom("ROI1yr", CAT, start, |ctx| roi(ctx, 365)));
+    specs.push(MetricSpec::custom("ROI1yr", CAT, start, |ctx| {
+        roi(ctx, 365)
+    }));
     specs.push(MetricSpec::bounded(
         "SER",
         CAT,
@@ -601,16 +636,40 @@ pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
 
     // --- Holder cohorts -----------------------------------------------------
     specs.push(MetricSpec::bounded(
-        "fish_pct", CAT, start, (0.08, 0.22), (0.35, 0.20, 0.02), 0.0, 0.06,
+        "fish_pct",
+        CAT,
+        start,
+        (0.08, 0.22),
+        (0.35, 0.20, 0.02),
+        0.0,
+        0.06,
     ));
     specs.push(MetricSpec::bounded(
-        "shrimps_pct", CAT, start, (0.30, 0.55), (-0.30, -0.15, 0.0), 0.0, 0.06,
+        "shrimps_pct",
+        CAT,
+        start,
+        (0.30, 0.55),
+        (-0.30, -0.15, 0.0),
+        0.0,
+        0.06,
     ));
     specs.push(MetricSpec::bounded(
-        "whales_pct", CAT, start, (0.25, 0.45), (0.25, 0.12, 0.0), 0.3, 0.07,
+        "whales_pct",
+        CAT,
+        start,
+        (0.25, 0.45),
+        (0.25, 0.12, 0.0),
+        0.3,
+        0.07,
     ));
     specs.push(MetricSpec::bounded(
-        "sharks_pct", CAT, start, (0.10, 0.25), (0.28, 0.15, 0.0), 0.0, 0.07,
+        "sharks_pct",
+        CAT,
+        start,
+        (0.10, 0.25),
+        (0.28, 0.15, 0.0),
+        0.0,
+        0.07,
     ));
     specs.push(MetricSpec::log_linear(
         "total_balance",
@@ -665,8 +724,7 @@ mod tests {
         let cfg = SynthConfig::default();
         let list = specs(&cfg);
         assert!(list.len() >= 105, "{} specs", list.len());
-        let names: std::collections::HashSet<&str> =
-            list.iter().map(|s| s.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = list.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), list.len(), "duplicate metric names");
         for s in &list {
             assert_eq!(s.category, DataCategory::OnChainBtc);
@@ -719,11 +777,7 @@ mod tests {
         assert!(corr > 0.99, "market_cap corr {corr}");
         // CapRealUSD is smoother than market cap (smaller daily moves).
         let real = frame.column("CapRealUSD").unwrap().values();
-        let rough = |v: &[f64]| {
-            v.windows(2)
-                .map(|w| (w[1] / w[0]).ln().abs())
-                .sum::<f64>()
-        };
+        let rough = |v: &[f64]| v.windows(2).map(|w| (w[1] / w[0]).ln().abs()).sum::<f64>();
         assert!(rough(real) < 0.3 * rough(mc));
         // SplyCur matches the issuance curve.
         let sply = frame.column("SplyCur").unwrap().values();

@@ -34,12 +34,12 @@ pub fn usdc_supply(config: &SynthConfig, latents: &LatentPaths) -> Vec<f64> {
     let launch = usdc_launch();
     let mut out = vec![0.0; n];
     let mut s = 25.0e6;
-    for t in 0..n {
+    for (t, slot) in out.iter_mut().enumerate() {
         let date = config.start.add_days(t as i32 - warmup);
         if date < launch {
             continue;
         }
-        out[t] = s;
+        *slot = s;
         s *= (0.0042 + 0.0052 * latents.cycle[t] + 0.0036 * latents.trend[t]).exp();
     }
     out
@@ -61,10 +61,10 @@ fn supply_derived(
                 if supply[t] == 0.0 {
                     return 0.0;
                 }
-                let tilt =
-                    (cycle_load * ctx.latents.cycle[t] + trend_load * ctx.latents.trend[t]
-                        + noise * ctx.noise())
-                    .exp();
+                let tilt = (cycle_load * ctx.latents.cycle[t]
+                    + trend_load * ctx.latents.trend[t]
+                    + noise * ctx.noise())
+                .exp();
                 supply[t] * share_base * tilt
             })
             .collect()
@@ -304,18 +304,24 @@ pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
         0,
         0.05,
     ));
-    specs.push(MetricSpec::custom("usdc_FlowNetExUSD", CAT, launch, |ctx| {
-        // Net inflow: signed, proportional to supply and the cycle.
-        let supply = usdc_supply(ctx.config, ctx.latents);
-        (0..ctx.latents.n_total())
-            .map(|t| {
-                supply[t]
-                    * 0.01
-                    * (ctx.latents.cycle[t] + 0.3 * ctx.latents.momentum[t]
-                        + 0.15 * ctx.noise())
-            })
-            .collect()
-    }));
+    specs.push(MetricSpec::custom(
+        "usdc_FlowNetExUSD",
+        CAT,
+        launch,
+        |ctx| {
+            // Net inflow: signed, proportional to supply and the cycle.
+            let supply = usdc_supply(ctx.config, ctx.latents);
+            (0..ctx.latents.n_total())
+                .map(|t| {
+                    supply[t]
+                        * 0.01
+                        * (ctx.latents.cycle[t]
+                            + 0.3 * ctx.latents.momentum[t]
+                            + 0.15 * ctx.noise())
+                })
+                .collect()
+        },
+    ));
 
     // --- Ratios ---------------------------------------------------------------
     specs.push(MetricSpec::bounded(
@@ -351,8 +357,7 @@ mod tests {
         let cfg = SynthConfig::default();
         let list = specs(&cfg);
         assert!(list.len() >= 60, "{} specs", list.len());
-        let names: std::collections::HashSet<&str> =
-            list.iter().map(|s| s.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = list.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), list.len());
         for expected in [
             "usdc_AdrBalNtv1Cnt",
@@ -382,7 +387,11 @@ mod tests {
         assert!(supply[..launch_idx].iter().all(|&v| v == 0.0));
         assert!((supply[launch_idx] - 25.0e6).abs() < 1.0);
         // Multi-billion by the end of the sample.
-        assert!(*supply.last().unwrap() > 1.0e9, "{}", supply.last().unwrap());
+        assert!(
+            *supply.last().unwrap() > 1.0e9,
+            "{}",
+            supply.last().unwrap()
+        );
     }
 
     #[test]
@@ -403,7 +412,11 @@ mod tests {
         let btc = crate::btc::simulate_btc(&cfg, &latents);
         let frame = materialize(&specs(&cfg), &cfg, &latents, &btc);
         let flow = frame.column("usdc_FlowInExUSD").unwrap().values();
-        let first = frame.column("usdc_FlowInExUSD").unwrap().first_present().unwrap();
+        let first = frame
+            .column("usdc_FlowInExUSD")
+            .unwrap()
+            .first_present()
+            .unwrap();
         let log_flow: Vec<f64> = flow[first..].iter().map(|v| v.ln()).collect();
         let cycle = &latents.observed(&latents.cycle)[first..];
         // Partial out nothing — raw correlation should still be visible

@@ -63,7 +63,11 @@ pub fn specs(config: &SynthConfig) -> Vec<MetricSpec> {
     ] {
         // Subscribers are cumulative-ish: adoption heavy; the rest are
         // momentum-chasing bursts.
-        let adoption = if name == "reddit_subscribers" { 0.8 } else { 0.25 };
+        let adoption = if name == "reddit_subscribers" {
+            0.8
+        } else {
+            0.25
+        };
         specs.push(MetricSpec::log_linear(
             name,
             CAT,
@@ -184,8 +188,7 @@ mod tests {
         let cfg = SynthConfig::default();
         let list = specs(&cfg);
         assert!(list.len() >= 35, "{} specs", list.len());
-        let names: std::collections::HashSet<&str> =
-            list.iter().map(|s| s.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = list.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), list.len());
         assert!(names.contains("gt_Ethereum_monthly"));
         assert!(names.contains("gt_Cryptocurrency_monthly"));
@@ -193,7 +196,10 @@ mod tests {
 
         let fg = list.iter().find(|s| s.name == "fear_greed_index").unwrap();
         assert_eq!(fg.start, d(2018, 2, 1));
-        let gt = list.iter().find(|s| s.name == "gt_Bitcoin_monthly").unwrap();
+        let gt = list
+            .iter()
+            .find(|s| s.name == "gt_Bitcoin_monthly")
+            .unwrap();
         assert_eq!(gt.start, cfg.start);
         let lc = list.iter().find(|s| s.name == "lc_galaxy_score").unwrap();
         assert_eq!(lc.start, d(2018, 6, 1));

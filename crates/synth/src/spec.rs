@@ -43,6 +43,9 @@ impl<'a> GenCtx<'a> {
     }
 }
 
+/// Shared generator closure behind [`MetricKind::Custom`].
+pub type CustomGenerator = Arc<dyn Fn(&mut GenCtx) -> Vec<f64> + Send + Sync>;
+
 /// How the metric's underlying (noise-free) path derives from the latents.
 #[derive(Clone)]
 pub enum MetricKind {
@@ -82,7 +85,7 @@ pub enum MetricKind {
         bias: f64,
     },
     /// Fully custom generator returning the complete extended path.
-    Custom(Arc<dyn Fn(&mut GenCtx) -> Vec<f64> + Send + Sync>),
+    Custom(CustomGenerator),
 }
 
 /// Publication cadence of the metric.

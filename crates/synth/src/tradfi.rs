@@ -244,8 +244,7 @@ pub fn generate(config: &SynthConfig, latents: &LatentPaths) -> Frame {
             continue;
         }
         let s = warmup + t;
-        let v = (18.0f64.ln() + 0.55 * latents.regime[s] as f64
-            - 0.12 * latents.global_trend[s]
+        let v = (18.0f64.ln() + 0.55 * latents.regime[s] as f64 - 0.12 * latents.global_trend[s]
             + 0.15 * gaussian(&mut rng))
         .exp();
         vix.push(v);
@@ -268,7 +267,14 @@ mod tests {
         let latents = simulate(&cfg);
         let frame = generate(&cfg, &latents);
         assert!(frame.width() >= 20, "{} columns", frame.width());
-        for name in ["QQQ_Close", "UUP_Close", "EURUSD_Close", "BSV_Close", "MBB_Close", "VIX_Close"] {
+        for name in [
+            "QQQ_Close",
+            "UUP_Close",
+            "EURUSD_Close",
+            "BSV_Close",
+            "MBB_Close",
+            "VIX_Close",
+        ] {
             assert!(frame.has_column(name), "missing {name}");
         }
     }
@@ -315,9 +321,7 @@ mod tests {
         let frame = generate(&cfg, &latents);
         let qqq = frame.column("QQQ_Close").unwrap().values();
         let spy = frame.column("SPY_Close").unwrap().values();
-        let rets = |v: &[f64]| -> Vec<f64> {
-            v.windows(2).map(|w| (w[1] / w[0]).ln()).collect()
-        };
+        let rets = |v: &[f64]| -> Vec<f64> { v.windows(2).map(|w| (w[1] / w[0]).ln()).collect() };
         // The shared equity factor is deliberately modest (idiosyncratic
         // trends dominate so index *levels* decouple from crypto); daily
         // return correlation just needs to be clearly positive.

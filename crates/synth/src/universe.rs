@@ -74,11 +74,7 @@ impl Universe {
 }
 
 /// Simulates the asset universe from the BTC path.
-pub fn simulate_universe(
-    config: &SynthConfig,
-    latents: &LatentPaths,
-    btc: &BtcMarket,
-) -> Universe {
+pub fn simulate_universe(config: &SynthConfig, latents: &LatentPaths, btc: &BtcMarket) -> Universe {
     let n_obs = config.n_days();
     let n_assets = config.n_assets.max(101);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x94D0_49BB_1331_11EB));
@@ -110,7 +106,11 @@ pub fn simulate_universe(
         };
 
         // New launches start depressed and mean-revert upward.
-        let mut idio: f64 = if launch_day > 0 { -2.5 } else { gaussian(&mut rng) * 0.8 };
+        let mut idio: f64 = if launch_day > 0 {
+            -2.5
+        } else {
+            gaussian(&mut rng) * 0.8
+        };
         let mut series = vec![0.0; n_obs];
         for (t, slot) in series.iter_mut().enumerate() {
             if t < launch_day {
@@ -186,7 +186,10 @@ mod tests {
                 btc_top += 1;
             }
         }
-        assert!(btc_top * 10 >= total * 9, "BTC top on {btc_top}/{total} checks");
+        assert!(
+            btc_top * 10 >= total * 9,
+            "BTC top on {btc_top}/{total} checks"
+        );
     }
 
     #[test]
@@ -203,11 +206,15 @@ mod tests {
     fn late_launches_create_churn() {
         let (_, u) = build(64);
         let early: std::collections::HashSet<usize> = u.top_k(10, 100).into_iter().collect();
-        let late: std::collections::HashSet<usize> = u.top_k(u.n_days() - 1, 100).into_iter().collect();
+        let late: std::collections::HashSet<usize> =
+            u.top_k(u.n_days() - 1, 100).into_iter().collect();
         let overlap = early.intersection(&late).count();
         assert!(overlap < 100, "top-100 membership never changed");
         // Some asset launched mid-sample (cap exactly zero early on).
-        assert!(u.caps.iter().any(|c| c[0] == 0.0 && *c.last().unwrap() > 0.0));
+        assert!(u
+            .caps
+            .iter()
+            .any(|c| c[0] == 0.0 && *c.last().unwrap() > 0.0));
     }
 
     #[test]

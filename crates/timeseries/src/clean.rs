@@ -39,7 +39,9 @@ pub struct CleanReport {
 impl CleanReport {
     /// Total number of features removed.
     pub fn total_dropped(&self) -> usize {
-        self.dropped_missing_run.len() + self.dropped_flat.len() + self.dropped_missing_fraction.len()
+        self.dropped_missing_run.len()
+            + self.dropped_flat.len()
+            + self.dropped_missing_fraction.len()
     }
 }
 
@@ -142,7 +144,10 @@ mod tests {
         let mut sparse = vec![f64::NAN; 10];
         sparse[0] = 1.0;
         sparse[5] = 2.0;
-        let mut f = frame_with(&[("sparse", sparse), ("ok", (0..10).map(|i| i as f64).collect())]);
+        let mut f = frame_with(&[
+            ("sparse", sparse),
+            ("ok", (0..10).map(|i| i as f64).collect()),
+        ]);
         let cfg = CleanConfig {
             max_missing_run: 3,
             ..CleanConfig::default()

@@ -146,7 +146,10 @@ mod tests {
         let parsed = read_frame(std::io::BufReader::new(&buf[..])).unwrap();
         assert_eq!(parsed.len(), 3);
         assert_eq!(parsed.start(), frame.start());
-        assert_eq!(parsed.column("volume").unwrap().values(), &[10.0, 20.0, 30.0]);
+        assert_eq!(
+            parsed.column("volume").unwrap().values(),
+            &[10.0, 20.0, 30.0]
+        );
         assert!(parsed.column("price").unwrap().values()[1].is_nan());
     }
 
@@ -161,11 +164,15 @@ mod tests {
     fn rejects_malformed_rows() {
         assert!(read_frame(std::io::BufReader::new("x,y\n".as_bytes())).is_err());
         assert!(read_frame(std::io::BufReader::new("date,x\n".as_bytes())).is_err());
-        assert!(
-            read_frame(std::io::BufReader::new("date,x\n2020-01-01,1,9\n".as_bytes())).is_err()
-        );
+        assert!(read_frame(std::io::BufReader::new(
+            "date,x\n2020-01-01,1,9\n".as_bytes()
+        ))
+        .is_err());
         assert!(read_frame(std::io::BufReader::new("date,x\n2020-01-01\n".as_bytes())).is_err());
-        assert!(read_frame(std::io::BufReader::new("date,x\n2020-01-01,abc\n".as_bytes())).is_err());
+        assert!(read_frame(std::io::BufReader::new(
+            "date,x\n2020-01-01,abc\n".as_bytes()
+        ))
+        .is_err());
     }
 
     #[test]

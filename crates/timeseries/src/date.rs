@@ -111,7 +111,9 @@ impl Date {
 
     /// This date plus `n` days (`n` may be negative).
     pub fn add_days(self, n: i32) -> Self {
-        Date { days: self.days + n }
+        Date {
+            days: self.days + n,
+        }
     }
 
     /// Signed number of days from `other` to `self`.
@@ -268,8 +270,13 @@ mod tests {
     fn date_range_iterates_inclusively() {
         let start = Date::from_ymd(2020, 2, 27).unwrap();
         let end = Date::from_ymd(2020, 3, 1).unwrap();
-        let days: Vec<String> = DateRange::inclusive(start, end).map(|d| d.to_string()).collect();
-        assert_eq!(days, ["2020-02-27", "2020-02-28", "2020-02-29", "2020-03-01"]);
+        let days: Vec<String> = DateRange::inclusive(start, end)
+            .map(|d| d.to_string())
+            .collect();
+        assert_eq!(
+            days,
+            ["2020-02-27", "2020-02-28", "2020-02-29", "2020-03-01"]
+        );
         assert!(DateRange::inclusive(end, start).is_empty());
     }
 

@@ -96,7 +96,8 @@ impl Frame {
         if self.by_name.contains_key(series.name()) {
             return Err(TsError::DuplicateColumn(series.name().to_string()));
         }
-        self.by_name.insert(series.name().to_string(), self.columns.len());
+        self.by_name
+            .insert(series.name().to_string(), self.columns.len());
         self.columns.push(series);
         Ok(())
     }
@@ -322,7 +323,8 @@ mod tests {
             f.push_column(Series::new("a", vec![1.0])),
             Err(TsError::LengthMismatch { .. })
         ));
-        f.push_column(Series::new("a", vec![1.0, 2.0, 3.0])).unwrap();
+        f.push_column(Series::new("a", vec![1.0, 2.0, 3.0]))
+            .unwrap();
         assert!(matches!(
             f.push_column(Series::new("a", vec![1.0, 2.0, 3.0])),
             Err(TsError::DuplicateColumn(_))

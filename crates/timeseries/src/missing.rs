@@ -35,9 +35,9 @@ pub fn interpolate(series: &mut Series) {
         let lo = values[left];
         let hi = values[right];
         let span = (right - left) as f64;
-        for k in (left + 1)..right {
-            let t = (k - left) as f64 / span;
-            values[k] = lo + (hi - lo) * t;
+        for (offset, v) in values[left + 1..right].iter_mut().enumerate() {
+            let t = (offset + 1) as f64 / span;
+            *v = lo + (hi - lo) * t;
         }
         i = right + 1;
     }

@@ -138,7 +138,10 @@ pub fn min(values: &[f64]) -> f64 {
         .iter()
         .copied()
         .filter(|v| !v.is_nan())
-        .fold(f64::NAN, |acc, v| if acc.is_nan() || v < acc { v } else { acc })
+        .fold(
+            f64::NAN,
+            |acc, v| if acc.is_nan() || v < acc { v } else { acc },
+        )
 }
 
 /// Maximum over present values; `NaN` if none.
@@ -147,7 +150,10 @@ pub fn max(values: &[f64]) -> f64 {
         .iter()
         .copied()
         .filter(|v| !v.is_nan())
-        .fold(f64::NAN, |acc, v| if acc.is_nan() || v > acc { v } else { acc })
+        .fold(
+            f64::NAN,
+            |acc, v| if acc.is_nan() || v > acc { v } else { acc },
+        )
 }
 
 #[cfg(test)]

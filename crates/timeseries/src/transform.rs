@@ -13,8 +13,8 @@ use crate::{Result, TsError};
 pub fn lag(series: &Series, lag: usize) -> Series {
     let n = series.len();
     let mut out = vec![f64::NAN; n];
-    for t in lag..n {
-        out[t] = series.values()[t - lag];
+    if lag < n {
+        out[lag..].copy_from_slice(&series.values()[..n - lag]);
     }
     Series::new(format!("{}_lag{}", series.name(), lag), out)
 }
@@ -25,9 +25,8 @@ pub fn lag(series: &Series, lag: usize) -> Series {
 pub fn future_target(series: &Series, horizon: usize) -> Series {
     let n = series.len();
     let mut out = vec![f64::NAN; n];
-    for t in 0..n.saturating_sub(horizon) {
-        out[t] = series.values()[t + horizon];
-    }
+    let observed = n.saturating_sub(horizon);
+    out[..observed].copy_from_slice(&series.values()[n - observed..]);
     Series::new(format!("{}_t+{}", series.name(), horizon), out)
 }
 
@@ -35,10 +34,9 @@ pub fn future_target(series: &Series, horizon: usize) -> Series {
 pub fn diff(series: &Series) -> Series {
     let n = series.len();
     let mut out = vec![f64::NAN; n];
-    for t in 1..n {
-        let a = series.values()[t];
-        let b = series.values()[t - 1];
-        out[t] = a - b;
+    let values = series.values();
+    for (t, slot) in out.iter_mut().enumerate().skip(1) {
+        *slot = values[t] - values[t - 1];
     }
     Series::new(format!("{}_diff", series.name()), out)
 }
@@ -47,11 +45,10 @@ pub fn diff(series: &Series) -> Series {
 pub fn pct_change(series: &Series) -> Series {
     let n = series.len();
     let mut out = vec![f64::NAN; n];
-    for t in 1..n {
-        let a = series.values()[t];
-        let b = series.values()[t - 1];
-        if b != 0.0 {
-            out[t] = a / b - 1.0;
+    let values = series.values();
+    for (t, slot) in out.iter_mut().enumerate().skip(1) {
+        if values[t - 1] != 0.0 {
+            *slot = values[t] / values[t - 1] - 1.0;
         }
     }
     Series::new(format!("{}_ret", series.name()), out)
