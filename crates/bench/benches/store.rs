@@ -1,0 +1,107 @@
+//! Benchmarks of the artifact store: encode, decode+verify (the load
+//! path), and batch-prediction throughput at several chunk sizes.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_store::{BatchPredictor, ModelArtifact, ModelPayload};
+
+fn synthetic_regression(n_rows: usize, n_features: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n_rows);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let f: Vec<f64> = (0..n_features).map(|_| rng.gen::<f64>()).collect();
+        let target =
+            5.0 * f[0] + 3.0 * (f[1] * std::f64::consts::PI).sin() + 0.1 * rng.gen::<f64>();
+        rows.push(f);
+        y.push(target);
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn wrap(model: ModelPayload, n_features: usize) -> ModelArtifact {
+    ModelArtifact {
+        scenario: "2019_7".into(),
+        period: "2019".into(),
+        window: 7,
+        features: (0..n_features).map(|i| format!("feat_{i}")).collect(),
+        profile: "bench".into(),
+        seed: 0,
+        train_rows: 0,
+        train_start: "2019-01-01".into(),
+        train_end: "2019-12-31".into(),
+        hyperparameters: BTreeMap::new(),
+        model,
+    }
+}
+
+fn rf_artifact(n_features: usize) -> ModelArtifact {
+    let (x, y) = synthetic_regression(400, n_features, 1);
+    let model = RandomForestConfig {
+        n_estimators: 30,
+        max_depth: Some(8),
+        ..Default::default()
+    }
+    .fit(&x, &y, 2)
+    .unwrap();
+    wrap(ModelPayload::Rf(model), n_features)
+}
+
+fn gbdt_artifact(n_features: usize) -> ModelArtifact {
+    let (x, y) = synthetic_regression(400, n_features, 3);
+    let model = GbdtConfig {
+        n_estimators: 30,
+        max_depth: 5,
+        ..Default::default()
+    }
+    .fit(&x, &y, 4)
+    .unwrap();
+    wrap(ModelPayload::Gbdt(model), n_features)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let rf = rf_artifact(30);
+    let gbdt = gbdt_artifact(30);
+    let mut group = c.benchmark_group("artifact_encode");
+    group.bench_function("rf_30trees", |b| b.iter(|| rf.encode()));
+    group.bench_function("gbdt_30trees", |b| b.iter(|| gbdt.encode()));
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let rf_text = rf_artifact(30).encode().text;
+    let gbdt_text = gbdt_artifact(30).encode().text;
+    let mut group = c.benchmark_group("artifact_decode_verify");
+    group.bench_function("rf_30trees", |b| {
+        b.iter(|| ModelArtifact::decode(&rf_text).unwrap())
+    });
+    group.bench_function("gbdt_30trees", |b| {
+        b.iter(|| ModelArtifact::decode(&gbdt_text).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_batch_predict(c: &mut Criterion) {
+    let artifact = rf_artifact(30);
+    let (x, _) = synthetic_regression(4096, 30, 9);
+    let mut group = c.benchmark_group("batch_predict_4096x30");
+    for &chunk in &[32usize, 256, 1024] {
+        let predictor = BatchPredictor::new(artifact.clone()).with_chunk_rows(chunk);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("chunk{chunk}")),
+            &x,
+            |b, x| b.iter(|| predictor.predict_matrix(x).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_batch_predict);
+criterion_main!(benches);

@@ -1,8 +1,10 @@
-//! Regenerates every table and figure of the paper's evaluation section.
+//! Regenerates every table and figure of the paper's evaluation section,
+//! and serves persisted models back as forecasts.
 //!
 //! ```text
 //! repro [--profile fast|full] [--seed N] [--out DIR]
-//!       [--log-jsonl PATH] [--quiet] <artifact>...
+//!       [--log-jsonl PATH] [--quiet] [--scenarios ID,ID,...]
+//!       [--save-artifacts DIR] <artifact>...
 //!
 //! artifacts:
 //!   fig1    Top-100 vs total market cap (Figure 1)
@@ -16,6 +18,9 @@
 //!   table6  Avg MSE improvement by data category (RF)
 //!   overall Overall improvements, RF and XGB (§4.3)
 //!   all     Everything above
+//!
+//! repro predict --store DIR --scenario ID --features CSV
+//!               [--model rf|gbdt] [--out CSV]
 //! ```
 //!
 //! Figure series are written as CSV into `--out` (default `results/`);
@@ -23,6 +28,11 @@
 //! structured telemetry: progress lines on stderr (suppress with
 //! `--quiet`), an optional machine-readable event log (`--log-jsonl`),
 //! and aggregated run metrics written to `<out>/metrics.json`.
+//!
+//! `--save-artifacts DIR` persists both final models per scenario into a
+//! `c100-store` registry at `DIR` (plus a ready-to-serve
+//! `features_<scenario>.csv` of the test region); `repro predict` loads
+//! the latest matching artifact and forecasts without any refitting.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -30,12 +40,16 @@ use std::sync::Arc;
 
 use c100_bench::RunProfile;
 use c100_core::context::RunContext;
-use c100_core::experiments::{figure1, figure2, run_full_evaluation_with, FullEvaluation};
+use c100_core::experiments::{figure1, figure2, run_evaluation_with, FullEvaluation};
+use c100_core::export::export_scenario_artifacts;
+use c100_core::pipeline::ScenarioSpec;
 use c100_core::report::{metrics_table, pct, ratio, sparkline, TextTable};
 use c100_core::scenario::Period;
 use c100_obs::{Fanout, JsonlObserver, MetricsRegistry, RunObserver, StderrObserver};
+use c100_store::{ArtifactStore, BatchPredictor};
 use c100_synth::MarketData;
-use c100_timeseries::csv::write_frame_to_path;
+use c100_timeseries::csv::{read_frame_from_path, write_frame_to_path};
+use c100_timeseries::{Frame, Series};
 
 struct Args {
     profile: RunProfile,
@@ -43,6 +57,8 @@ struct Args {
     out: PathBuf,
     log_jsonl: Option<PathBuf>,
     quiet: bool,
+    scenarios: Option<Vec<ScenarioSpec>>,
+    save_artifacts: Option<PathBuf>,
     artifacts: BTreeSet<String>,
 }
 
@@ -50,14 +66,15 @@ const ALL_ARTIFACTS: [&str; 10] = [
     "fig1", "fig2", "table1", "fig3", "fig4", "table3", "table4", "table5", "table6", "overall",
 ];
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut profile = RunProfile::Full;
     let mut seed = 42u64;
     let mut out = PathBuf::from("results");
     let mut log_jsonl = None;
     let mut quiet = false;
+    let mut scenarios = None;
+    let mut save_artifacts = None;
     let mut artifacts = BTreeSet::new();
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--profile" => {
@@ -79,6 +96,19 @@ fn parse_args() -> Result<Args, String> {
             "--quiet" => {
                 quiet = true;
             }
+            "--scenarios" => {
+                let v = args.next().ok_or("--scenarios needs a value")?;
+                let specs = v
+                    .split(',')
+                    .map(|id| ScenarioSpec::parse(id.trim()).map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                scenarios = Some(specs);
+            }
+            "--save-artifacts" => {
+                save_artifacts = Some(PathBuf::from(
+                    args.next().ok_or("--save-artifacts needs a value")?,
+                ));
+            }
             "all" => {
                 artifacts.extend(ALL_ARTIFACTS.iter().map(|s| s.to_string()));
             }
@@ -99,12 +129,23 @@ fn parse_args() -> Result<Args, String> {
         out,
         log_jsonl,
         quiet,
+        scenarios,
+        save_artifacts,
         artifacts,
     })
 }
 
 fn main() {
-    let args = match parse_args() {
+    let mut cli = std::env::args().skip(1).peekable();
+    if cli.peek().map(String::as_str) == Some("predict") {
+        cli.next();
+        if let Err(e) = run_predict(cli) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    let args = match parse_args(cli) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -156,12 +197,23 @@ fn main() {
         observer.push(sink.clone() as Arc<dyn RunObserver>);
         (path, sink)
     });
+    // Shared so the artifact store can emit into the same sinks.
+    let observer = Arc::new(observer);
 
     let t1 = std::time::Instant::now();
     let profile = args.profile.pipeline_profile(args.seed);
-    let ctx = RunContext::with_observer(&profile, &observer);
-    let evaluation = run_full_evaluation_with(&data, &ctx).expect("full evaluation");
-    println!("# 10-scenario pipeline completed in {:.1?}\n", t1.elapsed());
+    let ctx = RunContext::with_observer(&profile, observer.as_ref());
+    let specs = args.scenarios.clone().unwrap_or_else(ScenarioSpec::all);
+    let evaluation = run_evaluation_with(&data, &specs, &ctx).expect("evaluation");
+    println!(
+        "# {}-scenario pipeline completed in {:.1?}\n",
+        specs.len(),
+        t1.elapsed()
+    );
+
+    if let Some(dir) = &args.save_artifacts {
+        save_artifacts(dir, &evaluation, &profile, observer.clone());
+    }
 
     if let Some((path, sink)) = jsonl {
         sink.flush().expect("flush JSONL event log");
@@ -201,6 +253,123 @@ fn main() {
         run_overall(&evaluation, &args.out);
     }
     println!("# total wall time {:.1?}", t0.elapsed());
+}
+
+/// Persists both final models per scenario into a `c100-store` registry,
+/// plus a `features_<scenario>.csv` of each scenario's test region so
+/// `repro predict` has a ready-made input matching the stored schema.
+fn save_artifacts(
+    dir: &Path,
+    eval: &FullEvaluation,
+    profile: &c100_core::profile::Profile,
+    observer: Arc<dyn RunObserver>,
+) {
+    println!("## Persisting model artifacts");
+    let mut store = ArtifactStore::open(dir)
+        .expect("open artifact store")
+        .with_observer(observer);
+    for result in &eval.scenarios {
+        let entries =
+            export_scenario_artifacts(&mut store, result, profile).expect("export artifacts");
+        for e in &entries {
+            println!(
+                "  {} {:5} -> {} ({} bytes)",
+                e.scenario,
+                e.model,
+                dir.join(format!("{}.json", e.id)).display(),
+                e.bytes
+            );
+        }
+        let refs: Vec<&str> = result.final_features.iter().map(|s| s.as_str()).collect();
+        let scenario = &result.scenario;
+        let test = scenario
+            .frame
+            .row_slice(scenario.split_row, scenario.frame.len())
+            .expect("test region slice")
+            .select(&refs)
+            .expect("select final features");
+        let path = dir.join(format!("features_{}.csv", scenario.id()));
+        write_frame_to_path(&test, &path).expect("write features CSV");
+        println!("  -> {}", path.display());
+    }
+    println!();
+}
+
+/// `repro predict`: loads the latest artifact for a scenario from a
+/// store and forecasts a feature CSV, all without refitting.
+fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut store_dir = None;
+    let mut scenario = None;
+    let mut family = "rf".to_string();
+    let mut features = None;
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => {
+                store_dir = Some(PathBuf::from(args.next().ok_or("--store needs a value")?));
+            }
+            "--scenario" => scenario = Some(args.next().ok_or("--scenario needs a value")?),
+            "--model" => {
+                let v = args.next().ok_or("--model needs a value")?;
+                if v != "rf" && v != "gbdt" {
+                    return Err(format!("unknown model family {v} (expected rf or gbdt)"));
+                }
+                family = v;
+            }
+            "--features" => {
+                features = Some(PathBuf::from(
+                    args.next().ok_or("--features needs a value")?,
+                ));
+            }
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let store_dir = store_dir.ok_or("predict requires --store DIR")?;
+    let scenario = scenario.ok_or("predict requires --scenario ID")?;
+    let features_path = features.ok_or("predict requires --features CSV")?;
+    ScenarioSpec::parse(&scenario).map_err(|e| e.to_string())?;
+
+    let store = ArtifactStore::open(&store_dir).map_err(|e| e.to_string())?;
+    let entry = store
+        .latest_family(&scenario, &family)
+        .ok_or_else(|| {
+            format!(
+                "no {family} artifact for scenario {scenario} in {}",
+                store_dir.display()
+            )
+        })?
+        .clone();
+    let artifact = store.load(&entry.id).map_err(|e| e.to_string())?;
+    println!(
+        "# artifact {} ({} {}) — {} features, trained {}..{} ({} rows, profile {})",
+        entry.id,
+        entry.scenario,
+        entry.model,
+        artifact.features.len(),
+        artifact.train_start,
+        artifact.train_end,
+        artifact.train_rows,
+        artifact.profile
+    );
+
+    let frame = read_frame_from_path(&features_path).map_err(|e| e.to_string())?;
+    let predictor = BatchPredictor::new(artifact);
+    let forecasts = predictor.predict_frame(&frame).map_err(|e| e.to_string())?;
+    println!(
+        "# {} forecasts, mean {:.6}",
+        forecasts.len(),
+        forecasts.iter().sum::<f64>() / forecasts.len().max(1) as f64
+    );
+
+    let out = out.unwrap_or_else(|| store_dir.join(format!("forecasts_{scenario}_{family}.csv")));
+    let mut result = Frame::with_daily_index(frame.start(), frame.len());
+    result
+        .push_column(Series::new("forecast", forecasts))
+        .map_err(|e| e.to_string())?;
+    write_frame_to_path(&result, &out).map_err(|e| e.to_string())?;
+    println!("  -> {}", out.display());
+    Ok(())
 }
 
 fn save_json(out: &Path, name: &str, json: String) {

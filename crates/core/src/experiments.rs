@@ -55,8 +55,18 @@ pub fn run_full_evaluation(data: &MarketData, profile: &Profile) -> Result<FullE
 /// pair bracketing the whole evaluation, the full per-scenario pipeline
 /// event stream, and a timed `diversity` stage per scenario.
 pub fn run_full_evaluation_with(data: &MarketData, ctx: &RunContext<'_>) -> Result<FullEvaluation> {
+    run_evaluation_with(data, &ScenarioSpec::all(), ctx)
+}
+
+/// Like [`run_full_evaluation_with`] but restricted to a chosen subset
+/// of scenarios (the `repro --scenarios` flag). Table extractors over a
+/// partial evaluation simply skip the missing scenarios.
+pub fn run_evaluation_with(
+    data: &MarketData,
+    specs: &[ScenarioSpec],
+    ctx: &RunContext<'_>,
+) -> Result<FullEvaluation> {
     let profile = ctx.profile;
-    let specs = ScenarioSpec::all();
     let t_run = Instant::now();
     ctx.emit(Event::RunStarted {
         scenarios: specs.len(),
@@ -65,7 +75,7 @@ pub fn run_full_evaluation_with(data: &MarketData, ctx: &RunContext<'_>) -> Resu
     let mut scenarios = Vec::with_capacity(specs.len());
     let mut rf_diversity = Vec::with_capacity(specs.len());
     let mut gbdt_diversity = Vec::with_capacity(specs.len());
-    for spec in &specs {
+    for spec in specs {
         let result = run_scenario_with(&master, spec, ctx)?;
         let id = spec.id();
         let seed = profile.stage_seed(&format!("{id}:diversity"));

@@ -1,0 +1,171 @@
+//! Exporting pipeline results as servable model artifacts.
+//!
+//! A [`crate::pipeline::ScenarioResult`] already holds the tuned-RF
+//! final model; this module persists it — and a GBDT counterpart refit
+//! on the same final feature vector — into a
+//! [`c100_store::ArtifactStore`], stamped with the scenario, ordered
+//! feature schema, profile descriptor, hyperparameters and train-range
+//! metadata. Once exported, `repro predict` (or any [`BatchPredictor`])
+//! serves forecasts from disk without touching the training pipeline.
+//!
+//! [`BatchPredictor`]: c100_store::BatchPredictor
+
+use c100_ml::data::Matrix;
+use c100_store::{ArtifactStore, ManifestEntry, ModelArtifact, ModelPayload};
+
+use crate::pipeline::ScenarioResult;
+use crate::profile::Profile;
+use crate::Result;
+
+/// Builds the RF artifact for a scenario result (no refit: the final
+/// model fitted by the pipeline's `final_fit` stage is persisted as-is).
+pub fn rf_artifact(result: &ScenarioResult, profile: &Profile) -> Result<ModelArtifact> {
+    let mut artifact = artifact_shell(
+        result,
+        profile,
+        ModelPayload::Rf(result.final_model.clone()),
+    )?;
+    artifact.hyperparameters = ModelArtifact::rf_hyperparameters(&result.tuned_rf);
+    Ok(artifact)
+}
+
+/// Builds the GBDT artifact: the tuned GBDT refit on the final feature
+/// vector with a dedicated deterministic stage seed.
+pub fn gbdt_artifact(result: &ScenarioResult, profile: &Profile) -> Result<ModelArtifact> {
+    let refs: Vec<&str> = result.final_features.iter().map(|s| s.as_str()).collect();
+    let train = result.scenario.train_matrix(&refs)?;
+    let fx = Matrix::from_row_major(train.x.clone(), train.n_features)?;
+    let seed = profile.stage_seed(&format!("{}:export-gbdt", result.scenario.id()));
+    let model = result.tuned_gbdt.fit(&fx, &train.y, seed)?;
+    let mut artifact = artifact_shell(result, profile, ModelPayload::Gbdt(model))?;
+    artifact.hyperparameters = ModelArtifact::gbdt_hyperparameters(&result.tuned_gbdt);
+    Ok(artifact)
+}
+
+/// Persists both final models (RF as fitted, GBDT refit on the final
+/// vector) for one scenario. Returns the manifest entries in
+/// `[rf, gbdt]` order.
+pub fn export_scenario_artifacts(
+    store: &mut ArtifactStore,
+    result: &ScenarioResult,
+    profile: &Profile,
+) -> Result<Vec<ManifestEntry>> {
+    let rf = store.save(&rf_artifact(result, profile)?)?;
+    let gbdt = store.save(&gbdt_artifact(result, profile)?)?;
+    Ok(vec![rf, gbdt])
+}
+
+/// Persists artifacts for every scenario of a finished evaluation.
+pub fn export_all_artifacts(
+    store: &mut ArtifactStore,
+    results: &[ScenarioResult],
+    profile: &Profile,
+) -> Result<Vec<ManifestEntry>> {
+    let mut entries = Vec::with_capacity(results.len() * 2);
+    for result in results {
+        entries.extend(export_scenario_artifacts(store, result, profile)?);
+    }
+    Ok(entries)
+}
+
+/// The metadata shell shared by both families; the model payload is
+/// swapped in, hyperparameters are family-specific.
+fn artifact_shell(
+    result: &ScenarioResult,
+    profile: &Profile,
+    model: ModelPayload,
+) -> Result<ModelArtifact> {
+    let scenario = &result.scenario;
+    // Row count of the design matrix actually fitted on (NaN-target rows
+    // near the split are dropped by `to_matrix`).
+    let refs: Vec<&str> = result.final_features.iter().map(|s| s.as_str()).collect();
+    let train_rows = scenario.train_matrix(&refs)?.n_rows() as u64;
+    Ok(ModelArtifact {
+        scenario: scenario.id(),
+        period: scenario.period.label().to_string(),
+        window: scenario.window as u64,
+        features: result.final_features.clone(),
+        profile: profile.descriptor(),
+        seed: profile.seed,
+        train_rows,
+        train_start: scenario.frame.date_at(0).to_string(),
+        train_end: scenario.frame.date_at(scenario.split_row - 1).to_string(),
+        hyperparameters: Default::default(),
+        model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_scenario, ScenarioSpec};
+    use crate::scenario::Period;
+    use c100_store::BatchPredictor;
+    use c100_synth::{generate, SynthConfig};
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("c100_export_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn export_round_trips_and_serves_without_refit() {
+        let data = generate(&SynthConfig::small(161));
+        let profile = Profile::fast().with_seed(23);
+        let spec = ScenarioSpec {
+            period: Period::Y2019,
+            window: 7,
+        };
+        let result = run_scenario(&data, &spec, &profile).unwrap();
+
+        let root = temp_store("roundtrip");
+        let mut store = ArtifactStore::open(&root).unwrap();
+        let entries = export_scenario_artifacts(&mut store, &result, &profile).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].model, "rf");
+        assert_eq!(entries[1].model, "gbdt");
+        assert_eq!(
+            store.latest_family("2019_7", "rf").unwrap().id,
+            entries[0].id
+        );
+
+        // The loaded RF must predict bit-identically to the in-memory
+        // final model on the scenario's own test matrix.
+        let refs: Vec<&str> = result.final_features.iter().map(|s| s.as_str()).collect();
+        let test = result.scenario.test_matrix(&refs).unwrap();
+        let x = Matrix::from_row_major(test.x.clone(), test.n_features).unwrap();
+        let loaded = store.load(&entries[0].id).unwrap();
+        assert_eq!(loaded.features, result.final_features);
+        assert_eq!(loaded.profile, profile.descriptor());
+        assert_eq!(loaded.window, 7);
+        assert!(loaded.train_rows > 0);
+        let served = BatchPredictor::new(loaded).predict_matrix(&x).unwrap();
+        use c100_ml::Regressor;
+        for (r, p) in served.iter().enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                result.final_model.predict_row(x.row(r)).to_bits()
+            );
+        }
+
+        // GBDT export is deterministic: a second export dedups to the
+        // same content address.
+        let again = export_scenario_artifacts(&mut store, &result, &profile).unwrap();
+        assert_eq!(again[1].id, entries[1].id);
+        assert_eq!(store.list().len(), 2);
+
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn scenario_spec_parse_round_trips_all_ids() {
+        for spec in ScenarioSpec::all() {
+            assert_eq!(ScenarioSpec::parse(&spec.id()).unwrap(), spec);
+        }
+        assert!(ScenarioSpec::parse("2018_7").is_err());
+        assert!(ScenarioSpec::parse("2019_11").is_err());
+        assert!(ScenarioSpec::parse("2019").is_err());
+        assert!(ScenarioSpec::parse("").is_err());
+    }
+}

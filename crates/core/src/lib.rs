@@ -68,6 +68,7 @@ pub mod contribution;
 pub mod dataset;
 pub mod diversity;
 pub mod experiments;
+pub mod export;
 pub mod fra;
 pub mod groups;
 pub mod index;
@@ -87,6 +88,8 @@ pub enum CoreError {
     Ml(c100_ml::MlError),
     /// The pipeline hit an invalid state (message explains).
     Pipeline(String),
+    /// Persisting or loading a model artifact failed.
+    Store(c100_store::StoreError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -95,6 +98,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Ts(e) => write!(f, "time-series error: {e}"),
             CoreError::Ml(e) => write!(f, "ml error: {e}"),
             CoreError::Pipeline(s) => write!(f, "pipeline error: {s}"),
+            CoreError::Store(e) => write!(f, "artifact store error: {e}"),
         }
     }
 }
@@ -110,6 +114,12 @@ impl From<c100_timeseries::TsError> for CoreError {
 impl From<c100_ml::MlError> for CoreError {
     fn from(e: c100_ml::MlError) -> Self {
         CoreError::Ml(e)
+    }
+}
+
+impl From<c100_store::StoreError> for CoreError {
+    fn from(e: c100_store::StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

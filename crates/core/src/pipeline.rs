@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use c100_ml::data::Matrix;
-use c100_ml::forest::RandomForestConfig;
+use c100_ml::forest::{RandomForest, RandomForestConfig};
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::model_selection::grid_search_observed;
 use c100_obs::{Event, Stage};
@@ -50,6 +50,27 @@ impl ScenarioSpec {
     pub fn id(&self) -> String {
         format!("{}_{}", self.period.label(), self.window)
     }
+
+    /// Parses a `period_window` id (`2019_7`) back into a spec. Only the
+    /// paper's periods and windows are accepted — an artifact or CLI flag
+    /// naming anything else is a mistake worth failing loudly on.
+    pub fn parse(id: &str) -> Result<ScenarioSpec> {
+        let err = || {
+            crate::CoreError::Pipeline(format!(
+                "invalid scenario id {id:?} (expected <period>_<window>, e.g. 2019_7)"
+            ))
+        };
+        let (period_label, window_str) = id.split_once('_').ok_or_else(err)?;
+        let period = Period::ALL
+            .into_iter()
+            .find(|p| p.label() == period_label)
+            .ok_or_else(err)?;
+        let window: usize = window_str.parse().map_err(|_| err())?;
+        if !crate::scenario::WINDOWS.contains(&window) {
+            return Err(err());
+        }
+        Ok(ScenarioSpec { period, window })
+    }
 }
 
 /// Everything one scenario run produces.
@@ -71,6 +92,10 @@ pub struct ScenarioResult {
     /// Fine-tuned-RF importance ranking over the final vector (the input
     /// to the short/long-term group analysis).
     pub final_importance: RankedFeatures,
+    /// The tuned RF fitted on the final vector — the model whose
+    /// importances rank above, kept so it can be persisted and served
+    /// without a refit (see [`crate::export`]).
+    pub final_model: RandomForest,
     /// Per-category contribution factors (Figures 3–4).
     pub contributions: Vec<CategoryContribution>,
 }
@@ -149,21 +174,24 @@ pub fn run_scenario_with(
     })?;
     let selection = final_vector(&fra, &shap, profile.union_top_k);
 
-    // Final importance: tuned RF refit on the final vector.
-    let final_importance = ctx.time_stage(&id, Stage::FinalFit, || -> Result<RankedFeatures> {
-        let final_refs: Vec<&str> = selection.features.iter().map(|s| s.as_str()).collect();
-        let final_train = scenario.train_matrix(&final_refs)?;
-        let fx = Matrix::from_row_major(final_train.x.clone(), final_train.n_features)?;
-        let final_model = tuned_rf.fit(&fx, &final_train.y, stage_seed("final-importance"))?;
-        Ok(RankedFeatures::from_pairs(
-            selection
-                .features
-                .iter()
-                .cloned()
-                .zip(final_model.feature_importances.iter().copied())
-                .collect(),
-        ))
-    })?;
+    // Final importance: tuned RF refit on the final vector. The fitted
+    // model is kept on the result so it can be exported and served.
+    let (final_importance, final_model) =
+        ctx.time_stage(&id, Stage::FinalFit, || -> Result<_> {
+            let final_refs: Vec<&str> = selection.features.iter().map(|s| s.as_str()).collect();
+            let final_train = scenario.train_matrix(&final_refs)?;
+            let fx = Matrix::from_row_major(final_train.x.clone(), final_train.n_features)?;
+            let final_model = tuned_rf.fit(&fx, &final_train.y, stage_seed("final-importance"))?;
+            let ranking = RankedFeatures::from_pairs(
+                selection
+                    .features
+                    .iter()
+                    .cloned()
+                    .zip(final_model.feature_importances.iter().copied())
+                    .collect(),
+            );
+            Ok((ranking, final_model))
+        })?;
 
     let contributions = contribution_factors(&scenario, &selection.features);
 
@@ -186,6 +214,7 @@ pub fn run_scenario_with(
         shap_overlap: selection.overlap_shap100_fra,
         final_features: selection.features,
         final_importance,
+        final_model,
         contributions,
     })
 }

@@ -200,6 +200,18 @@ impl Profile {
         self
     }
 
+    /// Short provenance label recorded in persisted model artifacts:
+    /// `full` / `fast` when the grid shape matches the preset (whatever
+    /// the seed), `custom` otherwise, always suffixed with the seed.
+    pub fn descriptor(&self) -> String {
+        let base = match (self.rf_grid.len(), self.gbdt_grid.len(), self.cv_folds) {
+            (4, 2, 5) => "full",
+            (2, 1, 3) => "fast",
+            _ => "custom",
+        };
+        format!("{base}-seed{}", self.seed)
+    }
+
     /// Derives a deterministic sub-seed for a named pipeline stage.
     pub fn stage_seed(&self, stage: &str) -> u64 {
         let mut h: u64 = self.seed ^ 0x9E37_79B9_7F4A_7C15;

@@ -1,0 +1,94 @@
+//! End-to-end persistence: a real pipeline run exported into an
+//! artifact store, reopened cold, and served through `BatchPredictor` —
+//! including the CSV hop the `repro predict` subcommand takes — with
+//! bit-identical predictions throughout.
+
+use std::sync::Arc;
+
+use c100_core::export::export_scenario_artifacts;
+use c100_core::pipeline::{run_scenario, ScenarioSpec};
+use c100_core::profile::Profile;
+use c100_core::scenario::Period;
+use c100_ml::data::Matrix;
+use c100_ml::Regressor;
+use c100_obs::{MetricsRegistry, RunObserver};
+use c100_store::{ArtifactStore, BatchPredictor};
+use c100_synth::{generate, SynthConfig};
+use c100_timeseries::csv::{read_frame_from_path, write_frame_to_path};
+
+#[test]
+fn pipeline_export_reopen_and_serve_matches_in_memory_model() {
+    let data = generate(&SynthConfig::small(181));
+    let profile = Profile::fast().with_seed(31);
+    let spec = ScenarioSpec {
+        period: Period::Y2019,
+        window: 7,
+    };
+    let result = run_scenario(&data, &spec, &profile).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("c100_int_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Export with a metrics observer: store traffic must aggregate.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut store = ArtifactStore::open(&dir)
+        .unwrap()
+        .with_observer(metrics.clone() as Arc<dyn RunObserver>);
+    let entries = export_scenario_artifacts(&mut store, &result, &profile).unwrap();
+    assert_eq!(entries.len(), 2);
+
+    // Cold reopen: a fresh process would see exactly this state.
+    let reopened = ArtifactStore::open(&dir).unwrap();
+    let rf_entry = reopened.latest_family("2019_7", "rf").unwrap().clone();
+    let artifact = reopened.load(&rf_entry.id).unwrap();
+    assert_eq!(artifact.features, result.final_features);
+    assert_eq!(artifact.period, "2019");
+    assert_eq!(artifact.window, 7);
+
+    // The CSV hop `repro predict` takes: write the test-region features,
+    // read them back, predict through the frame-validating path.
+    let refs: Vec<&str> = result.final_features.iter().map(|s| s.as_str()).collect();
+    let scenario = &result.scenario;
+    let test_frame = scenario
+        .frame
+        .row_slice(scenario.split_row, scenario.frame.len())
+        .unwrap()
+        .select(&refs)
+        .unwrap();
+    let csv_path = dir.join("features.csv");
+    write_frame_to_path(&test_frame, &csv_path).unwrap();
+    let round_tripped = read_frame_from_path(&csv_path).unwrap();
+
+    let predictor = BatchPredictor::new(artifact);
+    let served = predictor.predict_frame(&round_tripped).unwrap();
+
+    // Same rows through the in-memory final model, bit for bit.
+    let x = Matrix::from_row_major(
+        {
+            let mut data = Vec::new();
+            for r in 0..test_frame.len() {
+                for name in &refs {
+                    data.push(test_frame.column(name).unwrap().values()[r]);
+                }
+            }
+            data
+        },
+        refs.len(),
+    )
+    .unwrap();
+    assert_eq!(served.len(), x.n_rows());
+    for (r, p) in served.iter().enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            result.final_model.predict_row(x.row(r)).to_bits(),
+            "row {r} diverged after disk + CSV round trip"
+        );
+    }
+
+    // Store traffic showed up in the metrics registry.
+    let snapshot = metrics.snapshot();
+    let json = snapshot.to_json();
+    assert!(json.contains("artifacts_saved_total"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -127,7 +127,7 @@ impl Estimator for RandomForestConfig {
 }
 
 /// A fitted random forest.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct RandomForest {
     /// The fitted trees.
     pub trees: Vec<FittedTree>,
@@ -142,6 +142,11 @@ impl RandomForest {
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Total node count across all trees (a size proxy for persistence).
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.tree.n_nodes()).sum()
     }
 }
 

@@ -16,14 +16,14 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::data::{check_fit_input, Matrix};
 use crate::tree::{Node, Tree, LEAF};
 use crate::{Estimator, MlError, Regressor, Result};
 
 /// Hyper-parameters for gradient boosting; names mirror XGBoost.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct GbdtConfig {
     /// Number of boosting rounds (trees).
     pub n_estimators: usize,
@@ -104,6 +104,7 @@ impl GbdtConfig {
             ((n_features as f64 * self.colsample_bytree).round() as usize).clamp(1, n_features);
         let mut all_rows: Vec<usize> = (0..n).collect();
         let mut all_cols: Vec<usize> = (0..n_features).collect();
+        let mut partition_buf = Vec::new();
 
         for _ in 0..self.n_estimators {
             // Squared-error gradients at the current prediction.
@@ -124,9 +125,11 @@ impl GbdtConfig {
                 nodes: Vec::new(),
                 cols: &cols,
                 scratch: Vec::new(),
+                partition_buf,
             };
             let mut indices = rows.to_vec();
             builder.grow(&mut indices, 0);
+            partition_buf = builder.partition_buf;
             let tree = Tree {
                 nodes: builder.nodes,
                 n_features,
@@ -161,7 +164,7 @@ impl Estimator for GbdtConfig {
 }
 
 /// A fitted gradient-boosted ensemble.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct Gbdt {
     /// Initial prediction (mean target).
     pub base_score: f64,
@@ -171,6 +174,18 @@ pub struct Gbdt {
     pub feature_importances: Vec<f64>,
     /// Width of rows this model was trained on.
     pub n_features: usize,
+}
+
+impl Gbdt {
+    /// Number of boosting rounds (trees).
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total node count across all trees (a size proxy for persistence).
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.n_nodes()).sum()
+    }
 }
 
 impl Regressor for Gbdt {
@@ -187,6 +202,7 @@ struct GbdtTreeBuilder<'a> {
     nodes: Vec<Node>,
     cols: &'a [usize],
     scratch: Vec<(f64, f64)>,
+    partition_buf: Vec<usize>,
 }
 
 struct GbdtSplit {
@@ -220,9 +236,11 @@ impl<'a> GbdtTreeBuilder<'a> {
         };
         self.gain_importance[split.feature] += split.gain;
 
-        let mid = stable_partition(indices, |&i| {
+        let mut rejected = std::mem::take(&mut self.partition_buf);
+        let mid = stable_partition(indices, &mut rejected, |&i| {
             self.x.get(i, split.feature) <= split.threshold
         });
+        self.partition_buf = rejected;
         let (left_slice, right_slice) = indices.split_at_mut(mid);
         let left_id = self.grow(left_slice, depth + 1);
         let right_id = self.grow(right_slice, depth + 1);
@@ -329,37 +347,70 @@ fn pick_better_gbdt(a: Option<GbdtSplit>, b: Option<GbdtSplit>) -> Option<GbdtSp
     }
 }
 
-fn stable_partition<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
-    let kept: Vec<T> = slice.iter().copied().filter(|t| pred(t)).collect();
-    let rest: Vec<T> = slice.iter().copied().filter(|t| !pred(t)).collect();
-    let mid = kept.len();
-    slice[..mid].copy_from_slice(&kept);
-    slice[mid..].copy_from_slice(&rest);
-    mid
-}
-
-/// Convenience: deterministic uniform sample in `[lo, hi)` for tests.
-#[doc(hidden)]
-pub fn _uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
-    lo + (hi - lo) * rng.gen::<f64>()
+/// Stable partition: elements satisfying `pred` move to the front of the
+/// slice (order within each side preserved, so tree growth stays
+/// deterministic) and the boundary index is returned. Kept elements are
+/// compacted in place in one pass; only the rejected side goes through
+/// `rejected`, a caller-owned scratch buffer reused across calls so the
+/// per-node partition stops allocating once the buffer has grown.
+fn stable_partition<T: Copy>(
+    slice: &mut [T],
+    rejected: &mut Vec<T>,
+    pred: impl Fn(&T) -> bool,
+) -> usize {
+    rejected.clear();
+    let mut write = 0;
+    for read in 0..slice.len() {
+        let item = slice[read];
+        if pred(&item) {
+            slice[write] = item;
+            write += 1;
+        } else {
+            rejected.push(item);
+        }
+    }
+    slice[write..].copy_from_slice(rejected);
+    write
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::mse;
+    use rand::Rng;
+
+    /// Deterministic uniform sample in `[lo, hi)`.
+    fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * rng.gen::<f64>()
+    }
 
     fn sine_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rows = Vec::with_capacity(n);
         let mut y = Vec::with_capacity(n);
         for _ in 0..n {
-            let a = rng.gen::<f64>() * 6.0;
-            let b = rng.gen::<f64>(); // noise feature
+            let a = uniform(&mut rng, 0.0, 6.0);
+            let b = uniform(&mut rng, 0.0, 1.0); // noise feature
             rows.push(vec![a, b]);
             y.push(a.sin() * 3.0 + a);
         }
         (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn stable_partition_preserves_order_and_reuses_buffer() {
+        let mut buf = Vec::new();
+        let mut v = vec![5, 1, 4, 2, 3];
+        let mid = stable_partition(&mut v, &mut buf, |&x| x % 2 == 0);
+        assert_eq!(mid, 2);
+        assert_eq!(v, vec![4, 2, 5, 1, 3]);
+        // Same buffer serves the next call without reallocation.
+        let cap = buf.capacity();
+        let mut w = vec![9, 8, 7];
+        let mid = stable_partition(&mut w, &mut buf, |&x| x < 8);
+        assert_eq!(mid, 1);
+        assert_eq!(w, vec![7, 9, 8]);
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

@@ -22,7 +22,7 @@ const PARALLEL_SPLIT_CELLS: usize = 32_768;
 pub const LEAF: u32 = u32::MAX;
 
 /// One node of a regression tree.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct Node {
     /// Feature index tested at this node (unused for leaves).
     pub feature: u32,
@@ -49,7 +49,7 @@ impl Node {
 }
 
 /// A fitted regression tree: flat arena with node 0 as the root.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct Tree {
     /// Node arena; index 0 is the root.
     pub nodes: Vec<Node>,
@@ -78,6 +78,11 @@ impl Tree {
     /// Number of leaf nodes.
     pub fn n_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Total number of nodes in the arena.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Traverses the tree for one row and returns the leaf value.
@@ -244,7 +249,7 @@ impl TreeConfig {
 }
 
 /// A fitted CART tree together with its MDI importances.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct FittedTree {
     /// The tree structure.
     pub tree: Tree,

@@ -154,6 +154,39 @@ pub enum Event {
         /// Whole-run wall-clock duration in microseconds.
         micros: u64,
     },
+    /// A fitted model was persisted into an artifact store.
+    ArtifactSaved {
+        /// Owning scenario id.
+        scenario: String,
+        /// Model family label (`rf` / `gbdt`).
+        model: String,
+        /// Content-addressed artifact id (hex checksum).
+        artifact_id: String,
+        /// Serialized artifact size in bytes.
+        bytes: u64,
+    },
+    /// An artifact was loaded and verified from a store.
+    ArtifactLoaded {
+        /// Owning scenario id.
+        scenario: String,
+        /// Model family label (`rf` / `gbdt`).
+        model: String,
+        /// Content-addressed artifact id (hex checksum).
+        artifact_id: String,
+        /// Load + verification wall-clock duration in microseconds.
+        micros: u64,
+    },
+    /// A batch of rows was served from a loaded artifact.
+    BatchPredicted {
+        /// Owning scenario id.
+        scenario: String,
+        /// Model family label (`rf` / `gbdt`).
+        model: String,
+        /// Rows predicted in this batch.
+        rows: usize,
+        /// Batch wall-clock duration in microseconds.
+        micros: u64,
+    },
 }
 
 impl Event {
@@ -170,6 +203,9 @@ impl Event {
             Event::ShapSampled { .. } => "shap_sampled",
             Event::ScenarioFinished { .. } => "scenario_finished",
             Event::RunFinished { .. } => "run_finished",
+            Event::ArtifactSaved { .. } => "artifact_saved",
+            Event::ArtifactLoaded { .. } => "artifact_loaded",
+            Event::BatchPredicted { .. } => "batch_predicted",
         }
     }
 
@@ -181,7 +217,10 @@ impl Event {
             | Event::StageFinished { scenario, .. }
             | Event::FraIteration { scenario, .. }
             | Event::ShapSampled { scenario, .. }
-            | Event::ScenarioFinished { scenario, .. } => Some(scenario),
+            | Event::ScenarioFinished { scenario, .. }
+            | Event::ArtifactSaved { scenario, .. }
+            | Event::ArtifactLoaded { scenario, .. }
+            | Event::BatchPredicted { scenario, .. } => Some(scenario),
             _ => None,
         }
     }
@@ -280,6 +319,39 @@ impl Event {
                 w.uint_field("scenarios", *scenarios as u64);
                 w.uint_field("micros", *micros);
             }
+            Event::ArtifactSaved {
+                scenario,
+                model,
+                artifact_id,
+                bytes,
+            } => {
+                w.str_field("scenario", scenario);
+                w.str_field("model", model);
+                w.str_field("artifact_id", artifact_id);
+                w.uint_field("bytes", *bytes);
+            }
+            Event::ArtifactLoaded {
+                scenario,
+                model,
+                artifact_id,
+                micros,
+            } => {
+                w.str_field("scenario", scenario);
+                w.str_field("model", model);
+                w.str_field("artifact_id", artifact_id);
+                w.uint_field("micros", *micros);
+            }
+            Event::BatchPredicted {
+                scenario,
+                model,
+                rows,
+                micros,
+            } => {
+                w.str_field("scenario", scenario);
+                w.str_field("model", model);
+                w.uint_field("rows", *rows as u64);
+                w.uint_field("micros", *micros);
+            }
         }
         w.end();
         w.finish()
@@ -351,6 +423,24 @@ impl Event {
             }),
             "run_finished" => Ok(Event::RunFinished {
                 scenarios: value.req_uint("scenarios")? as usize,
+                micros: value.req_uint("micros")?,
+            }),
+            "artifact_saved" => Ok(Event::ArtifactSaved {
+                scenario: scenario(value)?,
+                model: value.req_str("model")?.to_string(),
+                artifact_id: value.req_str("artifact_id")?.to_string(),
+                bytes: value.req_uint("bytes")?,
+            }),
+            "artifact_loaded" => Ok(Event::ArtifactLoaded {
+                scenario: scenario(value)?,
+                model: value.req_str("model")?.to_string(),
+                artifact_id: value.req_str("artifact_id")?.to_string(),
+                micros: value.req_uint("micros")?,
+            }),
+            "batch_predicted" => Ok(Event::BatchPredicted {
+                scenario: scenario(value)?,
+                model: value.req_str("model")?.to_string(),
+                rows: value.req_uint("rows")? as usize,
                 micros: value.req_uint("micros")?,
             }),
             other => Err(JsonError::new(format!("unknown event kind {other:?}"))),
@@ -430,6 +520,24 @@ mod tests {
             Event::RunFinished {
                 scenarios: 10,
                 micros: 123_456_789,
+            },
+            Event::ArtifactSaved {
+                scenario: "2019_7".into(),
+                model: "rf".into(),
+                artifact_id: "9f86d081884c7d65".into(),
+                bytes: 1_048_576,
+            },
+            Event::ArtifactLoaded {
+                scenario: "2019_7".into(),
+                model: "gbdt".into(),
+                artifact_id: "0000000000000000".into(),
+                micros: 742,
+            },
+            Event::BatchPredicted {
+                scenario: "2017_90".into(),
+                model: "rf".into(),
+                rows: 0,
+                micros: 1,
             },
         ]
     }

@@ -161,6 +161,19 @@ impl RunObserver for MetricsRegistry {
             Event::RunFinished { micros, .. } => {
                 self.observe_micros("run_micros", *micros);
             }
+            Event::ArtifactSaved { bytes, .. } => {
+                self.inc("artifacts_saved_total");
+                self.add("artifact_bytes_total", *bytes);
+            }
+            Event::ArtifactLoaded { micros, .. } => {
+                self.inc("artifacts_loaded_total");
+                self.observe_micros("artifact_load_micros", *micros);
+            }
+            Event::BatchPredicted { rows, micros, .. } => {
+                self.inc("batches_predicted_total");
+                self.add("inference_rows_total", *rows as u64);
+                self.observe_micros("batch_predict_micros", *micros);
+            }
             _ => {}
         }
     }
@@ -340,6 +353,39 @@ mod tests {
         assert_eq!(snap.counters["events_total"], 12);
         assert_eq!(snap.histograms["stage.tune_micros"].count, 2);
         assert_eq!(snap.histograms["scenario_micros"].sum_micros, 18_000);
+    }
+
+    #[test]
+    fn observer_impl_derives_store_metrics() {
+        let m = MetricsRegistry::new();
+        m.on_event(&Event::ArtifactSaved {
+            scenario: "2019_7".into(),
+            model: "rf".into(),
+            artifact_id: "abc123".into(),
+            bytes: 2_048,
+        });
+        m.on_event(&Event::ArtifactLoaded {
+            scenario: "2019_7".into(),
+            model: "rf".into(),
+            artifact_id: "abc123".into(),
+            micros: 550,
+        });
+        for _ in 0..3 {
+            m.on_event(&Event::BatchPredicted {
+                scenario: "2019_7".into(),
+                model: "rf".into(),
+                rows: 64,
+                micros: 1_200,
+            });
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["artifacts_saved_total"], 1);
+        assert_eq!(snap.counters["artifact_bytes_total"], 2_048);
+        assert_eq!(snap.counters["artifacts_loaded_total"], 1);
+        assert_eq!(snap.counters["batches_predicted_total"], 3);
+        assert_eq!(snap.counters["inference_rows_total"], 192);
+        assert_eq!(snap.histograms["artifact_load_micros"].count, 1);
+        assert_eq!(snap.histograms["batch_predict_micros"].sum_micros, 3_600);
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! The on-disk artifact envelope: a fitted model plus everything needed
+//! to serve it safely later.
+//!
+//! An artifact is a two-line UTF-8 text file:
+//!
+//! ```text
+//! {"schema_version":1,"checksum":"9f86d081884c7d65","payload_bytes":1234}
+//! {"scenario":"2019_7","period":"2019","window":7,...,"model_data":{...}}
+//! ```
+//!
+//! The first line is a fixed, flat header that can be parsed without
+//! touching the payload; the second line is the payload itself. The
+//! header's `checksum` is the FNV-1a 64 digest of the payload bytes and
+//! doubles as the artifact's content address (its id). Decoding checks,
+//! in order: header shape, schema version, payload length, checksum,
+//! payload shape — so a truncated, bit-flipped, or future-versioned file
+//! always fails with the most specific [`StoreError`] and never panics.
+
+use std::collections::BTreeMap;
+
+use c100_ml::forest::{RandomForest, RandomForestConfig};
+use c100_ml::gbdt::{Gbdt, GbdtConfig};
+use c100_ml::tree::MaxFeatures;
+use c100_obs::json::{self, write_escaped, write_float};
+
+use crate::codec;
+use crate::{Result, StoreError};
+
+/// Artifact format revision understood by this build. Bump on any
+/// incompatible change to the envelope or payload layout; loaders
+/// reject other versions with [`StoreError::SchemaVersion`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit digest; the integrity checksum and content address of
+/// artifact payloads. Any single-byte change flips the digest (each
+/// step XORs the byte in and multiplies by an odd, hence invertible,
+/// constant).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The model carried by an artifact: one of the two ensemble families
+/// the paper evaluates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelPayload {
+    /// A fitted random forest.
+    Rf(RandomForest),
+    /// A fitted gradient-boosted ensemble.
+    Gbdt(Gbdt),
+}
+
+impl ModelPayload {
+    /// Short family tag used in filenames, events, and the manifest.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ModelPayload::Rf(_) => "rf",
+            ModelPayload::Gbdt(_) => "gbdt",
+        }
+    }
+
+    /// Width of rows the model was trained on.
+    pub fn n_features(&self) -> usize {
+        match self {
+            ModelPayload::Rf(m) => m.n_features,
+            ModelPayload::Gbdt(m) => m.n_features,
+        }
+    }
+
+    /// Predicts a single row (caller guarantees the width).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        use c100_ml::Regressor;
+        match self {
+            ModelPayload::Rf(m) => m.predict_row(row),
+            ModelPayload::Gbdt(m) => m.predict_row(row),
+        }
+    }
+
+    /// Total node count across the ensemble (a size proxy).
+    pub fn total_nodes(&self) -> usize {
+        match self {
+            ModelPayload::Rf(m) => m.total_nodes(),
+            ModelPayload::Gbdt(m) => m.total_nodes(),
+        }
+    }
+
+    fn model_data_json(&self) -> String {
+        // The stub-free path: both model types derive `serde::Serialize`
+        // and render through `serde_json`, whose float formatting
+        // round-trips exactly through `c100_obs::json::parse`.
+        let rendered = match self {
+            ModelPayload::Rf(m) => serde_json::to_string(m),
+            ModelPayload::Gbdt(m) => serde_json::to_string(m),
+        };
+        rendered.expect("in-memory model serialization cannot fail")
+    }
+}
+
+/// A fitted model plus the metadata required to serve it later without
+/// refitting: feature schema, scenario, hyperparameters, train range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Scenario id in the paper's `period_window` notation (`2019_7`).
+    pub scenario: String,
+    /// Period label (`2017` / `2019`).
+    pub period: String,
+    /// Prediction window in days.
+    pub window: u64,
+    /// Ordered feature schema; inference inputs must match exactly.
+    pub features: Vec<String>,
+    /// Descriptor of the profile that produced the model (`fast`,
+    /// `full`, or `seed-<n>` for ad-hoc profiles).
+    pub profile: String,
+    /// Root seed of the producing run.
+    pub seed: u64,
+    /// Rows in the training split.
+    pub train_rows: u64,
+    /// First training date (ISO `YYYY-MM-DD`).
+    pub train_start: String,
+    /// Last training date (ISO `YYYY-MM-DD`).
+    pub train_end: String,
+    /// Flat, human-auditable hyperparameter map.
+    pub hyperparameters: BTreeMap<String, String>,
+    /// The fitted model itself.
+    pub model: ModelPayload,
+}
+
+/// An encoded artifact: the exact file text, its content-addressed id,
+/// and its size.
+#[derive(Debug, Clone)]
+pub struct EncodedArtifact {
+    /// Full file contents (header line + payload line).
+    pub text: String,
+    /// Content address: the payload checksum as 16 lowercase hex digits.
+    pub id: String,
+    /// Total encoded size in bytes.
+    pub bytes: u64,
+}
+
+impl ModelArtifact {
+    /// Renders `RandomForestConfig` into the flat hyperparameter map.
+    pub fn rf_hyperparameters(config: &RandomForestConfig) -> BTreeMap<String, String> {
+        let mut map = BTreeMap::new();
+        map.insert("n_estimators".into(), config.n_estimators.to_string());
+        map.insert(
+            "max_depth".into(),
+            config.max_depth.map_or("none".into(), |d| d.to_string()),
+        );
+        map.insert(
+            "min_samples_split".into(),
+            config.min_samples_split.to_string(),
+        );
+        map.insert(
+            "min_samples_leaf".into(),
+            config.min_samples_leaf.to_string(),
+        );
+        map.insert(
+            "max_features".into(),
+            max_features_label(config.max_features),
+        );
+        map.insert("bootstrap".into(), config.bootstrap.to_string());
+        map
+    }
+
+    /// Renders `GbdtConfig` into the flat hyperparameter map.
+    pub fn gbdt_hyperparameters(config: &GbdtConfig) -> BTreeMap<String, String> {
+        let mut map = BTreeMap::new();
+        map.insert("n_estimators".into(), config.n_estimators.to_string());
+        map.insert(
+            "learning_rate".into(),
+            format!("{:?}", config.learning_rate),
+        );
+        map.insert("max_depth".into(), config.max_depth.to_string());
+        map.insert(
+            "min_child_weight".into(),
+            format!("{:?}", config.min_child_weight),
+        );
+        map.insert("lambda".into(), format!("{:?}", config.lambda));
+        map.insert("gamma".into(), format!("{:?}", config.gamma));
+        map.insert("subsample".into(), format!("{:?}", config.subsample));
+        map.insert(
+            "colsample_bytree".into(),
+            format!("{:?}", config.colsample_bytree),
+        );
+        map
+    }
+
+    /// Encodes the artifact into its on-disk text form. Deterministic:
+    /// the same artifact always yields byte-identical text, so the id
+    /// is stable.
+    pub fn encode(&self) -> EncodedArtifact {
+        let mut p = String::with_capacity(4096);
+        p.push('{');
+        p.push_str("\"scenario\":");
+        write_escaped(&mut p, &self.scenario);
+        p.push_str(",\"period\":");
+        write_escaped(&mut p, &self.period);
+        p.push_str(",\"window\":");
+        p.push_str(&self.window.to_string());
+        p.push_str(",\"features\":[");
+        for (i, f) in self.features.iter().enumerate() {
+            if i > 0 {
+                p.push(',');
+            }
+            write_escaped(&mut p, f);
+        }
+        p.push_str("],\"profile\":");
+        write_escaped(&mut p, &self.profile);
+        p.push_str(",\"seed\":");
+        p.push_str(&self.seed.to_string());
+        p.push_str(",\"train_rows\":");
+        p.push_str(&self.train_rows.to_string());
+        p.push_str(",\"train_start\":");
+        write_escaped(&mut p, &self.train_start);
+        p.push_str(",\"train_end\":");
+        write_escaped(&mut p, &self.train_end);
+        p.push_str(",\"hyperparameters\":{");
+        for (i, (k, v)) in self.hyperparameters.iter().enumerate() {
+            if i > 0 {
+                p.push(',');
+            }
+            write_escaped(&mut p, k);
+            p.push(':');
+            write_escaped(&mut p, v);
+        }
+        p.push_str("},\"model_family\":");
+        write_escaped(&mut p, self.model.family());
+        p.push_str(",\"model_data\":");
+        p.push_str(&self.model.model_data_json());
+        p.push('}');
+
+        let checksum = fnv1a64(p.as_bytes());
+        let id = format!("{checksum:016x}");
+        let header = format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"checksum\":\"{id}\",\"payload_bytes\":{}}}",
+            p.len()
+        );
+        let text = format!("{header}\n{p}\n");
+        let bytes = text.len() as u64;
+        EncodedArtifact { text, id, bytes }
+    }
+
+    /// Decodes artifact text, verifying schema version and checksum
+    /// before touching the payload.
+    pub fn decode(text: &str) -> Result<ModelArtifact> {
+        let (header_line, rest) = text
+            .split_once('\n')
+            .ok_or_else(|| StoreError::Malformed("missing header/payload separator".into()))?;
+        let header =
+            json::parse(header_line).map_err(|e| StoreError::Malformed(format!("header: {e}")))?;
+        let found = header
+            .req_uint("schema_version")
+            .map_err(|e| StoreError::Malformed(format!("header: {e}")))?;
+        if found != SCHEMA_VERSION {
+            return Err(StoreError::SchemaVersion {
+                found,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        let expected_checksum = header
+            .req_str("checksum")
+            .map_err(|e| StoreError::Malformed(format!("header: {e}")))?
+            .to_string();
+        let payload_bytes = header
+            .req_uint("payload_bytes")
+            .map_err(|e| StoreError::Malformed(format!("header: {e}")))?;
+
+        let payload_line = rest.strip_suffix('\n').unwrap_or(rest);
+        if payload_line.len() as u64 != payload_bytes {
+            return Err(StoreError::Malformed(format!(
+                "payload is {} bytes, header promised {payload_bytes}",
+                payload_line.len()
+            )));
+        }
+        let actual = format!("{:016x}", fnv1a64(payload_line.as_bytes()));
+        if actual != expected_checksum {
+            return Err(StoreError::ChecksumMismatch {
+                expected: expected_checksum,
+                actual,
+            });
+        }
+
+        let payload = json::parse(payload_line)
+            .map_err(|e| StoreError::Malformed(format!("payload: {e}")))?;
+        Self::from_payload(&payload)
+    }
+
+    fn from_payload(payload: &json::Value) -> Result<ModelArtifact> {
+        let malformed = |e: json::JsonError| StoreError::Malformed(format!("payload: {e}"));
+        let features = codec::string_array(payload, "features")?;
+        let hyperparameters = codec::string_map(payload, "hyperparameters")?;
+        let family = payload.req_str("model_family").map_err(malformed)?;
+        let model_data = payload
+            .get("model_data")
+            .ok_or_else(|| StoreError::Malformed("payload: missing field \"model_data\"".into()))?;
+        let model = match family {
+            "rf" => ModelPayload::Rf(codec::forest_from(model_data)?),
+            "gbdt" => ModelPayload::Gbdt(codec::gbdt_from(model_data)?),
+            other => {
+                return Err(StoreError::Malformed(format!(
+                    "unknown model family {other:?}"
+                )))
+            }
+        };
+        if model.n_features() != features.len() {
+            return Err(StoreError::Malformed(format!(
+                "model expects {} features but schema lists {}",
+                model.n_features(),
+                features.len()
+            )));
+        }
+        Ok(ModelArtifact {
+            scenario: payload.req_str("scenario").map_err(malformed)?.to_string(),
+            period: payload.req_str("period").map_err(malformed)?.to_string(),
+            window: payload.req_uint("window").map_err(malformed)?,
+            features,
+            profile: payload.req_str("profile").map_err(malformed)?.to_string(),
+            seed: payload.req_uint("seed").map_err(malformed)?,
+            train_rows: payload.req_uint("train_rows").map_err(malformed)?,
+            train_start: payload
+                .req_str("train_start")
+                .map_err(malformed)?
+                .to_string(),
+            train_end: payload.req_str("train_end").map_err(malformed)?.to_string(),
+            hyperparameters,
+            model,
+        })
+    }
+}
+
+/// Stable string form of [`MaxFeatures`] for the hyperparameter map.
+fn max_features_label(mf: MaxFeatures) -> String {
+    match mf {
+        MaxFeatures::All => "all".into(),
+        MaxFeatures::Sqrt => "sqrt".into(),
+        MaxFeatures::Log2 => "log2".into(),
+        MaxFeatures::Fraction(f) => {
+            let mut out = String::from("frac:");
+            write_float(&mut out, f);
+            out
+        }
+        MaxFeatures::Count(n) => format!("count:{n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_byte_flip_changes_checksum() {
+        let base = b"the quick brown fox".to_vec();
+        let h0 = fnv1a64(&base);
+        for i in 0..base.len() {
+            for bit in 0..8u8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(fnv1a64(&flipped), h0, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_features_labels_are_stable() {
+        assert_eq!(max_features_label(MaxFeatures::All), "all");
+        assert_eq!(max_features_label(MaxFeatures::Sqrt), "sqrt");
+        assert_eq!(max_features_label(MaxFeatures::Log2), "log2");
+        assert_eq!(max_features_label(MaxFeatures::Fraction(0.5)), "frac:0.5");
+        assert_eq!(max_features_label(MaxFeatures::Count(12)), "count:12");
+    }
+}

@@ -1,0 +1,195 @@
+//! Decoders from parsed JSON values back into `c100-ml` model structs.
+//!
+//! Encoding goes through `serde` derives; decoding is hand-rolled on the
+//! minimal parser in `c100_obs::json` so the store stays free of heavy
+//! deserialization machinery. Every shape violation maps to
+//! [`StoreError::Malformed`] with a message naming the offending field —
+//! decoding never panics, whatever the input.
+
+use std::collections::BTreeMap;
+
+use c100_ml::forest::RandomForest;
+use c100_ml::gbdt::Gbdt;
+use c100_ml::tree::{FittedTree, Node, Tree};
+use c100_obs::json::{JsonError, Value};
+
+use crate::{Result, StoreError};
+
+fn malformed(e: JsonError) -> StoreError {
+    StoreError::Malformed(format!("model: {e}"))
+}
+
+fn as_array<'v>(value: &'v Value, what: &str) -> Result<&'v [Value]> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(StoreError::Malformed(format!(
+            "{what} is not an array: {other:?}"
+        ))),
+    }
+}
+
+fn array_field<'v>(value: &'v Value, key: &str) -> Result<&'v [Value]> {
+    let field = value
+        .get(key)
+        .ok_or_else(|| StoreError::Malformed(format!("missing field {key:?}")))?;
+    as_array(field, key)
+}
+
+/// A `Vec<f64>` field; `null` elements read back as NaN to mirror the
+/// writer's non-finite-float encoding.
+fn float_array(value: &Value, key: &str) -> Result<Vec<f64>> {
+    array_field(value, key)?
+        .iter()
+        .map(|v| match v {
+            Value::Number(n) => Ok(*n),
+            Value::Null => Ok(f64::NAN),
+            other => Err(StoreError::Malformed(format!(
+                "{key:?} element is not a number: {other:?}"
+            ))),
+        })
+        .collect()
+}
+
+fn uint32(value: &Value, key: &str) -> Result<u32> {
+    let n = value.req_uint(key).map_err(malformed)?;
+    u32::try_from(n)
+        .map_err(|_| StoreError::Malformed(format!("field {key:?} exceeds u32 range: {n}")))
+}
+
+fn usize_field(value: &Value, key: &str) -> Result<usize> {
+    let n = value.req_uint(key).map_err(malformed)?;
+    usize::try_from(n)
+        .map_err(|_| StoreError::Malformed(format!("field {key:?} exceeds usize range: {n}")))
+}
+
+/// A `Vec<String>` payload field.
+pub(crate) fn string_array(value: &Value, key: &str) -> Result<Vec<String>> {
+    array_field(value, key)?
+        .iter()
+        .map(|v| match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(StoreError::Malformed(format!(
+                "{key:?} element is not a string: {other:?}"
+            ))),
+        })
+        .collect()
+}
+
+/// A flat string→string object payload field.
+pub(crate) fn string_map(value: &Value, key: &str) -> Result<BTreeMap<String, String>> {
+    let field = value
+        .get(key)
+        .ok_or_else(|| StoreError::Malformed(format!("missing field {key:?}")))?;
+    match field {
+        Value::Object(map) => map
+            .iter()
+            .map(|(k, v)| match v {
+                Value::String(s) => Ok((k.clone(), s.clone())),
+                other => Err(StoreError::Malformed(format!(
+                    "{key:?}[{k:?}] is not a string: {other:?}"
+                ))),
+            })
+            .collect(),
+        other => Err(StoreError::Malformed(format!(
+            "{key:?} is not an object: {other:?}"
+        ))),
+    }
+}
+
+fn node_from(value: &Value) -> Result<Node> {
+    Ok(Node {
+        feature: uint32(value, "feature")?,
+        threshold: value.req_float("threshold").map_err(malformed)?,
+        left: uint32(value, "left")?,
+        right: uint32(value, "right")?,
+        value: value.req_float("value").map_err(malformed)?,
+        cover: value.req_float("cover").map_err(malformed)?,
+        impurity: value.req_float("impurity").map_err(malformed)?,
+    })
+}
+
+fn tree_from(value: &Value) -> Result<Tree> {
+    let nodes = array_field(value, "nodes")?
+        .iter()
+        .map(node_from)
+        .collect::<Result<Vec<_>>>()?;
+    let n_features = usize_field(value, "n_features")?;
+    // Child indices must stay inside the node table (LEAF = u32::MAX is
+    // the sentinel); out-of-range links would make prediction panic.
+    let n_nodes = nodes.len();
+    for (i, node) in nodes.iter().enumerate() {
+        if !node.is_leaf() {
+            let (l, r) = (node.left as usize, node.right as usize);
+            if l >= n_nodes || r >= n_nodes {
+                return Err(StoreError::Malformed(format!(
+                    "node {i} links to child out of range ({l}/{r} of {n_nodes})"
+                )));
+            }
+            if node.feature as usize >= n_features {
+                return Err(StoreError::Malformed(format!(
+                    "node {i} splits on feature {} of {n_features}",
+                    node.feature
+                )));
+            }
+        }
+    }
+    Ok(Tree { nodes, n_features })
+}
+
+fn fitted_tree_from(value: &Value) -> Result<FittedTree> {
+    let tree_value = value
+        .get("tree")
+        .ok_or_else(|| StoreError::Malformed("missing field \"tree\"".into()))?;
+    Ok(FittedTree {
+        tree: tree_from(tree_value)?,
+        feature_importances: float_array(value, "feature_importances")?,
+    })
+}
+
+/// Decodes a `RandomForest` serialized by its `serde::Serialize` derive.
+pub(crate) fn forest_from(value: &Value) -> Result<RandomForest> {
+    let trees = array_field(value, "trees")?
+        .iter()
+        .map(fitted_tree_from)
+        .collect::<Result<Vec<_>>>()?;
+    if trees.is_empty() {
+        return Err(StoreError::Malformed("forest has no trees".into()));
+    }
+    let n_features = usize_field(value, "n_features")?;
+    for (i, t) in trees.iter().enumerate() {
+        if t.tree.n_features != n_features {
+            return Err(StoreError::Malformed(format!(
+                "tree {i} expects {} features, forest expects {n_features}",
+                t.tree.n_features
+            )));
+        }
+    }
+    Ok(RandomForest {
+        trees,
+        feature_importances: float_array(value, "feature_importances")?,
+        n_features,
+    })
+}
+
+/// Decodes a `Gbdt` serialized by its `serde::Serialize` derive.
+pub(crate) fn gbdt_from(value: &Value) -> Result<Gbdt> {
+    let trees = array_field(value, "trees")?
+        .iter()
+        .map(tree_from)
+        .collect::<Result<Vec<_>>>()?;
+    let n_features = usize_field(value, "n_features")?;
+    for (i, t) in trees.iter().enumerate() {
+        if t.n_features != n_features {
+            return Err(StoreError::Malformed(format!(
+                "tree {i} expects {} features, ensemble expects {n_features}",
+                t.n_features
+            )));
+        }
+    }
+    Ok(Gbdt {
+        base_score: value.req_float("base_score").map_err(malformed)?,
+        trees,
+        feature_importances: float_array(value, "feature_importances")?,
+        n_features,
+    })
+}

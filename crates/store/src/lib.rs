@@ -1,0 +1,174 @@
+//! Model artifact persistence, registry, and batch inference.
+//!
+//! The pipeline in `c100-core` fits random forests and gradient-boosted
+//! ensembles per scenario, but until this crate existed every prediction
+//! required a refit. `c100-store` turns fitted models into durable,
+//! servable artifacts in three layers:
+//!
+//! 1. **Serialization** ([`artifact`]) — a [`ModelArtifact`] envelope
+//!    captures the model together with everything needed to serve it
+//!    safely later: the ordered feature schema, the scenario it was
+//!    trained for, hyperparameters, train-range metadata, an explicit
+//!    [`SCHEMA_VERSION`], and an FNV-1a integrity checksum. Corrupt or
+//!    stale artifacts are rejected at load time with typed errors.
+//! 2. **Registry** ([`registry`]) — [`ArtifactStore`] is a
+//!    directory-backed store with a `manifest.json` index and
+//!    content-addressed artifact files. All writes go through a temp
+//!    file + atomic rename so a crashed run never leaves a torn file.
+//! 3. **Inference** ([`predict`]) — [`BatchPredictor`] validates an
+//!    incoming [`Frame`](c100_timeseries::Frame) against the stored
+//!    feature schema (missing, extra, or reordered columns are hard
+//!    errors), then predicts in parallel chunks via rayon, emitting
+//!    `c100-obs` events so inference shows up in run telemetry.
+//!
+//! Everything is deterministic: encoding a model twice yields the same
+//! bytes, the artifact id is a digest of those bytes, and chunked
+//! prediction concatenates chunk outputs in row order.
+
+pub mod artifact;
+mod codec;
+pub mod predict;
+pub mod registry;
+
+pub use artifact::{EncodedArtifact, ModelArtifact, ModelPayload, SCHEMA_VERSION};
+pub use predict::BatchPredictor;
+pub use registry::{ArtifactStore, ManifestEntry};
+
+use std::fmt;
+
+/// Errors surfaced by the artifact store and batch predictor.
+///
+/// Decode failures are deliberately fine-grained so callers (and tests)
+/// can distinguish "file from a future incompatible release"
+/// ([`StoreError::SchemaVersion`]) from "file damaged on disk"
+/// ([`StoreError::ChecksumMismatch`]) from "not JSON at all"
+/// ([`StoreError::Malformed`]).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure while reading or writing the store.
+    Io(std::io::Error),
+    /// The artifact text is structurally invalid (bad JSON, missing
+    /// fields, out-of-range values).
+    Malformed(String),
+    /// The artifact was written by an incompatible schema revision.
+    SchemaVersion {
+        /// Version found in the artifact header.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+    /// The payload bytes do not hash to the checksum in the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header (16 hex digits).
+        expected: String,
+        /// Checksum computed from the payload actually read.
+        actual: String,
+    },
+    /// No artifact with the requested id (or for the requested
+    /// scenario) exists in the store.
+    NotFound(String),
+    /// An input frame does not match the artifact's feature schema.
+    Schema(SchemaError),
+    /// The decoded model rejected an input (e.g. wrong row width).
+    Ml(c100_ml::MlError),
+}
+
+/// How an input frame diverged from an artifact's stored feature schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A column the model was trained on is absent from the input.
+    MissingColumn(String),
+    /// The input carries a column the model has never seen.
+    UnexpectedColumn(String),
+    /// Same column set, wrong order — silently reordering would feed
+    /// features into the wrong tree splits, so it is a hard error.
+    Reordered {
+        /// Zero-based position of the first disagreement.
+        position: usize,
+        /// Column the schema expects at that position.
+        expected: String,
+        /// Column the input actually has there.
+        found: String,
+    },
+    /// A feature cell is NaN; the predictor refuses to extrapolate
+    /// through missing values.
+    MissingValue {
+        /// Column containing the missing value.
+        column: String,
+        /// Zero-based row index within the input frame.
+        row: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::MissingColumn(c) => write!(f, "input is missing feature column '{c}'"),
+            SchemaError::UnexpectedColumn(c) => {
+                write!(f, "input has column '{c}' the model was not trained on")
+            }
+            SchemaError::Reordered {
+                position,
+                expected,
+                found,
+            } => write!(
+                f,
+                "feature columns reordered at position {position}: expected '{expected}', found '{found}'"
+            ),
+            SchemaError::MissingValue { column, row } => {
+                write!(f, "missing value in column '{column}' at row {row}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact store I/O error: {e}"),
+            StoreError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            StoreError::SchemaVersion { found, expected } => write!(
+                f,
+                "artifact schema version {found} is not supported (expected {expected})"
+            ),
+            StoreError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "artifact checksum mismatch: header says {expected}, payload hashes to {actual}"
+            ),
+            StoreError::NotFound(what) => write!(f, "artifact not found: {what}"),
+            StoreError::Schema(e) => write!(f, "schema validation failed: {e}"),
+            StoreError::Ml(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<SchemaError> for StoreError {
+    fn from(e: SchemaError) -> Self {
+        StoreError::Schema(e)
+    }
+}
+
+impl From<c100_ml::MlError> for StoreError {
+    fn from(e: c100_ml::MlError) -> Self {
+        StoreError::Ml(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,167 @@
+//! Batch inference against a loaded artifact.
+//!
+//! [`BatchPredictor`] is the serving half of the store: it owns a
+//! decoded [`ModelArtifact`] and turns validated inputs into forecasts
+//! without ever refitting. Validation is strict by design — a frame
+//! with missing, extra, or *reordered* columns is rejected outright,
+//! because silently reindexing features would feed values into the
+//! wrong tree splits and produce confidently wrong forecasts.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use c100_ml::data::Matrix;
+use c100_obs::{Event, NullObserver, RunObserver};
+use c100_timeseries::Frame;
+use rayon::prelude::*;
+
+use crate::artifact::ModelArtifact;
+use crate::{Result, SchemaError, StoreError};
+
+/// Default rows per parallel prediction chunk. Ensemble traversal is
+/// cheap per row, so chunks amortize scheduling overhead; 256 rows per
+/// task keeps every core busy even for year-long daily frames.
+const DEFAULT_CHUNK_ROWS: usize = 256;
+
+/// Serves batch predictions from a persisted model artifact.
+pub struct BatchPredictor {
+    artifact: ModelArtifact,
+    chunk_rows: usize,
+    observer: Arc<dyn RunObserver>,
+}
+
+impl BatchPredictor {
+    /// Wraps a decoded artifact for serving.
+    pub fn new(artifact: ModelArtifact) -> BatchPredictor {
+        BatchPredictor {
+            artifact,
+            chunk_rows: DEFAULT_CHUNK_ROWS,
+            observer: Arc::new(NullObserver),
+        }
+    }
+
+    /// Overrides the parallel chunk size (clamped to at least 1 row).
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> BatchPredictor {
+        self.chunk_rows = chunk_rows.max(1);
+        self
+    }
+
+    /// Replaces the observer (default: [`NullObserver`]); each batch
+    /// then emits [`Event::BatchPredicted`] with rows and latency.
+    pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> BatchPredictor {
+        self.observer = observer;
+        self
+    }
+
+    /// The artifact being served.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Checks a frame's columns against the stored feature schema:
+    /// exact names, exact order. Returns the most specific
+    /// [`SchemaError`] on any divergence.
+    pub fn validate_frame(&self, frame: &Frame) -> Result<()> {
+        let got = frame.column_names();
+        let want = &self.artifact.features;
+        for name in want {
+            if !got.iter().any(|g| g == name) {
+                return Err(SchemaError::MissingColumn(name.clone()).into());
+            }
+        }
+        for g in &got {
+            if !want.iter().any(|w| w == g) {
+                return Err(SchemaError::UnexpectedColumn((*g).to_string()).into());
+            }
+        }
+        // Same sets — any remaining disagreement is an ordering one.
+        for (position, (w, g)) in want.iter().zip(&got).enumerate() {
+            if w != g {
+                return Err(SchemaError::Reordered {
+                    position,
+                    expected: w.clone(),
+                    found: (*g).to_string(),
+                }
+                .into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Predicts one value per frame row. The frame must match the
+    /// stored schema exactly and contain no missing values.
+    pub fn predict_frame(&self, frame: &Frame) -> Result<Vec<f64>> {
+        self.validate_frame(frame)?;
+        let n_rows = frame.len();
+        let width = self.artifact.features.len();
+
+        // Transpose the columnar frame into a row-major buffer once;
+        // per-row slices then feed the ensemble without re-gathering.
+        let mut data = vec![0.0; n_rows * width];
+        for (c, name) in self.artifact.features.iter().enumerate() {
+            let series = frame
+                .column(name)
+                .expect("validate_frame guarantees presence");
+            for (r, &v) in series.values().iter().enumerate() {
+                if v.is_nan() {
+                    return Err(SchemaError::MissingValue {
+                        column: name.clone(),
+                        row: r,
+                    }
+                    .into());
+                }
+                data[r * width + c] = v;
+            }
+        }
+        Ok(self.predict_row_major(&data, n_rows, width))
+    }
+
+    /// Predicts one value per matrix row; the matrix width must match
+    /// the stored feature schema.
+    pub fn predict_matrix(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let width = self.artifact.features.len();
+        if x.n_features() != width {
+            return Err(StoreError::Ml(c100_ml::MlError::BadInput(format!(
+                "matrix has {} features, artifact schema has {width}",
+                x.n_features()
+            ))));
+        }
+        let mut data = Vec::with_capacity(x.n_rows() * width);
+        for r in 0..x.n_rows() {
+            if let Some(c) = x.row(r).iter().position(|v| v.is_nan()) {
+                return Err(SchemaError::MissingValue {
+                    column: self.artifact.features[c].clone(),
+                    row: r,
+                }
+                .into());
+            }
+            data.extend_from_slice(x.row(r));
+        }
+        Ok(self.predict_row_major(&data, x.n_rows(), width))
+    }
+
+    /// Chunked parallel prediction over a validated row-major buffer.
+    /// Output order is row order regardless of chunk scheduling, so
+    /// results are deterministic under any thread count.
+    fn predict_row_major(&self, data: &[f64], n_rows: usize, width: usize) -> Vec<f64> {
+        let started = Instant::now();
+        let mut preds = vec![0.0; n_rows];
+        preds
+            .par_chunks_mut(self.chunk_rows)
+            .enumerate()
+            .for_each(|(chunk_idx, out)| {
+                let base = chunk_idx * self.chunk_rows;
+                for (j, slot) in out.iter_mut().enumerate() {
+                    let row = &data[(base + j) * width..(base + j + 1) * width];
+                    *slot = self.artifact.model.predict_row(row);
+                }
+            });
+        self.observer.on_event(&Event::BatchPredicted {
+            scenario: self.artifact.scenario.clone(),
+            model: self.artifact.model.family().to_string(),
+            rows: n_rows,
+            micros: started.elapsed().as_micros() as u64,
+        });
+        preds
+    }
+}

@@ -1,0 +1,259 @@
+//! Directory-backed artifact registry.
+//!
+//! Layout of a store rooted at `DIR`:
+//!
+//! ```text
+//! DIR/
+//!   manifest.json          index: version, next_seq, artifact entries
+//!   <id>.json              content-addressed artifact files
+//! ```
+//!
+//! Artifact files are named by their payload checksum, so the same model
+//! saved twice lands on the same file and the store never holds two
+//! copies of identical content. Every write — artifact or manifest —
+//! goes through a temp file followed by an atomic rename, so a crash
+//! mid-save can leave a stray `*.tmp` but never a torn file the next
+//! open would trip over.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use c100_obs::json::{self, write_escaped};
+use c100_obs::{Event, NullObserver, RunObserver};
+
+use crate::artifact::ModelArtifact;
+use crate::{Result, StoreError};
+
+/// Manifest format revision; independent of the artifact
+/// [`SCHEMA_VERSION`](crate::SCHEMA_VERSION).
+const MANIFEST_VERSION: u64 = 1;
+
+const MANIFEST_FILE: &str = "manifest.json";
+
+/// One indexed artifact in `manifest.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Content address (payload checksum, 16 hex digits).
+    pub id: String,
+    /// Scenario the model was trained for (`2019_7`).
+    pub scenario: String,
+    /// Model family (`rf` / `gbdt`).
+    pub model: String,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// Monotonic save order; `latest` resolves ties through it.
+    pub seq: u64,
+}
+
+/// A directory-backed store of model artifacts with a JSON manifest.
+pub struct ArtifactStore {
+    root: PathBuf,
+    entries: Vec<ManifestEntry>,
+    next_seq: u64,
+    observer: Arc<dyn RunObserver>,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if necessary) a store rooted at `root` and loads
+    /// its manifest. A malformed manifest is an error, not a silent
+    /// reset — the artifacts it indexed may still be recoverable.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ArtifactStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let manifest_path = root.join(MANIFEST_FILE);
+        let (entries, next_seq) = if manifest_path.exists() {
+            parse_manifest(&fs::read_to_string(&manifest_path)?)?
+        } else {
+            (Vec::new(), 0)
+        };
+        Ok(ArtifactStore {
+            root,
+            entries,
+            next_seq,
+            observer: Arc::new(NullObserver),
+        })
+    }
+
+    /// Replaces the observer (default: [`NullObserver`]); store events
+    /// then land in the run's telemetry alongside pipeline stages.
+    pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> ArtifactStore {
+        self.observer = observer;
+        self
+    }
+
+    /// Root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Encodes and persists an artifact, updates the manifest, and
+    /// emits [`Event::ArtifactSaved`]. Returns the manifest entry
+    /// (whose `id` is the handle for [`load`](Self::load)).
+    pub fn save(&mut self, artifact: &ModelArtifact) -> Result<ManifestEntry> {
+        let encoded = artifact.encode();
+        let path = self.artifact_path(&encoded.id);
+        // Content-addressed: an existing file already holds these exact
+        // bytes, so rewriting it would be pure churn.
+        if !path.exists() {
+            write_atomic(&path, &encoded.text)?;
+        }
+
+        let entry = ManifestEntry {
+            id: encoded.id.clone(),
+            scenario: artifact.scenario.clone(),
+            model: artifact.model.family().to_string(),
+            bytes: encoded.bytes,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.entries.retain(|e| e.id != entry.id);
+        self.entries.push(entry.clone());
+        self.persist_manifest()?;
+
+        self.observer.on_event(&Event::ArtifactSaved {
+            scenario: artifact.scenario.clone(),
+            model: artifact.model.family().to_string(),
+            artifact_id: encoded.id,
+            bytes: encoded.bytes,
+        });
+        Ok(entry)
+    }
+
+    /// Loads and fully verifies an artifact by id, emitting
+    /// [`Event::ArtifactLoaded`] with the load+verify latency.
+    pub fn load(&self, id: &str) -> Result<ModelArtifact> {
+        let started = Instant::now();
+        let path = self.artifact_path(id);
+        let text = fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::NotFound(format!("artifact {id} in {}", self.root.display()))
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let artifact = ModelArtifact::decode(&text)?;
+        // decode verified header-vs-payload; this verifies file-vs-name,
+        // catching an artifact renamed onto another id.
+        let actual = format!("{:016x}", crate::artifact::fnv1a64(payload_of(&text)));
+        if actual != id {
+            return Err(StoreError::ChecksumMismatch {
+                expected: id.to_string(),
+                actual,
+            });
+        }
+
+        self.observer.on_event(&Event::ArtifactLoaded {
+            scenario: artifact.scenario.clone(),
+            model: artifact.model.family().to_string(),
+            artifact_id: id.to_string(),
+            micros: started.elapsed().as_micros() as u64,
+        });
+        Ok(artifact)
+    }
+
+    /// All indexed artifacts in save order.
+    pub fn list(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Most recently saved artifact for a scenario, any family.
+    pub fn latest(&self, scenario: &str) -> Option<&ManifestEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.scenario == scenario)
+            .max_by_key(|e| e.seq)
+    }
+
+    /// Most recently saved artifact for a scenario and model family.
+    pub fn latest_family(&self, scenario: &str, family: &str) -> Option<&ManifestEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.scenario == scenario && e.model == family)
+            .max_by_key(|e| e.seq)
+    }
+
+    fn artifact_path(&self, id: &str) -> PathBuf {
+        self.root.join(format!("{id}.json"))
+    }
+
+    fn persist_manifest(&self) -> Result<()> {
+        let mut out = String::with_capacity(256 + 128 * self.entries.len());
+        out.push_str(&format!(
+            "{{\"version\":{MANIFEST_VERSION},\"next_seq\":{},\"artifacts\":[",
+            self.next_seq
+        ));
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            write_escaped(&mut out, &e.id);
+            out.push_str(",\"scenario\":");
+            write_escaped(&mut out, &e.scenario);
+            out.push_str(",\"model\":");
+            write_escaped(&mut out, &e.model);
+            out.push_str(&format!(",\"bytes\":{},\"seq\":{}}}", e.bytes, e.seq));
+        }
+        out.push_str("]}\n");
+        write_atomic(&self.root.join(MANIFEST_FILE), &out)?;
+        Ok(())
+    }
+}
+
+/// The payload line of an artifact file (empty slice if malformed; the
+/// caller has already decoded successfully by the time this runs).
+fn payload_of(text: &str) -> &[u8] {
+    match text.split_once('\n') {
+        Some((_, rest)) => rest.strip_suffix('\n').unwrap_or(rest).as_bytes(),
+        None => &[],
+    }
+}
+
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+fn parse_manifest(text: &str) -> Result<(Vec<ManifestEntry>, u64)> {
+    let malformed = |e: json::JsonError| StoreError::Malformed(format!("manifest: {e}"));
+    let value = json::parse(text).map_err(malformed)?;
+    let version = value.req_uint("version").map_err(malformed)?;
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::Malformed(format!(
+            "unsupported manifest version {version} (expected {MANIFEST_VERSION})"
+        )));
+    }
+    let next_seq = value.req_uint("next_seq").map_err(malformed)?;
+    let artifacts = match value.get("artifacts") {
+        Some(json::Value::Array(items)) => items,
+        _ => {
+            return Err(StoreError::Malformed(
+                "manifest: \"artifacts\" is not an array".into(),
+            ))
+        }
+    };
+    let entries = artifacts
+        .iter()
+        .map(|item| {
+            Ok(ManifestEntry {
+                id: item.req_str("id").map_err(malformed)?.to_string(),
+                scenario: item.req_str("scenario").map_err(malformed)?.to_string(),
+                model: item.req_str("model").map_err(malformed)?.to_string(),
+                bytes: item.req_uint("bytes").map_err(malformed)?,
+                seq: item.req_uint("seq").map_err(malformed)?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    for e in &entries {
+        if e.seq >= next_seq {
+            return Err(StoreError::Malformed(format!(
+                "manifest: entry {} has seq {} >= next_seq {next_seq}",
+                e.id, e.seq
+            )));
+        }
+    }
+    Ok((entries, next_seq))
+}

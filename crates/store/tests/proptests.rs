@@ -1,0 +1,157 @@
+//! Property tests for the artifact codec: round-trips are bit-identical
+//! for models of arbitrary shape, and no corruption of the encoded text
+//! ever panics — it fails with a typed [`StoreError`].
+
+use std::collections::BTreeMap;
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::tree::MaxFeatures;
+use c100_store::{ModelArtifact, ModelPayload, StoreError, SCHEMA_VERSION};
+use proptest::prelude::*;
+
+/// Strategy: dataset shape + fit seed for a randomly-shaped model.
+fn shape() -> impl Strategy<Value = (usize, usize, u64, usize)> {
+    // (rows, features, seed, n_estimators)
+    (8usize..40, 1usize..6, 0u64..1_000_000, 1usize..8)
+}
+
+fn dataset(rows: usize, width: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    // Cheap deterministic pseudo-data; variety comes from the seed.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+    };
+    let rows_vec: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..width).map(|_| next()).collect())
+        .collect();
+    let y: Vec<f64> = rows_vec
+        .iter()
+        .map(|r| r.iter().sum::<f64>() + next())
+        .collect();
+    (Matrix::from_rows(&rows_vec).unwrap(), y)
+}
+
+fn wrap(model: ModelPayload, width: usize, seed: u64) -> ModelArtifact {
+    ModelArtifact {
+        scenario: "2019_7".into(),
+        period: "2019".into(),
+        window: 7,
+        features: (0..width).map(|i| format!("f{i}")).collect(),
+        profile: format!("seed-{seed}"),
+        seed,
+        train_rows: 0,
+        train_start: "2019-01-01".into(),
+        train_end: "2019-12-31".into(),
+        hyperparameters: BTreeMap::new(),
+        model,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rf_save_load_predict_is_bit_identical((rows, width, seed, n_estimators) in shape()) {
+        let (x, y) = dataset(rows, width, seed);
+        let model = RandomForestConfig {
+            n_estimators,
+            max_depth: Some(1 + (seed % 5) as usize),
+            max_features: if seed % 2 == 0 { MaxFeatures::All } else { MaxFeatures::Sqrt },
+            ..Default::default()
+        }
+        .fit(&x, &y, seed)
+        .unwrap();
+        let artifact = wrap(ModelPayload::Rf(model), width, seed);
+        let decoded = ModelArtifact::decode(&artifact.encode().text).unwrap();
+        prop_assert_eq!(&decoded, &artifact);
+        for r in 0..x.n_rows() {
+            prop_assert_eq!(
+                decoded.model.predict_row(x.row(r)).to_bits(),
+                artifact.model.predict_row(x.row(r)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn gbdt_save_load_predict_is_bit_identical((rows, width, seed, n_estimators) in shape()) {
+        let (x, y) = dataset(rows, width, seed);
+        let model = GbdtConfig {
+            n_estimators,
+            max_depth: 1 + (seed % 4) as usize,
+            learning_rate: 0.05 + (seed % 10) as f64 * 0.03,
+            ..Default::default()
+        }
+        .fit(&x, &y, seed)
+        .unwrap();
+        let artifact = wrap(ModelPayload::Gbdt(model), width, seed);
+        let decoded = ModelArtifact::decode(&artifact.encode().text).unwrap();
+        prop_assert_eq!(&decoded, &artifact);
+        for r in 0..x.n_rows() {
+            prop_assert_eq!(
+                decoded.model.predict_row(x.row(r)).to_bits(),
+                artifact.model.predict_row(x.row(r)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_a_typed_error_never_a_panic(
+        (rows, width, seed, n_estimators) in shape(),
+        position_pick in 0usize..10_000,
+        bit in 0u32..8,
+    ) {
+        let (x, y) = dataset(rows, width, seed);
+        let model = RandomForestConfig { n_estimators, max_depth: Some(3), ..Default::default() }
+            .fit(&x, &y, seed)
+            .unwrap();
+        let artifact = wrap(ModelPayload::Rf(model), width, seed);
+        let text = artifact.encode().text;
+        let mut bytes = text.into_bytes();
+        let position = position_pick % bytes.len();
+        bytes[position] ^= 1 << bit;
+
+        // Any corruption either still decodes to the identical artifact
+        // (flip landed outside the checked region, e.g. made no textual
+        // difference — impossible for XOR, so really: outside payload +
+        // header semantics) or fails with a typed error. It never panics.
+        match String::from_utf8(bytes) {
+            Err(_) => {} // invalid UTF-8 cannot even reach the decoder
+            Ok(corrupted) => match ModelArtifact::decode(&corrupted) {
+                Ok(decoded) => prop_assert_eq!(decoded, artifact),
+                Err(
+                    StoreError::Malformed(_)
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::SchemaVersion { .. },
+                ) => {}
+                Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            },
+        }
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected((rows, width, seed, _n) in shape(), bump in 2u64..100) {
+        let (x, y) = dataset(rows, width, seed);
+        let model = GbdtConfig { n_estimators: 2, ..Default::default() }
+            .fit(&x, &y, seed)
+            .unwrap();
+        let artifact = wrap(ModelPayload::Gbdt(model), width, seed);
+        let text = artifact.encode().text;
+        let stale = text.replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            &format!("\"schema_version\":{}", SCHEMA_VERSION + bump),
+            1,
+        );
+        match ModelArtifact::decode(&stale) {
+            Err(StoreError::SchemaVersion { found, expected }) => {
+                prop_assert_eq!(found, SCHEMA_VERSION + bump);
+                prop_assert_eq!(expected, SCHEMA_VERSION);
+            }
+            other => prop_assert!(false, "expected SchemaVersion, got {other:?}"),
+        }
+    }
+}

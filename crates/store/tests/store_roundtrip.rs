@@ -1,0 +1,392 @@
+//! Save → load → predict round-trips through a real directory-backed
+//! store, plus the corruption and schema-mismatch rejection paths.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::Regressor;
+use c100_obs::{Event, RecordingObserver, RunObserver};
+use c100_store::{
+    ArtifactStore, BatchPredictor, ModelArtifact, ModelPayload, SchemaError, StoreError,
+    SCHEMA_VERSION,
+};
+use c100_timeseries::{Date, Frame, Series};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("c100_store_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn dataset(n: usize, width: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..width).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| r[0] * 3.0 - r[1 % width] + rng.gen_range(-0.1..0.1))
+        .collect();
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn feature_names(width: usize) -> Vec<String> {
+    (0..width).map(|i| format!("feat_{i}")).collect()
+}
+
+fn rf_artifact(seed: u64) -> (ModelArtifact, Matrix) {
+    let (x, y) = dataset(80, 4, seed);
+    let config = RandomForestConfig {
+        n_estimators: 7,
+        max_depth: Some(4),
+        ..Default::default()
+    };
+    let model = config.fit(&x, &y, seed).unwrap();
+    let artifact = ModelArtifact {
+        scenario: "2019_7".into(),
+        period: "2019".into(),
+        window: 7,
+        features: feature_names(4),
+        profile: "fast".into(),
+        seed,
+        train_rows: x.n_rows() as u64,
+        train_start: "2019-01-01".into(),
+        train_end: "2019-03-21".into(),
+        hyperparameters: ModelArtifact::rf_hyperparameters(&config),
+        model: ModelPayload::Rf(model),
+    };
+    (artifact, x)
+}
+
+fn gbdt_artifact(seed: u64) -> (ModelArtifact, Matrix) {
+    let (x, y) = dataset(80, 3, seed);
+    let config = GbdtConfig {
+        n_estimators: 6,
+        max_depth: 3,
+        ..Default::default()
+    };
+    let model = config.fit(&x, &y, seed).unwrap();
+    let artifact = ModelArtifact {
+        scenario: "2017_30".into(),
+        period: "2017".into(),
+        window: 30,
+        features: feature_names(3),
+        profile: "fast".into(),
+        seed,
+        train_rows: x.n_rows() as u64,
+        train_start: "2017-06-01".into(),
+        train_end: "2017-08-19".into(),
+        hyperparameters: ModelArtifact::gbdt_hyperparameters(&config),
+        model: ModelPayload::Gbdt(model),
+    };
+    (artifact, x)
+}
+
+#[test]
+fn rf_round_trip_is_bit_identical() {
+    let (artifact, x) = rf_artifact(11);
+    let decoded = ModelArtifact::decode(&artifact.encode().text).unwrap();
+    assert_eq!(decoded, artifact);
+    let original = match &artifact.model {
+        ModelPayload::Rf(m) => m.clone(),
+        _ => unreachable!(),
+    };
+    for r in 0..x.n_rows() {
+        let row = x.row(r);
+        // Bit-identical, not approximately equal.
+        assert_eq!(
+            decoded.model.predict_row(row).to_bits(),
+            original.predict_row(row).to_bits()
+        );
+    }
+}
+
+#[test]
+fn gbdt_round_trip_is_bit_identical() {
+    let (artifact, x) = gbdt_artifact(13);
+    let decoded = ModelArtifact::decode(&artifact.encode().text).unwrap();
+    assert_eq!(decoded, artifact);
+    for r in 0..x.n_rows() {
+        let row = x.row(r);
+        assert_eq!(
+            decoded.model.predict_row(row).to_bits(),
+            artifact.model.predict_row(row).to_bits()
+        );
+    }
+}
+
+#[test]
+fn encoding_is_deterministic_and_content_addressed() {
+    let (artifact, _) = rf_artifact(29);
+    let a = artifact.encode();
+    let b = artifact.encode();
+    assert_eq!(a.text, b.text);
+    assert_eq!(a.id, b.id);
+    // A different model gets a different address.
+    let (other, _) = rf_artifact(31);
+    assert_ne!(other.encode().id, a.id);
+}
+
+#[test]
+fn store_save_load_list_latest() {
+    let root = temp_store("registry");
+    let recorder = Arc::new(RecordingObserver::new());
+    let mut store = ArtifactStore::open(&root)
+        .unwrap()
+        .with_observer(recorder.clone() as Arc<dyn RunObserver>);
+
+    let (rf, x) = rf_artifact(3);
+    let (gbdt, _) = gbdt_artifact(5);
+    let rf_entry = store.save(&rf).unwrap();
+    let gbdt_entry = store.save(&gbdt).unwrap();
+    assert_eq!(store.list().len(), 2);
+    assert_eq!(store.latest("2019_7").unwrap().id, rf_entry.id);
+    assert_eq!(store.latest("2017_30").unwrap().id, gbdt_entry.id);
+    assert_eq!(
+        store.latest_family("2019_7", "rf").unwrap().model,
+        "rf".to_string()
+    );
+    assert!(store.latest_family("2019_7", "gbdt").is_none());
+
+    // Saving identical content again dedups the manifest entry.
+    store.save(&rf).unwrap();
+    assert_eq!(store.list().len(), 2);
+
+    let loaded = store.load(&rf_entry.id).unwrap();
+    assert_eq!(loaded, rf);
+    for r in 0..x.n_rows() {
+        assert_eq!(
+            loaded.model.predict_row(x.row(r)).to_bits(),
+            rf.model.predict_row(x.row(r)).to_bits()
+        );
+    }
+
+    // A fresh open sees the persisted manifest.
+    let reopened = ArtifactStore::open(&root).unwrap();
+    assert_eq!(reopened.list().len(), 2);
+    assert_eq!(reopened.latest("2019_7").unwrap().id, rf_entry.id);
+    assert_eq!(reopened.load(&gbdt_entry.id).unwrap(), gbdt);
+
+    let events = recorder.take();
+    let saves = events
+        .iter()
+        .filter(|e| matches!(e, Event::ArtifactSaved { .. }))
+        .count();
+    let loads = events
+        .iter()
+        .filter(|e| matches!(e, Event::ArtifactLoaded { .. }))
+        .count();
+    assert_eq!(saves, 3);
+    assert_eq!(loads, 1);
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn load_of_unknown_id_is_not_found() {
+    let root = temp_store("missing");
+    let store = ArtifactStore::open(&root).unwrap();
+    match store.load("deadbeefdeadbeef") {
+        Err(StoreError::NotFound(_)) => {}
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corrupt_payload_is_rejected_with_checksum_mismatch() {
+    let root = temp_store("corrupt");
+    let mut store = ArtifactStore::open(&root).unwrap();
+    let (rf, _) = rf_artifact(7);
+    let entry = store.save(&rf).unwrap();
+
+    // Flip one byte inside the payload (line 2) on disk.
+    let path = root.join(format!("{}.json", entry.id));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let newline = bytes.iter().position(|&b| b == b'\n').unwrap();
+    let victim = newline + 1 + (bytes.len() - newline) / 2;
+    bytes[victim] = if bytes[victim] == b'0' { b'1' } else { b'0' };
+    std::fs::write(&path, &bytes).unwrap();
+
+    match store.load(&entry.id) {
+        Err(StoreError::ChecksumMismatch { .. } | StoreError::Malformed(_)) => {}
+        other => panic!("expected corruption error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn future_schema_version_is_rejected() {
+    let (rf, _) = rf_artifact(9);
+    let text = rf.encode().text;
+    let bumped = text.replacen(
+        &format!("\"schema_version\":{SCHEMA_VERSION}"),
+        &format!("\"schema_version\":{}", SCHEMA_VERSION + 1),
+        1,
+    );
+    match ModelArtifact::decode(&bumped) {
+        Err(StoreError::SchemaVersion { found, expected }) => {
+            assert_eq!(found, SCHEMA_VERSION + 1);
+            assert_eq!(expected, SCHEMA_VERSION);
+        }
+        other => panic!("expected SchemaVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_artifact_is_malformed_not_panic() {
+    let (rf, _) = rf_artifact(17);
+    let text = rf.encode().text;
+    for cut in [0, 1, text.len() / 4, text.len() / 2, text.len() - 2] {
+        assert!(
+            ModelArtifact::decode(&text[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+}
+
+fn frame_from_columns(names: &[String], x: &Matrix) -> Frame {
+    let mut frame = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), x.n_rows());
+    for (c, name) in names.iter().enumerate() {
+        let values: Vec<f64> = (0..x.n_rows()).map(|r| x.get(r, c)).collect();
+        frame.push_column(Series::new(name, values)).unwrap();
+    }
+    frame
+}
+
+#[test]
+fn predictor_serves_frames_matching_schema() {
+    let (rf, x) = rf_artifact(21);
+    let frame = frame_from_columns(&rf.features, &x);
+    let recorder = Arc::new(RecordingObserver::new());
+    let predictor = BatchPredictor::new(rf.clone())
+        .with_chunk_rows(16)
+        .with_observer(recorder.clone() as Arc<dyn RunObserver>);
+
+    let from_frame = predictor.predict_frame(&frame).unwrap();
+    let from_matrix = predictor.predict_matrix(&x).unwrap();
+    assert_eq!(from_frame.len(), x.n_rows());
+    for (a, b) in from_frame.iter().zip(&from_matrix) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    for (r, p) in from_frame.iter().enumerate() {
+        assert_eq!(p.to_bits(), rf.model.predict_row(x.row(r)).to_bits());
+    }
+
+    let events = recorder.take();
+    let batch = events
+        .iter()
+        .find(|e| matches!(e, Event::BatchPredicted { .. }))
+        .expect("batch event emitted");
+    if let Event::BatchPredicted { rows, scenario, .. } = batch {
+        assert_eq!(*rows, x.n_rows());
+        assert_eq!(scenario, "2019_7");
+    }
+}
+
+#[test]
+fn chunk_size_does_not_change_results() {
+    let (gbdt, x) = gbdt_artifact(23);
+    let frame = frame_from_columns(&gbdt.features, &x);
+    let baseline = BatchPredictor::new(gbdt.clone())
+        .with_chunk_rows(1)
+        .predict_frame(&frame)
+        .unwrap();
+    for chunk in [2, 3, 17, 1024] {
+        let preds = BatchPredictor::new(gbdt.clone())
+            .with_chunk_rows(chunk)
+            .predict_frame(&frame)
+            .unwrap();
+        assert_eq!(preds.len(), baseline.len());
+        for (a, b) in preds.iter().zip(&baseline) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn schema_violations_are_typed_errors() {
+    let (rf, x) = rf_artifact(25);
+    let predictor = BatchPredictor::new(rf.clone());
+
+    // Missing column.
+    let mut missing = frame_from_columns(&rf.features, &x);
+    missing.drop_column("feat_2").unwrap();
+    match predictor.predict_frame(&missing) {
+        Err(StoreError::Schema(SchemaError::MissingColumn(c))) => assert_eq!(c, "feat_2"),
+        other => panic!("expected MissingColumn, got {other:?}"),
+    }
+
+    // Extra column.
+    let mut extra = frame_from_columns(&rf.features, &x);
+    extra
+        .push_column(Series::new("bonus", vec![0.0; x.n_rows()]))
+        .unwrap();
+    match predictor.predict_frame(&extra) {
+        Err(StoreError::Schema(SchemaError::UnexpectedColumn(c))) => assert_eq!(c, "bonus"),
+        other => panic!("expected UnexpectedColumn, got {other:?}"),
+    }
+
+    // Reordered columns.
+    let mut shuffled_names = rf.features.clone();
+    shuffled_names.swap(1, 3);
+    let mut reordered = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), x.n_rows());
+    for name in &shuffled_names {
+        let c = rf.features.iter().position(|f| f == name).unwrap();
+        let values: Vec<f64> = (0..x.n_rows()).map(|r| x.get(r, c)).collect();
+        reordered.push_column(Series::new(name, values)).unwrap();
+    }
+    match predictor.predict_frame(&reordered) {
+        Err(StoreError::Schema(SchemaError::Reordered { position, .. })) => {
+            assert_eq!(position, 1)
+        }
+        other => panic!("expected Reordered, got {other:?}"),
+    }
+
+    // Missing value.
+    let mut holed = frame_from_columns(&rf.features, &x);
+    let mut values = holed.column("feat_1").unwrap().values().to_vec();
+    values[5] = f64::NAN;
+    holed.drop_column("feat_1").unwrap();
+    holed.push_column(Series::new("feat_1", values)).unwrap();
+    // Re-pushing moved feat_1 to the end; rebuild in order instead.
+    let mut ordered = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), x.n_rows());
+    for name in &rf.features {
+        ordered
+            .push_column(Series::new(
+                name,
+                holed.column(name).unwrap().values().to_vec(),
+            ))
+            .unwrap();
+    }
+    match predictor.predict_frame(&ordered) {
+        Err(StoreError::Schema(SchemaError::MissingValue { column, row })) => {
+            assert_eq!(column, "feat_1");
+            assert_eq!(row, 5);
+        }
+        other => panic!("expected MissingValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn artifact_rejects_feature_count_mismatch() {
+    let (mut rf, _) = rf_artifact(27);
+    rf.features.push("phantom".into());
+    let text = {
+        // Encode carries the inconsistent schema; decode must refuse it.
+        let mut hp = BTreeMap::new();
+        hp.insert("k".to_string(), "v".to_string());
+        rf.hyperparameters = hp;
+        rf.encode().text
+    };
+    match ModelArtifact::decode(&text) {
+        Err(StoreError::Malformed(msg)) => assert!(msg.contains("features")),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
