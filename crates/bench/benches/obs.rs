@@ -1,0 +1,59 @@
+//! Observability overhead benchmarks.
+//!
+//! The tracing layer sits on the pipeline's hottest paths (per-tree
+//! fits, per-chunk predictions), so its per-span cost must stay well
+//! under a microsecond. Spans are recorded in batches of 1000 against a
+//! fresh tracer per iteration so memory stays bounded however long
+//! criterion samples; divide the reported time by 1000 for the
+//! per-span cost.
+
+use c100_obs::{TraceCtx, Tracer};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SPANS_PER_ITER: usize = 1000;
+
+fn bench_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(20);
+
+    // Enabled path: open + drop a child span, recording it.
+    group.bench_function("span_record_x1000", |b| {
+        b.iter(|| {
+            let tracer = Tracer::new();
+            let root = tracer.span("bench", "root");
+            let ctx = root.ctx();
+            for _ in 0..SPANS_PER_ITER {
+                black_box(ctx.span("leaf"));
+            }
+        });
+    });
+
+    // Disabled path: the same call sites with tracing off must be
+    // near-free, since every run pays this cost when --trace is absent.
+    group.bench_function("span_disabled_x1000", |b| {
+        let ctx = TraceCtx::disabled();
+        b.iter(|| {
+            for _ in 0..SPANS_PER_ITER {
+                black_box(ctx.span("leaf"));
+            }
+        });
+    });
+
+    // Profile aggregation over a realistic span count.
+    group.bench_function("profile_from_4k_spans", |b| {
+        let tracer = Tracer::new();
+        for _ in 0..40 {
+            let root = tracer.span("bench", "scenario");
+            let ctx = root.ctx();
+            for _ in 0..99 {
+                black_box(ctx.span("leaf"));
+            }
+        }
+        b.iter(|| black_box(tracer.profile()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_spans);
+criterion_main!(benches);

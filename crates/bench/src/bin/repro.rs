@@ -2,9 +2,9 @@
 //! and serves persisted models back as forecasts.
 //!
 //! ```text
-//! repro [--profile fast|full] [--seed N] [--out DIR]
-//!       [--log-jsonl PATH] [--quiet] [--scenarios ID,ID,...]
-//!       [--save-artifacts DIR] <artifact>...
+//! repro [--profile smoke|fast|full] [--seed N] [--out DIR]
+//!       [--log-jsonl PATH] [--trace PATH] [--quiet]
+//!       [--scenarios ID,ID,...] [--save-artifacts DIR] <artifact>...
 //!
 //! artifacts:
 //!   fig1    Top-100 vs total market cap (Figure 1)
@@ -20,7 +20,9 @@
 //!   all     Everything above
 //!
 //! repro predict --store DIR --scenario ID --features CSV
-//!               [--model rf|gbdt] [--out CSV]
+//!               [--model rf|gbdt] [--out CSV] [--trace PATH]
+//!
+//! repro compare BASELINE_DIR CURRENT_DIR [--fail-over-pct N]
 //! ```
 //!
 //! Figure series are written as CSV into `--out` (default `results/`);
@@ -28,6 +30,17 @@
 //! structured telemetry: progress lines on stderr (suppress with
 //! `--quiet`), an optional machine-readable event log (`--log-jsonl`),
 //! and aggregated run metrics written to `<out>/metrics.json`.
+//!
+//! `--trace PATH` additionally records hierarchical spans through the
+//! whole pipeline (scenario → stage → FRA iteration → per-tree fit),
+//! writes them as Chrome Trace Event JSON to PATH (loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>), writes the
+//! aggregated per-scenario profile to `<out>/profile.json`, and prints a
+//! self-time table.
+//!
+//! `repro compare` diffs two run directories (their `metrics.json` and
+//! `profile.json`) and exits non-zero when any timing row regressed by
+//! more than `--fail-over-pct` percent (default 20).
 //!
 //! `--save-artifacts DIR` persists both final models per scenario into a
 //! `c100-store` registry at `DIR` (plus a ready-to-serve
@@ -45,7 +58,10 @@ use c100_core::export::export_scenario_artifacts;
 use c100_core::pipeline::ScenarioSpec;
 use c100_core::report::{metrics_table, pct, ratio, sparkline, TextTable};
 use c100_core::scenario::Period;
-use c100_obs::{Fanout, JsonlObserver, MetricsRegistry, RunObserver, StderrObserver};
+use c100_obs::{
+    compare, Fanout, JsonlObserver, MetricsRegistry, MetricsSnapshot, ProfileReport, RunData,
+    RunObserver, StderrObserver, TraceCtx, Tracer,
+};
 use c100_store::{ArtifactStore, BatchPredictor};
 use c100_synth::MarketData;
 use c100_timeseries::csv::{read_frame_from_path, write_frame_to_path};
@@ -56,6 +72,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     log_jsonl: Option<PathBuf>,
+    trace: Option<PathBuf>,
     quiet: bool,
     scenarios: Option<Vec<ScenarioSpec>>,
     save_artifacts: Option<PathBuf>,
@@ -71,6 +88,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut seed = 42u64;
     let mut out = PathBuf::from("results");
     let mut log_jsonl = None;
+    let mut trace = None;
     let mut quiet = false;
     let mut scenarios = None;
     let mut save_artifacts = None;
@@ -92,6 +110,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                 log_jsonl = Some(PathBuf::from(
                     args.next().ok_or("--log-jsonl needs a value")?,
                 ));
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
             }
             "--quiet" => {
                 quiet = true;
@@ -128,6 +149,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         seed,
         out,
         log_jsonl,
+        trace,
         quiet,
         scenarios,
         save_artifacts,
@@ -144,6 +166,16 @@ fn main() {
             std::process::exit(2);
         }
         return;
+    }
+    if cli.peek().map(String::as_str) == Some("compare") {
+        cli.next();
+        match run_compare(cli) {
+            Ok(passed) => std::process::exit(if passed { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     let args = match parse_args(cli) {
         Ok(a) => a,
@@ -199,10 +231,14 @@ fn main() {
     });
     // Shared so the artifact store can emit into the same sinks.
     let observer = Arc::new(observer);
+    let tracer = args.trace.as_ref().map(|_| Tracer::new());
 
     let t1 = std::time::Instant::now();
     let profile = args.profile.pipeline_profile(args.seed);
-    let ctx = RunContext::with_observer(&profile, observer.as_ref());
+    let mut ctx = RunContext::with_observer(&profile, observer.as_ref());
+    if let Some(tracer) = &tracer {
+        ctx = ctx.with_trace(TraceCtx::root(tracer));
+    }
     let specs = args.scenarios.clone().unwrap_or_else(ScenarioSpec::all);
     let evaluation = run_evaluation_with(&data, &specs, &ctx).expect("evaluation");
     println!(
@@ -227,6 +263,23 @@ fn main() {
         print!("{}", metrics_table(&snapshot));
     }
     println!();
+
+    if let (Some(tracer), Some(trace_path)) = (&tracer, &args.trace) {
+        std::fs::write(trace_path, tracer.chrome_trace_json()).expect("write chrome trace");
+        println!(
+            "# {} spans -> {} (open in chrome://tracing or ui.perfetto.dev)",
+            tracer.len(),
+            trace_path.display()
+        );
+        let report = tracer.profile();
+        let profile_path = args.out.join("profile.json");
+        std::fs::write(&profile_path, report.to_json()).expect("write profile.json");
+        println!("  -> {}", profile_path.display());
+        if !args.quiet {
+            print!("{}", report.render());
+        }
+        println!();
+    }
 
     if args.artifacts.contains("table1") {
         run_table1(&evaluation, &args.out);
@@ -303,6 +356,7 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut family = "rf".to_string();
     let mut features = None;
     let mut out = None;
+    let mut trace = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--store" => {
@@ -322,6 +376,9 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                 ));
             }
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -354,8 +411,16 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     );
 
     let frame = read_frame_from_path(&features_path).map_err(|e| e.to_string())?;
-    let predictor = BatchPredictor::new(artifact);
+    let tracer = trace.as_ref().map(|_| Arc::new(Tracer::new()));
+    let mut predictor = BatchPredictor::new(artifact);
+    if let Some(tracer) = &tracer {
+        predictor = predictor.with_tracer(tracer.clone());
+    }
     let forecasts = predictor.predict_frame(&frame).map_err(|e| e.to_string())?;
+    if let (Some(tracer), Some(trace_path)) = (&tracer, &trace) {
+        std::fs::write(trace_path, tracer.chrome_trace_json()).map_err(|e| e.to_string())?;
+        println!("# {} spans -> {}", tracer.len(), trace_path.display());
+    }
     println!(
         "# {} forecasts, mean {:.6}",
         forecasts.len(),
@@ -370,6 +435,73 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     write_frame_to_path(&result, &out).map_err(|e| e.to_string())?;
     println!("  -> {}", out.display());
     Ok(())
+}
+
+/// Loads whatever run data a directory holds: `metrics.json` and/or
+/// `profile.json`. A missing file is fine (the comparison renders the
+/// side as a dash); a present-but-unparsable file is an error.
+fn load_run_data(dir: &Path) -> Result<RunData, String> {
+    let mut data = RunData::default();
+    let metrics_path = dir.join("metrics.json");
+    if metrics_path.exists() {
+        let text = std::fs::read_to_string(&metrics_path).map_err(|e| e.to_string())?;
+        data.metrics = Some(
+            MetricsSnapshot::from_json(&text)
+                .map_err(|e| format!("{}: {e}", metrics_path.display()))?,
+        );
+    }
+    let profile_path = dir.join("profile.json");
+    if profile_path.exists() {
+        let text = std::fs::read_to_string(&profile_path).map_err(|e| e.to_string())?;
+        data.profile = Some(
+            ProfileReport::from_json(&text)
+                .map_err(|e| format!("{}: {e}", profile_path.display()))?,
+        );
+    }
+    if data.metrics.is_none() && data.profile.is_none() {
+        return Err(format!(
+            "{} holds neither metrics.json nor profile.json",
+            dir.display()
+        ));
+    }
+    Ok(data)
+}
+
+/// `repro compare`: diffs two run directories and returns whether the
+/// current run passed the regression gate.
+fn run_compare(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut fail_over_pct = c100_obs::compare::DEFAULT_FAIL_OVER_PCT;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fail-over-pct" => {
+                let v = args.next().ok_or("--fail-over-pct needs a value")?;
+                fail_over_pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --fail-over-pct {v}"))?;
+                if !fail_over_pct.is_finite() || fail_over_pct < 0.0 {
+                    return Err(format!("--fail-over-pct must be >= 0, got {v}"));
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument: {other}"));
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        return Err("compare requires exactly BASELINE_DIR and CURRENT_DIR".into());
+    };
+    let baseline = load_run_data(baseline_dir)?;
+    let current = load_run_data(current_dir)?;
+    let comparison = compare(&baseline, &current, fail_over_pct);
+    println!(
+        "# repro compare — baseline {} vs current {}",
+        baseline_dir.display(),
+        current_dir.display()
+    );
+    print!("{}", comparison.render());
+    Ok(comparison.passed())
 }
 
 fn save_json(out: &Path, name: &str, json: String) {

@@ -2,10 +2,15 @@
 
 use c100_core::profile::Profile;
 use c100_synth::SynthConfig;
+use c100_timeseries::Date;
 
 /// The data/compute sizing of a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunProfile {
+    /// Minimal span and assets: seconds-to-minutes, for CI smoke runs
+    /// and trace/compare exercises. Still starts at 2017-01-01 so every
+    /// scenario (both period sets) can be built.
+    Smoke,
     /// Reduced span and grids: minutes, for smoke runs and benches.
     Fast,
     /// The paper-sized run: full 2017-2023 span, full grids.
@@ -13,9 +18,10 @@ pub enum RunProfile {
 }
 
 impl RunProfile {
-    /// Parses `fast` / `full`.
+    /// Parses `smoke` / `fast` / `full`.
     pub fn parse(s: &str) -> Option<RunProfile> {
         match s {
+            "smoke" => Some(RunProfile::Smoke),
             "fast" => Some(RunProfile::Fast),
             "full" => Some(RunProfile::Full),
             _ => None,
@@ -25,6 +31,13 @@ impl RunProfile {
     /// The synthetic-data configuration for this profile.
     pub fn synth_config(self, seed: u64) -> SynthConfig {
         match self {
+            RunProfile::Smoke => SynthConfig {
+                seed,
+                start: Date::from_ymd(2017, 1, 1).expect("valid constant"),
+                end: Date::from_ymd(2020, 6, 30).expect("valid constant"),
+                n_assets: 120,
+                warmup_days: 250,
+            },
             RunProfile::Fast => SynthConfig {
                 seed,
                 n_assets: 150,
@@ -40,6 +53,7 @@ impl RunProfile {
     /// The pipeline compute profile.
     pub fn pipeline_profile(self, seed: u64) -> Profile {
         match self {
+            RunProfile::Smoke => Profile::fast(),
             // The fast profile still runs the full 2017-2023 span, so
             // give SHAP a few more rows than the test default.
             RunProfile::Fast => Profile::fast().with_shap_rows(192),

@@ -10,32 +10,49 @@
 
 use std::time::Instant;
 
-use c100_obs::{Event, NullObserver, RunObserver, Stage};
+use c100_obs::{Event, NullObserver, RunObserver, Stage, TraceCtx};
 
 use crate::profile::Profile;
 
-/// Shared state for one pipeline run: the compute profile plus the event
-/// sink. Cheap to construct and copy; borrows both members.
+/// Shared state for one pipeline run: the compute profile, the event
+/// sink and the span-tracing context. Cheap to construct and copy;
+/// borrows all members.
 #[derive(Clone, Copy)]
 pub struct RunContext<'a> {
     /// The compute profile (grids, folds, sampling counts, master seed).
     pub profile: &'a Profile,
     /// Receives every pipeline event.
     pub observer: &'a dyn RunObserver,
+    /// Span-tracing handle; disabled (free) unless installed with
+    /// [`RunContext::with_trace`].
+    pub trace: TraceCtx<'a>,
 }
 
 impl<'a> RunContext<'a> {
-    /// A silent context: all events go to [`NullObserver`].
+    /// A silent context: all events go to [`NullObserver`] and tracing
+    /// is disabled.
     pub fn new(profile: &'a Profile) -> RunContext<'a> {
         RunContext {
             profile,
             observer: &NullObserver,
+            trace: TraceCtx::disabled(),
         }
     }
 
-    /// A context that reports to `observer`.
+    /// A context that reports to `observer` (tracing stays disabled).
     pub fn with_observer(profile: &'a Profile, observer: &'a dyn RunObserver) -> RunContext<'a> {
-        RunContext { profile, observer }
+        RunContext {
+            profile,
+            observer,
+            trace: TraceCtx::disabled(),
+        }
+    }
+
+    /// Returns the context with `trace` installed; spans opened by the
+    /// pipeline nest under whatever parent the context carries.
+    pub fn with_trace(mut self, trace: TraceCtx<'a>) -> RunContext<'a> {
+        self.trace = trace;
+        self
     }
 
     /// Emits one event.
@@ -44,14 +61,23 @@ impl<'a> RunContext<'a> {
     }
 
     /// Runs `f` bracketed by [`Event::StageStarted`] /
-    /// [`Event::StageFinished`] events carrying the measured duration.
-    pub fn time_stage<T>(&self, scenario: &str, stage: Stage, f: impl FnOnce() -> T) -> T {
+    /// [`Event::StageFinished`] events carrying the measured duration,
+    /// inside a span named after the stage. The closure receives the
+    /// stage span's [`TraceCtx`] so deeper work nests beneath it.
+    pub fn time_stage<T>(
+        &self,
+        scenario: &str,
+        stage: Stage,
+        f: impl FnOnce(TraceCtx<'a>) -> T,
+    ) -> T {
         self.emit(Event::StageStarted {
             scenario: scenario.to_string(),
             stage,
         });
+        let span = self.trace.span(stage.label());
         let start = Instant::now();
-        let out = f();
+        let out = f(span.ctx());
+        drop(span);
         self.emit(Event::StageFinished {
             scenario: scenario.to_string(),
             stage,
@@ -76,7 +102,7 @@ mod tests {
         let profile = Profile::fast();
         let rec = RecordingObserver::new();
         let ctx = RunContext::with_observer(&profile, &rec);
-        let out = ctx.time_stage("2019_7", Stage::Fra, || 42);
+        let out = ctx.time_stage("2019_7", Stage::Fra, |_| 42);
         assert_eq!(out, 42);
         let events = rec.events();
         assert_eq!(events.len(), 2);
@@ -88,6 +114,25 @@ mod tests {
             &events[1],
             Event::StageFinished { scenario, stage: Stage::Fra, .. } if scenario == "2019_7"
         ));
+    }
+
+    #[test]
+    fn time_stage_opens_a_span_under_the_installed_trace() {
+        let profile = Profile::fast();
+        let tracer = c100_obs::Tracer::new();
+        let root = tracer.span("2019_7", "scenario");
+        let ctx = RunContext::new(&profile).with_trace(root.ctx());
+        ctx.time_stage("2019_7", Stage::Fra, |inner| {
+            assert!(inner.enabled());
+            let _leaf = inner.span("leaf");
+        });
+        drop(root);
+        let spans = tracer.snapshot();
+        let root_span = spans.iter().find(|s| s.name == "scenario").unwrap();
+        let fra = spans.iter().find(|s| s.name == "fra").unwrap();
+        let leaf = spans.iter().find(|s| s.name == "leaf").unwrap();
+        assert_eq!(fra.parent, Some(root_span.id));
+        assert_eq!(leaf.parent, Some(fra.id));
     }
 
     #[test]

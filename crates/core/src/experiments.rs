@@ -79,7 +79,12 @@ pub fn run_evaluation_with(
         let result = run_scenario_with(&master, spec, ctx)?;
         let id = spec.id();
         let seed = profile.stage_seed(&format!("{id}:diversity"));
-        let (rf, gbdt) = ctx.time_stage(&id, Stage::Diversity, || -> Result<_> {
+        // The diversity stage runs after the scenario's own root span has
+        // closed, so it opens a second scenario-tagged root to keep the
+        // profile's per-scenario attribution intact.
+        let diversity_span = ctx.trace.span_for(&id, "scenario");
+        let div_ctx = ctx.with_trace(diversity_span.ctx());
+        let (rf, gbdt) = div_ctx.time_stage(&id, Stage::Diversity, |_| -> Result<_> {
             let rf = diversity_experiment(
                 &result.scenario,
                 &result.final_features,
@@ -94,6 +99,7 @@ pub fn run_evaluation_with(
             )?;
             Ok((rf, gbdt))
         })?;
+        drop(diversity_span);
         rf_diversity.push(rf);
         gbdt_diversity.push(gbdt);
         scenarios.push(result);

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::importance::{permutation_importance, PermutationConfig};
-use c100_obs::{Event, NullObserver, RunObserver};
+use c100_obs::{Event, NullObserver, RunObserver, TraceCtx};
 use c100_timeseries::stats::pearson;
 
 use crate::scenario::ScenarioData;
@@ -206,6 +206,34 @@ pub fn run_fra_observed(
     seed: u64,
     observer: &dyn RunObserver,
 ) -> Result<FraResult> {
+    run_fra_traced(
+        scenario,
+        rf,
+        gbdt,
+        config,
+        pfi_repeats,
+        seed,
+        observer,
+        TraceCtx::disabled(),
+    )
+}
+
+/// [`run_fra_observed`] with span tracing: each iteration records a
+/// `fra_iteration` span with `rf_fit`, `gbdt_fit`, `rf_pfi`, `gbdt_pfi`
+/// and `corr_filter` children (the RF fit additionally nests per-tree
+/// spans), and the survivors' refit records `fra_final_fit`. The result
+/// is identical to the untraced path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fra_traced(
+    scenario: &ScenarioData,
+    rf: &RandomForestConfig,
+    gbdt: &GbdtConfig,
+    config: &FraConfig,
+    pfi_repeats: usize,
+    seed: u64,
+    observer: &dyn RunObserver,
+    trace: TraceCtx<'_>,
+) -> Result<FraResult> {
     if scenario.feature_names.is_empty() {
         return Err(CoreError::Pipeline("scenario has no features".into()));
     }
@@ -237,6 +265,8 @@ pub fn run_fra_observed(
         if alive.len() <= config.target_len {
             break;
         }
+        let iter_span = trace.span("fra_iteration");
+        let iter_trace = iter_span.ctx();
         let names: Vec<&str> = alive.iter().map(|s| s.as_str()).collect();
         let train = scenario.train_matrix(&names)?;
         let x = c100_ml::data::Matrix::from_row_major(train.x.clone(), train.n_features)?;
@@ -244,27 +274,39 @@ pub fn run_fra_observed(
             .wrapping_add(iteration as u64)
             .wrapping_mul(0x9E37_79B9);
 
-        let rf_model = rf.fit(&x, &train.y, iter_seed)?;
-        let gbdt_model = gbdt.fit(&x, &train.y, iter_seed ^ 0xABCD)?;
-        let rf_pfi = permutation_importance(
-            &rf_model,
-            &x,
-            &train.y,
-            &PermutationConfig {
-                n_repeats: pfi_repeats,
-                seed: iter_seed ^ 0x11,
-            },
-        )?;
-        let gbdt_pfi = permutation_importance(
-            &gbdt_model,
-            &x,
-            &train.y,
-            &PermutationConfig {
-                n_repeats: pfi_repeats,
-                seed: iter_seed ^ 0x22,
-            },
-        )?;
+        let rf_fit_span = iter_trace.span("rf_fit");
+        let rf_model = rf.fit_traced(&x, &train.y, iter_seed, rf_fit_span.ctx())?;
+        drop(rf_fit_span);
+        let gbdt_model = {
+            let _span = iter_trace.span("gbdt_fit");
+            gbdt.fit(&x, &train.y, iter_seed ^ 0xABCD)?
+        };
+        let rf_pfi = {
+            let _span = iter_trace.span("rf_pfi");
+            permutation_importance(
+                &rf_model,
+                &x,
+                &train.y,
+                &PermutationConfig {
+                    n_repeats: pfi_repeats,
+                    seed: iter_seed ^ 0x11,
+                },
+            )?
+        };
+        let gbdt_pfi = {
+            let _span = iter_trace.span("gbdt_pfi");
+            permutation_importance(
+                &gbdt_model,
+                &x,
+                &train.y,
+                &PermutationConfig {
+                    n_repeats: pfi_repeats,
+                    seed: iter_seed ^ 0x22,
+                },
+            )?
+        };
 
+        let filter_span = iter_trace.span("corr_filter");
         let rankings = [
             ascending_ranks(&rf_model.feature_importances),
             ascending_ranks(&gbdt_model.feature_importances),
@@ -308,6 +350,7 @@ pub fn run_fra_observed(
         } else {
             stall = 0;
         }
+        drop(filter_span);
 
         observer.on_event(&Event::FraIteration {
             scenario: scenario.id(),
@@ -334,10 +377,12 @@ pub fn run_fra_observed(
     }
 
     // Final importance: refit the tuned RF on the survivors.
+    let refit_span = trace.span("fra_final_fit");
     let names: Vec<&str> = alive.iter().map(|s| s.as_str()).collect();
     let train = scenario.train_matrix(&names)?;
     let x = c100_ml::data::Matrix::from_row_major(train.x.clone(), train.n_features)?;
-    let final_model = rf.fit(&x, &train.y, seed ^ 0xF1AA)?;
+    let final_model = rf.fit_traced(&x, &train.y, seed ^ 0xF1AA, refit_span.ctx())?;
+    drop(refit_span);
     let mut ranked: Vec<(String, f64)> = alive
         .iter()
         .cloned()

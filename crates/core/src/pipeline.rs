@@ -11,18 +11,18 @@ use std::time::Instant;
 use c100_ml::data::Matrix;
 use c100_ml::forest::{RandomForest, RandomForestConfig};
 use c100_ml::gbdt::GbdtConfig;
-use c100_ml::model_selection::grid_search_observed;
+use c100_ml::model_selection::grid_search_traced;
 use c100_obs::{Event, Stage};
 use c100_synth::MarketData;
 
 use crate::context::{duration_micros, RunContext};
 use crate::contribution::{contribution_factors, CategoryContribution};
 use crate::dataset::{assemble, MasterDataset};
-use crate::fra::{run_fra_observed, FraConfig, FraResult};
+use crate::fra::{run_fra_traced, FraConfig, FraResult};
 use crate::groups::RankedFeatures;
 use crate::profile::Profile;
 use crate::scenario::{build_scenario, Period, ScenarioData};
-use crate::selection::{final_vector, shap_ranking_observed};
+use crate::selection::{final_vector, shap_ranking_traced};
 use crate::Result;
 
 /// Identifies one of the 10 scenarios.
@@ -120,12 +120,18 @@ pub fn run_scenario_with(
         n_candidates,
     });
 
+    // Root span for the scenario; stage spans opened by `time_stage` nest
+    // beneath it, and the shadowed context hands the link onward.
+    let scenario_span = ctx.trace.span_for(&id, "scenario");
+    let ctx = &ctx.with_trace(scenario_span.ctx());
+
     // Fine-tune both model families on the full candidate set.
     let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
     let train = scenario.train_matrix(&names)?;
     let x = Matrix::from_row_major(train.x.clone(), train.n_features)?;
-    let (rf_search, gbdt_search) = ctx.time_stage(&id, Stage::Tune, || {
-        let rf = grid_search_observed(
+    let (rf_search, gbdt_search) = ctx.time_stage(&id, Stage::Tune, |tune_trace| {
+        let rf_span = tune_trace.span("rf_grid");
+        let rf = grid_search_traced(
             &profile.rf_grid,
             &x,
             &train.y,
@@ -133,8 +139,11 @@ pub fn run_scenario_with(
             stage_seed("rf-tune"),
             &format!("{id}:rf"),
             ctx.observer,
+            rf_span.ctx(),
         );
-        let gbdt = grid_search_observed(
+        drop(rf_span);
+        let gbdt_span = tune_trace.span("gbdt_grid");
+        let gbdt = grid_search_traced(
             &profile.gbdt_grid,
             &x,
             &train.y,
@@ -142,6 +151,7 @@ pub fn run_scenario_with(
             stage_seed("gbdt-tune"),
             &format!("{id}:gbdt"),
             ctx.observer,
+            gbdt_span.ctx(),
         );
         (rf, gbdt)
     });
@@ -150,8 +160,8 @@ pub fn run_scenario_with(
 
     // FRA with the tuned models.
     let fra_config = FraConfig::new().with_target_len(profile.fra_target);
-    let fra = ctx.time_stage(&id, Stage::Fra, || {
-        run_fra_observed(
+    let fra = ctx.time_stage(&id, Stage::Fra, |fra_trace| {
+        run_fra_traced(
             &scenario,
             &tuned_rf,
             &tuned_gbdt,
@@ -159,17 +169,19 @@ pub fn run_scenario_with(
             profile.pfi_repeats,
             stage_seed("fra"),
             ctx.observer,
+            fra_trace,
         )
     })?;
 
     // SHAP validation on the original candidate set, then the union.
-    let shap = ctx.time_stage(&id, Stage::Shap, || {
-        shap_ranking_observed(
+    let shap = ctx.time_stage(&id, Stage::Shap, |shap_trace| {
+        shap_ranking_traced(
             &scenario,
             &profile.shap_forest,
             profile.shap_rows,
             stage_seed("shap"),
             ctx.observer,
+            shap_trace,
         )
     })?;
     let selection = final_vector(&fra, &shap, profile.union_top_k);
@@ -177,11 +189,16 @@ pub fn run_scenario_with(
     // Final importance: tuned RF refit on the final vector. The fitted
     // model is kept on the result so it can be exported and served.
     let (final_importance, final_model) =
-        ctx.time_stage(&id, Stage::FinalFit, || -> Result<_> {
+        ctx.time_stage(&id, Stage::FinalFit, |fit_trace| -> Result<_> {
             let final_refs: Vec<&str> = selection.features.iter().map(|s| s.as_str()).collect();
             let final_train = scenario.train_matrix(&final_refs)?;
             let fx = Matrix::from_row_major(final_train.x.clone(), final_train.n_features)?;
-            let final_model = tuned_rf.fit(&fx, &final_train.y, stage_seed("final-importance"))?;
+            let final_model = tuned_rf.fit_traced(
+                &fx,
+                &final_train.y,
+                stage_seed("final-importance"),
+                fit_trace,
+            )?;
             let ranking = RankedFeatures::from_pairs(
                 selection
                     .features

@@ -11,7 +11,7 @@ use std::collections::HashSet;
 use c100_ml::data::Matrix;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::shap::mean_abs_shap;
-use c100_obs::{Event, NullObserver, RunObserver};
+use c100_obs::{Event, NullObserver, RunObserver, TraceCtx};
 
 use crate::fra::FraResult;
 use crate::scenario::ScenarioData;
@@ -60,13 +60,37 @@ pub fn shap_ranking_observed(
     seed: u64,
     observer: &dyn RunObserver,
 ) -> Result<ShapRanking> {
+    shap_ranking_traced(
+        scenario,
+        forest,
+        max_rows,
+        seed,
+        observer,
+        TraceCtx::disabled(),
+    )
+}
+
+/// [`shap_ranking_observed`] with span tracing: the explainer forest fit
+/// records a `shap_fit` span (with per-tree children) and the TreeSHAP
+/// evaluation records `shap_values`. The ranking is identical to the
+/// untraced path.
+pub fn shap_ranking_traced(
+    scenario: &ScenarioData,
+    forest: &RandomForestConfig,
+    max_rows: usize,
+    seed: u64,
+    observer: &dyn RunObserver,
+    trace: TraceCtx<'_>,
+) -> Result<ShapRanking> {
     let names: Vec<&str> = scenario.feature_names.iter().map(|s| s.as_str()).collect();
     if names.is_empty() {
         return Err(CoreError::Pipeline("no features for SHAP".into()));
     }
     let train = scenario.train_matrix(&names)?;
     let x = Matrix::from_row_major(train.x.clone(), train.n_features)?;
-    let model = forest.fit(&x, &train.y, seed)?;
+    let fit_span = trace.span("shap_fit");
+    let model = forest.fit_traced(&x, &train.y, seed, fit_span.ctx())?;
+    drop(fit_span);
 
     let stride = (x.n_rows() / max_rows.max(1)).max(1);
     let rows: Vec<usize> = (0..x.n_rows()).step_by(stride).collect();
@@ -76,7 +100,10 @@ pub fn shap_ranking_observed(
         features: names.len(),
     });
     let sample = x.take_rows(&rows);
-    let importances = mean_abs_shap(&model, &sample);
+    let importances = {
+        let _span = trace.span("shap_values");
+        mean_abs_shap(&model, &sample)
+    };
 
     let mut ranked: Vec<(String, f64)> = scenario
         .feature_names

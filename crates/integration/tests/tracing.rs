@@ -1,0 +1,197 @@
+//! End-to-end span tracing: a real `Profile::fast()` pipeline run with a
+//! tracer installed must record a correctly nested span tree down to the
+//! per-tree fits, export schema-complete Chrome Trace JSON, aggregate
+//! into a per-scenario profile, and keep parent links intact when span
+//! contexts are handed across real OS threads.
+
+use std::collections::HashMap;
+
+use c100_core::context::RunContext;
+use c100_core::dataset::assemble;
+use c100_core::pipeline::{run_scenario_with, ScenarioSpec};
+use c100_core::profile::Profile;
+use c100_core::scenario::Period;
+use c100_obs::json::Value;
+use c100_obs::trace::SpanRecord;
+use c100_obs::{TraceCtx, Tracer};
+use c100_synth::{generate, SynthConfig};
+
+fn traced_run() -> Vec<SpanRecord> {
+    let data = generate(&SynthConfig::small(181));
+    let master = assemble(&data).unwrap();
+    let profile = Profile::fast().with_seed(18);
+    let spec = ScenarioSpec {
+        period: Period::Y2019,
+        window: 7,
+    };
+    let tracer = Tracer::new();
+    let ctx = RunContext::new(&profile).with_trace(TraceCtx::root(&tracer));
+    let result = run_scenario_with(&master, &spec, &ctx).unwrap();
+    assert!(!result.final_features.is_empty());
+    tracer.snapshot()
+}
+
+fn by_id(spans: &[SpanRecord]) -> HashMap<u64, &SpanRecord> {
+    spans.iter().map(|s| (s.id.0, s)).collect()
+}
+
+#[test]
+fn pipeline_run_records_a_correctly_nested_span_tree() {
+    let spans = traced_run();
+    let index = by_id(&spans);
+
+    // Exactly one scenario root, tagged with the scenario id.
+    let roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "one root span for a single-scenario run");
+    let root = roots[0];
+    assert_eq!(root.name, "scenario");
+    assert_eq!(root.scenario.as_deref(), Some("2019_7"));
+
+    // The four pipeline stages are direct children of the scenario root,
+    // in pipeline order.
+    let stage_of = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no {name} span"))
+    };
+    let tune = stage_of("tune");
+    let fra = stage_of("fra");
+    let shap = stage_of("shap");
+    let final_fit = stage_of("final_fit");
+    for stage in [tune, fra, shap, final_fit] {
+        assert_eq!(stage.parent, Some(root.id), "{} under root", stage.name);
+    }
+    assert!(tune.end_micros() <= fra.start_micros);
+    assert!(fra.end_micros() <= shap.start_micros);
+    assert!(shap.end_micros() <= final_fit.start_micros);
+
+    // Deep structure: grids under tune, iterations under fra with their
+    // four rankings + filter, SHAP children, and per-tree fits.
+    for name in ["rf_grid", "gbdt_grid"] {
+        assert_eq!(stage_of(name).parent, Some(tune.id));
+    }
+    assert!(spans.iter().any(|s| s.name == "grid_fold"));
+    let iterations: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "fra_iteration").collect();
+    assert!(!iterations.is_empty());
+    for iter in &iterations {
+        assert_eq!(iter.parent, Some(fra.id));
+        for child in ["rf_fit", "gbdt_fit", "rf_pfi", "gbdt_pfi", "corr_filter"] {
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.name == child && s.parent == Some(iter.id)),
+                "iteration missing {child}"
+            );
+        }
+    }
+    for name in ["shap_fit", "shap_values"] {
+        assert_eq!(stage_of(name).parent, Some(shap.id));
+    }
+    assert!(spans.iter().any(|s| s.name == "tree_fit"));
+
+    // Every child's interval nests inside its parent's.
+    for span in &spans {
+        if let Some(parent) = span.parent {
+            let p = index[&parent.0];
+            assert!(
+                span.start_micros >= p.start_micros && span.end_micros() <= p.end_micros(),
+                "span {} [{}, {}] escapes parent {} [{}, {}]",
+                span.name,
+                span.start_micros,
+                span.end_micros(),
+                p.name,
+                p.start_micros,
+                p.end_micros()
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_chrome_trace_is_schema_complete_and_profile_attributes_scenarios() {
+    let data = generate(&SynthConfig::small(191));
+    let master = assemble(&data).unwrap();
+    let profile = Profile::fast().with_seed(19);
+    let spec = ScenarioSpec {
+        period: Period::Y2019,
+        window: 7,
+    };
+    let tracer = Tracer::new();
+    let ctx = RunContext::new(&profile).with_trace(TraceCtx::root(&tracer));
+    run_scenario_with(&master, &spec, &ctx).unwrap();
+
+    // Chrome Trace export parses and every complete event carries the
+    // fields Perfetto's importer requires.
+    let parsed = c100_obs::json::parse(&tracer.chrome_trace_json()).unwrap();
+    let Some(Value::Array(events)) = parsed.get("traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    let mut complete = 0usize;
+    for event in events {
+        let ph = event.req_str("ph").unwrap();
+        event.req_uint("pid").unwrap();
+        event.req_uint("tid").unwrap();
+        match ph {
+            "M" => {
+                assert_eq!(event.req_str("name").unwrap(), "thread_name");
+            }
+            "X" => {
+                complete += 1;
+                event.req_str("name").unwrap();
+                event.req_uint("ts").unwrap();
+                event.req_uint("dur").unwrap();
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(complete, tracer.len());
+
+    // The aggregated profile attributes every pipeline row to the
+    // scenario and orders stages sanely.
+    let report = tracer.profile();
+    for name in ["scenario", "tune", "fra", "shap", "final_fit", "tree_fit"] {
+        let row = report
+            .row("2019_7", name)
+            .unwrap_or_else(|| panic!("no profile row for {name}"));
+        assert!(row.calls >= 1);
+        assert!(row.total_micros >= row.self_micros);
+    }
+}
+
+#[test]
+fn span_handoff_keeps_parent_links_across_real_threads() {
+    // The pipeline hands `TraceCtx` values into rayon workers; model the
+    // same handoff with scoped OS threads, where distinct thread ids are
+    // guaranteed, and check both linkage and thread attribution.
+    let tracer = Tracer::new();
+    let root = tracer.span("handoff", "parent");
+    let ctx = root.ctx();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                let worker = ctx.span("worker");
+                let _leaf = worker.ctx().span("leaf");
+            });
+        }
+    });
+    drop(root);
+
+    let spans = tracer.snapshot();
+    let index = by_id(&spans);
+    let parent = spans.iter().find(|s| s.name == "parent").unwrap();
+    let workers: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "worker").collect();
+    assert_eq!(workers.len(), 4);
+    let mut worker_tids = std::collections::HashSet::new();
+    for worker in &workers {
+        assert_eq!(worker.parent, Some(parent.id));
+        assert_ne!(worker.tid, parent.tid, "worker ran on a spawned thread");
+        worker_tids.insert(worker.tid);
+    }
+    assert_eq!(worker_tids.len(), 4, "each worker thread got its own tid");
+    for leaf in spans.iter().filter(|s| s.name == "leaf") {
+        let worker = index[&leaf.parent.unwrap().0];
+        assert_eq!(worker.name, "worker");
+        assert_eq!(leaf.tid, worker.tid, "leaf stays on its worker's thread");
+    }
+}

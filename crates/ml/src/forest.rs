@@ -5,6 +5,7 @@
 //! the mean over trees; MDI importances are the mean of per-tree normalized
 //! importances. Trees are fitted in parallel with rayon.
 
+use c100_obs::TraceCtx;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -61,6 +62,20 @@ impl RandomForestConfig {
     /// Fits the forest; trees are grown in parallel, each from its own
     /// seed derived deterministically from `seed`.
     pub fn fit(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<RandomForest> {
+        self.fit_traced(x, y, seed, TraceCtx::disabled())
+    }
+
+    /// [`RandomForestConfig::fit`] with span tracing: a `forest_fit` span
+    /// wraps the whole fit and each tree records a `tree_fit` child span
+    /// on whichever rayon worker grew it. Produces a forest identical to
+    /// the untraced fit.
+    pub fn fit_traced(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<RandomForest> {
         if self.n_estimators == 0 {
             return Err(MlError::BadConfig("n_estimators must be >= 1".into()));
         }
@@ -83,9 +98,15 @@ impl RandomForestConfig {
             .map(|_| (seeder.gen(), seeder.gen()))
             .collect();
 
+        // The forest span stays open through importance aggregation; each
+        // tree opens a child span on whichever worker thread grows it,
+        // linked through the handed-off `tree_ctx`.
+        let span = trace.span("forest_fit");
+        let tree_ctx = span.ctx();
         let trees: Result<Vec<FittedTree>> = seeds
             .par_iter()
             .map(|&(boot_seed, tree_seed)| {
+                let _tree_span = tree_ctx.span("tree_fit");
                 let indices = if self.bootstrap {
                     let mut rng = StdRng::seed_from_u64(boot_seed);
                     bootstrap_indices(x.n_rows(), &mut rng)
@@ -124,6 +145,16 @@ impl Estimator for RandomForestConfig {
     fn fit_model(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<RandomForest> {
         self.fit(x, y, seed)
     }
+
+    fn fit_model_traced(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<RandomForest> {
+        self.fit_traced(x, y, seed, trace)
+    }
 }
 
 /// A fitted random forest.
@@ -154,6 +185,26 @@ impl Regressor for RandomForest {
     fn predict_row(&self, row: &[f64]) -> f64 {
         let sum: f64 = self.trees.iter().map(|t| t.tree.predict_row(row)).sum();
         sum / self.trees.len() as f64
+    }
+
+    fn predict_traced(&self, x: &Matrix, trace: TraceCtx<'_>) -> Vec<f64> {
+        let span = trace.span("forest_predict");
+        let tree_ctx = span.ctx();
+        // Accumulate tree-by-tree in the same order `predict_row` sums so
+        // the traced path stays bit-identical to the untraced one: each
+        // row's sum is a left fold over trees either way.
+        let mut acc = vec![0.0; x.n_rows()];
+        for t in &self.trees {
+            let _tree_span = tree_ctx.span("tree_predict");
+            for (r, slot) in acc.iter_mut().enumerate() {
+                *slot += t.tree.predict_row(x.row(r));
+            }
+        }
+        let n = self.trees.len() as f64;
+        for slot in &mut acc {
+            *slot /= n;
+        }
+        acc
     }
 }
 
@@ -250,6 +301,31 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.fit(&x, &y, 0).is_err());
+    }
+
+    #[test]
+    fn traced_paths_are_bit_identical_and_record_tree_spans() {
+        let (x, y) = friedman_like(80, 21);
+        let cfg = RandomForestConfig {
+            n_estimators: 8,
+            ..Default::default()
+        };
+        let plain = cfg.fit(&x, &y, 4).unwrap();
+
+        let tracer = c100_obs::Tracer::new();
+        let root = tracer.span("test", "fit");
+        let traced = cfg.fit_traced(&x, &y, 4, root.ctx()).unwrap();
+        drop(root);
+        assert_eq!(plain, traced);
+        assert_eq!(plain.predict(&x), traced.predict_traced(&x, tracer.ctx()));
+
+        let spans = tracer.snapshot();
+        assert_eq!(spans.iter().filter(|s| s.name == "tree_fit").count(), 8);
+        assert_eq!(spans.iter().filter(|s| s.name == "tree_predict").count(), 8);
+        let forest_fit = spans.iter().find(|s| s.name == "forest_fit").unwrap();
+        for tree in spans.iter().filter(|s| s.name == "tree_fit") {
+            assert_eq!(tree.parent, Some(forest_fit.id));
+        }
     }
 
     #[test]

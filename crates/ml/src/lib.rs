@@ -88,6 +88,14 @@ pub trait Regressor {
             .map(|r| self.predict_row(x.row(r)))
             .collect()
     }
+
+    /// [`Regressor::predict`] with span tracing. The default ignores the
+    /// context; models with internal structure worth profiling (e.g.
+    /// [`forest::RandomForest`] per-tree spans) override it. Overrides
+    /// must return bit-identical predictions to [`Regressor::predict`].
+    fn predict_traced(&self, x: &data::Matrix, _trace: c100_obs::TraceCtx<'_>) -> Vec<f64> {
+        self.predict(x)
+    }
 }
 
 /// A model family that can be fitted to data; implemented by the config
@@ -98,4 +106,18 @@ pub trait Estimator: Clone + Send + Sync {
 
     /// Fits the model on `x`/`y` with randomness derived from `seed`.
     fn fit_model(&self, x: &data::Matrix, y: &[f64], seed: u64) -> Result<Self::Model>;
+
+    /// [`Estimator::fit_model`] with span tracing. The default ignores
+    /// the context; families that fit sub-models worth profiling (e.g.
+    /// [`forest::RandomForestConfig`] per-tree spans) override it.
+    /// Overrides must produce a model identical to [`Estimator::fit_model`].
+    fn fit_model_traced(
+        &self,
+        x: &data::Matrix,
+        y: &[f64],
+        seed: u64,
+        _trace: c100_obs::TraceCtx<'_>,
+    ) -> Result<Self::Model> {
+        self.fit_model(x, y, seed)
+    }
 }

@@ -7,7 +7,7 @@
 //! series), exhaustive sweep over a parameter grid, selection by mean CV
 //! MSE, then a refit on the full training data.
 
-use c100_obs::{Event, NullObserver, RunObserver};
+use c100_obs::{Event, NullObserver, RunObserver, TraceCtx};
 use rayon::prelude::*;
 
 use crate::data::Matrix;
@@ -108,6 +108,34 @@ pub fn grid_search_observed<E: Estimator>(
     scope: &str,
     observer: &dyn RunObserver,
 ) -> Result<GridSearchResult<E>> {
+    grid_search_traced(
+        candidates,
+        x,
+        y,
+        k,
+        seed,
+        scope,
+        observer,
+        TraceCtx::disabled(),
+    )
+}
+
+/// [`grid_search_observed`] with span tracing: every (candidate, fold)
+/// evaluation records a `grid_fold` span on its rayon worker and the
+/// winner's refit records a `grid_refit` span (with per-tree children when
+/// the estimator is a forest). Scores and the refit model are identical
+/// to the untraced path.
+#[allow(clippy::too_many_arguments)]
+pub fn grid_search_traced<E: Estimator>(
+    candidates: &[E],
+    x: &Matrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+    scope: &str,
+    observer: &dyn RunObserver,
+    trace: TraceCtx<'_>,
+) -> Result<GridSearchResult<E>> {
     if candidates.is_empty() {
         return Err(MlError::BadConfig("empty candidate grid".into()));
     }
@@ -121,6 +149,7 @@ pub fn grid_search_observed<E: Estimator>(
     let fold_scores: Result<Vec<((usize, usize), f64)>> = pairs
         .par_iter()
         .map(|&(c, f)| {
+            let _fold_span = trace.span("grid_fold");
             let (train, test) = &folds[f];
             let x_train = x.take_rows(train);
             let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
@@ -153,7 +182,9 @@ pub fn grid_search_observed<E: Estimator>(
         best_mse: best_score,
     });
     let best_config = candidates[best_idx].clone();
-    let best_model = best_config.fit_model(x, y, seed)?;
+    let refit_span = trace.span("grid_refit");
+    let best_model = best_config.fit_model_traced(x, y, seed, refit_span.ctx())?;
+    drop(refit_span);
     Ok(GridSearchResult {
         best_config,
         best_score,
@@ -308,6 +339,39 @@ mod tests {
             }
             other => panic!("expected grid summary, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_grid_search_matches_untraced_and_records_spans() {
+        let (x, y) = quadratic_data(80, 0.1, 13);
+        let grid: Vec<RandomForestConfig> = vec![
+            RandomForestConfig {
+                n_estimators: 4,
+                ..Default::default()
+            },
+            RandomForestConfig {
+                n_estimators: 8,
+                ..Default::default()
+            },
+        ];
+        let plain = grid_search(&grid, &x, &y, 4, 0).unwrap();
+
+        let tracer = c100_obs::Tracer::new();
+        let root = tracer.span("test", "tune");
+        let traced =
+            grid_search_traced(&grid, &x, &y, 4, 0, "test:rf", &NullObserver, root.ctx()).unwrap();
+        drop(root);
+        assert_eq!(plain.scores, traced.scores);
+        assert_eq!(plain.best_score, traced.best_score);
+
+        let spans = tracer.snapshot();
+        // 2 candidates x 4 folds, plus one refit of the winner whose
+        // forest fit nests beneath it.
+        assert_eq!(spans.iter().filter(|s| s.name == "grid_fold").count(), 8);
+        let refit = spans.iter().find(|s| s.name == "grid_refit").unwrap();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "forest_fit" && s.parent == Some(refit.id)));
     }
 
     #[test]

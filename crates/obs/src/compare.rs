@@ -1,0 +1,330 @@
+//! Run-to-run regression diffing: the engine behind `repro compare`.
+//!
+//! A [`RunData`] bundles what one `repro` run leaves on disk — the
+//! metrics snapshot (`metrics.json`) and, when tracing was on, the span
+//! profile (`profile.json`). [`compare`] diffs a baseline against a
+//! current run and produces a [`RunComparison`]: one row per counter,
+//! per histogram quantile, and per profile span, each with its delta.
+//!
+//! Only *time* rows gate the comparison — histogram p50 and per-call
+//! span self-time. Counters are informational: a changed event count is
+//! a behaviour difference, not a perf regression, and is better caught
+//! by tests. Rows whose baseline is below a noise floor
+//! ([`MIN_GATE_MICROS`]) never gate either; a 3µs stage that became 6µs
+//! is jitter, not a regression.
+
+use std::collections::BTreeSet;
+
+use crate::metrics::MetricsSnapshot;
+use crate::profile::ProfileReport;
+
+/// Baseline values below this many microseconds are too noisy to gate
+/// on (they still appear in the delta table).
+pub const MIN_GATE_MICROS: f64 = 1_000.0;
+
+/// Default regression threshold, in percent, for [`compare`].
+pub const DEFAULT_FAIL_OVER_PCT: f64 = 20.0;
+
+/// What one run left behind, parsed.
+#[derive(Debug, Clone, Default)]
+pub struct RunData {
+    /// Parsed `metrics.json`, if present.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Parsed `profile.json`, if present.
+    pub profile: Option<ProfileReport>,
+}
+
+/// The kind of quantity a [`DeltaRow`] compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// A monotonic counter (informational only).
+    Counter,
+    /// A histogram quantile in microseconds.
+    Quantile,
+    /// Per-call span self-time in microseconds.
+    SpanSelf,
+}
+
+/// One compared quantity.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// What kind of quantity this is.
+    pub kind: RowKind,
+    /// Metric name (`"stage.fra_micros p50"`, `"2019_7/tree_fit self/call"`, …).
+    pub name: String,
+    /// Baseline value (`None` when the metric is new in the current run).
+    pub baseline: Option<f64>,
+    /// Current value (`None` when the metric disappeared).
+    pub current: Option<f64>,
+}
+
+impl DeltaRow {
+    /// Relative change in percent; `None` when either side is missing
+    /// or the baseline is zero.
+    pub fn delta_pct(&self) -> Option<f64> {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) if b > 0.0 => Some((c - b) / b * 100.0),
+            _ => None,
+        }
+    }
+
+    /// Whether this row participates in the regression gate.
+    pub fn gates(&self) -> bool {
+        self.kind != RowKind::Counter && self.baseline.is_some_and(|b| b >= MIN_GATE_MICROS)
+    }
+}
+
+/// The full diff of two runs.
+#[derive(Debug, Clone)]
+pub struct RunComparison {
+    /// Every compared quantity, counters first, then quantiles, then spans.
+    pub rows: Vec<DeltaRow>,
+    /// Regression threshold in percent used by [`RunComparison::regressions`].
+    pub fail_over_pct: f64,
+}
+
+impl RunComparison {
+    /// Rows that gate and regressed past the threshold.
+    pub fn regressions(&self) -> Vec<&DeltaRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.gates() && r.delta_pct().is_some_and(|d| d > self.fail_over_pct))
+            .collect()
+    }
+
+    /// Whether the current run passes the gate.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Renders the delta table. Gating rows are marked with `!` when
+    /// regressed; counters and sub-floor rows carry no marker.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>14} {:>14} {:>9}\n",
+            "metric", "baseline", "current", "delta"
+        ));
+        for row in &self.rows {
+            let fmt_side = |v: Option<f64>| match v {
+                Some(v) if row.kind == RowKind::Counter => format!("{v:.0}"),
+                Some(v) => format!("{v:.0}us"),
+                None => "-".to_string(),
+            };
+            let delta = match row.delta_pct() {
+                Some(d) => format!("{d:+.1}%"),
+                None => "-".to_string(),
+            };
+            let marker = if row.gates() && row.delta_pct().is_some_and(|d| d > self.fail_over_pct) {
+                " !"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{:<44} {:>14} {:>14} {:>9}{}\n",
+                row.name,
+                fmt_side(row.baseline),
+                fmt_side(row.current),
+                delta,
+                marker,
+            ));
+        }
+        let regressions = self.regressions();
+        if regressions.is_empty() {
+            out.push_str(&format!(
+                "OK: no tracked stage regressed more than {:.0}%\n",
+                self.fail_over_pct
+            ));
+        } else {
+            out.push_str(&format!(
+                "FAIL: {} stage(s) regressed more than {:.0}%\n",
+                regressions.len(),
+                self.fail_over_pct
+            ));
+        }
+        out
+    }
+}
+
+/// Diffs two runs. `fail_over_pct` is the regression threshold in
+/// percent ([`DEFAULT_FAIL_OVER_PCT`] for the CLI default).
+pub fn compare(baseline: &RunData, current: &RunData, fail_over_pct: f64) -> RunComparison {
+    let mut rows = Vec::new();
+
+    let empty = MetricsSnapshot::default();
+    let base_m = baseline.metrics.as_ref().unwrap_or(&empty);
+    let curr_m = current.metrics.as_ref().unwrap_or(&empty);
+
+    let counter_names: BTreeSet<&String> = base_m
+        .counters
+        .keys()
+        .chain(curr_m.counters.keys())
+        .collect();
+    for name in counter_names {
+        rows.push(DeltaRow {
+            kind: RowKind::Counter,
+            name: name.clone(),
+            baseline: base_m.counters.get(name).map(|&v| v as f64),
+            current: curr_m.counters.get(name).map(|&v| v as f64),
+        });
+    }
+
+    let histogram_names: BTreeSet<&String> = base_m
+        .histograms
+        .keys()
+        .chain(curr_m.histograms.keys())
+        .collect();
+    for name in histogram_names {
+        for (label, q) in [("p50", 0.5), ("p99", 0.99)] {
+            rows.push(DeltaRow {
+                kind: RowKind::Quantile,
+                name: format!("{name} {label}"),
+                baseline: base_m.histograms.get(name).map(|h| h.quantile_micros(q)),
+                current: curr_m.histograms.get(name).map(|h| h.quantile_micros(q)),
+            });
+        }
+    }
+
+    let empty_profile = ProfileReport::default();
+    let base_p = baseline.profile.as_ref().unwrap_or(&empty_profile);
+    let curr_p = current.profile.as_ref().unwrap_or(&empty_profile);
+    let span_keys: BTreeSet<(&String, &String)> = base_p
+        .rows
+        .iter()
+        .chain(&curr_p.rows)
+        .map(|r| (&r.scenario, &r.name))
+        .collect();
+    for (scenario, name) in span_keys {
+        let self_per_call = |report: &ProfileReport| {
+            report
+                .row(scenario, name)
+                .map(|r| r.self_micros as f64 / r.calls.max(1) as f64)
+        };
+        let label = if scenario.is_empty() {
+            format!("span {name} self/call")
+        } else {
+            format!("span {scenario}/{name} self/call")
+        };
+        rows.push(DeltaRow {
+            kind: RowKind::SpanSelf,
+            name: label,
+            baseline: self_per_call(base_p),
+            current: self_per_call(curr_p),
+        });
+    }
+
+    RunComparison {
+        rows,
+        fail_over_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileRow;
+    use crate::MetricsRegistry;
+
+    fn run_with_stage(micros: u64) -> RunData {
+        let m = MetricsRegistry::new();
+        m.inc("events_total");
+        m.observe_micros("stage.fra_micros", micros);
+        RunData {
+            metrics: Some(m.snapshot()),
+            profile: Some(ProfileReport {
+                rows: vec![ProfileRow {
+                    scenario: "2019_7".into(),
+                    name: "fra_iteration".into(),
+                    calls: 4,
+                    total_micros: micros * 4,
+                    self_micros: micros * 4,
+                }],
+            }),
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let run = run_with_stage(50_000);
+        let cmp = compare(&run, &run, DEFAULT_FAIL_OVER_PCT);
+        assert!(cmp.passed());
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.render().contains("OK:"));
+        // All deltas are exactly zero.
+        for row in &cmp.rows {
+            if let Some(d) = row.delta_pct() {
+                assert_eq!(d, 0.0, "{}", row.name);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        let baseline = run_with_stage(50_000);
+        let regressed = run_with_stage(100_000); // +100% on every time row
+        let cmp = compare(&baseline, &regressed, DEFAULT_FAIL_OVER_PCT);
+        assert!(!cmp.passed());
+        let names: Vec<&str> = cmp.regressions().iter().map(|r| r.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("stage.fra_micros")));
+        assert!(names
+            .iter()
+            .any(|n| n.contains("2019_7/fra_iteration self/call")));
+        assert!(cmp.render().contains("FAIL:"));
+        assert!(cmp.render().contains('!'));
+    }
+
+    #[test]
+    fn improvement_and_small_baselines_do_not_gate() {
+        // Faster run: never a regression.
+        let cmp = compare(
+            &run_with_stage(100_000),
+            &run_with_stage(50_000),
+            DEFAULT_FAIL_OVER_PCT,
+        );
+        assert!(cmp.passed());
+        // Sub-floor baseline (3µs → 300µs is jitter territory).
+        let cmp = compare(
+            &run_with_stage(3),
+            &run_with_stage(300),
+            DEFAULT_FAIL_OVER_PCT,
+        );
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn counters_are_informational_only() {
+        let mut baseline = run_with_stage(50_000);
+        let current = run_with_stage(50_000);
+        if let Some(m) = &mut baseline.metrics {
+            m.counters.insert("events_total".into(), 1);
+        }
+        // Current has far more events — still passes.
+        let m = MetricsRegistry::new();
+        m.add("events_total", 10_000);
+        let cmp = compare(&baseline, &current, DEFAULT_FAIL_OVER_PCT);
+        assert!(cmp.passed());
+        let counter_row = cmp
+            .rows
+            .iter()
+            .find(|r| r.kind == RowKind::Counter)
+            .unwrap();
+        assert!(!counter_row.gates());
+    }
+
+    #[test]
+    fn missing_sides_render_as_dashes() {
+        let baseline = run_with_stage(50_000);
+        let current = RunData::default();
+        let cmp = compare(&baseline, &current, DEFAULT_FAIL_OVER_PCT);
+        assert!(cmp.passed(), "missing data is not a regression");
+        assert!(cmp.render().contains(" -"));
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let cmp = compare(&run_with_stage(50_000), &run_with_stage(57_000), 10.0);
+        assert!(!cmp.passed(), "+14% fails a 10% gate");
+        let cmp = compare(&run_with_stage(50_000), &run_with_stage(57_000), 20.0);
+        assert!(cmp.passed(), "+14% passes a 20% gate");
+    }
+}

@@ -593,6 +593,23 @@ mod tests {
     }
 
     #[test]
+    fn parse_ignores_unknown_fields_for_forward_compat() {
+        // A log written by a future version may carry extra fields on
+        // any event (flat or nested); today's parser must ignore them
+        // rather than reject the line.
+        for event in exemplars() {
+            let line = event.to_json_line();
+            let extended = format!(
+                "{},\"future_field\":42,\"future_nested\":{{\"a\":[1,2],\"b\":null}}}}",
+                line.strip_suffix('}').unwrap()
+            );
+            let parsed = Event::parse_json_line(&extended)
+                .unwrap_or_else(|e| panic!("extended {} must parse: {e}", event.kind()));
+            assert_eq!(parsed, event);
+        }
+    }
+
+    #[test]
     fn fmt_micros_picks_sane_units() {
         assert_eq!(fmt_micros(850), "850µs");
         assert_eq!(fmt_micros(12_300), "12.3ms");

@@ -482,4 +482,64 @@ mod tests {
         assert!(v.req_uint("m").is_err());
         assert_eq!(v.req_uint("k").unwrap(), 7);
     }
+
+    #[test]
+    fn escaped_unicode_decodes_bmp_code_points() {
+        assert_eq!(
+            parse("\"\\u0041\\u00e9\\u2603\"").unwrap(),
+            Value::String("Aé☃".into())
+        );
+        // Mixed escapes and raw multi-byte UTF-8 in one string.
+        assert_eq!(
+            parse("\"snow\\u2603man ☃\"").unwrap(),
+            Value::String("snow☃man ☃".into())
+        );
+        // Case-insensitive hex digits.
+        assert_eq!(parse("\"\\u00E9\"").unwrap(), Value::String("é".into()));
+        // \u0000 is a valid (if unusual) code point.
+        assert_eq!(parse("\"\\u0000\"").unwrap(), Value::String("\0".into()));
+    }
+
+    #[test]
+    fn invalid_unicode_escapes_are_rejected() {
+        // Lone surrogate: not a valid char.
+        assert!(parse("\"\\ud800\"").is_err());
+        // Truncated and malformed hex.
+        assert!(parse("\"\\u12\"").is_err());
+        assert!(parse("\"\\uzzzz\"").is_err());
+    }
+
+    #[test]
+    fn nested_objects_with_unknown_fields_parse_and_are_ignored() {
+        // Forward compat: a future writer may add fields (including
+        // nested structures) that today's readers don't know. The
+        // parser must keep them, and typed lookups of known fields must
+        // be unaffected.
+        let line = "{\"kind\":\"stage_finished\",\"scenario\":\"2019_7\",\
+                    \"micros\":12,\"new_nested\":{\"a\":[1,{\"b\":2}],\"c\":null},\
+                    \"new_flag\":true}";
+        let v = parse(line).unwrap();
+        assert_eq!(v.req_str("kind").unwrap(), "stage_finished");
+        assert_eq!(v.req_uint("micros").unwrap(), 12);
+        assert!(v.get("new_nested").unwrap().get("c").is_some());
+    }
+
+    #[test]
+    fn truncated_lines_fail_cleanly() {
+        // Every strict prefix of a valid event line must error (never
+        // panic, never silently succeed) — this is what a reader sees
+        // when a run is killed mid-write.
+        let line =
+            "{\"kind\":\"run_finished\",\"scenarios\":10,\"micros\":987654,\"note\":\"a\\u2603b\"}";
+        assert!(parse(line).is_ok());
+        for cut in 1..line.len() {
+            if !line.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                parse(&line[..cut]).is_err(),
+                "prefix of length {cut} must not parse"
+            );
+        }
+    }
 }

@@ -19,6 +19,14 @@
 //!   for tests) and [`Fanout`] (broadcast to several sinks).
 //! * [`MetricsRegistry`] — monotonic counters and duration histograms
 //!   aggregated across scenarios, exportable as JSON.
+//! * [`trace`] — hierarchical span tracing: [`Tracer`] records RAII
+//!   [`trace::SpanGuard`] intervals with parent/child links handed off
+//!   explicitly across rayon threads via the `Copy` [`TraceCtx`],
+//!   aggregates them into a per-scenario self-time [`profile`], and
+//!   exports Chrome Trace Event JSON for `chrome://tracing`/Perfetto.
+//! * [`mod@compare`] — run-to-run regression diffing over metrics + profile
+//!   (the engine behind `repro compare`), with a configurable
+//!   fail-over-percent gate.
 //!
 //! The crate is intentionally dependency-free: events serialize to JSON
 //! lines through a small hand-rolled writer ([`Event::to_json_line`]) and
@@ -46,14 +54,20 @@
 //! }
 //! ```
 
+pub mod compare;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
+pub mod trace;
 
+pub use compare::{compare, RunComparison, RunData};
 pub use event::{fmt_micros, Event, Stage};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use profile::{ProfileReport, ProfileRow};
 pub use sink::{Fanout, JsonlObserver, NullObserver, RecordingObserver, StderrObserver};
+pub use trace::{SpanId, TraceCtx, Tracer};
 
 /// A sink for pipeline events.
 ///

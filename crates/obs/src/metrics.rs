@@ -214,6 +214,41 @@ impl HistogramSnapshot {
             self.sum_micros as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) in microseconds by
+    /// linear interpolation inside the bucket that holds the target
+    /// rank (the prometheus `histogram_quantile` scheme). The estimate
+    /// is clamped to the observed `[min, max]` range, which makes it
+    /// exact for single-valued histograms; the overflow bucket
+    /// interpolates between the last finite bound and `max_micros`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_micros(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let below = cumulative;
+            cumulative += bucket.count;
+            if (cumulative as f64) < rank || bucket.count == 0 {
+                continue;
+            }
+            let lower = if i == 0 {
+                0.0
+            } else {
+                self.buckets[i - 1].le_micros.unwrap_or(0) as f64
+            };
+            let upper = match bucket.le_micros {
+                Some(le) => le as f64,
+                None => self.max_micros as f64,
+            };
+            let fraction = ((rank - below as f64) / bucket.count as f64).clamp(0.0, 1.0);
+            let estimate = lower + (upper - lower) * fraction;
+            return estimate.clamp(self.min_micros as f64, self.max_micros as f64);
+        }
+        self.max_micros as f64
+    }
 }
 
 /// Point-in-time copy of a whole registry.
@@ -271,6 +306,55 @@ impl MetricsSnapshot {
         }
         out.push_str("}\n}\n");
         out
+    }
+
+    /// Parses a snapshot previously written by
+    /// [`MetricsSnapshot::to_json`]. Unknown fields (e.g. the derived
+    /// `mean_micros`, or fields added by future versions) are ignored.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, crate::json::JsonError> {
+        use crate::json::{JsonError, Value};
+        let value = crate::json::parse(text)?;
+        let mut counters = BTreeMap::new();
+        if let Some(section @ Value::Object(map)) = value.get("counters") {
+            for name in map.keys() {
+                counters.insert(name.clone(), section.req_uint(name)?);
+            }
+        }
+        let mut histograms = BTreeMap::new();
+        if let Some(Value::Object(map)) = value.get("histograms") {
+            for (name, h) in map {
+                let buckets = match h.get("buckets") {
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|b| {
+                            let le_micros = match b.get("le_micros") {
+                                Some(Value::Null) | None => None,
+                                _ => Some(b.req_uint("le_micros")?),
+                            };
+                            Ok(Bucket {
+                                le_micros,
+                                count: b.req_uint("count")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, JsonError>>()?,
+                    _ => return Err(JsonError::new(format!("histogram {name:?} lacks buckets"))),
+                };
+                histograms.insert(
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: h.req_uint("count")?,
+                        sum_micros: h.req_uint("sum_micros")?,
+                        min_micros: h.req_uint("min_micros")?,
+                        max_micros: h.req_uint("max_micros")?,
+                        buckets,
+                    },
+                );
+            }
+        }
+        Ok(MetricsSnapshot {
+            counters,
+            histograms,
+        })
     }
 }
 
@@ -415,5 +499,114 @@ mod tests {
         let value = json::parse(&text).unwrap();
         assert!(value.get("counters").is_some());
         assert!(value.get("histograms").is_some());
+    }
+
+    /// Which bucket holds a single observation of `micros`.
+    fn bucket_of(micros: u64) -> usize {
+        let m = MetricsRegistry::new();
+        m.observe_micros("h", micros);
+        let h = &m.snapshot().histograms["h"];
+        h.buckets.iter().position(|b| b.count == 1).unwrap()
+    }
+
+    #[test]
+    fn values_exactly_on_a_bucket_edge_land_in_that_bucket() {
+        // Bounds are inclusive: an observation equal to a bound belongs
+        // to that bound's bucket, one more spills into the next.
+        for (i, &bound) in BUCKET_BOUNDS_MICROS.iter().enumerate() {
+            assert_eq!(bucket_of(bound), i, "exactly {bound}");
+            assert_eq!(bucket_of(bound + 1), i + 1, "just over {bound}");
+        }
+    }
+
+    #[test]
+    fn zero_lands_in_the_smallest_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        let m = MetricsRegistry::new();
+        m.observe_micros("h", 0);
+        let h = &m.snapshot().histograms["h"];
+        assert_eq!(h.min_micros, 0);
+        assert_eq!(h.max_micros, 0);
+        assert_eq!(h.sum_micros, 0);
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_overflow_bucket_without_overflowing_sum() {
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+        let m = MetricsRegistry::new();
+        m.observe_micros("h", u64::MAX);
+        m.observe_micros("h", u64::MAX); // sum saturates, no panic
+        let h = &m.snapshot().histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_micros, u64::MAX);
+        assert_eq!(h.max_micros, u64::MAX);
+        assert_eq!(h.buckets.last().unwrap().count, 2);
+    }
+
+    #[test]
+    fn last_finite_bound_is_not_the_overflow_bucket() {
+        // 1e9 µs is the largest finite bound; it must land in the last
+        // *bounded* bucket, with the overflow bucket still empty.
+        let m = MetricsRegistry::new();
+        m.observe_micros("h", 1_000_000_000);
+        let h = &m.snapshot().histograms["h"];
+        assert_eq!(h.buckets[N_BUCKETS - 2].count, 1);
+        assert_eq!(h.buckets[N_BUCKETS - 1].count, 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let m = MetricsRegistry::new();
+        // 100 observations spread over the (100, 1000] bucket.
+        for i in 0..100 {
+            m.observe_micros("h", 500 + i);
+        }
+        let h = &m.snapshot().histograms["h"];
+        let p50 = h.quantile_micros(0.5);
+        let p99 = h.quantile_micros(0.99);
+        // Interpolation can only say "inside the bucket", clamped to
+        // the observed range.
+        assert!((500.0..=599.0).contains(&p50), "p50 = {p50}");
+        assert!((500.0..=599.0).contains(&p99), "p99 = {p99}");
+        assert!(p99 >= p50);
+        // Single observation: exact because of the min/max clamp.
+        let m = MetricsRegistry::new();
+        m.observe_micros("one", 42);
+        let h = &m.snapshot().histograms["one"];
+        assert_eq!(h.quantile_micros(0.5), 42.0);
+        assert_eq!(h.quantile_micros(0.99), 42.0);
+        // Empty histogram.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum_micros: 0,
+            min_micros: 0,
+            max_micros: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile_micros(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let m = MetricsRegistry::new();
+        m.inc("events_total");
+        m.add("rows", 512);
+        m.observe_micros("stage.fra_micros", 1234);
+        m.observe_micros("stage.fra_micros", 2_000_000_000);
+        let snap = m.snapshot();
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn from_json_ignores_unknown_fields() {
+        let text = "{\"counters\":{},\"histograms\":{\"h\":{\"count\":1,\
+                     \"sum_micros\":5,\"min_micros\":5,\"max_micros\":5,\
+                     \"mean_micros\":5.0,\"new_field\":[1,2],\
+                     \"buckets\":[{\"le_micros\":null,\"count\":1,\"extra\":0}]}},\
+                     \"future_section\":{\"x\":1}}";
+        let snap = MetricsSnapshot::from_json(text).unwrap();
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(snap.histograms["h"].buckets.len(), 1);
     }
 }

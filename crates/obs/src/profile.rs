@@ -1,0 +1,281 @@
+//! Self-time profiles aggregated from span trees.
+//!
+//! A [`ProfileReport`] collapses the raw span timeline
+//! ([`crate::trace::Tracer::snapshot`]) into one row per
+//! `(scenario, span name)` pair: how many times the span ran, its total
+//! wall-clock time, and its **self time** — total time minus the time
+//! spent inside direct children. Self time is what `repro compare`
+//! gates on: it attributes each microsecond to exactly one span name,
+//! so a regression shows up where it happened rather than in every
+//! ancestor.
+//!
+//! With rayon, children run concurrently, so the sum of child durations
+//! can exceed the parent's wall time; per-span self time saturates at
+//! zero in that case instead of going negative.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::json::{self, JsonError, Value, Writer};
+use crate::trace::{SpanId, SpanRecord};
+
+/// One aggregated profile row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Scenario the spans belonged to (inherited down the parent chain;
+    /// empty string for spans outside any scenario).
+    pub scenario: String,
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans aggregated into this row.
+    pub calls: u64,
+    /// Sum of span wall-clock durations, in microseconds.
+    pub total_micros: u64,
+    /// Sum of per-span self times (duration minus direct children,
+    /// clamped at zero), in microseconds.
+    pub self_micros: u64,
+}
+
+/// Per-scenario self-time/total-time/call-count profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Rows sorted by scenario, then by descending self time.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl ProfileReport {
+    /// Aggregates completed spans into a report. Scenario tags only
+    /// exist on root spans, so each span inherits the tag of its
+    /// nearest tagged ancestor.
+    pub fn from_spans(spans: &[SpanRecord]) -> ProfileReport {
+        let by_id: HashMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+        let mut child_micros: HashMap<SpanId, u64> = HashMap::new();
+        for s in spans {
+            if let Some(parent) = s.parent {
+                *child_micros.entry(parent).or_insert(0) += s.dur_micros;
+            }
+        }
+        let scenario_of = |span: &SpanRecord| -> String {
+            let mut cursor = Some(span);
+            while let Some(s) = cursor {
+                if let Some(scenario) = &s.scenario {
+                    return scenario.clone();
+                }
+                cursor = s.parent.and_then(|p| by_id.get(&p).copied());
+            }
+            String::new()
+        };
+        let mut rows: BTreeMap<(String, String), ProfileRow> = BTreeMap::new();
+        for s in spans {
+            let key = (scenario_of(s), s.name.to_string());
+            let row = rows.entry(key.clone()).or_insert_with(|| ProfileRow {
+                scenario: key.0,
+                name: key.1,
+                calls: 0,
+                total_micros: 0,
+                self_micros: 0,
+            });
+            row.calls += 1;
+            row.total_micros += s.dur_micros;
+            let children = child_micros.get(&s.id).copied().unwrap_or(0);
+            row.self_micros += s.dur_micros.saturating_sub(children);
+        }
+        let mut rows: Vec<ProfileRow> = rows.into_values().collect();
+        rows.sort_by(|a, b| {
+            a.scenario
+                .cmp(&b.scenario)
+                .then(b.self_micros.cmp(&a.self_micros))
+                .then(a.name.cmp(&b.name))
+        });
+        ProfileReport { rows }
+    }
+
+    /// Looks up a row by scenario and name.
+    pub fn row(&self, scenario: &str, name: &str) -> Option<&ProfileRow> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.name == name)
+    }
+
+    /// Renders the report as JSON: `{"profile": [{...}, ...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"profile\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut w = Writer::new();
+            w.begin();
+            w.str_field("scenario", &row.scenario);
+            w.str_field("name", &row.name);
+            w.uint_field("calls", row.calls);
+            w.uint_field("total_micros", row.total_micros);
+            w.uint_field("self_micros", row.self_micros);
+            w.end();
+            out.push_str(&w.finish());
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`ProfileReport::to_json`]
+    /// (unknown fields in each row are ignored for forward compat).
+    pub fn from_json(text: &str) -> Result<ProfileReport, JsonError> {
+        let value = json::parse(text)?;
+        let items = match value.get("profile") {
+            Some(Value::Array(items)) => items,
+            _ => return Err(JsonError::new("missing \"profile\" array")),
+        };
+        let mut rows = Vec::with_capacity(items.len());
+        for item in items {
+            rows.push(ProfileRow {
+                scenario: item.req_str("scenario")?.to_string(),
+                name: item.req_str("name")?.to_string(),
+                calls: item.req_uint("calls")?,
+                total_micros: item.req_uint("total_micros")?,
+                self_micros: item.req_uint("self_micros")?,
+            });
+        }
+        Ok(ProfileReport { rows })
+    }
+
+    /// Renders the report as an aligned human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:<18} {:>8} {:>14} {:>14}\n",
+            "scenario", "span", "calls", "total", "self"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:<18} {:>8} {:>14} {:>14}\n",
+                if row.scenario.is_empty() {
+                    "-"
+                } else {
+                    &row.scenario
+                },
+                row.name,
+                row.calls,
+                fmt_micros(row.total_micros),
+                fmt_micros(row.self_micros),
+            ));
+        }
+        out
+    }
+}
+
+/// Human-readable duration (same scale choices as the stderr sink).
+fn fmt_micros(micros: u64) -> String {
+    if micros >= 10_000_000 {
+        format!("{:.1}s", micros as f64 / 1e6)
+    } else if micros >= 10_000 {
+        format!("{:.1}ms", micros as f64 / 1e3)
+    } else {
+        format!("{micros}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        scenario: Option<&str>,
+        start: u64,
+        dur: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name,
+            scenario: scenario.map(|s| s.to_string()),
+            tid: 1,
+            start_micros: start,
+            dur_micros: dur,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let spans = vec![
+            span(1, None, "scenario", Some("2019_7"), 0, 100),
+            span(2, Some(1), "fra", None, 10, 60),
+            span(3, Some(2), "rf_fit", None, 20, 40),
+        ];
+        let report = ProfileReport::from_spans(&spans);
+        // scenario: 100 total, 100 - 60 = 40 self (grandchild not counted).
+        let root = report.row("2019_7", "scenario").unwrap();
+        assert_eq!(root.total_micros, 100);
+        assert_eq!(root.self_micros, 40);
+        let fra = report.row("2019_7", "fra").unwrap();
+        assert_eq!(fra.self_micros, 20);
+        let fit = report.row("2019_7", "rf_fit").unwrap();
+        assert_eq!(fit.self_micros, 40);
+        assert_eq!(fit.scenario, "2019_7", "scenario inherited via parents");
+    }
+
+    #[test]
+    fn parallel_children_clamp_self_time_at_zero() {
+        // Two children each as long as the parent (ran concurrently).
+        let spans = vec![
+            span(1, None, "fit", Some("s"), 0, 50),
+            span(2, Some(1), "tree", None, 0, 50),
+            span(3, Some(1), "tree", None, 0, 50),
+        ];
+        let report = ProfileReport::from_spans(&spans);
+        assert_eq!(report.row("s", "fit").unwrap().self_micros, 0);
+        let tree = report.row("s", "tree").unwrap();
+        assert_eq!(tree.calls, 2);
+        assert_eq!(tree.total_micros, 100);
+    }
+
+    #[test]
+    fn rows_sort_by_scenario_then_self_time() {
+        let spans = vec![
+            span(1, None, "small", Some("a"), 0, 5),
+            span(2, None, "big", Some("a"), 0, 500),
+            span(3, None, "other", Some("b"), 0, 50),
+        ];
+        let report = ProfileReport::from_spans(&spans);
+        let order: Vec<(&str, &str)> = report
+            .rows
+            .iter()
+            .map(|r| (r.scenario.as_str(), r.name.as_str()))
+            .collect();
+        assert_eq!(order, vec![("a", "big"), ("a", "small"), ("b", "other")]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let tracer = Tracer::new();
+        {
+            let root = tracer.span("2019_7", "scenario");
+            let _child = root.ctx().span("tune");
+        }
+        let report = tracer.profile();
+        let parsed = ProfileReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_json_ignores_unknown_row_fields() {
+        let text = "{\"profile\":[{\"scenario\":\"s\",\"name\":\"n\",\"calls\":1,\
+                     \"total_micros\":2,\"self_micros\":2,\"future_field\":true}]}";
+        let report = ProfileReport::from_json(text).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].total_micros, 2);
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let spans = vec![span(1, None, "scenario", Some("2019_7"), 0, 12_345_678)];
+        let text = ProfileReport::from_spans(&spans).render();
+        assert!(text.contains("2019_7"));
+        assert!(text.contains("12.3s"));
+        let widths: Vec<usize> = text.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "aligned columns");
+    }
+}

@@ -100,8 +100,13 @@ impl StderrObserver {
 
 impl RunObserver for StderrObserver {
     fn on_event(&self, event: &Event) {
-        if let Some(line) = self.line_for(event) {
-            eprintln!("{line}");
+        if let Some(mut line) = self.line_for(event) {
+            // One locked write of the whole line: scenarios finishing
+            // concurrently must not interleave their output.
+            line.push('\n');
+            let stderr = std::io::stderr();
+            let mut handle = stderr.lock();
+            let _ = handle.write_all(line.as_bytes());
         }
     }
 }
@@ -109,16 +114,22 @@ impl RunObserver for StderrObserver {
 /// Appends every event as one JSON object per line to any writer.
 ///
 /// Write errors do not panic the pipeline: the first error is retained
-/// and surfaced by [`JsonlObserver::flush`] (and all later events are
-/// dropped).
+/// and surfaced by [`JsonlObserver::flush`], and the sticky
+/// [`JsonlObserver::poisoned`] flag reports that events were dropped —
+/// a poisoned log is incomplete even if a later `flush` succeeds. The
+/// writer is flushed on drop, so a log handed to a [`Fanout`] (which
+/// keeps it behind an `Arc` until the end of the run) still reaches
+/// disk without an explicit final flush.
 #[derive(Debug)]
 pub struct JsonlObserver<W: Write + Send> {
     inner: Mutex<JsonlInner<W>>,
+    poisoned: std::sync::atomic::AtomicBool,
 }
 
 #[derive(Debug)]
 struct JsonlInner<W: Write + Send> {
-    writer: W,
+    /// `None` only after [`JsonlObserver::into_inner`] took the writer.
+    writer: Option<W>,
     error: Option<std::io::Error>,
 }
 
@@ -134,27 +145,59 @@ impl<W: Write + Send> JsonlObserver<W> {
     pub fn new(writer: W) -> Self {
         JsonlObserver {
             inner: Mutex::new(JsonlInner {
-                writer,
+                writer: Some(writer),
                 error: None,
             }),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
+    /// Whether any write has ever failed. Sticky: once poisoned, the
+    /// log is missing events and should not be trusted, even if a later
+    /// [`JsonlObserver::flush`] returns `Ok`.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn poison(&self, inner: &mut JsonlInner<W>, error: std::io::Error) {
+        if inner.error.is_none() {
+            inner.error = Some(error);
+        }
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Flushes the underlying writer, surfacing any write error seen so
-    /// far.
+    /// far (the first pending error is returned once; the flag reported
+    /// by [`JsonlObserver::poisoned`] stays set).
     pub fn flush(&self) -> std::io::Result<()> {
         let mut inner = self.inner.lock().expect("jsonl observer poisoned");
         if let Some(e) = inner.error.take() {
             return Err(e);
         }
-        inner.writer.flush()
+        match inner.writer.as_mut().map(Write::flush).unwrap_or(Ok(())) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
     /// Unwraps the underlying writer (after flushing as far as possible).
     pub fn into_inner(self) -> W {
-        let mut inner = self.inner.into_inner().expect("jsonl observer poisoned");
-        let _ = inner.writer.flush();
-        inner.writer
+        // Take the writer out; the `Drop` flush then sees `None` and
+        // does nothing.
+        let mut writer = self
+            .inner
+            .lock()
+            .expect("jsonl observer poisoned")
+            .writer
+            .take()
+            .expect("writer already taken");
+        let _ = writer.flush();
+        writer
     }
 }
 
@@ -166,8 +209,22 @@ impl<W: Write + Send> RunObserver for JsonlObserver<W> {
         }
         let mut line = event.to_json_line();
         line.push('\n');
-        if let Err(e) = inner.writer.write_all(line.as_bytes()) {
-            inner.error = Some(e);
+        let result = inner
+            .writer
+            .as_mut()
+            .map(|writer| writer.write_all(line.as_bytes()));
+        if let Some(Err(e)) = result {
+            self.poison(&mut inner, e);
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlObserver<W> {
+    fn drop(&mut self) {
+        if let Ok(inner) = self.inner.get_mut() {
+            if let Some(writer) = inner.writer.as_mut() {
+                let _ = writer.flush();
+            }
         }
     }
 }
@@ -376,6 +433,7 @@ mod tests {
             }
         }
         let obs = JsonlObserver::new(FailingWriter);
+        assert!(!obs.poisoned());
         obs.on_event(&Event::RunStarted { scenarios: 1 });
         obs.on_event(&Event::RunFinished {
             scenarios: 1,
@@ -383,7 +441,54 @@ mod tests {
         });
         let err = obs.flush().unwrap_err();
         assert_eq!(err.to_string(), "disk full");
-        // After surfacing, the observer is quiet but functional.
+        // After surfacing, flush succeeds again — but the poisoned flag
+        // stays set: the log is missing events.
         obs.flush().unwrap();
+        assert!(obs.poisoned());
+    }
+
+    #[test]
+    fn jsonl_observer_flushes_on_drop() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        static FLUSHED: AtomicBool = AtomicBool::new(false);
+        struct FlushProbe;
+        impl Write for FlushProbe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                FLUSHED.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        FLUSHED.store(false, Ordering::SeqCst);
+        let obs = JsonlObserver::new(FlushProbe);
+        obs.on_event(&Event::RunStarted { scenarios: 1 });
+        drop(obs);
+        assert!(FLUSHED.load(Ordering::SeqCst), "drop must flush");
+
+        // End-to-end: a buffered file log reaches disk without an
+        // explicit flush call.
+        let dir = std::env::temp_dir().join(format!("c100-jsonl-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        {
+            let obs = JsonlObserver::create(&path).unwrap();
+            obs.on_event(&Event::RunStarted { scenarios: 7 });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("run_started"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_observer_into_inner_still_returns_writer() {
+        let obs = JsonlObserver::new(Vec::new());
+        obs.on_event(&Event::RunStarted { scenarios: 2 });
+        let bytes = obs.into_inner();
+        assert!(!bytes.is_empty());
     }
 }

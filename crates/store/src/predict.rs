@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use c100_ml::data::Matrix;
-use c100_obs::{Event, NullObserver, RunObserver};
+use c100_obs::{Event, NullObserver, RunObserver, TraceCtx, Tracer};
 use c100_timeseries::Frame;
 use rayon::prelude::*;
 
@@ -28,6 +28,7 @@ pub struct BatchPredictor {
     artifact: ModelArtifact,
     chunk_rows: usize,
     observer: Arc<dyn RunObserver>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl BatchPredictor {
@@ -37,6 +38,7 @@ impl BatchPredictor {
             artifact,
             chunk_rows: DEFAULT_CHUNK_ROWS,
             observer: Arc::new(NullObserver),
+            tracer: None,
         }
     }
 
@@ -50,6 +52,14 @@ impl BatchPredictor {
     /// then emits [`Event::BatchPredicted`] with rows and latency.
     pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> BatchPredictor {
         self.observer = observer;
+        self
+    }
+
+    /// Installs a span tracer (default: none); each batch then records a
+    /// `batch_predict` root span tagged with the artifact's scenario,
+    /// with one `predict_chunk` child per parallel chunk.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> BatchPredictor {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -145,17 +155,26 @@ impl BatchPredictor {
     /// results are deterministic under any thread count.
     fn predict_row_major(&self, data: &[f64], n_rows: usize, width: usize) -> Vec<f64> {
         let started = Instant::now();
+        let batch_span = self
+            .tracer
+            .as_deref()
+            .map(|t| t.span(&self.artifact.scenario, "batch_predict"));
+        let chunk_ctx = batch_span
+            .as_ref()
+            .map_or(TraceCtx::disabled(), |span| span.ctx());
         let mut preds = vec![0.0; n_rows];
         preds
             .par_chunks_mut(self.chunk_rows)
             .enumerate()
             .for_each(|(chunk_idx, out)| {
+                let _chunk_span = chunk_ctx.span("predict_chunk");
                 let base = chunk_idx * self.chunk_rows;
                 for (j, slot) in out.iter_mut().enumerate() {
                     let row = &data[(base + j) * width..(base + j + 1) * width];
                     *slot = self.artifact.model.predict_row(row);
                 }
             });
+        drop(batch_span);
         self.observer.on_event(&Event::BatchPredicted {
             scenario: self.artifact.scenario.clone(),
             model: self.artifact.model.family().to_string(),

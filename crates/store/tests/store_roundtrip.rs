@@ -311,6 +311,37 @@ fn chunk_size_does_not_change_results() {
 }
 
 #[test]
+fn traced_predictor_records_batch_and_chunk_spans() {
+    let (rf, x) = rf_artifact(27);
+    let frame = frame_from_columns(&rf.features, &x);
+    let untraced = BatchPredictor::new(rf.clone())
+        .with_chunk_rows(16)
+        .predict_frame(&frame)
+        .unwrap();
+
+    let tracer = Arc::new(c100_obs::Tracer::new());
+    let predictor = BatchPredictor::new(rf.clone())
+        .with_chunk_rows(16)
+        .with_tracer(tracer.clone());
+    let traced = predictor.predict_frame(&frame).unwrap();
+    for (a, b) in traced.iter().zip(&untraced) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    let spans = tracer.snapshot();
+    let batch = spans
+        .iter()
+        .find(|s| s.name == "batch_predict")
+        .expect("batch span recorded");
+    assert_eq!(batch.scenario.as_deref(), Some("2019_7"));
+    let chunks: Vec<_> = spans.iter().filter(|s| s.name == "predict_chunk").collect();
+    assert_eq!(chunks.len(), x.n_rows().div_ceil(16));
+    for chunk in chunks {
+        assert_eq!(chunk.parent, Some(batch.id));
+    }
+}
+
+#[test]
 fn schema_violations_are_typed_errors() {
     let (rf, x) = rf_artifact(25);
     let predictor = BatchPredictor::new(rf.clone());
