@@ -1,0 +1,178 @@
+//! Serving hot-path throughput over loopback: 1/8/64 concurrent
+//! connections, micro-batching on and off.
+//!
+//! Besides the Criterion timings, each configuration's measured volley
+//! throughput is recorded to `results/BENCH_serve.json` so later PRs
+//! can regress-gate the serving path without re-running Criterion.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_obs::MetricsRegistry;
+use c100_serve::{ServeConfig, Server, ServerHandle};
+use c100_store::{ArtifactStore, ModelArtifact, ModelPayload};
+
+const ROWS_PER_REQUEST: usize = 16;
+const REQUESTS_PER_CONNECTION: usize = 4;
+
+fn seeded_store() -> (PathBuf, String) {
+    let root = std::env::temp_dir().join(format!("c100_bench_serve_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let mut rng = StdRng::seed_from_u64(5);
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..6).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 - r[3]).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let model = RandomForestConfig {
+        n_estimators: 20,
+        max_depth: Some(6),
+        ..Default::default()
+    }
+    .fit(&x, &y, 5)
+    .unwrap();
+    let artifact = ModelArtifact {
+        scenario: "2019_7".into(),
+        period: "2019".into(),
+        window: 7,
+        features: (0..6).map(|i| format!("feat_{i}")).collect(),
+        profile: "bench".into(),
+        seed: 5,
+        train_rows: x.n_rows() as u64,
+        train_start: "2019-01-01".into(),
+        train_end: "2019-07-19".into(),
+        hyperparameters: BTreeMap::new(),
+        model: ModelPayload::Rf(model),
+    };
+    let entry = ArtifactStore::open(&root).unwrap().save(&artifact).unwrap();
+    (root, entry.id)
+}
+
+fn start_server(root: &PathBuf, max_batch: usize) -> ServerHandle {
+    let mut config = ServeConfig::new(root, "127.0.0.1:0");
+    config.workers = 4;
+    config.queue_depth = 256;
+    config.max_batch = max_batch;
+    config.max_wait = Duration::from_millis(2);
+    Server::start(config, Arc::new(MetricsRegistry::new()), None).unwrap()
+}
+
+fn predict_body(artifact_id: &str) -> String {
+    let mut rows = String::new();
+    for r in 0..ROWS_PER_REQUEST {
+        if r > 0 {
+            rows.push(',');
+        }
+        let cells: Vec<String> = (0..6)
+            .map(|c| format!("{}", (r * 6 + c) as f64 * 0.01))
+            .collect();
+        rows.push_str(&format!("[{}]", cells.join(",")));
+    }
+    format!("{{\"artifact\":\"{artifact_id}\",\"rows\":[{rows}]}}")
+}
+
+/// One client: `REQUESTS_PER_CONNECTION` sequential request/response
+/// round trips (each on a fresh connection — the server is
+/// `Connection: close`). Returns the number of 200s.
+fn client_volley(addr: std::net::SocketAddr, raw: &[u8]) -> usize {
+    let mut ok = 0;
+    for _ in 0..REQUESTS_PER_CONNECTION {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.write_all(raw).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        if response.starts_with("HTTP/1.1 200") {
+            ok += 1;
+        }
+    }
+    ok
+}
+
+/// Fires `connections` concurrent clients; returns (elapsed, oks).
+fn volley(server: &ServerHandle, connections: usize, raw: &[u8]) -> (Duration, usize) {
+    let addr = server.local_addr();
+    let started = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|_| {
+            let raw = raw.to_vec();
+            std::thread::spawn(move || client_volley(addr, &raw))
+        })
+        .collect();
+    let oks = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    (started.elapsed(), oks)
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    let (root, artifact_id) = seeded_store();
+    let body = predict_body(&artifact_id);
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes();
+
+    let mut recorded = String::from("{\"bench\":\"serve_throughput\",\"results\":[");
+    let mut first = true;
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (mode, max_batch) in [("batch_on", 8usize), ("batch_off", 1usize)] {
+        for connections in [1usize, 8, 64] {
+            let server = start_server(&root, max_batch);
+
+            // Manual measurement for BENCH_serve.json, independent of
+            // Criterion's own sampling.
+            let (elapsed, oks) = volley(&server, connections, &raw);
+            let total = connections * REQUESTS_PER_CONNECTION;
+            assert_eq!(oks, total, "all bench requests must succeed");
+            let rps = total as f64 / elapsed.as_secs_f64();
+            if !first {
+                recorded.push(',');
+            }
+            first = false;
+            recorded.push_str(&format!(
+                "{{\"connections\":{connections},\"batching\":\"{mode}\",\
+                 \"requests\":{total},\"rows_per_request\":{ROWS_PER_REQUEST},\
+                 \"elapsed_micros\":{},\"requests_per_sec\":{rps:.1}}}",
+                elapsed.as_micros()
+            ));
+
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{mode}/conns_{connections}")),
+                &connections,
+                |b, &connections| {
+                    b.iter(|| volley(&server, connections, &raw));
+                },
+            );
+            server.shutdown();
+        }
+    }
+    group.finish();
+    recorded.push_str("]}\n");
+
+    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
+    let path = results_dir.join("BENCH_serve.json");
+    std::fs::write(&path, recorded).expect("write BENCH_serve.json");
+    eprintln!("recorded serve throughput -> {}", path.display());
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+criterion_group!(benches, serve_throughput);
+criterion_main!(benches);

@@ -22,6 +22,10 @@
 //! repro predict --store DIR --scenario ID --features CSV
 //!               [--model rf|gbdt] [--out CSV] [--trace PATH]
 //!
+//! repro serve --store DIR --addr 127.0.0.1:PORT [--workers N]
+//!             [--queue-depth N] [--max-batch N] [--max-wait-ms N]
+//!             [--trace PATH]
+//!
 //! repro compare BASELINE_DIR CURRENT_DIR [--fail-over-pct N]
 //! ```
 //!
@@ -46,6 +50,11 @@
 //! `c100-store` registry at `DIR` (plus a ready-to-serve
 //! `features_<scenario>.csv` of the test region); `repro predict` loads
 //! the latest matching artifact and forecasts without any refitting.
+//!
+//! `repro serve` keeps such a store resident behind an HTTP/1.1
+//! endpoint (`GET /healthz|/models|/metrics`, `POST
+//! /predict|/reload|/shutdown`) with a bounded queue, micro-batching,
+//! and load shedding; see `crates/serve/README.md` for the design.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -62,6 +71,7 @@ use c100_obs::{
     compare, Fanout, JsonlObserver, MetricsRegistry, MetricsSnapshot, ProfileReport, RunData,
     RunObserver, StderrObserver, TraceCtx, Tracer,
 };
+use c100_serve::{ServeConfig, Server};
 use c100_store::{ArtifactStore, BatchPredictor};
 use c100_synth::MarketData;
 use c100_timeseries::csv::{read_frame_from_path, write_frame_to_path};
@@ -162,6 +172,14 @@ fn main() {
     if cli.peek().map(String::as_str) == Some("predict") {
         cli.next();
         if let Err(e) = run_predict(cli) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if cli.peek().map(String::as_str) == Some("serve") {
+        cli.next();
+        if let Err(e) = run_serve(cli) {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
@@ -434,6 +452,66 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     write_frame_to_path(&result, &out).map_err(|e| e.to_string())?;
     println!("  -> {}", out.display());
+    Ok(())
+}
+
+/// `repro serve`: keeps an artifact store resident behind the
+/// `c100-serve` HTTP endpoint until `POST /shutdown` drains it.
+fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut store_dir = None;
+    let mut addr = "127.0.0.1:8100".to_string();
+    let mut workers = 4usize;
+    let mut queue_depth = 64usize;
+    let mut max_batch = 8usize;
+    let mut max_wait_ms = 5u64;
+    let mut trace = None;
+    fn parse_usize(flag: &str, value: Option<String>) -> Result<usize, String> {
+        let v = value.ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag} value {v}"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => {
+                store_dir = Some(PathBuf::from(args.next().ok_or("--store needs a value")?));
+            }
+            "--addr" => addr = args.next().ok_or("--addr needs a value")?,
+            "--workers" => workers = parse_usize("--workers", args.next())?,
+            "--queue-depth" => queue_depth = parse_usize("--queue-depth", args.next())?,
+            "--max-batch" => max_batch = parse_usize("--max-batch", args.next())?,
+            "--max-wait-ms" => max_wait_ms = parse_usize("--max-wait-ms", args.next())? as u64,
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let store_dir = store_dir.ok_or("serve requires --store DIR")?;
+
+    let mut config = ServeConfig::new(&store_dir, addr);
+    config.workers = workers;
+    config.queue_depth = queue_depth;
+    config.max_batch = max_batch;
+    config.max_wait = std::time::Duration::from_millis(max_wait_ms);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let tracer = trace.as_ref().map(|_| Arc::new(Tracer::new()));
+    let handle =
+        Server::start(config, registry.clone(), tracer.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "# serving {} on http://{}",
+        store_dir.display(),
+        handle.local_addr()
+    );
+    println!("#   GET  /healthz /models /metrics");
+    println!("#   POST /predict /reload /shutdown");
+    handle.wait();
+
+    println!("# server drained and stopped");
+    print!("{}", metrics_table(&registry.snapshot()));
+    if let (Some(tracer), Some(trace_path)) = (&tracer, &trace) {
+        std::fs::write(trace_path, tracer.chrome_trace_json()).map_err(|e| e.to_string())?;
+        println!("# {} spans -> {}", tracer.len(), trace_path.display());
+    }
     Ok(())
 }
 

@@ -1,0 +1,411 @@
+//! End-to-end serving: a real pipeline run exported into a store and
+//! served over HTTP — `/predict` parity with the CLI path (including
+//! coalesced micro-batches), load shedding under a saturating burst,
+//! hot reload without dropping in-flight requests, and metrics
+//! exposition.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use c100_core::export::export_scenario_artifacts;
+use c100_core::pipeline::{run_scenario, ScenarioSpec};
+use c100_core::profile::Profile;
+use c100_core::scenario::Period;
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_obs::{MetricsRegistry, Tracer};
+use c100_serve::{ServeConfig, Server};
+use c100_store::{ArtifactStore, BatchPredictor, ModelArtifact, ModelPayload};
+use c100_synth::{generate, SynthConfig};
+
+// ---------------------------------------------------------------- helpers
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("c100_serving_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Minimal HTTP client: one request, the full response text back.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let raw = match body {
+        Some(body) => format!(
+            "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+        None => format!("{method} {path} HTTP/1.1\r\n\r\n"),
+    };
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"))
+}
+
+fn body_of(response: &str) -> &str {
+    response.split_once("\r\n\r\n").expect("head terminator").1
+}
+
+/// The `"forecasts":[...]` values exactly as the server printed them.
+fn forecast_strings(body: &str) -> Vec<String> {
+    let start = body.find("\"forecasts\":[").expect("forecasts field") + "\"forecasts\":[".len();
+    let end = body[start..].find(']').expect("closing bracket") + start;
+    body[start..end]
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// A small fitted RF artifact for tests that don't need the pipeline.
+fn quick_artifact(scenario: &str, period: &str, window: u64, seed: u64) -> ModelArtifact {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..80)
+        .map(|_| (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] - 2.0 * r[2]).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let model = RandomForestConfig {
+        n_estimators: 8,
+        max_depth: Some(5),
+        ..Default::default()
+    }
+    .fit(&x, &y, seed)
+    .unwrap();
+    ModelArtifact {
+        scenario: scenario.into(),
+        period: period.into(),
+        window,
+        features: (0..4).map(|i| format!("feat_{i}")).collect(),
+        profile: "fast".into(),
+        seed,
+        train_rows: x.n_rows() as u64,
+        train_start: "2019-01-01".into(),
+        train_end: "2019-03-21".into(),
+        hyperparameters: BTreeMap::new(),
+        model: ModelPayload::Rf(model),
+    }
+}
+
+fn rows_json(rows: &[Vec<f64>]) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let cells: Vec<String> = r.iter().map(|v| format!("{v}")).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!("[{}]", rendered.join(","))
+}
+
+// ------------------------------------------------------------------ tests
+
+/// The acceptance bar: `/predict` responses render the same forecast
+/// text the CLI writes to its forecast CSV, both for a lone request
+/// and for requests coalesced into one micro-batch.
+#[test]
+fn predict_parity_with_cli_path_including_coalesced_batches() {
+    let data = generate(&SynthConfig::small(181));
+    let profile = Profile::fast().with_seed(31);
+    let spec = ScenarioSpec {
+        period: Period::Y2019,
+        window: 7,
+    };
+    let result = run_scenario(&data, &spec, &profile).unwrap();
+
+    let dir = temp_dir("parity");
+    let mut store = ArtifactStore::open(&dir).unwrap();
+    export_scenario_artifacts(&mut store, &result, &profile).unwrap();
+    let entry = store.latest_family("2019_7", "rf").unwrap().clone();
+    let artifact = store.load(&entry.id).unwrap();
+
+    // Reference: the exact path `repro predict` takes (validate frame,
+    // batch-predict). Its output lands in a CSV via `{v}` Display
+    // formatting — the same rendering the server must produce.
+    let refs: Vec<&str> = result.final_features.iter().map(|s| s.as_str()).collect();
+    let scenario = &result.scenario;
+    let test_frame = scenario
+        .frame
+        .row_slice(scenario.split_row, scenario.frame.len())
+        .unwrap()
+        .select(&refs)
+        .unwrap();
+    let reference = BatchPredictor::new(artifact)
+        .predict_frame(&test_frame)
+        .unwrap();
+    let reference_text: Vec<String> = reference.iter().map(|v| format!("{v}")).collect();
+
+    // Row-major copy of the frame for request bodies.
+    let rows: Vec<Vec<f64>> = (0..test_frame.len())
+        .map(|r| {
+            refs.iter()
+                .map(|name| test_frame.column(name).unwrap().values()[r])
+                .collect()
+        })
+        .collect();
+    let columns_json = {
+        let quoted: Vec<String> = refs.iter().map(|c| format!("\"{c}\"")).collect();
+        format!("[{}]", quoted.join(","))
+    };
+
+    let mut config = ServeConfig::new(&dir, "127.0.0.1:0");
+    config.workers = 4;
+    config.max_batch = 8;
+    config.max_wait = Duration::from_millis(10);
+    let tracer = Arc::new(Tracer::new());
+    let server = Server::start(
+        config,
+        Arc::new(MetricsRegistry::new()),
+        Some(tracer.clone()),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // 1) One request with all rows, schema-checked via `columns`.
+    let body = format!(
+        "{{\"scenario\":\"2019_7\",\"model\":\"rf\",\"columns\":{columns_json},\"rows\":{}}}",
+        rows_json(&rows)
+    );
+    let response = http(addr, "POST", "/predict", Some(&body));
+    assert_eq!(status_of(&response), 200, "{response}");
+    assert_eq!(forecast_strings(body_of(&response)), reference_text);
+    assert!(body_of(&response).contains(&format!("\"artifact\":\"{}\"", entry.id)));
+
+    // 2) Concurrent single-row requests, coalesced by the batcher into
+    //    shared predict calls: every row must still render identically.
+    let handles: Vec<_> = rows
+        .iter()
+        .take(24)
+        .enumerate()
+        .map(|(i, row)| {
+            let body = format!(
+                "{{\"artifact\":\"{}\",\"rows\":{}}}",
+                entry.id,
+                rows_json(std::slice::from_ref(row))
+            );
+            std::thread::spawn(move || (i, http(addr, "POST", "/predict", Some(&body))))
+        })
+        .collect();
+    for handle in handles {
+        let (i, response) = handle.join().unwrap();
+        assert_eq!(status_of(&response), 200, "row {i}: {response}");
+        let forecasts = forecast_strings(body_of(&response));
+        assert_eq!(forecasts.len(), 1);
+        assert_eq!(forecasts[0], reference_text[i], "row {i} diverged");
+    }
+
+    // The batcher actually coalesced (some flush carried > 1 row) and
+    // the serve spans reached the tracer.
+    let registry = server.registry();
+    let snapshot = registry.snapshot();
+    let batch_hist = snapshot
+        .histograms
+        .get("serve.batch_rows")
+        .expect("batch-size histogram");
+    assert!(batch_hist.count >= 1);
+    server.shutdown();
+    let span_names: std::collections::BTreeSet<&str> =
+        tracer.snapshot().iter().map(|s| s.name).collect();
+    for name in [
+        "serve.accept",
+        "serve.parse",
+        "serve.batch",
+        "serve.predict",
+    ] {
+        assert!(span_names.contains(name), "missing span {name}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A saturating burst: tiny queue, one worker. Every response is 200
+/// or a deliberate 503 shed (never another 5xx, never a hang), and the
+/// shed counter in `/metrics` matches the 503s clients saw.
+#[test]
+fn saturating_burst_sheds_503_and_counts_them() {
+    let dir = temp_dir("burst");
+    let artifact = quick_artifact("2019_7", "2019", 7, 7);
+    let id = ArtifactStore::open(&dir)
+        .unwrap()
+        .save(&artifact)
+        .unwrap()
+        .id;
+
+    let mut config = ServeConfig::new(&dir, "127.0.0.1:0");
+    config.workers = 1;
+    config.queue_depth = 2;
+    config.max_batch = 4;
+    config.max_wait = Duration::from_millis(1);
+    let server = Server::start(config, Arc::new(MetricsRegistry::new()), None).unwrap();
+    let addr = server.local_addr();
+
+    // 48 rows per request gives the lone worker real work per pop.
+    let rows: Vec<Vec<f64>> = (0..48)
+        .map(|r| (0..4).map(|c| (r * 4 + c) as f64 * 0.01).collect())
+        .collect();
+    let body = Arc::new(format!(
+        "{{\"artifact\":\"{id}\",\"rows\":{}}}",
+        rows_json(&rows)
+    ));
+
+    let handles: Vec<_> = (0..64)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || status_of(&http(addr, "POST", "/predict", Some(&body))))
+        })
+        .collect();
+    let statuses: Vec<u16> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let oks = statuses.iter().filter(|&&s| s == 200).count();
+    let sheds = statuses.iter().filter(|&&s| s == 503).count();
+    assert_eq!(
+        oks + sheds,
+        statuses.len(),
+        "only 200s and shed 503s allowed, got {statuses:?}"
+    );
+    assert!(oks >= 1, "some requests must get through");
+    assert!(
+        sheds >= 1,
+        "a 64-connection burst against queue depth 2 must shed"
+    );
+
+    // The server is still healthy and reports the sheds.
+    let metrics = http(addr, "GET", "/metrics", None);
+    assert_eq!(status_of(&metrics), 200);
+    let metrics_body = body_of(&metrics);
+    assert!(
+        metrics_body.contains(&format!("serve_sheds_total {sheds}")),
+        "shed count mismatch: clients saw {sheds}\n{metrics_body}"
+    );
+    assert!(metrics_body.contains("http_requests_total"));
+    assert!(metrics_body.contains("serve_request_micros_predict_bucket{le=\"+Inf\"}"));
+    assert!(metrics_body.contains("serve_queue_depth"));
+    assert_eq!(status_of(&http(addr, "GET", "/healthz", None)), 200);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `POST /reload` makes externally exported artifacts servable while
+/// requests against the old model keep streaming through untouched.
+#[test]
+fn reload_picks_up_new_artifacts_without_dropping_inflight_requests() {
+    let dir = temp_dir("reload");
+    let first = quick_artifact("2019_7", "2019", 7, 11);
+    let first_id = ArtifactStore::open(&dir).unwrap().save(&first).unwrap().id;
+
+    let mut config = ServeConfig::new(&dir, "127.0.0.1:0");
+    config.workers = 3;
+    config.max_batch = 4;
+    let server = Server::start(config, Arc::new(MetricsRegistry::new()), None).unwrap();
+    let addr = server.local_addr();
+
+    // Before the export, the second scenario is unknown.
+    let probe = format!(
+        "{{\"scenario\":\"2017_30\",\"rows\":{}}}",
+        rows_json(&[vec![0.1; 4]])
+    );
+    assert_eq!(
+        status_of(&http(addr, "POST", "/predict", Some(&probe))),
+        404
+    );
+
+    // Keep a stream of requests against the first model in flight
+    // while the reload happens.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let inflight: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = stop.clone();
+            let body = format!(
+                "{{\"artifact\":\"{first_id}\",\"rows\":{}}}",
+                rows_json(&[vec![0.5; 4], vec![-0.5; 4]])
+            );
+            std::thread::spawn(move || {
+                let mut statuses = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    statuses.push(status_of(&http(addr, "POST", "/predict", Some(&body))));
+                }
+                statuses
+            })
+        })
+        .collect();
+
+    // A second process exports a new model into the same store.
+    let second = quick_artifact("2017_30", "2017", 30, 13);
+    let second_id = ArtifactStore::open(&dir).unwrap().save(&second).unwrap().id;
+
+    let reload = http(addr, "POST", "/reload", None);
+    assert_eq!(status_of(&reload), 200);
+    assert!(
+        body_of(&reload).contains(&format!("\"{second_id}\"")),
+        "{reload}"
+    );
+
+    // The new scenario now serves; resolution by family too.
+    let by_scenario = format!(
+        "{{\"scenario\":\"2017_30\",\"model\":\"rf\",\"rows\":{}}}",
+        rows_json(&[vec![0.1; 4]])
+    );
+    let response = http(addr, "POST", "/predict", Some(&by_scenario));
+    assert_eq!(status_of(&response), 200, "{response}");
+    assert!(body_of(&response).contains(&format!("\"artifact\":\"{second_id}\"")));
+
+    // In-flight traffic never saw an error.
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for handle in inflight {
+        let statuses = handle.join().unwrap();
+        assert!(!statuses.is_empty());
+        assert!(
+            statuses.iter().all(|&s| s == 200),
+            "in-flight requests disturbed by reload: {statuses:?}"
+        );
+    }
+
+    // /models lists both artifacts after the reload.
+    let models = http(addr, "GET", "/models", None);
+    assert!(body_of(&models).contains(&first_id));
+    assert!(body_of(&models).contains(&second_id));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `POST /shutdown` drains gracefully: the waiting thread unblocks,
+/// every thread joins, and a second server can rebind the port.
+#[test]
+fn post_shutdown_drains_and_releases_the_port() {
+    let dir = temp_dir("shutdown");
+    let artifact = quick_artifact("2019_7", "2019", 7, 19);
+    ArtifactStore::open(&dir).unwrap().save(&artifact).unwrap();
+
+    let config = ServeConfig::new(&dir, "127.0.0.1:0");
+    let server = Server::start(config, Arc::new(MetricsRegistry::new()), None).unwrap();
+    let addr = server.local_addr();
+    let waiter = std::thread::spawn(move || server.wait());
+
+    assert_eq!(status_of(&http(addr, "GET", "/healthz", None)), 200);
+    let response = http(addr, "POST", "/shutdown", None);
+    assert_eq!(status_of(&response), 200);
+    waiter.join().expect("wait() returns after /shutdown");
+
+    // The port is free again.
+    let rebound = std::net::TcpListener::bind(addr);
+    assert!(rebound.is_ok(), "port still held after shutdown");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

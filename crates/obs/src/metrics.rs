@@ -1,10 +1,14 @@
-//! Monotonic counters and duration histograms aggregated across a run.
+//! Monotonic counters, gauges, and duration histograms aggregated
+//! across a run.
 //!
-//! [`MetricsRegistry`] can be used directly (`inc` / `observe_micros`) or
-//! registered as a [`RunObserver`] sink, in which case it derives a
-//! standard set of metrics from the event stream: per-stage duration
-//! histograms, scenario/run totals, FRA iteration and grid-candidate
-//! counters. Snapshots are plain data and render to JSON without serde.
+//! [`MetricsRegistry`] can be used directly (`inc` / `set_gauge` /
+//! `observe_micros`) or registered as a [`RunObserver`] sink, in which
+//! case it derives a standard set of metrics from the event stream:
+//! per-stage duration histograms, scenario/run totals, FRA iteration and
+//! grid-candidate counters. Snapshots are plain data and render to JSON
+//! (machine diffing, `repro compare`) or to a Prometheus-style text
+//! exposition ([`MetricsSnapshot::to_text`], the `GET /metrics` format
+//! of `c100-serve`) without serde.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -67,6 +71,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -93,6 +98,14 @@ impl MetricsRegistry {
         *inner.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
+    /// Sets the named gauge to an instantaneous value (last write wins).
+    /// Unlike counters, gauges can move in both directions — queue
+    /// depths, cache sizes, worker counts.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
     /// Records one duration observation in the named histogram.
     pub fn observe_micros(&self, name: &str, micros: u64) {
         let mut inner = self.inner.lock().expect("metrics registry poisoned");
@@ -113,6 +126,7 @@ impl MetricsRegistry {
         let inner = self.inner.lock().expect("metrics registry poisoned");
         MetricsSnapshot {
             counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
             histograms: inner
                 .histograms
                 .iter()
@@ -256,6 +270,8 @@ impl HistogramSnapshot {
 pub struct MetricsSnapshot {
     /// Counter name → value.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last set value.
+    pub gauges: BTreeMap<String, f64>,
     /// Histogram name → snapshot.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -271,6 +287,17 @@ impl MetricsSnapshot {
             out.push_str(&format!(": {value}"));
         }
         if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_escaped(&mut out, name);
+            out.push_str(": ");
+            write_float(&mut out, *value);
+        }
+        if !self.gauges.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("},\n  \"histograms\": {");
@@ -320,6 +347,14 @@ impl MetricsSnapshot {
                 counters.insert(name.clone(), section.req_uint(name)?);
             }
         }
+        // Absent in files written before gauges existed; an empty map
+        // keeps those round-tripping.
+        let mut gauges = BTreeMap::new();
+        if let Some(section @ Value::Object(map)) = value.get("gauges") {
+            for name in map.keys() {
+                gauges.insert(name.clone(), section.req_float(name)?);
+            }
+        }
         let mut histograms = BTreeMap::new();
         if let Some(Value::Object(map)) = value.get("histograms") {
             for (name, h) in map {
@@ -353,9 +388,67 @@ impl MetricsSnapshot {
         }
         Ok(MetricsSnapshot {
             counters,
+            gauges,
             histograms,
         })
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` comments, `_total`-style counters as
+    /// written, histograms as cumulative `_bucket{le="..."}` series plus
+    /// `_sum` / `_count`. Metric names are sanitized (`.` → `_`, any
+    /// other non-`[a-zA-Z0-9_:]` byte → `_`) so registry keys like
+    /// `stage.tune_micros` become legal Prometheus names.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(
+            64 * (self.counters.len() + self.gauges.len()) + 512 * self.histograms.len(),
+        );
+        for (name, value) in &self.counters {
+            let name = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} "));
+            write_float(&mut out, *value);
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            // Prometheus buckets are cumulative, ours are per-bucket.
+            let mut cumulative = 0u64;
+            for bucket in &h.buckets {
+                cumulative += bucket.count;
+                match bucket.le_micros {
+                    Some(le) => {
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    }
+                    None => {
+                        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "{name}_sum {}\n{name}_count {}\n",
+                h.sum_micros, h.count
+            ));
+        }
+        out
+    }
+}
+
+/// Maps a registry key to a legal Prometheus metric name.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -591,11 +684,53 @@ mod tests {
         let m = MetricsRegistry::new();
         m.inc("events_total");
         m.add("rows", 512);
+        m.set_gauge("serve.queue_depth", 3.0);
+        m.set_gauge("serve.load", 0.75);
         m.observe_micros("stage.fra_micros", 1234);
         m.observe_micros("stage.fra_micros", 2_000_000_000);
         let snap = m.snapshot();
         let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn gauges_take_the_last_written_value() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("depth", 4.0);
+        m.set_gauge("depth", 2.0);
+        assert_eq!(m.snapshot().gauges["depth"], 2.0);
+    }
+
+    #[test]
+    fn text_exposition_renders_all_metric_kinds() {
+        let m = MetricsRegistry::new();
+        m.add("http_requests_total", 7);
+        m.set_gauge("serve.queue_depth", 3.0);
+        m.observe_micros("http.predict_micros", 5); // bucket le=10
+        m.observe_micros("http.predict_micros", 50_000); // bucket le=100_000
+        let text = m.snapshot().to_text();
+        assert!(text.contains("# TYPE http_requests_total counter\nhttp_requests_total 7\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 3.0\n"));
+        assert!(text.contains("# TYPE http_predict_micros histogram\n"));
+        // Buckets are cumulative: the le=10 bucket holds 1, everything
+        // from le=100000 on holds 2, and +Inf equals the count.
+        assert!(text.contains("http_predict_micros_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("http_predict_micros_bucket{le=\"100000\"} 2\n"));
+        assert!(text.contains("http_predict_micros_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("http_predict_micros_sum 50005\n"));
+        assert!(text.contains("http_predict_micros_count 2\n"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line {line:?}");
+        }
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_gauges_section() {
+        let snap =
+            MetricsSnapshot::from_json("{\"counters\":{\"a\":1},\"histograms\":{}}").unwrap();
+        assert!(snap.gauges.is_empty());
+        assert_eq!(snap.counters["a"], 1);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Shared model cache over an [`ArtifactStore`].
+//!
+//! The cache keys decoded [`BatchPredictor`]s by artifact id. Ids are
+//! content addresses, so a cached predictor can never be stale — a
+//! changed model is a *new* id — and the cache needs no invalidation,
+//! only growth. [`reload`](ModelCache::reload) re-reads the store
+//! manifest so ids exported by another process become resolvable;
+//! requests already holding an `Arc<BatchPredictor>` are untouched by a
+//! reload, which is what makes `POST /reload` a zero-downtime hot swap.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+
+use c100_store::{ArtifactStore, BatchPredictor, ManifestEntry, StoreError};
+
+/// Thread-safe map from artifact id to a ready-to-serve predictor.
+pub struct ModelCache {
+    /// The store is consulted for manifest lookups and artifact loads;
+    /// a `Mutex` suffices because hits never touch it.
+    store: Mutex<ArtifactStore>,
+    predictors: RwLock<HashMap<String, Arc<BatchPredictor>>>,
+}
+
+impl ModelCache {
+    /// Opens the artifact store under `root` and an empty cache.
+    pub fn open(root: &Path) -> Result<ModelCache, StoreError> {
+        Ok(ModelCache {
+            store: Mutex::new(ArtifactStore::open(root)?),
+            predictors: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// All manifest entries currently visible, in save order.
+    pub fn entries(&self) -> Vec<ManifestEntry> {
+        self.store.lock().expect("store poisoned").list().to_vec()
+    }
+
+    /// Manifest entry for an exact artifact id.
+    pub fn entry(&self, id: &str) -> Option<ManifestEntry> {
+        self.store
+            .lock()
+            .expect("store poisoned")
+            .list()
+            .iter()
+            .find(|e| e.id == id)
+            .cloned()
+    }
+
+    /// Latest entry for a scenario, optionally narrowed to a model
+    /// family (`rf` / `gbdt`).
+    pub fn resolve_latest(&self, scenario: &str, family: Option<&str>) -> Option<ManifestEntry> {
+        let store = self.store.lock().expect("store poisoned");
+        match family {
+            Some(f) => store.latest_family(scenario, f).cloned(),
+            None => store.latest(scenario).cloned(),
+        }
+    }
+
+    /// The predictor for an artifact id, loading and caching it on
+    /// first use. Concurrent first uses may both load; the artifact is
+    /// immutable, so either copy is equally correct and one wins the
+    /// insert.
+    pub fn predictor(&self, id: &str) -> Result<Arc<BatchPredictor>, StoreError> {
+        if let Some(p) = self
+            .predictors
+            .read()
+            .expect("predictor cache poisoned")
+            .get(id)
+        {
+            return Ok(p.clone());
+        }
+        let artifact = self.store.lock().expect("store poisoned").load(id)?;
+        let predictor = Arc::new(BatchPredictor::new(artifact));
+        let mut cache = self.predictors.write().expect("predictor cache poisoned");
+        Ok(cache.entry(id.to_string()).or_insert(predictor).clone())
+    }
+
+    /// Re-reads the manifest from disk; returns ids that just became
+    /// visible. Existing cached predictors are untouched.
+    pub fn reload(&self) -> Result<Vec<String>, StoreError> {
+        self.store.lock().expect("store poisoned").reload()
+    }
+
+    /// Number of predictors currently decoded and cached.
+    pub fn cached(&self) -> usize {
+        self.predictors
+            .read()
+            .expect("predictor cache poisoned")
+            .len()
+    }
+}

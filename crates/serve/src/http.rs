@@ -1,0 +1,525 @@
+//! Strict HTTP/1.1 request parsing and response writing.
+//!
+//! The parser is deliberately narrow: origin-form targets, `GET`/`POST`
+//! only, bodies framed by `Content-Length` only. Everything outside
+//! that envelope maps to a precise 4xx — `405` for other methods, `414`
+//! for an oversized request line, `431` for an oversized header block,
+//! `413` for a body beyond the configured cap, and `400` for anything
+//! malformed (including `Transfer-Encoding`, which this server refuses
+//! rather than mis-frames). It is incremental — bytes arrive in
+//! arbitrary splits from a socket and are buffered until a full request
+//! materialises — and total: no byte sequence panics.
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// Longest accepted request line (`GET /path HTTP/1.1`), per RFC 9112's
+/// recommended minimum. Beyond this the target is the likely culprit:
+/// `414 URI Too Long`.
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024;
+
+/// Longest accepted head (request line + all headers + terminator).
+/// Beyond this: `431 Request Header Fields Too Large`.
+pub const MAX_HEAD_BYTES: usize = 32 * 1024;
+
+/// Default body cap; [`ServeConfig`](crate::ServeConfig) can override.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// The two methods this server understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET` — read-only endpoints.
+    Get,
+    /// `POST` — endpoints with a request body or side effects.
+    Post,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Get => write!(f, "GET"),
+            Method::Post => write!(f, "POST"),
+        }
+    }
+}
+
+/// A fully parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Origin-form target as sent, query string included.
+    pub target: String,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Target with any query string stripped — the routing key.
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((path, _)) => path,
+            None => &self.target,
+        }
+    }
+}
+
+/// Why a request was rejected; each variant maps to one status code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Structurally invalid request (`400`).
+    BadRequest(String),
+    /// A method other than `GET`/`POST` (`405`).
+    MethodNotAllowed(String),
+    /// Declared body larger than the configured cap (`413`).
+    PayloadTooLarge(u64),
+    /// Request line beyond [`MAX_REQUEST_LINE_BYTES`] (`414`).
+    UriTooLong(usize),
+    /// Head beyond [`MAX_HEAD_BYTES`] (`431`).
+    HeadersTooLarge(usize),
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::MethodNotAllowed(_) => 405,
+            HttpError::PayloadTooLarge(_) => 413,
+            HttpError::UriTooLong(_) => 414,
+            HttpError::HeadersTooLarge(_) => 431,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::MethodNotAllowed(m) => {
+                write!(f, "method '{m}' not allowed (only GET and POST)")
+            }
+            HttpError::PayloadTooLarge(n) => write!(f, "request body of {n} bytes exceeds limit"),
+            HttpError::UriTooLong(n) => write!(f, "request line of {n} bytes exceeds limit"),
+            HttpError::HeadersTooLarge(n) => write!(f, "request head of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Incremental request parser. Feed socket bytes with
+/// [`push`](Self::push) in whatever splits they arrive; a request is
+/// returned as soon as its head and declared body are complete. Errors
+/// are terminal — the connection should answer with
+/// [`HttpError::status`] and close.
+pub struct RequestParser {
+    buf: Vec<u8>,
+    max_body_bytes: usize,
+}
+
+impl RequestParser {
+    /// A parser enforcing the given body cap (head limits are fixed).
+    pub fn new(max_body_bytes: usize) -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            max_body_bytes,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends bytes and attempts to complete a request. `Ok(None)`
+    /// means more bytes are needed.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        self.buf.extend_from_slice(bytes);
+        self.try_parse()
+    }
+
+    fn try_parse(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_len) = find_terminator(&self.buf) else {
+            // The head is still streaming in; enforce limits on what is
+            // already buffered so a hostile peer cannot grow it forever.
+            if !self.buf.contains(&b'\n') && self.buf.len() > MAX_REQUEST_LINE_BYTES {
+                return Err(HttpError::UriTooLong(self.buf.len()));
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::HeadersTooLarge(self.buf.len()));
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadersTooLarge(head_len));
+        }
+
+        let head = std::str::from_utf8(&self.buf[..head_len])
+            .map_err(|_| HttpError::BadRequest("head is not valid UTF-8".into()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        if request_line.len() > MAX_REQUEST_LINE_BYTES {
+            return Err(HttpError::UriTooLong(request_line.len()));
+        }
+        let (method, target) = parse_request_line(request_line)?;
+        let headers = lines
+            .map(parse_header_line)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(HttpError::BadRequest(
+                "Transfer-Encoding is not supported; frame the body with Content-Length".into(),
+            ));
+        }
+        let body_len = content_length(&headers)?;
+        if body_len > self.max_body_bytes as u64 {
+            return Err(HttpError::PayloadTooLarge(body_len));
+        }
+        let body_len = body_len as usize;
+
+        // 4 bytes of `\r\n\r\n` terminator sit between head and body.
+        let total = head_len + 4 + body_len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[head_len + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            target,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Index of the `\r\n\r\n` head terminator (length of the head before
+/// it), if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_request_line(line: &str) -> Result<(Method, String), HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line '{line}'"
+        )));
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        // Any other all-uppercase token is a real method we refuse;
+        // anything else is line noise, not HTTP.
+        m if !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()) => {
+            return Err(HttpError::MethodNotAllowed(m.to_string()))
+        }
+        m => return Err(HttpError::BadRequest(format!("invalid method '{m}'"))),
+    };
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "target '{target}' is not origin-form"
+        )));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version '{version}'"
+        )));
+    }
+    Ok((method, target.to_string()))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::BadRequest(format!(
+            "header line '{line}' has no colon"
+        )));
+    };
+    // RFC 9112: no whitespace between field name and colon.
+    if name.is_empty()
+        || !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+    {
+        return Err(HttpError::BadRequest(format!(
+            "invalid header name '{name}'"
+        )));
+    }
+    Ok((name.to_ascii_lowercase(), value.trim().to_string()))
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<u64, HttpError> {
+    let mut values = headers.iter().filter(|(n, _)| n == "content-length");
+    let Some((_, first)) = values.next() else {
+        return Ok(0);
+    };
+    // Duplicate Content-Length headers are a request-smuggling vector;
+    // accept them only when they all agree.
+    if values.any(|(_, v)| v != first) {
+        return Err(HttpError::BadRequest(
+            "conflicting Content-Length headers".into(),
+        ));
+    }
+    first
+        .parse::<u64>()
+        .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length '{first}'")))
+}
+
+/// A response under construction; always framed with `Content-Length`
+/// and `Connection: close` (the server is strictly one request per
+/// connection).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code to send.
+    pub status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A response carrying a JSON body.
+    pub fn json(status: u16, body: String) -> Response {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into_bytes())
+    }
+
+    /// A response carrying a plain-text body.
+    pub fn text(status: u16, body: String) -> Response {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into_bytes())
+    }
+
+    /// A JSON error envelope: `{"error":"..."}`.
+    pub fn error_json(status: u16, message: &str) -> Response {
+        let mut body = String::with_capacity(message.len() + 12);
+        body.push_str("{\"error\":");
+        c100_obs::json::write_escaped(&mut body, message);
+        body.push_str("}\n");
+        Response::json(status, body)
+    }
+
+    /// Adds a header (builder-style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Replaces the body (builder-style).
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Serializes status line, headers, and body to the writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        RequestParser::new(DEFAULT_MAX_BODY_BYTES).push(bytes)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse_all(b"POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn needs_more_until_declared_body_arrives() {
+        let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+        assert!(parser
+            .push(b"POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nab")
+            .unwrap()
+            .is_none());
+        let req = parser.push(b"cd").unwrap().unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn one_byte_at_a_time_parses_identically() {
+        let raw = b"POST /a?x=1 HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+        let mut done = None;
+        for &b in raw.iter() {
+            if let Some(req) = parser.push(&[b]).unwrap() {
+                done = Some(req);
+            }
+        }
+        let req = done.expect("request completes on final byte");
+        assert_eq!(req.path(), "/a");
+        assert_eq!(req.target, "/a?x=1");
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn unknown_method_is_405() {
+        let err = parse_all(b"DELETE /models HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 405);
+    }
+
+    #[test]
+    fn garbage_request_line_is_400() {
+        for raw in [
+            &b"not http at all\r\n\r\n"[..],
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            let err = parse_all(raw).unwrap_err();
+            assert_eq!(err.status(), 400, "input {raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let line = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(MAX_REQUEST_LINE_BYTES)
+        );
+        assert_eq!(parse_all(line.as_bytes()).unwrap_err().status(), 414);
+        // Also before any newline has arrived.
+        let endless = vec![b'a'; MAX_REQUEST_LINE_BYTES + 1];
+        assert_eq!(parse_all(&endless).unwrap_err().status(), 414);
+    }
+
+    #[test]
+    fn oversized_header_block_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        while raw.len() <= MAX_HEAD_BYTES {
+            raw.extend_from_slice(b"X-Pad: yyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyy\r\n");
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(parse_all(&raw).unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        let err =
+            parse_all(b"POST /predict HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let mut parser = RequestParser::new(16);
+        let err = parser
+            .push(b"POST /predict HTTP/1.1\r\nContent-Length: 17\r\n\r\n")
+            .unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_400() {
+        let err =
+            parse_all(b"POST /p HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nab")
+                .unwrap_err();
+        assert_eq!(err.status(), 400);
+        // Agreeing duplicates are tolerated.
+        let req =
+            parse_all(b"POST /p HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.body, b"ab");
+    }
+
+    #[test]
+    fn response_writes_content_length_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_json_escapes_the_message() {
+        let resp = Response::error_json(400, "a \"quoted\" thing");
+        let body = std::str::from_utf8(resp.body()).unwrap();
+        assert_eq!(body, "{\"error\":\"a \\\"quoted\\\" thing\"}\n");
+    }
+}

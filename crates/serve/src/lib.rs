@@ -1,0 +1,93 @@
+//! Zero-dependency HTTP/1.1 inference server over the artifact store.
+//!
+//! `c100-serve` turns a directory managed by
+//! [`ArtifactStore`](c100_store::ArtifactStore) into a long-running
+//! prediction service built entirely on `std::net` and `std::sync` — no
+//! async runtime, no HTTP framework. The pieces:
+//!
+//! - [`http`] — a strict, incremental HTTP/1.1 request parser and
+//!   response writer. Bodies are `Content-Length` framed only; anything
+//!   else (unknown methods, oversized request lines or headers,
+//!   `Transfer-Encoding`) is rejected with the precise 4xx status.
+//! - [`queue`] — a bounded connection queue. The acceptor thread
+//!   `try_push`es sockets; when the queue is full the connection is
+//!   load-shed with `503` + `Retry-After` instead of piling up latency.
+//! - [`cache`] — a [`ModelCache`] mapping artifact
+//!   ids to shared [`BatchPredictor`](c100_store::BatchPredictor)s.
+//!   Artifacts are content-addressed and immutable, so cached entries
+//!   never go stale; `POST /reload` re-reads the manifest to pick up
+//!   models exported after startup without dropping in-flight requests.
+//! - [`batcher`] — a micro-batcher that coalesces queued `/predict`
+//!   rows for the same artifact into one batch-predict call, flushing
+//!   on a row budget or a wait deadline. Per-row predictions are
+//!   independent of batch composition, so coalescing is bit-identical
+//!   to serving each request alone.
+//! - [`server`] — the acceptor + worker-pool assembly, request routing,
+//!   metrics, tracing spans (`serve.accept` / `serve.parse` /
+//!   `serve.batch` / `serve.predict`), and graceful shutdown (drain the
+//!   queue, flush the batcher, join every thread).
+//!
+//! The server reuses the `c100-obs` observability substrate: request
+//! and shed counters, per-endpoint latency histograms, queue-depth
+//! gauge, and batch-size histogram all live in a
+//! [`MetricsRegistry`](c100_obs::MetricsRegistry) and render through
+//! `GET /metrics`; spans feed the same `Tracer`/chrome-trace/compare
+//! tooling as pipeline runs.
+
+pub mod batcher;
+pub mod cache;
+pub mod http;
+pub mod queue;
+pub mod server;
+
+pub use cache::ModelCache;
+pub use http::{HttpError, Method, Request, RequestParser, Response};
+pub use server::{ServeConfig, Server, ServerHandle};
+
+use std::fmt;
+
+/// Errors surfaced while standing up or running the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, accept, read, write).
+    Io(std::io::Error),
+    /// The artifact store could not be opened or read.
+    Store(c100_store::StoreError),
+    /// Invalid server configuration (zero workers, bad address, ...).
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server I/O error: {e}"),
+            ServeError::Store(e) => write!(f, "artifact store error: {e}"),
+            ServeError::Config(msg) => write!(f, "invalid server configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Store(e) => Some(e),
+            ServeError::Config(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<c100_store::StoreError> for ServeError {
+    fn from(e: c100_store::StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

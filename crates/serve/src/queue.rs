@@ -1,0 +1,208 @@
+//! Bounded multi-producer multi-consumer queue built on
+//! `Mutex` + `Condvar`.
+//!
+//! The server uses one instance as its connection backlog: the acceptor
+//! [`try_push`](BoundedQueue::try_push)es sockets and treats `Full` as
+//! a load-shed signal (respond `503` immediately rather than queue
+//! unbounded latency), while workers block in
+//! [`pop`](BoundedQueue::pop) until work or shutdown arrives.
+//! [`close`](BoundedQueue::close) makes `pop` drain whatever is already
+//! queued and then return `None`, which is exactly the graceful-drain
+//! behaviour shutdown needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] rejected an item; the item is handed
+/// back so the caller can respond on it (e.g. write the `503`).
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity — shed load.
+    Full(T),
+    /// The queue was closed — the server is shutting down.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared between threads.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking. Returns the queue depth after the
+    /// push, or the item back inside the error when full or closed.
+    pub fn try_push(&self, item: T) -> Result<usize, TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available and returns it, or returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, poppers drain what is
+    /// left and then observe `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Current depth (racy by nature; for gauges only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for gauges only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_and_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(TryPushError::Full(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_stops_consumers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        match q.try_push(3) {
+            Err(TryPushError::Closed(3)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the consumers a moment to block, then close.
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_move_every_item() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..4u32)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..50u32 {
+                        let item = p * 1000 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(_) => break,
+                                Err(TryPushError::Full(_)) => thread::yield_now(),
+                                Err(TryPushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u32> = (0..4u32)
+            .flat_map(|p| (0..50u32).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,708 @@
+//! Acceptor, worker pool, routing, and graceful shutdown.
+//!
+//! Thread topology:
+//!
+//! ```text
+//! acceptor ──try_push──▶ BoundedQueue<TcpStream> ──pop──▶ worker × N
+//!                │ (full)                                   │
+//!                ▼                                          ├─▶ direct predict   (batching off)
+//!            503 + Retry-After                              └─▶ batcher thread   (batching on)
+//! ```
+//!
+//! Each connection carries exactly one request (`Connection: close`),
+//! which keeps the framing trivial and makes load shedding precise:
+//! a queue slot is a whole request. Shutdown is graceful by
+//! construction — the acceptor stops accepting, workers drain what the
+//! queue already holds, the batcher flushes pending rows, and only
+//! then do threads join.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use c100_obs::json::{self, Value};
+use c100_obs::{MetricsRegistry, Tracer};
+use c100_store::{BatchPredictor, StoreError};
+
+use crate::batcher::{Batcher, PredictJob};
+use crate::cache::ModelCache;
+use crate::http::{self, HttpError, Method, Request, RequestParser, Response};
+use crate::queue::{BoundedQueue, TryPushError};
+use crate::{Result, ServeError};
+
+/// Server construction parameters; every knob has a serviceable
+/// default so `ServeConfig::new(dir, addr)` is a working server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Artifact store directory to serve models from.
+    pub store_dir: PathBuf,
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded connection-queue capacity; beyond it requests shed 503.
+    pub queue_depth: usize,
+    /// Row budget per coalesced batch; `<= 1` disables micro-batching
+    /// and workers predict directly.
+    pub max_batch: usize,
+    /// Longest a queued `/predict` row waits for batch-mates.
+    pub max_wait: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl ServeConfig {
+    /// A config with default sizing for the given store and address.
+    pub fn new(store_dir: impl Into<PathBuf>, addr: impl Into<String>) -> ServeConfig {
+        ServeConfig {
+            store_dir: store_dir.into(),
+            addr: addr.into(),
+            workers: 4,
+            queue_depth: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// Everything worker/acceptor threads share.
+struct Shared {
+    cache: ModelCache,
+    queue: BoundedQueue<TcpStream>,
+    registry: Arc<MetricsRegistry>,
+    tracer: Option<Arc<Tracer>>,
+    shutdown: AtomicBool,
+    /// Signalled when any party requests shutdown; `wait` blocks here.
+    shutdown_requested: (Mutex<bool>, Condvar),
+    max_body_bytes: usize,
+    max_batch: usize,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let (lock, cv) = &self.shutdown_requested;
+        *lock.lock().expect("shutdown flag poisoned") = true;
+        cv.notify_all();
+    }
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<Batcher>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (shared with all threads).
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        self.shared.registry.clone()
+    }
+
+    /// Flags shutdown without blocking; `wait`/`shutdown` perform the
+    /// actual drain and join.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+        wake_acceptor(self.addr);
+    }
+
+    /// Blocks until shutdown is requested (by [`Self::request_shutdown`]
+    /// or `POST /shutdown`), then drains and joins everything.
+    pub fn wait(mut self) {
+        let (lock, cv) = &self.shared.shutdown_requested;
+        let mut requested = lock.lock().expect("shutdown flag poisoned");
+        while !*requested {
+            requested = cv.wait(requested).expect("shutdown flag poisoned");
+        }
+        drop(requested);
+        wake_acceptor(self.addr);
+        self.join_all();
+    }
+
+    /// Requests shutdown and blocks until the server is fully drained.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        // Order matters: stop intake, drain the queue, then let the
+        // batcher flush what the workers submitted.
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(batcher) = self.batcher.take() {
+            batcher.shutdown();
+        }
+        self.shared.registry.set_gauge(QUEUE_DEPTH_METRIC, 0.0);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shared.request_shutdown();
+            wake_acceptor(self.addr);
+            self.join_all();
+        }
+    }
+}
+
+/// Unblocks a listener stuck in `accept` by dialing it once.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+const QUEUE_DEPTH_METRIC: &str = "serve.queue_depth";
+const SHEDS_METRIC: &str = "serve.sheds_total";
+
+/// The inference server; [`start`](Server::start) is the entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns acceptor/workers/batcher, and returns a handle.
+    /// The registry and tracer are shared so callers can render
+    /// `/metrics` or dump spans after shutdown.
+    pub fn start(
+        config: ServeConfig,
+        registry: Arc<MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Result<ServerHandle> {
+        if config.workers == 0 {
+            return Err(ServeError::Config("workers must be >= 1".into()));
+        }
+        let cache = ModelCache::open(&config.store_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            cache,
+            queue: BoundedQueue::new(config.queue_depth),
+            registry: registry.clone(),
+            tracer: tracer.clone(),
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: (Mutex::new(false), Condvar::new()),
+            max_body_bytes: config.max_body_bytes,
+            max_batch: config.max_batch,
+        });
+
+        let batcher = if config.max_batch > 1 {
+            Some(Batcher::start(
+                config.max_batch,
+                config.max_wait,
+                registry,
+                tracer,
+            ))
+        } else {
+            None
+        };
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                let batch_tx = batcher.as_ref().map(|b| b.sender());
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, batch_tx))
+                    .map_err(ServeError::Io)
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))
+                .map_err(ServeError::Io)?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            batcher,
+        })
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // This is (or raced with) the shutdown wake-up dial.
+            return;
+        }
+        let _span = shared
+            .tracer
+            .as_deref()
+            .map(|t| t.span("serve", "serve.accept"));
+        match shared.queue.try_push(stream) {
+            Ok(depth) => shared.registry.set_gauge(QUEUE_DEPTH_METRIC, depth as f64),
+            Err(TryPushError::Full(stream)) => {
+                // Count synchronously so /metrics is exact, but write the
+                // 503 off-thread: draining a slow client must not stall
+                // the accept loop. Shed threads are short-lived (500ms
+                // timeouts) and bounded by the accept rate.
+                shared.registry.inc(SHEDS_METRIC);
+                shared.registry.inc("http.responses.5xx");
+                std::thread::spawn(move || shed(stream));
+            }
+            Err(TryPushError::Closed(_)) => return,
+        }
+    }
+}
+
+/// Load-shed: answer `503` with `Retry-After` straight from the
+/// acceptor so a saturated worker pool cannot delay the signal.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let resp = Response::error_json(503, "server is at capacity, retry shortly")
+        .with_header("Retry-After", "1");
+    if resp.write_to(&mut stream).is_err() {
+        return;
+    }
+    // Closing with unread request bytes in the receive buffer makes the
+    // kernel send RST, which can destroy the 503 before the client reads
+    // it. Signal end-of-response, then drain (bounded) until the client's
+    // FIN so the close is graceful.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 256 * 1024 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, batch_tx: Option<Sender<PredictJob>>) {
+    while let Some(stream) = shared.queue.pop() {
+        shared
+            .registry
+            .set_gauge(QUEUE_DEPTH_METRIC, shared.queue.len() as f64);
+        handle_connection(shared, batch_tx.as_ref(), stream);
+    }
+}
+
+fn handle_connection(
+    shared: &Shared,
+    batch_tx: Option<&Sender<PredictJob>>,
+    mut stream: TcpStream,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+
+    let request = {
+        let _span = shared
+            .tracer
+            .as_deref()
+            .map(|t| t.span("serve", "serve.parse"));
+        match read_request(shared, &mut stream) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // peer went away before a full request
+            Err(e) => {
+                shared.registry.inc("http.requests_total");
+                shared.registry.inc("http.responses.4xx");
+                let _ = Response::error_json(e.status(), &e.to_string()).write_to(&mut stream);
+                return;
+            }
+        }
+    };
+
+    let started = Instant::now();
+    // A panic in a handler must not take the worker down with it.
+    let routed = catch_unwind(AssertUnwindSafe(|| route(shared, batch_tx, &request)));
+    let (endpoint, response) = routed.unwrap_or_else(|_| {
+        (
+            "panic",
+            Response::error_json(500, "internal server error: handler panicked"),
+        )
+    });
+
+    shared.registry.inc("http.requests_total");
+    shared.registry.inc(&format!("http.requests.{endpoint}"));
+    let class = match response.status {
+        200..=299 => "2xx",
+        300..=499 => "4xx",
+        _ => "5xx",
+    };
+    shared.registry.inc(&format!("http.responses.{class}"));
+    shared.registry.observe(
+        &format!("serve.request_micros.{endpoint}"),
+        started.elapsed(),
+    );
+    let _ = response.write_to(&mut stream);
+}
+
+/// Reads one request off the socket. `Ok(None)` means the peer closed
+/// (or timed out) before completing a request — nothing to answer.
+fn read_request(
+    shared: &Shared,
+    stream: &mut TcpStream,
+) -> std::result::Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new(shared.max_body_bytes);
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                if parser.buffered() > 0 {
+                    return Err(HttpError::BadRequest(
+                        "connection closed mid-request".into(),
+                    ));
+                }
+                return Ok(None);
+            }
+            Ok(n) => {
+                if let Some(request) = parser.push(&buf[..n])? {
+                    return Ok(Some(request));
+                }
+            }
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+fn route(
+    shared: &Shared,
+    batch_tx: Option<&Sender<PredictJob>>,
+    request: &Request,
+) -> (&'static str, Response) {
+    match (request.method, request.path()) {
+        (Method::Get, "/healthz") => ("healthz", healthz(shared)),
+        (Method::Get, "/models") => ("models", models(shared)),
+        (Method::Get, "/metrics") => ("metrics", metrics(shared)),
+        (Method::Post, "/predict") => ("predict", predict(shared, batch_tx, request)),
+        (Method::Post, "/reload") => ("reload", reload(shared)),
+        (Method::Post, "/shutdown") => ("shutdown", shutdown(shared)),
+        (_, path @ ("/healthz" | "/models" | "/metrics")) => (
+            "other",
+            Response::error_json(405, &format!("{path} only supports GET"))
+                .with_header("Allow", "GET"),
+        ),
+        (_, path @ ("/predict" | "/reload" | "/shutdown")) => (
+            "other",
+            Response::error_json(405, &format!("{path} only supports POST"))
+                .with_header("Allow", "POST"),
+        ),
+        (_, path) => (
+            "other",
+            Response::error_json(404, &format!("no such endpoint: {path}")),
+        ),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let mut body = String::from("{\"status\":\"ok\",\"models\":");
+    body.push_str(&shared.cache.entries().len().to_string());
+    body.push_str("}\n");
+    Response::json(200, body)
+}
+
+fn models(shared: &Shared) -> Response {
+    let entries = shared.cache.entries();
+    let mut body = String::from("{\"models\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"id\":");
+        json::write_escaped(&mut body, &e.id);
+        body.push_str(",\"scenario\":");
+        json::write_escaped(&mut body, &e.scenario);
+        body.push_str(",\"model\":");
+        json::write_escaped(&mut body, &e.model);
+        body.push_str(&format!(",\"bytes\":{},\"seq\":{}}}", e.bytes, e.seq));
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+fn metrics(shared: &Shared) -> Response {
+    Response::text(200, shared.registry.snapshot().to_text())
+}
+
+fn reload(shared: &Shared) -> Response {
+    match shared.cache.reload() {
+        Ok(new_ids) => {
+            let mut body = String::from("{\"new_artifacts\":[");
+            for (i, id) in new_ids.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                json::write_escaped(&mut body, id);
+            }
+            body.push_str("]}\n");
+            Response::json(200, body)
+        }
+        Err(e) => Response::error_json(500, &format!("reload failed: {e}")),
+    }
+}
+
+fn shutdown(shared: &Shared) -> Response {
+    shared.request_shutdown();
+    Response::json(200, "{\"status\":\"shutting down\"}\n".to_string())
+}
+
+/// Parsed body of `POST /predict`.
+struct PredictRequest {
+    artifact: Option<String>,
+    scenario: Option<String>,
+    model: Option<String>,
+    columns: Option<Vec<String>>,
+    rows: Vec<Vec<f64>>,
+}
+
+fn predict(shared: &Shared, batch_tx: Option<&Sender<PredictJob>>, request: &Request) -> Response {
+    let parsed = match parse_predict_body(&request.body) {
+        Ok(parsed) => parsed,
+        Err(message) => return Response::error_json(400, &message),
+    };
+
+    // Resolve which artifact to run.
+    let entry = if let Some(id) = &parsed.artifact {
+        match shared.cache.entry(id) {
+            Some(entry) => entry,
+            None => return Response::error_json(404, &format!("no artifact with id '{id}'")),
+        }
+    } else if let Some(scenario) = &parsed.scenario {
+        match shared
+            .cache
+            .resolve_latest(scenario, parsed.model.as_deref())
+        {
+            Some(entry) => entry,
+            None => {
+                let family = parsed.model.as_deref().unwrap_or("any");
+                return Response::error_json(
+                    404,
+                    &format!("no artifact for scenario '{scenario}' (family: {family})"),
+                );
+            }
+        }
+    } else {
+        return Response::error_json(400, "body must name either 'artifact' or 'scenario'");
+    };
+
+    let predictor = match shared.cache.predictor(&entry.id) {
+        Ok(predictor) => predictor,
+        Err(e) => return Response::error_json(500, &format!("failed to load artifact: {e}")),
+    };
+
+    // Validate against the stored schema *before* coalescing so batch
+    // errors can only ever be infrastructure faults, and schema errors
+    // carry the exhaustive column diagnosis verbatim.
+    if let Some(columns) = &parsed.columns {
+        let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+        if let Err(e) = predictor.validate_columns(&names) {
+            let message = match e {
+                StoreError::Schema(schema) => schema.to_string(),
+                other => other.to_string(),
+            };
+            return Response::error_json(400, &message);
+        }
+    }
+    let width = predictor.artifact().features.len();
+    for (i, row) in parsed.rows.iter().enumerate() {
+        if row.len() != width {
+            return Response::error_json(
+                400,
+                &format!(
+                    "row {i} has {} values, the model's schema has {width} features",
+                    row.len()
+                ),
+            );
+        }
+        if let Some(c) = row.iter().position(|v| !v.is_finite()) {
+            return Response::error_json(
+                400,
+                &format!(
+                    "row {i} has a non-finite value in column '{}'",
+                    predictor.artifact().features[c]
+                ),
+            );
+        }
+    }
+    if parsed.rows.is_empty() {
+        return Response::error_json(400, "'rows' must contain at least one row");
+    }
+
+    let forecasts = match batch_tx {
+        Some(tx) if shared.max_batch > 1 => {
+            match predict_batched(shared, tx, &entry.id, predictor.clone(), parsed.rows) {
+                Ok(forecasts) => forecasts,
+                Err(message) => return Response::error_json(500, &message),
+            }
+        }
+        _ => {
+            let span = shared
+                .tracer
+                .as_deref()
+                .map(|t| t.span(&predictor.artifact().scenario, "serve.predict"));
+            let result = rows_to_forecasts(&predictor, parsed.rows);
+            drop(span);
+            match result {
+                Ok(forecasts) => forecasts,
+                Err(message) => return Response::error_json(500, &message),
+            }
+        }
+    };
+
+    let artifact = predictor.artifact();
+    let mut body = String::with_capacity(64 + forecasts.len() * 20);
+    body.push_str("{\"artifact\":");
+    json::write_escaped(&mut body, &entry.id);
+    body.push_str(",\"scenario\":");
+    json::write_escaped(&mut body, &artifact.scenario);
+    body.push_str(",\"model\":");
+    json::write_escaped(&mut body, artifact.model.family());
+    body.push_str(&format!(",\"rows\":{},\"forecasts\":[", forecasts.len()));
+    for (i, v) in forecasts.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        // `Display` formatting, matching the CLI's forecast CSV exactly
+        // so `/predict` output diffs clean against `repro predict`.
+        body.push_str(&format!("{v}"));
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+/// Direct (unbatched) prediction on the worker thread.
+fn rows_to_forecasts(
+    predictor: &BatchPredictor,
+    rows: Vec<Vec<f64>>,
+) -> std::result::Result<Vec<f64>, String> {
+    let width = predictor.artifact().features.len().max(1);
+    let mut flat = Vec::with_capacity(rows.len() * width);
+    for row in &rows {
+        flat.extend_from_slice(row);
+    }
+    c100_ml::data::Matrix::from_row_major(flat, width)
+        .map_err(|e| e.to_string())
+        .and_then(|m| predictor.predict_matrix(&m).map_err(|e| e.to_string()))
+}
+
+/// Hands rows to the batcher and waits for this job's slice.
+fn predict_batched(
+    shared: &Shared,
+    tx: &Sender<PredictJob>,
+    artifact_id: &str,
+    predictor: Arc<BatchPredictor>,
+    rows: Vec<Vec<f64>>,
+) -> std::result::Result<Vec<f64>, String> {
+    let scenario = predictor.artifact().scenario.clone();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    tx.send(PredictJob {
+        artifact_id: artifact_id.to_string(),
+        scenario,
+        predictor,
+        rows,
+        reply: reply_tx,
+    })
+    .map_err(|_| "batcher is shut down".to_string())?;
+    // The batcher always answers (flush-on-drop included); the timeout
+    // is a last-ditch guard against a wedged thread, not a code path.
+    match reply_rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(reply) => reply,
+        Err(_) => {
+            shared.registry.inc("serve.batch_reply_timeouts");
+            Err("timed out waiting for batched prediction".to_string())
+        }
+    }
+}
+
+fn parse_predict_body(body: &[u8]) -> std::result::Result<PredictRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("empty body; expected a JSON object".to_string());
+    }
+    let value = json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+
+    let opt_str = |key: &str| -> std::result::Result<Option<String>, String> {
+        match value.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(Value::String(s)) => Ok(Some(s.clone())),
+            Some(_) => Err(format!("'{key}' must be a string")),
+        }
+    };
+    let artifact = opt_str("artifact")?;
+    let scenario = opt_str("scenario")?;
+    let model = opt_str("model")?;
+
+    let columns = match value.get("columns") {
+        None | Some(Value::Null) => None,
+        Some(Value::Array(items)) => {
+            let mut names = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Value::String(s) => names.push(s.clone()),
+                    _ => return Err("'columns' must be an array of strings".to_string()),
+                }
+            }
+            Some(names)
+        }
+        Some(_) => return Err("'columns' must be an array of strings".to_string()),
+    };
+
+    let rows = match value.get("rows") {
+        Some(Value::Array(items)) => {
+            let mut rows = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let Value::Array(cells) = item else {
+                    return Err(format!("'rows[{i}]' must be an array of numbers"));
+                };
+                let mut row = Vec::with_capacity(cells.len());
+                for cell in cells {
+                    match cell {
+                        Value::Number(v) => row.push(*v),
+                        _ => {
+                            return Err(format!("'rows[{i}]' must contain only numbers (no nulls)"))
+                        }
+                    }
+                }
+                rows.push(row);
+            }
+            rows
+        }
+        _ => return Err("'rows' must be an array of arrays of numbers".to_string()),
+    };
+
+    Ok(PredictRequest {
+        artifact,
+        scenario,
+        model,
+        columns,
+        rows,
+    })
+}

@@ -1,0 +1,264 @@
+//! Socket-level framing tests against a live server on loopback:
+//! requests written one byte at a time, responses read in tiny chunks,
+//! and every 4xx limit exercised over a real TCP connection.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_obs::MetricsRegistry;
+use c100_serve::{ServeConfig, Server, ServerHandle};
+use c100_store::{ArtifactStore, ModelArtifact, ModelPayload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("c100_serve_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A tiny fitted RF artifact saved into a fresh store; returns the
+/// store root, the artifact id, and rows it can predict on.
+fn seeded_store(tag: &str) -> (PathBuf, String, Vec<Vec<f64>>) {
+    let root = temp_store(tag);
+    let mut rng = StdRng::seed_from_u64(17);
+    let rows: Vec<Vec<f64>> = (0..60)
+        .map(|_| (0..3).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 - r[1]).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let config = RandomForestConfig {
+        n_estimators: 5,
+        max_depth: Some(4),
+        ..Default::default()
+    };
+    let model = config.fit(&x, &y, 17).unwrap();
+    let artifact = ModelArtifact {
+        scenario: "2019_7".into(),
+        period: "2019".into(),
+        window: 7,
+        features: (0..3).map(|i| format!("feat_{i}")).collect(),
+        profile: "fast".into(),
+        seed: 17,
+        train_rows: x.n_rows() as u64,
+        train_start: "2019-01-01".into(),
+        train_end: "2019-03-01".into(),
+        hyperparameters: BTreeMap::new(),
+        model: ModelPayload::Rf(model),
+    };
+    let entry = ArtifactStore::open(&root).unwrap().save(&artifact).unwrap();
+    (root, entry.id, rows)
+}
+
+fn start_server(root: &PathBuf) -> ServerHandle {
+    let mut config = ServeConfig::new(root, "127.0.0.1:0");
+    config.workers = 2;
+    config.queue_depth = 16;
+    config.max_batch = 4;
+    config.max_wait = Duration::from_millis(2);
+    config.max_body_bytes = 64 * 1024;
+    Server::start(config, Arc::new(MetricsRegistry::new()), None).unwrap()
+}
+
+/// Sends raw bytes in `chunk`-sized writes and returns the full
+/// response text (status line, headers, body).
+fn roundtrip(server: &ServerHandle, raw: &[u8], chunk: usize) -> String {
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    for piece in raw.chunks(chunk.max(1)) {
+        stream.write_all(piece).unwrap();
+        stream.flush().unwrap();
+        if chunk < raw.len() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"))
+}
+
+/// Splits a response at the blank line, returning (head, body).
+fn split_response(response: &str) -> (&str, &str) {
+    response
+        .split_once("\r\n\r\n")
+        .expect("response has a head terminator")
+}
+
+#[test]
+fn single_byte_writes_parse_like_one_shot() {
+    let (root, id, rows) = seeded_store("split_writes");
+    let server = start_server(&root);
+    let body = format!(
+        "{{\"artifact\":\"{id}\",\"rows\":[[{},{},{}]]}}",
+        rows[0][0], rows[0][1], rows[0][2]
+    );
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+
+    let whole = roundtrip(&server, raw.as_bytes(), raw.len());
+    let trickled = roundtrip(&server, raw.as_bytes(), 1);
+    assert_eq!(status_of(&whole), 200, "{whole}");
+    // Bodies identical regardless of write pattern.
+    assert_eq!(split_response(&whole).1, split_response(&trickled).1);
+    assert!(split_response(&whole).1.contains("\"forecasts\":["));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn response_honours_its_content_length_under_partial_reads() {
+    let (root, _, _) = seeded_store("partial_read");
+    let server = start_server(&root);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(b"GET /models HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+
+    // Read in 7-byte sips until EOF (server closes after one response).
+    let mut response = Vec::new();
+    let mut buf = [0u8; 7];
+    loop {
+        match stream.read(&mut buf).unwrap() {
+            0 => break,
+            n => response.extend_from_slice(&buf[..n]),
+        }
+    }
+    let text = String::from_utf8(response).unwrap();
+    assert_eq!(status_of(&text), 200);
+    let (head, body) = split_response(&text);
+    let declared: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length present")
+        .parse()
+        .unwrap();
+    assert_eq!(body.len(), declared, "framing must match the declaration");
+    assert!(head.contains("Connection: close"));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn limit_violations_map_to_precise_statuses_over_tcp() {
+    let (root, _, _) = seeded_store("limits");
+    let server = start_server(&root);
+
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"DELETE /models HTTP/1.1\r\n\r\n".to_vec(), 405),
+        (
+            format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000)).into_bytes(),
+            414,
+        ),
+        (
+            {
+                let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+                while raw.len() <= 33 * 1024 {
+                    raw.extend_from_slice(b"X-Pad: zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz\r\n");
+                }
+                raw.extend_from_slice(b"\r\n");
+                raw
+            },
+            431,
+        ),
+        (
+            b"POST /predict HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /predict HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n".to_vec(),
+            413,
+        ),
+        (b"GET /nope HTTP/1.1\r\n\r\n".to_vec(), 404),
+        (
+            b"POST /models HTTP/1.1\r\nContent-Length: 0\r\n\r\n".to_vec(),
+            405,
+        ),
+    ];
+    for (raw, expected) in cases {
+        let response = roundtrip(&server, &raw, raw.len());
+        assert_eq!(
+            status_of(&response),
+            expected,
+            "request {:?}...",
+            String::from_utf8_lossy(&raw[..raw.len().min(40)])
+        );
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn schema_mismatch_400_names_every_offending_column() {
+    let (root, id, _) = seeded_store("schema_400");
+    let server = start_server(&root);
+    // Columns reordered (swap 0 and 2) — both positions must be named.
+    let body = format!(
+        "{{\"artifact\":\"{id}\",\"columns\":[\"feat_2\",\"feat_1\",\"feat_0\"],\"rows\":[[1,2,3]]}}"
+    );
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = roundtrip(&server, raw.as_bytes(), raw.len());
+    assert_eq!(status_of(&response), 400, "{response}");
+    let (_, resp_body) = split_response(&response);
+    for fragment in [
+        "position 0 (expected 'feat_0', found 'feat_2')",
+        "position 2 (expected 'feat_2', found 'feat_0')",
+    ] {
+        assert!(resp_body.contains(fragment), "{resp_body}");
+    }
+
+    // Missing + extra simultaneously: both named in one response.
+    let body = format!(
+        "{{\"artifact\":\"{id}\",\"columns\":[\"feat_0\",\"feat_1\",\"bonus\"],\"rows\":[[1,2,3]]}}"
+    );
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = roundtrip(&server, raw.as_bytes(), raw.len());
+    assert_eq!(status_of(&response), 400);
+    let (_, resp_body) = split_response(&response);
+    assert!(resp_body.contains("missing ['feat_2']"), "{resp_body}");
+    assert!(resp_body.contains("unexpected ['bonus']"), "{resp_body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn half_open_connection_is_dropped_without_response() {
+    let (root, _, _) = seeded_store("half_open");
+    let server = start_server(&root);
+    {
+        // Write half a request line and hang up.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET /hea").unwrap();
+    }
+    // The server must survive and keep answering.
+    let response = roundtrip(&server, b"GET /healthz HTTP/1.1\r\n\r\n", 64);
+    assert_eq!(status_of(&response), 200);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,93 @@
+//! Property tests for the HTTP parser: no byte sequence, however
+//! mangled or however split across reads, panics the parser — it either
+//! completes a request, waits for more bytes, or fails with a typed
+//! [`HttpError`]. Split position must never change the outcome.
+
+use c100_serve::http::DEFAULT_MAX_BODY_BYTES;
+use c100_serve::{HttpError, Request, RequestParser};
+use proptest::prelude::*;
+
+/// Drives a parser over `bytes` in the given chunk sizes (cycled).
+fn feed(bytes: &[u8], chunks: &[usize]) -> Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+    let mut offset = 0;
+    let mut c = 0;
+    while offset < bytes.len() {
+        let step = chunks.get(c % chunks.len()).copied().unwrap_or(1).max(1);
+        c += 1;
+        let end = (offset + step).min(bytes.len());
+        match parser.push(&bytes[offset..end]) {
+            Ok(Some(request)) => return Ok(Some(request)),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+        offset = end;
+    }
+    Ok(None)
+}
+
+/// A plausible request that the mutation tests start from.
+fn template(body_len: usize) -> Vec<u8> {
+    let body: String = (0..body_len)
+        .map(|i| ((i % 10) as u8 + b'0') as char)
+        .collect();
+    format!(
+        "POST /predict HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in proptest::collection::vec(0u32..256, 0..512)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        // Whole-buffer and byte-at-a-time feeds must both merely
+        // return — any panic fails the test harness itself.
+        let whole = feed(&bytes, &[bytes.len().max(1)]);
+        let trickled = feed(&bytes, &[1]);
+        // Outcomes agree (parsing is deterministic over content, not
+        // over arrival pattern).
+        prop_assert_eq!(format!("{whole:?}"), format!("{trickled:?}"));
+    }
+
+    #[test]
+    fn mutated_requests_never_panic(
+        (body_len, flips) in (0usize..64, proptest::collection::vec((0usize..256, 0u32..256), 1..8))
+    ) {
+        let mut bytes = template(body_len);
+        for &(pos, val) in &flips {
+            let idx = pos % bytes.len();
+            bytes[idx] = val as u8;
+        }
+        let _ = feed(&bytes, &[bytes.len()]);
+        let _ = feed(&bytes, &[7]);
+    }
+
+    #[test]
+    fn split_position_never_changes_the_parse(
+        (body_len, chunks) in (0usize..64, proptest::collection::vec(1usize..40, 1..6))
+    ) {
+        let bytes = template(body_len);
+        let reference = feed(&bytes, &[bytes.len()]).unwrap().expect("template parses");
+        let split = feed(&bytes, &chunks).unwrap().expect("split parse completes");
+        prop_assert_eq!(&reference, &split);
+        prop_assert_eq!(split.body.len(), body_len);
+    }
+
+    #[test]
+    fn truncations_of_a_valid_request_need_more_not_panic(
+        (body_len, cut_seed) in (1usize..64, 0usize..4096)
+    ) {
+        let bytes = template(body_len);
+        let cut = cut_seed % bytes.len();
+        // A strict prefix either waits for more bytes or, if the head
+        // is complete but the body is short, also waits. Never an error,
+        // never a request.
+        let outcome = feed(&bytes[..cut], &[3]);
+        prop_assert!(matches!(outcome, Ok(None)), "prefix of {cut} bytes gave {outcome:?}");
+    }
+}

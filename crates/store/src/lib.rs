@@ -73,22 +73,38 @@ pub enum StoreError {
     Ml(c100_ml::MlError),
 }
 
+/// One position where an input's column order disagrees with the
+/// stored feature schema (the column sets are already known to match).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderedColumn {
+    /// Zero-based position of the disagreement.
+    pub position: usize,
+    /// Column the schema expects at that position.
+    pub expected: String,
+    /// Column the input actually has there.
+    pub found: String,
+}
+
 /// How an input frame diverged from an artifact's stored feature schema.
+///
+/// Column divergences are reported exhaustively — *every* missing,
+/// extra, and reordered column is named, not just the first one found —
+/// so a client fixing its request sees the whole distance to the schema
+/// in one round trip. `c100-serve` surfaces the [`fmt::Display`] text
+/// of this error verbatim in `400` response bodies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchemaError {
-    /// A column the model was trained on is absent from the input.
-    MissingColumn(String),
-    /// The input carries a column the model has never seen.
-    UnexpectedColumn(String),
-    /// Same column set, wrong order — silently reordering would feed
-    /// features into the wrong tree splits, so it is a hard error.
-    Reordered {
-        /// Zero-based position of the first disagreement.
-        position: usize,
-        /// Column the schema expects at that position.
-        expected: String,
-        /// Column the input actually has there.
-        found: String,
+    /// The input's column set or order does not match the schema.
+    /// Silently reindexing would feed features into the wrong tree
+    /// splits, so any divergence is a hard error.
+    Mismatch {
+        /// Schema columns absent from the input.
+        missing: Vec<String>,
+        /// Input columns the model was never trained on.
+        extra: Vec<String>,
+        /// Positions where the (set-equal) column order disagrees;
+        /// empty whenever `missing` or `extra` is non-empty.
+        reordered: Vec<ReorderedColumn>,
     },
     /// A feature cell is NaN; the predictor refuses to extrapolate
     /// through missing values.
@@ -103,23 +119,56 @@ pub enum SchemaError {
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchemaError::MissingColumn(c) => write!(f, "input is missing feature column '{c}'"),
-            SchemaError::UnexpectedColumn(c) => {
-                write!(f, "input has column '{c}' the model was not trained on")
+            SchemaError::Mismatch {
+                missing,
+                extra,
+                reordered,
+            } => {
+                write!(f, "input columns do not match the model's feature schema:")?;
+                let mut first = true;
+                let mut sep = |f: &mut fmt::Formatter<'_>| {
+                    let s = if first { " " } else { "; " };
+                    first = false;
+                    write!(f, "{s}")
+                };
+                if !missing.is_empty() {
+                    sep(f)?;
+                    write!(f, "missing [{}]", quoted_list(missing))?;
+                }
+                if !extra.is_empty() {
+                    sep(f)?;
+                    write!(f, "unexpected [{}]", quoted_list(extra))?;
+                }
+                if !reordered.is_empty() {
+                    sep(f)?;
+                    write!(f, "reordered ")?;
+                    for (i, r) in reordered.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(
+                            f,
+                            "at position {} (expected '{}', found '{}')",
+                            r.position, r.expected, r.found
+                        )?;
+                    }
+                }
+                Ok(())
             }
-            SchemaError::Reordered {
-                position,
-                expected,
-                found,
-            } => write!(
-                f,
-                "feature columns reordered at position {position}: expected '{expected}', found '{found}'"
-            ),
             SchemaError::MissingValue { column, row } => {
                 write!(f, "missing value in column '{column}' at row {row}")
             }
         }
     }
+}
+
+/// `'a', 'b', 'c'` — the column-list form used by schema errors.
+fn quoted_list(names: &[String]) -> String {
+    names
+        .iter()
+        .map(|n| format!("'{n}'"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 impl fmt::Display for StoreError {

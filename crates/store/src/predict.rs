@@ -16,7 +16,7 @@ use c100_timeseries::Frame;
 use rayon::prelude::*;
 
 use crate::artifact::ModelArtifact;
-use crate::{Result, SchemaError, StoreError};
+use crate::{ReorderedColumn, Result, SchemaError, StoreError};
 
 /// Default rows per parallel prediction chunk. Ensemble traversal is
 /// cheap per row, so chunks amortize scheduling overhead; 256 rows per
@@ -69,33 +69,54 @@ impl BatchPredictor {
     }
 
     /// Checks a frame's columns against the stored feature schema:
-    /// exact names, exact order. Returns the most specific
-    /// [`SchemaError`] on any divergence.
+    /// exact names, exact order. On any divergence returns a
+    /// [`SchemaError::Mismatch`] naming *every* missing, extra, and
+    /// reordered column.
     pub fn validate_frame(&self, frame: &Frame) -> Result<()> {
-        let got = frame.column_names();
+        self.validate_columns(&frame.column_names())
+    }
+
+    /// Column-name form of [`validate_frame`](Self::validate_frame),
+    /// for callers (like the inference server) that receive a column
+    /// list without building a frame.
+    pub fn validate_columns(&self, got: &[&str]) -> Result<()> {
         let want = &self.artifact.features;
-        for name in want {
-            if !got.iter().any(|g| g == name) {
-                return Err(SchemaError::MissingColumn(name.clone()).into());
-            }
-        }
-        for g in &got {
-            if !want.iter().any(|w| w == g) {
-                return Err(SchemaError::UnexpectedColumn((*g).to_string()).into());
-            }
-        }
-        // Same sets — any remaining disagreement is an ordering one.
-        for (position, (w, g)) in want.iter().zip(&got).enumerate() {
-            if w != g {
-                return Err(SchemaError::Reordered {
+        let missing: Vec<String> = want
+            .iter()
+            .filter(|name| !got.iter().any(|g| g == *name))
+            .cloned()
+            .collect();
+        let extra: Vec<String> = got
+            .iter()
+            .filter(|g| !want.iter().any(|w| w == *g))
+            .map(|g| g.to_string())
+            .collect();
+        // Ordering only makes sense to report once the sets agree;
+        // otherwise positions shift and the list is noise.
+        let reordered: Vec<ReorderedColumn> = if missing.is_empty() && extra.is_empty() {
+            want.iter()
+                .zip(got)
+                .enumerate()
+                .filter(|(_, (w, g))| w != g)
+                .map(|(position, (w, g))| ReorderedColumn {
                     position,
                     expected: w.clone(),
-                    found: (*g).to_string(),
-                }
-                .into());
+                    found: g.to_string(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if missing.is_empty() && extra.is_empty() && reordered.is_empty() {
+            Ok(())
+        } else {
+            Err(SchemaError::Mismatch {
+                missing,
+                extra,
+                reordered,
             }
+            .into())
         }
-        Ok(())
     }
 
     /// Predicts one value per frame row. The frame must match the

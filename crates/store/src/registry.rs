@@ -153,6 +153,34 @@ impl ArtifactStore {
         Ok(artifact)
     }
 
+    /// Re-reads `manifest.json` so a long-lived process observes
+    /// artifacts exported *after* it opened the store (the manifest is
+    /// otherwise only read at [`open`](Self::open)). Returns the ids
+    /// that became visible with this reload, in manifest (save) order.
+    ///
+    /// A manifest that disappeared is treated as empty (nothing new); a
+    /// present-but-malformed manifest is an error and leaves the
+    /// in-memory view untouched, so a half-written external export can
+    /// never wipe a serving process's index.
+    pub fn reload(&mut self) -> Result<Vec<String>> {
+        let manifest_path = self.root.join(MANIFEST_FILE);
+        let (entries, next_seq) = if manifest_path.exists() {
+            parse_manifest(&fs::read_to_string(&manifest_path)?)?
+        } else {
+            (Vec::new(), 0)
+        };
+        let new_ids: Vec<String> = entries
+            .iter()
+            .filter(|e| !self.entries.iter().any(|have| have.id == e.id))
+            .map(|e| e.id.clone())
+            .collect();
+        self.entries = entries;
+        // Keep the larger counter: this process may have saved entries
+        // the on-disk manifest writer had not yet seen.
+        self.next_seq = self.next_seq.max(next_seq);
+        Ok(new_ids)
+    }
+
     /// All indexed artifacts in save order.
     pub fn list(&self) -> &[ManifestEntry] {
         &self.entries

@@ -189,6 +189,43 @@ fn store_save_load_list_latest() {
 }
 
 #[test]
+fn reload_surfaces_externally_saved_artifacts() {
+    let root = temp_store("reload");
+    let mut serving = ArtifactStore::open(&root).unwrap();
+    let (rf, _) = rf_artifact(41);
+    let rf_entry = serving.save(&rf).unwrap();
+
+    // Nothing new on disk: reload is a no-op that reports no ids.
+    assert!(serving.reload().unwrap().is_empty());
+    assert_eq!(serving.list().len(), 1);
+
+    // A second process (here: a second handle) exports another model.
+    let (gbdt, _) = gbdt_artifact(43);
+    let gbdt_entry = ArtifactStore::open(&root).unwrap().save(&gbdt).unwrap();
+    assert_eq!(serving.list().len(), 1, "not visible before reload");
+
+    let new_ids = serving.reload().unwrap();
+    assert_eq!(new_ids, vec![gbdt_entry.id.clone()]);
+    assert_eq!(serving.list().len(), 2);
+    assert_eq!(serving.latest("2019_7").unwrap().id, rf_entry.id);
+    assert_eq!(
+        serving.latest_family("2017_30", "gbdt").unwrap().id,
+        gbdt_entry.id
+    );
+    assert_eq!(serving.load(&gbdt_entry.id).unwrap(), gbdt);
+
+    // Reloading again reports nothing new, and saving through the
+    // serving handle afterwards still advances past on-disk seqs.
+    assert!(serving.reload().unwrap().is_empty());
+    let (rf2, _) = rf_artifact(47);
+    let rf2_entry = serving.save(&rf2).unwrap();
+    assert!(rf2_entry.seq > gbdt_entry.seq);
+    assert_eq!(serving.latest("2019_7").unwrap().id, rf2_entry.id);
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn load_of_unknown_id_is_not_found() {
     let root = temp_store("missing");
     let store = ArtifactStore::open(&root).unwrap();
@@ -346,25 +383,50 @@ fn schema_violations_are_typed_errors() {
     let (rf, x) = rf_artifact(25);
     let predictor = BatchPredictor::new(rf.clone());
 
-    // Missing column.
+    // Missing columns — every absent column is named, not just the
+    // first, and the Display text carries them verbatim.
     let mut missing = frame_from_columns(&rf.features, &x);
+    missing.drop_column("feat_0").unwrap();
     missing.drop_column("feat_2").unwrap();
     match predictor.predict_frame(&missing) {
-        Err(StoreError::Schema(SchemaError::MissingColumn(c))) => assert_eq!(c, "feat_2"),
-        other => panic!("expected MissingColumn, got {other:?}"),
+        Err(StoreError::Schema(e)) => {
+            let SchemaError::Mismatch {
+                missing,
+                extra,
+                reordered,
+            } = &e
+            else {
+                panic!("expected Mismatch, got {e:?}")
+            };
+            assert_eq!(missing, &["feat_0", "feat_2"]);
+            assert!(extra.is_empty());
+            assert!(reordered.is_empty());
+            let msg = e.to_string();
+            assert!(
+                msg.contains("'feat_0'") && msg.contains("'feat_2'"),
+                "{msg}"
+            );
+        }
+        other => panic!("expected Mismatch, got {other:?}"),
     }
 
-    // Extra column.
+    // Extra column (and a missing one at the same time): both sides of
+    // the divergence are reported together.
     let mut extra = frame_from_columns(&rf.features, &x);
+    extra.drop_column("feat_3").unwrap();
     extra
         .push_column(Series::new("bonus", vec![0.0; x.n_rows()]))
         .unwrap();
     match predictor.predict_frame(&extra) {
-        Err(StoreError::Schema(SchemaError::UnexpectedColumn(c))) => assert_eq!(c, "bonus"),
-        other => panic!("expected UnexpectedColumn, got {other:?}"),
+        Err(StoreError::Schema(SchemaError::Mismatch { missing, extra, .. })) => {
+            assert_eq!(missing, ["feat_3"]);
+            assert_eq!(extra, ["bonus"]);
+        }
+        other => panic!("expected Mismatch, got {other:?}"),
     }
 
-    // Reordered columns.
+    // Reordered columns: a single swap disagrees at both positions and
+    // both are reported.
     let mut shuffled_names = rf.features.clone();
     shuffled_names.swap(1, 3);
     let mut reordered = Frame::with_daily_index(Date::from_ymd(2020, 1, 1).unwrap(), x.n_rows());
@@ -374,10 +436,14 @@ fn schema_violations_are_typed_errors() {
         reordered.push_column(Series::new(name, values)).unwrap();
     }
     match predictor.predict_frame(&reordered) {
-        Err(StoreError::Schema(SchemaError::Reordered { position, .. })) => {
-            assert_eq!(position, 1)
+        Err(StoreError::Schema(SchemaError::Mismatch { reordered, .. })) => {
+            assert_eq!(reordered.len(), 2);
+            assert_eq!(reordered[0].position, 1);
+            assert_eq!(reordered[0].expected, "feat_1");
+            assert_eq!(reordered[0].found, "feat_3");
+            assert_eq!(reordered[1].position, 3);
         }
-        other => panic!("expected Reordered, got {other:?}"),
+        other => panic!("expected Mismatch, got {other:?}"),
     }
 
     // Missing value.
