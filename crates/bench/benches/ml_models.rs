@@ -1,5 +1,10 @@
 //! Microbenchmarks of the ML substrate: tree/forest/GBDT fitting,
-//! prediction, permutation importance and TreeSHAP.
+//! prediction, permutation importance and TreeSHAP. The exact-vs-histogram
+//! training comparison is additionally recorded to
+//! `results/BENCH_train.json` so later PRs can diff fit-time regressions.
+
+use std::path::PathBuf;
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -10,7 +15,7 @@ use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::importance::{permutation_importance, PermutationConfig};
 use c100_ml::shap::{tree_shap, ShapExplainable};
-use c100_ml::tree::{MaxFeatures, TreeConfig};
+use c100_ml::tree::{MaxFeatures, SplitMethod, TreeConfig};
 use c100_ml::Regressor;
 
 fn synthetic_regression(n_rows: usize, n_features: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -128,10 +133,136 @@ fn bench_tree_shap(c: &mut Criterion) {
     });
 }
 
+/// Median of three manual fit timings, independent of Criterion's own
+/// sampling (the recorded JSON must not depend on sampler settings).
+fn median_fit_secs(mut fit: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            fit();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[1]
+}
+
+/// Exact vs histogram training time for RF and GBDT on two dataset sizes
+/// (the larger matches a pipeline scenario's ~2000×283 design matrix).
+/// Criterion tracks the small size; both sizes land in
+/// `results/BENCH_train.json` with their median times and speedup.
+fn bench_split_methods(c: &mut Criterion) {
+    let mut recorded = String::from("{\"bench\":\"train_split_methods\",\"results\":[");
+    let mut first = true;
+    let mut group = c.benchmark_group("train_split_methods");
+    for &(rows, feats) in &[(600usize, 50usize), (2000, 283)] {
+        let (x, y) = synthetic_regression(rows, feats, 7);
+        let rf_exact = RandomForestConfig {
+            n_estimators: 10,
+            max_depth: Some(8),
+            max_features: MaxFeatures::All,
+            split_method: SplitMethod::Exact,
+            ..Default::default()
+        };
+        // Depth 5 matches the deepest GBDT config in the full-profile
+        // grid; the speedup is depth-dependent (small nodes are
+        // parity-pinned to the exact gain formula), so the bench depth
+        // is chosen to mirror what the pipeline actually fits.
+        let gbdt_exact = GbdtConfig {
+            n_estimators: 20,
+            max_depth: 5,
+            split_method: SplitMethod::Exact,
+            ..Default::default()
+        };
+        type FitEntry = (&'static str, &'static str, Box<dyn FnMut()>);
+        let mut fits: Vec<FitEntry> = vec![
+            ("rf", "exact", {
+                let (cfg, x, y) = (rf_exact.clone(), x.clone(), y.clone());
+                Box::new(move || {
+                    cfg.fit(&x, &y, 0).unwrap();
+                })
+            }),
+            ("rf", "hist", {
+                let cfg = RandomForestConfig {
+                    split_method: SplitMethod::default(),
+                    ..rf_exact.clone()
+                };
+                let (x, y) = (x.clone(), y.clone());
+                Box::new(move || {
+                    cfg.fit(&x, &y, 0).unwrap();
+                })
+            }),
+            ("gbdt", "exact", {
+                let (cfg, x, y) = (gbdt_exact.clone(), x.clone(), y.clone());
+                Box::new(move || {
+                    cfg.fit(&x, &y, 0).unwrap();
+                })
+            }),
+            ("gbdt", "hist", {
+                let cfg = GbdtConfig {
+                    split_method: SplitMethod::default(),
+                    ..gbdt_exact.clone()
+                };
+                let (x, y) = (x.clone(), y.clone());
+                Box::new(move || {
+                    cfg.fit(&x, &y, 0).unwrap();
+                })
+            }),
+        ];
+
+        let mut medians = std::collections::BTreeMap::new();
+        for (family, method, fit) in &mut fits {
+            medians.insert((*family, *method), median_fit_secs(fit));
+        }
+        for (family, depth) in [("rf", 8usize), ("gbdt", 5)] {
+            let exact = medians[&(family, "exact")];
+            let hist = medians[&(family, "hist")];
+            if !first {
+                recorded.push(',');
+            }
+            first = false;
+            recorded.push_str(&format!(
+                "{{\"model\":\"{family}\",\"rows\":{rows},\"features\":{feats},\
+                 \"max_depth\":{depth},\
+                 \"exact_median_secs\":{exact:.4},\"hist_median_secs\":{hist:.4},\
+                 \"speedup\":{:.2}}}",
+                exact / hist
+            ));
+        }
+
+        // Criterion sampling only on the small size: the exact fit on the
+        // scenario-sized matrix is measured above, and re-sampling it
+        // through Criterion would dominate the bench suite's wall time.
+        if rows == 600 {
+            for (family, method, fit) in &mut fits {
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(format!("{family}_{method}_{rows}x{feats}")),
+                    &(),
+                    |b, ()| b.iter(&mut *fit),
+                );
+            }
+        }
+    }
+    group.finish();
+    recorded.push_str("]}\n");
+
+    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
+    let path = results_dir.join("BENCH_train.json");
+    std::fs::write(&path, recorded).expect("write BENCH_train.json");
+    eprintln!(
+        "recorded training split-method comparison -> {}",
+        path.display()
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_tree_fit, bench_forest_fit, bench_gbdt_fit, bench_predict,
-              bench_permutation_importance, bench_tree_shap
+    targets = bench_split_methods, bench_tree_fit, bench_forest_fit, bench_gbdt_fit,
+              bench_predict, bench_permutation_importance, bench_tree_shap
 }
 criterion_main!(benches);

@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! repro [--profile smoke|fast|full] [--seed N] [--out DIR]
-//!       [--log-jsonl PATH] [--trace PATH] [--quiet]
-//!       [--scenarios ID,ID,...] [--save-artifacts DIR] <artifact>...
+//!       [--split exact|hist[:BINS]] [--log-jsonl PATH] [--trace PATH]
+//!       [--quiet] [--scenarios ID,ID,...] [--save-artifacts DIR]
+//!       <artifact>...
 //!
 //! artifacts:
 //!   fig1    Top-100 vs total market cap (Figure 1)
@@ -42,6 +43,11 @@
 //! aggregated per-scenario profile to `<out>/profile.json`, and prints a
 //! self-time table.
 //!
+//! `--split` overrides the split-search strategy for every model in the
+//! run: the default is quantile-binned histogram search (`hist:256`);
+//! `exact` restores the raw-value greedy search for A/B accuracy
+//! comparisons, and `hist:64` trades accuracy for speed.
+//!
 //! `repro compare` diffs two run directories (their `metrics.json` and
 //! `profile.json`) and exits non-zero when any timing row regressed by
 //! more than `--fail-over-pct` percent (default 20).
@@ -67,6 +73,7 @@ use c100_core::export::export_scenario_artifacts;
 use c100_core::pipeline::ScenarioSpec;
 use c100_core::report::{metrics_table, pct, ratio, sparkline, TextTable};
 use c100_core::scenario::Period;
+use c100_ml::tree::SplitMethod;
 use c100_obs::{
     compare, Fanout, JsonlObserver, MetricsRegistry, MetricsSnapshot, ProfileReport, RunData,
     RunObserver, StderrObserver, TraceCtx, Tracer,
@@ -80,6 +87,7 @@ use c100_timeseries::{Frame, Series};
 struct Args {
     profile: RunProfile,
     seed: u64,
+    split: Option<SplitMethod>,
     out: PathBuf,
     log_jsonl: Option<PathBuf>,
     trace: Option<PathBuf>,
@@ -96,6 +104,7 @@ const ALL_ARTIFACTS: [&str; 10] = [
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut profile = RunProfile::Full;
     let mut seed = 42u64;
+    let mut split = None;
     let mut out = PathBuf::from("results");
     let mut log_jsonl = None;
     let mut trace = None;
@@ -112,6 +121,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--split" => {
+                let v = args.next().ok_or("--split needs a value")?;
+                split = Some(SplitMethod::parse(&v).ok_or(format!(
+                    "bad split method {v} (expected exact or hist[:BINS])"
+                ))?);
             }
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a value")?);
@@ -157,6 +172,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(Args {
         profile,
         seed,
+        split,
         out,
         log_jsonl,
         trace,
@@ -252,7 +268,10 @@ fn main() {
     let tracer = args.trace.as_ref().map(|_| Tracer::new());
 
     let t1 = std::time::Instant::now();
-    let profile = args.profile.pipeline_profile(args.seed);
+    let mut profile = args.profile.pipeline_profile(args.seed);
+    if let Some(split) = args.split {
+        profile = profile.with_split_method(split);
+    }
     let mut ctx = RunContext::with_observer(&profile, observer.as_ref());
     if let Some(tracer) = &tracer {
         ctx = ctx.with_trace(TraceCtx::root(tracer));
@@ -723,6 +742,15 @@ fn run_table5(eval: &FullEvaluation, out: &Path) {
     }
     print!("{}", table.render());
     save_json(out, "table5", c100_core::report::to_json(&rows));
+    // Raw per-scenario MSEs behind tables 5/6 and §4.3. The tables
+    // report MSE *ratios*, which amplify tiny model differences; CI's
+    // exact-vs-histogram gate diffs these raw MSEs instead.
+    let diversity = format!(
+        "{{\"rf\":{},\"gbdt\":{}}}",
+        c100_core::report::to_json(&eval.rf_diversity),
+        c100_core::report::to_json(&eval.gbdt_diversity)
+    );
+    save_json(out, "diversity", diversity);
     println!();
 }
 

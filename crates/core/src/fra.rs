@@ -16,9 +16,11 @@
 
 use std::collections::HashMap;
 
+use c100_ml::data::BinnedMatrix;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::importance::{permutation_importance, PermutationConfig};
+use c100_ml::Estimator;
 use c100_obs::{Event, NullObserver, RunObserver, TraceCtx};
 use c100_timeseries::stats::pearson;
 
@@ -274,12 +276,36 @@ pub fn run_fra_traced(
             .wrapping_add(iteration as u64)
             .wrapping_mul(0x9E37_79B9);
 
+        // Bin the surviving columns once; the RF and GBDT fits below
+        // share the codes instead of each re-discretising the matrix.
+        // (Both default to the same budget; a model whose budget differs
+        // simply re-bins for itself inside `fit_model_binned_traced`.)
+        let binned = match rf.histogram_bins().or_else(|| gbdt.histogram_bins()) {
+            Some(bins) => {
+                let _span = iter_trace.span("train_binning");
+                Some(BinnedMatrix::from_matrix(&x, bins)?)
+            }
+            None => None,
+        };
+
         let rf_fit_span = iter_trace.span("rf_fit");
-        let rf_model = rf.fit_traced(&x, &train.y, iter_seed, rf_fit_span.ctx())?;
+        let rf_model = rf.fit_model_binned_traced(
+            &x,
+            &train.y,
+            binned.as_ref(),
+            iter_seed,
+            rf_fit_span.ctx(),
+        )?;
         drop(rf_fit_span);
         let gbdt_model = {
-            let _span = iter_trace.span("gbdt_fit");
-            gbdt.fit(&x, &train.y, iter_seed ^ 0xABCD)?
+            let span = iter_trace.span("gbdt_fit");
+            gbdt.fit_model_binned_traced(
+                &x,
+                &train.y,
+                binned.as_ref(),
+                iter_seed ^ 0xABCD,
+                span.ctx(),
+            )?
         };
         let rf_pfi = {
             let _span = iter_trace.span("rf_pfi");

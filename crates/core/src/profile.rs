@@ -9,7 +9,7 @@
 
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
-use c100_ml::tree::MaxFeatures;
+use c100_ml::tree::{MaxFeatures, SplitMethod};
 
 /// All knobs controlling pipeline cost.
 #[derive(Debug, Clone)]
@@ -54,6 +54,7 @@ impl Profile {
                     min_samples_leaf: 1,
                     max_features,
                     bootstrap: true,
+                    split_method: SplitMethod::default(),
                 });
             }
         }
@@ -67,6 +68,7 @@ impl Profile {
                 gamma: 0.0,
                 subsample: 0.8,
                 colsample_bytree: 0.5,
+                split_method: SplitMethod::default(),
             },
             GbdtConfig {
                 n_estimators: 40,
@@ -77,6 +79,7 @@ impl Profile {
                 gamma: 0.0,
                 subsample: 0.8,
                 colsample_bytree: 0.5,
+                split_method: SplitMethod::default(),
             },
         ];
         Profile {
@@ -200,16 +203,40 @@ impl Profile {
         self
     }
 
+    /// Replaces the split-search strategy across every model config in the
+    /// profile: both fine-tuning grids and the SHAP ranking forest.
+    pub fn with_split_method(mut self, split_method: SplitMethod) -> Self {
+        for rf in &mut self.rf_grid {
+            rf.split_method = split_method;
+        }
+        for gbdt in &mut self.gbdt_grid {
+            gbdt.split_method = split_method;
+        }
+        self.shap_forest.split_method = split_method;
+        self
+    }
+
     /// Short provenance label recorded in persisted model artifacts:
     /// `full` / `fast` when the grid shape matches the preset (whatever
-    /// the seed), `custom` otherwise, always suffixed with the seed.
+    /// the seed), `custom` otherwise, always suffixed with the seed. When
+    /// every model in the profile shares a non-default split method its
+    /// label is appended too (e.g. `fast-seed7-exact`), so artifacts from
+    /// an exact-search run are distinguishable from the histogram default.
     pub fn descriptor(&self) -> String {
         let base = match (self.rf_grid.len(), self.gbdt_grid.len(), self.cv_folds) {
             (4, 2, 5) => "full",
             (2, 1, 3) => "fast",
             _ => "custom",
         };
-        format!("{base}-seed{}", self.seed)
+        let mut label = format!("{base}-seed{}", self.seed);
+        let first = self.shap_forest.split_method;
+        let uniform = self.rf_grid.iter().all(|c| c.split_method == first)
+            && self.gbdt_grid.iter().all(|c| c.split_method == first);
+        if uniform && first != SplitMethod::default() {
+            label.push('-');
+            label.push_str(&first.label().replace(':', ""));
+        }
+        label
     }
 
     /// Derives a deterministic sub-seed for a named pipeline stage.
@@ -273,5 +300,29 @@ mod tests {
         assert_eq!(grids.rf_grid.len(), 1);
         assert_eq!(grids.gbdt_grid.len(), 1);
         assert_eq!(grids.shap_forest.n_estimators, 5);
+    }
+
+    #[test]
+    fn split_method_applies_everywhere_and_tags_descriptor() {
+        let p = Profile::full();
+        assert_eq!(p.descriptor(), format!("full-seed{}", p.seed));
+
+        let exact = Profile::full().with_split_method(SplitMethod::Exact);
+        assert!(exact
+            .rf_grid
+            .iter()
+            .all(|c| c.split_method == SplitMethod::Exact));
+        assert!(exact
+            .gbdt_grid
+            .iter()
+            .all(|c| c.split_method == SplitMethod::Exact));
+        assert_eq!(exact.shap_forest.split_method, SplitMethod::Exact);
+        assert_eq!(exact.descriptor(), format!("full-seed{}-exact", exact.seed));
+
+        let coarse = Profile::fast().with_split_method(SplitMethod::Histogram { max_bins: 64 });
+        assert_eq!(
+            coarse.descriptor(),
+            format!("fast-seed{}-hist64", coarse.seed)
+        );
     }
 }

@@ -1,4 +1,15 @@
-//! Dense row-major design matrix used by every model in this crate.
+//! Dense row-major design matrix used by every model in this crate, plus
+//! the quantile-binned companion used by histogram split search.
+//!
+//! [`Matrix`] is row-major: a single sample stays contiguous, which is
+//! what tree traversal and prediction want. [`BinnedMatrix`] is the
+//! opposite — **column-major** bin codes (`codes[f * n_rows + r]`), so a
+//! histogram build streams one feature's codes sequentially. Binning is
+//! done once per fit (quantile cuts, ≤ 256 bins stored as `u8`, `u16`
+//! beyond that) and the result is shared by reference across every tree
+//! of a forest, every boosting round, and every refit on the same rows.
+
+use rayon::prelude::*;
 
 use crate::{MlError, Result};
 
@@ -104,6 +115,222 @@ impl Matrix {
     }
 }
 
+/// Column-major bin codes, width-selected by the bin budget.
+#[derive(Debug, Clone, PartialEq)]
+enum Codes {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+}
+
+/// Borrowed view of one feature's bin codes.
+///
+/// Hot loops should match on the variant once and run a generic inner
+/// loop over the raw slice rather than calling [`ColumnView::get`] per
+/// row.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnView<'a> {
+    /// Codes stored as `u8` (bin budget ≤ 256).
+    U8(&'a [u8]),
+    /// Codes stored as `u16` (bin budget > 256).
+    U16(&'a [u16]),
+}
+
+impl ColumnView<'_> {
+    /// Bin code of row `r` for this feature.
+    #[inline]
+    pub fn get(&self, r: usize) -> usize {
+        match self {
+            ColumnView::U8(s) => s[r] as usize,
+            ColumnView::U16(s) => s[r] as usize,
+        }
+    }
+}
+
+/// Quantile-binned, column-major companion of a [`Matrix`].
+///
+/// Each feature is discretised once into at most `max_bins` bins. When a
+/// feature has ≤ `max_bins` distinct values every bin holds exactly one
+/// distinct value, so histogram split search over the codes reproduces
+/// exact split search bit for bit (same thresholds, same tie-breaks).
+/// Otherwise bin boundaries are quantile cuts of the observed values.
+///
+/// Alongside the codes the structure keeps, per feature and per bin, the
+/// smallest (`lows`) and largest (`highs`) raw value that landed in the
+/// bin. [`BinnedMatrix::threshold_between`] uses them to emit the same
+/// midpoint-with-guard thresholds as the exact scan, so fitted trees
+/// stay comparable across both split methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedMatrix {
+    n_rows: usize,
+    max_bins: usize,
+    codes: Codes,
+    /// Per feature: smallest raw value in each bin (ascending).
+    lows: Vec<Vec<f64>>,
+    /// Per feature: largest raw value in each bin (ascending); `highs[f]`
+    /// doubles as the upper-inclusive bin edge table used for coding.
+    highs: Vec<Vec<f64>>,
+}
+
+impl BinnedMatrix {
+    /// Bins every feature of `x` into at most `max_bins` quantile bins.
+    ///
+    /// `max_bins` must lie in `[2, 65536]`; values must be NaN-free.
+    pub fn from_matrix(x: &Matrix, max_bins: usize) -> Result<Self> {
+        if !(2..=65_536).contains(&max_bins) {
+            return Err(MlError::BadConfig(format!(
+                "max_bins must be in [2, 65536], got {max_bins}"
+            )));
+        }
+        let (n_rows, n_features) = (x.n_rows(), x.n_features());
+        let mut wide = vec![0u16; n_rows * n_features];
+        let tables: Vec<(Vec<f64>, Vec<f64>)> = wide
+            .par_chunks_mut(n_rows)
+            .enumerate()
+            .map(|(f, out)| bin_feature(x, f, max_bins, out))
+            .collect::<Result<_>>()?;
+        let (lows, highs) = tables.into_iter().unzip();
+        let codes = if max_bins <= 256 {
+            Codes::U8(wide.iter().map(|&c| c as u8).collect())
+        } else {
+            Codes::U16(wide)
+        };
+        Ok(BinnedMatrix {
+            n_rows,
+            max_bins,
+            codes,
+            lows,
+            highs,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.highs.len()
+    }
+
+    /// The bin budget this matrix was built with.
+    pub fn max_bins(&self) -> usize {
+        self.max_bins
+    }
+
+    /// Number of bins actually used by feature `f` (≥ 1, ≤ `max_bins`).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.highs[f].len()
+    }
+
+    /// Column-major code slice for feature `f`.
+    pub fn column(&self, f: usize) -> ColumnView<'_> {
+        let (lo, hi) = (f * self.n_rows, (f + 1) * self.n_rows);
+        match &self.codes {
+            Codes::U8(v) => ColumnView::U8(&v[lo..hi]),
+            Codes::U16(v) => ColumnView::U16(&v[lo..hi]),
+        }
+    }
+
+    /// Bin code of `(row, feature)`.
+    pub fn code(&self, row: usize, feature: usize) -> usize {
+        self.column(feature).get(row)
+    }
+
+    /// Upper-inclusive bin edges of feature `f` (strictly increasing);
+    /// every edge is an observed raw value.
+    pub fn bin_edges(&self, f: usize) -> &[f64] {
+        &self.highs[f]
+    }
+
+    /// Split threshold between bins `left_bin` and `right_bin` of
+    /// feature `f`, computed exactly like the exact scan: the midpoint of
+    /// the largest value left of the cut and the smallest value right of
+    /// it, snapped down to the left value if rounding would misroute it.
+    /// The caller passes the two *non-empty-at-the-node* bins flanking
+    /// the cut; intervening empty bins must be skipped, not treated as
+    /// the right side — their global extremes are not present in the
+    /// node and would shift the threshold away from the exact scan's.
+    pub fn threshold_between(&self, f: usize, left_bin: usize, right_bin: usize) -> f64 {
+        let hi = self.highs[f][left_bin];
+        let lo = self.lows[f][right_bin];
+        let t = 0.5 * (hi + lo);
+        if t >= lo {
+            hi
+        } else {
+            t
+        }
+    }
+
+    /// Rewrites feature `f`'s codes so row `r` holds the code previously
+    /// at row `perm[r]` — the binned equivalent of permuting the raw
+    /// column, used by permutation importance to avoid re-binning.
+    pub fn permute_column(&mut self, f: usize, perm: &[usize]) {
+        assert_eq!(perm.len(), self.n_rows, "permutation length mismatch");
+        let (lo, hi) = (f * self.n_rows, (f + 1) * self.n_rows);
+        match &mut self.codes {
+            Codes::U8(v) => permute_slice(&mut v[lo..hi], perm),
+            Codes::U16(v) => permute_slice(&mut v[lo..hi], perm),
+        }
+    }
+}
+
+fn permute_slice<T: Copy>(col: &mut [T], perm: &[usize]) {
+    let old: Vec<T> = col.to_vec();
+    for (r, &src) in perm.iter().enumerate() {
+        col[r] = old[src];
+    }
+}
+
+/// Bins one feature column: writes codes into `out` and returns the
+/// per-bin `(lows, highs)` raw-value tables.
+fn bin_feature(
+    x: &Matrix,
+    f: usize,
+    max_bins: usize,
+    out: &mut [u16],
+) -> Result<(Vec<f64>, Vec<f64>)> {
+    let n = x.n_rows();
+    let mut sorted: Vec<f64> = (0..n).map(|r| x.get(r, f)).collect();
+    if sorted.iter().any(|v| v.is_nan()) {
+        return Err(MlError::BadInput(format!("NaN in feature {f}")));
+    }
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut distinct = sorted.clone();
+    distinct.dedup();
+
+    // Upper-inclusive edges: one per distinct value if they fit the
+    // budget, else quantile cuts of the duplicated sorted column. Each
+    // edge is an observed value, so no bin is ever empty.
+    let edges: Vec<f64> = if distinct.len() <= max_bins {
+        distinct.clone()
+    } else {
+        let mut e: Vec<f64> = (1..=max_bins)
+            .map(|k| sorted[k * n / max_bins - 1])
+            .collect();
+        if *e.last().unwrap() < sorted[n - 1] {
+            *e.last_mut().unwrap() = sorted[n - 1];
+        }
+        e.dedup();
+        e
+    };
+
+    // Per-bin raw-value extremes, from the distinct values in order.
+    let n_bins = edges.len();
+    let mut lows = vec![f64::NAN; n_bins];
+    let highs = edges.clone();
+    for &v in &distinct {
+        let b = edges.partition_point(|e| *e < v);
+        if lows[b].is_nan() {
+            lows[b] = v;
+        }
+    }
+    for (r, slot) in out.iter_mut().enumerate() {
+        *slot = edges.partition_point(|e| *e < x.get(r, f)) as u16;
+    }
+    Ok((lows, highs))
+}
+
 /// Validates that `x` and `y` agree and are non-trivial for fitting.
 pub fn check_fit_input(x: &Matrix, y: &[f64]) -> Result<()> {
     if x.n_rows() != y.len() {
@@ -167,6 +394,78 @@ mod tests {
         assert_eq!(sub.row(1), &[1.0, 2.0, 3.0]);
         let cols = m.take_columns(&[2, 0]);
         assert_eq!(cols.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn binning_with_enough_bins_keeps_every_distinct_value() {
+        // 3 distinct values, budget 4: one bin per value, codes = ranks.
+        let m = Matrix::from_rows(&[vec![2.0], vec![1.0], vec![2.0], vec![5.0]]).unwrap();
+        let b = BinnedMatrix::from_matrix(&m, 4).unwrap();
+        assert_eq!(b.n_bins(0), 3);
+        assert_eq!(b.bin_edges(0), &[1.0, 2.0, 5.0]);
+        let codes: Vec<usize> = (0..4).map(|r| b.code(r, 0)).collect();
+        assert_eq!(codes, vec![1, 0, 1, 2]);
+        // One value per bin: threshold is the exact-scan midpoint.
+        assert_eq!(b.threshold_between(0, 0, 1), 1.5);
+        assert_eq!(b.threshold_between(0, 1, 2), 3.5);
+    }
+
+    #[test]
+    fn quantile_binning_compresses_and_stays_monotone() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let m = Matrix::from_rows(&rows).unwrap();
+        let b = BinnedMatrix::from_matrix(&m, 8).unwrap();
+        assert_eq!(b.n_bins(0), 8);
+        let edges = b.bin_edges(0);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        // Codes are monotone in the raw value and every bin is hit.
+        let codes: Vec<usize> = (0..100).map(|r| b.code(r, 0)).collect();
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(codes.iter().max(), Some(&7));
+        // Every value respects its bin's [low, high] envelope.
+        for r in 0..100 {
+            let c = b.code(r, 0);
+            let v = m.get(r, 0);
+            assert!(v <= b.bin_edges(0)[c]);
+            assert!(c == 0 || v > b.bin_edges(0)[c - 1]);
+        }
+    }
+
+    #[test]
+    fn wide_budgets_fall_back_to_u16_codes() {
+        let rows: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64]).collect();
+        let m = Matrix::from_rows(&rows).unwrap();
+        let b = BinnedMatrix::from_matrix(&m, 512).unwrap();
+        assert_eq!(b.n_bins(0), 400);
+        assert!(matches!(b.column(0), ColumnView::U16(_)));
+        assert_eq!(b.code(399, 0), 399);
+    }
+
+    #[test]
+    fn binning_validates_budget_and_nan() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(BinnedMatrix::from_matrix(&m, 1).is_err());
+        assert!(BinnedMatrix::from_matrix(&m, 65_537).is_err());
+        let bad = Matrix::from_rows(&[vec![f64::NAN], vec![2.0]]).unwrap();
+        assert!(BinnedMatrix::from_matrix(&bad, 16).is_err());
+    }
+
+    #[test]
+    fn permute_column_matches_fresh_binning_of_permuted_matrix() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i * 7 % 20) as f64, (i * 3 % 5) as f64])
+            .collect();
+        let m = Matrix::from_rows(&rows).unwrap();
+        let perm: Vec<usize> = (0..20).map(|i| (i * 13 + 4) % 20).collect();
+        let mut binned = BinnedMatrix::from_matrix(&m, 8).unwrap();
+        binned.permute_column(1, &perm);
+
+        let mut permuted = m.clone();
+        for (r, &src) in perm.iter().enumerate() {
+            permuted.set(r, 1, m.get(src, 1));
+        }
+        let fresh = BinnedMatrix::from_matrix(&permuted, 8).unwrap();
+        assert_eq!(binned, fresh);
     }
 
     #[test]

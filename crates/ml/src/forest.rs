@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use crate::data::{check_fit_input, Matrix};
-use crate::tree::{bootstrap_indices, FittedTree, MaxFeatures, TreeConfig};
+use crate::data::{check_fit_input, BinnedMatrix, Matrix};
+use crate::tree::{bootstrap_indices, FittedTree, MaxFeatures, SplitMethod, TreeConfig};
 use crate::{Estimator, MlError, Regressor, Result};
 
 /// Hyper-parameters for the random forest; the fields mirror the sklearn
@@ -31,6 +31,8 @@ pub struct RandomForestConfig {
     pub max_features: MaxFeatures,
     /// Whether trees see bootstrap resamples (true) or the full data.
     pub bootstrap: bool,
+    /// Split-search strategy shared by every tree (see [`SplitMethod`]).
+    pub split_method: SplitMethod,
 }
 
 impl Default for RandomForestConfig {
@@ -44,6 +46,7 @@ impl Default for RandomForestConfig {
             // decorrelate through bootstrapping alone.
             max_features: MaxFeatures::All,
             bootstrap: true,
+            split_method: SplitMethod::default(),
         }
     }
 }
@@ -56,6 +59,7 @@ impl RandomForestConfig {
             min_samples_leaf: self.min_samples_leaf,
             max_features: self.max_features,
             min_impurity_decrease: 0.0,
+            split_method: self.split_method,
         }
     }
 
@@ -76,21 +80,67 @@ impl RandomForestConfig {
         seed: u64,
         trace: TraceCtx<'_>,
     ) -> Result<RandomForest> {
+        self.check(x, y)?;
+        match self.split_method {
+            SplitMethod::Exact => self.fit_trees(x, y, None, seed, trace),
+            SplitMethod::Histogram { max_bins } => {
+                // Bin once; every tree (and any caller-side refit through
+                // `fit_binned_traced`) shares the same code matrix.
+                let binning = trace.span("train_binning");
+                let binned = BinnedMatrix::from_matrix(x, max_bins)?;
+                drop(binning);
+                self.fit_trees(x, y, Some(&binned), seed, trace)
+            }
+        }
+    }
+
+    /// [`RandomForestConfig::fit_traced`] against a caller-built
+    /// [`BinnedMatrix`]. Grid search, FRA, and importance loops bin once
+    /// and share the result across many fits instead of re-binning each
+    /// time. Falls back to a fresh fit when the binning doesn't match the
+    /// config (wrong budget or shape) or the config is exact.
+    pub fn fit_binned_traced(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        binned: &BinnedMatrix,
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<RandomForest> {
+        let usable = matches!(
+            self.split_method,
+            SplitMethod::Histogram { max_bins }
+                if binned.max_bins() == max_bins
+                    && binned.n_rows() == x.n_rows()
+                    && binned.n_features() == x.n_features()
+        );
+        if !usable {
+            return self.fit_traced(x, y, seed, trace);
+        }
+        self.check(x, y)?;
+        self.fit_trees(x, y, Some(binned), seed, trace)
+    }
+
+    /// Shared input/config validation for every fit entry point.
+    fn check(&self, x: &Matrix, y: &[f64]) -> Result<()> {
         if self.n_estimators == 0 {
             return Err(MlError::BadConfig("n_estimators must be >= 1".into()));
         }
         check_fit_input(x, y)?;
-        let tree_config = self.tree_config();
-        tree_config
-            .fit_indices(x, y, &[0], seed)
-            .map(|_| ())
-            .or_else(|e| match e {
-                // A single-index fit probe can only fail on config errors;
-                // surface those before spawning the parallel loop.
-                MlError::BadConfig(_) => Err(e),
-                MlError::BadInput(_) => Ok(()),
-            })?;
+        self.tree_config().validate()
+    }
 
+    /// The parallel tree loop; `binned` carries the shared code matrix on
+    /// the histogram path, `None` means exact split search.
+    fn fit_trees(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        binned: Option<&BinnedMatrix>,
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<RandomForest> {
+        let tree_config = self.tree_config();
         // Derive independent per-tree seeds up front so the parallel loop
         // is order-independent.
         let mut seeder = StdRng::seed_from_u64(seed);
@@ -113,7 +163,10 @@ impl RandomForestConfig {
                 } else {
                     (0..x.n_rows()).collect()
                 };
-                tree_config.fit_indices(x, y, &indices, tree_seed)
+                match binned {
+                    Some(b) => tree_config.fit_indices_binned(b, y, &indices, tree_seed),
+                    None => tree_config.fit_indices(x, y, &indices, tree_seed),
+                }
             })
             .collect();
         let trees = trees?;
@@ -154,6 +207,24 @@ impl Estimator for RandomForestConfig {
         trace: TraceCtx<'_>,
     ) -> Result<RandomForest> {
         self.fit_traced(x, y, seed, trace)
+    }
+
+    fn histogram_bins(&self) -> Option<usize> {
+        self.split_method.max_bins()
+    }
+
+    fn fit_model_binned_traced(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        binned: Option<&crate::data::BinnedMatrix>,
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<RandomForest> {
+        match binned {
+            Some(b) => self.fit_binned_traced(x, y, b, seed, trace),
+            None => self.fit_traced(x, y, seed, trace),
+        }
     }
 }
 

@@ -13,13 +13,25 @@
 //! `colsample_bytree`. Feature importance is total split gain per feature
 //! (XGBoost's `importance_type="gain"` up to normalization), which is what
 //! the paper's XGB-MDI ranking consumes.
+//!
+//! Like the CART builder, split search runs either exactly (sort raw
+//! values per node per feature) or over a [`BinnedMatrix`] built once per
+//! fit ([`SplitMethod::Histogram`], the default — LightGBM's strategy).
+//! Histogram nodes accumulate per-bin gradient/count cells; because the
+//! candidate column set is fixed per tree, a child's histogram is derived
+//! from its parent's by sibling subtraction wherever the child is large
+//! enough to own one.
 
+use c100_obs::TraceCtx;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::data::{check_fit_input, Matrix};
-use crate::tree::{Node, Tree, LEAF};
+use crate::data::{check_fit_input, BinnedMatrix, ColumnView, Matrix};
+use crate::tree::{
+    accumulate_feature, subtract_hist, HistCell, Node, SplitMethod, Tree, LEAF,
+    PARALLEL_SPLIT_CELLS,
+};
 use crate::{Estimator, MlError, Regressor, Result};
 
 /// Hyper-parameters for gradient boosting; names mirror XGBoost.
@@ -42,6 +54,8 @@ pub struct GbdtConfig {
     pub subsample: f64,
     /// Fraction of columns sampled per tree.
     pub colsample_bytree: f64,
+    /// Split-search strategy shared by every round (see [`SplitMethod`]).
+    pub split_method: SplitMethod,
 }
 
 impl Default for GbdtConfig {
@@ -55,6 +69,7 @@ impl Default for GbdtConfig {
             gamma: 0.0,
             subsample: 1.0,
             colsample_bytree: 1.0,
+            split_method: SplitMethod::default(),
         }
     }
 }
@@ -83,13 +98,82 @@ impl GbdtConfig {
                 return Err(MlError::BadConfig(format!("{name} {v} outside (0, 1]")));
             }
         }
+        if let SplitMethod::Histogram { max_bins } = self.split_method {
+            if !(2..=65_536).contains(&max_bins) {
+                return Err(MlError::BadConfig(format!(
+                    "histogram max_bins must be in [2, 65536], got {max_bins}"
+                )));
+            }
+        }
         Ok(())
     }
 
     /// Fits the boosted ensemble.
     pub fn fit(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<Gbdt> {
+        self.fit_traced(x, y, seed, TraceCtx::disabled())
+    }
+
+    /// [`GbdtConfig::fit`] with span tracing: a `train_binning` span wraps
+    /// the one-time quantile binning (histogram mode) and each boosting
+    /// round records a `gbdt_round` span. Produces a model identical to
+    /// the untraced fit.
+    pub fn fit_traced(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<Gbdt> {
         self.validate()?;
         check_fit_input(x, y)?;
+        match self.split_method {
+            SplitMethod::Exact => self.fit_rounds(x, y, None, seed, trace),
+            SplitMethod::Histogram { max_bins } => {
+                let binning = trace.span("train_binning");
+                let binned = BinnedMatrix::from_matrix(x, max_bins)?;
+                drop(binning);
+                self.fit_rounds(x, y, Some(&binned), seed, trace)
+            }
+        }
+    }
+
+    /// [`GbdtConfig::fit_traced`] against a caller-built [`BinnedMatrix`];
+    /// repeated-fit callers (grid search, FRA, importance) bin once and
+    /// share. Falls back to a fresh fit when the binning doesn't match
+    /// the config or the config is exact.
+    pub fn fit_binned_traced(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        binned: &BinnedMatrix,
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<Gbdt> {
+        let usable = matches!(
+            self.split_method,
+            SplitMethod::Histogram { max_bins }
+                if binned.max_bins() == max_bins
+                    && binned.n_rows() == x.n_rows()
+                    && binned.n_features() == x.n_features()
+        );
+        if !usable {
+            return self.fit_traced(x, y, seed, trace);
+        }
+        self.validate()?;
+        check_fit_input(x, y)?;
+        self.fit_rounds(x, y, Some(binned), seed, trace)
+    }
+
+    /// The boosting loop; `binned` carries the shared code matrix on the
+    /// histogram path, `None` means exact split search.
+    fn fit_rounds(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        binned: Option<&BinnedMatrix>,
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<Gbdt> {
         let n = x.n_rows();
         let n_features = x.n_features();
         let base_score = y.iter().sum::<f64>() / n as f64;
@@ -105,8 +189,11 @@ impl GbdtConfig {
         let mut all_rows: Vec<usize> = (0..n).collect();
         let mut all_cols: Vec<usize> = (0..n_features).collect();
         let mut partition_buf = Vec::new();
+        let mut pool: Vec<Vec<HistCell>> = Vec::new();
+        let mut code_scratch: Vec<(u32, f64)> = Vec::new();
 
         for _ in 0..self.n_estimators {
+            let round_span = trace.span("gbdt_round");
             // Squared-error gradients at the current prediction.
             let grad: Vec<f64> = predictions.iter().zip(y).map(|(p, t)| p - t).collect();
             // hess = 1 for every sample; kept implicit (cover = count).
@@ -117,27 +204,57 @@ impl GbdtConfig {
             let mut cols: Vec<usize> = all_cols[..n_cols_per_tree].to_vec();
             cols.sort_unstable(); // deterministic split tie-breaking order
 
-            let mut builder = GbdtTreeBuilder {
-                x,
-                grad: &grad,
-                config: self,
-                gain_importance: &mut gain_importance,
-                nodes: Vec::new(),
-                cols: &cols,
-                scratch: Vec::new(),
-                partition_buf,
-            };
             let mut indices = rows.to_vec();
-            builder.grow(&mut indices, 0);
-            partition_buf = builder.partition_buf;
-            let tree = Tree {
-                nodes: builder.nodes,
-                n_features,
+            let nodes = match binned {
+                Some(b) => {
+                    // Per-tree offsets: the histogram spans only this
+                    // tree's candidate columns.
+                    let mut offsets = Vec::with_capacity(cols.len() + 1);
+                    offsets.push(0usize);
+                    for (j, &c) in cols.iter().enumerate() {
+                        offsets.push(offsets[j] + b.n_bins(c));
+                    }
+                    let mut builder = GbdtHistBuilder {
+                        binned: b,
+                        grad: &grad,
+                        config: self,
+                        gain_importance: &mut gain_importance,
+                        nodes: Vec::new(),
+                        cols: &cols,
+                        offsets,
+                        pool,
+                        small_cutoff: (b.max_bins() / 8).max(16),
+                        scratch: code_scratch,
+                        partition_buf,
+                    };
+                    builder.grow(&mut indices, 0, None);
+                    pool = builder.pool;
+                    code_scratch = builder.scratch;
+                    partition_buf = builder.partition_buf;
+                    builder.nodes
+                }
+                None => {
+                    let mut builder = GbdtTreeBuilder {
+                        x,
+                        grad: &grad,
+                        config: self,
+                        gain_importance: &mut gain_importance,
+                        nodes: Vec::new(),
+                        cols: &cols,
+                        scratch: Vec::new(),
+                        partition_buf,
+                    };
+                    builder.grow(&mut indices, 0);
+                    partition_buf = builder.partition_buf;
+                    builder.nodes
+                }
             };
+            let tree = Tree { nodes, n_features };
             for (p, row) in predictions.iter_mut().zip(0..n) {
                 *p += tree.predict_row(x.row(row));
             }
             trees.push(tree);
+            drop(round_span);
         }
 
         let total: f64 = gain_importance.iter().sum();
@@ -160,6 +277,34 @@ impl Estimator for GbdtConfig {
 
     fn fit_model(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<Gbdt> {
         self.fit(x, y, seed)
+    }
+
+    fn fit_model_traced(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<Gbdt> {
+        self.fit_traced(x, y, seed, trace)
+    }
+
+    fn histogram_bins(&self) -> Option<usize> {
+        self.split_method.max_bins()
+    }
+
+    fn fit_model_binned_traced(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        binned: Option<&BinnedMatrix>,
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<Gbdt> {
+        match binned {
+            Some(b) => self.fit_binned_traced(x, y, b, seed, trace),
+            None => self.fit_traced(x, y, seed, trace),
+        }
     }
 }
 
@@ -209,6 +354,9 @@ struct GbdtSplit {
     feature: usize,
     threshold: f64,
     gain: f64,
+    /// Highest bin code routed left (histogram path; 0 on the exact path,
+    /// which partitions by raw threshold instead).
+    left_bin: usize,
 }
 
 impl<'a> GbdtTreeBuilder<'a> {
@@ -324,10 +472,332 @@ impl<'a> GbdtTreeBuilder<'a> {
                     feature,
                     threshold,
                     gain,
+                    left_bin: 0,
                 });
             }
         }
         best
+    }
+}
+
+/// Gradient-histogram tree builder over a [`BinnedMatrix`].
+///
+/// The candidate column set (`cols`) is fixed for the whole tree, so —
+/// unlike the forest's per-node-sampled case — a child's histogram is
+/// always derivable from its parent's by sibling subtraction. Cells
+/// reuse [`HistCell`]: `n` is the unit-hessian mass, `sum` the gradient
+/// sum (`sq` rides along unused). Nodes below `small_cutoff` rows skip
+/// histograms and sort `(code, grad)` pairs instead.
+struct GbdtHistBuilder<'a> {
+    binned: &'a BinnedMatrix,
+    grad: &'a [f64],
+    config: &'a GbdtConfig,
+    gain_importance: &'a mut [f64],
+    nodes: Vec<Node>,
+    /// Sorted per-tree candidate columns (global feature indices).
+    cols: &'a [usize],
+    /// Per-candidate start offsets into a flat node histogram:
+    /// `cols[j]`'s bins live at `offsets[j]..offsets[j + 1]`.
+    offsets: Vec<usize>,
+    /// Recycled node-histogram buffers, shared across rounds.
+    pool: Vec<Vec<HistCell>>,
+    /// Below this row count a node uses the sorted-codes scan. Shares
+    /// the forest's tuning: `max_bins / 8` (min 16) measured fastest
+    /// (see [`crate::tree::HistBuilder::small_cutoff`]).
+    small_cutoff: usize,
+    /// Reusable `(code, grad)` buffer for the sorted-codes scan.
+    scratch: Vec<(u32, f64)>,
+    /// Reusable overflow buffer for the stable partition.
+    partition_buf: Vec<usize>,
+}
+
+impl<'a> GbdtHistBuilder<'a> {
+    /// Grows the subtree over `indices`; `hist` is this node's histogram
+    /// when the parent could derive it by subtraction.
+    fn grow(&mut self, indices: &mut [usize], depth: usize, hist: Option<Vec<HistCell>>) -> u32 {
+        let lambda = self.config.lambda;
+        let g_sum: f64 = indices.iter().map(|&i| self.grad[i]).sum();
+        let h_sum = indices.len() as f64; // unit hessians
+
+        let node_id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            feature: 0,
+            threshold: 0.0,
+            left: LEAF,
+            right: LEAF,
+            value: -self.config.learning_rate * g_sum / (h_sum + lambda),
+            cover: h_sum,
+            impurity: 0.5 * g_sum * g_sum / (h_sum + lambda),
+        });
+
+        if depth >= self.config.max_depth || indices.len() < 2 {
+            if let Some(h) = hist {
+                self.pool.push(h);
+            }
+            return node_id;
+        }
+
+        let node_hist = if indices.len() >= self.small_cutoff {
+            Some(match hist {
+                Some(h) => h,
+                None => {
+                    let mut h = self.take_buffer();
+                    self.build_full_hist(indices, &mut h);
+                    h
+                }
+            })
+        } else {
+            if let Some(h) = hist {
+                self.pool.push(h);
+            }
+            None
+        };
+
+        let split = self.best_split(indices, g_sum, h_sum, node_hist.as_deref());
+        let Some(split) = split else {
+            if let Some(h) = node_hist {
+                self.pool.push(h);
+            }
+            return node_id;
+        };
+        self.gain_importance[split.feature] += split.gain;
+
+        let mid = {
+            let col = self.binned.column(split.feature);
+            let mut rejected = std::mem::take(&mut self.partition_buf);
+            let mid = stable_partition(indices, &mut rejected, |&i| col.get(i) <= split.left_bin);
+            self.partition_buf = rejected;
+            mid
+        };
+        let (left_slice, right_slice) = indices.split_at_mut(mid);
+
+        // Sibling subtraction: scan only the smaller child; the larger
+        // inherits parent − smaller, in place on the parent buffer.
+        // Children at the depth cap become leaves, so skip the work.
+        let mut left_hist = None;
+        let mut right_hist = None;
+        if let Some(mut parent) = node_hist {
+            let left_is_small = left_slice.len() <= right_slice.len();
+            let (small_slice, large_n) = if left_is_small {
+                (&*left_slice, right_slice.len())
+            } else {
+                (&*right_slice, left_slice.len())
+            };
+            if depth + 1 < self.config.max_depth && large_n >= self.small_cutoff {
+                let mut small = self.take_buffer();
+                self.build_full_hist(small_slice, &mut small);
+                subtract_hist(&mut parent, &small);
+                let small = if small_slice.len() >= self.small_cutoff {
+                    Some(small)
+                } else {
+                    self.pool.push(small);
+                    None
+                };
+                if left_is_small {
+                    left_hist = small;
+                    right_hist = Some(parent);
+                } else {
+                    left_hist = Some(parent);
+                    right_hist = small;
+                }
+            } else {
+                self.pool.push(parent);
+            }
+        }
+
+        let left_id = self.grow(left_slice, depth + 1, left_hist);
+        let right_id = self.grow(right_slice, depth + 1, right_hist);
+        let node = &mut self.nodes[node_id as usize];
+        node.feature = split.feature as u32;
+        node.threshold = split.threshold;
+        node.left = left_id;
+        node.right = right_id;
+        node_id
+    }
+
+    /// Best candidate over `cols`, from the node histogram when one
+    /// exists, else the sorted-codes scan.
+    fn best_split(
+        &mut self,
+        indices: &[usize],
+        g_sum: f64,
+        h_sum: f64,
+        hist: Option<&[HistCell]>,
+    ) -> Option<GbdtSplit> {
+        match hist {
+            Some(cells) => {
+                let mut best = None;
+                for (j, &feature) in self.cols.iter().enumerate() {
+                    let feature_cells = &cells[self.offsets[j]..self.offsets[j + 1]];
+                    best = pick_better_gbdt(
+                        best,
+                        self.scan_hist(feature, feature_cells, g_sum, h_sum),
+                    );
+                }
+                best
+            }
+            None => {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let mut best = None;
+                for &feature in self.cols {
+                    best = pick_better_gbdt(
+                        best,
+                        self.scan_sorted(feature, indices, g_sum, h_sum, &mut scratch),
+                    );
+                }
+                self.scratch = scratch;
+                best
+            }
+        }
+    }
+
+    /// Scans one candidate's histogram; boundaries only between bins
+    /// non-empty in this node (see the CART scan for why).
+    fn scan_hist(
+        &self,
+        feature: usize,
+        cells: &[HistCell],
+        g_sum: f64,
+        h_sum: f64,
+    ) -> Option<GbdtSplit> {
+        let lambda = self.config.lambda;
+        let parent_score = g_sum * g_sum / (h_sum + lambda);
+        let min_child = self.config.min_child_weight;
+        let mut best: Option<GbdtSplit> = None;
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        let mut prev: Option<usize> = None;
+        for (b, cell) in cells.iter().enumerate() {
+            if cell.n == 0 {
+                continue;
+            }
+            if let Some(pb) = prev {
+                let hr = h_sum - hl;
+                if hl >= min_child && hr >= min_child {
+                    let gr = g_sum - gl;
+                    let gain = 0.5
+                        * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                        - self.config.gamma;
+                    if gain > best.as_ref().map_or(1e-12, |s| s.gain) {
+                        best = Some(GbdtSplit {
+                            feature,
+                            threshold: self.binned.threshold_between(feature, pb, b),
+                            gain,
+                            left_bin: pb,
+                        });
+                    }
+                }
+            }
+            gl += cell.sum;
+            hl += cell.n as f64;
+            prev = Some(b);
+        }
+        best
+    }
+
+    /// Small-node scan over sorted `(code, grad)` pairs.
+    fn scan_sorted(
+        &self,
+        feature: usize,
+        indices: &[usize],
+        g_sum: f64,
+        h_sum: f64,
+        scratch: &mut Vec<(u32, f64)>,
+    ) -> Option<GbdtSplit> {
+        let lambda = self.config.lambda;
+        let parent_score = g_sum * g_sum / (h_sum + lambda);
+        let min_child = self.config.min_child_weight;
+        let n = indices.len();
+        scratch.clear();
+        match self.binned.column(feature) {
+            ColumnView::U8(s) => {
+                scratch.extend(indices.iter().map(|&i| (s[i] as u32, self.grad[i])));
+            }
+            ColumnView::U16(s) => {
+                scratch.extend(indices.iter().map(|&i| (s[i] as u32, self.grad[i])));
+            }
+        }
+        scratch.sort_unstable_by_key(|p| p.0);
+
+        let mut best: Option<GbdtSplit> = None;
+        let mut gl = 0.0;
+        for i in 0..n - 1 {
+            let (code, gv) = scratch[i];
+            gl += gv;
+            let hl = (i + 1) as f64;
+            let hr = h_sum - hl;
+            if hl < min_child || hr < min_child {
+                continue;
+            }
+            let next_code = scratch[i + 1].0;
+            if next_code <= code {
+                continue;
+            }
+            let gr = g_sum - gl;
+            let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                - self.config.gamma;
+            if gain > best.as_ref().map_or(1e-12, |s| s.gain) {
+                best = Some(GbdtSplit {
+                    feature,
+                    threshold: self.binned.threshold_between(
+                        feature,
+                        code as usize,
+                        next_code as usize,
+                    ),
+                    gain,
+                    left_bin: code as usize,
+                });
+            }
+        }
+        best
+    }
+
+    /// A zeroed histogram buffer sized for this tree's candidate set;
+    /// pooled buffers may come from a tree with different columns, so
+    /// resize as well as reset.
+    fn take_buffer(&mut self) -> Vec<HistCell> {
+        let total = *self.offsets.last().unwrap();
+        match self.pool.pop() {
+            Some(mut h) => {
+                h.clear();
+                h.resize(total, HistCell::default());
+                h
+            }
+            None => vec![HistCell::default(); total],
+        }
+    }
+
+    /// Accumulates every candidate column's histogram for `indices`,
+    /// rayon-fanned across columns for large nodes.
+    fn build_full_hist(&self, indices: &[usize], cells: &mut [HistCell]) {
+        if self.cols.len() * indices.len() >= PARALLEL_SPLIT_CELLS {
+            use rayon::prelude::*;
+            let mut slices = Vec::with_capacity(self.cols.len());
+            let mut rest = cells;
+            for (j, &feature) in self.cols.iter().enumerate() {
+                let width = self.offsets[j + 1] - self.offsets[j];
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(width);
+                slices.push((feature, head));
+                rest = tail;
+            }
+            slices.into_par_iter().for_each(|(feature, feature_cells)| {
+                accumulate_feature(
+                    self.binned.column(feature),
+                    indices,
+                    self.grad,
+                    feature_cells,
+                );
+            });
+        } else {
+            for (j, &feature) in self.cols.iter().enumerate() {
+                accumulate_feature(
+                    self.binned.column(feature),
+                    indices,
+                    self.grad,
+                    &mut cells[self.offsets[j]..self.offsets[j + 1]],
+                );
+            }
+        }
     }
 }
 
@@ -547,6 +1017,129 @@ mod tests {
         ] {
             assert!(cfg.fit(&x, &y, 0).is_err(), "{cfg:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn histogram_matches_exact_on_first_round() {
+        // Integer targets over a power-of-two row count: the base score
+        // (mean) and round-1 gradients are exact dyadic rationals, so
+        // gradient sums are associativity-free and the two builders must
+        // emit identical trees and gains.
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows: Vec<Vec<f64>> = (0..256)
+            .map(|_| (0..3).map(|_| (rng.gen::<u32>() % 50) as f64).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r[0] * 3.0 - r[1] + if i % 2 == 0 { 10.0 } else { -10.0 })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let base = GbdtConfig {
+            n_estimators: 1,
+            max_depth: 5,
+            ..Default::default()
+        };
+        let exact = GbdtConfig {
+            split_method: SplitMethod::Exact,
+            ..base.clone()
+        };
+        let hist = GbdtConfig {
+            split_method: SplitMethod::Histogram { max_bins: 256 },
+            ..base
+        };
+        let a = exact.fit(&x, &y, 0).unwrap();
+        let b = hist.fit(&x, &y, 0).unwrap();
+        assert_eq!(a.trees[0].nodes, b.trees[0].nodes);
+        assert_eq!(a.feature_importances, b.feature_importances);
+    }
+
+    #[test]
+    fn histogram_stays_statistically_close_over_many_rounds() {
+        // Later rounds carry non-integer gradients whose summation order
+        // differs between the two scans, and 64 bins compress 400
+        // distinct values; with noisy targets (the realistic regime —
+        // held-out error dominated by irreducible noise, not split
+        // resolution) the two paths must land within a few percent.
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = |rng: &mut StdRng, n: usize| {
+            let mut rows = Vec::with_capacity(n);
+            let mut y = Vec::with_capacity(n);
+            for _ in 0..n {
+                let a = uniform(rng, 0.0, 6.0);
+                let b = uniform(rng, 0.0, 1.0);
+                rows.push(vec![a, b]);
+                y.push(a.sin() * 3.0 + a + uniform(rng, -1.0, 1.0));
+            }
+            (Matrix::from_rows(&rows).unwrap(), y)
+        };
+        let (x, y) = noisy(&mut rng, 400);
+        let (xt, yt) = noisy(&mut rng, 150);
+        let base = GbdtConfig {
+            n_estimators: 60,
+            learning_rate: 0.2,
+            max_depth: 4,
+            ..Default::default()
+        };
+        let exact = GbdtConfig {
+            split_method: SplitMethod::Exact,
+            ..base.clone()
+        };
+        let hist = GbdtConfig {
+            split_method: SplitMethod::Histogram { max_bins: 64 },
+            ..base
+        };
+        let me = mse(&yt, &exact.fit(&x, &y, 3).unwrap().predict(&xt));
+        let mh = mse(&yt, &hist.fit(&x, &y, 3).unwrap().predict(&xt));
+        assert!(
+            (mh - me).abs() <= 0.10 * me.max(mh) + 1e-9,
+            "hist {mh} vs exact {me}"
+        );
+    }
+
+    #[test]
+    fn traced_fit_is_identical_and_records_round_spans() {
+        let (x, y) = sine_data(120, 41);
+        let cfg = GbdtConfig {
+            n_estimators: 6,
+            max_depth: 3,
+            ..Default::default()
+        };
+        let plain = cfg.fit(&x, &y, 2).unwrap();
+        let tracer = c100_obs::Tracer::new();
+        let root = tracer.span("test", "fit");
+        let traced = cfg.fit_traced(&x, &y, 2, root.ctx()).unwrap();
+        drop(root);
+        assert_eq!(plain, traced);
+        let spans = tracer.snapshot();
+        assert_eq!(spans.iter().filter(|s| s.name == "gbdt_round").count(), 6);
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "train_binning").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn shared_binning_fit_matches_self_binned_fit() {
+        let (x, y) = sine_data(150, 51);
+        let cfg = GbdtConfig {
+            n_estimators: 8,
+            max_depth: 4,
+            split_method: SplitMethod::Histogram { max_bins: 128 },
+            ..Default::default()
+        };
+        let binned = BinnedMatrix::from_matrix(&x, 128).unwrap();
+        let a = cfg.fit(&x, &y, 9).unwrap();
+        let b = cfg
+            .fit_binned_traced(&x, &y, &binned, 9, TraceCtx::disabled())
+            .unwrap();
+        assert_eq!(a, b);
+        // A mismatched budget falls back to a fresh (still identical) fit.
+        let wrong = BinnedMatrix::from_matrix(&x, 32).unwrap();
+        let c = cfg
+            .fit_binned_traced(&x, &y, &wrong, 9, TraceCtx::disabled())
+            .unwrap();
+        assert_eq!(a, c);
     }
 
     #[test]

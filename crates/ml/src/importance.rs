@@ -6,6 +6,14 @@
 //! is immune to the training-time split-cardinality bias the paper calls
 //! out. The paper extracts PFI "using MSE as the optimization measure" for
 //! both RF and XGB inside the FRA loop.
+//!
+//! This path is bin-free: fitted trees carry raw thresholds, so permuting
+//! raw columns and predicting needs no [`crate::data::BinnedMatrix`].
+//! Workloads that instead *refit* on permuted columns (target shuffling,
+//! permutation-based retraining baselines) should permute bin codes via
+//! [`crate::data::BinnedMatrix::permute_column`] rather than re-binning:
+//! a permuted column has the same value set, so the result is identical
+//! to fresh binning at a fraction of the cost.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -120,4 +120,29 @@ pub trait Estimator: Clone + Send + Sync {
     ) -> Result<Self::Model> {
         self.fit_model(x, y, seed)
     }
+
+    /// Bin budget this estimator would use for histogram split search, or
+    /// `None` for families without a binned path (exact split search, the
+    /// MLP). Callers that fit the same data repeatedly — grid search, FRA,
+    /// permutation importance — use it to build one [`data::BinnedMatrix`]
+    /// and share it across fits via [`Estimator::fit_model_binned_traced`].
+    fn histogram_bins(&self) -> Option<usize> {
+        None
+    }
+
+    /// [`Estimator::fit_model_traced`] against a caller-built
+    /// [`data::BinnedMatrix`]. The default ignores the binning and fits
+    /// from raw values; binned families override it and must produce a
+    /// model identical to [`Estimator::fit_model_traced`] whenever the
+    /// binning matches what the config would build itself.
+    fn fit_model_binned_traced(
+        &self,
+        x: &data::Matrix,
+        y: &[f64],
+        _binned: Option<&data::BinnedMatrix>,
+        seed: u64,
+        trace: c100_obs::TraceCtx<'_>,
+    ) -> Result<Self::Model> {
+        self.fit_model_traced(x, y, seed, trace)
+    }
 }

@@ -10,9 +10,51 @@
 use c100_obs::{Event, NullObserver, RunObserver, TraceCtx};
 use rayon::prelude::*;
 
-use crate::data::Matrix;
+use crate::data::{BinnedMatrix, Matrix};
 use crate::metrics::mse;
 use crate::{Estimator, MlError, Regressor, Result};
+
+/// One fold's materialized train/test slices, with the training rows
+/// binned once when the estimator family trains on histograms — every
+/// grid candidate evaluated on this fold then shares the same
+/// [`BinnedMatrix`] instead of re-binning per (candidate, fold) pair.
+struct FoldData {
+    x_train: Matrix,
+    y_train: Vec<f64>,
+    x_test: Matrix,
+    y_test: Vec<f64>,
+    binned: Option<BinnedMatrix>,
+}
+
+/// Materializes every fold (in parallel), binning each fold's training
+/// rows when `bins` is set.
+fn prepare_folds(
+    x: &Matrix,
+    y: &[f64],
+    folds: &[(Vec<usize>, Vec<usize>)],
+    bins: Option<usize>,
+) -> Result<Vec<FoldData>> {
+    folds
+        .par_iter()
+        .map(|(train, test)| {
+            let x_train = x.take_rows(train);
+            let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+            let x_test = x.take_rows(test);
+            let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+            let binned = match bins {
+                Some(b) => Some(BinnedMatrix::from_matrix(&x_train, b)?),
+                None => None,
+            };
+            Ok(FoldData {
+                x_train,
+                y_train,
+                x_test,
+                y_test,
+                binned,
+            })
+        })
+        .collect()
+}
 
 /// Contiguous k-fold index splits over `n` rows.
 ///
@@ -49,16 +91,19 @@ pub fn cross_val_mse<E: Estimator>(
     seed: u64,
 ) -> Result<f64> {
     let folds = kfold_indices(x.n_rows(), k)?;
-    let scores: Result<Vec<f64>> = folds
+    let fold_data = prepare_folds(x, y, &folds, estimator.histogram_bins())?;
+    let scores: Result<Vec<f64>> = fold_data
         .par_iter()
         .enumerate()
-        .map(|(fold_id, (train, test))| {
-            let x_train = x.take_rows(train);
-            let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
-            let x_test = x.take_rows(test);
-            let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
-            let model = estimator.fit_model(&x_train, &y_train, seed ^ (fold_id as u64) << 32)?;
-            Ok(mse(&y_test, &model.predict(&x_test)))
+        .map(|(fold_id, fd)| {
+            let model = estimator.fit_model_binned_traced(
+                &fd.x_train,
+                &fd.y_train,
+                fd.binned.as_ref(),
+                seed ^ (fold_id as u64) << 32,
+                TraceCtx::disabled(),
+            )?;
+            Ok(mse(&fd.y_test, &model.predict(&fd.x_test)))
         })
         .collect();
     let scores = scores?;
@@ -141,8 +186,14 @@ pub fn grid_search_traced<E: Estimator>(
     }
     // Evaluate every (candidate, fold) pair in one flat parallel sweep —
     // grids × folds parallelism beats nesting fold-parallel runs inside a
-    // serial candidate loop.
+    // serial candidate loop. Folds are materialized (and binned) once up
+    // front: with a C-candidate grid each fold's BinnedMatrix is reused C
+    // times instead of rebuilt per pair.
     let folds = kfold_indices(x.n_rows(), k)?;
+    let bins = candidates.iter().find_map(|c| c.histogram_bins());
+    let binning_span = trace.span("train_binning");
+    let fold_data = prepare_folds(x, y, &folds, bins)?;
+    drop(binning_span);
     let pairs: Vec<(usize, usize)> = (0..candidates.len())
         .flat_map(|c| (0..folds.len()).map(move |f| (c, f)))
         .collect();
@@ -150,13 +201,15 @@ pub fn grid_search_traced<E: Estimator>(
         .par_iter()
         .map(|&(c, f)| {
             let _fold_span = trace.span("grid_fold");
-            let (train, test) = &folds[f];
-            let x_train = x.take_rows(train);
-            let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
-            let x_test = x.take_rows(test);
-            let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
-            let model = candidates[c].fit_model(&x_train, &y_train, seed ^ (f as u64) << 32)?;
-            Ok(((c, f), mse(&y_test, &model.predict(&x_test))))
+            let fd = &fold_data[f];
+            let model = candidates[c].fit_model_binned_traced(
+                &fd.x_train,
+                &fd.y_train,
+                fd.binned.as_ref(),
+                seed ^ (f as u64) << 32,
+                TraceCtx::disabled(),
+            )?;
+            Ok(((c, f), mse(&fd.y_test, &model.predict(&fd.x_test))))
         })
         .collect();
     let mut scores = vec![0.0; candidates.len()];

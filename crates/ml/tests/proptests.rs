@@ -2,13 +2,13 @@
 //! property is the strongest check in the crate: it holds exactly only for
 //! a correct TreeSHAP implementation.
 
-use c100_ml::data::Matrix;
+use c100_ml::data::{BinnedMatrix, Matrix};
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::metrics::{mae, mse, r2, rmse};
 use c100_ml::model_selection::kfold_indices;
 use c100_ml::shap::ShapExplainable;
-use c100_ml::tree::{MaxFeatures, TreeConfig};
+use c100_ml::tree::{MaxFeatures, SplitMethod, TreeConfig};
 use c100_ml::Regressor;
 use proptest::prelude::*;
 
@@ -26,6 +26,40 @@ fn dataset(max_rows: usize, n_features: usize) -> impl Strategy<Value = (Vec<Vec
         let y: Vec<f64> = rows.iter().map(|(_, t)| *t).collect();
         (x, y)
     })
+}
+
+/// Strategy: a dataset whose features and targets are small integers, so
+/// every feature has far fewer distinct values than the default bin
+/// budget and histogram split search must match exact search bit for bit.
+fn integer_dataset(
+    max_rows: usize,
+    n_features: usize,
+) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    prop::collection::vec(
+        (prop::collection::vec(-20i64..21, n_features), -50i64..51),
+        6..max_rows,
+    )
+    .prop_map(|rows| {
+        let x: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|(f, _)| f.iter().map(|&v| v as f64).collect())
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|(_, t)| *t as f64).collect();
+        (x, y)
+    })
+}
+
+/// Deterministic Fisher–Yates permutation from an LCG stream, so the
+/// permutation test does not depend on any RNG crate.
+fn pseudo_perm(n: usize, mut state: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        perm.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    perm
 }
 
 proptest! {
@@ -158,6 +192,81 @@ proptest! {
             let k = mf.resolve(n);
             prop_assert!(k >= 1 && k <= n, "{mf:?} on {n} gave {k}");
         }
+    }
+
+    #[test]
+    fn binned_codes_round_trip((rows, _y) in dataset(40, 3), bins in 2usize..64) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let binned = BinnedMatrix::from_matrix(&x, bins).unwrap();
+        prop_assert_eq!(binned.n_rows(), x.n_rows());
+        prop_assert_eq!(binned.n_features(), x.n_features());
+        for f in 0..x.n_features() {
+            let edges = binned.bin_edges(f);
+            prop_assert!(binned.n_bins(f) <= bins);
+            prop_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges not increasing");
+            for r in 0..x.n_rows() {
+                // A code is the unique bin whose half-open interval
+                // (edges[code-1], edges[code]] holds the raw value, so
+                // value -> code -> edge interval -> code is stable.
+                let (v, code) = (x.get(r, f), binned.code(r, f));
+                prop_assert!(code < binned.n_bins(f));
+                prop_assert!(v <= edges[code], "value above its bin edge");
+                prop_assert!(code == 0 || v > edges[code - 1], "value below its bin");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_tree_equals_exact_when_distinct_fits((rows, y) in integer_dataset(40, 3)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let exact = TreeConfig { split_method: SplitMethod::Exact, ..Default::default() }
+            .fit(&x, &y, 7).unwrap();
+        let hist = TreeConfig {
+            split_method: SplitMethod::Histogram { max_bins: 256 },
+            ..Default::default()
+        }
+        .fit(&x, &y, 7).unwrap();
+        prop_assert_eq!(exact, hist);
+    }
+
+    #[test]
+    fn forest_histogram_predicts_identically_on_integer_data((rows, y) in integer_dataset(30, 3)) {
+        let exact_cfg = RandomForestConfig {
+            n_estimators: 6,
+            split_method: SplitMethod::Exact,
+            ..Default::default()
+        };
+        let hist_cfg = RandomForestConfig {
+            split_method: SplitMethod::Histogram { max_bins: 256 },
+            ..exact_cfg.clone()
+        };
+        let x = Matrix::from_rows(&rows).unwrap();
+        let exact = exact_cfg.fit(&x, &y, 11).unwrap();
+        let hist = hist_cfg.fit(&x, &y, 11).unwrap();
+        for row in &rows {
+            // Bit-identical trees mean bit-identical predictions.
+            prop_assert_eq!(exact.predict_row(row), hist.predict_row(row));
+        }
+    }
+
+    #[test]
+    fn permuted_codes_match_fresh_binning(
+        (rows, _y) in dataset(30, 3),
+        bins in 2usize..32,
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let perm = pseudo_perm(x.n_rows(), perm_seed);
+        // Reuse path: permute one feature's codes in place.
+        let mut reused = BinnedMatrix::from_matrix(&x, bins).unwrap();
+        reused.permute_column(1, &perm);
+        // Reference path: permute the raw column, then bin from scratch.
+        let mut shuffled = x.clone();
+        for (r, &src) in perm.iter().enumerate() {
+            shuffled.set(r, 1, x.get(src, 1));
+        }
+        let fresh = BinnedMatrix::from_matrix(&shuffled, bins).unwrap();
+        prop_assert_eq!(reused, fresh);
     }
 
     #[test]

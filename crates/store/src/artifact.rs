@@ -163,6 +163,7 @@ impl ModelArtifact {
             max_features_label(config.max_features),
         );
         map.insert("bootstrap".into(), config.bootstrap.to_string());
+        map.insert("split_method".into(), config.split_method.label());
         map
     }
 
@@ -186,6 +187,7 @@ impl ModelArtifact {
             "colsample_bytree".into(),
             format!("{:?}", config.colsample_bytree),
         );
+        map.insert("split_method".into(), config.split_method.label());
         map
     }
 

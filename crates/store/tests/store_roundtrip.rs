@@ -472,6 +472,29 @@ fn schema_violations_are_typed_errors() {
 }
 
 #[test]
+fn pre_split_method_artifacts_still_load_and_predict_identically() {
+    // Artifacts written before the histogram-training release carry no
+    // "split_method" hyperparameter. The key is additive metadata in the
+    // free-form map, so the schema version did not bump and old payloads
+    // must keep decoding and predicting bit for bit.
+    assert_eq!(SCHEMA_VERSION, 1);
+    for (artifact, x) in [rf_artifact(33), gbdt_artifact(35)] {
+        assert!(artifact.hyperparameters.contains_key("split_method"));
+        let mut old = artifact.clone();
+        old.hyperparameters.remove("split_method");
+        let decoded = ModelArtifact::decode(&old.encode().text).unwrap();
+        assert_eq!(decoded, old);
+        assert!(!decoded.hyperparameters.contains_key("split_method"));
+        for r in 0..x.n_rows() {
+            assert_eq!(
+                decoded.model.predict_row(x.row(r)).to_bits(),
+                artifact.model.predict_row(x.row(r)).to_bits()
+            );
+        }
+    }
+}
+
+#[test]
 fn artifact_rejects_feature_count_mismatch() {
     let (mut rf, _) = rf_artifact(27);
     rf.features.push("phantom".into());
