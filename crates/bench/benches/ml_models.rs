@@ -7,32 +7,14 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use c100_ml::data::Matrix;
+use c100_bench::dataset::synthetic_regression;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::importance::{permutation_importance, PermutationConfig};
 use c100_ml::shap::{tree_shap, ShapExplainable};
 use c100_ml::tree::{MaxFeatures, SplitMethod, TreeConfig};
 use c100_ml::Regressor;
-
-fn synthetic_regression(n_rows: usize, n_features: usize, seed: u64) -> (Matrix, Vec<f64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut rows = Vec::with_capacity(n_rows);
-    let mut y = Vec::with_capacity(n_rows);
-    for _ in 0..n_rows {
-        let f: Vec<f64> = (0..n_features).map(|_| rng.gen::<f64>()).collect();
-        let target = 5.0 * f[0]
-            + 3.0 * (f[1] * std::f64::consts::PI).sin()
-            + f[2] * f[3 % n_features]
-            + 0.1 * rng.gen::<f64>();
-        rows.push(f);
-        y.push(target);
-    }
-    (Matrix::from_rows(&rows).unwrap(), y)
-}
 
 fn bench_tree_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("tree_fit");

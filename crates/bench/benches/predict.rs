@@ -1,0 +1,130 @@
+//! Interpreted vs compiled inference on the scenario-sized design
+//! matrix (2000×283), for both model families. Besides the Criterion
+//! timings, the median of each engine's batch predict is recorded to
+//! `results/BENCH_predict.json` so later PRs can regress-gate the
+//! compiled engine's speedup without re-running Criterion.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use c100_bench::dataset::{synthetic_regression, wrap_artifact};
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::tree::MaxFeatures;
+use c100_store::{BatchPredictor, Engine, ModelPayload};
+
+const ROWS: usize = 2000;
+const FEATURES: usize = 283;
+
+/// Median of five manual timings, independent of Criterion's own
+/// sampling (the recorded JSON must not depend on sampler settings).
+fn median_predict_secs(mut predict: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            predict();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[2]
+}
+
+/// Both engines over both families. The ensembles mirror what the
+/// pipeline serves: histogram-trained (the default split method), RF at
+/// the grid's depth-8 ceiling and GBDT at its depth-5 ceiling.
+fn bench_engines(c: &mut Criterion) {
+    let (x, y) = synthetic_regression(ROWS, FEATURES, 7);
+    let rf = RandomForestConfig {
+        n_estimators: 50,
+        max_depth: Some(8),
+        max_features: MaxFeatures::Sqrt,
+        ..Default::default()
+    }
+    .fit(&x, &y, 0)
+    .unwrap();
+    let gbdt = GbdtConfig {
+        n_estimators: 100,
+        max_depth: 5,
+        ..Default::default()
+    }
+    .fit(&x, &y, 0)
+    .unwrap();
+
+    let mut recorded = String::from("{\"bench\":\"predict_engines\",\"results\":[");
+    let mut first = true;
+    let mut group = c.benchmark_group("predict_engines");
+    for (family, payload) in [
+        ("rf", ModelPayload::Rf(rf)),
+        ("gbdt", ModelPayload::Gbdt(gbdt)),
+    ] {
+        let total_nodes = payload.total_nodes();
+        let compiled_info = payload.compile();
+        let artifact = wrap_artifact(payload, ROWS as u64, 7);
+        let interpreted = BatchPredictor::new(artifact.clone()).with_engine(Engine::Interpreted);
+        let compiled = BatchPredictor::new(artifact).with_engine(Engine::Compiled);
+
+        // First compiled call pays the one-off flatten; run both
+        // predictors once so the timed medians measure steady state,
+        // and pin down that the engines agree before recording.
+        let warm_i = interpreted.predict_matrix(&x).unwrap();
+        let warm_c = compiled.predict_matrix(&x).unwrap();
+        assert_eq!(warm_i.len(), warm_c.len());
+        for (a, b) in warm_i.iter().zip(&warm_c) {
+            assert_eq!(a.to_bits(), b.to_bits(), "engines must be bit-identical");
+        }
+
+        let interpreted_secs = median_predict_secs(|| {
+            interpreted.predict_matrix(&x).unwrap();
+        });
+        let compiled_secs = median_predict_secs(|| {
+            compiled.predict_matrix(&x).unwrap();
+        });
+        if !first {
+            recorded.push(',');
+        }
+        first = false;
+        recorded.push_str(&format!(
+            "{{\"model\":\"{family}\",\"rows\":{ROWS},\"features\":{FEATURES},\
+             \"total_nodes\":{total_nodes},\"quantized\":{},\
+             \"interpreted_median_secs\":{interpreted_secs:.6},\
+             \"compiled_median_secs\":{compiled_secs:.6},\
+             \"speedup\":{:.2}}}",
+            compiled_info.is_quantized() && compiled_info.quantization_pays(),
+            interpreted_secs / compiled_secs
+        ));
+
+        for (engine, predictor) in [("interpreted", &interpreted), ("compiled", &compiled)] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{family}_{engine}_{ROWS}x{FEATURES}")),
+                predictor,
+                |b, p| b.iter(|| bench_matrix(p, &x)),
+            );
+        }
+    }
+    group.finish();
+    recorded.push_str("]}\n");
+
+    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
+    let path = results_dir.join("BENCH_predict.json");
+    std::fs::write(&path, recorded).expect("write BENCH_predict.json");
+    eprintln!("recorded engine comparison -> {}", path.display());
+}
+
+fn bench_matrix(predictor: &BatchPredictor, x: &Matrix) -> Vec<f64> {
+    predictor.predict_matrix(x).unwrap()
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -5,7 +5,6 @@
 //! throughput is recorded to `results/BENCH_serve.json` so later PRs
 //! can regress-gate the serving path without re-running Criterion.
 
-use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -13,14 +12,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use c100_ml::data::Matrix;
+use c100_bench::dataset::{synthetic_regression, wrap_artifact};
 use c100_ml::forest::RandomForestConfig;
 use c100_obs::MetricsRegistry;
 use c100_serve::{ServeConfig, Server, ServerHandle};
-use c100_store::{ArtifactStore, ModelArtifact, ModelPayload};
+use c100_store::{ArtifactStore, ModelPayload};
 
 const ROWS_PER_REQUEST: usize = 16;
 const REQUESTS_PER_CONNECTION: usize = 4;
@@ -28,12 +25,7 @@ const REQUESTS_PER_CONNECTION: usize = 4;
 fn seeded_store() -> (PathBuf, String) {
     let root = std::env::temp_dir().join(format!("c100_bench_serve_{}", std::process::id()));
     std::fs::remove_dir_all(&root).ok();
-    let mut rng = StdRng::seed_from_u64(5);
-    let rows: Vec<Vec<f64>> = (0..200)
-        .map(|_| (0..6).map(|_| rng.gen_range(-2.0..2.0)).collect())
-        .collect();
-    let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 - r[3]).collect();
-    let x = Matrix::from_rows(&rows).unwrap();
+    let (x, y) = synthetic_regression(200, 6, 5);
     let model = RandomForestConfig {
         n_estimators: 20,
         max_depth: Some(6),
@@ -41,19 +33,7 @@ fn seeded_store() -> (PathBuf, String) {
     }
     .fit(&x, &y, 5)
     .unwrap();
-    let artifact = ModelArtifact {
-        scenario: "2019_7".into(),
-        period: "2019".into(),
-        window: 7,
-        features: (0..6).map(|i| format!("feat_{i}")).collect(),
-        profile: "bench".into(),
-        seed: 5,
-        train_rows: x.n_rows() as u64,
-        train_start: "2019-01-01".into(),
-        train_end: "2019-07-19".into(),
-        hyperparameters: BTreeMap::new(),
-        model: ModelPayload::Rf(model),
-    };
+    let artifact = wrap_artifact(ModelPayload::Rf(model), x.n_rows() as u64, 5);
     let entry = ArtifactStore::open(&root).unwrap().save(&artifact).unwrap();
     (root, entry.id)
 }

@@ -21,11 +21,12 @@
 //!   all     Everything above
 //!
 //! repro predict --store DIR --scenario ID --features CSV
-//!               [--model rf|gbdt] [--out CSV] [--trace PATH]
+//!               [--model rf|gbdt] [--engine interpreted|compiled]
+//!               [--out CSV] [--trace PATH]
 //!
 //! repro serve --store DIR --addr 127.0.0.1:PORT [--workers N]
 //!             [--queue-depth N] [--max-batch N] [--max-wait-ms N]
-//!             [--trace PATH]
+//!             [--engine interpreted|compiled] [--trace PATH]
 //!
 //! repro compare BASELINE_DIR CURRENT_DIR [--fail-over-pct N]
 //! ```
@@ -61,6 +62,11 @@
 //! endpoint (`GET /healthz|/models|/metrics`, `POST
 //! /predict|/reload|/shutdown`) with a bounded queue, micro-batching,
 //! and load shedding; see `crates/serve/README.md` for the design.
+//!
+//! `--engine` picks the inference backend for `predict`/`serve`: the
+//! default `compiled` flattens the ensemble into contiguous arrays for
+//! branchless traversal, `interpreted` walks the fitted trees directly.
+//! Both produce bit-identical forecasts.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -79,7 +85,7 @@ use c100_obs::{
     RunObserver, StderrObserver, TraceCtx, Tracer,
 };
 use c100_serve::{ServeConfig, Server};
-use c100_store::{ArtifactStore, BatchPredictor};
+use c100_store::{ArtifactStore, BatchPredictor, Engine};
 use c100_synth::MarketData;
 use c100_timeseries::csv::{read_frame_from_path, write_frame_to_path};
 use c100_timeseries::{Frame, Series};
@@ -391,6 +397,7 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut store_dir = None;
     let mut scenario = None;
     let mut family = "rf".to_string();
+    let mut engine = Engine::default();
     let mut features = None;
     let mut out = None;
     let mut trace = None;
@@ -406,6 +413,12 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                     return Err(format!("unknown model family {v} (expected rf or gbdt)"));
                 }
                 family = v;
+            }
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs a value")?;
+                engine = Engine::parse(&v).ok_or(format!(
+                    "unknown engine {v} (expected interpreted or compiled)"
+                ))?;
             }
             "--features" => {
                 features = Some(PathBuf::from(
@@ -436,7 +449,7 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         .clone();
     let artifact = store.load(&entry.id).map_err(|e| e.to_string())?;
     println!(
-        "# artifact {} ({} {}) — {} features, trained {}..{} ({} rows, profile {})",
+        "# artifact {} ({} {}) — {} features, trained {}..{} ({} rows, profile {}, engine {})",
         entry.id,
         entry.scenario,
         entry.model,
@@ -444,12 +457,13 @@ fn run_predict(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         artifact.train_start,
         artifact.train_end,
         artifact.train_rows,
-        artifact.profile
+        artifact.profile,
+        engine.label()
     );
 
     let frame = read_frame_from_path(&features_path).map_err(|e| e.to_string())?;
     let tracer = trace.as_ref().map(|_| Arc::new(Tracer::new()));
-    let mut predictor = BatchPredictor::new(artifact);
+    let mut predictor = BatchPredictor::new(artifact).with_engine(engine);
     if let Some(tracer) = &tracer {
         predictor = predictor.with_tracer(tracer.clone());
     }
@@ -483,6 +497,7 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut queue_depth = 64usize;
     let mut max_batch = 8usize;
     let mut max_wait_ms = 5u64;
+    let mut engine = Engine::default();
     let mut trace = None;
     fn parse_usize(flag: &str, value: Option<String>) -> Result<usize, String> {
         let v = value.ok_or(format!("{flag} needs a value"))?;
@@ -498,6 +513,12 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--queue-depth" => queue_depth = parse_usize("--queue-depth", args.next())?,
             "--max-batch" => max_batch = parse_usize("--max-batch", args.next())?,
             "--max-wait-ms" => max_wait_ms = parse_usize("--max-wait-ms", args.next())? as u64,
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs a value")?;
+                engine = Engine::parse(&v).ok_or(format!(
+                    "unknown engine {v} (expected interpreted or compiled)"
+                ))?;
+            }
             "--trace" => {
                 trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
             }
@@ -511,6 +532,7 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     config.queue_depth = queue_depth;
     config.max_batch = max_batch;
     config.max_wait = std::time::Duration::from_millis(max_wait_ms);
+    config.engine = engine;
 
     let registry = Arc::new(MetricsRegistry::new());
     let tracer = trace.as_ref().map(|_| Arc::new(Tracer::new()));

@@ -1,0 +1,51 @@
+//! Shared synthetic datasets for the Criterion benches.
+//!
+//! The `ml_models`, `serve`, and `predict` benches all measure models
+//! fitted on the same family of synthetic regression problems; keeping
+//! the builder here means the benches cannot drift onto different data
+//! and their recorded JSON stays comparable across suites.
+
+use std::collections::BTreeMap;
+
+use c100_ml::data::Matrix;
+use c100_store::{ModelArtifact, ModelPayload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic regression problem: uniform features in `[0, 1)` and
+/// a smooth nonlinear target with a little noise. The `(2000, 283)`
+/// shape matches a pipeline scenario's design matrix.
+pub fn synthetic_regression(n_rows: usize, n_features: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n_rows);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let f: Vec<f64> = (0..n_features).map(|_| rng.gen::<f64>()).collect();
+        let target = 5.0 * f[0]
+            + 3.0 * (f[1] * std::f64::consts::PI).sin()
+            + f[2] * f[3 % n_features]
+            + 0.1 * rng.gen::<f64>();
+        rows.push(f);
+        y.push(target);
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+/// Wraps a payload fitted on a [`synthetic_regression`] dataset in a
+/// ready-to-serve artifact whose feature schema matches its width.
+pub fn wrap_artifact(model: ModelPayload, train_rows: u64, seed: u64) -> ModelArtifact {
+    let width = model.n_features();
+    ModelArtifact {
+        scenario: "2019_7".into(),
+        period: "2019".into(),
+        window: 7,
+        features: (0..width).map(|i| format!("feat_{i}")).collect(),
+        profile: "bench".into(),
+        seed,
+        train_rows,
+        train_start: "2019-01-01".into(),
+        train_end: "2019-07-19".into(),
+        hyperparameters: BTreeMap::new(),
+        model,
+    }
+}

@@ -1,5 +1,7 @@
 //! Shared setup for the reproduction binary and the Criterion benches.
 
+pub mod dataset;
+
 use c100_core::profile::Profile;
 use c100_synth::SynthConfig;
 use c100_timeseries::Date;

@@ -73,6 +73,12 @@ impl Matrix {
         &self.data[r * self.n_features..(r + 1) * self.n_features]
     }
 
+    /// The whole backing buffer, row-major. Batch predictors borrow
+    /// this instead of re-copying rows.
+    pub fn as_row_major(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Value at `(row, col)`.
     pub fn get(&self, row: usize, col: usize) -> f64 {
         self.data[row * self.n_features + col]

@@ -1,0 +1,584 @@
+//! Compiled flat-ensemble inference and the unified [`Predictor`] API.
+//!
+//! Training builds ensembles as vectors of [`Tree`]s whose nodes point at
+//! each other through `left`/`right` indices. That layout is convenient
+//! to grow but slow to serve: every split visits a 48-byte [`Node`],
+//! touching cache lines full of fields (`cover`, `impurity`, MDI
+//! bookkeeping) that inference never reads.
+//!
+//! [`CompiledEnsemble`] re-lays a fitted ensemble into contiguous
+//! structure-of-arrays node pools shared by every tree:
+//!
+//! ```text
+//!   feature:   Vec<u32>   split feature index          (4 B / node)
+//!   child:     Vec<i32>   offset to left child, 0=leaf (4 B / node)
+//!   threshold: Vec<f64>   split threshold              (8 B / node)
+//!   value:     Vec<f64>   leaf value (cold: read once) (8 B / node)
+//!   roots:     Vec<u32>   arena slot of each tree root
+//! ```
+//!
+//! Trees are flattened breadth-first and sibling children always occupy
+//! adjacent slots, so a traversal step is branchless arithmetic rather
+//! than a pointer chase:
+//!
+//! ```text
+//!   go_right = !(row[feature[i]] <= threshold[i])   // NaN ⇒ right
+//!   i        = i + child[i] + go_right
+//! ```
+//!
+//! `!(x <= t)` — not `x > t` — is deliberate: IEEE comparisons with NaN
+//! are false, so both forms differ exactly on NaN rows and only the
+//! former routes them right like the interpreted
+//! [`Tree::predict_row`](crate::tree::Tree::predict_row) does.
+//!
+//! Batches traverse tree-outer / row-inner over small row blocks, so a
+//! tree's hot upper levels stay in L1 across the whole block instead of
+//! being evicted between rows. Per-row accumulation still sums leaves in
+//! tree order starting from `0.0` and applies the family finalizer
+//! (divide by tree count for forests, add `base_score` for GBDT) last —
+//! the same float fold as the interpreted path, which is what keeps
+//! compiled output **bit-identical**, not merely close (proptested in
+//! `tests/proptests.rs`).
+//!
+//! Optionally, thresholds are quantized to per-feature rank codes so the
+//! hot loop compares `u16`s instead of `f64`s (see [`ThresholdCodes`]).
+//! Quantization is also bit-exact: a row value is encoded as the number
+//! of distinct model thresholds strictly below it, and for sorted
+//! distinct cuts `x <= cuts[i] ⟺ code(x) <= i`, while NaN encodes past
+//! every cut and keeps routing right.
+
+use std::collections::VecDeque;
+
+use crate::forest::RandomForest;
+use crate::gbdt::Gbdt;
+use crate::tree::Tree;
+use crate::Regressor;
+
+/// Which inference backend a prediction surface should use.
+///
+/// Both engines produce bit-identical predictions; the knob exists so
+/// callers can fall back to the interpreted walker when diagnosing the
+/// compiled one, and so benchmarks can measure the gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Walk the fitted trees' linked `Node` structs directly.
+    Interpreted,
+    /// Flatten the ensemble into [`CompiledEnsemble`] arrays first.
+    #[default]
+    Compiled,
+}
+
+impl Engine {
+    /// Stable string form, used in CLI flags, `/models` responses, and
+    /// trace metadata.
+    pub fn label(&self) -> String {
+        match self {
+            Engine::Interpreted => "interpreted".to_string(),
+            Engine::Compiled => "compiled".to_string(),
+        }
+    }
+
+    /// Parses [`Engine::label`] output (for `--engine` flags and the
+    /// `/reload` engine override).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "interpreted" => Some(Engine::Interpreted),
+            "compiled" => Some(Engine::Compiled),
+            _ => None,
+        }
+    }
+}
+
+/// The unified prediction surface: one row in, or a validated row-major
+/// batch in, forecasts out.
+///
+/// Every serving path (`BatchPredictor`, c100-serve, `repro predict`)
+/// routes through this trait, so interpreted models ([`RandomForest`],
+/// [`Gbdt`]) and [`CompiledEnsemble`] are interchangeable backends.
+/// `predict_row` itself comes from the [`Regressor`] supertrait;
+/// implementations must keep `predict_batch` bit-identical to calling
+/// `predict_row` per row.
+pub trait Predictor: Regressor + Send + Sync {
+    /// Row width this predictor expects.
+    fn n_features(&self) -> usize;
+
+    /// Predicts every `width`-wide row of a row-major buffer into `out`.
+    /// Callers guarantee `data.len() == out.len() * width`.
+    fn predict_batch(&self, data: &[f64], width: usize, out: &mut [f64]) {
+        for (slot, row) in out.iter_mut().zip(data.chunks_exact(width)) {
+            *slot = self.predict_row(row);
+        }
+    }
+}
+
+impl Predictor for RandomForest {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+impl Predictor for Gbdt {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// How per-tree leaf sums become a final prediction. Applied after the
+/// in-order leaf fold, mirroring the interpreted expressions
+/// `sum / n as f64` (forest) and `base_score + sum` (GBDT) exactly.
+#[derive(Debug, Clone, Copy)]
+enum Finalize {
+    /// Random forest: divide the leaf sum by the tree count.
+    Mean(usize),
+    /// GBDT: add the base score to the leaf sum.
+    Offset(f64),
+}
+
+impl Finalize {
+    #[inline]
+    fn apply(self, acc: f64) -> f64 {
+        match self {
+            Finalize::Mean(n) => acc / n as f64,
+            Finalize::Offset(base) => base + acc,
+        }
+    }
+}
+
+/// Rows per traversal block. Small enough that a block of row slices
+/// and codes stays L1-resident, large enough to amortize re-walking
+/// each tree's upper levels.
+const ROW_BLOCK: usize = 32;
+
+/// Minimum batch size before threshold quantization can pay for its
+/// per-row encoding pass.
+const QUANT_MIN_ROWS: usize = 16;
+
+/// Per-feature threshold rank tables for the integer-compare hot path.
+///
+/// For each feature, `cuts` holds the sorted distinct thresholds the
+/// ensemble ever tests it against. A row value `x` is encoded as
+/// `|{t ∈ cuts : t < x}|` — the rank of `x` among the cuts — and a node
+/// testing `x <= cuts[i]` becomes `code(x) <= i`. Both sides of every
+/// comparison are then small integers (`u16`; histogram-trained models
+/// see at most `max_bins − 1 ≤ 255` distinct thresholds per feature).
+/// NaN encodes as `cuts.len()`, strictly above every node code, so NaN
+/// rows keep routing right exactly like the f64 path.
+#[derive(Debug, Clone)]
+struct ThresholdCodes {
+    /// Sorted distinct thresholds per feature; empty for features the
+    /// ensemble never splits on.
+    cuts: Vec<Vec<f64>>,
+    /// Rank of `threshold[i]` within `cuts[feature[i]]`, per arena
+    /// node; 0 for leaves (never read).
+    node_code: Vec<u16>,
+    /// Estimated binary-search comparisons to encode one row.
+    encode_cost: usize,
+}
+
+/// A fitted RF/GBDT ensemble flattened into contiguous SoA node arrays
+/// for fast batch inference. See the [module docs](self) for the layout
+/// and the bit-identity argument.
+#[derive(Debug, Clone)]
+pub struct CompiledEnsemble {
+    n_features: usize,
+    finalize: Finalize,
+    /// Arena slot of each tree's root, in ensemble order.
+    roots: Vec<u32>,
+    /// Split feature per node (0 for leaves, never read).
+    feature: Vec<u32>,
+    /// Offset from a node to its left child; the right child is the
+    /// next slot. `0` marks a leaf (a child can never be its own
+    /// parent, so offset 0 is free to repurpose).
+    child: Vec<i32>,
+    /// Split threshold per node (0.0 for leaves, never read).
+    threshold: Vec<f64>,
+    /// Leaf value per node (0.0 for internal nodes, never read).
+    value: Vec<f64>,
+    /// Upper bound on node visits for one row over all trees
+    /// (sum of tree depths); drives the quantization heuristic.
+    visit_cost: usize,
+    quant: Option<ThresholdCodes>,
+}
+
+impl CompiledEnsemble {
+    /// Compiles a fitted random forest. Predictions stay bit-identical
+    /// to [`RandomForest::predict_row`](Regressor::predict_row).
+    pub fn from_forest(forest: &RandomForest) -> CompiledEnsemble {
+        CompiledEnsemble::compile(
+            forest.trees.iter().map(|t| &t.tree),
+            forest.n_features,
+            Finalize::Mean(forest.trees.len()),
+        )
+    }
+
+    /// Compiles a fitted GBDT. Predictions stay bit-identical to
+    /// [`Gbdt::predict_row`](Regressor::predict_row).
+    pub fn from_gbdt(gbdt: &Gbdt) -> CompiledEnsemble {
+        CompiledEnsemble::compile(
+            gbdt.trees.iter(),
+            gbdt.n_features,
+            Finalize::Offset(gbdt.base_score),
+        )
+    }
+
+    fn compile<'a, I>(trees: I, n_features: usize, finalize: Finalize) -> CompiledEnsemble
+    where
+        I: Iterator<Item = &'a Tree>,
+    {
+        let mut out = CompiledEnsemble {
+            n_features,
+            finalize,
+            roots: Vec::new(),
+            feature: Vec::new(),
+            child: Vec::new(),
+            threshold: Vec::new(),
+            value: Vec::new(),
+            visit_cost: 0,
+            quant: None,
+        };
+        for tree in trees {
+            let root = out.flatten_tree(tree);
+            out.roots.push(root);
+        }
+        out.quant = out.build_threshold_codes();
+        out
+    }
+
+    /// Appends one tree to the arena in breadth-first order, allocating
+    /// each internal node's children as adjacent slots, and returns the
+    /// root's slot.
+    fn flatten_tree(&mut self, tree: &Tree) -> u32 {
+        let root = self.alloc_node();
+        // (original node index, arena slot, depth)
+        let mut queue: VecDeque<(u32, usize, usize)> = VecDeque::new();
+        queue.push_back((0, root, 1));
+        let mut depth = 0usize;
+        while let Some((orig, slot, d)) = queue.pop_front() {
+            depth = depth.max(d);
+            let node = &tree.nodes[orig as usize];
+            if node.is_leaf() {
+                self.value[slot] = node.value;
+            } else {
+                let left = self.alloc_node();
+                let right = self.alloc_node();
+                debug_assert_eq!(right, left + 1);
+                self.feature[slot] = node.feature;
+                self.threshold[slot] = node.threshold;
+                self.child[slot] = (left - slot) as i32;
+                queue.push_back((node.left, left, d + 1));
+                queue.push_back((node.right, right, d + 1));
+            }
+        }
+        self.visit_cost += depth;
+        root as u32
+    }
+
+    fn alloc_node(&mut self) -> usize {
+        let slot = self.feature.len();
+        self.feature.push(0);
+        self.child.push(0);
+        self.threshold.push(0.0);
+        self.value.push(0.0);
+        slot
+    }
+
+    /// Builds the per-feature threshold rank tables, or `None` when a
+    /// feature has more distinct thresholds than `u16` can rank (only
+    /// plausible for huge exact-split ensembles).
+    fn build_threshold_codes(&self) -> Option<ThresholdCodes> {
+        let mut cuts: Vec<Vec<f64>> = vec![Vec::new(); self.n_features];
+        for i in 0..self.child.len() {
+            if self.child[i] != 0 {
+                cuts[self.feature[i] as usize].push(self.threshold[i]);
+            }
+        }
+        let mut encode_cost = 0usize;
+        for feature_cuts in &mut cuts {
+            feature_cuts.sort_by(f64::total_cmp);
+            feature_cuts.dedup();
+            if feature_cuts.len() > u16::MAX as usize {
+                return None;
+            }
+            if !feature_cuts.is_empty() {
+                encode_cost += (feature_cuts.len() + 1).ilog2() as usize + 1;
+            }
+        }
+        let node_code = (0..self.child.len())
+            .map(|i| {
+                if self.child[i] == 0 {
+                    0
+                } else {
+                    let feature_cuts = &cuts[self.feature[i] as usize];
+                    feature_cuts.partition_point(|&t| t < self.threshold[i]) as u16
+                }
+            })
+            .collect();
+        Some(ThresholdCodes {
+            cuts,
+            node_code,
+            encode_cost,
+        })
+    }
+
+    /// Total arena nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.child.len()
+    }
+
+    /// Number of flattened trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Whether threshold rank tables were built (they always are unless
+    /// some feature has more than `u16::MAX` distinct thresholds).
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Whether [`Predictor::predict_batch`] will pick the quantized
+    /// path for large batches: traversal work must clearly dominate the
+    /// per-row encoding pass, otherwise encoding every feature costs
+    /// more than it saves on shallow ensembles over wide rows.
+    pub fn quantization_pays(&self) -> bool {
+        match &self.quant {
+            Some(q) => self.visit_cost > 2 * q.encode_cost,
+            None => false,
+        }
+    }
+
+    /// One branchless root-to-leaf descent on raw f64 thresholds.
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn leaf_value(&self, root: u32, row: &[f64]) -> f64 {
+        let mut idx = root as usize;
+        loop {
+            let off = self.child[idx];
+            if off == 0 {
+                return self.value[idx];
+            }
+            // `!(x <= t)`, not `x > t`: both are false only for NaN,
+            // which must route right like the interpreted walker.
+            let go_right = !(row[self.feature[idx] as usize] <= self.threshold[idx]) as usize;
+            idx = (idx as isize + off as isize) as usize + go_right;
+        }
+    }
+
+    /// Batch prediction over the raw f64 arrays, blocked tree-outer /
+    /// row-inner. Bit-identical to per-row [`Regressor::predict_row`].
+    pub fn predict_batch_raw(&self, data: &[f64], width: usize, out: &mut [f64]) {
+        for (rows, outs) in data
+            .chunks(width * ROW_BLOCK)
+            .zip(out.chunks_mut(ROW_BLOCK))
+        {
+            outs.fill(0.0);
+            for &root in &self.roots {
+                for (j, slot) in outs.iter_mut().enumerate() {
+                    *slot += self.leaf_value(root, &rows[j * width..(j + 1) * width]);
+                }
+            }
+            for slot in outs.iter_mut() {
+                *slot = self.finalize.apply(*slot);
+            }
+        }
+    }
+
+    /// Batch prediction through the quantized integer-compare path.
+    /// Returns `false` (leaving `out` untouched) when no rank tables
+    /// exist. Bit-identical to [`CompiledEnsemble::predict_batch_raw`].
+    pub fn predict_batch_quantized(&self, data: &[f64], width: usize, out: &mut [f64]) -> bool {
+        let Some(q) = &self.quant else {
+            return false;
+        };
+        let mut codes = vec![0u16; ROW_BLOCK * width];
+        for (rows, outs) in data
+            .chunks(width * ROW_BLOCK)
+            .zip(out.chunks_mut(ROW_BLOCK))
+        {
+            for (row, code_row) in rows.chunks_exact(width).zip(codes.chunks_exact_mut(width)) {
+                for (f, (&v, code)) in row.iter().zip(code_row.iter_mut()).enumerate() {
+                    let cuts = &q.cuts[f];
+                    *code = if v.is_nan() {
+                        // Past every cut: fails `code <= node_code` at
+                        // each split, so NaN keeps routing right.
+                        cuts.len() as u16
+                    } else {
+                        cuts.partition_point(|&t| t < v) as u16
+                    };
+                }
+            }
+            outs.fill(0.0);
+            for &root in &self.roots {
+                for (j, slot) in outs.iter_mut().enumerate() {
+                    let code_row = &codes[j * width..(j + 1) * width];
+                    let mut idx = root as usize;
+                    *slot += loop {
+                        let off = self.child[idx];
+                        if off == 0 {
+                            break self.value[idx];
+                        }
+                        let go_right =
+                            (code_row[self.feature[idx] as usize] > q.node_code[idx]) as usize;
+                        idx = (idx as isize + off as isize) as usize + go_right;
+                    };
+                }
+            }
+            for slot in outs.iter_mut() {
+                *slot = self.finalize.apply(*slot);
+            }
+        }
+        true
+    }
+}
+
+impl Regressor for CompiledEnsemble {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &root in &self.roots {
+            acc += self.leaf_value(root, row);
+        }
+        self.finalize.apply(acc)
+    }
+}
+
+impl Predictor for CompiledEnsemble {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn predict_batch(&self, data: &[f64], width: usize, out: &mut [f64]) {
+        if out.len() >= QUANT_MIN_ROWS
+            && self.quantization_pays()
+            && self.predict_batch_quantized(data, width, out)
+        {
+            return;
+        }
+        self.predict_batch_raw(data, width, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Matrix;
+    use crate::forest::RandomForestConfig;
+    use crate::gbdt::GbdtConfig;
+    use crate::tree::{MaxFeatures, SplitMethod};
+
+    fn training_data() -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..48)
+            .map(|i| {
+                let a = i as f64 * 0.37 - 8.0;
+                let b = ((i * 7) % 13) as f64 - 6.0;
+                let c = ((i * 3) % 5) as f64;
+                vec![a, b, c]
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] * 2.0 - r[1] + r[2] * r[2])
+            .collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn engine_labels_round_trip() {
+        for engine in [Engine::Interpreted, Engine::Compiled] {
+            assert_eq!(Engine::parse(&engine.label()), Some(engine));
+        }
+        assert_eq!(Engine::parse("jit"), None);
+        assert_eq!(Engine::default(), Engine::Compiled);
+    }
+
+    #[test]
+    fn compiled_forest_is_bit_identical_on_all_paths() {
+        let (x, y) = training_data();
+        let forest = RandomForestConfig {
+            n_estimators: 9,
+            max_depth: Some(6),
+            max_features: MaxFeatures::Sqrt,
+            ..Default::default()
+        }
+        .fit(&x, &y, 11)
+        .unwrap();
+        let compiled = CompiledEnsemble::from_forest(&forest);
+        assert_eq!(compiled.n_trees(), 9);
+        assert_parity(&forest, &compiled, &x);
+    }
+
+    #[test]
+    fn compiled_gbdt_is_bit_identical_on_all_paths() {
+        let (x, y) = training_data();
+        let gbdt = GbdtConfig {
+            n_estimators: 12,
+            max_depth: 4,
+            split_method: SplitMethod::Histogram { max_bins: 16 },
+            ..Default::default()
+        }
+        .fit(&x, &y, 7)
+        .unwrap();
+        let compiled = CompiledEnsemble::from_gbdt(&gbdt);
+        assert_parity(&gbdt, &compiled, &x);
+    }
+
+    fn assert_parity<M: Regressor>(model: &M, compiled: &CompiledEnsemble, x: &Matrix) {
+        let width = x.n_features();
+        // Probe both training rows and shifted rows (novel thresholds).
+        let mut data: Vec<f64> = Vec::new();
+        for r in 0..x.n_rows() {
+            data.extend_from_slice(x.row(r));
+        }
+        let shifted: Vec<f64> = data.iter().map(|v| v * 1.31 + 0.17).collect();
+        data.extend_from_slice(&shifted);
+        let n_rows = data.len() / width;
+
+        let expect: Vec<f64> = data
+            .chunks_exact(width)
+            .map(|row| model.predict_row(row))
+            .collect();
+        for (row, want) in data.chunks_exact(width).zip(&expect) {
+            assert_eq!(compiled.predict_row(row).to_bits(), want.to_bits());
+        }
+        let mut raw = vec![0.0; n_rows];
+        compiled.predict_batch_raw(&data, width, &mut raw);
+        let mut quant = vec![0.0; n_rows];
+        assert!(compiled.predict_batch_quantized(&data, width, &mut quant));
+        let mut auto = vec![0.0; n_rows];
+        compiled.predict_batch(&data, width, &mut auto);
+        for i in 0..n_rows {
+            assert_eq!(raw[i].to_bits(), expect[i].to_bits());
+            assert_eq!(quant[i].to_bits(), expect[i].to_bits());
+            assert_eq!(auto[i].to_bits(), expect[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_rows_route_right_on_every_path() {
+        let (x, y) = training_data();
+        let forest = RandomForestConfig {
+            n_estimators: 5,
+            max_depth: Some(5),
+            ..Default::default()
+        }
+        .fit(&x, &y, 3)
+        .unwrap();
+        let compiled = CompiledEnsemble::from_forest(&forest);
+        let data = vec![f64::NAN, 1.0, f64::NAN, 0.5, f64::NAN, f64::NAN];
+        let expect: Vec<f64> = data
+            .chunks_exact(3)
+            .map(|r| forest.predict_row(r))
+            .collect();
+        let mut raw = vec![0.0; 2];
+        compiled.predict_batch_raw(&data, 3, &mut raw);
+        let mut quant = vec![0.0; 2];
+        assert!(compiled.predict_batch_quantized(&data, 3, &mut quant));
+        for i in 0..2 {
+            assert_eq!(
+                compiled.predict_row(&data[i * 3..(i + 1) * 3]).to_bits(),
+                expect[i].to_bits()
+            );
+            assert_eq!(raw[i].to_bits(), expect[i].to_bits());
+            assert_eq!(quant[i].to_bits(), expect[i].to_bits());
+        }
+    }
+}

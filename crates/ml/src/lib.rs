@@ -6,6 +6,10 @@
 //!
 //! * [`tree`] — CART regression trees with exact greedy split search and
 //!   Mean Decrease Impurity (MDI) accounting.
+//! * [`engine`] — the unified [`Predictor`] serving API plus a compiled
+//!   flat-ensemble backend ([`engine::CompiledEnsemble`]) that re-lays
+//!   fitted trees into SoA arrays for fast, bit-identical batch
+//!   inference.
 //! * [`forest`] — bootstrap-aggregated random forests (rayon-parallel),
 //!   matching sklearn's `RandomForestRegressor` hyper-parameter surface.
 //! * [`gbdt`] — second-order gradient-boosted trees with XGBoost's split
@@ -45,6 +49,7 @@
 //! ```
 
 pub mod data;
+pub mod engine;
 pub mod forest;
 pub mod gbdt;
 pub mod importance;
@@ -53,6 +58,8 @@ pub mod mlp;
 pub mod model_selection;
 pub mod shap;
 pub mod tree;
+
+pub use engine::{CompiledEnsemble, Engine, Predictor};
 
 /// Errors produced by model fitting and evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]

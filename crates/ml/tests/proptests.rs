@@ -9,8 +9,9 @@ use c100_ml::metrics::{mae, mse, r2, rmse};
 use c100_ml::model_selection::kfold_indices;
 use c100_ml::shap::ShapExplainable;
 use c100_ml::tree::{MaxFeatures, SplitMethod, TreeConfig};
-use c100_ml::Regressor;
+use c100_ml::{CompiledEnsemble, Predictor, Regressor};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 /// Strategy: a small random regression dataset.
 fn dataset(max_rows: usize, n_features: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
@@ -47,6 +48,56 @@ fn integer_dataset(
         let y: Vec<f64> = rows.iter().map(|(_, t)| *t as f64).collect();
         (x, y)
     })
+}
+
+/// Probe rows for engine-parity checks: the training rows themselves,
+/// affine-shifted copies (values the ensemble never saw, landing
+/// between and beyond every stored threshold), and copies with NaN
+/// holes punched at cycling positions (NaN must route right on every
+/// engine and every path).
+fn parity_probes(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut probes = rows.to_vec();
+    probes.extend(
+        rows.iter()
+            .map(|r| r.iter().map(|v| v * 1.31 + 0.17).collect::<Vec<f64>>()),
+    );
+    probes.extend(rows.iter().enumerate().map(|(i, r)| {
+        let mut r = r.clone();
+        let w = r.len();
+        r[i % w] = f64::NAN;
+        if w > 1 {
+            r[(i + 1) % w] = f64::NAN;
+        }
+        r
+    }));
+    probes
+}
+
+/// Asserts the compiled engine matches the interpreted model bit for
+/// bit on every inference path: single-row traversal, the blocked raw
+/// f64 batch, the quantized integer-compare batch, and the
+/// heuristic-dispatching [`Predictor::predict_batch`].
+fn assert_compiled_parity<M: Regressor>(
+    model: &M,
+    compiled: &CompiledEnsemble,
+    probes: &[Vec<f64>],
+) -> Result<(), TestCaseError> {
+    let width = probes[0].len();
+    let data: Vec<f64> = probes.iter().flat_map(|r| r.iter().copied()).collect();
+    let expect: Vec<f64> = probes.iter().map(|r| model.predict_row(r)).collect();
+    let mut raw = vec![0.0; probes.len()];
+    compiled.predict_batch_raw(&data, width, &mut raw);
+    let mut quant = vec![0.0; probes.len()];
+    prop_assert!(compiled.predict_batch_quantized(&data, width, &mut quant));
+    let mut auto = vec![0.0; probes.len()];
+    compiled.predict_batch(&data, width, &mut auto);
+    for (i, (row, want)) in probes.iter().zip(&expect).enumerate() {
+        prop_assert_eq!(compiled.predict_row(row).to_bits(), want.to_bits());
+        prop_assert_eq!(raw[i].to_bits(), want.to_bits());
+        prop_assert_eq!(quant[i].to_bits(), want.to_bits());
+        prop_assert_eq!(auto[i].to_bits(), want.to_bits());
+    }
+    Ok(())
 }
 
 /// Deterministic Fisher–Yates permutation from an LCG stream, so the
@@ -267,6 +318,44 @@ proptest! {
         }
         let fresh = BinnedMatrix::from_matrix(&shuffled, bins).unwrap();
         prop_assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn compiled_forest_is_bit_identical_across_split_methods((rows, y) in dataset(30, 3)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let probes = parity_probes(&rows);
+        for split_method in [SplitMethod::Exact, SplitMethod::Histogram { max_bins: 32 }] {
+            let model = RandomForestConfig {
+                n_estimators: 5,
+                max_depth: Some(5),
+                max_features: MaxFeatures::Sqrt,
+                split_method,
+                ..Default::default()
+            }
+            .fit(&x, &y, 13)
+            .unwrap();
+            let compiled = CompiledEnsemble::from_forest(&model);
+            prop_assert_eq!(compiled.n_trees(), 5);
+            assert_compiled_parity(&model, &compiled, &probes)?;
+        }
+    }
+
+    #[test]
+    fn compiled_gbdt_is_bit_identical_across_split_methods((rows, y) in dataset(30, 3)) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let probes = parity_probes(&rows);
+        for split_method in [SplitMethod::Exact, SplitMethod::Histogram { max_bins: 32 }] {
+            let model = GbdtConfig {
+                n_estimators: 7,
+                max_depth: 3,
+                split_method,
+                ..Default::default()
+            }
+            .fit(&x, &y, 17)
+            .unwrap();
+            let compiled = CompiledEnsemble::from_gbdt(&model);
+            assert_compiled_parity(&model, &compiled, &probes)?;
+        }
     }
 
     #[test]

@@ -7,12 +7,18 @@
 //! manifest so ids exported by another process become resolvable;
 //! requests already holding an `Arc<BatchPredictor>` are untouched by a
 //! reload, which is what makes `POST /reload` a zero-downtime hot swap.
+//!
+//! The cache also owns the serving [`Engine`]. Every predictor it
+//! builds uses the current engine; switching engines (the `/reload`
+//! override) rebuilds cached predictors lazily on their next use, so an
+//! engine swap is zero-downtime too — in-flight requests finish on the
+//! engine they started with, and both engines are bit-identical anyway.
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
-use c100_store::{ArtifactStore, BatchPredictor, ManifestEntry, StoreError};
+use c100_store::{ArtifactStore, BatchPredictor, Engine, ManifestEntry, StoreError};
 
 /// Thread-safe map from artifact id to a ready-to-serve predictor.
 pub struct ModelCache {
@@ -20,15 +26,41 @@ pub struct ModelCache {
     /// a `Mutex` suffices because hits never touch it.
     store: Mutex<ArtifactStore>,
     predictors: RwLock<HashMap<String, Arc<BatchPredictor>>>,
+    /// Engine newly built predictors run on.
+    engine: RwLock<Engine>,
 }
 
 impl ModelCache {
-    /// Opens the artifact store under `root` and an empty cache.
+    /// Opens the artifact store under `root` and an empty cache serving
+    /// on the default [`Engine`].
     pub fn open(root: &Path) -> Result<ModelCache, StoreError> {
         Ok(ModelCache {
             store: Mutex::new(ArtifactStore::open(root)?),
             predictors: RwLock::new(HashMap::new()),
+            engine: RwLock::new(Engine::default()),
         })
+    }
+
+    /// Selects the engine newly built predictors use.
+    pub fn with_engine(self, engine: Engine) -> ModelCache {
+        *self.engine.write().expect("engine lock poisoned") = engine;
+        self
+    }
+
+    /// The engine newly built predictors will run on.
+    pub fn engine(&self) -> Engine {
+        *self.engine.read().expect("engine lock poisoned")
+    }
+
+    /// The engine a request for `id` runs on right now: the cached
+    /// predictor's engine if one is decoded, otherwise the engine the
+    /// first request would build it with.
+    pub fn active_engine(&self, id: &str) -> Engine {
+        self.predictors
+            .read()
+            .expect("predictor cache poisoned")
+            .get(id)
+            .map_or_else(|| self.engine(), |p| p.engine())
     }
 
     /// All manifest entries currently visible, in save order.
@@ -58,27 +90,43 @@ impl ModelCache {
     }
 
     /// The predictor for an artifact id, loading and caching it on
-    /// first use. Concurrent first uses may both load; the artifact is
+    /// first use. A cached predictor built on a superseded engine is
+    /// rebuilt here, which is what makes an engine switch take effect
+    /// lazily. Concurrent first uses may both load; the artifact is
     /// immutable, so either copy is equally correct and one wins the
     /// insert.
     pub fn predictor(&self, id: &str) -> Result<Arc<BatchPredictor>, StoreError> {
+        let engine = self.engine();
         if let Some(p) = self
             .predictors
             .read()
             .expect("predictor cache poisoned")
             .get(id)
         {
-            return Ok(p.clone());
+            if p.engine() == engine {
+                return Ok(p.clone());
+            }
         }
         let artifact = self.store.lock().expect("store poisoned").load(id)?;
-        let predictor = Arc::new(BatchPredictor::new(artifact));
+        let predictor = Arc::new(BatchPredictor::new(artifact).with_engine(engine));
         let mut cache = self.predictors.write().expect("predictor cache poisoned");
-        Ok(cache.entry(id.to_string()).or_insert(predictor).clone())
+        let slot = cache
+            .entry(id.to_string())
+            .or_insert_with(|| predictor.clone());
+        if slot.engine() != engine {
+            *slot = predictor;
+        }
+        Ok(slot.clone())
     }
 
-    /// Re-reads the manifest from disk; returns ids that just became
-    /// visible. Existing cached predictors are untouched.
-    pub fn reload(&self) -> Result<Vec<String>, StoreError> {
+    /// Re-reads the manifest from disk, optionally switching the
+    /// serving engine first; returns ids that just became visible.
+    /// Existing cached predictors are untouched — after an engine
+    /// switch they rebuild lazily on next use.
+    pub fn reload(&self, engine: Option<Engine>) -> Result<Vec<String>, StoreError> {
+        if let Some(engine) = engine {
+            *self.engine.write().expect("engine lock poisoned") = engine;
+        }
         self.store.lock().expect("store poisoned").reload()
     }
 

@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use c100_obs::json::{self, Value};
 use c100_obs::{MetricsRegistry, Tracer};
-use c100_store::{BatchPredictor, StoreError};
+use c100_store::{BatchPredictor, Engine, StoreError};
 
 use crate::batcher::{Batcher, PredictJob};
 use crate::cache::ModelCache;
@@ -55,6 +55,9 @@ pub struct ServeConfig {
     pub max_wait: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Inference engine predictors are built with (bit-identical
+    /// either way; `POST /reload` can override it at runtime).
+    pub engine: Engine,
 }
 
 impl ServeConfig {
@@ -68,6 +71,7 @@ impl ServeConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(5),
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            engine: Engine::default(),
         }
     }
 }
@@ -190,7 +194,7 @@ impl Server {
         if config.workers == 0 {
             return Err(ServeError::Config("workers must be >= 1".into()));
         }
-        let cache = ModelCache::open(&config.store_dir)?;
+        let cache = ModelCache::open(&config.store_dir)?.with_engine(config.engine);
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
 
@@ -403,7 +407,7 @@ fn route(
         (Method::Get, "/models") => ("models", models(shared)),
         (Method::Get, "/metrics") => ("metrics", metrics(shared)),
         (Method::Post, "/predict") => ("predict", predict(shared, batch_tx, request)),
-        (Method::Post, "/reload") => ("reload", reload(shared)),
+        (Method::Post, "/reload") => ("reload", reload(shared, request)),
         (Method::Post, "/shutdown") => ("shutdown", shutdown(shared)),
         (_, path @ ("/healthz" | "/models" | "/metrics")) => (
             "other",
@@ -442,6 +446,8 @@ fn models(shared: &Shared) -> Response {
         json::write_escaped(&mut body, &e.scenario);
         body.push_str(",\"model\":");
         json::write_escaped(&mut body, &e.model);
+        body.push_str(",\"engine\":");
+        json::write_escaped(&mut body, &shared.cache.active_engine(&e.id).label());
         body.push_str(&format!(",\"bytes\":{},\"seq\":{}}}", e.bytes, e.seq));
     }
     body.push_str("]}\n");
@@ -452,10 +458,16 @@ fn metrics(shared: &Shared) -> Response {
     Response::text(200, shared.registry.snapshot().to_text())
 }
 
-fn reload(shared: &Shared) -> Response {
-    match shared.cache.reload() {
+fn reload(shared: &Shared, request: &Request) -> Response {
+    let engine = match parse_reload_body(&request.body) {
+        Ok(engine) => engine,
+        Err(message) => return Response::error_json(400, &message),
+    };
+    match shared.cache.reload(engine) {
         Ok(new_ids) => {
-            let mut body = String::from("{\"new_artifacts\":[");
+            let mut body = String::from("{\"engine\":");
+            json::write_escaped(&mut body, &shared.cache.engine().label());
+            body.push_str(",\"new_artifacts\":[");
             for (i, id) in new_ids.iter().enumerate() {
                 if i > 0 {
                     body.push(',');
@@ -466,6 +478,24 @@ fn reload(shared: &Shared) -> Response {
             Response::json(200, body)
         }
         Err(e) => Response::error_json(500, &format!("reload failed: {e}")),
+    }
+}
+
+/// Optional `POST /reload` body: `{"engine":"interpreted"|"compiled"}`
+/// switches the engine newly built predictors use. An empty body (the
+/// common case) keeps the current engine.
+fn parse_reload_body(body: &[u8]) -> std::result::Result<Option<Engine>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Ok(None);
+    }
+    let value = json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+    match value.get("engine") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(s)) => Engine::parse(s)
+            .map(Some)
+            .ok_or_else(|| format!("unknown engine '{s}' (expected 'interpreted' or 'compiled')")),
+        Some(_) => Err("'engine' must be a string".to_string()),
     }
 }
 

@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use c100_ml::forest::{RandomForest, RandomForestConfig};
 use c100_ml::gbdt::{Gbdt, GbdtConfig};
 use c100_ml::tree::MaxFeatures;
+use c100_ml::{CompiledEnsemble, Predictor, Regressor};
 use c100_obs::json::{self, write_escaped, write_float};
 
 use crate::codec;
@@ -71,12 +72,13 @@ impl ModelPayload {
         }
     }
 
-    /// Predicts a single row (caller guarantees the width).
-    pub fn predict_row(&self, row: &[f64]) -> f64 {
-        use c100_ml::Regressor;
+    /// Flattens the ensemble into a [`CompiledEnsemble`] for the
+    /// compiled inference engine. Bit-identical to the interpreted
+    /// walkers, just laid out for serving.
+    pub fn compile(&self) -> CompiledEnsemble {
         match self {
-            ModelPayload::Rf(m) => m.predict_row(row),
-            ModelPayload::Gbdt(m) => m.predict_row(row),
+            ModelPayload::Rf(m) => CompiledEnsemble::from_forest(m),
+            ModelPayload::Gbdt(m) => CompiledEnsemble::from_gbdt(m),
         }
     }
 
@@ -97,6 +99,25 @@ impl ModelPayload {
             ModelPayload::Gbdt(m) => serde_json::to_string(m),
         };
         rendered.expect("in-memory model serialization cannot fail")
+    }
+}
+
+/// The interpreted engine: predictions walk the fitted trees' node
+/// structs directly. (The former inherent `predict_row` moved here so
+/// every backend — payloads and compiled ensembles alike — is reached
+/// through the one [`Predictor`] surface.)
+impl Regressor for ModelPayload {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        match self {
+            ModelPayload::Rf(m) => m.predict_row(row),
+            ModelPayload::Gbdt(m) => m.predict_row(row),
+        }
+    }
+}
+
+impl Predictor for ModelPayload {
+    fn n_features(&self) -> usize {
+        ModelPayload::n_features(self)
     }
 }
 

@@ -18,8 +18,10 @@
 //! 3. **Inference** ([`predict`]) — [`BatchPredictor`] validates an
 //!    incoming [`Frame`](c100_timeseries::Frame) against the stored
 //!    feature schema (missing, extra, or reordered columns are hard
-//!    errors), then predicts in parallel chunks via rayon, emitting
-//!    `c100-obs` events so inference shows up in run telemetry.
+//!    errors), then predicts in parallel chunks via rayon on a
+//!    selectable [`Engine`] — the interpreted tree walker or the
+//!    compiled flat-ensemble backend, bit-identical by construction —
+//!    emitting `c100-obs` events so inference shows up in run telemetry.
 //!
 //! Everything is deterministic: encoding a model twice yields the same
 //! bytes, the artifact id is a digest of those bytes, and chunked
@@ -31,6 +33,7 @@ pub mod predict;
 pub mod registry;
 
 pub use artifact::{EncodedArtifact, ModelArtifact, ModelPayload, SCHEMA_VERSION};
+pub use c100_ml::{Engine, Predictor};
 pub use predict::BatchPredictor;
 pub use registry::{ArtifactStore, ManifestEntry};
 

@@ -6,11 +6,20 @@
 //! with missing, extra, or *reordered* columns is rejected outright,
 //! because silently reindexing features would feed values into the
 //! wrong tree splits and produce confidently wrong forecasts.
+//!
+//! Every input shape (columnar [`Frame`], row-major
+//! [`Matrix`](c100_ml::data::Matrix)) funnels into one validated
+//! row-major path, which dispatches to the selected [`Engine`]: the
+//! interpreted tree walker, or the compiled flat-ensemble backend
+//! ([`c100_ml::CompiledEnsemble`], built lazily on first use under a
+//! `predict.compile` span). Both engines are bit-identical; the knob
+//! trades a one-time flattening cost for faster traversal.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use c100_ml::data::Matrix;
+use c100_ml::{CompiledEnsemble, Engine, Predictor};
 use c100_obs::{Event, NullObserver, RunObserver, TraceCtx, Tracer};
 use c100_timeseries::Frame;
 use rayon::prelude::*;
@@ -26,20 +35,35 @@ const DEFAULT_CHUNK_ROWS: usize = 256;
 /// Serves batch predictions from a persisted model artifact.
 pub struct BatchPredictor {
     artifact: ModelArtifact,
+    engine: Engine,
+    /// Flattened ensemble, built on first compiled-engine prediction.
+    /// Never invalidated: the artifact is immutable, so a compiled form
+    /// stays valid even while the knob points at the interpreted engine.
+    compiled: OnceLock<CompiledEnsemble>,
     chunk_rows: usize,
     observer: Arc<dyn RunObserver>,
     tracer: Option<Arc<Tracer>>,
 }
 
 impl BatchPredictor {
-    /// Wraps a decoded artifact for serving.
+    /// Wraps a decoded artifact for serving with the default
+    /// [`Engine`].
     pub fn new(artifact: ModelArtifact) -> BatchPredictor {
         BatchPredictor {
             artifact,
+            engine: Engine::default(),
+            compiled: OnceLock::new(),
             chunk_rows: DEFAULT_CHUNK_ROWS,
             observer: Arc::new(NullObserver),
             tracer: None,
         }
+    }
+
+    /// Selects the inference engine. Both engines are bit-identical;
+    /// see [`Engine`] for why the knob exists.
+    pub fn with_engine(mut self, engine: Engine) -> BatchPredictor {
+        self.engine = engine;
+        self
     }
 
     /// Overrides the parallel chunk size (clamped to at least 1 row).
@@ -57,7 +81,8 @@ impl BatchPredictor {
 
     /// Installs a span tracer (default: none); each batch then records a
     /// `batch_predict` root span tagged with the artifact's scenario,
-    /// with one `predict_chunk` child per parallel chunk.
+    /// with one `predict_chunk` child per parallel chunk. The compiled
+    /// engine's one-time flattening records a `predict.compile` span.
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> BatchPredictor {
         self.tracer = Some(tracer);
         self
@@ -66,6 +91,11 @@ impl BatchPredictor {
     /// The artifact being served.
     pub fn artifact(&self) -> &ModelArtifact {
         &self.artifact
+    }
+
+    /// The engine predictions run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Checks a frame's columns against the stored feature schema:
@@ -127,24 +157,18 @@ impl BatchPredictor {
         let width = self.artifact.features.len();
 
         // Transpose the columnar frame into a row-major buffer once;
-        // per-row slices then feed the ensemble without re-gathering.
+        // the shared validated path then treats it like any other
+        // row-major input.
         let mut data = vec![0.0; n_rows * width];
         for (c, name) in self.artifact.features.iter().enumerate() {
             let series = frame
                 .column(name)
                 .expect("validate_frame guarantees presence");
             for (r, &v) in series.values().iter().enumerate() {
-                if v.is_nan() {
-                    return Err(SchemaError::MissingValue {
-                        column: name.clone(),
-                        row: r,
-                    }
-                    .into());
-                }
                 data[r * width + c] = v;
             }
         }
-        Ok(self.predict_row_major(&data, n_rows, width))
+        self.predict_rows(&data, n_rows)
     }
 
     /// Predicts one value per matrix row; the matrix width must match
@@ -157,25 +181,49 @@ impl BatchPredictor {
                 x.n_features()
             ))));
         }
-        let mut data = Vec::with_capacity(x.n_rows() * width);
-        for r in 0..x.n_rows() {
-            if let Some(c) = x.row(r).iter().position(|v| v.is_nan()) {
+        self.predict_rows(x.as_row_major(), x.n_rows())
+    }
+
+    /// The single validated entry point every prediction surface
+    /// funnels through: scans the row-major buffer for missing values
+    /// (a typed [`SchemaError::MissingValue`] naming column and row),
+    /// then hands the clean buffer to the selected engine.
+    fn predict_rows(&self, data: &[f64], n_rows: usize) -> Result<Vec<f64>> {
+        let width = self.artifact.features.len();
+        for (r, row) in data.chunks_exact(width).enumerate() {
+            if let Some(c) = row.iter().position(|v| v.is_nan()) {
                 return Err(SchemaError::MissingValue {
                     column: self.artifact.features[c].clone(),
                     row: r,
                 }
                 .into());
             }
-            data.extend_from_slice(x.row(r));
         }
-        Ok(self.predict_row_major(&data, x.n_rows(), width))
+        Ok(self.predict_row_major(data, n_rows, width))
+    }
+
+    /// Resolves the backend for the selected engine, flattening the
+    /// ensemble on the compiled engine's first use.
+    fn backend(&self) -> &dyn Predictor {
+        match self.engine {
+            Engine::Interpreted => &self.artifact.model,
+            Engine::Compiled => self.compiled.get_or_init(|| {
+                let _compile_span = self
+                    .tracer
+                    .as_deref()
+                    .map(|t| t.span(&self.artifact.scenario, "predict.compile"));
+                self.artifact.model.compile()
+            }),
+        }
     }
 
     /// Chunked parallel prediction over a validated row-major buffer.
     /// Output order is row order regardless of chunk scheduling, so
-    /// results are deterministic under any thread count.
+    /// results are deterministic under any thread count — and under
+    /// either engine, since chunking never changes per-row folds.
     fn predict_row_major(&self, data: &[f64], n_rows: usize, width: usize) -> Vec<f64> {
         let started = Instant::now();
+        let backend = self.backend();
         let batch_span = self
             .tracer
             .as_deref()
@@ -190,10 +238,7 @@ impl BatchPredictor {
             .for_each(|(chunk_idx, out)| {
                 let _chunk_span = chunk_ctx.span("predict_chunk");
                 let base = chunk_idx * self.chunk_rows;
-                for (j, slot) in out.iter_mut().enumerate() {
-                    let row = &data[(base + j) * width..(base + j + 1) * width];
-                    *slot = self.artifact.model.predict_row(row);
-                }
+                backend.predict_batch(&data[base * width..(base + out.len()) * width], width, out);
             });
         drop(batch_span);
         self.observer.on_event(&Event::BatchPredicted {

@@ -8,6 +8,7 @@ use c100_ml::data::Matrix;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::tree::MaxFeatures;
+use c100_ml::Regressor;
 use c100_store::{ModelArtifact, ModelPayload, StoreError, SCHEMA_VERSION};
 use proptest::prelude::*;
 

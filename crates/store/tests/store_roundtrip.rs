@@ -11,7 +11,7 @@ use c100_ml::gbdt::GbdtConfig;
 use c100_ml::Regressor;
 use c100_obs::{Event, RecordingObserver, RunObserver};
 use c100_store::{
-    ArtifactStore, BatchPredictor, ModelArtifact, ModelPayload, SchemaError, StoreError,
+    ArtifactStore, BatchPredictor, Engine, ModelArtifact, ModelPayload, SchemaError, StoreError,
     SCHEMA_VERSION,
 };
 use c100_timeseries::{Date, Frame, Series};
@@ -490,6 +490,33 @@ fn pre_split_method_artifacts_still_load_and_predict_identically() {
                 decoded.model.predict_row(x.row(r)).to_bits(),
                 artifact.model.predict_row(x.row(r)).to_bits()
             );
+        }
+    }
+}
+
+#[test]
+fn pre_engine_artifacts_serve_identically_on_both_engines() {
+    // The inference engine is a runtime knob, not part of the artifact
+    // format: artifacts written before the compiled engine existed must
+    // decode under the same schema version and serve bit-identically on
+    // either engine.
+    assert_eq!(SCHEMA_VERSION, 1);
+    for (artifact, x) in [rf_artifact(51), gbdt_artifact(53)] {
+        let decoded = ModelArtifact::decode(&artifact.encode().text).unwrap();
+        let frame = frame_from_columns(&decoded.features, &x);
+        let interpreted = BatchPredictor::new(decoded.clone())
+            .with_engine(Engine::Interpreted)
+            .predict_frame(&frame)
+            .unwrap();
+        let compiled = BatchPredictor::new(decoded)
+            .with_engine(Engine::Compiled)
+            .predict_frame(&frame)
+            .unwrap();
+        assert_eq!(interpreted.len(), x.n_rows());
+        for (r, (a, b)) in interpreted.iter().zip(&compiled).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits());
+            // Both engines also match the model walked directly.
+            assert_eq!(a.to_bits(), artifact.model.predict_row(x.row(r)).to_bits());
         }
     }
 }
