@@ -1,0 +1,178 @@
+//! Streaming-loop costs: O(1) incremental indicator updates vs a naive
+//! per-tick batch recompute, and the rollover pause (cold fit vs
+//! warm-started refit). Besides the Criterion timings, the medians are
+//! recorded to `results/BENCH_stream.json` so later PRs can regress-gate
+//! the streaming path without re-running Criterion.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c100_core::pipeline::ScenarioSpec;
+use c100_core::profile::Profile;
+use c100_core::scenario::Period;
+use c100_indicators::momentum::rsi;
+use c100_indicators::moving::{ema, sma};
+use c100_indicators::volatility::atr;
+use c100_ml::gbdt::GbdtConfig;
+use c100_store::ArtifactStore;
+use c100_stream::{
+    RolloverController, RolloverTrigger, StreamIndicators, SynthTickSource, FEATURE_NAMES,
+};
+use c100_synth::btc::BtcTick;
+use c100_synth::SynthConfig;
+use c100_timeseries::AppendFrame;
+
+const TICKS: usize = 500;
+const RESYNC_EVERY: usize = 64;
+
+/// Median of five manual timings, independent of Criterion's own
+/// sampling (the recorded JSON must not depend on sampler settings).
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[2]
+}
+
+fn ticks(seed: u64, n: usize) -> Vec<BtcTick> {
+    let mut source = SynthTickSource::new(&SynthConfig::small(seed));
+    let n = n.min(source.len());
+    (0..n).map(|_| source.next_tick().unwrap()).collect()
+}
+
+/// The streaming path: fold every tick into incremental state.
+fn run_incremental(ticks: &[BtcTick]) -> f64 {
+    let mut state = StreamIndicators::new(RESYNC_EVERY);
+    let mut acc = 0.0;
+    for tick in ticks {
+        let row = state.update(tick.high, tick.low, tick.close, tick.volume);
+        acc += row.iter().filter(|v| v.is_finite()).sum::<f64>();
+    }
+    acc
+}
+
+/// The naive alternative: at each tick, recompute every batch indicator
+/// over the full prefix and keep the last value — O(t) per tick, O(n²)
+/// over the stream.
+fn run_batch_recompute(ticks: &[BtcTick]) -> f64 {
+    let mut high = Vec::with_capacity(ticks.len());
+    let mut low = Vec::with_capacity(ticks.len());
+    let mut close = Vec::with_capacity(ticks.len());
+    let mut volume = Vec::with_capacity(ticks.len());
+    let mut acc = 0.0;
+    for tick in ticks {
+        high.push(tick.high);
+        low.push(tick.low);
+        close.push(tick.close);
+        volume.push(tick.volume);
+        let row = [
+            *sma(&close, 7).last().unwrap(),
+            *sma(&close, 30).last().unwrap(),
+            *ema(&close, 14).last().unwrap(),
+            *rsi(&close, 14).last().unwrap(),
+            *atr(&high, &low, &close, 14).last().unwrap(),
+            *sma(&volume, 7).last().unwrap(),
+        ];
+        acc += row.iter().filter(|v| v.is_finite()).sum::<f64>();
+    }
+    acc
+}
+
+/// Cold fit and warm refit pauses over a stream-shaped history.
+fn rollover_pauses(ticks: &[BtcTick]) -> (f64, f64) {
+    let mut state = StreamIndicators::new(RESYNC_EVERY);
+    let mut history = AppendFrame::new(&FEATURE_NAMES);
+    let mut closes = Vec::with_capacity(ticks.len());
+    for tick in ticks {
+        let row = state.update(tick.high, tick.low, tick.close, tick.volume);
+        history.push_row(tick.date, &row).unwrap();
+        closes.push(tick.close);
+    }
+
+    let dir = std::env::temp_dir().join(format!("c100_bench_stream_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let spec = ScenarioSpec {
+        period: Period::Y2019,
+        window: 7,
+    };
+    let config = GbdtConfig {
+        n_estimators: 25,
+        learning_rate: 0.1,
+        max_depth: 3,
+        ..Default::default()
+    };
+    let store = ArtifactStore::open(&dir).unwrap();
+    let mut controller =
+        RolloverController::new(spec, Profile::fast().with_seed(11), config, store);
+
+    let cold = controller
+        .roll(&history, &closes, 29, RolloverTrigger::Initial)
+        .unwrap();
+    let warm = controller
+        .roll(&history, &closes, 29, RolloverTrigger::Scheduled)
+        .unwrap();
+    assert!(!cold.warm && warm.warm);
+    std::fs::remove_dir_all(&dir).ok();
+    (cold.pause.as_secs_f64(), warm.pause.as_secs_f64())
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let ticks = ticks(11, TICKS);
+    let n = ticks.len();
+
+    // Sanity: the two paths must see the same stream.
+    let _ = run_incremental(&ticks);
+    let _ = run_batch_recompute(&ticks);
+
+    let incremental_secs = median_secs(|| {
+        run_incremental(&ticks);
+    });
+    let batch_secs = median_secs(|| {
+        run_batch_recompute(&ticks);
+    });
+    let (cold_roll_secs, warm_roll_secs) = rollover_pauses(&ticks);
+
+    let recorded = format!(
+        "{{\"bench\":\"stream_throughput\",\"results\":[{{\"ticks\":{n},\
+         \"incremental_median_secs\":{incremental_secs:.6},\
+         \"batch_recompute_median_secs\":{batch_secs:.6},\
+         \"speedup\":{:.2},\
+         \"incremental_ticks_per_sec\":{:.0},\
+         \"cold_roll_secs\":{cold_roll_secs:.6},\
+         \"warm_roll_secs\":{warm_roll_secs:.6}}}]}}\n",
+        batch_secs / incremental_secs.max(1e-12),
+        n as f64 / incremental_secs.max(1e-12)
+    );
+
+    let mut group = c.benchmark_group("stream_throughput");
+    group.bench_function(format!("incremental_{n}_ticks"), |b| {
+        b.iter(|| run_incremental(&ticks))
+    });
+    group.bench_function(format!("batch_recompute_{n}_ticks"), |b| {
+        b.iter(|| run_batch_recompute(&ticks))
+    });
+    group.finish();
+
+    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
+    let path = results_dir.join("BENCH_stream.json");
+    std::fs::write(&path, recorded).expect("write BENCH_stream.json");
+    eprintln!("recorded streaming comparison -> {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_stream
+}
+criterion_main!(benches);

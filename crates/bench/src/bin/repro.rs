@@ -28,6 +28,12 @@
 //!             [--queue-depth N] [--max-batch N] [--max-wait-ms N]
 //!             [--engine interpreted|compiled] [--trace PATH]
 //!
+//! repro stream --store DIR [--ticks N] [--seed N] [--scenario ID]
+//!              [--refit-every N] [--min-train N] [--min-refit-gap N]
+//!              [--drift-z Z] [--decay-ratio R] [--decay-window N]
+//!              [--resync-every N] [--retain N] [--serve ADDR]
+//!              [--out DIR] [--trace PATH] [--quiet]
+//!
 //! repro compare BASELINE_DIR CURRENT_DIR [--fail-over-pct N]
 //! ```
 //!
@@ -63,6 +69,13 @@
 //! /predict|/reload|/shutdown`) with a bounded queue, micro-batching,
 //! and load shedding; see `crates/serve/README.md` for the design.
 //!
+//! `repro stream` replays the synthetic market tick-by-tick through the
+//! `c100-stream` loop: O(1) incremental indicators, drift/decay
+//! monitors, and online GBDT rollovers (warm-started, persisted into
+//! `--store`, and hot-swapped into a live server when `--serve ADDR` is
+//! given). A machine-readable summary lands in `<out>/stream_report.json`;
+//! see `crates/stream/README.md` for the design.
+//!
 //! `--engine` picks the inference backend for `predict`/`serve`: the
 //! default `compiled` flattens the ensemble into contiguous arrays for
 //! branchless traversal, `interpreted` walks the fitted trees directly.
@@ -86,6 +99,7 @@ use c100_obs::{
 };
 use c100_serve::{ServeConfig, Server};
 use c100_store::{ArtifactStore, BatchPredictor, Engine};
+use c100_stream::{run_stream, StreamConfig};
 use c100_synth::MarketData;
 use c100_timeseries::csv::{read_frame_from_path, write_frame_to_path};
 use c100_timeseries::{Frame, Series};
@@ -202,6 +216,14 @@ fn main() {
     if cli.peek().map(String::as_str) == Some("serve") {
         cli.next();
         if let Err(e) = run_serve(cli) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if cli.peek().map(String::as_str) == Some("stream") {
+        cli.next();
+        if let Err(e) = run_stream_cmd(cli) {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
@@ -549,6 +571,113 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
 
     println!("# server drained and stopped");
     print!("{}", metrics_table(&registry.snapshot()));
+    if let (Some(tracer), Some(trace_path)) = (&tracer, &trace) {
+        std::fs::write(trace_path, tracer.chrome_trace_json()).map_err(|e| e.to_string())?;
+        println!("# {} spans -> {}", tracer.len(), trace_path.display());
+    }
+    Ok(())
+}
+
+/// `repro stream`: replays the synthetic market tick-by-tick through
+/// the `c100-stream` loop — incremental indicators, drift/decay
+/// monitors, and online model rollovers against `--store` (and a live
+/// server when `--serve ADDR` is given).
+fn run_stream_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    fn parse_usize(flag: &str, value: Option<String>) -> Result<usize, String> {
+        let v = value.ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag} value {v}"))
+    }
+    fn parse_f64(flag: &str, value: Option<String>) -> Result<f64, String> {
+        let v = value.ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag} value {v}"))
+    }
+    let mut store_dir: Option<PathBuf> = None;
+    let mut scenario: Option<String> = None;
+    let mut out = PathBuf::from("results");
+    let mut trace: Option<PathBuf> = None;
+    let mut quiet = false;
+    // Placeholder root; the real one is required below.
+    let mut config = StreamConfig::new(std::env::temp_dir());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => {
+                store_dir = Some(PathBuf::from(args.next().ok_or("--store needs a value")?));
+            }
+            "--ticks" => config.ticks = parse_usize("--ticks", args.next())?,
+            "--seed" => config.seed = parse_usize("--seed", args.next())? as u64,
+            "--scenario" => scenario = Some(args.next().ok_or("--scenario needs a value")?),
+            "--refit-every" => config.refit_every = parse_usize("--refit-every", args.next())?,
+            "--min-train" => config.min_train_rows = parse_usize("--min-train", args.next())?,
+            "--min-refit-gap" => {
+                config.min_refit_gap = parse_usize("--min-refit-gap", args.next())?;
+            }
+            "--drift-z" => config.drift_z = parse_f64("--drift-z", args.next())?,
+            "--decay-ratio" => config.decay_ratio = parse_f64("--decay-ratio", args.next())?,
+            "--decay-window" => config.decay_window = parse_usize("--decay-window", args.next())?,
+            "--resync-every" => config.resync_every = parse_usize("--resync-every", args.next())?,
+            "--retain" => config.retain = parse_usize("--retain", args.next())?,
+            "--serve" => config.serve_addr = Some(args.next().ok_or("--serve needs a value")?),
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    config.store_dir = store_dir.ok_or("stream requires --store DIR")?;
+    if let Some(id) = scenario {
+        config.scenario = ScenarioSpec::parse(&id).map_err(|e| e.to_string())?;
+    }
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    if !quiet {
+        println!(
+            "# repro stream — scenario {}, {} ticks, refit every {} (seed {})",
+            config.scenario.id(),
+            config.ticks,
+            config.refit_every,
+            config.seed
+        );
+        if let Some(addr) = &config.serve_addr {
+            println!("#   live server: http://{addr}");
+        }
+    }
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let tracer = trace.as_ref().map(|_| Arc::new(Tracer::new()));
+    let report = run_stream(&config, &registry, tracer.as_ref()).map_err(|e| e.to_string())?;
+
+    let report_path = out.join("stream_report.json");
+    std::fs::write(&report_path, report.to_json()).map_err(|e| e.to_string())?;
+    if !quiet {
+        println!(
+            "# {} ticks in {:.2}s ({:.0} ticks/s) — {} rollovers ({} warm; \
+             {} scheduled, {} drift, {} decay)",
+            report.ticks,
+            report.elapsed_secs,
+            report.ticks_per_sec,
+            report.rollovers,
+            report.warm_rollovers,
+            report.scheduled_triggers,
+            report.drift_triggers,
+            report.decay_triggers
+        );
+        if report.predict_requests > 0 {
+            println!(
+                "# live predicts: {} ({} failed)",
+                report.predict_requests, report.predict_failures
+            );
+        }
+        if let Some(id) = &report.final_artifact {
+            println!("# deployed artifact {id}");
+        }
+        if let Some(csv) = &report.features_csv {
+            println!("  -> {}", csv.display());
+        }
+        print!("{}", metrics_table(&registry.snapshot()));
+    }
+    println!("  -> {}", report_path.display());
     if let (Some(tracer), Some(trace_path)) = (&tracer, &trace) {
         std::fs::write(trace_path, tracer.chrome_trace_json()).map_err(|e| e.to_string())?;
         println!("# {} spans -> {}", tracer.len(), trace_path.display());

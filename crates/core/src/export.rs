@@ -11,9 +11,10 @@
 //! [`BatchPredictor`]: c100_store::BatchPredictor
 
 use c100_ml::data::Matrix;
+use c100_ml::gbdt::{Gbdt, GbdtConfig};
 use c100_store::{ArtifactStore, ManifestEntry, ModelArtifact, ModelPayload};
 
-use crate::pipeline::ScenarioResult;
+use crate::pipeline::{ScenarioResult, ScenarioSpec};
 use crate::profile::Profile;
 use crate::Result;
 
@@ -66,6 +67,37 @@ pub fn export_all_artifacts(
         entries.extend(export_scenario_artifacts(store, result, profile)?);
     }
     Ok(entries)
+}
+
+/// Builds a GBDT artifact for a model fitted *outside* the batch
+/// pipeline. The streaming rollover controller refits on live tick
+/// history, so there is no [`ScenarioResult`] to derive metadata from —
+/// the caller supplies the feature schema and train-range metadata that
+/// `artifact_shell` would otherwise read off the scenario.
+#[allow(clippy::too_many_arguments)]
+pub fn online_gbdt_artifact(
+    spec: &ScenarioSpec,
+    profile: &Profile,
+    features: &[String],
+    config: &GbdtConfig,
+    model: Gbdt,
+    train_rows: u64,
+    train_start: &str,
+    train_end: &str,
+) -> ModelArtifact {
+    ModelArtifact {
+        scenario: spec.id(),
+        period: spec.period.label().to_string(),
+        window: spec.window as u64,
+        features: features.to_vec(),
+        profile: profile.descriptor(),
+        seed: profile.seed,
+        train_rows,
+        train_start: train_start.to_string(),
+        train_end: train_end.to_string(),
+        hyperparameters: ModelArtifact::gbdt_hyperparameters(config),
+        model: ModelPayload::Gbdt(model),
+    }
 }
 
 /// The metadata shell shared by both families; the model payload is
@@ -155,6 +187,50 @@ mod tests {
         assert_eq!(again[1].id, entries[1].id);
         assert_eq!(store.list().len(), 2);
 
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn online_gbdt_artifact_round_trips_through_the_store() {
+        let n = 80;
+        let x = Matrix::from_row_major((0..n * 3).map(|i| (i as f64 * 0.17).sin()).collect(), 3)
+            .unwrap();
+        let y: Vec<f64> = (0..n).map(|r| x.row(r).iter().sum::<f64>()).collect();
+        let config = GbdtConfig {
+            n_estimators: 5,
+            max_depth: 3,
+            ..Default::default()
+        };
+        let model = config.fit(&x, &y, 9).unwrap();
+        let spec = ScenarioSpec {
+            period: Period::Y2019,
+            window: 7,
+        };
+        let profile = Profile::fast().with_seed(31);
+        let features: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let artifact = online_gbdt_artifact(
+            &spec,
+            &profile,
+            &features,
+            &config,
+            model,
+            n as u64,
+            "2019-01-01",
+            "2019-03-21",
+        );
+        assert_eq!(artifact.scenario, "2019_7");
+        assert_eq!(artifact.period, "2019");
+        assert_eq!(artifact.window, 7);
+        assert_eq!(artifact.profile, profile.descriptor());
+        assert_eq!(artifact.hyperparameters["n_estimators"], "5");
+
+        let root = temp_store("online");
+        let mut store = ArtifactStore::open(&root).unwrap();
+        let entry = store.save(&artifact).unwrap();
+        assert_eq!(entry.model, "gbdt");
+        assert_eq!(store.latest_family("2019_7", "gbdt").unwrap().id, entry.id);
+        let loaded = store.load(&entry.id).unwrap();
+        assert_eq!(loaded, artifact);
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -1,0 +1,406 @@
+//! O(1) incremental indicator state for streaming ingestion.
+//!
+//! The batch functions in [`moving`](crate::moving),
+//! [`momentum`](crate::momentum) and [`volatility`](crate::volatility)
+//! recompute a whole column from scratch; on a tick stream that turns
+//! every new day into an O(n) pass. Each state here consumes one tick at
+//! a time and emits exactly the value the batch function would have put
+//! at that index, in O(1) per tick.
+//!
+//! **Parity contract.** Fed the same sequence, `update` is bit-identical
+//! to the batch output — including `NaN` gaps, which poison the batch
+//! recurrences and the incremental ones in exactly the same way:
+//!
+//! * [`SmaState`] replays `sma`'s running sum: the seed sum accumulates
+//!   the first `window` samples in arrival order, then each tick does
+//!   `sum += new − old`. A `NaN` entering the window drives the sum (and
+//!   every later output) to `NaN` in both implementations.
+//! * [`EmaState`] seeds with the SMA of the first window and then applies
+//!   the `alpha·x + (1−alpha)·prev` recurrence — the same single pass the
+//!   batch function makes.
+//! * [`RsiState`] and [`AtrState`] replay Wilder's smoothing: an arrival-
+//!   order seed average over the first `period` changes / true ranges,
+//!   then `avg = (avg·(p−1) + x) / p`.
+//!
+//! **Resync.** The SMA running sum is the one recurrence that drifts:
+//! `sum += new − old` accumulates rounding error relative to a fresh sum
+//! over the current window. [`SmaState::with_resync`] recomputes the sum
+//! from the ring buffer every `every` ticks, bounding the drift at the
+//! cost of bit-parity with the batch column: after a resync the output is
+//! only guaranteed within [`SMA_RESYNC_TOLERANCE`] (relative) of the
+//! batch value, which the property tests assert. EMA, RSI and ATR carry
+//! exponentially-fading state with no subtract-old step, so they cannot
+//! drift from their batch twins and need no resync.
+
+/// Relative tolerance between a resyncing [`SmaState`] and the batch
+/// `sma` column. The drift a resync removes is a handful of ulps per
+/// window turnover; 1e-9 is orders of magnitude above anything a daily
+/// stream can accumulate yet tight enough to catch a wrong formula.
+pub const SMA_RESYNC_TOLERANCE: f64 = 1e-9;
+
+/// Fixed-capacity ring buffer over the trailing `window` samples.
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    fn new(window: usize) -> Ring {
+        Ring {
+            buf: vec![0.0; window],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Pushes a sample, returning the evicted oldest sample once full.
+    fn push(&mut self, x: f64) -> Option<f64> {
+        if self.len < self.buf.len() {
+            let slot = (self.head + self.len) % self.buf.len();
+            self.buf[slot] = x;
+            self.len += 1;
+            None
+        } else {
+            let old = self.buf[self.head];
+            self.buf[self.head] = x;
+            self.head = (self.head + 1) % self.buf.len();
+            Some(old)
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Sum of the buffered samples in oldest-to-newest order.
+    fn fresh_sum(&self) -> f64 {
+        let mut sum = 0.0;
+        for k in 0..self.len {
+            sum += self.buf[(self.head + k) % self.buf.len()];
+        }
+        sum
+    }
+}
+
+/// Incremental simple moving average (see [`crate::moving::sma`]).
+#[derive(Debug, Clone)]
+pub struct SmaState {
+    ring: Ring,
+    sum: f64,
+    resync_every: Option<usize>,
+    ticks_since_resync: usize,
+}
+
+impl SmaState {
+    /// State for a `window`-day SMA.
+    pub fn new(window: usize) -> SmaState {
+        assert!(window >= 1, "window must be >= 1");
+        SmaState {
+            ring: Ring::new(window),
+            sum: 0.0,
+            resync_every: None,
+            ticks_since_resync: 0,
+        }
+    }
+
+    /// Recompute the running sum exactly from the buffered window every
+    /// `every` ticks, bounding float drift (see the module docs).
+    pub fn with_resync(mut self, every: usize) -> SmaState {
+        assert!(every >= 1, "resync cadence must be >= 1");
+        self.resync_every = Some(every);
+        self
+    }
+
+    /// Consumes one tick; returns the SMA at this index (`NaN` during
+    /// the warm-up prefix).
+    pub fn update(&mut self, x: f64) -> f64 {
+        match self.ring.push(x) {
+            Some(old) => self.sum += x - old,
+            None => self.sum += x,
+        }
+        if !self.ring.is_full() {
+            return f64::NAN;
+        }
+        if let Some(every) = self.resync_every {
+            self.ticks_since_resync += 1;
+            if self.ticks_since_resync >= every {
+                self.sum = self.ring.fresh_sum();
+                self.ticks_since_resync = 0;
+            }
+        }
+        self.sum / self.ring.buf.len() as f64
+    }
+}
+
+/// Incremental exponential moving average (see [`crate::moving::ema`]).
+#[derive(Debug, Clone)]
+pub struct EmaState {
+    window: usize,
+    alpha: f64,
+    /// Samples seen so far; the first `window` accumulate the SMA seed.
+    count: usize,
+    /// Seed sum while warming up, then the EMA itself.
+    acc: f64,
+}
+
+impl EmaState {
+    /// State for an EMA with span `window` (`alpha = 2 / (window + 1)`).
+    pub fn new(window: usize) -> EmaState {
+        assert!(window >= 1, "window must be >= 1");
+        EmaState {
+            window,
+            alpha: 2.0 / (window as f64 + 1.0),
+            count: 0,
+            acc: 0.0,
+        }
+    }
+
+    /// Consumes one tick; returns the EMA at this index (`NaN` during
+    /// the warm-up prefix).
+    pub fn update(&mut self, x: f64) -> f64 {
+        self.count += 1;
+        if self.count <= self.window {
+            self.acc += x;
+            if self.count == self.window {
+                self.acc /= self.window as f64;
+                return self.acc;
+            }
+            return f64::NAN;
+        }
+        self.acc = self.alpha * x + (1.0 - self.alpha) * self.acc;
+        self.acc
+    }
+}
+
+/// Incremental RSI with Wilder's smoothing (see
+/// [`crate::momentum::rsi`]).
+#[derive(Debug, Clone)]
+pub struct RsiState {
+    period: usize,
+    count: usize,
+    prev: f64,
+    avg_gain: f64,
+    avg_loss: f64,
+}
+
+impl RsiState {
+    /// State for a `period`-day RSI.
+    pub fn new(period: usize) -> RsiState {
+        assert!(period >= 1, "period must be >= 1");
+        RsiState {
+            period,
+            count: 0,
+            prev: f64::NAN,
+            avg_gain: 0.0,
+            avg_loss: 0.0,
+        }
+    }
+
+    /// Consumes one tick; returns the RSI at this index (`NaN` for the
+    /// first `period` entries).
+    pub fn update(&mut self, x: f64) -> f64 {
+        self.count += 1;
+        let change = x - self.prev;
+        self.prev = x;
+        if self.count == 1 {
+            return f64::NAN;
+        }
+        let p = self.period as f64;
+        if self.count <= self.period + 1 {
+            // Seed phase: accumulate changes exactly as the batch loop
+            // over t in 1..=period does.
+            if change > 0.0 {
+                self.avg_gain += change;
+            } else {
+                self.avg_loss -= change;
+            }
+            if self.count == self.period + 1 {
+                self.avg_gain /= p;
+                self.avg_loss /= p;
+                return rsi_from(self.avg_gain, self.avg_loss);
+            }
+            return f64::NAN;
+        }
+        let (gain, loss) = if change > 0.0 {
+            (change, 0.0)
+        } else {
+            (0.0, -change)
+        };
+        self.avg_gain = (self.avg_gain * (p - 1.0) + gain) / p;
+        self.avg_loss = (self.avg_loss * (p - 1.0) + loss) / p;
+        rsi_from(self.avg_gain, self.avg_loss)
+    }
+}
+
+/// Shared RSI output formula (mirrors the batch `rsi_from`).
+fn rsi_from(avg_gain: f64, avg_loss: f64) -> f64 {
+    if avg_loss == 0.0 {
+        if avg_gain == 0.0 {
+            50.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 - 100.0 / (1.0 + avg_gain / avg_loss)
+    }
+}
+
+/// Incremental ATR with Wilder's smoothing (see
+/// [`crate::volatility::atr`]).
+#[derive(Debug, Clone)]
+pub struct AtrState {
+    period: usize,
+    count: usize,
+    prev_close: f64,
+    /// True-range seed sum, then the smoothed ATR.
+    acc: f64,
+}
+
+impl AtrState {
+    /// State for a `period`-day ATR.
+    pub fn new(period: usize) -> AtrState {
+        assert!(period >= 1, "period must be >= 1");
+        AtrState {
+            period,
+            count: 0,
+            prev_close: f64::NAN,
+            acc: 0.0,
+        }
+    }
+
+    /// Consumes one OHLC tick; returns the ATR at this index (`NaN` for
+    /// the first `period` entries). The day-0 true range (plain
+    /// high − low) never enters the batch seed sum, and it does not
+    /// here either.
+    pub fn update(&mut self, high: f64, low: f64, close: f64) -> f64 {
+        self.count += 1;
+        let tr = (high - low)
+            .max((high - self.prev_close).abs())
+            .max((low - self.prev_close).abs());
+        self.prev_close = close;
+        if self.count == 1 {
+            return f64::NAN;
+        }
+        let p = self.period as f64;
+        if self.count <= self.period + 1 {
+            self.acc += tr;
+            if self.count == self.period + 1 {
+                self.acc /= p;
+                return self.acc;
+            }
+            return f64::NAN;
+        }
+        self.acc = (self.acc * (p - 1.0) + tr) / p;
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::momentum::rsi;
+    use crate::moving::{ema, sma};
+    use crate::volatility::atr;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 50.0)
+            .collect()
+    }
+
+    #[test]
+    fn sma_matches_batch_bitwise() {
+        let values = ramp(200);
+        for window in [1, 2, 5, 20, 50] {
+            let batch = sma(&values, window);
+            let mut state = SmaState::new(window);
+            for (t, &x) in values.iter().enumerate() {
+                let inc = state.update(x);
+                assert_eq!(inc.to_bits(), batch[t].to_bits(), "w={window} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn ema_matches_batch_bitwise() {
+        let values = ramp(200);
+        for window in [1, 3, 14, 50] {
+            let batch = ema(&values, window);
+            let mut state = EmaState::new(window);
+            for (t, &x) in values.iter().enumerate() {
+                let inc = state.update(x);
+                assert_eq!(inc.to_bits(), batch[t].to_bits(), "w={window} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn rsi_matches_batch_bitwise() {
+        let values = ramp(200);
+        for period in [1, 7, 14, 28] {
+            let batch = rsi(&values, period);
+            let mut state = RsiState::new(period);
+            for (t, &x) in values.iter().enumerate() {
+                let inc = state.update(x);
+                assert_eq!(inc.to_bits(), batch[t].to_bits(), "p={period} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn atr_matches_batch_bitwise() {
+        let close = ramp(200);
+        let high: Vec<f64> = close.iter().map(|c| c * 1.02).collect();
+        let low: Vec<f64> = close.iter().map(|c| c * 0.97).collect();
+        for period in [1, 14, 28] {
+            let batch = atr(&high, &low, &close, period);
+            let mut state = AtrState::new(period);
+            for t in 0..close.len() {
+                let inc = state.update(high[t], low[t], close[t]);
+                assert_eq!(inc.to_bits(), batch[t].to_bits(), "p={period} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_gap_poisons_identically() {
+        let mut values = ramp(120);
+        values[40] = f64::NAN;
+        let batch = sma(&values, 10);
+        let mut state = SmaState::new(10);
+        for (t, &x) in values.iter().enumerate() {
+            let inc = state.update(x);
+            assert_eq!(inc.to_bits(), batch[t].to_bits(), "t={t}");
+        }
+        // Once poisoned, the running sum never recovers — by design, in
+        // both implementations.
+        assert!(batch[119].is_nan());
+    }
+
+    #[test]
+    fn resync_stays_within_tolerance() {
+        let values = ramp(500);
+        let batch = sma(&values, 20);
+        let mut state = SmaState::new(20).with_resync(7);
+        for (t, &x) in values.iter().enumerate() {
+            let inc = state.update(x);
+            if batch[t].is_nan() {
+                assert!(inc.is_nan());
+            } else {
+                let rel = (inc - batch[t]).abs() / batch[t].abs().max(1.0);
+                assert!(rel <= SMA_RESYNC_TOLERANCE, "t={t} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_input_stays_nan() {
+        let mut state = SmaState::new(5);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            assert!(state.update(x).is_nan());
+        }
+        assert_eq!(state.update(5.0), 3.0);
+    }
+}

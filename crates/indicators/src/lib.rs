@@ -12,12 +12,14 @@
 //! Tables 3–4, plus the oscillator/volatility/volume indicators Section 2
 //! lists) into a [`c100_timeseries::Frame`].
 
+pub mod incremental;
 pub mod momentum;
 pub mod moving;
 pub mod suite;
 pub mod volatility;
 pub mod volume;
 
+pub use incremental::{AtrState, EmaState, RsiState, SmaState, SMA_RESYNC_TOLERANCE};
 pub use suite::{technical_suite, TechnicalInputs};
 
 /// Returns `NaN` padding followed by values from `f` starting at `start`.

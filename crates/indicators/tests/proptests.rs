@@ -4,10 +4,20 @@ use c100_indicators::momentum::{macd, roc, rsi, stochastic};
 use c100_indicators::moving::{ema, sma, wma};
 use c100_indicators::volatility::{atr, bollinger, rolling_std};
 use c100_indicators::volume::{obv, volume_ratio};
+use c100_indicators::{AtrState, EmaState, RsiState, SmaState, SMA_RESYNC_TOLERANCE};
 use proptest::prelude::*;
 
 fn prices(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(1.0f64..10_000.0, 5..max_len)
+}
+
+/// Random tick sequences with occasional NaN gaps, as a live feed with
+/// missing days would produce.
+fn gappy_prices(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![9 => 1.0f64..10_000.0, 1 => Just(f64::NAN)],
+        5..max_len,
+    )
 }
 
 proptest! {
@@ -110,6 +120,76 @@ proptest! {
     fn volume_ratio_is_positive(values in prices(80), w in 1usize..20) {
         for v in volume_ratio(&values, w).iter().filter(|v| !v.is_nan()) {
             prop_assert!(*v > 0.0);
+        }
+    }
+
+    // --- Incremental-vs-batch parity (streaming states) -----------------
+    //
+    // The streaming states replay the batch recurrences tick-by-tick, so
+    // without resync every output must be bit-identical to the batch
+    // column — including NaN gaps, which poison both the same way.
+
+    #[test]
+    fn incremental_sma_is_bit_identical(values in gappy_prices(150), w in 1usize..30) {
+        let batch = sma(&values, w);
+        let mut state = SmaState::new(w);
+        for (t, &x) in values.iter().enumerate() {
+            let inc = state.update(x);
+            prop_assert!(inc.to_bits() == batch[t].to_bits(), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn incremental_ema_is_bit_identical(values in gappy_prices(150), w in 1usize..30) {
+        let batch = ema(&values, w);
+        let mut state = EmaState::new(w);
+        for (t, &x) in values.iter().enumerate() {
+            let inc = state.update(x);
+            prop_assert!(inc.to_bits() == batch[t].to_bits(), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn incremental_rsi_is_bit_identical(values in gappy_prices(150), period in 1usize..30) {
+        let batch = rsi(&values, period);
+        let mut state = RsiState::new(period);
+        for (t, &x) in values.iter().enumerate() {
+            let inc = state.update(x);
+            prop_assert!(inc.to_bits() == batch[t].to_bits(), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn incremental_atr_is_bit_identical(values in gappy_prices(150), period in 1usize..20) {
+        let high: Vec<f64> = values.iter().map(|v| v * 1.02).collect();
+        let low: Vec<f64> = values.iter().map(|v| v * 0.98).collect();
+        let batch = atr(&high, &low, &values, period);
+        let mut state = AtrState::new(period);
+        for t in 0..values.len() {
+            let inc = state.update(high[t], low[t], values[t]);
+            prop_assert!(inc.to_bits() == batch[t].to_bits(), "t={}", t);
+        }
+    }
+
+    // With resync enabled the SMA sum is periodically recomputed from the
+    // buffered window, so bit-parity is traded for a documented relative
+    // tolerance (SMA_RESYNC_TOLERANCE).
+    #[test]
+    fn resynced_sma_stays_within_tolerance(
+        values in prices(200),
+        w in 1usize..30,
+        every in 1usize..40,
+    ) {
+        let batch = sma(&values, w);
+        let mut state = SmaState::new(w).with_resync(every);
+        for (t, &x) in values.iter().enumerate() {
+            let inc = state.update(x);
+            if batch[t].is_nan() {
+                prop_assert!(inc.is_nan(), "t={}", t);
+            } else {
+                let rel = (inc - batch[t]).abs() / batch[t].abs().max(1.0);
+                prop_assert!(rel <= SMA_RESYNC_TOLERANCE, "t={} rel={}", t, rel);
+            }
         }
     }
 }

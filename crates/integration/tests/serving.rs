@@ -381,6 +381,31 @@ fn reload_picks_up_new_artifacts_without_dropping_inflight_requests() {
     assert!(body_of(&models).contains(&first_id));
     assert!(body_of(&models).contains(&second_id));
 
+    // Freshness is observable: the reload counted, the last-reload
+    // timestamp is set, and the model age restarted from the swap.
+    let metrics_response = http(addr, "GET", "/metrics", None);
+    let metrics_body = body_of(&metrics_response);
+    assert!(
+        metrics_body.contains("serve_reloads_total 1"),
+        "{metrics_body}"
+    );
+    let age: f64 = metrics_body
+        .lines()
+        .find_map(|l| l.strip_prefix("serve_model_age_seconds "))
+        .expect("model age gauge missing")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!((0.0..60.0).contains(&age), "age {age}");
+    let stamp: f64 = metrics_body
+        .lines()
+        .find_map(|l| l.strip_prefix("serve_last_reload_timestamp_seconds "))
+        .expect("last-reload timestamp gauge missing")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(stamp > 1.0e9, "stamp {stamp} is not a unix timestamp");
+
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

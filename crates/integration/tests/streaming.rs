@@ -1,0 +1,174 @@
+//! End-to-end streaming: synth ticks folded through incremental
+//! indicators, online GBDT rollovers (drift/decay/scheduled, warm
+//! refits) persisted into a store, and hot-swapped into a live
+//! `c100-serve` instance — with zero failed in-flight requests — plus
+//! batch-parity of the exported feature history.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use c100_indicators::momentum::rsi;
+use c100_indicators::moving::{ema, sma};
+use c100_indicators::volatility::atr;
+use c100_indicators::SMA_RESYNC_TOLERANCE;
+use c100_obs::MetricsRegistry;
+use c100_serve::{ServeConfig, Server};
+use c100_stream::{client, run_stream, StreamConfig, SynthTickSource, FEATURE_NAMES};
+use c100_synth::SynthConfig;
+use c100_timeseries::csv::read_frame_from_path;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("c100_streaming_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn quick_config(store_dir: &std::path::Path) -> StreamConfig {
+    let mut config = StreamConfig::new(store_dir);
+    config.seed = 7;
+    config.ticks = 200;
+    config.refit_every = 50;
+    config.min_train_rows = 40;
+    config.gbdt.n_estimators = 10;
+    config
+}
+
+/// The full loop against a live server started on an (initially empty)
+/// store: the stream must roll models in while `/predict` traffic keeps
+/// flowing, and no request may fail across the hot swaps.
+#[test]
+fn stream_rolls_models_into_a_live_server_without_dropping_requests() {
+    let store_dir = temp_dir("live");
+    std::fs::create_dir_all(&store_dir).unwrap();
+
+    let serve_registry = Arc::new(MetricsRegistry::new());
+    let handle = Server::start(
+        ServeConfig::new(&store_dir, "127.0.0.1:0"),
+        serve_registry.clone(),
+        None,
+    )
+    .expect("start server");
+    let addr = handle.local_addr().to_string();
+
+    let mut config = quick_config(&store_dir);
+    config.serve_addr = Some(addr.clone());
+    let registry = Arc::new(MetricsRegistry::new());
+    let report = run_stream(&config, &registry, None).expect("stream run");
+
+    // At least the initial fit plus one warm refit happened, and the
+    // live traffic that ran concurrently with the reloads all succeeded.
+    assert!(report.rollovers >= 2, "rollovers: {}", report.rollovers);
+    assert!(report.warm_rollovers >= 1);
+    assert!(report.predict_requests > 0);
+    assert_eq!(report.predict_failures, 0, "in-flight requests failed");
+
+    // The deployed artifact is resident in the server's model cache.
+    let final_id = report.final_artifact.clone().expect("deployed artifact");
+    let models = client::get(&addr, "/models").expect("GET /models");
+    assert!(models.is_success());
+    assert!(
+        models.body.contains(&format!("\"id\":\"{final_id}\"")),
+        "server models {} missing {final_id}",
+        models.body.trim()
+    );
+
+    // Server-side counters: one reload per rollover, no shed requests.
+    let metrics = client::get(&addr, "/metrics").expect("GET /metrics");
+    assert!(metrics
+        .body
+        .contains(&format!("serve_reloads_total {}", report.rollovers)));
+    assert!(metrics.body.contains("serve_last_reload_timestamp_seconds"));
+    assert!(metrics.body.contains("serve_model_age_seconds"));
+
+    // Stream-side counters agree with the report.
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counters["model_rollovers_total"] as usize,
+        report.rollovers
+    );
+    assert_eq!(
+        snapshot.counters["model_rollovers_warm_total"] as usize,
+        report.warm_rollovers
+    );
+    assert_eq!(
+        snapshot.counters["stream.serve_predicts_total"],
+        report.predict_requests
+    );
+    assert_eq!(
+        snapshot.counters["stream.ticks_total"] as usize,
+        report.ticks
+    );
+
+    client::post_json(&addr, "/shutdown", "").expect("POST /shutdown");
+    handle.wait();
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+/// The exported feature history must match a from-scratch batch
+/// recompute over the same synthetic market: EMA/RSI/ATR bit-identical
+/// (their incremental states replay the batch recurrences exactly, and
+/// CSV round-trips `f64` losslessly), SMAs within the resync tolerance.
+#[test]
+fn exported_stream_features_match_batch_recompute() {
+    let store_dir = temp_dir("parity");
+    let config = quick_config(&store_dir);
+    let registry = Arc::new(MetricsRegistry::new());
+    let report = run_stream(&config, &registry, None).expect("stream run");
+    let csv = report.features_csv.clone().expect("features CSV");
+    let frame = read_frame_from_path(&csv).expect("read features CSV");
+
+    // Replay the same market and recompute every indicator in batch.
+    let mut source = SynthTickSource::new(&SynthConfig::small(config.seed));
+    let mut high = Vec::new();
+    let mut low = Vec::new();
+    let mut close = Vec::new();
+    let mut volume = Vec::new();
+    let mut dates = Vec::new();
+    for _ in 0..config.ticks {
+        let tick = source.next_tick().expect("enough synth ticks");
+        high.push(tick.high);
+        low.push(tick.low);
+        close.push(tick.close);
+        volume.push(tick.volume);
+        dates.push(tick.date);
+    }
+    let batch: [(&str, Vec<f64>, bool); 6] = [
+        ("sma_7", sma(&close, 7), false),
+        ("sma_30", sma(&close, 30), false),
+        ("ema_14", ema(&close, 14), true),
+        ("rsi_14", rsi(&close, 14), true),
+        ("atr_14", atr(&high, &low, &close, 14), true),
+        ("vol_sma_7", sma(&volume, 7), false),
+    ];
+
+    // The frame starts at the first complete row; anchor by date.
+    let offset = dates
+        .iter()
+        .position(|d| *d == frame.start())
+        .expect("frame start is a market date");
+    assert_eq!(frame.len(), config.ticks - offset);
+    for name in FEATURE_NAMES {
+        assert!(frame.column(name).is_some(), "missing column {name}");
+    }
+
+    for (name, series, exact) in &batch {
+        let streamed = frame.column(name).expect("stream column").values();
+        for (r, inc) in streamed.iter().enumerate() {
+            let expected = series[offset + r];
+            if *exact {
+                assert_eq!(
+                    inc.to_bits(),
+                    expected.to_bits(),
+                    "{name} row {r}: {inc} vs {expected}"
+                );
+            } else {
+                let rel = (inc - expected).abs() / expected.abs().max(1.0);
+                assert!(
+                    rel <= SMA_RESYNC_TOLERANCE,
+                    "{name} row {r}: {inc} vs {expected} (rel {rel:e})"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+}

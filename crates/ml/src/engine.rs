@@ -2,7 +2,8 @@
 //!
 //! Training builds ensembles as vectors of [`Tree`]s whose nodes point at
 //! each other through `left`/`right` indices. That layout is convenient
-//! to grow but slow to serve: every split visits a 48-byte [`Node`],
+//! to grow but slow to serve: every split visits a 48-byte
+//! [`Node`](crate::tree::Node),
 //! touching cache lines full of fields (`cover`, `impurity`, MDI
 //! bookkeeping) that inference never reads.
 //!
@@ -41,7 +42,7 @@
 //! `tests/proptests.rs`).
 //!
 //! Optionally, thresholds are quantized to per-feature rank codes so the
-//! hot loop compares `u16`s instead of `f64`s (see [`ThresholdCodes`]).
+//! hot loop compares `u16`s instead of `f64`s (see `ThresholdCodes`).
 //! Quantization is also bit-exact: a row value is encoded as the number
 //! of distinct model thresholds strictly below it, and for sorted
 //! distinct cuts `x <= cuts[i] ⟺ code(x) <= i`, while NaN encodes past

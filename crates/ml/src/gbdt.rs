@@ -127,12 +127,12 @@ impl GbdtConfig {
         self.validate()?;
         check_fit_input(x, y)?;
         match self.split_method {
-            SplitMethod::Exact => self.fit_rounds(x, y, None, seed, trace),
+            SplitMethod::Exact => self.fit_rounds(x, y, None, seed, None, trace),
             SplitMethod::Histogram { max_bins } => {
                 let binning = trace.span("train_binning");
                 let binned = BinnedMatrix::from_matrix(x, max_bins)?;
                 drop(binning);
-                self.fit_rounds(x, y, Some(&binned), seed, trace)
+                self.fit_rounds(x, y, Some(&binned), seed, None, trace)
             }
         }
     }
@@ -161,26 +161,86 @@ impl GbdtConfig {
         }
         self.validate()?;
         check_fit_input(x, y)?;
-        self.fit_rounds(x, y, Some(binned), seed, trace)
+        self.fit_rounds(x, y, Some(binned), seed, None, trace)
+    }
+
+    /// Continues boosting from an existing model: the returned ensemble
+    /// keeps `base`'s `base_score` and trees and appends
+    /// `self.n_estimators` fresh rounds fitted against the residuals of
+    /// `base`'s predictions on `(x, y)`. Online refits warm-start from
+    /// the previous artifact this way instead of re-learning the whole
+    /// ensemble from scratch.
+    ///
+    /// `feature_importances` of the result are normalized over the *new*
+    /// rounds only — the raw gains behind `base`'s (already normalized)
+    /// importances are not recoverable from the fitted model.
+    pub fn fit_warm(&self, base: &Gbdt, x: &Matrix, y: &[f64], seed: u64) -> Result<Gbdt> {
+        self.fit_warm_traced(base, x, y, seed, TraceCtx::disabled())
+    }
+
+    /// [`GbdtConfig::fit_warm`] with span tracing (same spans as
+    /// [`GbdtConfig::fit_traced`]).
+    pub fn fit_warm_traced(
+        &self,
+        base: &Gbdt,
+        x: &Matrix,
+        y: &[f64],
+        seed: u64,
+        trace: TraceCtx<'_>,
+    ) -> Result<Gbdt> {
+        self.validate()?;
+        check_fit_input(x, y)?;
+        if base.n_features != x.n_features() {
+            return Err(MlError::BadInput(format!(
+                "warm start expects {} features, got {}",
+                base.n_features,
+                x.n_features()
+            )));
+        }
+        match self.split_method {
+            SplitMethod::Exact => self.fit_rounds(x, y, None, seed, Some(base), trace),
+            SplitMethod::Histogram { max_bins } => {
+                let binning = trace.span("train_binning");
+                let binned = BinnedMatrix::from_matrix(x, max_bins)?;
+                drop(binning);
+                self.fit_rounds(x, y, Some(&binned), seed, Some(base), trace)
+            }
+        }
     }
 
     /// The boosting loop; `binned` carries the shared code matrix on the
-    /// histogram path, `None` means exact split search.
+    /// histogram path, `None` means exact split search. With `base` the
+    /// new rounds continue that model: its score and trees seed the
+    /// running predictions and the result embeds them.
     fn fit_rounds(
         &self,
         x: &Matrix,
         y: &[f64],
         binned: Option<&BinnedMatrix>,
         seed: u64,
+        base: Option<&Gbdt>,
         trace: TraceCtx<'_>,
     ) -> Result<Gbdt> {
         let n = x.n_rows();
         let n_features = x.n_features();
-        let base_score = y.iter().sum::<f64>() / n as f64;
+        let base_score = match base {
+            Some(b) => b.base_score,
+            None => y.iter().sum::<f64>() / n as f64,
+        };
 
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut predictions = vec![base_score; n];
-        let mut trees = Vec::with_capacity(self.n_estimators);
+        let mut predictions = match base {
+            Some(b) => (0..n).map(|r| b.predict_row(x.row(r))).collect(),
+            None => vec![base_score; n],
+        };
+        let mut trees = match base {
+            Some(b) => {
+                let mut trees = Vec::with_capacity(b.trees.len() + self.n_estimators);
+                trees.extend(b.trees.iter().cloned());
+                trees
+            }
+            None => Vec::with_capacity(self.n_estimators),
+        };
         let mut gain_importance = vec![0.0; n_features];
 
         let n_rows_per_tree = ((n as f64 * self.subsample).round() as usize).clamp(1, n);
@@ -925,6 +985,78 @@ mod tests {
         let base = mse(&y, &vec![one.base_score; y.len()]);
         assert!(e1 < base);
         assert!(e30 < e1);
+    }
+
+    #[test]
+    fn warm_start_extends_and_improves() {
+        let (x, y) = sine_data(300, 7);
+        let cold = GbdtConfig {
+            n_estimators: 10,
+            ..Default::default()
+        }
+        .fit(&x, &y, 0)
+        .unwrap();
+        let warm = GbdtConfig {
+            n_estimators: 15,
+            ..Default::default()
+        }
+        .fit_warm(&cold, &x, &y, 1)
+        .unwrap();
+        assert_eq!(warm.n_trees(), 25);
+        assert_eq!(warm.base_score, cold.base_score);
+        // The base trees are embedded untouched.
+        assert_eq!(&warm.trees[..10], &cold.trees[..]);
+        let before = mse(&y, &cold.predict(&x));
+        let after = mse(&y, &warm.predict(&x));
+        assert!(after < before, "warm {after} vs cold {before}");
+    }
+
+    #[test]
+    fn warm_start_matches_resumed_residual_fit() {
+        // Warm-starting must behave exactly like continuing the boosting
+        // loop: round k+1 fits the residuals the embedded base leaves
+        // behind, so base output + new-round contributions reproduces the
+        // warm model's output (up to summation order).
+        let (x, y) = sine_data(200, 11);
+        let base = GbdtConfig {
+            n_estimators: 5,
+            ..Default::default()
+        }
+        .fit(&x, &y, 3)
+        .unwrap();
+        let warm = GbdtConfig {
+            n_estimators: 4,
+            ..Default::default()
+        }
+        .fit_warm(&base, &x, &y, 4)
+        .unwrap();
+        for r in 0..x.n_rows() {
+            let row = x.row(r);
+            let manual = base.predict_row(row)
+                + warm.trees[5..]
+                    .iter()
+                    .map(|t| t.predict_row(row))
+                    .sum::<f64>();
+            let got = warm.predict_row(row);
+            assert!((manual - got).abs() <= 1e-12 * manual.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_feature_mismatch() {
+        let (x, y) = sine_data(100, 17);
+        let base = GbdtConfig {
+            n_estimators: 2,
+            ..Default::default()
+        }
+        .fit(&x, &y, 0)
+        .unwrap();
+        let narrow =
+            Matrix::from_rows(&(0..50).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
+        let yn: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(GbdtConfig::default()
+            .fit_warm(&base, &narrow, &yn, 0)
+            .is_err());
     }
 
     #[test]

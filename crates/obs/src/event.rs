@@ -187,6 +187,19 @@ pub enum Event {
         /// Batch wall-clock duration in microseconds.
         micros: u64,
     },
+    /// An online refit replaced the serving model for a scenario.
+    ModelRolledOver {
+        /// Owning scenario id.
+        scenario: String,
+        /// Model family label (`rf` / `gbdt`).
+        model: String,
+        /// Content-addressed id of the artifact now serving.
+        artifact_id: String,
+        /// Whether the refit warm-started from the previous model.
+        warm: bool,
+        /// Refit + persist + reload wall-clock duration in microseconds.
+        micros: u64,
+    },
 }
 
 impl Event {
@@ -206,6 +219,7 @@ impl Event {
             Event::ArtifactSaved { .. } => "artifact_saved",
             Event::ArtifactLoaded { .. } => "artifact_loaded",
             Event::BatchPredicted { .. } => "batch_predicted",
+            Event::ModelRolledOver { .. } => "model_rolled_over",
         }
     }
 
@@ -220,7 +234,8 @@ impl Event {
             | Event::ScenarioFinished { scenario, .. }
             | Event::ArtifactSaved { scenario, .. }
             | Event::ArtifactLoaded { scenario, .. }
-            | Event::BatchPredicted { scenario, .. } => Some(scenario),
+            | Event::BatchPredicted { scenario, .. }
+            | Event::ModelRolledOver { scenario, .. } => Some(scenario),
             _ => None,
         }
     }
@@ -352,6 +367,19 @@ impl Event {
                 w.uint_field("rows", *rows as u64);
                 w.uint_field("micros", *micros);
             }
+            Event::ModelRolledOver {
+                scenario,
+                model,
+                artifact_id,
+                warm,
+                micros,
+            } => {
+                w.str_field("scenario", scenario);
+                w.str_field("model", model);
+                w.str_field("artifact_id", artifact_id);
+                w.bool_field("warm", *warm);
+                w.uint_field("micros", *micros);
+            }
         }
         w.end();
         w.finish()
@@ -441,6 +469,13 @@ impl Event {
                 scenario: scenario(value)?,
                 model: value.req_str("model")?.to_string(),
                 rows: value.req_uint("rows")? as usize,
+                micros: value.req_uint("micros")?,
+            }),
+            "model_rolled_over" => Ok(Event::ModelRolledOver {
+                scenario: scenario(value)?,
+                model: value.req_str("model")?.to_string(),
+                artifact_id: value.req_str("artifact_id")?.to_string(),
+                warm: value.req_bool("warm")?,
                 micros: value.req_uint("micros")?,
             }),
             other => Err(JsonError::new(format!("unknown event kind {other:?}"))),
@@ -538,6 +573,13 @@ mod tests {
                 model: "rf".into(),
                 rows: 0,
                 micros: 1,
+            },
+            Event::ModelRolledOver {
+                scenario: "2019_7".into(),
+                model: "gbdt".into(),
+                artifact_id: "feedfacecafebeef".into(),
+                warm: true,
+                micros: 250_000,
             },
         ]
     }

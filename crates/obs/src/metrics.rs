@@ -183,6 +183,13 @@ impl RunObserver for MetricsRegistry {
                 self.inc("artifacts_loaded_total");
                 self.observe_micros("artifact_load_micros", *micros);
             }
+            Event::ModelRolledOver { warm, micros, .. } => {
+                self.inc("model_rollovers_total");
+                if *warm {
+                    self.inc("model_rollovers_warm_total");
+                }
+                self.observe_micros("model_rollover_micros", *micros);
+            }
             Event::BatchPredicted { rows, micros, .. } => {
                 self.inc("batches_predicted_total");
                 self.add("inference_rows_total", *rows as u64);

@@ -87,6 +87,9 @@ struct Shared {
     shutdown_requested: (Mutex<bool>, Condvar),
     max_body_bytes: usize,
     max_batch: usize,
+    /// When the served model set last changed (start or `POST /reload`);
+    /// `/metrics` derives the `serve.model_age_seconds` gauge from it.
+    models_loaded_at: Mutex<Instant>,
 }
 
 impl Shared {
@@ -207,7 +210,9 @@ impl Server {
             shutdown_requested: (Mutex::new(false), Condvar::new()),
             max_body_bytes: config.max_body_bytes,
             max_batch: config.max_batch,
+            models_loaded_at: Mutex::new(Instant::now()),
         });
+        registry.set_gauge("serve.last_reload_timestamp_seconds", unix_now_seconds());
 
         let batcher = if config.max_batch > 1 {
             Some(Batcher::start(
@@ -455,7 +460,25 @@ fn models(shared: &Shared) -> Response {
 }
 
 fn metrics(shared: &Shared) -> Response {
+    // Freshness is computed at scrape time so the gauge ages between
+    // reloads without a background ticker.
+    let age = shared
+        .models_loaded_at
+        .lock()
+        .expect("models_loaded_at poisoned")
+        .elapsed();
+    shared
+        .registry
+        .set_gauge("serve.model_age_seconds", age.as_secs_f64());
     Response::text(200, shared.registry.snapshot().to_text())
+}
+
+/// Seconds since the unix epoch, for the last-reload timestamp gauge.
+fn unix_now_seconds() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
 }
 
 fn reload(shared: &Shared, request: &Request) -> Response {
@@ -465,6 +488,14 @@ fn reload(shared: &Shared, request: &Request) -> Response {
     };
     match shared.cache.reload(engine) {
         Ok(new_ids) => {
+            shared.registry.inc("serve.reloads_total");
+            shared
+                .registry
+                .set_gauge("serve.last_reload_timestamp_seconds", unix_now_seconds());
+            *shared
+                .models_loaded_at
+                .lock()
+                .expect("models_loaded_at poisoned") = Instant::now();
             let mut body = String::from("{\"engine\":");
             json::write_escaped(&mut body, &shared.cache.engine().label());
             body.push_str(",\"new_artifacts\":[");

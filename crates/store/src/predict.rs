@@ -8,7 +8,7 @@
 //! wrong tree splits and produce confidently wrong forecasts.
 //!
 //! Every input shape (columnar [`Frame`], row-major
-//! [`Matrix`](c100_ml::data::Matrix)) funnels into one validated
+//! [`Matrix`]) funnels into one validated
 //! row-major path, which dispatches to the selected [`Engine`]: the
 //! interpreted tree walker, or the compiled flat-ensemble backend
 //! ([`c100_ml::CompiledEnsemble`], built lazily on first use under a

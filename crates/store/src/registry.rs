@@ -53,6 +53,7 @@ pub struct ArtifactStore {
     entries: Vec<ManifestEntry>,
     next_seq: u64,
     observer: Arc<dyn RunObserver>,
+    retain_per_family: Option<usize>,
 }
 
 impl ArtifactStore {
@@ -73,6 +74,7 @@ impl ArtifactStore {
             entries,
             next_seq,
             observer: Arc::new(NullObserver),
+            retain_per_family: None,
         })
     }
 
@@ -80,6 +82,20 @@ impl ArtifactStore {
     /// then land in the run's telemetry alongside pipeline stages.
     pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> ArtifactStore {
         self.observer = observer;
+        self
+    }
+
+    /// Keeps only the latest `n` artifacts per (scenario, family) pair:
+    /// every [`save`](Self::save) prunes older entries from the manifest
+    /// and deletes their files, so repeated refits (an online rollover
+    /// loop saving every few minutes) cannot grow the store without
+    /// bound. `latest`/`latest_family` always resolve to a survivor.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 — that would delete every artifact as saved.
+    pub fn with_retention(mut self, n: usize) -> ArtifactStore {
+        assert!(n >= 1, "retention must keep at least 1 artifact");
+        self.retain_per_family = Some(n);
         self
     }
 
@@ -110,7 +126,15 @@ impl ArtifactStore {
         self.next_seq += 1;
         self.entries.retain(|e| e.id != entry.id);
         self.entries.push(entry.clone());
+        let pruned = self.apply_retention();
         self.persist_manifest()?;
+        // Files go only after the manifest no longer references them; a
+        // crash in between leaves an orphan file, never a dangling index
+        // entry. Saved ids are unique in the manifest, so a pruned
+        // entry's file cannot be shared with a survivor.
+        for stale in pruned {
+            let _ = fs::remove_file(self.artifact_path(&stale.id));
+        }
 
         self.observer.on_event(&Event::ArtifactSaved {
             scenario: artifact.scenario.clone(),
@@ -200,6 +224,36 @@ impl ArtifactStore {
             .iter()
             .filter(|e| e.scenario == scenario && e.model == family)
             .max_by_key(|e| e.seq)
+    }
+
+    /// Drops entries beyond the retention budget per (scenario, family),
+    /// newest (highest seq) first, returning what was pruned.
+    fn apply_retention(&mut self) -> Vec<ManifestEntry> {
+        let Some(keep) = self.retain_per_family else {
+            return Vec::new();
+        };
+        let mut pruned = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        // Walk newest-to-oldest, counting per family key.
+        let mut by_seq: Vec<ManifestEntry> = std::mem::take(&mut self.entries);
+        by_seq.sort_by_key(|e| std::cmp::Reverse(e.seq));
+        let mut counts: std::collections::HashMap<(String, String), usize> =
+            std::collections::HashMap::new();
+        for e in by_seq {
+            let slot = counts
+                .entry((e.scenario.clone(), e.model.clone()))
+                .or_insert(0);
+            if *slot < keep {
+                *slot += 1;
+                kept.push(e);
+            } else {
+                pruned.push(e);
+            }
+        }
+        // Restore save order for the manifest.
+        kept.sort_by_key(|e| e.seq);
+        self.entries = kept;
+        pruned
     }
 
     fn artifact_path(&self, id: &str) -> PathBuf {

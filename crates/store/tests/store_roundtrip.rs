@@ -226,6 +226,52 @@ fn reload_surfaces_externally_saved_artifacts() {
 }
 
 #[test]
+fn retention_prunes_manifest_and_files_but_latest_survives() {
+    let root = temp_store("retention");
+    let mut store = ArtifactStore::open(&root).unwrap().with_retention(2);
+
+    // A gbdt artifact in another scenario must be untouched by rf churn.
+    let (gbdt, _) = gbdt_artifact(60);
+    let gbdt_entry = store.save(&gbdt).unwrap();
+
+    // Repeated refits of the same (scenario, family) pair.
+    let mut rf_entries = Vec::new();
+    for seed in [61, 62, 63, 64, 65] {
+        let (rf, _) = rf_artifact(seed);
+        rf_entries.push(store.save(&rf).unwrap());
+    }
+
+    // Only the newest two rf artifacts remain indexed, plus the gbdt.
+    assert_eq!(store.list().len(), 3);
+    let newest = &rf_entries[4];
+    assert_eq!(store.latest_family("2019_7", "rf").unwrap().id, newest.id);
+    assert_eq!(
+        store.latest_family("2017_30", "gbdt").unwrap().id,
+        gbdt_entry.id
+    );
+
+    // Pruned files are gone from disk; survivors still load and verify.
+    for old in &rf_entries[..3] {
+        assert!(!root.join(format!("{}.json", old.id)).exists());
+        assert!(matches!(store.load(&old.id), Err(StoreError::NotFound(_))));
+    }
+    for kept in &rf_entries[3..] {
+        store.load(&kept.id).unwrap();
+    }
+
+    // A fresh open of the pruned store still resolves the latest.
+    let reopened = ArtifactStore::open(&root).unwrap();
+    assert_eq!(reopened.list().len(), 3);
+    assert_eq!(
+        reopened.latest_family("2019_7", "rf").unwrap().id,
+        newest.id
+    );
+    reopened.load(&newest.id).unwrap();
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn load_of_unknown_id_is_not_found() {
     let root = temp_store("missing");
     let store = ArtifactStore::open(&root).unwrap();

@@ -1,0 +1,94 @@
+//! Minimal HTTP/1.1 client for talking to a running `c100-serve`
+//! instance.
+//!
+//! The server speaks one request per connection (`Connection: close`),
+//! which makes the client side equally trivial: dial, write the whole
+//! request, read to EOF, split head from body. No pooling, no keepalive,
+//! no chunked encoding — none of which the server emits.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::{Result, StreamError};
+
+/// How long a single request may spend connecting, writing, or reading.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP response: status code and body text.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Response body (everything after the blank line).
+    pub body: String,
+}
+
+impl HttpReply {
+    /// True for any 2xx status.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// POSTs `body` as JSON to `http://{addr}{path}`.
+pub fn post_json(addr: &str, path: &str, body: &str) -> Result<HttpReply> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// GETs `http://{addr}{path}`.
+pub fn get(addr: &str, path: &str) -> Result<HttpReply> {
+    request(addr, "GET", path, None)
+}
+
+fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<HttpReply> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| StreamError::Http(format!("connect {addr}: {e}")))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
+    stream.set_nodelay(true).ok();
+
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| StreamError::Http(format!("write {method} {path}: {e}")))?;
+
+    // `Connection: close` means the response ends at EOF.
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| StreamError::Http(format!("read {method} {path}: {e}")))?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| StreamError::Http(format!("{method} {path}: response is not UTF-8")))?;
+
+    let status = text
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| StreamError::Http(format!("{method} {path}: malformed response line")))?;
+    let body = match text.split_once("\r\n\r\n") {
+        Some((_head, body)) => body.to_string(),
+        None => String::new(),
+    };
+    Ok(HttpReply { status, body })
+}
+
+/// Like [`post_json`] but turns any non-2xx status into an error, so
+/// callers that require success can `?` it.
+pub fn post_json_ok(addr: &str, path: &str, body: &str) -> Result<HttpReply> {
+    let reply = post_json(addr, path, body)?;
+    if !reply.is_success() {
+        return Err(StreamError::Http(format!(
+            "POST {path} returned {}: {}",
+            reply.status,
+            reply.body.trim()
+        )));
+    }
+    Ok(reply)
+}

@@ -1,0 +1,121 @@
+//! The streaming feature row: one bundle of incremental indicator
+//! state per asset, folded tick-by-tick.
+//!
+//! Each call to [`StreamIndicators::update`] costs O(1) — the states in
+//! [`c100_indicators::incremental`] replay the batch recurrences
+//! without touching history — where recomputing the batch columns at
+//! tick `t` would cost O(t). The two SMAs carry a periodic
+//! exact-recompute resync, so after warm-up their outputs are within
+//! [`c100_indicators::SMA_RESYNC_TOLERANCE`] (relative) of the batch
+//! columns; EMA/RSI/ATR are bit-identical (see the parity proptests in
+//! `crates/indicators/tests/proptests.rs`).
+
+use c100_indicators::{AtrState, EmaState, RsiState, SmaState};
+
+/// Ordered schema of the streaming feature row. This is also the
+/// artifact feature schema every online model is trained and served
+/// with, so CSV exports, `/predict` bodies, and `repro predict` all
+/// agree on column order.
+pub const FEATURE_NAMES: [&str; 6] = ["sma_7", "sma_30", "ema_14", "rsi_14", "atr_14", "vol_sma_7"];
+
+/// Incremental indicator state for one price/volume stream.
+pub struct StreamIndicators {
+    sma_7: SmaState,
+    sma_30: SmaState,
+    ema_14: EmaState,
+    rsi_14: RsiState,
+    atr_14: AtrState,
+    vol_sma_7: SmaState,
+}
+
+impl StreamIndicators {
+    /// Fresh state; the SMAs recompute their running sums exactly every
+    /// `resync_every` ticks to bound float drift.
+    pub fn new(resync_every: usize) -> StreamIndicators {
+        StreamIndicators {
+            sma_7: SmaState::new(7).with_resync(resync_every),
+            sma_30: SmaState::new(30).with_resync(resync_every),
+            ema_14: EmaState::new(14),
+            rsi_14: RsiState::new(14),
+            atr_14: AtrState::new(14),
+            vol_sma_7: SmaState::new(7).with_resync(resync_every),
+        }
+    }
+
+    /// Folds one tick into every state and returns the feature row in
+    /// [`FEATURE_NAMES`] order. Entries are `NaN` until the respective
+    /// indicator's warm-up completes (the `sma_30` warm-up of 30 ticks
+    /// is the longest).
+    pub fn update(&mut self, high: f64, low: f64, close: f64, volume: f64) -> [f64; 6] {
+        [
+            self.sma_7.update(close),
+            self.sma_30.update(close),
+            self.ema_14.update(close),
+            self.rsi_14.update(close),
+            self.atr_14.update(high, low, close),
+            self.vol_sma_7.update(volume),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c100_indicators::momentum::rsi;
+    use c100_indicators::moving::{ema, sma};
+    use c100_indicators::volatility::atr;
+    use c100_indicators::SMA_RESYNC_TOLERANCE;
+
+    #[test]
+    fn feature_row_matches_batch_columns() {
+        let n = 120;
+        let close: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.29).sin() * 40.0 + 900.0)
+            .collect();
+        let high: Vec<f64> = close.iter().map(|c| c * 1.01).collect();
+        let low: Vec<f64> = close.iter().map(|c| c * 0.98).collect();
+        let volume: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.11).cos() * 5.0 + 100.0)
+            .collect();
+
+        let b_sma7 = sma(&close, 7);
+        let b_sma30 = sma(&close, 30);
+        let b_ema14 = ema(&close, 14);
+        let b_rsi14 = rsi(&close, 14);
+        let b_atr14 = atr(&high, &low, &close, 14);
+        let b_vol7 = sma(&volume, 7);
+
+        let mut state = StreamIndicators::new(16);
+        for t in 0..n {
+            let row = state.update(high[t], low[t], close[t], volume[t]);
+            let close_to = |inc: f64, batch: f64| {
+                if batch.is_nan() {
+                    inc.is_nan()
+                } else {
+                    (inc - batch).abs() / batch.abs().max(1.0) <= SMA_RESYNC_TOLERANCE
+                }
+            };
+            assert!(close_to(row[0], b_sma7[t]), "sma_7 t={t}");
+            assert!(close_to(row[1], b_sma30[t]), "sma_30 t={t}");
+            assert_eq!(row[2].to_bits(), b_ema14[t].to_bits(), "ema_14 t={t}");
+            assert_eq!(row[3].to_bits(), b_rsi14[t].to_bits(), "rsi_14 t={t}");
+            assert_eq!(row[4].to_bits(), b_atr14[t].to_bits(), "atr_14 t={t}");
+            assert!(close_to(row[5], b_vol7[t]), "vol_sma_7 t={t}");
+        }
+    }
+
+    #[test]
+    fn row_completes_exactly_at_the_longest_warmup() {
+        let mut state = StreamIndicators::new(64);
+        let mut first_complete = None;
+        for t in 0..60 {
+            let x = 100.0 + (t as f64) * 0.5;
+            let row = state.update(x * 1.01, x * 0.99, x, 50.0);
+            if first_complete.is_none() && row.iter().all(|v| v.is_finite()) {
+                first_complete = Some(t);
+            }
+        }
+        // sma_30 emits its first value on the 30th tick (index 29).
+        assert_eq!(first_complete, Some(29));
+    }
+}

@@ -1,0 +1,103 @@
+//! # c100-stream
+//!
+//! Streaming ingestion, incremental indicators, and online model
+//! rollover — the first subsystem that exercises the whole stack as one
+//! feedback loop (train → persist → serve → monitor → retrain) rather
+//! than as separate batch stages.
+//!
+//! The paper's pipeline is batch-offline, but its premise — forecasting
+//! a daily-rebalanced index from diverse live sources — is a streaming
+//! problem. This crate closes that loop over the synthetic market:
+//!
+//! * [`SynthTickSource`] replays the synthesizer's BTC series one
+//!   observed day ([`c100_synth::btc::BtcTick`]) at a time.
+//! * [`StreamIndicators`] folds each tick into O(1) incremental
+//!   indicator state ([`c100_indicators::incremental`]) and emits the
+//!   fixed feature row the online model consumes; history accumulates
+//!   in a [`c100_timeseries::AppendFrame`].
+//! * [`DriftMonitor`] and [`DecayMonitor`] watch the live feature
+//!   distribution and the rolling forecast MSE (lag-aware: a forecast
+//!   made at tick `t` is only scored once its horizon matures at
+//!   `t + h`).
+//! * [`RolloverController`] answers a trigger by refitting the GBDT —
+//!   warm-started from the previous artifact — persisting the result
+//!   through [`c100_store::ArtifactStore`] (with retention pruning),
+//!   and hot-swapping it into a running `c100-serve` instance via
+//!   `POST /reload`.
+//! * [`run_stream`] is the driver loop behind `repro stream`, emitting
+//!   `stream.*` metrics/spans and a machine-readable [`StreamReport`].
+//!
+//! See `crates/stream/README.md` for the design note.
+
+pub mod client;
+pub mod indicators;
+pub mod monitor;
+pub mod rollover;
+pub mod runner;
+pub mod source;
+
+pub use indicators::{StreamIndicators, FEATURE_NAMES};
+pub use monitor::{DecayMonitor, DriftMonitor};
+pub use rollover::{RolloverController, RolloverOutcome, RolloverTrigger};
+pub use runner::{run_stream, StreamConfig, StreamReport};
+pub use source::SynthTickSource;
+
+/// Errors produced by the streaming subsystem.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Frame/series manipulation failed.
+    Ts(c100_timeseries::TsError),
+    /// Model fitting or prediction failed.
+    Ml(c100_ml::MlError),
+    /// Artifact persistence failed.
+    Store(c100_store::StoreError),
+    /// An HTTP call to the live server failed (connect, write, or a
+    /// non-2xx status).
+    Http(String),
+    /// The stream configuration is unusable.
+    Config(String),
+    /// Writing the features CSV or report failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Ts(e) => write!(f, "time-series error: {e}"),
+            StreamError::Ml(e) => write!(f, "ml error: {e}"),
+            StreamError::Store(e) => write!(f, "store error: {e}"),
+            StreamError::Http(s) => write!(f, "http error: {s}"),
+            StreamError::Config(s) => write!(f, "config error: {s}"),
+            StreamError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<c100_timeseries::TsError> for StreamError {
+    fn from(e: c100_timeseries::TsError) -> StreamError {
+        StreamError::Ts(e)
+    }
+}
+
+impl From<c100_ml::MlError> for StreamError {
+    fn from(e: c100_ml::MlError) -> StreamError {
+        StreamError::Ml(e)
+    }
+}
+
+impl From<c100_store::StoreError> for StreamError {
+    fn from(e: c100_store::StoreError) -> StreamError {
+        StreamError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> StreamError {
+        StreamError::Io(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, StreamError>;

@@ -1,0 +1,259 @@
+//! Online monitors that decide when the served model has gone stale.
+//!
+//! Two complementary signals:
+//!
+//! * [`DriftMonitor`] — covariate shift. At fit time it captures the
+//!   per-feature mean/σ of the training matrix; each live feature row
+//!   is scored as its worst absolute z-score against that baseline.
+//!   A row far outside the training distribution means the model is
+//!   extrapolating regardless of how accurate it used to be.
+//! * [`DecayMonitor`] — label shift. Forecast error is only observable
+//!   after the prediction horizon matures: a forecast made at tick `t`
+//!   for horizon `h` is scored against the realized return at `t + h`.
+//!   The monitor keeps the pending forecasts in a FIFO, folds each
+//!   matured one into a rolling MSE window, and reports decay once the
+//!   rolling MSE exceeds a configured multiple of the model's own
+//!   fit-time training MSE.
+//!
+//! Both are plain data — the [`crate::runner`] loop owns the clock and
+//! decides what a trigger is worth (triggers are rate-limited there, so
+//! a persistently drifted regime cannot refit on every tick).
+
+use std::collections::VecDeque;
+
+use c100_ml::data::Matrix;
+
+/// Per-feature z-score monitor against fit-time column statistics.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    threshold: f64,
+}
+
+impl DriftMonitor {
+    /// Captures column mean/σ of the training matrix. Columns with ~0
+    /// variance get σ clamped to a tiny floor so a later shift on them
+    /// registers as a (huge) finite z-score instead of a division by
+    /// zero.
+    pub fn fit(x: &Matrix, threshold: f64) -> DriftMonitor {
+        let n = x.n_rows().max(1) as f64;
+        let width = x.n_features();
+        let mut mean = vec![0.0; width];
+        for r in 0..x.n_rows() {
+            for (m, v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; width];
+        for r in 0..x.n_rows() {
+            for (c, v) in x.row(r).iter().enumerate() {
+                let d = v - mean[c];
+                var[c] += d * d;
+            }
+        }
+        let std = var
+            .iter()
+            .zip(&mean)
+            .map(|(v, m)| (v / n).sqrt().max(1e-9 * m.abs()).max(1e-12))
+            .collect();
+        DriftMonitor {
+            mean,
+            std,
+            threshold,
+        }
+    }
+
+    /// Worst absolute z-score of the row against the fit-time baseline
+    /// (`NaN` entries are ignored — warm-up rows must not look like
+    /// drift).
+    pub fn max_z(&self, row: &[f64]) -> f64 {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(x, (m, s))| ((x - m) / s).abs())
+            .filter(|z| z.is_finite())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when the row sits outside the training distribution.
+    pub fn drifted(&self, row: &[f64]) -> bool {
+        self.max_z(row) > self.threshold
+    }
+
+    /// The configured z-score threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// Rolling-MSE decay monitor with horizon-aware scoring.
+#[derive(Debug, Clone)]
+pub struct DecayMonitor {
+    horizon: usize,
+    window: usize,
+    ratio: f64,
+    reference_mse: f64,
+    /// Forecasts awaiting maturity: `(tick made at, predicted return)`.
+    pending: VecDeque<(usize, f64)>,
+    /// Squared errors of the most recent matured forecasts.
+    errors: VecDeque<f64>,
+}
+
+impl DecayMonitor {
+    /// A monitor for `horizon`-day forecasts: decay fires once the
+    /// rolling MSE over the last `window` matured forecasts exceeds
+    /// `ratio × reference_mse` (the model's fit-time training MSE).
+    pub fn new(horizon: usize, window: usize, ratio: f64, reference_mse: f64) -> DecayMonitor {
+        assert!(horizon >= 1, "horizon must be >= 1");
+        assert!(window >= 1, "window must be >= 1");
+        DecayMonitor {
+            horizon,
+            window,
+            ratio,
+            reference_mse,
+            pending: VecDeque::new(),
+            errors: VecDeque::new(),
+        }
+    }
+
+    /// Records a forecast made at `tick`; it matures at
+    /// `tick + horizon`.
+    pub fn predicted(&mut self, tick: usize, forecast: f64) {
+        self.pending.push_back((tick, forecast));
+    }
+
+    /// Scores the forecast that was made at `prediction_tick` (i.e. the
+    /// current tick is `prediction_tick + horizon`) against the
+    /// realized return. Stale pending entries from before a rollover's
+    /// [`reset`](Self::reset) are silently dropped.
+    pub fn observe_realized(&mut self, prediction_tick: usize, realized: f64) {
+        while let Some(&(tick, forecast)) = self.pending.front() {
+            if tick > prediction_tick {
+                return;
+            }
+            self.pending.pop_front();
+            if tick == prediction_tick {
+                let err = forecast - realized;
+                self.errors.push_back(err * err);
+                if self.errors.len() > self.window {
+                    self.errors.pop_front();
+                }
+                return;
+            }
+        }
+    }
+
+    /// Rolling MSE once the window is full; `None` while it fills.
+    pub fn rolling_mse(&self) -> Option<f64> {
+        if self.errors.len() < self.window {
+            return None;
+        }
+        Some(self.errors.iter().sum::<f64>() / self.errors.len() as f64)
+    }
+
+    /// True once a full window of matured forecasts averages worse than
+    /// `ratio × reference_mse`.
+    pub fn decayed(&self) -> bool {
+        match self.rolling_mse() {
+            Some(mse) => mse > self.ratio * self.reference_mse,
+            None => false,
+        }
+    }
+
+    /// Rebaselines after a rollover: the new model's training MSE
+    /// becomes the reference, and forecasts made by the old model —
+    /// pending and scored alike — are discarded.
+    pub fn reset(&mut self, reference_mse: f64) {
+        self.reference_mse = reference_mse;
+        self.pending.clear();
+        self.errors.clear();
+    }
+
+    /// The forecast horizon in ticks.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[[f64; 2]]) -> Matrix {
+        Matrix::from_row_major(rows.iter().flatten().copied().collect(), 2).unwrap()
+    }
+
+    #[test]
+    fn drift_scores_z_against_fit_baseline() {
+        let x = matrix(&[[0.0, 10.0], [2.0, 12.0], [4.0, 14.0], [6.0, 16.0]]);
+        let monitor = DriftMonitor::fit(&x, 3.0);
+        // In-distribution row: mean is (3, 13), σ ≈ (2.24, 2.24).
+        assert!(!monitor.drifted(&[3.0, 13.0]));
+        assert!(monitor.max_z(&[3.0, 13.0]) < 0.1);
+        // 10σ shift on the first feature only.
+        assert!(monitor.drifted(&[3.0 + 22.4, 13.0]));
+        // NaN warm-up entries are ignored, not drift.
+        assert!(!monitor.drifted(&[f64::NAN, 13.0]));
+    }
+
+    #[test]
+    fn drift_handles_constant_columns() {
+        let x = matrix(&[[5.0, 1.0], [5.0, 2.0], [5.0, 3.0], [5.0, 4.0]]);
+        let monitor = DriftMonitor::fit(&x, 4.0);
+        assert!(!monitor.drifted(&[5.0, 2.5]));
+        // Any movement on a constant column is an enormous finite z.
+        assert!(monitor.drifted(&[5.1, 2.5]));
+        assert!(monitor.max_z(&[5.1, 2.5]).is_finite());
+    }
+
+    #[test]
+    fn decay_waits_for_the_horizon_and_a_full_window() {
+        let mut monitor = DecayMonitor::new(3, 2, 2.0, 0.01);
+        monitor.predicted(0, 0.5);
+        monitor.predicted(1, 0.5);
+        assert!(!monitor.decayed());
+        assert_eq!(monitor.rolling_mse(), None);
+        // Tick 3 matures the forecast made at tick 0.
+        monitor.observe_realized(0, 0.0); // err² = 0.25
+        assert_eq!(monitor.rolling_mse(), None);
+        monitor.observe_realized(1, 0.0); // window full: mse = 0.25
+        assert_eq!(monitor.rolling_mse(), Some(0.25));
+        assert!(monitor.decayed());
+    }
+
+    #[test]
+    fn decay_window_rolls_and_reset_rebaselines() {
+        let mut monitor = DecayMonitor::new(1, 2, 2.0, 1.0);
+        for t in 0..4 {
+            monitor.predicted(t, 10.0);
+        }
+        monitor.observe_realized(0, 10.0);
+        monitor.observe_realized(1, 10.0);
+        assert_eq!(monitor.rolling_mse(), Some(0.0));
+        assert!(!monitor.decayed());
+        // Two bad forecasts push the two perfect ones out of the window.
+        monitor.observe_realized(2, 0.0);
+        monitor.observe_realized(3, 0.0);
+        assert_eq!(monitor.rolling_mse(), Some(100.0));
+        assert!(monitor.decayed());
+
+        monitor.reset(50.0);
+        assert_eq!(monitor.rolling_mse(), None);
+        assert!(!monitor.decayed());
+    }
+
+    #[test]
+    fn stale_pending_forecasts_are_skipped() {
+        let mut monitor = DecayMonitor::new(2, 1, 2.0, 1.0);
+        monitor.predicted(0, 1.0);
+        monitor.predicted(5, 2.0);
+        // Maturity for tick 5 arrives after tick 0 was never scored
+        // (e.g. its realization was skipped); the stale entry must not
+        // be scored against tick 5's realization.
+        monitor.observe_realized(5, 2.0);
+        assert_eq!(monitor.rolling_mse(), Some(0.0));
+    }
+}

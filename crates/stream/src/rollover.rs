@@ -1,0 +1,424 @@
+//! The online rollover controller: refit → persist → hot-swap.
+//!
+//! A rollover answers a monitor trigger (or the scheduled cadence) in
+//! four steps, all on the caller's thread:
+//!
+//! 1. **Refit.** A training matrix is cut from the accumulated feature
+//!    history — rows whose `horizon`-day forward return is already
+//!    observable — and the GBDT is refit. When a previous model exists,
+//!    the fit is warm-started from it ([`GbdtConfig::fit_warm`]): the
+//!    new rounds boost on top of the inherited trees, so the refit pays
+//!    only for the configured `n_estimators`, not for relearning the
+//!    base.
+//! 2. **Persist.** The fitted model is wrapped into a [`ModelArtifact`]
+//!    (via [`c100_core::export::online_gbdt_artifact`]) and saved
+//!    through the [`ArtifactStore`], whose retention knob prunes old
+//!    generations as refits accumulate.
+//! 3. **Reload.** If a live server address is configured, `POST
+//!    /reload` makes the running `c100-serve` instance pick the new
+//!    artifact up; in-flight requests keep their already-resolved
+//!    predictor, so the swap drops nothing.
+//! 4. **Observe.** An [`Event::ModelRolledOver`] is emitted with the
+//!    measured pause (fit start → serving the new model), feeding the
+//!    `model_rollovers_*` metrics.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use c100_core::export::online_gbdt_artifact;
+use c100_core::pipeline::ScenarioSpec;
+use c100_core::profile::Profile;
+use c100_ml::data::Matrix;
+use c100_ml::gbdt::{Gbdt, GbdtConfig};
+use c100_ml::Regressor;
+use c100_obs::{Event, NullObserver, RunObserver, Tracer};
+use c100_store::{ArtifactStore, ModelArtifact};
+use c100_timeseries::AppendFrame;
+
+use crate::client;
+use crate::monitor::DriftMonitor;
+use crate::{Result, StreamError};
+
+/// What caused a rollover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloverTrigger {
+    /// First fit once enough history accumulated.
+    Initial,
+    /// The scheduled refit cadence elapsed.
+    Scheduled,
+    /// The feature distribution drifted from the fit-time baseline.
+    Drift,
+    /// The rolling forecast MSE decayed past the configured ratio.
+    Decay,
+}
+
+impl RolloverTrigger {
+    /// Stable label for metrics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RolloverTrigger::Initial => "initial",
+            RolloverTrigger::Scheduled => "scheduled",
+            RolloverTrigger::Drift => "drift",
+            RolloverTrigger::Decay => "decay",
+        }
+    }
+}
+
+/// The currently-deployed model plus its fit-time baselines.
+pub struct ActiveModel {
+    /// The fitted ensemble used for local forecasts.
+    pub model: Gbdt,
+    /// Content address of the persisted artifact.
+    pub artifact_id: String,
+    /// Drift baseline captured from this model's training matrix.
+    pub drift: DriftMonitor,
+    /// Training MSE — the decay monitor's reference.
+    pub train_mse: f64,
+}
+
+/// What one [`RolloverController::roll`] call did.
+#[derive(Debug, Clone)]
+pub struct RolloverOutcome {
+    /// Content address of the new artifact.
+    pub artifact_id: String,
+    /// Whether the fit warm-started from the previous model.
+    pub warm: bool,
+    /// What fired the rollover.
+    pub trigger: RolloverTrigger,
+    /// Fit start → new model persisted (and live-reloaded, if a server
+    /// is attached).
+    pub pause: Duration,
+    /// Whether a live server was told to reload.
+    pub reloaded: bool,
+    /// Rows in the training matrix.
+    pub train_rows: usize,
+    /// Training MSE of the new model.
+    pub train_mse: f64,
+}
+
+/// Drives refit → persist → reload → observe for one scenario.
+pub struct RolloverController {
+    spec: ScenarioSpec,
+    profile: Profile,
+    config: GbdtConfig,
+    store: ArtifactStore,
+    drift_threshold: f64,
+    reload_addr: Option<String>,
+    observer: Arc<dyn RunObserver>,
+    tracer: Option<Arc<Tracer>>,
+    current: Option<ActiveModel>,
+    rolls: usize,
+}
+
+impl RolloverController {
+    /// A controller persisting into `store`; no live server attached.
+    pub fn new(
+        spec: ScenarioSpec,
+        profile: Profile,
+        config: GbdtConfig,
+        store: ArtifactStore,
+    ) -> RolloverController {
+        RolloverController {
+            spec,
+            profile,
+            config,
+            store,
+            drift_threshold: 8.0,
+            reload_addr: None,
+            observer: Arc::new(NullObserver),
+            tracer: None,
+            current: None,
+            rolls: 0,
+        }
+    }
+
+    /// Attaches a live `c100-serve` address; every successful persist
+    /// is followed by `POST /reload` there.
+    pub fn with_reload_addr(mut self, addr: impl Into<String>) -> RolloverController {
+        self.reload_addr = Some(addr.into());
+        self
+    }
+
+    /// Routes rollover events into `observer` (e.g. a
+    /// [`c100_obs::MetricsRegistry`]).
+    pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> RolloverController {
+        self.observer = observer;
+        self
+    }
+
+    /// Records `stream.refit` / `stream.persist` / `stream.reload`
+    /// spans on `tracer`.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> RolloverController {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Z-score threshold baked into each new model's [`DriftMonitor`].
+    pub fn with_drift_threshold(mut self, z: f64) -> RolloverController {
+        self.drift_threshold = z;
+        self
+    }
+
+    /// The deployed model, once the initial fit happened.
+    pub fn active(&self) -> Option<&ActiveModel> {
+        self.current.as_ref()
+    }
+
+    /// The backing store (for inspection in tests and reports).
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Rollovers performed so far.
+    pub fn rolls(&self) -> usize {
+        self.rolls
+    }
+
+    /// Cuts the training set from the history: rows in
+    /// `[first_complete, len − horizon)` paired with their
+    /// `horizon`-day forward close return.
+    fn training_set(
+        &self,
+        history: &AppendFrame,
+        closes: &[f64],
+        first_complete: usize,
+    ) -> Result<(Matrix, Vec<f64>)> {
+        let horizon = self.spec.window;
+        let n = history.len();
+        if closes.len() != n {
+            return Err(StreamError::Config(format!(
+                "history has {n} rows but {} closes",
+                closes.len()
+            )));
+        }
+        if first_complete + horizon + 2 > n {
+            return Err(StreamError::Config(format!(
+                "not enough matured history to fit: {n} rows, first complete {first_complete}, \
+                 horizon {horizon}"
+            )));
+        }
+        let end = n - horizon;
+        let width = history.names().len();
+        let mut flat = Vec::with_capacity((end - first_complete) * width);
+        let mut y = Vec::with_capacity(end - first_complete);
+        for r in first_complete..end {
+            flat.extend(history.row(r));
+            y.push(closes[r + horizon] / closes[r] - 1.0);
+        }
+        let x = Matrix::from_row_major(flat, width)?;
+        Ok((x, y))
+    }
+
+    /// Refits (warm when possible), persists, reloads the live server,
+    /// and swaps the active model. Returns what happened; on any error
+    /// the previously-active model stays deployed.
+    pub fn roll(
+        &mut self,
+        history: &AppendFrame,
+        closes: &[f64],
+        first_complete: usize,
+        trigger: RolloverTrigger,
+    ) -> Result<RolloverOutcome> {
+        let scenario = self.spec.id();
+        let (x, y) = self.training_set(history, closes, first_complete)?;
+        let started = Instant::now();
+
+        let warm = self.current.is_some();
+        let seed = self
+            .profile
+            .stage_seed(&format!("{scenario}:stream-roll-{}", self.rolls));
+        let model = {
+            let _span = self
+                .tracer
+                .as_deref()
+                .map(|t| t.span(&scenario, "stream.refit"));
+            match &self.current {
+                Some(active) => self.config.fit_warm(&active.model, &x, &y, seed)?,
+                None => self.config.fit(&x, &y, seed)?,
+            }
+        };
+
+        let train_mse = y
+            .iter()
+            .enumerate()
+            .map(|(r, target)| {
+                let err = model.predict_row(x.row(r)) - target;
+                err * err
+            })
+            .sum::<f64>()
+            / y.len() as f64;
+        let drift = DriftMonitor::fit(&x, self.drift_threshold);
+
+        let artifact = self.build_artifact(history, first_complete, model.clone(), x.n_rows());
+        let entry = {
+            let _span = self
+                .tracer
+                .as_deref()
+                .map(|t| t.span(&scenario, "stream.persist"));
+            self.store.save(&artifact)?
+        };
+
+        let reloaded = if let Some(addr) = &self.reload_addr {
+            let _span = self
+                .tracer
+                .as_deref()
+                .map(|t| t.span(&scenario, "stream.reload"));
+            client::post_json_ok(addr, "/reload", "")?;
+            true
+        } else {
+            false
+        };
+
+        let pause = started.elapsed();
+        self.observer.on_event(&Event::ModelRolledOver {
+            scenario: scenario.clone(),
+            model: "gbdt".to_string(),
+            artifact_id: entry.id.clone(),
+            warm,
+            micros: pause.as_micros() as u64,
+        });
+
+        self.current = Some(ActiveModel {
+            model,
+            artifact_id: entry.id.clone(),
+            drift,
+            train_mse,
+        });
+        self.rolls += 1;
+
+        Ok(RolloverOutcome {
+            artifact_id: entry.id,
+            warm,
+            trigger,
+            pause,
+            reloaded,
+            train_rows: y.len(),
+            train_mse,
+        })
+    }
+
+    fn build_artifact(
+        &self,
+        history: &AppendFrame,
+        first_complete: usize,
+        model: Gbdt,
+        train_rows: usize,
+    ) -> ModelArtifact {
+        let end = history.len() - self.spec.window;
+        online_gbdt_artifact(
+            &self.spec,
+            &self.profile,
+            history.names(),
+            &self.config,
+            model,
+            train_rows as u64,
+            &history.date_at(first_complete).to_string(),
+            &history.date_at(end - 1).to_string(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c100_core::scenario::Period;
+    use c100_obs::RecordingObserver;
+    use c100_timeseries::Date;
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("c100_stream_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn history(n: usize) -> (AppendFrame, Vec<f64>) {
+        let start = Date::from_ymd(2019, 1, 1).unwrap();
+        let mut frame = AppendFrame::new(&["f0", "f1"]);
+        let mut closes = Vec::with_capacity(n);
+        for t in 0..n {
+            let a = (t as f64 * 0.21).sin();
+            let b = (t as f64 * 0.08).cos();
+            frame.push_row(start.add_days(t as i32), &[a, b]).unwrap();
+            closes.push(100.0 + 5.0 * a + 2.0 * b + t as f64 * 0.05);
+        }
+        (frame, closes)
+    }
+
+    fn controller(root: &std::path::Path) -> RolloverController {
+        let spec = ScenarioSpec {
+            period: Period::Y2019,
+            window: 7,
+        };
+        let config = GbdtConfig {
+            n_estimators: 8,
+            max_depth: 3,
+            ..Default::default()
+        };
+        let store = ArtifactStore::open(root).unwrap().with_retention(3);
+        RolloverController::new(spec, Profile::fast().with_seed(13), config, store)
+    }
+
+    #[test]
+    fn cold_then_warm_roll_persists_and_swaps() {
+        let root = temp_store("roll");
+        let recorder = Arc::new(RecordingObserver::new());
+        let mut controller =
+            controller(&root).with_observer(recorder.clone() as Arc<dyn RunObserver>);
+        let (frame, closes) = history(120);
+
+        let cold = controller
+            .roll(&frame, &closes, 10, RolloverTrigger::Initial)
+            .unwrap();
+        assert!(!cold.warm);
+        assert!(!cold.reloaded);
+        assert_eq!(cold.train_rows, 120 - 7 - 10);
+        assert!(cold.train_mse.is_finite());
+        assert!(controller.active().is_some());
+
+        let (frame2, closes2) = history(160);
+        let warm = controller
+            .roll(&frame2, &closes2, 10, RolloverTrigger::Scheduled)
+            .unwrap();
+        assert!(warm.warm);
+        assert_ne!(warm.artifact_id, cold.artifact_id);
+        // The warm model embeds the base's 8 trees plus 8 new rounds.
+        assert_eq!(controller.active().unwrap().model.trees.len(), 16);
+        // Latest resolves to the warm artifact.
+        assert_eq!(
+            controller
+                .store()
+                .latest_family("2019_7", "gbdt")
+                .unwrap()
+                .id,
+            warm.artifact_id
+        );
+        // One rollover event per roll, warm flag faithful.
+        let events: Vec<_> = recorder
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::ModelRolledOver { .. }))
+            .collect();
+        assert_eq!(events.len(), 2);
+        if let Event::ModelRolledOver { warm, .. } = &events[0] {
+            assert!(!warm);
+        }
+        if let Event::ModelRolledOver { warm, .. } = &events[1] {
+            assert!(warm);
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn roll_rejects_immature_history() {
+        let root = temp_store("short");
+        let mut controller = controller(&root);
+        let (frame, closes) = history(12);
+        // 12 rows − 7 horizon leaves too little after first_complete 10.
+        assert!(matches!(
+            controller.roll(&frame, &closes, 10, RolloverTrigger::Initial),
+            Err(StreamError::Config(_))
+        ));
+        assert!(controller.active().is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

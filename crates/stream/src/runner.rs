@@ -1,0 +1,492 @@
+//! The driver loop behind `repro stream`: tick → indicators → monitors
+//! → (maybe) rollover, with `stream.*` metrics and spans throughout.
+//!
+//! Per tick, in order:
+//!
+//! 1. pull the next [`BtcTick`](c100_synth::btc::BtcTick) from the
+//!    synth source and fold it into the incremental indicator state;
+//! 2. append the feature row to the [`AppendFrame`] history;
+//! 3. score the matured forecast (made `horizon` ticks ago) into the
+//!    decay monitor;
+//! 4. forecast the current tick locally and — when `--serve` is
+//!    attached — `POST /predict` against the live server, counting any
+//!    failure (the zero-downtime property under hot reload is exactly
+//!    "this counter stays 0");
+//! 5. decide whether to roll: the initial fit once enough matured
+//!    history exists, then scheduled cadence / drift / decay, all
+//!    rate-limited by a minimum gap between rollovers.
+//!
+//! After the loop the accumulated complete feature rows are exported as
+//! `features_stream_<scenario>.csv` next to the artifacts, giving
+//! `repro predict` and CI's parity check a shared input.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use c100_core::pipeline::ScenarioSpec;
+use c100_core::profile::Profile;
+use c100_core::scenario::Period;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::Regressor;
+use c100_obs::json::{write_escaped, write_float};
+use c100_obs::{MetricsRegistry, RunObserver, Tracer};
+use c100_store::ArtifactStore;
+use c100_synth::SynthConfig;
+use c100_timeseries::csv::write_frame_to_path;
+use c100_timeseries::AppendFrame;
+
+use crate::indicators::{StreamIndicators, FEATURE_NAMES};
+use crate::monitor::DecayMonitor;
+use crate::rollover::{RolloverController, RolloverTrigger};
+use crate::source::SynthTickSource;
+use crate::{client, Result, StreamError};
+
+/// Everything `repro stream` can turn with a flag.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Scenario the online models are stamped with; its window is the
+    /// forecast horizon in ticks.
+    pub scenario: ScenarioSpec,
+    /// Seed for the synth market and every fit.
+    pub seed: u64,
+    /// Ticks to stream (clamped to the synth series length).
+    pub ticks: usize,
+    /// Scheduled refit cadence in ticks since the last rollover.
+    pub refit_every: usize,
+    /// Matured training rows required before the initial fit.
+    pub min_train_rows: usize,
+    /// Minimum ticks between rollovers; drift/decay triggers inside
+    /// the gap are ignored so a persistently shifted regime cannot
+    /// refit on every tick.
+    pub min_refit_gap: usize,
+    /// Drift trigger: worst per-feature |z| beyond this fires a refit.
+    pub drift_z: f64,
+    /// Decay trigger: rolling MSE beyond `ratio ×` fit-time MSE.
+    pub decay_ratio: f64,
+    /// Matured forecasts in the rolling-MSE window.
+    pub decay_window: usize,
+    /// SMA exact-recompute resync cadence (ticks).
+    pub resync_every: usize,
+    /// Artifact generations kept per family (0 disables pruning).
+    pub retain: usize,
+    /// Hyper-parameters of every online (re)fit. Deliberately small:
+    /// warm starts stack `n_estimators` new rounds per rollover.
+    pub gbdt: GbdtConfig,
+    /// Artifact store directory (created if missing).
+    pub store_dir: PathBuf,
+    /// Live `c100-serve` address (`host:port`) to `POST /predict` per
+    /// tick and `POST /reload` per rollover.
+    pub serve_addr: Option<String>,
+}
+
+impl StreamConfig {
+    /// Defaults tuned so a few hundred ticks exercise the whole loop:
+    /// initial fit around tick 65, a scheduled refit every 120 ticks.
+    pub fn new(store_dir: impl Into<PathBuf>) -> StreamConfig {
+        StreamConfig {
+            scenario: ScenarioSpec {
+                period: Period::Y2019,
+                window: 7,
+            },
+            seed: 42,
+            ticks: 400,
+            refit_every: 120,
+            min_train_rows: 30,
+            min_refit_gap: 20,
+            drift_z: 8.0,
+            decay_ratio: 4.0,
+            decay_window: 30,
+            resync_every: 64,
+            retain: 8,
+            gbdt: GbdtConfig {
+                n_estimators: 25,
+                learning_rate: 0.1,
+                max_depth: 3,
+                ..Default::default()
+            },
+            store_dir: store_dir.into(),
+            serve_addr: None,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("ticks", self.ticks),
+            ("refit_every", self.refit_every),
+            ("decay_window", self.decay_window),
+            ("resync_every", self.resync_every),
+        ] {
+            if v == 0 {
+                return Err(StreamError::Config(format!("{name} must be >= 1")));
+            }
+        }
+        if self.min_train_rows < 2 {
+            return Err(StreamError::Config("min_train_rows must be >= 2".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Machine-readable summary of one streaming run (CI's smoke gate
+/// parses the JSON form).
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Scenario id the run was stamped with.
+    pub scenario: String,
+    /// Ticks actually streamed.
+    pub ticks: usize,
+    /// Total rollovers (the initial cold fit included).
+    pub rollovers: usize,
+    /// Rollovers that warm-started from the previous artifact.
+    pub warm_rollovers: usize,
+    /// Rollovers fired by the scheduled cadence.
+    pub scheduled_triggers: usize,
+    /// Rollovers fired by the drift monitor.
+    pub drift_triggers: usize,
+    /// Rollovers fired by the decay monitor.
+    pub decay_triggers: usize,
+    /// `POST /predict` calls made against the live server.
+    pub predict_requests: u64,
+    /// Live predicts that failed (non-2xx or transport error).
+    pub predict_failures: u64,
+    /// Content address of the final deployed artifact.
+    pub final_artifact: Option<String>,
+    /// Training MSE of the final deployed model.
+    pub final_train_mse: Option<f64>,
+    /// Wall time of the tick loop.
+    pub elapsed_secs: f64,
+    /// Ticks per second over the loop.
+    pub ticks_per_sec: f64,
+    /// Where the complete feature rows were exported.
+    pub features_csv: Option<PathBuf>,
+}
+
+impl StreamReport {
+    /// Renders the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"scenario\":");
+        write_escaped(&mut out, &self.scenario);
+        out.push_str(&format!(
+            ",\"ticks\":{},\"rollovers\":{},\"warm_rollovers\":{},\"scheduled_triggers\":{},\
+             \"drift_triggers\":{},\"decay_triggers\":{},\"predict_requests\":{},\
+             \"predict_failures\":{}",
+            self.ticks,
+            self.rollovers,
+            self.warm_rollovers,
+            self.scheduled_triggers,
+            self.drift_triggers,
+            self.decay_triggers,
+            self.predict_requests,
+            self.predict_failures
+        ));
+        out.push_str(",\"final_artifact\":");
+        match &self.final_artifact {
+            Some(id) => write_escaped(&mut out, id),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"final_train_mse\":");
+        match self.final_train_mse {
+            Some(mse) => write_float(&mut out, mse),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"elapsed_secs\":");
+        write_float(&mut out, self.elapsed_secs);
+        out.push_str(",\"ticks_per_sec\":");
+        write_float(&mut out, self.ticks_per_sec);
+        out.push_str(",\"features_csv\":");
+        match &self.features_csv {
+            Some(path) => write_escaped(&mut out, &path.display().to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Streams synth ticks through the incremental-indicator / monitor /
+/// rollover loop. `registry` receives `stream.*` metrics and the
+/// rollover events; `tracer` (optional) records per-tick spans.
+pub fn run_stream(
+    config: &StreamConfig,
+    registry: &Arc<MetricsRegistry>,
+    tracer: Option<&Arc<Tracer>>,
+) -> Result<StreamReport> {
+    config.validate()?;
+    let scenario = config.scenario.id();
+    let horizon = config.scenario.window;
+
+    let mut source = SynthTickSource::new(&SynthConfig::small(config.seed));
+    let ticks = config.ticks.min(source.len());
+
+    let mut store = ArtifactStore::open(&config.store_dir)?
+        .with_observer(registry.clone() as Arc<dyn RunObserver>);
+    if config.retain > 0 {
+        store = store.with_retention(config.retain);
+    }
+    let mut controller = RolloverController::new(
+        config.scenario,
+        Profile::fast().with_seed(config.seed),
+        config.gbdt.clone(),
+        store,
+    )
+    .with_observer(registry.clone() as Arc<dyn RunObserver>)
+    .with_drift_threshold(config.drift_z);
+    if let Some(addr) = &config.serve_addr {
+        controller = controller.with_reload_addr(addr);
+    }
+    if let Some(tracer) = tracer {
+        controller = controller.with_tracer(tracer.clone());
+    }
+
+    let mut indicators = StreamIndicators::new(config.resync_every);
+    let mut history = AppendFrame::new(&FEATURE_NAMES);
+    let mut closes: Vec<f64> = Vec::with_capacity(ticks);
+    let mut decay: Option<DecayMonitor> = None;
+    let mut first_complete: Option<usize> = None;
+    let mut last_roll_tick = 0usize;
+
+    let mut warm_rollovers = 0usize;
+    let mut scheduled_triggers = 0usize;
+    let mut drift_triggers = 0usize;
+    let mut decay_triggers = 0usize;
+    let mut predict_requests = 0u64;
+    let mut predict_failures = 0u64;
+    let mut final_train_mse = None;
+
+    let started = Instant::now();
+    for t in 0..ticks {
+        let _tick_span = tracer.map(|tr| tr.span(&scenario, "stream.tick"));
+        let tick = source
+            .next_tick()
+            .expect("tick count was clamped to the source length");
+        let features = indicators.update(tick.high, tick.low, tick.close, tick.volume);
+        history.push_row(tick.date, &features)?;
+        closes.push(tick.close);
+        registry.inc("stream.ticks_total");
+
+        let complete = features.iter().all(|v| v.is_finite());
+        if first_complete.is_none() && complete {
+            first_complete = Some(t);
+        }
+
+        // Score the forecast that matured this tick.
+        if let Some(decay) = &mut decay {
+            if t >= horizon {
+                let realized = closes[t] / closes[t - horizon] - 1.0;
+                decay.observe_realized(t - horizon, realized);
+            }
+        }
+
+        // Forecast the current tick, locally and against the live
+        // server. Requests keep flowing while rollovers happen — the
+        // failure counter staying at zero is the zero-downtime check.
+        if complete {
+            if let Some(active) = controller.active() {
+                let forecast = {
+                    let _span = tracer.map(|tr| tr.span(&scenario, "stream.predict"));
+                    active.model.predict_row(&features)
+                };
+                registry.inc("stream.forecasts_total");
+                if let Some(decay) = &mut decay {
+                    decay.predicted(t, forecast);
+                }
+                if let Some(addr) = &config.serve_addr {
+                    predict_requests += 1;
+                    let ok = match client::post_json(
+                        addr,
+                        "/predict",
+                        &predict_body(&scenario, &features),
+                    ) {
+                        Ok(reply) => reply.is_success(),
+                        Err(_) => false,
+                    };
+                    if ok {
+                        registry.inc("stream.serve_predicts_total");
+                    } else {
+                        predict_failures += 1;
+                        registry.inc("stream.serve_predict_failures_total");
+                    }
+                }
+            }
+        }
+
+        // Decide whether to roll.
+        let trigger = if controller.active().is_none() {
+            match first_complete {
+                Some(fc) if (t + 1).saturating_sub(fc + horizon) >= config.min_train_rows => {
+                    Some(RolloverTrigger::Initial)
+                }
+                _ => None,
+            }
+        } else if t - last_roll_tick >= config.min_refit_gap {
+            if t - last_roll_tick >= config.refit_every {
+                Some(RolloverTrigger::Scheduled)
+            } else if complete
+                && controller
+                    .active()
+                    .map(|a| a.drift.drifted(&features))
+                    .unwrap_or(false)
+            {
+                Some(RolloverTrigger::Drift)
+            } else if decay.as_ref().map(DecayMonitor::decayed).unwrap_or(false) {
+                Some(RolloverTrigger::Decay)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        if let Some(trigger) = trigger {
+            let fc = first_complete.expect("a trigger requires complete history");
+            let outcome = controller.roll(&history, &closes, fc, trigger)?;
+            registry.inc(&format!("stream.rollovers.{}", trigger.label()));
+            match trigger {
+                RolloverTrigger::Initial => {}
+                RolloverTrigger::Scheduled => scheduled_triggers += 1,
+                RolloverTrigger::Drift => drift_triggers += 1,
+                RolloverTrigger::Decay => decay_triggers += 1,
+            }
+            if outcome.warm {
+                warm_rollovers += 1;
+            }
+            final_train_mse = Some(outcome.train_mse);
+            decay = Some(DecayMonitor::new(
+                horizon,
+                config.decay_window,
+                config.decay_ratio,
+                outcome.train_mse,
+            ));
+            last_roll_tick = t;
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // Export the complete feature rows for `repro predict` and CI's
+    // served-vs-CLI parity check.
+    let features_csv = match first_complete {
+        Some(fc) if fc < history.len() => {
+            let frame = history.slice_frame(fc, history.len())?;
+            let path = config
+                .store_dir
+                .join(format!("features_stream_{scenario}.csv"));
+            write_frame_to_path(&frame, &path)?;
+            Some(path)
+        }
+        _ => None,
+    };
+
+    let elapsed_secs = elapsed.as_secs_f64();
+    Ok(StreamReport {
+        scenario,
+        ticks,
+        rollovers: controller.rolls(),
+        warm_rollovers,
+        scheduled_triggers,
+        drift_triggers,
+        decay_triggers,
+        predict_requests,
+        predict_failures,
+        final_artifact: controller.active().map(|a| a.artifact_id.clone()),
+        final_train_mse,
+        elapsed_secs,
+        ticks_per_sec: ticks as f64 / elapsed_secs.max(1e-9),
+        features_csv,
+    })
+}
+
+/// One-row `/predict` body; floats render through `Display`, which the
+/// server echoes back, keeping served output diffable against the CLI.
+fn predict_body(scenario: &str, row: &[f64]) -> String {
+    let mut body = String::with_capacity(160);
+    body.push_str("{\"scenario\":");
+    write_escaped(&mut body, scenario);
+    body.push_str(",\"model\":\"gbdt\",\"rows\":[[");
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("{v}"));
+    }
+    body.push_str("]]}");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("c100_runner_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn loop_fits_rolls_and_exports_features() {
+        let dir = temp_dir("loop");
+        let mut config = StreamConfig::new(&dir);
+        config.seed = 7;
+        config.ticks = 140;
+        config.refit_every = 40;
+        config.min_train_rows = 30;
+        config.gbdt.n_estimators = 8;
+        let registry = Arc::new(MetricsRegistry::new());
+
+        let report = run_stream(&config, &registry, None).unwrap();
+        assert_eq!(report.ticks, 140);
+        // Initial fit near tick 65, scheduled refits at +40 cadence.
+        assert!(report.rollovers >= 2, "rollovers: {}", report.rollovers);
+        assert!(report.warm_rollovers >= 1);
+        assert_eq!(report.rollovers, 1 + report.warm_rollovers);
+        assert_eq!(report.predict_requests, 0, "no server attached");
+        let final_id = report.final_artifact.clone().unwrap();
+
+        // The final artifact is resolvable and carries the stream schema.
+        let store = ArtifactStore::open(&dir).unwrap();
+        let latest = store.latest_family("2019_7", "gbdt").unwrap().clone();
+        assert_eq!(latest.id, final_id);
+        let artifact = store.load(&final_id).unwrap();
+        assert_eq!(artifact.features, FEATURE_NAMES);
+
+        // Feature CSV exists, starts at the first complete row (29),
+        // and parses back with the stream schema.
+        let csv = report.features_csv.clone().unwrap();
+        let frame = c100_timeseries::csv::read_frame_from_path(&csv).unwrap();
+        assert_eq!(frame.len(), 140 - 29);
+        for name in FEATURE_NAMES {
+            assert!(frame.column(name).is_some(), "missing column {name}");
+        }
+
+        // Metrics counters moved.
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["stream.ticks_total"], 140);
+        assert_eq!(
+            snapshot.counters["model_rollovers_total"] as usize,
+            report.rollovers
+        );
+
+        // The JSON report round-trips through the obs parser.
+        let parsed = c100_obs::json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            parsed.req_uint("rollovers").unwrap() as usize,
+            report.rollovers
+        );
+        assert_eq!(parsed.req_str("scenario").unwrap(), "2019_7");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_ticks_config_is_rejected() {
+        let mut config = StreamConfig::new(std::env::temp_dir());
+        config.ticks = 0;
+        let registry = Arc::new(MetricsRegistry::new());
+        assert!(matches!(
+            run_stream(&config, &registry, None),
+            Err(StreamError::Config(_))
+        ));
+    }
+}

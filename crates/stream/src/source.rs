@@ -1,0 +1,100 @@
+//! Tick source: replays the synthetic BTC market one day at a time.
+//!
+//! The batch pipeline hands the whole [`BtcMarket`] to downstream
+//! stages at once; a stream consumer must not see day `t + 1` before it
+//! has finished processing day `t`. [`SynthTickSource`] enforces that
+//! by construction — it owns the simulated market and deals out
+//! [`BtcTick`]s in index order, so the driver loop physically cannot
+//! peek ahead.
+
+use c100_synth::btc::{simulate_btc, BtcMarket, BtcTick};
+use c100_synth::latent::simulate;
+use c100_synth::SynthConfig;
+
+/// Replays a simulated BTC market tick-by-tick.
+pub struct SynthTickSource {
+    market: BtcMarket,
+    next: usize,
+}
+
+impl SynthTickSource {
+    /// Simulates the market for `config` and positions the cursor at
+    /// day 0. Only the latent paths and the BTC derivation run — not
+    /// the full multi-asset universe — so construction is cheap enough
+    /// for benches and tests.
+    pub fn new(config: &SynthConfig) -> SynthTickSource {
+        let latents = simulate(config);
+        let market = simulate_btc(config, &latents);
+        SynthTickSource { market, next: 0 }
+    }
+
+    /// Total observed days the source can emit.
+    pub fn len(&self) -> usize {
+        self.market.n_days()
+    }
+
+    /// True when the source holds no days at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Days not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.len() - self.next
+    }
+
+    /// The underlying market (for batch-parity checks in tests).
+    pub fn market(&self) -> &BtcMarket {
+        &self.market
+    }
+
+    /// Emits the next observed day, or `None` once the series is
+    /// exhausted.
+    pub fn next_tick(&mut self) -> Option<BtcTick> {
+        if self.next >= self.market.n_days() {
+            return None;
+        }
+        let tick = self.market.tick(self.next);
+        self.next += 1;
+        Some(tick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_every_day_in_order_then_none() {
+        let config = SynthConfig::small(5);
+        let mut source = SynthTickSource::new(&config);
+        let n = source.len();
+        assert_eq!(n, config.n_days());
+        let mut prev_date = None;
+        let mut count = 0;
+        while let Some(tick) = source.next_tick() {
+            if let Some(prev) = prev_date {
+                assert_eq!(tick.date, source.market().start.add_days(count as i32));
+                assert!(tick.date > prev);
+            }
+            prev_date = Some(tick.date);
+            count += 1;
+        }
+        assert_eq!(count, n);
+        assert_eq!(source.remaining(), 0);
+        assert!(source.next_tick().is_none());
+    }
+
+    #[test]
+    fn ticks_match_the_market_series() {
+        let config = SynthConfig::small(6);
+        let mut source = SynthTickSource::new(&config);
+        for t in 0..10 {
+            let tick = source.next_tick().unwrap();
+            assert_eq!(tick.close.to_bits(), source.market().close[t].to_bits());
+            assert_eq!(tick.high.to_bits(), source.market().high[t].to_bits());
+            assert_eq!(tick.low.to_bits(), source.market().low[t].to_bits());
+            assert_eq!(tick.volume.to_bits(), source.market().volume[t].to_bits());
+        }
+    }
+}

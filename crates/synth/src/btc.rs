@@ -63,6 +63,47 @@ pub struct BtcMarket {
     pub low_extended: Vec<f64>,
 }
 
+/// One observed BTC day, as a streaming source would emit it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BtcTick {
+    /// The day this tick covers.
+    pub date: Date,
+    /// Daily high.
+    pub high: f64,
+    /// Daily low.
+    pub low: f64,
+    /// Daily close.
+    pub close: f64,
+    /// Daily traded dollar volume.
+    pub volume: f64,
+}
+
+impl BtcMarket {
+    /// Number of observed days.
+    pub fn n_days(&self) -> usize {
+        self.close.len()
+    }
+
+    /// Date of observed day `t`.
+    pub fn date_at(&self, t: usize) -> Date {
+        assert!(t < self.n_days(), "day {t} out of bounds");
+        self.start.add_days(t as i32)
+    }
+
+    /// Observed day `t` flattened into a [`BtcTick`] — the replay unit
+    /// a streaming ingester consumes one at a time.
+    pub fn tick(&self, t: usize) -> BtcTick {
+        assert!(t < self.n_days(), "day {t} out of bounds");
+        BtcTick {
+            date: self.date_at(t),
+            high: self.high[t],
+            low: self.low[t],
+            close: self.close[t],
+            volume: self.volume[t],
+        }
+    }
+}
+
 /// Derives the BTC market series from the simulated latent paths.
 pub fn simulate_btc(config: &SynthConfig, latents: &LatentPaths) -> BtcMarket {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93));

@@ -1,0 +1,188 @@
+//! Append-oriented frame for streaming ingestion.
+//!
+//! [`Frame`] is built whole: its daily index is fixed at construction and
+//! columns must arrive at full length. A tick stream works the other way
+//! around — the schema is fixed up front and *rows* arrive one per day.
+//! [`AppendFrame`] holds that shape: `push_row` appends one dated row in
+//! O(width), enforcing the same strictly-daily gap-free index every
+//! `Frame` carries, and [`AppendFrame::to_frame`] converts the
+//! accumulated history into an ordinary `Frame` whenever a batch
+//! consumer (CSV export, a design matrix, a predictor) needs one.
+
+use crate::date::Date;
+use crate::frame::Frame;
+use crate::series::Series;
+use crate::{Result, TsError};
+
+/// A fixed-schema frame that grows one dated row at a time.
+#[derive(Debug, Clone)]
+pub struct AppendFrame {
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+    start: Option<Date>,
+}
+
+impl AppendFrame {
+    /// An empty frame over the given column schema.
+    ///
+    /// # Panics
+    /// Panics if `names` is empty or contains a duplicate — a streaming
+    /// schema is fixed code, not data, so a bad one is a bug.
+    pub fn new(names: &[impl AsRef<str>]) -> AppendFrame {
+        assert!(!names.is_empty(), "append frame needs at least one column");
+        let names: Vec<String> = names.iter().map(|n| n.as_ref().to_string()).collect();
+        for (i, name) in names.iter().enumerate() {
+            assert!(!names[..i].contains(name), "duplicate column name {name:?}");
+        }
+        let columns = vec![Vec::new(); names.len()];
+        AppendFrame {
+            names,
+            columns,
+            start: None,
+        }
+    }
+
+    /// Appends one row. The first row fixes the index start; every later
+    /// row must be dated exactly one day after the previous row.
+    pub fn push_row(&mut self, date: Date, values: &[f64]) -> Result<()> {
+        if values.len() != self.names.len() {
+            return Err(TsError::LengthMismatch {
+                expected: self.names.len(),
+                actual: values.len(),
+            });
+        }
+        match self.start {
+            None => self.start = Some(date),
+            Some(start) => {
+                let expected = start.add_days(self.len() as i32);
+                if date != expected {
+                    return Err(TsError::BadRange(format!(
+                        "row dated {date}, expected {expected} (strictly daily index)"
+                    )));
+                }
+            }
+        }
+        for (column, &v) in self.columns.iter_mut().zip(values) {
+            column.push(v);
+        }
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.columns[0].len()
+    }
+
+    /// True before the first row arrives.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column schema, in declaration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Date of the first row, once one exists.
+    pub fn start(&self) -> Option<Date> {
+        self.start
+    }
+
+    /// Date of row `row` (must be `< len`).
+    pub fn date_at(&self, row: usize) -> Date {
+        assert!(row < self.len(), "row {row} out of bounds");
+        self.start.expect("non-empty").add_days(row as i32)
+    }
+
+    /// The accumulated samples of a column.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(&self.columns[idx])
+    }
+
+    /// One row as a freshly collected vector (column order = schema order).
+    pub fn row(&self, row: usize) -> Vec<f64> {
+        assert!(row < self.len(), "row {row} out of bounds");
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// The whole history as an ordinary [`Frame`].
+    pub fn to_frame(&self) -> Result<Frame> {
+        self.slice_frame(0, self.len())
+    }
+
+    /// Rows `[from, to)` as an ordinary [`Frame`].
+    pub fn slice_frame(&self, from: usize, to: usize) -> Result<Frame> {
+        if from >= to || to > self.len() {
+            return Err(TsError::BadRange(format!(
+                "slice [{from}, {to}) of {} rows",
+                self.len()
+            )));
+        }
+        let start = self.start.expect("non-empty").add_days(from as i32);
+        let mut frame = Frame::with_daily_index(start, to - from);
+        for (name, column) in self.names.iter().zip(&self.columns) {
+            frame.push_column(Series::new(name.clone(), column[from..to].to_vec()))?;
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(n: i32) -> Date {
+        Date::from_ymd(2020, 1, 1).unwrap().add_days(n)
+    }
+
+    #[test]
+    fn rows_accumulate_into_a_frame() {
+        let mut af = AppendFrame::new(&["a", "b"]);
+        assert!(af.is_empty());
+        for t in 0..5 {
+            af.push_row(day(t), &[t as f64, t as f64 * 10.0]).unwrap();
+        }
+        assert_eq!(af.len(), 5);
+        assert_eq!(af.date_at(3), day(3));
+        assert_eq!(af.column("b").unwrap()[4], 40.0);
+        assert_eq!(af.row(2), vec![2.0, 20.0]);
+
+        let frame = af.to_frame().unwrap();
+        assert_eq!(frame.len(), 5);
+        assert_eq!(frame.start(), day(0));
+        assert_eq!(
+            frame.column("a").unwrap().values(),
+            &[0.0, 1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn rejects_gaps_and_width_mismatch() {
+        let mut af = AppendFrame::new(&["a"]);
+        af.push_row(day(0), &[1.0]).unwrap();
+        assert!(af.push_row(day(2), &[2.0]).is_err(), "gap must be rejected");
+        assert!(af.push_row(day(1), &[2.0, 3.0]).is_err(), "width mismatch");
+        af.push_row(day(1), &[2.0]).unwrap();
+        assert_eq!(af.len(), 2);
+    }
+
+    #[test]
+    fn slice_frame_windows_the_history() {
+        let mut af = AppendFrame::new(&["x"]);
+        for t in 0..10 {
+            af.push_row(day(t), &[t as f64]).unwrap();
+        }
+        let tail = af.slice_frame(6, 10).unwrap();
+        assert_eq!(tail.start(), day(6));
+        assert_eq!(tail.column("x").unwrap().values(), &[6.0, 7.0, 8.0, 9.0]);
+        assert!(af.slice_frame(5, 5).is_err());
+        assert!(af.slice_frame(5, 11).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_schema_panics() {
+        AppendFrame::new(&["a", "a"]);
+    }
+}

@@ -12,6 +12,8 @@
 //!   encoded as `NaN`.
 //! * [`Frame`] — a date-indexed collection of columns with alignment,
 //!   selection and range-slicing operations.
+//! * [`AppendFrame`] — a fixed-schema frame that grows one dated row at
+//!   a time, for streaming ingestion.
 //! * [`missing`] — interpolation and fill strategies used during the
 //!   paper's preprocessing phase.
 //! * [`clean`] — duplicate removal and flat/missing-heavy feature pruning
@@ -39,6 +41,7 @@
 //! assert_eq!(frame.column("price").unwrap().values()[2], 3.0);
 //! ```
 
+pub mod append;
 pub mod clean;
 pub mod csv;
 pub mod date;
@@ -49,6 +52,7 @@ pub mod split;
 pub mod stats;
 pub mod transform;
 
+pub use append::AppendFrame;
 pub use date::Date;
 pub use frame::Frame;
 pub use series::Series;
