@@ -1,0 +1,223 @@
+//! Telemetry hot-path overhead: the sharded lock-free metric handles
+//! vs the pre-telemetry-plane design (one global `Mutex<BTreeMap>` per
+//! metric kind, a by-name lookup per operation).
+//!
+//! The mutex baseline is replicated locally — byte-for-byte what the
+//! registry used to do on `inc`/`observe_micros` — so the comparison
+//! survives the old implementation's removal. Counter increments and
+//! histogram observes are measured at 1 and 8 threads; medians land in
+//! `results/BENCH_obs.json` so CI can smoke-gate the overhead without
+//! re-running Criterion.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use c100_obs::MetricsRegistry;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Operations per measured run, split evenly across the threads.
+const OPS: usize = 400_000;
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// The pre-PR8 decade bucket bounds, for the baseline's histograms.
+const DECADE_BOUNDS: [u64; 8] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+struct MutexHist {
+    count: u64,
+    sum: u64,
+    buckets: [u64; DECADE_BOUNDS.len() + 1],
+}
+
+/// What the metrics registry used to be: every operation takes one
+/// global lock per metric kind and walks a by-name map.
+#[derive(Default)]
+struct MutexRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, MutexHist>>,
+}
+
+impl MutexRegistry {
+    fn inc(&self, name: &str) {
+        let mut counters = self.counters.lock().unwrap();
+        *counters.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    fn observe_micros(&self, name: &str, micros: u64) {
+        let mut histograms = self.histograms.lock().unwrap();
+        let hist = histograms.entry(name.to_string()).or_insert(MutexHist {
+            count: 0,
+            sum: 0,
+            buckets: [0; DECADE_BOUNDS.len() + 1],
+        });
+        hist.count += 1;
+        hist.sum = hist.sum.saturating_add(micros);
+        let idx = DECADE_BOUNDS
+            .iter()
+            .position(|&le| micros <= le)
+            .unwrap_or(DECADE_BOUNDS.len());
+        hist.buckets[idx] += 1;
+    }
+}
+
+/// Median of five wall-clock timings of `run`, in nanoseconds per op.
+fn median_ns_per_op(ops: usize, mut run: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[2] * 1e9 / ops as f64
+}
+
+/// Runs `op(thread_index, op_index)` `OPS` times split across `threads`.
+fn spread(threads: usize, op: impl Fn(usize, usize) + Sync) {
+    let per_thread = OPS / threads;
+    if threads == 1 {
+        for i in 0..per_thread {
+            op(0, i);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let op = &op;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    op(t, i);
+                }
+            });
+        }
+    });
+}
+
+struct Row {
+    op: &'static str,
+    threads: usize,
+    mutex_ns: f64,
+    sharded_ns: f64,
+}
+
+fn measure() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        // Counter increments.
+        let mutex_reg = MutexRegistry::default();
+        let mutex_ns = median_ns_per_op(OPS, || {
+            spread(threads, |_, _| mutex_reg.inc("bench.counter"));
+        });
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("bench.counter");
+        let sharded_ns = median_ns_per_op(OPS, || {
+            spread(threads, |_, _| counter.inc());
+        });
+        rows.push(Row {
+            op: "counter_inc",
+            threads,
+            mutex_ns,
+            sharded_ns,
+        });
+
+        // Histogram observes with a spread of magnitudes, so both paths
+        // exercise their bucket search rather than one hot branch.
+        let mutex_reg = MutexRegistry::default();
+        let mutex_ns = median_ns_per_op(OPS, || {
+            spread(threads, |_, i| {
+                mutex_reg.observe_micros("bench.hist", (i as u64 % 20) * 37 + 1);
+            });
+        });
+        let registry = Arc::new(MetricsRegistry::new());
+        let hist = registry.histogram("bench.hist");
+        let sharded_ns = median_ns_per_op(OPS, || {
+            spread(threads, |_, i| {
+                hist.observe_micros((i as u64 % 20) * 37 + 1);
+            });
+        });
+        rows.push(Row {
+            op: "histogram_observe",
+            threads,
+            mutex_ns,
+            sharded_ns,
+        });
+    }
+    rows
+}
+
+fn record(rows: &[Row]) {
+    let mut out = String::from("{\"bench\":\"obs_overhead\",\"ops\":");
+    out.push_str(&OPS.to_string());
+    out.push_str(",\"results\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"op\":\"{}\",\"threads\":{},\"mutex_ns_per_op\":{:.1},\
+             \"sharded_ns_per_op\":{:.1},\"speedup\":{:.2}}}",
+            row.op,
+            row.threads,
+            row.mutex_ns,
+            row.sharded_ns,
+            row.mutex_ns / row.sharded_ns.max(1e-9)
+        ));
+    }
+    out.push_str("]}\n");
+
+    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
+    let path = results_dir.join("BENCH_obs.json");
+    std::fs::write(&path, out).expect("write BENCH_obs.json");
+    eprintln!("recorded telemetry overhead -> {}", path.display());
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let rows = measure();
+    for row in &rows {
+        eprintln!(
+            "{} x{}: mutex {:.0} ns/op, sharded {:.0} ns/op ({:.1}x)",
+            row.op,
+            row.threads,
+            row.mutex_ns,
+            row.sharded_ns,
+            row.mutex_ns / row.sharded_ns.max(1e-9)
+        );
+    }
+    record(&rows);
+
+    // Criterion single-op views of the same paths (per-call cost).
+    let registry = Arc::new(MetricsRegistry::new());
+    let counter = registry.counter("bench.counter");
+    let hist = registry.histogram("bench.hist");
+    let mutex_reg = MutexRegistry::default();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("counter_inc_sharded", |b| b.iter(|| counter.inc()));
+    group.bench_function("counter_inc_mutex", |b| {
+        b.iter(|| mutex_reg.inc("bench.counter"))
+    });
+    group.bench_function("histogram_observe_sharded", |b| {
+        b.iter(|| hist.observe_micros(black_box(1234)))
+    });
+    group.bench_function("histogram_observe_mutex", |b| {
+        b.iter(|| mutex_reg.observe_micros("bench.hist", black_box(1234)))
+    });
+    // The facade's by-name path (read-lock + map walk) for contrast.
+    group.bench_function("counter_inc_by_name", |b| {
+        b.iter(|| registry.inc("bench.counter"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

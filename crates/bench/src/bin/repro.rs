@@ -27,12 +27,13 @@
 //! repro serve --store DIR --addr 127.0.0.1:PORT [--workers N]
 //!             [--queue-depth N] [--max-batch N] [--max-wait-ms N]
 //!             [--engine interpreted|compiled] [--trace PATH]
+//!             [--flight PATH]
 //!
 //! repro stream --store DIR [--ticks N] [--seed N] [--scenario ID]
 //!              [--refit-every N] [--min-train N] [--min-refit-gap N]
 //!              [--drift-z Z] [--decay-ratio R] [--decay-window N]
 //!              [--resync-every N] [--retain N] [--serve ADDR]
-//!              [--out DIR] [--trace PATH] [--quiet]
+//!              [--out DIR] [--trace PATH] [--flight PATH] [--quiet]
 //!
 //! repro compare BASELINE_DIR CURRENT_DIR [--fail-over-pct N]
 //! ```
@@ -65,9 +66,15 @@
 //! the latest matching artifact and forecasts without any refitting.
 //!
 //! `repro serve` keeps such a store resident behind an HTTP/1.1
-//! endpoint (`GET /healthz|/models|/metrics`, `POST
+//! endpoint (`GET /healthz|/models|/metrics|/debug/flight`, `POST
 //! /predict|/reload|/shutdown`) with a bounded queue, micro-batching,
 //! and load shedding; see `crates/serve/README.md` for the design.
+//!
+//! `--flight PATH` (serve and stream) dumps the always-on flight
+//! recorder — a bounded ring of the most recent request / rollover /
+//! batch-flush records — to PATH on clean shutdown *and* from a panic
+//! hook, so a crashed run leaves a post-mortem behind. The server also
+//! exposes the live ring at `GET /debug/flight` regardless of the flag.
 //!
 //! `repro stream` replays the synthetic market tick-by-tick through the
 //! `c100-stream` loop: O(1) incremental indicators, drift/decay
@@ -94,8 +101,8 @@ use c100_core::report::{metrics_table, pct, ratio, sparkline, TextTable};
 use c100_core::scenario::Period;
 use c100_ml::tree::SplitMethod;
 use c100_obs::{
-    compare, Fanout, JsonlObserver, MetricsRegistry, MetricsSnapshot, ProfileReport, RunData,
-    RunObserver, StderrObserver, TraceCtx, Tracer,
+    compare, install_panic_dump, Fanout, FlightRecorder, JsonlObserver, MetricsRegistry,
+    MetricsSnapshot, ProfileReport, RunData, RunObserver, StderrObserver, TraceCtx, Tracer,
 };
 use c100_serve::{ServeConfig, Server};
 use c100_store::{ArtifactStore, BatchPredictor, Engine};
@@ -521,6 +528,7 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut max_wait_ms = 5u64;
     let mut engine = Engine::default();
     let mut trace = None;
+    let mut flight = None;
     fn parse_usize(flag: &str, value: Option<String>) -> Result<usize, String> {
         let v = value.ok_or(format!("{flag} needs a value"))?;
         v.parse().map_err(|_| format!("bad {flag} value {v}"))
@@ -544,6 +552,9 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--trace" => {
                 trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
             }
+            "--flight" => {
+                flight = Some(PathBuf::from(args.next().ok_or("--flight needs a value")?));
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -555,22 +566,31 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     config.max_batch = max_batch;
     config.max_wait = std::time::Duration::from_millis(max_wait_ms);
     config.engine = engine;
+    config.flight_path = flight.clone();
 
     let registry = Arc::new(MetricsRegistry::new());
     let tracer = trace.as_ref().map(|_| Arc::new(Tracer::new()));
     let handle =
         Server::start(config, registry.clone(), tracer.clone()).map_err(|e| e.to_string())?;
+    if let Some(path) = &flight {
+        // A handler panic is caught per-request, but a crash anywhere
+        // else still leaves the recent-request ring behind.
+        install_panic_dump(handle.flight(), path.clone());
+    }
     println!(
         "# serving {} on http://{}",
         store_dir.display(),
         handle.local_addr()
     );
-    println!("#   GET  /healthz /models /metrics");
+    println!("#   GET  /healthz /models /metrics /debug/flight");
     println!("#   POST /predict /reload /shutdown");
     handle.wait();
 
     println!("# server drained and stopped");
     print!("{}", metrics_table(&registry.snapshot()));
+    if let Some(path) = &flight {
+        println!("# flight recorder -> {}", path.display());
+    }
     if let (Some(tracer), Some(trace_path)) = (&tracer, &trace) {
         std::fs::write(trace_path, tracer.chrome_trace_json()).map_err(|e| e.to_string())?;
         println!("# {} spans -> {}", tracer.len(), trace_path.display());
@@ -595,6 +615,7 @@ fn run_stream_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> 
     let mut scenario: Option<String> = None;
     let mut out = PathBuf::from("results");
     let mut trace: Option<PathBuf> = None;
+    let mut flight_path: Option<PathBuf> = None;
     let mut quiet = false;
     // Placeholder root; the real one is required below.
     let mut config = StreamConfig::new(std::env::temp_dir());
@@ -621,6 +642,9 @@ fn run_stream_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> 
             "--trace" => {
                 trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
             }
+            "--flight" => {
+                flight_path = Some(PathBuf::from(args.next().ok_or("--flight needs a value")?));
+            }
             "--quiet" => quiet = true,
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -646,7 +670,21 @@ fn run_stream_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> 
 
     let registry = Arc::new(MetricsRegistry::new());
     let tracer = trace.as_ref().map(|_| Arc::new(Tracer::new()));
-    let report = run_stream(&config, &registry, tracer.as_ref()).map_err(|e| e.to_string())?;
+    let flight = flight_path.as_ref().map(|path| {
+        let recorder = Arc::new(FlightRecorder::new());
+        // The loop is single-process: a panic mid-stream still dumps
+        // the rollover/predict records leading up to it.
+        install_panic_dump(recorder.clone(), path.clone());
+        recorder
+    });
+    let report = run_stream(&config, &registry, tracer.as_ref(), flight.as_deref())
+        .map_err(|e| e.to_string())?;
+    if let (Some(flight), Some(path)) = (&flight, &flight_path) {
+        flight.dump_to_file(path).map_err(|e| e.to_string())?;
+        if !quiet {
+            println!("# flight recorder -> {}", path.display());
+        }
+    }
 
     let report_path = out.join("stream_report.json");
     std::fs::write(&report_path, report.to_json()).map_err(|e| e.to_string())?;

@@ -295,7 +295,28 @@ fn saturating_burst_sheds_503_and_counts_them() {
     assert!(metrics_body.contains("http_requests_total"));
     assert!(metrics_body.contains("serve_request_micros_predict_bucket{le=\"+Inf\"}"));
     assert!(metrics_body.contains("serve_queue_depth"));
+    // The latency split is live: queue-wait and per-endpoint handler
+    // histograms recorded, and nothing is in flight anymore.
+    assert!(metrics_body.contains("serve_queue_wait_micros_count"));
+    assert!(metrics_body.contains("serve_handler_micros_predict_count"));
+    // The scrape holds its own in-flight guard while snapshotting, so
+    // with the burst drained the gauge reads exactly 1 (this request).
+    assert!(
+        metrics_body.contains("serve_inflight_requests 1"),
+        "in-flight gauge leaked\n{metrics_body}"
+    );
     assert_eq!(status_of(&http(addr, "GET", "/healthz", None)), 200);
+
+    // The flight recorder kept the sheds alongside the served requests.
+    let flight = http(addr, "GET", "/debug/flight", None);
+    assert_eq!(status_of(&flight), 200);
+    let flight_body = body_of(&flight);
+    let shed_records = flight_body.matches("\"kind\": \"shed\"").count();
+    assert!(
+        shed_records >= 1 && shed_records <= sheds,
+        "flight sheds {shed_records} vs client 503s {sheds}"
+    );
+    assert!(flight_body.contains("\"kind\": \"request\""));
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
@@ -411,14 +432,17 @@ fn reload_picks_up_new_artifacts_without_dropping_inflight_requests() {
 }
 
 /// `POST /shutdown` drains gracefully: the waiting thread unblocks,
-/// every thread joins, and a second server can rebind the port.
+/// every thread joins, a second server can rebind the port, and the
+/// configured flight path holds the post-mortem dump.
 #[test]
 fn post_shutdown_drains_and_releases_the_port() {
     let dir = temp_dir("shutdown");
     let artifact = quick_artifact("2019_7", "2019", 7, 19);
     ArtifactStore::open(&dir).unwrap().save(&artifact).unwrap();
 
-    let config = ServeConfig::new(&dir, "127.0.0.1:0");
+    let flight_path = dir.join("flight.json");
+    let mut config = ServeConfig::new(&dir, "127.0.0.1:0");
+    config.flight_path = Some(flight_path.clone());
     let server = Server::start(config, Arc::new(MetricsRegistry::new()), None).unwrap();
     let addr = server.local_addr();
     let waiter = std::thread::spawn(move || server.wait());
@@ -431,6 +455,14 @@ fn post_shutdown_drains_and_releases_the_port() {
     // The port is free again.
     let rebound = std::net::TcpListener::bind(addr);
     assert!(rebound.is_ok(), "port still held after shutdown");
+
+    // The drain wrote the flight recorder next to the store: the
+    // healthz request and the shutdown marker are both in the dump.
+    let dump = std::fs::read_to_string(&flight_path).expect("flight.json written on shutdown");
+    let parsed = c100_obs::json::parse(&dump).expect("flight.json parses");
+    assert!(parsed.req_uint("recorded").unwrap() >= 2);
+    assert!(dump.contains("\"kind\": \"shutdown\""));
+    assert!(dump.contains("healthz 200"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -11,7 +11,7 @@ use c100_indicators::momentum::rsi;
 use c100_indicators::moving::{ema, sma};
 use c100_indicators::volatility::atr;
 use c100_indicators::SMA_RESYNC_TOLERANCE;
-use c100_obs::MetricsRegistry;
+use c100_obs::{json, FlightRecorder, MetricsRegistry};
 use c100_serve::{ServeConfig, Server};
 use c100_stream::{client, run_stream, StreamConfig, SynthTickSource, FEATURE_NAMES};
 use c100_synth::SynthConfig;
@@ -53,7 +53,8 @@ fn stream_rolls_models_into_a_live_server_without_dropping_requests() {
     let mut config = quick_config(&store_dir);
     config.serve_addr = Some(addr.clone());
     let registry = Arc::new(MetricsRegistry::new());
-    let report = run_stream(&config, &registry, None).expect("stream run");
+    let flight = FlightRecorder::new();
+    let report = run_stream(&config, &registry, None, Some(&flight)).expect("stream run");
 
     // At least the initial fit plus one warm refit happened, and the
     // live traffic that ran concurrently with the reloads all succeeded.
@@ -79,6 +80,26 @@ fn stream_rolls_models_into_a_live_server_without_dropping_requests() {
         .contains(&format!("serve_reloads_total {}", report.rollovers)));
     assert!(metrics.body.contains("serve_last_reload_timestamp_seconds"));
     assert!(metrics.body.contains("serve_model_age_seconds"));
+    // The per-endpoint latency split of the telemetry plane is live.
+    assert!(metrics.body.contains("serve_queue_wait_micros_count"));
+    assert!(metrics.body.contains("serve_handler_micros_predict_count"));
+    assert!(metrics.body.contains("serve_inflight_requests"));
+
+    // The flight recorder answers under live traffic: bounded JSON with
+    // one record per request the server just absorbed, reloads included.
+    let flight_resp = client::get(&addr, "/debug/flight").expect("GET /debug/flight");
+    assert!(flight_resp.is_success());
+    let dump = json::parse(&flight_resp.body).expect("flight JSON parses");
+    let records = match dump.get("records") {
+        Some(json::Value::Array(items)) => items,
+        other => panic!("flight dump has no records array: {other:?}"),
+    };
+    assert!(!records.is_empty());
+    let capacity = dump.req_uint("capacity").expect("capacity field");
+    assert!(records.len() as u64 <= capacity, "flight dump unbounded");
+    assert!(records
+        .iter()
+        .any(|r| matches!(r.get("kind"), Some(json::Value::String(k)) if k == "reload")));
 
     // Stream-side counters agree with the report.
     let snapshot = registry.snapshot();
@@ -113,7 +134,7 @@ fn exported_stream_features_match_batch_recompute() {
     let store_dir = temp_dir("parity");
     let config = quick_config(&store_dir);
     let registry = Arc::new(MetricsRegistry::new());
-    let report = run_stream(&config, &registry, None).expect("stream run");
+    let report = run_stream(&config, &registry, None, None).expect("stream run");
     let csv = report.features_csv.clone().expect("features CSV");
     let frame = read_frame_from_path(&csv).expect("read features CSV");
 

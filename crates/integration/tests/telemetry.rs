@@ -1,0 +1,133 @@
+//! Property and stress tests of the telemetry plane across crates:
+//! quantiles estimated from the log-linear histogram stay inside the
+//! documented error bound for *any* workload, serialization round-trips
+//! preserve them, and concurrent writers never lose a count.
+
+use std::sync::Arc;
+
+use c100_obs::hist::quantile_error_bound;
+use c100_obs::{MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+
+const QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// The exact sample quantile under the same rank convention the
+/// histogram uses (`rank = q × count`, first bucket whose cumulative
+/// count reaches the rank).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = q * sorted.len() as f64;
+    let idx = (rank.ceil() as usize).max(1) - 1;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any batch of durations inside the finite bucket range, every
+    /// estimated quantile is within `max(25% × exact, 1µs)` of the
+    /// exact sample quantile — the bound `quantile_micros` documents.
+    #[test]
+    fn histogram_quantiles_stay_within_the_documented_error_bound(
+        values in proptest::collection::vec(0u64..(1u64 << 27), 1..300)
+    ) {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("telemetry.prop");
+        for &v in &values {
+            hist.observe_micros(v);
+        }
+        let snapshot = registry.snapshot();
+        let h = &snapshot.histograms["telemetry.prop"];
+
+        let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        for q in QUANTILES {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = h.quantile_micros(q);
+            let bound = quantile_error_bound(exact);
+            prop_assert!(
+                (estimate - exact).abs() <= bound,
+                "q={q}: estimate {estimate} vs exact {exact} (bound {bound}, n={})",
+                values.len()
+            );
+        }
+    }
+
+    /// JSON round-trips must not move quantiles: the sparse bucket
+    /// encoding keeps each non-empty bucket's predecessor precisely so
+    /// interpolation lower bounds survive serialization.
+    #[test]
+    fn json_round_trip_preserves_quantiles_exactly(
+        values in proptest::collection::vec(0u64..(1u64 << 30), 1..200)
+    ) {
+        let registry = MetricsRegistry::new();
+        registry.inc("runs");
+        let hist = registry.histogram("telemetry.roundtrip");
+        for &v in &values {
+            hist.observe_micros(v);
+        }
+        let snapshot = registry.snapshot();
+        let reparsed = MetricsSnapshot::from_json(&snapshot.to_json()).expect("parses");
+
+        let before = &snapshot.histograms["telemetry.roundtrip"];
+        let after = &reparsed.histograms["telemetry.roundtrip"];
+        prop_assert_eq!(before.count, after.count);
+        prop_assert_eq!(before.sum_micros, after.sum_micros);
+        for q in QUANTILES {
+            let b = before.quantile_micros(q);
+            let a = after.quantile_micros(q);
+            prop_assert!(
+                (a - b).abs() < 1e-9,
+                "q={q} moved across round-trip: {b} -> {a}"
+            );
+        }
+    }
+}
+
+/// Writers on many threads, a snapshot taken mid-flight, and a final
+/// snapshot after joining: the mid-flight view is internally coherent
+/// (never counts more than written) and the final view is exact.
+#[test]
+fn concurrent_writers_and_snapshots_account_for_every_operation() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let counter = registry.counter("telemetry.ops");
+    let hist = registry.histogram("telemetry.lat");
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.observe_micros(t * 1_000 + i % 997);
+                }
+            });
+        }
+        // Concurrent scrapes must see a coherent, bounded view.
+        for _ in 0..20 {
+            let snapshot = registry.snapshot();
+            let seen = snapshot.counters["telemetry.ops"];
+            let h = &snapshot.histograms["telemetry.lat"];
+            assert!(seen <= THREADS * PER_THREAD);
+            assert!(h.count <= THREADS * PER_THREAD);
+            let bucket_total: u64 = h.buckets.iter().map(|b| b.count).sum();
+            assert!(bucket_total <= THREADS * PER_THREAD);
+        }
+    });
+
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counters["telemetry.ops"], THREADS * PER_THREAD);
+    let h = &snapshot.histograms["telemetry.lat"];
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    assert_eq!(
+        h.buckets.iter().map(|b| b.count).sum::<u64>(),
+        THREADS * PER_THREAD
+    );
+    assert_eq!(h.min_micros, 0);
+    // Largest write: thread 7, i % 997 == 996.
+    assert_eq!(h.max_micros, 7_996);
+}

@@ -175,7 +175,10 @@ pub fn compare(baseline: &RunData, current: &RunData, fail_over_pct: f64) -> Run
         .chain(curr_m.histograms.keys())
         .collect();
     for name in histogram_names {
-        for (label, q) in [("p50", 0.5), ("p99", 0.99)] {
+        // p90/p999 joined p50/p99 once the log-linear buckets made tail
+        // quantiles trustworthy (≤25% error vs the old decade layout);
+        // they compute fine on parsed pre-PR8 decade snapshots too.
+        for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)] {
             rows.push(DeltaRow {
                 kind: RowKind::Quantile,
                 name: format!("{name} {label}"),
@@ -318,6 +321,44 @@ mod tests {
         let cmp = compare(&baseline, &current, DEFAULT_FAIL_OVER_PCT);
         assert!(cmp.passed(), "missing data is not a regression");
         assert!(cmp.render().contains(" -"));
+    }
+
+    #[test]
+    fn quantile_rows_cover_p50_through_p999() {
+        let run = run_with_stage(50_000);
+        let cmp = compare(&run, &run, DEFAULT_FAIL_OVER_PCT);
+        for label in ["p50", "p90", "p99", "p999"] {
+            assert!(
+                cmp.rows.iter().any(|r| r.kind == RowKind::Quantile
+                    && r.name == format!("stage.fra_micros {label}")),
+                "missing {label} row"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_pr8_decade_snapshot_compares_against_a_current_run() {
+        // A baseline written by PR ≤7 (dense decade buckets) must still
+        // load, produce all four quantile rows, and gate correctly
+        // against a snapshot from the new log-linear registry.
+        let old = "{\"counters\":{\"events_total\":1},\
+             \"histograms\":{\"stage.fra_micros\":{\"count\":1,\"sum_micros\":50000,\
+             \"min_micros\":50000,\"max_micros\":50000,\
+             \"buckets\":[{\"le_micros\":1,\"count\":0},{\"le_micros\":10,\"count\":0},\
+             {\"le_micros\":100,\"count\":0},{\"le_micros\":1000,\"count\":0},\
+             {\"le_micros\":10000,\"count\":0},{\"le_micros\":100000,\"count\":1},\
+             {\"le_micros\":1000000,\"count\":0},{\"le_micros\":10000000,\"count\":0},\
+             {\"le_micros\":100000000,\"count\":0},{\"le_micros\":1000000000,\"count\":0},\
+             {\"le_micros\":null,\"count\":0}]}}}";
+        let baseline = RunData {
+            metrics: Some(MetricsSnapshot::from_json(old).expect("old snapshot parses")),
+            profile: None,
+        };
+        let same = compare(&baseline, &run_with_stage(50_000), DEFAULT_FAIL_OVER_PCT);
+        assert!(same.passed(), "{}", same.render());
+        assert!(same.rows.iter().any(|r| r.name == "stage.fra_micros p999"));
+        let regressed = compare(&baseline, &run_with_stage(200_000), DEFAULT_FAIL_OVER_PCT);
+        assert!(!regressed.passed());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Log-linear histogram bucket layout (HDR-style) shared by the
+//! sharded telemetry cells and the snapshot quantile math.
+//!
+//! The original registry binned durations into decades (1µs → 10µs →
+//! 100µs → …), which cannot tell a 300µs request from a 900µs one —
+//! both land in the `(100, 1000]` bucket and any quantile inside it is
+//! a factor-of-10 guess. This layout keeps the O(1) index computation
+//! but subdivides every power of two into [`SUB_BUCKETS`] linear
+//! sub-buckets:
+//!
+//! * values `0..4` µs get one bucket each (exact);
+//! * a value `v >= 4` lands in the bucket addressed by its binary
+//!   exponent `e = floor(log2 v)` and the top [`SUB_BITS`] mantissa
+//!   bits, so each bucket spans `2^(e-2)` µs — at most 1/4 of its
+//!   lower bound;
+//! * finite buckets cover `[0, 2^27)` µs (≈ 134 s); anything longer
+//!   lands in one overflow bucket.
+//!
+//! The payoff is a hard error bound: a quantile estimated from the
+//! histogram is within [`QUANTILE_REL_ERROR`] (25%) *relative* error of
+//! the exact sample quantile, or within 1µs absolute for values below
+//! 4µs (see [`quantile_error_bound`]). The decade layout's bound was an
+//! order of magnitude.
+
+/// Mantissa bits kept per bucket: 2 bits → 4 sub-buckets per power of 2.
+pub const SUB_BITS: u32 = 2;
+
+/// Linear sub-buckets per power of two (`2^SUB_BITS`).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Exponent (power of two, in µs) where the finite range ends: buckets
+/// cover `[0, 2^MAX_EXP)` µs ≈ 134 s, well past the "~100s" ceiling any
+/// single request or rollover should ever see.
+pub const MAX_EXP: u32 = 27;
+
+/// Finite buckets plus the overflow catch-all.
+pub const N_BUCKETS: usize = (MAX_EXP as usize - 1) * SUB_BUCKETS + 1;
+
+/// Guaranteed relative error of histogram quantiles for values >= 4µs
+/// inside the finite range: bucket width is at most 1/4 of the bucket's
+/// lower bound.
+pub const QUANTILE_REL_ERROR: f64 = 0.25;
+
+/// The bucket index a duration of `micros` lands in.
+#[inline]
+pub fn bucket_index(micros: u64) -> usize {
+    if micros < SUB_BUCKETS as u64 {
+        return micros as usize;
+    }
+    let exp = 63 - micros.leading_zeros(); // >= SUB_BITS
+    if exp >= MAX_EXP {
+        return N_BUCKETS - 1;
+    }
+    let sub = ((micros >> (exp - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (exp as usize - 1) * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound (µs) of finite bucket `index`; `None` for the
+/// overflow bucket.
+pub fn bucket_le_micros(index: usize) -> Option<u64> {
+    if index >= N_BUCKETS - 1 {
+        return None;
+    }
+    if index < SUB_BUCKETS {
+        return Some(index as u64);
+    }
+    let exp = (index / SUB_BUCKETS + 1) as u32;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let width = 1u64 << (exp - SUB_BITS);
+    Some((1u64 << exp) + (sub + 1) * width - 1)
+}
+
+/// All finite bucket bounds, smallest first (the overflow bucket is
+/// implied). Useful for rendering and tests.
+pub fn bucket_bounds_micros() -> Vec<u64> {
+    (0..N_BUCKETS - 1)
+        .map(|i| bucket_le_micros(i).expect("finite bucket"))
+        .collect()
+}
+
+/// The worst-case absolute error of a quantile estimate whose exact
+/// value is `exact_micros`: `max(QUANTILE_REL_ERROR × exact, 1µs)`.
+/// The 1µs floor covers the sub-4µs buckets, where bucket width is 1µs.
+pub fn quantile_error_bound(exact_micros: f64) -> f64 {
+    (QUANTILE_REL_ERROR * exact_micros).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_contiguous_and_monotonic() {
+        // Every consecutive bound pair maps to consecutive buckets.
+        let bounds = bucket_bounds_micros();
+        assert_eq!(bounds.len(), N_BUCKETS - 1);
+        for (i, &le) in bounds.iter().enumerate() {
+            assert_eq!(bucket_index(le), i, "bound {le} belongs to bucket {i}");
+            assert_eq!(bucket_index(le + 1), i + 1, "just over {le}");
+        }
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_le_micros(v as usize), Some(v));
+        }
+    }
+
+    #[test]
+    fn sub_decade_values_are_distinguishable() {
+        // The motivating case: 300µs and 900µs shared one decade bucket;
+        // now they are several buckets apart.
+        assert_ne!(bucket_index(300), bucket_index(900));
+        assert_ne!(bucket_index(300_000), bucket_index(900_000));
+    }
+
+    #[test]
+    fn bucket_width_is_at_most_a_quarter_of_the_lower_bound() {
+        for i in SUB_BUCKETS..N_BUCKETS - 1 {
+            let hi = bucket_le_micros(i).unwrap();
+            let lo = bucket_le_micros(i - 1).unwrap() + 1;
+            let width = hi - lo + 1;
+            assert!(
+                (width as f64) <= QUANTILE_REL_ERROR * lo as f64,
+                "bucket {i}: [{lo}, {hi}] width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_covers_one_microsecond_to_beyond_100_seconds() {
+        let last_finite = bucket_le_micros(N_BUCKETS - 2).unwrap();
+        assert!(
+            last_finite >= 100_000_000,
+            "finite range ends at {last_finite}"
+        );
+        assert_eq!(last_finite, (1u64 << MAX_EXP) - 1);
+        assert_eq!(bucket_index(last_finite), N_BUCKETS - 2);
+        assert_eq!(bucket_index(1u64 << MAX_EXP), N_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_le_micros(N_BUCKETS - 1), None);
+    }
+}

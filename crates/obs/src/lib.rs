@@ -17,8 +17,18 @@
 //!   human-readable progress lines), [`JsonlObserver`] (append-only
 //!   machine-readable run log), [`RecordingObserver`] (in-memory capture
 //!   for tests) and [`Fanout`] (broadcast to several sinks).
-//! * [`MetricsRegistry`] — monotonic counters and duration histograms
-//!   aggregated across scenarios, exportable as JSON.
+//! * [`MetricsRegistry`] — monotonic counters, gauges, and duration
+//!   histograms aggregated across scenarios, exportable as JSON. The
+//!   registry is a facade over sharded lock-free cells ([`telemetry`]):
+//!   hot paths preregister a [`CounterHandle`] / [`GaugeHandle`] /
+//!   [`HistogramHandle`] and record through relaxed atomics on
+//!   per-thread shards — no global mutex, no string hashing. Histograms
+//!   use the log-linear [`hist`] layout (4 sub-buckets per power of 2,
+//!   1µs–134s) with a guaranteed ≤25% quantile error bound.
+//! * [`FlightRecorder`] — an always-on bounded ring of recent
+//!   span/event records (producers never block; contended writes are
+//!   counted in a drop counter) that dumps a post-mortem `flight.json`
+//!   on panic or shutdown and backs `GET /debug/flight`.
 //! * [`trace`] — hierarchical span tracing: [`Tracer`] records RAII
 //!   [`trace::SpanGuard`] intervals with parent/child links handed off
 //!   explicitly across rayon threads via the `Copy` [`TraceCtx`],
@@ -56,17 +66,22 @@
 
 pub mod compare;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod ring;
 pub mod sink;
+pub mod telemetry;
 pub mod trace;
 
 pub use compare::{compare, RunComparison, RunData};
 pub use event::{fmt_micros, Event, Stage};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use profile::{ProfileReport, ProfileRow};
+pub use ring::{install_panic_dump, FlightRecord, FlightRecorder};
 pub use sink::{Fanout, JsonlObserver, NullObserver, RecordingObserver, StderrObserver};
+pub use telemetry::{CounterHandle, GaugeHandle, HistogramHandle};
 pub use trace::{SpanId, TraceCtx, Tracer};
 
 /// A sink for pipeline events.

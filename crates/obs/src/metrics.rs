@@ -9,76 +9,40 @@
 //! (machine diffing, `repro compare`) or to a Prometheus-style text
 //! exposition ([`MetricsSnapshot::to_text`], the `GET /metrics` format
 //! of `c100-serve`) without serde.
+//!
+//! Since PR 8 the registry is a *facade* over the sharded lock-free
+//! cells in [`crate::telemetry`]: the by-name methods resolve a
+//! preregistered handle through a shared `RwLock` read (uncontended
+//! after the first use of each name) and the actual recording is a few
+//! relaxed atomic ops on a per-thread shard — no global mutex on any
+//! hot path. Callers on genuinely hot paths should preregister with
+//! [`MetricsRegistry::counter`] / [`MetricsRegistry::gauge`] /
+//! [`MetricsRegistry::histogram`] and record through the handle, which
+//! skips even the name lookup. Histograms use the log-linear
+//! [`crate::hist`] layout (4 sub-buckets per power of two, 1µs to
+//! ~134s), so quantiles carry a guaranteed ≤25% relative error instead
+//! of the old decade-wide (10×) uncertainty.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use crate::event::Event;
 use crate::json::{write_escaped, write_float};
+use crate::telemetry::{
+    AtomicGauge, CounterHandle, GaugeHandle, HistogramHandle, ShardedCounter, ShardedHistogram,
+};
 use crate::RunObserver;
 
-/// Upper bounds (inclusive, in microseconds) of the histogram buckets:
-/// decades from 1µs to ~17min, plus a catch-all.
-pub const BUCKET_BOUNDS_MICROS: [u64; 10] = [
-    1,
-    10,
-    100,
-    1_000,
-    10_000,
-    100_000,
-    1_000_000,
-    10_000_000,
-    100_000_000,
-    1_000_000_000,
-];
-
-const N_BUCKETS: usize = BUCKET_BOUNDS_MICROS.len() + 1;
-
-#[derive(Debug, Clone)]
-struct Histogram {
-    count: u64,
-    sum_micros: u64,
-    min_micros: u64,
-    max_micros: u64,
-    buckets: [u64; N_BUCKETS],
-}
-
-impl Histogram {
-    fn new() -> Histogram {
-        Histogram {
-            count: 0,
-            sum_micros: 0,
-            min_micros: u64::MAX,
-            max_micros: 0,
-            buckets: [0; N_BUCKETS],
-        }
-    }
-
-    fn observe(&mut self, micros: u64) {
-        self.count += 1;
-        self.sum_micros = self.sum_micros.saturating_add(micros);
-        self.min_micros = self.min_micros.min(micros);
-        self.max_micros = self.max_micros.max(micros);
-        let idx = BUCKET_BOUNDS_MICROS
-            .iter()
-            .position(|&b| micros <= b)
-            .unwrap_or(N_BUCKETS - 1);
-        self.buckets[idx] += 1;
-    }
-}
-
-#[derive(Debug, Default)]
-struct Inner {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
-}
-
-/// Thread-safe counters + duration histograms.
+/// Thread-safe counters, gauges, and duration histograms.
+///
+/// Recording by name never takes an exclusive lock after a metric's
+/// first use; preregistered handles never take any lock at all.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    inner: Mutex<Inner>,
+    counters: RwLock<BTreeMap<String, CounterHandle>>,
+    gauges: RwLock<BTreeMap<String, GaugeHandle>>,
+    histograms: RwLock<BTreeMap<String, HistogramHandle>>,
 }
 
 impl MetricsRegistry {
@@ -87,33 +51,83 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Returns the handle for the named counter, creating it if absent.
+    /// Hot paths should call this once and record through the handle.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        if let Some(c) = self.counters.read().expect("metrics poisoned").get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .expect("metrics poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| CounterHandle(Arc::new(ShardedCounter::new())))
+            .clone()
+    }
+
+    /// Returns the handle for the named gauge, creating it if absent.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        if let Some(g) = self.gauges.read().expect("metrics poisoned").get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .expect("metrics poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| GaugeHandle(Arc::new(AtomicGauge::new())))
+            .clone()
+    }
+
+    /// Returns the handle for the named histogram, creating it if
+    /// absent. Hot paths should call this once and record through the
+    /// handle.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        if let Some(h) = self.histograms.read().expect("metrics poisoned").get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .expect("metrics poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramHandle(Arc::new(ShardedHistogram::new())))
+            .clone()
+    }
+
     /// Adds 1 to the named monotonic counter.
     pub fn inc(&self, name: &str) {
         self.add(name, 1);
     }
 
-    /// Adds `delta` to the named monotonic counter.
+    /// Adds `delta` to the named monotonic counter. Fast path: a shared
+    /// read of the name map plus a relaxed `fetch_add`; the exclusive
+    /// write lock is taken only the first time a name is seen.
     pub fn add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
-        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(c) = self.counters.read().expect("metrics poisoned").get(name) {
+            c.add(delta);
+            return;
+        }
+        self.counter(name).add(delta);
     }
 
     /// Sets the named gauge to an instantaneous value (last write wins).
     /// Unlike counters, gauges can move in both directions — queue
     /// depths, cache sizes, worker counts.
     pub fn set_gauge(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
-        inner.gauges.insert(name.to_string(), value);
+        if let Some(g) = self.gauges.read().expect("metrics poisoned").get(name) {
+            g.set(value);
+            return;
+        }
+        self.gauge(name).set(value);
     }
 
-    /// Records one duration observation in the named histogram.
+    /// Records one duration observation in the named histogram. Same
+    /// fast path as [`MetricsRegistry::add`].
     pub fn observe_micros(&self, name: &str, micros: u64) {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
-        inner
-            .histograms
-            .entry(name.to_string())
-            .or_insert_with(Histogram::new)
-            .observe(micros);
+        if let Some(h) = self.histograms.read().expect("metrics poisoned").get(name) {
+            h.observe_micros(micros);
+            return;
+        }
+        self.histogram(name).observe_micros(micros);
     }
 
     /// Records one [`Duration`] observation in the named histogram.
@@ -121,34 +135,32 @@ impl MetricsRegistry {
         self.observe_micros(name, duration.as_micros().min(u64::MAX as u128) as u64);
     }
 
-    /// A consistent copy of every counter and histogram.
+    /// A copy of every counter, gauge, and histogram, aggregated across
+    /// shards. Writers that happened-before this call are fully
+    /// counted; concurrent in-flight writers may or may not appear
+    /// (standard scrape semantics).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
         MetricsSnapshot {
-            counters: inner.counters.clone(),
-            gauges: inner.gauges.clone(),
-            histograms: inner
-                .histograms
+            counters: self
+                .counters
+                .read()
+                .expect("metrics poisoned")
                 .iter()
-                .map(|(name, h)| {
-                    (
-                        name.clone(),
-                        HistogramSnapshot {
-                            count: h.count,
-                            sum_micros: h.sum_micros,
-                            min_micros: if h.count == 0 { 0 } else { h.min_micros },
-                            max_micros: h.max_micros,
-                            buckets: BUCKET_BOUNDS_MICROS
-                                .iter()
-                                .copied()
-                                .map(Some)
-                                .chain([None])
-                                .zip(h.buckets.iter().copied())
-                                .map(|(le_micros, count)| Bucket { le_micros, count })
-                                .collect(),
-                        },
-                    )
-                })
+                .map(|(name, c)| (name.clone(), c.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(name, g)| (name.clone(), g.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
                 .collect(),
         }
     }
@@ -238,11 +250,19 @@ impl HistogramSnapshot {
 
     /// Estimates the `q`-quantile (`0.0..=1.0`) in microseconds by
     /// linear interpolation inside the bucket that holds the target
-    /// rank (the prometheus `histogram_quantile` scheme). The estimate
-    /// is clamped to the observed `[min, max]` range, which makes it
-    /// exact for single-valued histograms; the overflow bucket
-    /// interpolates between the last finite bound and `max_micros`.
-    /// Returns 0 for an empty histogram.
+    /// rank (the prometheus `histogram_quantile` scheme), clamped to
+    /// the observed `[min, max]` range. Returns 0 for an empty
+    /// histogram.
+    ///
+    /// **Error bound.** Both the estimate and the exact sample quantile
+    /// lie in the same bucket, so the error is at most that bucket's
+    /// width. For snapshots produced by this registry (the log-linear
+    /// [`crate::hist`] layout) the width is ≤ 1/4 of the bucket's lower
+    /// bound, giving `|estimate − exact| ≤ max(0.25 × exact, 1µs)` —
+    /// see [`crate::hist::quantile_error_bound`]. For snapshots parsed
+    /// from older files (decade buckets), the same reasoning bounds the
+    /// error by a decade width; the min/max clamp keeps single-valued
+    /// histograms exact in both layouts.
     pub fn quantile_micros(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -285,6 +305,11 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Renders the snapshot as pretty-printed JSON (stable key order).
+    /// Empty buckets are elided from the bucket list (the log-linear
+    /// layout has 105 buckets and most stay at zero) — except each
+    /// non-empty bucket's immediate predecessor and the `+Inf` tail,
+    /// which pin the interpolation lower bounds so quantiles computed
+    /// from the sparse list equal those from the dense one.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -318,10 +343,15 @@ impl MetricsSnapshot {
             ));
             write_float(&mut out, h.mean_micros());
             out.push_str(", \"buckets\": [");
+            let mut first = true;
             for (j, bucket) in h.buckets.iter().enumerate() {
-                if j > 0 {
+                if !keep_bucket(&h.buckets, j) {
+                    continue;
+                }
+                if !first {
                     out.push_str(", ");
                 }
+                first = false;
                 match bucket.le_micros {
                     Some(le) => out.push_str(&format!(
                         "{{\"le_micros\": {le}, \"count\": {}}}",
@@ -343,8 +373,10 @@ impl MetricsSnapshot {
     }
 
     /// Parses a snapshot previously written by
-    /// [`MetricsSnapshot::to_json`]. Unknown fields (e.g. the derived
-    /// `mean_micros`, or fields added by future versions) are ignored.
+    /// [`MetricsSnapshot::to_json`] — by this version (sparse log-linear
+    /// buckets) or any earlier one (dense decade buckets). Unknown
+    /// fields (e.g. the derived `mean_micros`, or fields added by
+    /// future versions) are ignored.
     pub fn from_json(text: &str) -> Result<MetricsSnapshot, crate::json::JsonError> {
         use crate::json::{JsonError, Value};
         let value = crate::json::parse(text)?;
@@ -405,7 +437,10 @@ impl MetricsSnapshot {
     /// written, histograms as cumulative `_bucket{le="..."}` series plus
     /// `_sum` / `_count`. Metric names are sanitized (`.` → `_`, any
     /// other non-`[a-zA-Z0-9_:]` byte → `_`) so registry keys like
-    /// `stage.tune_micros` become legal Prometheus names.
+    /// `stage.tune_micros` become legal Prometheus names. Empty finite
+    /// buckets are skipped (cumulative rendering loses nothing), and the
+    /// `+Inf` bucket is always emitted equal to `_count`, as the
+    /// exposition format requires.
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(
             64 * (self.counters.len() + self.gauges.len()) + 512 * self.histograms.len(),
@@ -424,18 +459,21 @@ impl MetricsSnapshot {
             let name = sanitize_metric_name(name);
             out.push_str(&format!("# TYPE {name} histogram\n"));
             // Prometheus buckets are cumulative, ours are per-bucket.
+            // Empty buckets are skipped (sound because the output is
+            // cumulative), except each non-empty bucket's predecessor,
+            // kept so `histogram_quantile` sees tight lower bounds.
             let mut cumulative = 0u64;
-            for bucket in &h.buckets {
+            for (j, bucket) in h.buckets.iter().enumerate() {
+                let Some(le) = bucket.le_micros else { continue };
                 cumulative += bucket.count;
-                match bucket.le_micros {
-                    Some(le) => {
-                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
-                    }
-                    None => {
-                        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-                    }
+                if !keep_bucket(&h.buckets, j) {
+                    continue;
                 }
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
             }
+            // `+Inf` must equal `_count` exactly — even for snapshots
+            // parsed from files whose bucket list does not sum to count.
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!(
                 "{name}_sum {}\n{name}_count {}\n",
                 h.sum_micros, h.count
@@ -443,6 +481,15 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// Whether bucket `index` must appear in a sparse rendering: non-empty
+/// buckets, the immediate predecessor of any non-empty bucket (it pins
+/// the interpolation lower bound), and the overflow tail.
+fn keep_bucket(buckets: &[Bucket], index: usize) -> bool {
+    buckets[index].count > 0
+        || buckets[index].le_micros.is_none()
+        || buckets.get(index + 1).is_some_and(|next| next.count > 0)
 }
 
 /// Maps a registry key to a legal Prometheus metric name.
@@ -462,6 +509,7 @@ fn sanitize_metric_name(name: &str) -> String {
 mod tests {
     use super::*;
     use crate::event::Stage;
+    use crate::hist::{bucket_bounds_micros, quantile_error_bound, N_BUCKETS};
     use crate::json;
 
     #[test]
@@ -478,22 +526,64 @@ mod tests {
     #[test]
     fn histograms_track_count_sum_min_max_and_buckets() {
         let m = MetricsRegistry::new();
-        m.observe_micros("d", 1); // bucket 0 (≤1)
-        m.observe_micros("d", 500); // bucket 3 (≤1_000)
-        m.observe_micros("d", 2_000_000_000); // overflow bucket
+        m.observe_micros("d", 1);
+        m.observe_micros("d", 500);
+        m.observe_micros("d", 2_000_000_000); // past the finite range
         let h = &m.snapshot().histograms["d"];
         assert_eq!(h.count, 3);
         assert_eq!(h.sum_micros, 2_000_000_501);
         assert_eq!(h.min_micros, 1);
         assert_eq!(h.max_micros, 2_000_000_000);
-        assert_eq!(h.buckets.len(), BUCKET_BOUNDS_MICROS.len() + 1);
-        assert_eq!(h.buckets[0].count, 1);
-        assert_eq!(h.buckets[3].count, 1);
+        assert_eq!(h.buckets.len(), N_BUCKETS);
+        assert_eq!(h.buckets[1].count, 1); // 1µs is exact
         assert_eq!(h.buckets.last().unwrap().count, 1);
         assert_eq!(h.buckets.last().unwrap().le_micros, None);
         let total: u64 = h.buckets.iter().map(|b| b.count).sum();
         assert_eq!(total, h.count);
         assert!((h.mean_micros() - 2_000_000_501.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preregistered_handles_and_by_name_calls_share_one_metric() {
+        let m = MetricsRegistry::new();
+        let c = m.counter("hits");
+        let h = m.histogram("lat");
+        c.inc();
+        m.inc("hits");
+        h.observe_micros(10);
+        m.observe_micros("lat", 20);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["hits"], 2);
+        assert_eq!(snap.histograms["lat"].count, 2);
+        assert_eq!(snap.histograms["lat"].sum_micros, 30);
+    }
+
+    #[test]
+    fn snapshot_counts_all_writes_from_joined_threads() {
+        // The no-lost-updates stress: totals must equal the exact sum of
+        // per-thread contributions once the writers have joined.
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        let c = m.counter("ops");
+        let h = m.histogram("lat");
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let (m, c, h) = (m.clone(), c.clone(), h.clone());
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        c.inc();
+                        h.observe_micros(t * 100 + i % 13);
+                        if i % 50 == 0 {
+                            m.inc("ops"); // by-name path hits the same cell
+                        }
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["ops"], 8 * 2_000 + 8 * 40);
+        assert_eq!(snap.histograms["lat"].count, 16_000);
+        let bucket_total: u64 = snap.histograms["lat"].buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucket_total, 16_000);
     }
 
     #[test]
@@ -613,7 +703,7 @@ mod tests {
     fn values_exactly_on_a_bucket_edge_land_in_that_bucket() {
         // Bounds are inclusive: an observation equal to a bound belongs
         // to that bound's bucket, one more spills into the next.
-        for (i, &bound) in BUCKET_BOUNDS_MICROS.iter().enumerate() {
+        for (i, bound) in bucket_bounds_micros().into_iter().enumerate() {
             assert_eq!(bucket_of(bound), i, "exactly {bound}");
             assert_eq!(bucket_of(bound + 1), i + 1, "just over {bound}");
         }
@@ -645,30 +735,54 @@ mod tests {
 
     #[test]
     fn last_finite_bound_is_not_the_overflow_bucket() {
-        // 1e9 µs is the largest finite bound; it must land in the last
-        // *bounded* bucket, with the overflow bucket still empty.
+        let last_finite = *bucket_bounds_micros().last().unwrap();
         let m = MetricsRegistry::new();
-        m.observe_micros("h", 1_000_000_000);
+        m.observe_micros("h", last_finite);
         let h = &m.snapshot().histograms["h"];
         assert_eq!(h.buckets[N_BUCKETS - 2].count, 1);
         assert_eq!(h.buckets[N_BUCKETS - 1].count, 0);
     }
 
     #[test]
-    fn quantiles_interpolate_within_buckets() {
+    fn sub_decade_latencies_resolve_to_distinct_quantiles() {
+        // The decade layout put 300µs and 900µs in one bucket; the
+        // log-linear layout must tell them apart through quantiles.
         let m = MetricsRegistry::new();
-        // 100 observations spread over the (100, 1000] bucket.
-        for i in 0..100 {
+        for _ in 0..50 {
+            m.observe_micros("h", 300);
+        }
+        for _ in 0..50 {
+            m.observe_micros("h", 900);
+        }
+        let h = &m.snapshot().histograms["h"];
+        let p25 = h.quantile_micros(0.25);
+        let p90 = h.quantile_micros(0.9);
+        assert!(
+            (p25 - 300.0).abs() <= quantile_error_bound(300.0),
+            "p25 = {p25}"
+        );
+        assert!(
+            (p90 - 900.0).abs() <= quantile_error_bound(900.0),
+            "p90 = {p90}"
+        );
+        assert!(p90 > p25 * 2.0, "p25 = {p25}, p90 = {p90}");
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_documented_error_bound() {
+        let m = MetricsRegistry::new();
+        // 100 observations spread over 500..600µs.
+        for i in 0..100u64 {
             m.observe_micros("h", 500 + i);
         }
         let h = &m.snapshot().histograms["h"];
-        let p50 = h.quantile_micros(0.5);
-        let p99 = h.quantile_micros(0.99);
-        // Interpolation can only say "inside the bucket", clamped to
-        // the observed range.
-        assert!((500.0..=599.0).contains(&p50), "p50 = {p50}");
-        assert!((500.0..=599.0).contains(&p99), "p99 = {p99}");
-        assert!(p99 >= p50);
+        for (q, exact) in [(0.5, 550.0), (0.9, 590.0), (0.99, 599.0)] {
+            let est = h.quantile_micros(q);
+            assert!(
+                (est - exact).abs() <= quantile_error_bound(exact),
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
         // Single observation: exact because of the min/max clamp.
         let m = MetricsRegistry::new();
         m.observe_micros("one", 42);
@@ -697,7 +811,45 @@ mod tests {
         m.observe_micros("stage.fra_micros", 2_000_000_000);
         let snap = m.snapshot();
         let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
-        assert_eq!(parsed, snap);
+        // The writer elides empty finite buckets; everything that
+        // matters (counts, sums, quantiles) survives the round trip.
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.gauges, snap.gauges);
+        let (a, b) = (
+            &parsed.histograms["stage.fra_micros"],
+            &snap.histograms["stage.fra_micros"],
+        );
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.sum_micros, b.sum_micros);
+        assert_eq!(a.min_micros, b.min_micros);
+        assert_eq!(a.max_micros, b.max_micros);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile_micros(q), b.quantile_micros(q));
+        }
+    }
+
+    #[test]
+    fn from_json_parses_pre_pr8_decade_bucket_snapshots() {
+        // A histogram exactly as PR ≤7 wrote it: dense decade buckets.
+        let text = "{\"counters\":{\"events_total\":3},\
+             \"gauges\":{\"serve.queue_depth\":2.0},\
+             \"histograms\":{\"stage.fra_micros\":{\"count\":2,\"sum_micros\":1500,\
+             \"min_micros\":500,\"max_micros\":1000,\"mean_micros\":750.0,\
+             \"buckets\":[{\"le_micros\":1,\"count\":0},{\"le_micros\":10,\"count\":0},\
+             {\"le_micros\":100,\"count\":0},{\"le_micros\":1000,\"count\":2},\
+             {\"le_micros\":10000,\"count\":0},{\"le_micros\":100000,\"count\":0},\
+             {\"le_micros\":1000000,\"count\":0},{\"le_micros\":10000000,\"count\":0},\
+             {\"le_micros\":100000000,\"count\":0},{\"le_micros\":1000000000,\"count\":0},\
+             {\"le_micros\":null,\"count\":0}]}}}";
+        let snap = MetricsSnapshot::from_json(text).unwrap();
+        let h = &snap.histograms["stage.fra_micros"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.buckets.len(), 11);
+        let p50 = h.quantile_micros(0.5);
+        assert!((500.0..=1000.0).contains(&p50), "p50 = {p50}");
+        // And it still renders to both output formats.
+        assert!(snap.to_text().contains("stage_fra_micros_count 2"));
+        assert!(MetricsSnapshot::from_json(&snap.to_json()).is_ok());
     }
 
     #[test]
@@ -713,16 +865,15 @@ mod tests {
         let m = MetricsRegistry::new();
         m.add("http_requests_total", 7);
         m.set_gauge("serve.queue_depth", 3.0);
-        m.observe_micros("http.predict_micros", 5); // bucket le=10
-        m.observe_micros("http.predict_micros", 50_000); // bucket le=100_000
+        m.observe_micros("http.predict_micros", 5);
+        m.observe_micros("http.predict_micros", 50_000);
         let text = m.snapshot().to_text();
         assert!(text.contains("# TYPE http_requests_total counter\nhttp_requests_total 7\n"));
         assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 3.0\n"));
         assert!(text.contains("# TYPE http_predict_micros histogram\n"));
-        // Buckets are cumulative: the le=10 bucket holds 1, everything
-        // from le=100000 on holds 2, and +Inf equals the count.
-        assert!(text.contains("http_predict_micros_bucket{le=\"10\"} 1\n"));
-        assert!(text.contains("http_predict_micros_bucket{le=\"100000\"} 2\n"));
+        // Buckets are cumulative: 5µs lands in its exact bucket (le=5),
+        // 50_000µs in a log-linear bucket ≥ it, and +Inf == count.
+        assert!(text.contains("http_predict_micros_bucket{le=\"5\"} 1\n"));
         assert!(text.contains("http_predict_micros_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("http_predict_micros_sum 50005\n"));
         assert!(text.contains("http_predict_micros_count 2\n"));
@@ -730,6 +881,21 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "bad line {line:?}");
         }
+    }
+
+    #[test]
+    fn text_exposition_inf_bucket_always_equals_count() {
+        // Even for a parsed snapshot whose buckets do not sum to count
+        // (hand-edited or truncated file), +Inf must equal _count.
+        let snap = MetricsSnapshot::from_json(
+            "{\"counters\":{},\"histograms\":{\"h\":{\"count\":5,\"sum_micros\":50,\
+             \"min_micros\":10,\"max_micros\":10,\
+             \"buckets\":[{\"le_micros\":10,\"count\":3}]}}}",
+        )
+        .unwrap();
+        let text = snap.to_text();
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("h_count 5\n"));
     }
 
     #[test]

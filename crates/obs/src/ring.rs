@@ -1,0 +1,305 @@
+//! Always-on flight recorder: a bounded ring of recent span/event
+//! records for post-mortem diagnosis without re-running under `--trace`.
+//!
+//! Producers claim a slot with one atomic `fetch_add` and then
+//! `try_lock` that slot to write the record — they **never block**: if
+//! the slot is momentarily held (a snapshot in progress, or a writer
+//! lapped mid-write), the record is counted in [`FlightRecorder::dropped`]
+//! and the producer moves on. The ring keeps the most recent
+//! `capacity` records; older ones are overwritten, which is the point —
+//! when a latency spike or failed rollover is noticed *after the fact*,
+//! the recorder still holds the last few hundred spans around it.
+//!
+//! The dump ([`FlightRecorder::to_json`]) is bounded by construction:
+//! `capacity` records, each with caller-bounded strings. It backs
+//! `GET /debug/flight` on the server, `repro stream --flight`, and the
+//! `flight.json` written on `/shutdown` or panic
+//! ([`FlightRecorder::dump_to_file`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::json::write_escaped;
+use crate::RunObserver;
+
+/// Default ring capacity (records), a power of two.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// One recorded moment: what happened, when (relative to recorder
+/// start), and how long it took if it was a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Monotonic sequence number (global across the ring's lifetime).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_micros: u64,
+    /// Short static-ish kind, e.g. `"request"`, `"rollover"`, `"tick"`.
+    pub kind: String,
+    /// Free-form detail, e.g. `"/predict 200"`.
+    pub detail: String,
+    /// Span duration in microseconds, when the record is a span.
+    pub micros: Option<u64>,
+}
+
+/// Bounded lock-free-for-producers ring of recent [`FlightRecord`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    start: Instant,
+    head: AtomicU64,
+    dropped: AtomicU64,
+    slots: Box<[Mutex<Option<FlightRecord>>]>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the [`DEFAULT_FLIGHT_CAPACITY`].
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A recorder holding the most recent `capacity` records (rounded up
+    /// to a power of two, minimum 2, so slot selection is a mask).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.next_power_of_two().max(2);
+        FlightRecorder {
+            start: Instant::now(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Number of slots (records retained at most).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever offered (including overwritten and dropped).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records lost because their slot was momentarily contended (the
+    /// producer refused to block).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends one record; never blocks the caller.
+    pub fn record(&self, kind: &str, detail: &str, micros: Option<u64>) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq as usize) & (self.slots.len() - 1);
+        let Ok(mut guard) = self.slots[slot].try_lock() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        // A slower writer that claimed an older seq for this slot may
+        // arrive after us; never let it roll the slot backwards.
+        if guard.as_ref().is_some_and(|r| r.seq > seq) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        *guard = Some(FlightRecord {
+            seq,
+            at_micros: self.start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+            micros,
+        });
+    }
+
+    /// The retained records, oldest first. Takes each slot lock briefly;
+    /// concurrent producers hitting a locked slot drop (counted) rather
+    /// than wait.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut records: Vec<FlightRecord> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("flight slot poisoned").clone())
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        records
+    }
+
+    /// Bounded JSON dump: capacity, totals, drop counter, and the
+    /// retained records oldest-first.
+    pub fn to_json(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::with_capacity(128 + 96 * records.len());
+        out.push_str(&format!(
+            "{{\n  \"capacity\": {},\n  \"recorded\": {},\n  \"dropped\": {},\n  \"records\": [",
+            self.capacity(),
+            self.recorded(),
+            self.dropped()
+        ));
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"seq\": {}, \"at_micros\": {}, \"kind\": ",
+                r.seq, r.at_micros
+            ));
+            write_escaped(&mut out, &r.kind);
+            out.push_str(", \"detail\": ");
+            write_escaped(&mut out, &r.detail);
+            match r.micros {
+                Some(us) => out.push_str(&format!(", \"micros\": {us}}}")),
+                None => out.push_str(", \"micros\": null}"),
+            }
+        }
+        if !records.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes [`FlightRecorder::to_json`] to `path` (post-mortem dump).
+    pub fn dump_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    #[cfg(test)]
+    fn lock_slot_for_test(&self, slot: usize) -> std::sync::MutexGuard<'_, Option<FlightRecord>> {
+        self.slots[slot].lock().unwrap()
+    }
+}
+
+/// As an event sink the recorder keeps the last `capacity` pipeline
+/// events (rollover outcomes, artifact loads, …) in JSONL form, so a
+/// flight dump explains *why* around the spans it holds.
+impl RunObserver for FlightRecorder {
+    fn on_event(&self, event: &Event) {
+        let line = event.to_json_line();
+        self.record(event.kind(), line.trim_end(), None);
+    }
+}
+
+/// Installs a panic hook that dumps the recorder to `path` before the
+/// previous hook (the default backtrace printer) runs. Lets a crashed
+/// server or stream leave a `flight.json` behind.
+pub fn install_panic_dump(recorder: std::sync::Arc<FlightRecorder>, path: std::path::PathBuf) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        recorder.record("panic", &info.to_string(), None);
+        let _ = recorder.dump_to_file(&path);
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_the_most_recent_records_after_wraparound() {
+        let ring = FlightRecorder::with_capacity(8);
+        for i in 0..20 {
+            ring.record("tick", &format!("n={i}"), Some(i));
+        }
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.dropped(), 0);
+        let records = ring.snapshot();
+        assert_eq!(records.len(), 8);
+        // Oldest-first, and exactly the last 8 sequence numbers.
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+        assert_eq!(records[0].detail, "n=12");
+        assert_eq!(records[7].micros, Some(19));
+    }
+
+    #[test]
+    fn contended_slot_drops_instead_of_blocking() {
+        let ring = FlightRecorder::with_capacity(4);
+        let guard = ring.lock_slot_for_test(0);
+        ring.record("a", "lands in held slot 0", None);
+        ring.record("b", "slot 1, fine", None);
+        drop(guard);
+        assert_eq!(ring.recorded(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let records = ring.snapshot();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, "b");
+    }
+
+    #[test]
+    fn concurrent_producers_account_for_every_record() {
+        let ring = FlightRecorder::with_capacity(16);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        ring.record("t", &format!("{t}:{i}"), None);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 2_000);
+        let records = ring.snapshot();
+        assert!(records.len() <= 16);
+        // Whatever survived is a set of distinct, in-range seqs.
+        let mut seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), records.len());
+        assert!(seqs.iter().all(|&s| s < 2_000));
+    }
+
+    #[test]
+    fn json_dump_is_bounded_and_parseable() {
+        let ring = FlightRecorder::with_capacity(4);
+        for i in 0..10 {
+            ring.record("req", &format!("/predict \"{i}\""), Some(100 + i));
+        }
+        let dump = ring.to_json();
+        let value = crate::json::parse(&dump).expect("flight dump parses");
+        assert_eq!(value.req_uint("capacity").unwrap(), 4);
+        assert_eq!(value.req_uint("recorded").unwrap(), 10);
+        assert_eq!(value.req_uint("dropped").unwrap(), 0);
+        match value.get("records") {
+            Some(crate::json::Value::Array(items)) => {
+                assert_eq!(items.len(), 4);
+                assert_eq!(items[0].req_uint("seq").unwrap(), 6);
+                assert_eq!(items[3].req_uint("micros").unwrap(), 109);
+            }
+            other => panic!("records not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_ring_dumps_an_empty_record_list() {
+        let ring = FlightRecorder::with_capacity(4);
+        let value = crate::json::parse(&ring.to_json()).unwrap();
+        match value.get("records") {
+            Some(crate::json::Value::Array(items)) => assert!(items.is_empty()),
+            other => panic!("records not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observer_impl_records_event_kind_and_jsonl() {
+        use crate::event::Stage;
+        let ring = FlightRecorder::with_capacity(8);
+        ring.on_event(&Event::StageFinished {
+            scenario: "2019_7".into(),
+            stage: Stage::Fra,
+            micros: 1500,
+        });
+        let records = ring.snapshot();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, "stage_finished");
+        assert!(records[0].detail.contains("\"micros\""));
+        assert!(!records[0].detail.ends_with('\n'));
+    }
+}

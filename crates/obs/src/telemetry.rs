@@ -1,0 +1,383 @@
+//! Sharded lock-free metric cells and the preregistered handles that
+//! sit on hot paths.
+//!
+//! The registry facade ([`crate::MetricsRegistry`]) used to funnel
+//! every `inc`/`observe_micros` through one `Mutex<BTreeMap<…>>` — on
+//! an 8-worker server the metrics lock itself perturbed the latencies
+//! it was measuring. This module replaces the cells under that facade:
+//!
+//! * [`CounterHandle`] / [`HistogramHandle`] — writes go to one of a
+//!   small set of cache-line-padded shards of relaxed atomics, picked
+//!   by a per-thread shard id, so concurrent writers touch different
+//!   cache lines and never serialize. A write is a couple of relaxed
+//!   `fetch_add`s: no lock, no hashing, no allocation.
+//! * [`GaugeHandle`] — one atomic `f64`-bits cell (`set` is a plain
+//!   store; `add` a CAS loop) — gauges are last-write-wins and low-rate,
+//!   so sharding would only complicate aggregation.
+//! * Snapshots aggregate across shards. Writers that completed before a
+//!   `snapshot()` (synchronized by thread join or any other
+//!   happens-before edge) are always fully counted; in-flight writers
+//!   may or may not appear, which is the usual scrape semantics.
+//!
+//! Handles are `Clone` (`Arc` inside) and preregistered once — hot
+//! paths hold the handle and never touch the registry's name maps
+//! again. The facade keeps accepting string names for cold callers; it
+//! resolves them through an `RwLock` read (shared, uncontended after
+//! the first use of each name) rather than an exclusive mutex.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::hist::{bucket_index, N_BUCKETS};
+use crate::metrics::{Bucket, HistogramSnapshot};
+
+/// Upper bound on metric shards; the actual count is the smallest
+/// power of two covering the machine's parallelism, capped here.
+pub const MAX_SHARDS: usize = 16;
+
+/// Number of shards every sharded cell uses (fixed per process).
+pub fn shard_count() -> usize {
+    static SHARDS: OnceLock<usize> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+        threads.next_power_of_two().clamp(1, MAX_SHARDS)
+    })
+}
+
+/// The calling thread's shard, assigned round-robin on first use so
+/// steady worker pools spread evenly across shards.
+#[inline]
+fn my_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut shard = s.get();
+        if shard == usize::MAX {
+            shard = NEXT.fetch_add(1, Ordering::Relaxed) % shard_count();
+            s.set(shard);
+        }
+        shard
+    })
+}
+
+/// One cache line per shard so concurrent writers never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonic counter sharded across padded atomic cells.
+#[derive(Debug)]
+pub(crate) struct ShardedCounter {
+    shards: Box<[PaddedU64]>,
+}
+
+impl ShardedCounter {
+    pub(crate) fn new() -> ShardedCounter {
+        ShardedCounter {
+            shards: (0..shard_count()).map(|_| PaddedU64::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn add(&self, delta: u64) {
+        self.shards[my_shard()]
+            .0
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// A last-write-wins gauge stored as `f64` bits in one atomic cell.
+#[derive(Debug)]
+pub(crate) struct AtomicGauge {
+    bits: AtomicU64,
+}
+
+impl AtomicGauge {
+    pub(crate) fn new() -> AtomicGauge {
+        AtomicGauge {
+            bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    #[inline]
+    fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One shard of a histogram: everything a single `observe` touches
+/// lives here, so the write stays on shard-local cache lines.
+#[repr(align(64))]
+#[derive(Debug)]
+struct HistShard {
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    min_micros: AtomicU64,
+    max_micros: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl HistShard {
+    fn new() -> HistShard {
+        HistShard {
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            min_micros: AtomicU64::new(u64::MAX),
+            max_micros: AtomicU64::new(0),
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// A duration histogram sharded across padded per-thread cells, using
+/// the log-linear bucket layout of [`crate::hist`].
+#[derive(Debug)]
+pub(crate) struct ShardedHistogram {
+    shards: Box<[HistShard]>,
+}
+
+impl ShardedHistogram {
+    pub(crate) fn new() -> ShardedHistogram {
+        ShardedHistogram {
+            shards: (0..shard_count()).map(|_| HistShard::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn observe(&self, micros: u64) {
+        let shard = &self.shards[my_shard()];
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        // The sum must saturate, not wrap (u64::MAX observations are
+        // legal inputs), so it takes a CAS loop instead of fetch_add;
+        // uncontended it costs the same, and cross-shard aggregation
+        // saturates again at snapshot time.
+        let mut sum = shard.sum_micros.load(Ordering::Relaxed);
+        loop {
+            match shard.sum_micros.compare_exchange_weak(
+                sum,
+                sum.saturating_add(micros),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => sum = seen,
+            }
+        }
+        shard.min_micros.fetch_min(micros, Ordering::Relaxed);
+        shard.max_micros.fetch_max(micros, Ordering::Relaxed);
+        shard.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut buckets = vec![0u64; N_BUCKETS];
+        for shard in self.shards.iter() {
+            count += shard.count.load(Ordering::Relaxed);
+            sum = sum.saturating_add(shard.sum_micros.load(Ordering::Relaxed));
+            min = min.min(shard.min_micros.load(Ordering::Relaxed));
+            max = max.max(shard.max_micros.load(Ordering::Relaxed));
+            for (acc, b) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum_micros: sum,
+            min_micros: if count == 0 { 0 } else { min },
+            max_micros: max,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Bucket {
+                    le_micros: crate::hist::bucket_le_micros(i),
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Preregistered handle to a counter: `inc`/`add` are a relaxed
+/// `fetch_add` on a thread-local shard — no lock, no name lookup.
+#[derive(Debug, Clone)]
+pub struct CounterHandle(pub(crate) Arc<ShardedCounter>);
+
+impl CounterHandle {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.add(1);
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.add(delta);
+    }
+
+    /// Aggregated value across shards.
+    pub fn value(&self) -> u64 {
+        self.0.value()
+    }
+}
+
+/// Preregistered handle to a gauge: `set` is a relaxed atomic store.
+#[derive(Debug, Clone)]
+pub struct GaugeHandle(pub(crate) Arc<AtomicGauge>);
+
+impl GaugeHandle {
+    /// Sets the instantaneous value (last write wins).
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.set(value);
+    }
+
+    /// Adjusts the value by `delta` (CAS loop; used by in-flight style
+    /// gauges that increment on entry and decrement on exit).
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        self.0.add(delta);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.0.value()
+    }
+}
+
+/// Preregistered handle to a histogram: `observe` is a handful of
+/// relaxed atomic ops on a thread-local shard.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(pub(crate) Arc<ShardedHistogram>);
+
+impl HistogramHandle {
+    /// Records one duration observation in microseconds.
+    #[inline]
+    pub fn observe_micros(&self, micros: u64) {
+        self.0.observe(micros);
+    }
+
+    /// Records one [`Duration`] observation.
+    #[inline]
+    pub fn observe(&self, duration: Duration) {
+        self.observe_micros(duration.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Aggregated snapshot across shards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_aggregates_across_threads_without_lost_updates() {
+        let counter = CounterHandle(Arc::new(ShardedCounter::new()));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 80_000);
+    }
+
+    #[test]
+    fn histogram_totals_equal_per_thread_contributions() {
+        let hist = HistogramHandle(Arc::new(ShardedHistogram::new()));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let hist = hist.clone();
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        hist.observe_micros(t * 1_000 + i % 997);
+                    }
+                });
+            }
+        });
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 40_000);
+        let bucket_total: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucket_total, snap.count);
+        let exact_sum: u64 = (0..8u64)
+            .flat_map(|t| (0..5_000u64).map(move |i| t * 1_000 + i % 997))
+            .sum();
+        assert_eq!(snap.sum_micros, exact_sum);
+        assert_eq!(snap.min_micros, 0);
+        assert_eq!(snap.max_micros, 7_996);
+    }
+
+    #[test]
+    fn gauge_set_and_add_agree() {
+        let gauge = GaugeHandle(Arc::new(AtomicGauge::new()));
+        gauge.set(4.0);
+        gauge.add(2.5);
+        gauge.add(-1.5);
+        assert_eq!(gauge.value(), 5.0);
+    }
+
+    #[test]
+    fn gauge_add_survives_contention() {
+        let gauge = GaugeHandle(Arc::new(AtomicGauge::new()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let gauge = gauge.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        gauge.add(1.0);
+                        gauge.add(-1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(gauge.value(), 0.0);
+    }
+
+    #[test]
+    fn shard_count_is_a_power_of_two_within_bounds() {
+        let n = shard_count();
+        assert!(n.is_power_of_two());
+        assert!((1..=MAX_SHARDS).contains(&n));
+    }
+}

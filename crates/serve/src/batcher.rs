@@ -20,11 +20,15 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use c100_ml::data::Matrix;
-use c100_obs::{MetricsRegistry, TraceCtx, Tracer};
+use c100_obs::{FlightRecorder, HistogramHandle, MetricsRegistry, TraceCtx, Tracer};
 use c100_store::BatchPredictor;
 
-/// Histogram of rows per flushed batch.
+/// Histogram of rows per flushed batch (the coalesced-batch-size
+/// distribution ROADMAP item 1's batcher profiling asks for).
 pub const BATCH_ROWS_METRIC: &str = "serve.batch_rows";
+
+/// Histogram of wall time per flush (matrix build + predict + replies).
+pub const BATCH_FLUSH_METRIC: &str = "serve.batch_flush_micros";
 
 /// What a worker gets back for its slice of a flushed batch.
 pub type BatchReply = Result<Vec<f64>, String>;
@@ -69,11 +73,21 @@ impl Batcher {
         max_wait: Duration,
         registry: Arc<MetricsRegistry>,
         tracer: Option<Arc<Tracer>>,
+        flight: Option<Arc<FlightRecorder>>,
     ) -> Batcher {
         let (tx, rx) = mpsc::channel();
         let handle = thread::Builder::new()
             .name("serve-batcher".into())
-            .spawn(move || run(rx, max_batch.max(1), max_wait, &registry, tracer.as_deref()))
+            .spawn(move || {
+                run(
+                    rx,
+                    max_batch.max(1),
+                    max_wait,
+                    &registry,
+                    tracer.as_deref(),
+                    flight.as_deref(),
+                )
+            })
             .expect("spawn batcher thread");
         Batcher {
             tx: Some(tx),
@@ -113,7 +127,13 @@ fn run(
     max_wait: Duration,
     registry: &MetricsRegistry,
     tracer: Option<&Tracer>,
+    flight: Option<&FlightRecorder>,
 ) {
+    // Resolved once; every flush records through lock-free handles.
+    let metrics = BatchMetrics {
+        rows: registry.histogram(BATCH_ROWS_METRIC),
+        flush_micros: registry.histogram(BATCH_FLUSH_METRIC),
+    };
     let mut pending: HashMap<String, PendingBatch> = HashMap::new();
     loop {
         // Wait for the next job, but never past the oldest deadline.
@@ -152,7 +172,7 @@ fn run(
                 batch.rows.extend(job.rows);
                 if batch.rows.len() >= max_batch {
                     let batch = pending.remove(&job.artifact_id).expect("just inserted");
-                    flush(batch, registry, tracer);
+                    flush(batch, &metrics, tracer, flight);
                 }
             }
             None => {
@@ -165,7 +185,7 @@ fn run(
                     .collect();
                 for id in due {
                     let batch = pending.remove(&id).expect("key listed as due");
-                    flush(batch, registry, tracer);
+                    flush(batch, &metrics, tracer, flight);
                 }
             }
         }
@@ -173,16 +193,28 @@ fn run(
     // Channel closed: flush whatever is still pending so graceful
     // shutdown never strands a waiting request.
     for (_, batch) in pending.drain() {
-        flush(batch, registry, tracer);
+        flush(batch, &metrics, tracer, flight);
     }
 }
 
-fn flush(batch: PendingBatch, registry: &MetricsRegistry, tracer: Option<&Tracer>) {
+/// Handles the batcher thread records flushes through.
+struct BatchMetrics {
+    rows: HistogramHandle,
+    flush_micros: HistogramHandle,
+}
+
+fn flush(
+    batch: PendingBatch,
+    metrics: &BatchMetrics,
+    tracer: Option<&Tracer>,
+    flight: Option<&FlightRecorder>,
+) {
     let n_rows = batch.rows.len();
     if n_rows == 0 {
         return;
     }
-    registry.observe_micros(BATCH_ROWS_METRIC, n_rows as u64);
+    metrics.rows.observe_micros(n_rows as u64);
+    let flush_started = Instant::now();
 
     let span = tracer.map(|t| t.span(&batch.scenario, "serve.batch"));
     let ctx = span.as_ref().map_or(TraceCtx::disabled(), |s| s.ctx());
@@ -204,6 +236,21 @@ fn flush(batch: PendingBatch, registry: &MetricsRegistry, tracer: Option<&Tracer
             })
     };
     drop(span);
+
+    let elapsed_micros = flush_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    metrics.flush_micros.observe_micros(elapsed_micros);
+    if let Some(flight) = flight {
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        flight.record(
+            "batch_flush",
+            &format!(
+                "{} rows={n_rows} jobs={} {outcome}",
+                batch.scenario,
+                batch.jobs.len()
+            ),
+            Some(elapsed_micros),
+        );
+    }
 
     match result {
         Ok(preds) => {
@@ -234,8 +281,21 @@ mod tests {
     #[test]
     fn empty_flush_is_a_no_op() {
         let registry = Arc::new(MetricsRegistry::new());
-        let batcher = Batcher::start(8, Duration::from_millis(1), registry.clone(), None);
+        let batcher = Batcher::start(8, Duration::from_millis(1), registry.clone(), None, None);
         batcher.shutdown();
-        assert!(registry.snapshot().histograms.is_empty());
+        // The batcher preregisters its histograms, but records nothing.
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms[BATCH_ROWS_METRIC].count, 0);
+        assert_eq!(snap.histograms[BATCH_FLUSH_METRIC].count, 0);
+    }
+
+    #[test]
+    fn batcher_preregisters_flush_histograms() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let batcher = Batcher::start(8, Duration::from_millis(1), registry.clone(), None, None);
+        batcher.shutdown();
+        let snap = registry.snapshot();
+        assert!(snap.histograms.contains_key(BATCH_ROWS_METRIC));
+        assert!(snap.histograms.contains_key(BATCH_FLUSH_METRIC));
     }
 }

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
+use c100_obs::RunObserver;
 use c100_store::{ArtifactStore, BatchPredictor, Engine, ManifestEntry, StoreError};
 
 /// Thread-safe map from artifact id to a ready-to-serve predictor.
@@ -28,6 +29,10 @@ pub struct ModelCache {
     predictors: RwLock<HashMap<String, Arc<BatchPredictor>>>,
     /// Engine newly built predictors run on.
     engine: RwLock<Engine>,
+    /// Observer newly built predictors report events through (for the
+    /// server: its `MetricsRegistry`, so predict-path events land in
+    /// the same snapshot as the HTTP metrics).
+    observer: Option<Arc<dyn RunObserver>>,
 }
 
 impl ModelCache {
@@ -38,12 +43,20 @@ impl ModelCache {
             store: Mutex::new(ArtifactStore::open(root)?),
             predictors: RwLock::new(HashMap::new()),
             engine: RwLock::new(Engine::default()),
+            observer: None,
         })
     }
 
     /// Selects the engine newly built predictors use.
     pub fn with_engine(self, engine: Engine) -> ModelCache {
         *self.engine.write().expect("engine lock poisoned") = engine;
+        self
+    }
+
+    /// Attaches an observer every predictor this cache builds will
+    /// report run events through.
+    pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> ModelCache {
+        self.observer = Some(observer);
         self
     }
 
@@ -108,7 +121,11 @@ impl ModelCache {
             }
         }
         let artifact = self.store.lock().expect("store poisoned").load(id)?;
-        let predictor = Arc::new(BatchPredictor::new(artifact).with_engine(engine));
+        let mut predictor = BatchPredictor::new(artifact).with_engine(engine);
+        if let Some(observer) = &self.observer {
+            predictor = predictor.with_observer(observer.clone());
+        }
+        let predictor = Arc::new(predictor);
         let mut cache = self.predictors.write().expect("predictor cache poisoned");
         let slot = cache
             .entry(id.to_string())

@@ -26,23 +26,34 @@
 //!   metrics, tracing spans (`serve.accept` / `serve.parse` /
 //!   `serve.batch` / `serve.predict`), and graceful shutdown (drain the
 //!   queue, flush the batcher, join every thread).
+//! - [`telemetry`] — preregistered lock-free metric handles
+//!   ([`ServeMetrics`]) resolved once at startup, so request handling
+//!   records counters and latency histograms without any lock or
+//!   string formatting on the hot path.
 //!
 //! The server reuses the `c100-obs` observability substrate: request
-//! and shed counters, per-endpoint latency histograms, queue-depth
-//! gauge, and batch-size histogram all live in a
+//! and shed counters, per-endpoint latency histograms with the
+//! queue-wait / handler-time / batcher-flush split, an in-flight
+//! gauge, and batch-size histograms all live in a
 //! [`MetricsRegistry`](c100_obs::MetricsRegistry) and render through
 //! `GET /metrics`; spans feed the same `Tracer`/chrome-trace/compare
-//! tooling as pipeline runs.
+//! tooling as pipeline runs. An always-on
+//! [`FlightRecorder`](c100_obs::FlightRecorder) keeps the most recent
+//! request/batch/reload records in a bounded ring — `GET /debug/flight`
+//! dumps it live, and shutdown (or a handler panic) writes it to
+//! `flight.json` when [`ServeConfig::flight_path`] is set.
 
 pub mod batcher;
 pub mod cache;
 pub mod http;
 pub mod queue;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::ModelCache;
 pub use http::{HttpError, Method, Request, RequestParser, Response};
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use telemetry::{EndpointMetrics, InflightGuard, ServeMetrics};
 
 use std::fmt;
 

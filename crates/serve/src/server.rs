@@ -27,13 +27,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use c100_obs::json::{self, Value};
-use c100_obs::{MetricsRegistry, Tracer};
+use c100_obs::{FlightRecorder, MetricsRegistry, Tracer};
 use c100_store::{BatchPredictor, Engine, StoreError};
 
 use crate::batcher::{Batcher, PredictJob};
 use crate::cache::ModelCache;
 use crate::http::{self, HttpError, Method, Request, RequestParser, Response};
 use crate::queue::{BoundedQueue, TryPushError};
+use crate::telemetry::{InflightGuard, ServeMetrics};
 use crate::{Result, ServeError};
 
 /// Server construction parameters; every knob has a serviceable
@@ -58,6 +59,9 @@ pub struct ServeConfig {
     /// Inference engine predictors are built with (bit-identical
     /// either way; `POST /reload` can override it at runtime).
     pub engine: Engine,
+    /// Where to dump the flight recorder on shutdown (`None` skips the
+    /// file; `GET /debug/flight` works regardless).
+    pub flight_path: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -72,6 +76,7 @@ impl ServeConfig {
             max_wait: Duration::from_millis(5),
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             engine: Engine::default(),
+            flight_path: None,
         }
     }
 }
@@ -79,8 +84,16 @@ impl ServeConfig {
 /// Everything worker/acceptor threads share.
 struct Shared {
     cache: ModelCache,
-    queue: BoundedQueue<TcpStream>,
+    /// Connections waiting for a worker, each with its accept time so
+    /// queue-wait is measurable at pop.
+    queue: BoundedQueue<(TcpStream, Instant)>,
     registry: Arc<MetricsRegistry>,
+    /// Handles preregistered at startup — the request path records
+    /// through these, never through the registry's by-name API.
+    metrics: ServeMetrics,
+    /// Always-on ring of recent request/shed/reload records.
+    flight: Arc<FlightRecorder>,
+    flight_path: Option<PathBuf>,
     tracer: Option<Arc<Tracer>>,
     shutdown: AtomicBool,
     /// Signalled when any party requests shutdown; `wait` blocks here.
@@ -119,6 +132,12 @@ impl ServerHandle {
     /// The server's metrics registry (shared with all threads).
     pub fn registry(&self) -> Arc<MetricsRegistry> {
         self.shared.registry.clone()
+    }
+
+    /// The server's flight recorder (shared with all threads); useful
+    /// for dumping post-mortems from the embedding process.
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        self.shared.flight.clone()
     }
 
     /// Flags shutdown without blocking; `wait`/`shutdown` perform the
@@ -160,7 +179,12 @@ impl ServerHandle {
         if let Some(batcher) = self.batcher.take() {
             batcher.shutdown();
         }
-        self.shared.registry.set_gauge(QUEUE_DEPTH_METRIC, 0.0);
+        self.shared.metrics.queue_depth.set(0.0);
+        if let Some(path) = &self.shared.flight_path {
+            if let Err(e) = self.shared.flight.dump_to_file(path) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            }
+        }
     }
 }
 
@@ -179,9 +203,6 @@ fn wake_acceptor(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
 }
 
-const QUEUE_DEPTH_METRIC: &str = "serve.queue_depth";
-const SHEDS_METRIC: &str = "serve.sheds_total";
-
 /// The inference server; [`start`](Server::start) is the entry point.
 pub struct Server;
 
@@ -197,7 +218,12 @@ impl Server {
         if config.workers == 0 {
             return Err(ServeError::Config("workers must be >= 1".into()));
         }
-        let cache = ModelCache::open(&config.store_dir)?.with_engine(config.engine);
+        // Predictors built by the cache report BatchPredicted events
+        // into this registry, so the ml predict path shares the same
+        // lock-free histograms as the HTTP layer.
+        let cache = ModelCache::open(&config.store_dir)?
+            .with_engine(config.engine)
+            .with_observer(registry.clone());
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
 
@@ -205,6 +231,9 @@ impl Server {
             cache,
             queue: BoundedQueue::new(config.queue_depth),
             registry: registry.clone(),
+            metrics: ServeMetrics::preregister(&registry),
+            flight: Arc::new(FlightRecorder::new()),
+            flight_path: config.flight_path.clone(),
             tracer: tracer.clone(),
             shutdown: AtomicBool::new(false),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
@@ -220,6 +249,7 @@ impl Server {
                 config.max_wait,
                 registry,
                 tracer,
+                Some(shared.flight.clone()),
             ))
         } else {
             None
@@ -273,15 +303,16 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .tracer
             .as_deref()
             .map(|t| t.span("serve", "serve.accept"));
-        match shared.queue.try_push(stream) {
-            Ok(depth) => shared.registry.set_gauge(QUEUE_DEPTH_METRIC, depth as f64),
-            Err(TryPushError::Full(stream)) => {
+        match shared.queue.try_push((stream, Instant::now())) {
+            Ok(depth) => shared.metrics.queue_depth.set(depth as f64),
+            Err(TryPushError::Full((stream, _))) => {
                 // Count synchronously so /metrics is exact, but write the
                 // 503 off-thread: draining a slow client must not stall
                 // the accept loop. Shed threads are short-lived (500ms
                 // timeouts) and bounded by the accept rate.
-                shared.registry.inc(SHEDS_METRIC);
-                shared.registry.inc("http.responses.5xx");
+                shared.metrics.sheds.inc();
+                shared.metrics.responses_5xx.inc();
+                shared.flight.record("shed", "queue full, 503", None);
                 std::thread::spawn(move || shed(stream));
             }
             Err(TryPushError::Closed(_)) => return,
@@ -315,10 +346,9 @@ fn shed(mut stream: TcpStream) {
 }
 
 fn worker_loop(shared: &Shared, batch_tx: Option<Sender<PredictJob>>) {
-    while let Some(stream) = shared.queue.pop() {
-        shared
-            .registry
-            .set_gauge(QUEUE_DEPTH_METRIC, shared.queue.len() as f64);
+    while let Some((stream, enqueued_at)) = shared.queue.pop() {
+        shared.metrics.queue_depth.set(shared.queue.len() as f64);
+        shared.metrics.queue_wait.observe(enqueued_at.elapsed());
         handle_connection(shared, batch_tx.as_ref(), stream);
     }
 }
@@ -332,6 +362,8 @@ fn handle_connection(
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nodelay(true);
 
+    let _inflight = InflightGuard::enter(&shared.metrics.inflight);
+    let accepted = Instant::now();
     let request = {
         let _span = shared
             .tracer
@@ -341,8 +373,9 @@ fn handle_connection(
             Ok(Some(request)) => request,
             Ok(None) => return, // peer went away before a full request
             Err(e) => {
-                shared.registry.inc("http.requests_total");
-                shared.registry.inc("http.responses.4xx");
+                shared.metrics.requests_total.inc();
+                shared.metrics.responses_4xx.inc();
+                shared.flight.record("bad_request", &e.to_string(), None);
                 let _ = Response::error_json(e.status(), &e.to_string()).write_to(&mut stream);
                 return;
             }
@@ -359,17 +392,17 @@ fn handle_connection(
         )
     });
 
-    shared.registry.inc("http.requests_total");
-    shared.registry.inc(&format!("http.requests.{endpoint}"));
-    let class = match response.status {
-        200..=299 => "2xx",
-        300..=499 => "4xx",
-        _ => "5xx",
-    };
-    shared.registry.inc(&format!("http.responses.{class}"));
-    shared.registry.observe(
-        &format!("serve.request_micros.{endpoint}"),
-        started.elapsed(),
+    let handler_elapsed = started.elapsed();
+    let endpoint_metrics = shared.metrics.endpoint(endpoint);
+    shared.metrics.requests_total.inc();
+    endpoint_metrics.requests.inc();
+    shared.metrics.response_class(response.status).inc();
+    endpoint_metrics.handler_micros.observe(handler_elapsed);
+    endpoint_metrics.request_micros.observe(accepted.elapsed());
+    shared.flight.record(
+        "request",
+        &format!("{endpoint} {}", response.status),
+        Some(handler_elapsed.as_micros().min(u64::MAX as u128) as u64),
     );
     let _ = response.write_to(&mut stream);
 }
@@ -411,10 +444,11 @@ fn route(
         (Method::Get, "/healthz") => ("healthz", healthz(shared)),
         (Method::Get, "/models") => ("models", models(shared)),
         (Method::Get, "/metrics") => ("metrics", metrics(shared)),
+        (Method::Get, "/debug/flight") => ("flight", flight(shared)),
         (Method::Post, "/predict") => ("predict", predict(shared, batch_tx, request)),
         (Method::Post, "/reload") => ("reload", reload(shared, request)),
         (Method::Post, "/shutdown") => ("shutdown", shutdown(shared)),
-        (_, path @ ("/healthz" | "/models" | "/metrics")) => (
+        (_, path @ ("/healthz" | "/models" | "/metrics" | "/debug/flight")) => (
             "other",
             Response::error_json(405, &format!("{path} only supports GET"))
                 .with_header("Allow", "GET"),
@@ -459,6 +493,12 @@ fn models(shared: &Shared) -> Response {
     Response::json(200, body)
 }
 
+/// `GET /debug/flight`: the flight recorder's bounded JSON dump —
+/// recent requests, sheds, reloads, and batch flushes with timings.
+fn flight(shared: &Shared) -> Response {
+    Response::json(200, shared.flight.to_json())
+}
+
 fn metrics(shared: &Shared) -> Response {
     // Freshness is computed at scrape time so the gauge ages between
     // reloads without a background ticker.
@@ -489,6 +529,15 @@ fn reload(shared: &Shared, request: &Request) -> Response {
     match shared.cache.reload(engine) {
         Ok(new_ids) => {
             shared.registry.inc("serve.reloads_total");
+            shared.flight.record(
+                "reload",
+                &format!(
+                    "engine={} new_artifacts={}",
+                    shared.cache.engine().label(),
+                    new_ids.len()
+                ),
+                None,
+            );
             shared
                 .registry
                 .set_gauge("serve.last_reload_timestamp_seconds", unix_now_seconds());
@@ -531,6 +580,7 @@ fn parse_reload_body(body: &[u8]) -> std::result::Result<Option<Engine>, String>
 }
 
 fn shutdown(shared: &Shared) -> Response {
+    shared.flight.record("shutdown", "POST /shutdown", None);
     shared.request_shutdown();
     Response::json(200, "{\"status\":\"shutting down\"}\n".to_string())
 }

@@ -1,0 +1,180 @@
+//! Preregistered metric handles for the serve hot path.
+//!
+//! Every request used to record its counters and latencies through the
+//! registry's by-name API — a string `format!` plus a map lookup per
+//! metric per request. [`ServeMetrics`] resolves every handle once at
+//! server start; request handling then records through lock-free
+//! sharded cells only ([`c100_obs::telemetry`]), and the latency split
+//! the ROADMAP's batcher-profiling item needs (queue-wait vs
+//! handler-time vs batcher-flush) comes from distinct histograms:
+//!
+//! * `serve.queue_wait_micros` — accept-to-worker-pop time, the
+//!   congestion signal (distinguishes shed-vs-slow).
+//! * `serve.handler_micros.<endpoint>` — routing + handler execution.
+//! * `serve.request_micros.<endpoint>` — parse + handler (the
+//!   pre-existing series, kept for dashboards and `repro compare`).
+//! * `serve.batch_flush_micros` / `serve.batch_rows` — recorded by the
+//!   batcher thread per coalesced flush.
+//! * `serve.inflight_requests` — gauge of requests between parse and
+//!   response write.
+
+use std::collections::HashMap;
+
+use c100_obs::{CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry};
+
+/// Endpoint labels that get their own latency series. `other` doubles
+/// as the fallback for unknown labels; `panic` tags handlers that blew
+/// up and were caught.
+pub const ENDPOINTS: [&str; 9] = [
+    "healthz", "models", "metrics", "predict", "reload", "shutdown", "flight", "other", "panic",
+];
+
+/// Per-endpoint preregistered handles.
+#[derive(Debug, Clone)]
+pub struct EndpointMetrics {
+    /// `http.requests.<endpoint>`.
+    pub requests: CounterHandle,
+    /// `serve.request_micros.<endpoint>`: parse + route + handler.
+    pub request_micros: HistogramHandle,
+    /// `serve.handler_micros.<endpoint>`: route + handler only.
+    pub handler_micros: HistogramHandle,
+}
+
+/// Every handle the server records through at request time.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// `http.requests_total`.
+    pub requests_total: CounterHandle,
+    /// `http.responses.2xx`.
+    pub responses_2xx: CounterHandle,
+    /// `http.responses.4xx`.
+    pub responses_4xx: CounterHandle,
+    /// `http.responses.5xx`.
+    pub responses_5xx: CounterHandle,
+    /// `serve.inflight_requests` gauge.
+    pub inflight: GaugeHandle,
+    /// `serve.queue_depth` gauge.
+    pub queue_depth: GaugeHandle,
+    /// `serve.sheds_total`.
+    pub sheds: CounterHandle,
+    /// `serve.queue_wait_micros`: time between accept and worker pop.
+    pub queue_wait: HistogramHandle,
+    endpoints: HashMap<&'static str, EndpointMetrics>,
+}
+
+impl ServeMetrics {
+    /// Resolves every handle once; called at server start.
+    pub fn preregister(registry: &MetricsRegistry) -> ServeMetrics {
+        ServeMetrics {
+            requests_total: registry.counter("http.requests_total"),
+            responses_2xx: registry.counter("http.responses.2xx"),
+            responses_4xx: registry.counter("http.responses.4xx"),
+            responses_5xx: registry.counter("http.responses.5xx"),
+            inflight: registry.gauge("serve.inflight_requests"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            sheds: registry.counter("serve.sheds_total"),
+            queue_wait: registry.histogram("serve.queue_wait_micros"),
+            endpoints: ENDPOINTS
+                .iter()
+                .map(|&name| {
+                    (
+                        name,
+                        EndpointMetrics {
+                            requests: registry.counter(&format!("http.requests.{name}")),
+                            request_micros: registry
+                                .histogram(&format!("serve.request_micros.{name}")),
+                            handler_micros: registry
+                                .histogram(&format!("serve.handler_micros.{name}")),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The handles for an endpoint label (falls back to `other`).
+    pub fn endpoint(&self, name: &str) -> &EndpointMetrics {
+        self.endpoints
+            .get(name)
+            .unwrap_or_else(|| &self.endpoints["other"])
+    }
+
+    /// The response-class counter for a status code.
+    pub fn response_class(&self, status: u16) -> &CounterHandle {
+        match status {
+            200..=299 => &self.responses_2xx,
+            300..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+    }
+}
+
+/// RAII guard for the in-flight gauge: `+1` on creation, `−1` on drop,
+/// so early returns and caught panics can never leak an increment.
+pub struct InflightGuard<'a>(&'a GaugeHandle);
+
+impl<'a> InflightGuard<'a> {
+    /// Increments `gauge` until the guard drops.
+    pub fn enter(gauge: &'a GaugeHandle) -> InflightGuard<'a> {
+        gauge.add(1.0);
+        InflightGuard(gauge)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.add(-1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn preregistered_names_appear_in_the_snapshot_at_zero() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = ServeMetrics::preregister(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["http.requests_total"], 0);
+        assert_eq!(snap.gauges["serve.inflight_requests"], 0.0);
+        assert_eq!(snap.histograms["serve.queue_wait_micros"].count, 0);
+        for name in ENDPOINTS {
+            assert!(snap
+                .histograms
+                .contains_key(&format!("serve.handler_micros.{name}")));
+        }
+        // Handle writes land in the same snapshot names.
+        metrics.endpoint("predict").requests.inc();
+        metrics.endpoint("nonsense").requests.inc(); // → other
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["http.requests.predict"], 1);
+        assert_eq!(snap.counters["http.requests.other"], 1);
+    }
+
+    #[test]
+    fn inflight_guard_balances_on_drop() {
+        let registry = MetricsRegistry::new();
+        let gauge = registry.gauge("serve.inflight_requests");
+        {
+            let _g1 = InflightGuard::enter(&gauge);
+            let _g2 = InflightGuard::enter(&gauge);
+            assert_eq!(gauge.value(), 2.0);
+        }
+        assert_eq!(gauge.value(), 0.0);
+    }
+
+    #[test]
+    fn response_classes_map_by_status() {
+        let registry = MetricsRegistry::new();
+        let metrics = ServeMetrics::preregister(&registry);
+        metrics.response_class(200).inc();
+        metrics.response_class(404).inc();
+        metrics.response_class(503).inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["http.responses.2xx"], 1);
+        assert_eq!(snap.counters["http.responses.4xx"], 1);
+        assert_eq!(snap.counters["http.responses.5xx"], 1);
+    }
+}

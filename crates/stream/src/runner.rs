@@ -30,7 +30,9 @@ use c100_core::scenario::Period;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::Regressor;
 use c100_obs::json::{write_escaped, write_float};
-use c100_obs::{MetricsRegistry, RunObserver, Tracer};
+use c100_obs::{
+    CounterHandle, FlightRecorder, HistogramHandle, MetricsRegistry, RunObserver, Tracer,
+};
 use c100_store::ArtifactStore;
 use c100_synth::SynthConfig;
 use c100_timeseries::csv::write_frame_to_path;
@@ -205,13 +207,42 @@ impl StreamReport {
     }
 }
 
+/// Handles the tick loop records through — resolved once up front so
+/// the per-tick path never touches the registry's by-name maps.
+struct StreamMetrics {
+    ticks: CounterHandle,
+    forecasts: CounterHandle,
+    serve_predicts: CounterHandle,
+    serve_predict_failures: CounterHandle,
+    /// `stream.tick_to_forecast_micros`: tick ingest → local forecast.
+    tick_to_forecast: HistogramHandle,
+    /// `stream.serve_rtt_micros`: `POST /predict` round-trip.
+    serve_rtt: HistogramHandle,
+}
+
+impl StreamMetrics {
+    fn preregister(registry: &MetricsRegistry) -> StreamMetrics {
+        StreamMetrics {
+            ticks: registry.counter("stream.ticks_total"),
+            forecasts: registry.counter("stream.forecasts_total"),
+            serve_predicts: registry.counter("stream.serve_predicts_total"),
+            serve_predict_failures: registry.counter("stream.serve_predict_failures_total"),
+            tick_to_forecast: registry.histogram("stream.tick_to_forecast_micros"),
+            serve_rtt: registry.histogram("stream.serve_rtt_micros"),
+        }
+    }
+}
+
 /// Streams synth ticks through the incremental-indicator / monitor /
 /// rollover loop. `registry` receives `stream.*` metrics and the
-/// rollover events; `tracer` (optional) records per-tick spans.
+/// rollover events; `tracer` (optional) records per-tick spans;
+/// `flight` (optional) gets a record per rollover and per failed live
+/// predict, so a post-mortem dump shows what the loop last did.
 pub fn run_stream(
     config: &StreamConfig,
     registry: &Arc<MetricsRegistry>,
     tracer: Option<&Arc<Tracer>>,
+    flight: Option<&FlightRecorder>,
 ) -> Result<StreamReport> {
     config.validate()?;
     let scenario = config.scenario.id();
@@ -240,6 +271,7 @@ pub fn run_stream(
         controller = controller.with_tracer(tracer.clone());
     }
 
+    let metrics = StreamMetrics::preregister(registry);
     let mut indicators = StreamIndicators::new(config.resync_every);
     let mut history = AppendFrame::new(&FEATURE_NAMES);
     let mut closes: Vec<f64> = Vec::with_capacity(ticks);
@@ -258,13 +290,14 @@ pub fn run_stream(
     let started = Instant::now();
     for t in 0..ticks {
         let _tick_span = tracer.map(|tr| tr.span(&scenario, "stream.tick"));
+        let tick_started = Instant::now();
         let tick = source
             .next_tick()
             .expect("tick count was clamped to the source length");
         let features = indicators.update(tick.high, tick.low, tick.close, tick.volume);
         history.push_row(tick.date, &features)?;
         closes.push(tick.close);
-        registry.inc("stream.ticks_total");
+        metrics.ticks.inc();
 
         let complete = features.iter().all(|v| v.is_finite());
         if first_complete.is_none() && complete {
@@ -288,12 +321,16 @@ pub fn run_stream(
                     let _span = tracer.map(|tr| tr.span(&scenario, "stream.predict"));
                     active.model.predict_row(&features)
                 };
-                registry.inc("stream.forecasts_total");
+                metrics.forecasts.inc();
+                // Ingest → forecast-in-hand, the latency a downstream
+                // consumer of this loop's signal actually experiences.
+                metrics.tick_to_forecast.observe(tick_started.elapsed());
                 if let Some(decay) = &mut decay {
                     decay.predicted(t, forecast);
                 }
                 if let Some(addr) = &config.serve_addr {
                     predict_requests += 1;
+                    let rtt_started = Instant::now();
                     let ok = match client::post_json(
                         addr,
                         "/predict",
@@ -302,11 +339,19 @@ pub fn run_stream(
                         Ok(reply) => reply.is_success(),
                         Err(_) => false,
                     };
+                    metrics.serve_rtt.observe(rtt_started.elapsed());
                     if ok {
-                        registry.inc("stream.serve_predicts_total");
+                        metrics.serve_predicts.inc();
                     } else {
                         predict_failures += 1;
-                        registry.inc("stream.serve_predict_failures_total");
+                        metrics.serve_predict_failures.inc();
+                        if let Some(flight) = flight {
+                            flight.record(
+                                "serve_predict_failed",
+                                &format!("tick={t} addr={addr}"),
+                                Some(micros(rtt_started.elapsed())),
+                            );
+                        }
                     }
                 }
             }
@@ -341,8 +386,22 @@ pub fn run_stream(
 
         if let Some(trigger) = trigger {
             let fc = first_complete.expect("a trigger requires complete history");
+            let roll_started = Instant::now();
             let outcome = controller.roll(&history, &closes, fc, trigger)?;
+            // Rollovers are rare; the by-name path is fine off the hot loop.
             registry.inc(&format!("stream.rollovers.{}", trigger.label()));
+            if let Some(flight) = flight {
+                flight.record(
+                    "rollover",
+                    &format!(
+                        "tick={t} trigger={} warm={} train_mse={:.6}",
+                        trigger.label(),
+                        outcome.warm,
+                        outcome.train_mse
+                    ),
+                    Some(micros(roll_started.elapsed())),
+                );
+            }
             match trigger {
                 RolloverTrigger::Initial => {}
                 RolloverTrigger::Scheduled => scheduled_triggers += 1,
@@ -397,6 +456,11 @@ pub fn run_stream(
     })
 }
 
+/// Saturating whole microseconds of a `Duration`.
+fn micros(d: std::time::Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
 /// One-row `/predict` body; floats render through `Display`, which the
 /// server echoes back, keeping served output diffable against the CLI.
 fn predict_body(scenario: &str, row: &[f64]) -> String {
@@ -435,7 +499,8 @@ mod tests {
         config.gbdt.n_estimators = 8;
         let registry = Arc::new(MetricsRegistry::new());
 
-        let report = run_stream(&config, &registry, None).unwrap();
+        let flight = FlightRecorder::new();
+        let report = run_stream(&config, &registry, None, Some(&flight)).unwrap();
         assert_eq!(report.ticks, 140);
         // Initial fit near tick 65, scheduled refits at +40 cadence.
         assert!(report.rollovers >= 2, "rollovers: {}", report.rollovers);
@@ -468,6 +533,21 @@ mod tests {
             report.rollovers
         );
 
+        // Tick-to-forecast latency recorded once per local forecast;
+        // no server attached, so the RTT histogram exists but is empty.
+        let t2f = &snapshot.histograms["stream.tick_to_forecast_micros"];
+        assert_eq!(t2f.count, snapshot.counters["stream.forecasts_total"]);
+        assert!(t2f.count > 0);
+        assert_eq!(snapshot.histograms["stream.serve_rtt_micros"].count, 0);
+
+        // The flight recorder saw every rollover (and nothing failed).
+        let rolls = flight
+            .snapshot()
+            .iter()
+            .filter(|r| r.kind == "rollover")
+            .count();
+        assert_eq!(rolls, report.rollovers);
+
         // The JSON report round-trips through the obs parser.
         let parsed = c100_obs::json::parse(&report.to_json()).unwrap();
         assert_eq!(
@@ -485,7 +565,7 @@ mod tests {
         config.ticks = 0;
         let registry = Arc::new(MetricsRegistry::new());
         assert!(matches!(
-            run_stream(&config, &registry, None),
+            run_stream(&config, &registry, None, None),
             Err(StreamError::Config(_))
         ));
     }
