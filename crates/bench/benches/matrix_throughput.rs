@@ -1,0 +1,187 @@
+//! Scenario-matrix prep throughput: shared dataset prep (one assembled
+//! master dataset and one `PrepCache` across the whole run, as
+//! `repro matrix` executes) vs naive per-scenario prep (every cell
+//! assembles the dataset, builds its family index and preps its own
+//! window slice — what looping the pre-matrix `run_scenario` path over
+//! the cross-product would do). Cells differing only in horizon or in
+//! walk-forward split share a prep, so the shared path does a fraction
+//! of the prep work.
+//!
+//! The headline `speedup` is the prep layer's; the end-to-end cell
+//! medians (prep + GBDT fit + scoring) are recorded alongside so the
+//! share of total matrix time going to prep stays visible. Everything
+//! lands in `results/BENCH_matrix.json` so later PRs can regress-gate
+//! the sharing without re-running Criterion.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c100_bench::{bench_env_json, write_bench_record};
+use c100_core::dataset::{assemble, MasterDataset};
+use c100_matrix::prep::PrepCache;
+use c100_matrix::runner::{evaluate_cells_shared, evaluate_cells_unshared};
+use c100_matrix::sched::run_tasks;
+use c100_matrix::spec::{expand_cells, expand_windows};
+use c100_matrix::{CellPlan, MatrixConfig};
+use c100_synth::{generate, MarketData, SynthConfig};
+
+/// The acceptance bar is "shared prep wins at >= 4 threads"; more
+/// workers only help the shared path (the naive one repeats the same
+/// prep on every worker), so 4 is the conservative measurement point.
+const THREADS: usize = 4;
+
+/// Median of three manual timings, independent of Criterion's own
+/// sampling (the recorded JSON must not depend on sampler settings).
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[1]
+}
+
+/// Prep every cell's window through one shared cache, as the matrix
+/// runner does. Returns total prep rows as a liveness check.
+fn prep_shared(
+    master: &MasterDataset,
+    families: &[(String, Vec<f64>)],
+    cells: &[CellPlan],
+    threads: usize,
+) -> usize {
+    let cache = PrepCache::new(master, families);
+    let (rows, _) = run_tasks(cells.iter().collect(), threads, |plan| {
+        cache
+            .get(
+                plan.family_idx,
+                plan.window.prep_start,
+                plan.window.prep_end,
+            )
+            .expect("prep builds on synth data")
+            .len()
+    });
+    rows.iter().sum()
+}
+
+/// Prep every cell from scratch: assemble the master dataset, build the
+/// cell's family index, slice/clean/bin its window — per cell.
+fn prep_unshared(
+    config: &MatrixConfig,
+    data: &MarketData,
+    cells: &[CellPlan],
+    threads: usize,
+) -> usize {
+    let (rows, _) = run_tasks(cells.iter().collect(), threads, |plan| {
+        let master = assemble(data).expect("same data the shared path assembled");
+        let family = &config.families[plan.family_idx];
+        let families = vec![(family.id(), family.build(&data.universe).into_values())];
+        let cache = PrepCache::new(&master, &families);
+        cache
+            .get(0, plan.window.prep_start, plan.window.prep_end)
+            .expect("prep builds on synth data")
+            .len()
+    });
+    rows.iter().sum()
+}
+
+fn bench_matrix_throughput(c: &mut Criterion) {
+    let seed = 11;
+    let mut config = MatrixConfig::new(seed, SynthConfig::small(seed));
+    // Two families keep the naive path's triple-repeat affordable while
+    // every kind of prep sharing (horizons, walk-forward folds, the
+    // full span) still occurs.
+    config.families.truncate(2);
+
+    let data = generate(&config.synth);
+    let master = assemble(&data).expect("assemble synth dataset");
+    let families: Vec<(String, Vec<f64>)> = config
+        .families
+        .iter()
+        .map(|f| (f.id(), f.build(&data.universe).into_values()))
+        .collect();
+    let windows = expand_windows(&config, &data.latents).expect("expand windows");
+    let cells = expand_cells(&config, &windows);
+    let n_cells = cells.len();
+
+    // Pin down that sharing is invisible in the results before timing:
+    // both paths must produce byte-identical cell records.
+    let (shared_cells, prep_builds, prep_hits) =
+        evaluate_cells_shared(&config, &master, &families, &cells, THREADS);
+    let unshared_cells = evaluate_cells_unshared(&config, &data, &cells, THREADS);
+    assert_eq!(shared_cells.len(), unshared_cells.len());
+    for (a, b) in shared_cells.iter().zip(&unshared_cells) {
+        assert_eq!(
+            a.encode(),
+            b.encode(),
+            "prep sharing must not change results"
+        );
+    }
+    assert_eq!(
+        prep_shared(&master, &families, &cells, THREADS),
+        prep_unshared(&config, &data, &cells, THREADS),
+        "both prep paths must produce the same rows"
+    );
+
+    // The prep layer: the work the cache deduplicates.
+    let shared_prep_secs = median_secs(|| {
+        prep_shared(&master, &families, &cells, THREADS);
+    });
+    let unshared_prep_secs = median_secs(|| {
+        prep_unshared(&config, &data, &cells, THREADS);
+    });
+    let speedup = unshared_prep_secs / shared_prep_secs.max(1e-12);
+
+    // End to end (prep + fit + scoring), for the share of total matrix
+    // time prep represents.
+    let shared_e2e_secs = median_secs(|| {
+        evaluate_cells_shared(&config, &master, &families, &cells, THREADS);
+    });
+    let unshared_e2e_secs = median_secs(|| {
+        evaluate_cells_unshared(&config, &data, &cells, THREADS);
+    });
+
+    let recorded = format!(
+        "{{\"bench\":\"matrix_throughput\",\"env\":{},\"results\":[{{\
+         \"cells\":{n_cells},\"threads\":{THREADS},\
+         \"prep_builds_shared\":{prep_builds},\"prep_hits_shared\":{prep_hits},\
+         \"prep_builds_unshared\":{n_cells},\
+         \"shared_prep_median_secs\":{shared_prep_secs:.4},\
+         \"unshared_prep_median_secs\":{unshared_prep_secs:.4},\
+         \"speedup\":{speedup:.2},\
+         \"shared_e2e_median_secs\":{shared_e2e_secs:.4},\
+         \"unshared_e2e_median_secs\":{unshared_e2e_secs:.4},\
+         \"e2e_speedup\":{:.2},\
+         \"shared_cells_per_sec\":{:.1}}}]}}\n",
+        bench_env_json(),
+        unshared_e2e_secs / shared_e2e_secs.max(1e-12),
+        n_cells as f64 / shared_e2e_secs.max(1e-12)
+    );
+
+    let mut group = c.benchmark_group("matrix_throughput");
+    group.bench_function(
+        format!("shared_prep_{n_cells}_cells_{THREADS}_threads"),
+        |b| b.iter(|| prep_shared(&master, &families, &cells, THREADS)),
+    );
+    group.bench_function(
+        format!("e2e_shared_{n_cells}_cells_{THREADS}_threads"),
+        |b| b.iter(|| evaluate_cells_shared(&config, &master, &families, &cells, THREADS)),
+    );
+    group.finish();
+
+    let path = write_bench_record("BENCH_matrix.json", &recorded);
+    eprintln!(
+        "recorded matrix throughput ({n_cells} cells, {speedup:.2}x shared-prep speedup) -> {}",
+        path.display()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matrix_throughput
+}
+criterion_main!(benches);

@@ -3,12 +3,12 @@
 //! training comparison is additionally recorded to
 //! `results/BENCH_train.json` so later PRs can diff fit-time regressions.
 
-use std::path::PathBuf;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use c100_bench::dataset::synthetic_regression;
+use c100_bench::{bench_env_json, write_bench_record};
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
 use c100_ml::importance::{permutation_importance, PermutationConfig};
@@ -134,7 +134,10 @@ fn median_fit_secs(mut fit: impl FnMut()) -> f64 {
 /// Criterion tracks the small size; both sizes land in
 /// `results/BENCH_train.json` with their median times and speedup.
 fn bench_split_methods(c: &mut Criterion) {
-    let mut recorded = String::from("{\"bench\":\"train_split_methods\",\"results\":[");
+    let mut recorded = format!(
+        "{{\"bench\":\"train_split_methods\",\"env\":{},\"results\":[",
+        bench_env_json()
+    );
     let mut first = true;
     let mut group = c.benchmark_group("train_split_methods");
     for &(rows, feats) in &[(600usize, 50usize), (2000, 283)] {
@@ -228,13 +231,7 @@ fn bench_split_methods(c: &mut Criterion) {
     group.finish();
     recorded.push_str("]}\n");
 
-    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("results");
-    std::fs::create_dir_all(&results_dir).expect("create results dir");
-    let path = results_dir.join("BENCH_train.json");
-    std::fs::write(&path, recorded).expect("write BENCH_train.json");
+    let path = write_bench_record("BENCH_train.json", &recorded);
     eprintln!(
         "recorded training split-method comparison -> {}",
         path.display()

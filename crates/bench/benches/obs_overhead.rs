@@ -10,10 +10,10 @@
 //! re-running Criterion.
 
 use std::collections::BTreeMap;
-use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use c100_bench::{bench_env_json, write_bench_record};
 use c100_obs::MetricsRegistry;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -148,9 +148,10 @@ fn measure() -> Vec<Row> {
 }
 
 fn record(rows: &[Row]) {
-    let mut out = String::from("{\"bench\":\"obs_overhead\",\"ops\":");
-    out.push_str(&OPS.to_string());
-    out.push_str(",\"results\":[");
+    let mut out = format!(
+        "{{\"bench\":\"obs_overhead\",\"env\":{},\"ops\":{OPS},\"results\":[",
+        bench_env_json()
+    );
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -167,13 +168,7 @@ fn record(rows: &[Row]) {
     }
     out.push_str("]}\n");
 
-    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("results");
-    std::fs::create_dir_all(&results_dir).expect("create results dir");
-    let path = results_dir.join("BENCH_obs.json");
-    std::fs::write(&path, out).expect("write BENCH_obs.json");
+    let path = write_bench_record("BENCH_obs.json", &out);
     eprintln!("recorded telemetry overhead -> {}", path.display());
 }
 

@@ -4,12 +4,12 @@
 //! `results/BENCH_predict.json` so later PRs can regress-gate the
 //! compiled engine's speedup without re-running Criterion.
 
-use std::path::PathBuf;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use c100_bench::dataset::{synthetic_regression, wrap_artifact};
+use c100_bench::{bench_env_json, write_bench_record};
 use c100_ml::data::Matrix;
 use c100_ml::forest::RandomForestConfig;
 use c100_ml::gbdt::GbdtConfig;
@@ -54,7 +54,10 @@ fn bench_engines(c: &mut Criterion) {
     .fit(&x, &y, 0)
     .unwrap();
 
-    let mut recorded = String::from("{\"bench\":\"predict_engines\",\"results\":[");
+    let mut recorded = format!(
+        "{{\"bench\":\"predict_engines\",\"env\":{},\"results\":[",
+        bench_env_json()
+    );
     let mut first = true;
     let mut group = c.benchmark_group("predict_engines");
     for (family, payload) in [
@@ -108,13 +111,7 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
     recorded.push_str("]}\n");
 
-    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("results");
-    std::fs::create_dir_all(&results_dir).expect("create results dir");
-    let path = results_dir.join("BENCH_predict.json");
-    std::fs::write(&path, recorded).expect("write BENCH_predict.json");
+    let path = write_bench_record("BENCH_predict.json", &recorded);
     eprintln!("recorded engine comparison -> {}", path.display());
 }
 

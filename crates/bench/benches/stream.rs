@@ -4,11 +4,11 @@
 //! recorded to `results/BENCH_stream.json` so later PRs can regress-gate
 //! the streaming path without re-running Criterion.
 
-use std::path::PathBuf;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use c100_bench::{bench_env_json, write_bench_record};
 use c100_core::pipeline::ScenarioSpec;
 use c100_core::profile::Profile;
 use c100_core::scenario::Period;
@@ -139,8 +139,9 @@ fn bench_stream(c: &mut Criterion) {
     });
     let (cold_roll_secs, warm_roll_secs) = rollover_pauses(&ticks);
 
+    let env = bench_env_json();
     let recorded = format!(
-        "{{\"bench\":\"stream_throughput\",\"results\":[{{\"ticks\":{n},\
+        "{{\"bench\":\"stream_throughput\",\"env\":{env},\"results\":[{{\"ticks\":{n},\
          \"incremental_median_secs\":{incremental_secs:.6},\
          \"batch_recompute_median_secs\":{batch_secs:.6},\
          \"speedup\":{:.2},\
@@ -160,13 +161,7 @@ fn bench_stream(c: &mut Criterion) {
     });
     group.finish();
 
-    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("results");
-    std::fs::create_dir_all(&results_dir).expect("create results dir");
-    let path = results_dir.join("BENCH_stream.json");
-    std::fs::write(&path, recorded).expect("write BENCH_stream.json");
+    let path = write_bench_record("BENCH_stream.json", &recorded);
     eprintln!("recorded streaming comparison -> {}", path.display());
 }
 

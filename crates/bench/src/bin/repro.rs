@@ -35,6 +35,11 @@
 //!              [--resync-every N] [--retain N] [--serve ADDR]
 //!              [--out DIR] [--trace PATH] [--flight PATH] [--quiet]
 //!
+//! repro matrix [--profile smoke|fast|full] [--seed N] [--threads N]
+//!              [--out DIR] [--store DIR] [--fresh]
+//!              [--families CSV] [--horizons CSV]
+//!              [--trace PATH] [--flight PATH] [--quiet]
+//!
 //! repro compare BASELINE_DIR CURRENT_DIR [--fail-over-pct N]
 //! ```
 //!
@@ -87,6 +92,14 @@
 //! default `compiled` flattens the ensemble into contiguous arrays for
 //! branchless traversal, `interpreted` walks the fitted trees directly.
 //! Both produce bit-identical forecasts.
+//!
+//! `repro matrix` runs the scenario matrix (`c100-matrix`): index
+//! families × regime/walk-forward windows × horizons on a work-stealing
+//! pool with shared dataset prep. Completed cells stream into `--store`
+//! (default `<out>/matrix-store`), so a killed run resumes where it
+//! stopped; the byte-deterministic report lands in `<out>/matrix.json`,
+//! which `repro compare` diffs cell-by-cell (MSE regressions past the
+//! threshold, any ok→failed flip, any cell-count change fail the gate).
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -245,6 +258,14 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if cli.peek().map(String::as_str) == Some("matrix") {
+        cli.next();
+        if let Err(e) = run_matrix_cmd(cli) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
     }
     let args = match parse_args(cli) {
         Ok(a) => a,
@@ -744,13 +765,138 @@ fn load_run_data(dir: &Path) -> Result<RunData, String> {
                 .map_err(|e| format!("{}: {e}", profile_path.display()))?,
         );
     }
-    if data.metrics.is_none() && data.profile.is_none() {
+    let matrix_path = dir.join("matrix.json");
+    if matrix_path.exists() {
+        let text = std::fs::read_to_string(&matrix_path).map_err(|e| e.to_string())?;
+        data.matrix = Some(
+            c100_obs::compare::MatrixSummary::from_json(&text)
+                .map_err(|e| format!("{}: {e}", matrix_path.display()))?,
+        );
+    }
+    if data.metrics.is_none() && data.profile.is_none() && data.matrix.is_none() {
         return Err(format!(
-            "{} holds neither metrics.json nor profile.json",
+            "{} holds no metrics.json, profile.json or matrix.json",
             dir.display()
         ));
     }
     Ok(data)
+}
+
+/// `repro matrix`: the scenario matrix — index families × regime /
+/// walk-forward windows × horizons, crash-resumable via `--store`.
+fn run_matrix_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut profile = RunProfile::Fast;
+    let mut seed = 42u64;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut out = PathBuf::from("results");
+    let mut store: Option<PathBuf> = None;
+    let mut fresh = false;
+    let mut families = None;
+    let mut horizons = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut flight_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let v = args.next().ok_or("--profile needs a value")?;
+                profile = RunProfile::parse(&v).ok_or(format!("unknown profile {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                if threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--store" => store = Some(PathBuf::from(args.next().ok_or("--store needs a value")?)),
+            "--fresh" => fresh = true,
+            "--families" => {
+                let v = args.next().ok_or("--families needs a value")?;
+                families = Some(c100_matrix::spec::parse_families(&v).map_err(|e| e.to_string())?);
+            }
+            "--horizons" => {
+                let v = args.next().ok_or("--horizons needs a value")?;
+                horizons = Some(c100_matrix::spec::parse_horizons(&v).map_err(|e| e.to_string())?);
+            }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?))
+            }
+            "--flight" => {
+                flight_path = Some(PathBuf::from(args.next().ok_or("--flight needs a value")?))
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+
+    let mut config = c100_matrix::MatrixConfig::new(seed, profile.synth_config(seed));
+    if let Some(f) = families {
+        config.families = f;
+    }
+    if let Some(h) = horizons {
+        config.horizons = h;
+    }
+    let store_root = store.unwrap_or_else(|| out.join("matrix-store"));
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    let tracer = trace_path.as_ref().map(|_| Tracer::new());
+    let metrics = MetricsRegistry::new();
+    let flight = FlightRecorder::new();
+    let obs = c100_matrix::MatrixObs {
+        tracer: tracer.as_ref(),
+        metrics: Some(&metrics),
+        flight: Some(&flight),
+    };
+
+    if !quiet {
+        eprintln!(
+            "# repro matrix — profile {:?}, seed {seed}, {threads} thread(s), store {}",
+            profile,
+            store_root.display()
+        );
+    }
+    let started = std::time::Instant::now();
+    let outcome = c100_matrix::run_matrix(&config, threads, &store_root, fresh, obs)
+        .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+
+    let matrix_path = out.join("matrix.json");
+    std::fs::write(&matrix_path, outcome.report.render()).map_err(|e| e.to_string())?;
+    let metrics_path = out.join("metrics.json");
+    std::fs::write(&metrics_path, metrics.snapshot().to_json()).map_err(|e| e.to_string())?;
+    if let (Some(trace_path), Some(tracer)) = (&trace_path, &tracer) {
+        std::fs::write(trace_path, tracer.chrome_trace_json()).map_err(|e| e.to_string())?;
+        let profile_path = out.join("profile.json");
+        std::fs::write(&profile_path, tracer.profile().to_json()).map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = &flight_path {
+        flight.dump_to_file(path).map_err(|e| e.to_string())?;
+    }
+
+    println!(
+        "matrix: {} cells ({} ok, {} failed) in {:.1}s — {} resumed, {} computed",
+        outcome.report.cells.len(),
+        outcome.report.ok,
+        outcome.report.failed,
+        elapsed.as_secs_f64(),
+        outcome.resumed,
+        outcome.computed,
+    );
+    println!(
+        "  prep: {} built, {} served from cache; scheduler: {} worker(s), {} steal(s)",
+        outcome.prep_builds, outcome.prep_hits, outcome.sched.workers, outcome.sched.steals,
+    );
+    println!("  -> {}", matrix_path.display());
+    println!("  -> {}", metrics_path.display());
+    Ok(())
 }
 
 /// `repro compare`: diffs two run directories and returns whether the

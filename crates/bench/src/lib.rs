@@ -2,6 +2,8 @@
 
 pub mod dataset;
 
+use std::path::PathBuf;
+
 use c100_core::profile::Profile;
 use c100_synth::SynthConfig;
 use c100_timeseries::Date;
@@ -62,5 +64,93 @@ impl RunProfile {
             RunProfile::Full => Profile::full(),
         }
         .with_seed(seed)
+    }
+}
+
+/// The metadata envelope every recorded `results/BENCH_*.json` carries:
+/// the git revision the numbers were measured at, the build profile
+/// (release vs debug decides everything for tree code), and the
+/// machine's thread count (parallel benches scale with it). Without
+/// these, cross-PR diffs of bench files compare apples to oranges.
+pub fn bench_env_json() -> String {
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!("{{\"git_rev\":\"{rev}\",\"profile\":\"{profile}\",\"threads\":{threads}}}")
+}
+
+/// Validates that a bench record carries the envelope: a `bench` name
+/// plus an `env` object with `git_rev`, `profile` and `threads`.
+/// Returns the problem when it doesn't.
+pub fn check_bench_envelope(text: &str) -> Result<(), String> {
+    let value = c100_obs::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    value
+        .req_str("bench")
+        .map_err(|e| format!("missing bench name: {e}"))?;
+    let env = value
+        .get("env")
+        .ok_or_else(|| "missing \"env\" envelope".to_string())?;
+    env.req_str("git_rev")
+        .map_err(|e| format!("env.git_rev: {e}"))?;
+    env.req_str("profile")
+        .map_err(|e| format!("env.profile: {e}"))?;
+    env.req_uint("threads")
+        .map_err(|e| format!("env.threads: {e}"))?;
+    Ok(())
+}
+
+/// Writes a recorded bench file into `results/`, asserting the metadata
+/// envelope first — a bench that forgets [`bench_env_json`] fails at
+/// record time, not at diff time months later.
+pub fn write_bench_record(file_name: &str, text: &str) -> PathBuf {
+    if let Err(problem) = check_bench_envelope(text) {
+        panic!("{file_name}: {problem}");
+    }
+    let results_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
+    let path = results_dir.join(file_name);
+    std::fs::write(&path, text).expect("write bench record");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_json_is_a_valid_envelope_fragment() {
+        let record = format!(
+            "{{\"bench\":\"x\",\"env\":{},\"results\":[]}}",
+            bench_env_json()
+        );
+        check_bench_envelope(&record).unwrap();
+    }
+
+    #[test]
+    fn envelope_check_names_whats_missing() {
+        let err = check_bench_envelope("{\"bench\":\"x\",\"results\":[]}").unwrap_err();
+        assert!(err.contains("env"), "{err}");
+        let err = check_bench_envelope(
+            "{\"bench\":\"x\",\"env\":{\"git_rev\":\"abc\",\"profile\":\"release\"}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("threads"), "{err}");
+        let err = check_bench_envelope("not json").unwrap_err();
+        assert!(err.contains("JSON"), "{err}");
     }
 }

@@ -10,7 +10,7 @@
 //! to Bitcoin (Figure 2a shows powers 7 vs 8, Figure 2b powers 6 vs 7).
 //! [`power_comparison`] reproduces that tuning analysis.
 
-use c100_synth::universe::Universe;
+use c100_synth::universe::{Sector, Universe};
 use c100_timeseries::{Frame, Series};
 
 use crate::{CoreError, Result};
@@ -111,6 +111,289 @@ pub fn figure2_frame(universe: &Universe, btc_close: &[f64], powers: &[f64]) -> 
     Ok(frame)
 }
 
+/// CRIX base value on the first observed day.
+pub const CRIX_BASE: f64 = 1000.0;
+
+/// A family of index constructions over the simulated universe.
+///
+/// The scenario matrix treats "which index is the target built from" as
+/// one axis of the cross-product; every family turns the daily cap panel
+/// into one daily level series. Implementations must be pure functions of
+/// the universe so matrix cells stay bit-identical across schedulers.
+pub trait IndexFamily {
+    /// Stable id used in scenario cell ids, spec strings and column names.
+    fn id(&self) -> String;
+
+    /// Daily index level over the whole observed sample.
+    fn build(&self, universe: &Universe) -> Series;
+}
+
+/// Top-N market-cap cut with the paper's log-power scaling; `TopN { n:
+/// 100, power: 7 }` is the Crypto100 index itself generalized to any cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopNIndex {
+    /// Number of constituents summed each day.
+    pub n: usize,
+    /// Exponent of the `log₁₀` scaling factor.
+    pub power: f64,
+}
+
+impl TopNIndex {
+    /// Top-N family at the paper's scaling power.
+    pub fn new(n: usize) -> TopNIndex {
+        TopNIndex {
+            n,
+            power: DEFAULT_POWER,
+        }
+    }
+}
+
+impl IndexFamily for TopNIndex {
+    fn id(&self) -> String {
+        format!("top{}", self.n)
+    }
+
+    fn build(&self, universe: &Universe) -> Series {
+        let n_days = universe.n_days();
+        let mut values = Vec::with_capacity(n_days);
+        let mut day_caps: Vec<f64> = Vec::with_capacity(universe.n_assets());
+        for t in 0..n_days {
+            day_caps.clear();
+            day_caps.extend(universe.caps.iter().map(|c| c[t]));
+            let k = self.n.min(day_caps.len());
+            day_caps.select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).expect("finite caps"));
+            let top: f64 = day_caps[..k].iter().sum();
+            values.push(crypto100_value(top, self.power));
+        }
+        Series::new(self.id(), values)
+    }
+}
+
+/// CRIX-style dynamically-rebalanced index (Trimborn & Härdle): a fixed
+/// constituent list is held between rebalance dates, and at each
+/// rebalance the membership is re-selected by market cap while a divisor
+/// adjustment keeps the index level continuous. Starts at [`CRIX_BASE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrixIndex {
+    /// Number of constituents selected at each rebalance.
+    pub constituents: usize,
+    /// Days between reweightings.
+    pub rebalance_days: usize,
+}
+
+impl IndexFamily for CrixIndex {
+    fn id(&self) -> String {
+        format!("crix{}r{}", self.constituents, self.rebalance_days)
+    }
+
+    fn build(&self, universe: &Universe) -> Series {
+        let n_days = universe.n_days();
+        let cap_sum = |members: &[usize], t: usize| -> f64 {
+            members.iter().map(|&i| universe.caps[i][t]).sum()
+        };
+        let mut values = Vec::with_capacity(n_days);
+        if n_days == 0 {
+            return Series::new(self.id(), values);
+        }
+        let mut members = universe.top_k(0, self.constituents);
+        let mut divisor = (cap_sum(&members, 0) / CRIX_BASE).max(f64::MIN_POSITIVE);
+        for t in 0..n_days {
+            if t > 0 && self.rebalance_days > 0 && t % self.rebalance_days == 0 {
+                // Level carried across the rebalance: today's caps under
+                // the outgoing membership fix the chain-link point.
+                let level = (cap_sum(&members, t) / divisor).max(f64::MIN_POSITIVE);
+                members = universe.top_k(t, self.constituents);
+                divisor = (cap_sum(&members, t) / level).max(f64::MIN_POSITIVE);
+            }
+            values.push(cap_sum(&members, t) / divisor);
+        }
+        Series::new(self.id(), values)
+    }
+}
+
+/// Sector-restricted top-K cut: the paper's index construction applied to
+/// one [`Sector`] of the universe only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SectorIndex {
+    /// Sector the constituents are drawn from.
+    pub sector: Sector,
+    /// Maximum number of constituents summed each day.
+    pub max_constituents: usize,
+    /// Exponent of the `log₁₀` scaling factor.
+    pub power: f64,
+}
+
+impl SectorIndex {
+    /// Sector family at the paper's scaling power.
+    pub fn new(sector: Sector, max_constituents: usize) -> SectorIndex {
+        SectorIndex {
+            sector,
+            max_constituents,
+            power: DEFAULT_POWER,
+        }
+    }
+}
+
+impl IndexFamily for SectorIndex {
+    fn id(&self) -> String {
+        format!("sector-{}-{}", self.sector.label(), self.max_constituents)
+    }
+
+    fn build(&self, universe: &Universe) -> Series {
+        let n_days = universe.n_days();
+        let assets: Vec<usize> = (0..universe.n_assets())
+            .filter(|&i| universe.sectors[i] == self.sector)
+            .collect();
+        let mut values = Vec::with_capacity(n_days);
+        let mut day_caps: Vec<f64> = Vec::with_capacity(assets.len());
+        for t in 0..n_days {
+            day_caps.clear();
+            day_caps.extend(assets.iter().map(|&i| universe.caps[i][t]));
+            let k = self.max_constituents.min(day_caps.len());
+            if k == 0 {
+                values.push(f64::NAN);
+                continue;
+            }
+            day_caps.select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).expect("finite caps"));
+            let top: f64 = day_caps[..k].iter().sum();
+            values.push(crypto100_value(top, self.power));
+        }
+        Series::new(self.id(), values)
+    }
+}
+
+/// A parseable description of one index family — the unit the matrix CLI
+/// and `matrix.json` use to name the index axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexFamilySpec {
+    /// `top<N>`, e.g. `top100`.
+    TopN(TopNIndex),
+    /// `crix<N>r<D>`, e.g. `crix30r30`.
+    Crix(CrixIndex),
+    /// `sector-<label>[-<N>]`, e.g. `sector-defi-50`.
+    Sector(SectorIndex),
+}
+
+impl IndexFamilySpec {
+    /// The default matrix axis: the paper's index plus two CRIX variants
+    /// and a sector cut.
+    pub fn default_families() -> Vec<IndexFamilySpec> {
+        vec![
+            IndexFamilySpec::TopN(TopNIndex::new(100)),
+            IndexFamilySpec::Crix(CrixIndex {
+                constituents: 30,
+                rebalance_days: 30,
+            }),
+            IndexFamilySpec::Crix(CrixIndex {
+                constituents: 50,
+                rebalance_days: 90,
+            }),
+            IndexFamilySpec::Sector(SectorIndex::new(Sector::DeFi, 50)),
+        ]
+    }
+
+    /// Parses one family token. Every failure mode names the offending
+    /// token and lists the valid alternatives.
+    pub fn parse(token: &str) -> Result<IndexFamilySpec> {
+        const GRAMMAR: &str = "valid families: top<N> (e.g. top100), \
+             crix<N>r<D> (e.g. crix30r30), sector-<label>[-<N>] (e.g. sector-defi-50)";
+        let fail = |detail: String| CoreError::Pipeline(format!("{detail}; {GRAMMAR}"));
+
+        if let Some(rest) = token.strip_prefix("top") {
+            let n: usize = rest.parse().map_err(|_| {
+                fail(format!(
+                    "invalid index family {token:?}: constituent count {rest:?} is not a number"
+                ))
+            })?;
+            if n == 0 {
+                return Err(fail(format!(
+                    "invalid index family {token:?}: constituent count must be at least 1"
+                )));
+            }
+            return Ok(IndexFamilySpec::TopN(TopNIndex::new(n)));
+        }
+        if let Some(rest) = token.strip_prefix("crix") {
+            let Some((n_str, d_str)) = rest.split_once('r') else {
+                return Err(fail(format!(
+                    "invalid index family {token:?}: missing 'r<rebalance_days>' suffix"
+                )));
+            };
+            let n: usize = n_str.parse().map_err(|_| {
+                fail(format!(
+                    "invalid index family {token:?}: constituent count {n_str:?} is not a number"
+                ))
+            })?;
+            let d: usize = d_str.parse().map_err(|_| {
+                fail(format!(
+                    "invalid index family {token:?}: rebalance cadence {d_str:?} is not a number"
+                ))
+            })?;
+            if n == 0 || d == 0 {
+                return Err(fail(format!(
+                    "invalid index family {token:?}: constituent count and cadence must be at least 1"
+                )));
+            }
+            return Ok(IndexFamilySpec::Crix(CrixIndex {
+                constituents: n,
+                rebalance_days: d,
+            }));
+        }
+        if let Some(rest) = token.strip_prefix("sector-") {
+            let (label, n) = match rest.rsplit_once('-') {
+                Some((label, n_str)) => {
+                    let n: usize = n_str.parse().map_err(|_| {
+                        fail(format!(
+                            "invalid index family {token:?}: constituent count {n_str:?} \
+                             is not a number"
+                        ))
+                    })?;
+                    (label, n)
+                }
+                None => (rest, 50),
+            };
+            let Some(sector) = Sector::parse(label) else {
+                let valid = Sector::ALL
+                    .iter()
+                    .map(|s| s.label())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return Err(fail(format!(
+                    "invalid index family {token:?}: unknown sector {label:?} \
+                     (valid sectors: {valid})"
+                )));
+            };
+            if n == 0 {
+                return Err(fail(format!(
+                    "invalid index family {token:?}: constituent count must be at least 1"
+                )));
+            }
+            return Ok(IndexFamilySpec::Sector(SectorIndex::new(sector, n)));
+        }
+        Err(fail(format!(
+            "invalid index family {token:?}: unknown family prefix"
+        )))
+    }
+
+    /// The family behind the spec, as a trait object.
+    pub fn family(&self) -> &dyn IndexFamily {
+        match self {
+            IndexFamilySpec::TopN(f) => f,
+            IndexFamilySpec::Crix(f) => f,
+            IndexFamilySpec::Sector(f) => f,
+        }
+    }
+
+    /// Stable id (identical to `self.family().id()`).
+    pub fn id(&self) -> String {
+        self.family().id()
+    }
+
+    /// Builds the family's daily index series.
+    pub fn build(&self, universe: &Universe) -> Series {
+        self.family().build(universe)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +453,131 @@ mod tests {
                 c.correlation_with_btc
             );
         }
+    }
+
+    #[test]
+    fn top100_family_matches_crypto100_builder() {
+        let (_, u) = universe();
+        let family = TopNIndex::new(100).build(&u);
+        let builder = Crypto100Builder::default().build(&u);
+        for (a, b) in family.values().iter().zip(builder.values()) {
+            // Same top-100 cap sum accumulated in a different order.
+            assert!((a - b).abs() <= a.abs() * 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn crix_starts_at_base_and_is_continuous_across_rebalances() {
+        let (_, u) = universe();
+        let idx = CrixIndex {
+            constituents: 30,
+            rebalance_days: 30,
+        };
+        let series = idx.build(&u);
+        let v = series.values();
+        assert!((v[0] - CRIX_BASE).abs() < 1e-9);
+        // Daily moves stay bounded at rebalance dates: the divisor chain
+        // must not introduce level jumps beyond market moves.
+        for t in (30..v.len()).step_by(30) {
+            let jump = (v[t] / v[t - 1]).ln().abs();
+            assert!(jump < 0.5, "day {t} rebalancing jump {jump}");
+        }
+        assert!(v.iter().all(|x| x.is_finite() && *x > 0.0));
+    }
+
+    #[test]
+    fn crix_rebalancing_changes_membership_weighting() {
+        let (_, u) = universe();
+        let fast = CrixIndex {
+            constituents: 20,
+            rebalance_days: 30,
+        }
+        .build(&u);
+        let slow = CrixIndex {
+            constituents: 20,
+            rebalance_days: 10_000,
+        }
+        .build(&u);
+        // With churn in the universe, rebalancing must eventually diverge
+        // from the static-membership chain.
+        let diverged = fast
+            .values()
+            .iter()
+            .zip(slow.values())
+            .any(|(a, b)| (a - b).abs() > 1e-6 * a.abs());
+        assert!(diverged, "rebalancing never changed the index");
+    }
+
+    #[test]
+    fn sector_index_is_positive_where_sector_is_live() {
+        let (_, u) = universe();
+        let series = SectorIndex::new(c100_synth::universe::Sector::DeFi, 50).build(&u);
+        let finite = series.values().iter().filter(|v| v.is_finite()).count();
+        assert!(finite > 0, "sector index never produced a level");
+    }
+
+    #[test]
+    fn family_ids_are_stable() {
+        assert_eq!(TopNIndex::new(100).id(), "top100");
+        assert_eq!(
+            CrixIndex {
+                constituents: 30,
+                rebalance_days: 30
+            }
+            .id(),
+            "crix30r30"
+        );
+        assert_eq!(
+            SectorIndex::new(c100_synth::universe::Sector::DeFi, 50).id(),
+            "sector-defi-50"
+        );
+    }
+
+    #[test]
+    fn family_spec_round_trips() {
+        for token in [
+            "top100",
+            "top50",
+            "crix30r30",
+            "sector-defi-50",
+            "sector-meme",
+        ] {
+            let spec = IndexFamilySpec::parse(token).unwrap();
+            let id = spec.id();
+            assert_eq!(IndexFamilySpec::parse(&id).unwrap(), spec);
+        }
+        for spec in IndexFamilySpec::default_families() {
+            assert_eq!(IndexFamilySpec::parse(&spec.id()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn family_spec_errors_name_token_and_alternatives() {
+        let cases = [
+            ("frankenindex", "unknown family prefix"),
+            ("topx", "constituent count \"x\" is not a number"),
+            ("top0", "must be at least 1"),
+            ("crix30", "missing 'r<rebalance_days>' suffix"),
+            ("crixAr30", "constituent count \"A\" is not a number"),
+            ("crix30rB", "rebalance cadence \"B\" is not a number"),
+            ("crix0r5", "must be at least 1"),
+            ("sector-food-50", "unknown sector \"food\""),
+            (
+                "sector-defi-many",
+                "constituent count \"many\" is not a number",
+            ),
+            ("sector-defi-0", "must be at least 1"),
+        ];
+        for (token, expect) in cases {
+            let err = IndexFamilySpec::parse(token).unwrap_err().to_string();
+            assert!(err.contains(expect), "{token}: {err}");
+            assert!(err.contains(&format!("{token:?}")), "{token}: {err}");
+            assert!(err.contains("valid families:"), "{token}: {err}");
+        }
+        let err = IndexFamilySpec::parse("sector-food-50")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("currency, smartcontract, defi, infra, meme"));
     }
 
     #[test]

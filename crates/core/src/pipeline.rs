@@ -53,21 +53,50 @@ impl ScenarioSpec {
 
     /// Parses a `period_window` id (`2019_7`) back into a spec. Only the
     /// paper's periods and windows are accepted — an artifact or CLI flag
-    /// naming anything else is a mistake worth failing loudly on.
+    /// naming anything else is a mistake worth failing loudly on. Each
+    /// failure mode names the offending token and lists the valid
+    /// alternatives, so a typo'd `--scenarios` flag is self-explaining.
     pub fn parse(id: &str) -> Result<ScenarioSpec> {
-        let err = || {
-            crate::CoreError::Pipeline(format!(
-                "invalid scenario id {id:?} (expected <period>_<window>, e.g. 2019_7)"
-            ))
+        let periods = || {
+            Period::ALL
+                .iter()
+                .map(|p| p.label())
+                .collect::<Vec<_>>()
+                .join(", ")
         };
-        let (period_label, window_str) = id.split_once('_').ok_or_else(err)?;
-        let period = Period::ALL
-            .into_iter()
-            .find(|p| p.label() == period_label)
-            .ok_or_else(err)?;
-        let window: usize = window_str.parse().map_err(|_| err())?;
+        let windows = || {
+            crate::scenario::WINDOWS
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let Some((period_label, window_str)) = id.split_once('_') else {
+            return Err(crate::CoreError::Pipeline(format!(
+                "invalid scenario id {id:?}: missing '_' separator \
+                 (expected <period>_<window>, e.g. 2019_7)"
+            )));
+        };
+        let Some(period) = Period::ALL.into_iter().find(|p| p.label() == period_label) else {
+            return Err(crate::CoreError::Pipeline(format!(
+                "invalid scenario id {id:?}: unknown period {period_label:?} \
+                 (valid periods: {})",
+                periods()
+            )));
+        };
+        let window: usize = window_str.parse().map_err(|_| {
+            crate::CoreError::Pipeline(format!(
+                "invalid scenario id {id:?}: window {window_str:?} is not a number \
+                 (valid windows: {})",
+                windows()
+            ))
+        })?;
         if !crate::scenario::WINDOWS.contains(&window) {
-            return Err(err());
+            return Err(crate::CoreError::Pipeline(format!(
+                "invalid scenario id {id:?}: unsupported window {window} \
+                 (valid windows: {})",
+                windows()
+            )));
         }
         Ok(ScenarioSpec { period, window })
     }
@@ -268,6 +297,42 @@ mod tests {
         assert_eq!(specs.len(), 10);
         assert_eq!(specs[0].id(), "2017_1");
         assert_eq!(specs[9].id(), "2019_180");
+    }
+
+    #[test]
+    fn parse_round_trips_every_scenario() {
+        for spec in ScenarioSpec::all() {
+            assert_eq!(ScenarioSpec::parse(&spec.id()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn parse_missing_separator_names_expectation() {
+        let err = ScenarioSpec::parse("20197").unwrap_err().to_string();
+        assert!(err.contains("\"20197\""), "{err}");
+        assert!(err.contains("missing '_' separator"), "{err}");
+        assert!(err.contains("<period>_<window>"), "{err}");
+    }
+
+    #[test]
+    fn parse_unknown_period_lists_valid_periods() {
+        let err = ScenarioSpec::parse("2023_7").unwrap_err().to_string();
+        assert!(err.contains("unknown period \"2023\""), "{err}");
+        assert!(err.contains("2017, 2019"), "{err}");
+    }
+
+    #[test]
+    fn parse_non_numeric_window_names_token() {
+        let err = ScenarioSpec::parse("2019_week").unwrap_err().to_string();
+        assert!(err.contains("window \"week\" is not a number"), "{err}");
+        assert!(err.contains("1, 7, 30, 90, 180"), "{err}");
+    }
+
+    #[test]
+    fn parse_unsupported_window_lists_valid_windows() {
+        let err = ScenarioSpec::parse("2019_14").unwrap_err().to_string();
+        assert!(err.contains("unsupported window 14"), "{err}");
+        assert!(err.contains("1, 7, 30, 90, 180"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! # c100-matrix
+//!
+//! The scenario-matrix subsystem: instead of evaluating one fixed index
+//! (Crypto100) over one fixed sample, a matrix run crosses **index
+//! families** (top-N cuts, CRIX-style rebalanced indices, sector
+//! restrictions — [`c100_core::index::IndexFamily`]) with **evaluation
+//! windows** (bull/bear/sideways regime segments from the synth latent
+//! state, rolling-origin walk-forward folds, and the full sample) and
+//! **forecast horizons**, producing 100+ cells per run. Alessandretti et
+//! al. show model rankings flip across time windows and universes; the
+//! matrix is how the repo detects that instead of averaging over it.
+//!
+//! ## Execution model
+//!
+//! [`run_matrix`] expands the cross-product into [`CellPlan`]s, then
+//! executes them on a work-stealing thread pool ([`sched`]): cells are
+//! dealt round-robin onto per-worker deques, a worker drains its own
+//! deque from the front and steals from the back of others when idle.
+//! Cells that share an index family and prep window — every horizon of
+//! one window, and every walk-forward fold of one family — share the
+//! expensive dataset prep (window slicing, cleaning, interpolation,
+//! design-matrix assembly, quantile binning) through a [`prep::PrepCache`]
+//! keyed by `(family, window-range)`; training prefixes are cut from the
+//! shared [`c100_ml::data::BinnedMatrix`] with `prefix_rows`, so the
+//! per-feature quantile sort is paid once per window instead of once per
+//! cell.
+//!
+//! ## Crash resume
+//!
+//! Each completed cell is streamed through [`c100_store::MatrixStore`]
+//! as it finishes (atomic rename per cell). A killed run re-opens the
+//! store, which returns every intact completed cell; those cells are
+//! skipped and their persisted records are emitted verbatim, so the
+//! final `matrix.json` is byte-identical to an uninterrupted run. The
+//! store is fingerprinted by the matrix configuration — resuming under a
+//! changed config is refused rather than silently mixed.
+//!
+//! ## Determinism
+//!
+//! `matrix.json` contains no timings, thread counts or timestamps; cell
+//! results are pure functions of the configuration (per-cell model seeds
+//! are hashed from the run seed and cell id) and the report is sorted by
+//! cell id — so the same config produces byte-identical reports at any
+//! thread count, killed or not. A proptest in `tests/` asserts this.
+//! Cell *failures* (window too short for a horizon, degenerate index)
+//! fail the cell, not the run: they are recorded in the flight recorder
+//! and reported as `"failed"` cells in the report.
+
+pub mod prep;
+pub mod report;
+pub mod runner;
+pub mod sched;
+pub mod spec;
+
+pub use report::{CellResult, CellStatus, MatrixReport};
+pub use runner::{run_matrix, MatrixObs, MatrixOutcome};
+pub use spec::{CellPlan, EvalWindow, MatrixConfig, SplitRule, WindowKind};
+
+use std::fmt;
+
+/// Errors that abort a whole matrix run (per-cell failures do not — they
+/// fail the cell and the run continues).
+#[derive(Debug)]
+pub enum MatrixError {
+    /// The matrix configuration is invalid (message explains).
+    Config(String),
+    /// Persisting or resuming through the matrix store failed.
+    Store(c100_store::StoreError),
+    /// A run-level (not cell-level) pipeline step failed.
+    Core(c100_core::CoreError),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Config(msg) => write!(f, "matrix config error: {msg}"),
+            MatrixError::Store(e) => write!(f, "matrix store error: {e}"),
+            MatrixError::Core(e) => write!(f, "matrix pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<c100_store::StoreError> for MatrixError {
+    fn from(e: c100_store::StoreError) -> Self {
+        MatrixError::Store(e)
+    }
+}
+
+impl From<c100_core::CoreError> for MatrixError {
+    fn from(e: c100_core::CoreError) -> Self {
+        MatrixError::Core(e)
+    }
+}
+
+/// Result alias for run-level matrix operations.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// FNV-1a 64 over a string — the hash behind cell seeds and the run
+/// fingerprint.
+pub(crate) fn fnv1a64(text: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

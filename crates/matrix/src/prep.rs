@@ -1,0 +1,292 @@
+//! Shared dataset prep: one expensive prepare per `(family, window)`,
+//! reused by every cell that differs only in horizon or split point.
+//!
+//! Preparing a window — slicing the master panel, dropping late-starting
+//! features, cleaning, interpolating, assembling the dense design matrix
+//! and quantile-binning it — dominates cell cost next to fitting a small
+//! forest. The matrix crosses each prepared window with several horizons
+//! (and walk-forward folds all share the full-span prep, cutting their
+//! training prefixes with `prefix_rows`), so the [`PrepCache`] turns
+//! `families × windows × horizons` preps into `families × windows`.
+//!
+//! The cache is keyed by `(family, prep_start, prep_end)` and each entry
+//! is a `OnceLock`: the first worker to request a window builds it while
+//! any concurrent requester blocks on the same lock and then shares the
+//! `Arc` — a prep is never computed twice, on any schedule.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use c100_core::dataset::MasterDataset;
+use c100_core::CRYPTO100;
+use c100_ml::data::{BinnedMatrix, Matrix};
+use c100_timeseries::clean::{clean_frame, CleanConfig};
+use c100_timeseries::missing;
+
+/// Bins per feature for the shared histogram binning (and the forest
+/// config — [`fit_binned_traced`] requires them to agree).
+///
+/// [`fit_binned_traced`]: c100_ml::gbdt::GbdtConfig::fit_binned_traced
+pub const PREP_MAX_BINS: usize = 64;
+
+/// One prepared `(family, window)` dataset.
+#[derive(Debug)]
+pub struct WindowPrep {
+    /// Feature names, in matrix column order.
+    pub feature_names: Vec<String>,
+    /// The family index level per window row (the forecast target before
+    /// horizon shifting: a cell at horizon `h` trains on `y[t] =
+    /// index[t + h]`).
+    pub index: Vec<f64>,
+    /// Dense feature matrix, one row per window row.
+    pub x: Matrix,
+    /// Shared quantile binning of `x` at [`PREP_MAX_BINS`].
+    pub binned: BinnedMatrix,
+}
+
+impl WindowPrep {
+    /// Rows in the prepared window.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the window is empty (never true for a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// Builds the prep for one `(family, window-range)` pair.
+///
+/// Mirrors the scenario pipeline (late-starter drop → clean →
+/// interpolate → dense matrix) with the family index standing in for
+/// Crypto100. Errors are returned as strings: a failed prep fails the
+/// cells that need it, not the run.
+pub fn build_prep(
+    master: &MasterDataset,
+    family_id: &str,
+    family_values: &[f64],
+    start: usize,
+    end: usize,
+) -> Result<WindowPrep, String> {
+    let err = |what: String| format!("prep {family_id}[{start}..{end}): {what}");
+    if start >= end || end > master.frame.len() {
+        return Err(err(format!(
+            "invalid row range (panel has {} rows)",
+            master.frame.len()
+        )));
+    }
+    let mut frame = master
+        .frame
+        .row_slice(start, end)
+        .map_err(|e| err(e.to_string()))?;
+    // The family index replaces Crypto100 as the target column.
+    frame
+        .drop_column(CRYPTO100)
+        .map_err(|e| err(e.to_string()))?;
+    let index = c100_timeseries::Series::new(family_id, family_values[start..end].to_vec());
+    frame.push_column(index).map_err(|e| err(e.to_string()))?;
+
+    // Features that began recording after the window opened would force
+    // row drops; discard them like the scenario pipeline does.
+    let late_starters: Vec<String> = frame
+        .column_names()
+        .into_iter()
+        .filter(|n| *n != family_id)
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter(|name| {
+            frame
+                .column(name)
+                .map(|col| col.first_present() != Some(0))
+                .unwrap_or(true)
+        })
+        .collect();
+    for name in &late_starters {
+        frame.drop_column(name).map_err(|e| err(e.to_string()))?;
+    }
+
+    clean_frame(&mut frame, &CleanConfig::default(), &[family_id]);
+    missing::interpolate_frame(&mut frame);
+    // A window cut mid-panel can end inside a reporting gap (monthly
+    // macro steps, weekly sentiment): interpolation only fills interior
+    // gaps, so carry the last observation forward over the trailing
+    // edge. The family index is left untouched — a NaN there is a real
+    // defect the row-drop check below must surface.
+    for col in frame.columns_mut() {
+        if col.name() != family_id {
+            missing::forward_fill(col);
+        }
+    }
+
+    let feature_names: Vec<String> = frame
+        .column_names()
+        .into_iter()
+        .filter(|n| *n != family_id)
+        .map(|s| s.to_string())
+        .collect();
+    if feature_names.is_empty() {
+        return Err(err("no features survived cleaning".into()));
+    }
+    let refs: Vec<&str> = feature_names.iter().map(|s| s.as_str()).collect();
+    let design = frame
+        .to_matrix(&refs, family_id)
+        .map_err(|e| err(e.to_string()))?;
+
+    // Horizon shifting and `prefix_rows` training cuts both assume row t
+    // of the matrix IS window day t; a design matrix with holes would
+    // silently misalign them, so a prep with dropped rows is an error
+    // (the family index was NaN somewhere — a degenerate universe cut).
+    let n_rows = end - start;
+    if design.kept_rows.len() != n_rows || design.kept_rows.iter().enumerate().any(|(i, &r)| i != r)
+    {
+        return Err(err(format!(
+            "design matrix dropped {} of {} rows (family index or features undefined)",
+            n_rows - design.kept_rows.len(),
+            n_rows
+        )));
+    }
+
+    let x = Matrix::from_row_major(design.x, design.n_features).map_err(|e| err(e.to_string()))?;
+    let binned = BinnedMatrix::from_matrix(&x, PREP_MAX_BINS).map_err(|e| err(e.to_string()))?;
+    Ok(WindowPrep {
+        feature_names,
+        index: design.y,
+        x,
+        binned,
+    })
+}
+
+type PrepSlot = Arc<OnceLock<Result<Arc<WindowPrep>, String>>>;
+
+/// Concurrent build-once cache of [`WindowPrep`]s.
+pub struct PrepCache<'a> {
+    master: &'a MasterDataset,
+    /// `(family id, full-span index values)` per family, in config order.
+    families: &'a [(String, Vec<f64>)],
+    slots: Mutex<HashMap<(usize, usize, usize), PrepSlot>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<'a> PrepCache<'a> {
+    /// A cache over the master panel and pre-built family index series.
+    pub fn new(master: &'a MasterDataset, families: &'a [(String, Vec<f64>)]) -> PrepCache<'a> {
+        PrepCache {
+            master,
+            families,
+            slots: Mutex::new(HashMap::new()),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The prep for `(family_idx, start..end)`, building it at most once
+    /// across all threads. Concurrent requesters block until the builder
+    /// finishes, then share the result.
+    pub fn get(
+        &self,
+        family_idx: usize,
+        start: usize,
+        end: usize,
+    ) -> Result<Arc<WindowPrep>, String> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap();
+            Arc::clone(slots.entry((family_idx, start, end)).or_default())
+        };
+        let mut built_here = false;
+        let result = slot.get_or_init(|| {
+            built_here = true;
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            let (family_id, values) = &self.families[family_idx];
+            build_prep(self.master, family_id, values, start, end).map(Arc::new)
+        });
+        if !built_here {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Preps actually built.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from an already-built prep.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c100_core::dataset::assemble;
+    use c100_core::index::IndexFamilySpec;
+    use c100_synth::{generate, SynthConfig};
+
+    fn fixtures() -> (MasterDataset, Vec<(String, Vec<f64>)>) {
+        let data = generate(&SynthConfig::small(31));
+        let master = assemble(&data).unwrap();
+        let families: Vec<(String, Vec<f64>)> = IndexFamilySpec::default_families()
+            .iter()
+            .map(|f| (f.id(), f.build(&data.universe).into_values()))
+            .collect();
+        (master, families)
+    }
+
+    #[test]
+    fn build_prep_keeps_every_row_and_bins_once() {
+        let (master, families) = fixtures();
+        let (id, values) = &families[0];
+        let prep = build_prep(&master, id, values, 50, 450).unwrap();
+        assert_eq!(prep.len(), 400);
+        assert_eq!(prep.x.n_rows(), 400);
+        assert_eq!(prep.binned.n_rows(), 400);
+        assert_eq!(prep.x.n_features(), prep.feature_names.len());
+        assert_eq!(prep.binned.max_bins(), PREP_MAX_BINS);
+        // Row t of the matrix is window day t: index values line up with
+        // the family series.
+        assert_eq!(prep.index, values[50..450].to_vec());
+    }
+
+    #[test]
+    fn bad_ranges_fail_the_prep_not_the_process() {
+        let (master, families) = fixtures();
+        let (id, values) = &families[0];
+        let err = build_prep(&master, id, values, 400, 400).unwrap_err();
+        assert!(err.contains("invalid row range"), "{err}");
+        let err = build_prep(&master, id, values, 0, 10_000).unwrap_err();
+        assert!(err.contains("invalid row range"), "{err}");
+    }
+
+    #[test]
+    fn cache_builds_each_window_once() {
+        let (master, families) = fixtures();
+        let cache = PrepCache::new(&master, &families);
+        let a = cache.get(0, 0, 300).unwrap();
+        let b = cache.get(0, 0, 300).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let _other_family = cache.get(1, 0, 300).unwrap();
+        let _other_window = cache.get(0, 100, 400).unwrap();
+        assert_eq!(cache.builds(), 3);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_build() {
+        let (master, families) = fixtures();
+        let cache = PrepCache::new(&master, &families);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    cache.get(0, 0, 400).unwrap();
+                });
+            }
+        });
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 3);
+    }
+}

@@ -1,0 +1,328 @@
+//! Cell records and the `matrix.json` report.
+//!
+//! A cell record is one line of JSON with a fixed field order, produced
+//! only by [`CellResult::encode`] — the same bytes whether the cell ran
+//! just now, on another thread count, or in a previous killed run (the
+//! store persists the encoded line verbatim and resume re-emits it).
+//! The report is the sorted concatenation of those lines plus a header,
+//! so `matrix.json` is byte-deterministic end to end.
+
+use c100_obs::json::{self, write_escaped, Value};
+
+use crate::{MatrixError, Result};
+
+/// Report format revision.
+pub const MATRIX_REPORT_VERSION: u64 = 1;
+
+/// Whether a cell produced metrics or failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell trained and evaluated; `mse`/`baseline_mse` are valid.
+    Ok,
+    /// The cell could not run (window too short for the horizon, or a
+    /// degenerate prep); `error` explains. Fails the cell, not the run.
+    Failed,
+}
+
+impl CellStatus {
+    fn label(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One evaluated (or failed) matrix cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Stable cell id (`family/window/h<horizon>`).
+    pub cell_id: String,
+    /// Index-family id axis value.
+    pub family: String,
+    /// Window id axis value.
+    pub window: String,
+    /// Window kind label (`full`, `bull`, `bear`, `sideways`,
+    /// `walkforward`).
+    pub window_kind: String,
+    /// Horizon axis value, days ahead.
+    pub horizon: u64,
+    /// Outcome.
+    pub status: CellStatus,
+    /// Training rows the model fit on (0 when failed).
+    pub train_rows: u64,
+    /// Held-out rows the metrics cover (0 when failed).
+    pub test_rows: u64,
+    /// Model mean squared error on the held-out rows (NaN when failed;
+    /// serialized as `null`).
+    pub mse: f64,
+    /// Persistence-baseline MSE on the same rows (NaN when failed).
+    pub baseline_mse: f64,
+    /// Failure explanation (empty when ok).
+    pub error: String,
+}
+
+impl CellResult {
+    /// A failed cell carrying only its axes and the error message.
+    pub fn failed(
+        cell_id: &str,
+        family: &str,
+        window: &str,
+        kind: &str,
+        horizon: u64,
+        error: String,
+    ) -> CellResult {
+        CellResult {
+            cell_id: cell_id.to_string(),
+            family: family.to_string(),
+            window: window.to_string(),
+            window_kind: kind.to_string(),
+            horizon,
+            status: CellStatus::Failed,
+            train_rows: 0,
+            test_rows: 0,
+            mse: f64::NAN,
+            baseline_mse: f64::NAN,
+            error,
+        }
+    }
+
+    /// Encodes the canonical one-line record. Field order is fixed;
+    /// floats go through [`c100_obs::json::write_float`] (shortest
+    /// round-trip, `null` for non-finite) — this is the byte-determinism
+    /// contract.
+    pub fn encode(&self) -> String {
+        let mut w = json::Writer::new();
+        w.begin();
+        w.str_field("cell", &self.cell_id);
+        w.str_field("family", &self.family);
+        w.str_field("window", &self.window);
+        w.str_field("window_kind", &self.window_kind);
+        w.uint_field("horizon", self.horizon);
+        w.str_field("status", self.status.label());
+        w.uint_field("train_rows", self.train_rows);
+        w.uint_field("test_rows", self.test_rows);
+        w.float_field("mse", self.mse);
+        w.float_field("baseline_mse", self.baseline_mse);
+        w.str_field("error", &self.error);
+        w.end();
+        w.finish()
+    }
+
+    /// Parses a record produced by [`CellResult::encode`] (used on
+    /// resume to count statuses without recomputing anything).
+    pub fn parse(text: &str) -> Result<CellResult> {
+        let malformed = |what: String| MatrixError::Config(format!("cell record: {what}"));
+        let value = json::parse(text).map_err(|e| malformed(e.to_string()))?;
+        let status = match value
+            .req_str("status")
+            .map_err(|e| malformed(e.to_string()))?
+        {
+            "ok" => CellStatus::Ok,
+            "failed" => CellStatus::Failed,
+            other => return Err(malformed(format!("unknown status {other:?}"))),
+        };
+        let float_or_nan = |key: &str| match value.get(key) {
+            Some(Value::Null) | None => Ok(f64::NAN),
+            _ => value.req_float(key).map_err(|e| malformed(e.to_string())),
+        };
+        Ok(CellResult {
+            cell_id: value
+                .req_str("cell")
+                .map_err(|e| malformed(e.to_string()))?
+                .to_string(),
+            family: value
+                .req_str("family")
+                .map_err(|e| malformed(e.to_string()))?
+                .to_string(),
+            window: value
+                .req_str("window")
+                .map_err(|e| malformed(e.to_string()))?
+                .to_string(),
+            window_kind: value
+                .req_str("window_kind")
+                .map_err(|e| malformed(e.to_string()))?
+                .to_string(),
+            horizon: value
+                .req_uint("horizon")
+                .map_err(|e| malformed(e.to_string()))?,
+            status,
+            train_rows: value
+                .req_uint("train_rows")
+                .map_err(|e| malformed(e.to_string()))?,
+            test_rows: value
+                .req_uint("test_rows")
+                .map_err(|e| malformed(e.to_string()))?,
+            mse: float_or_nan("mse")?,
+            baseline_mse: float_or_nan("baseline_mse")?,
+            error: value
+                .req_str("error")
+                .map_err(|e| malformed(e.to_string()))?
+                .to_string(),
+        })
+    }
+}
+
+/// The assembled report: header plus encoded cell records sorted by
+/// cell id.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Run fingerprint (hash of the matrix configuration).
+    pub fingerprint: String,
+    /// Human-readable canonical configuration description.
+    pub config: String,
+    /// `(cell_id, encoded record)` pairs, sorted by cell id.
+    pub cells: Vec<(String, String)>,
+    /// Cells with status `ok`.
+    pub ok: u64,
+    /// Cells with status `failed`.
+    pub failed: u64,
+}
+
+impl MatrixReport {
+    /// Assembles a report from encoded records (persisted payloads and
+    /// freshly computed ones alike). Sorts by cell id and tallies
+    /// statuses by parsing each record.
+    pub fn assemble(
+        fingerprint: String,
+        config: String,
+        mut cells: Vec<(String, String)>,
+    ) -> Result<MatrixReport> {
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut ok = 0;
+        let mut failed = 0;
+        for (_, payload) in &cells {
+            match CellResult::parse(payload)?.status {
+                CellStatus::Ok => ok += 1,
+                CellStatus::Failed => failed += 1,
+            }
+        }
+        Ok(MatrixReport {
+            fingerprint,
+            config,
+            cells,
+            ok,
+            failed,
+        })
+    }
+
+    /// Renders `matrix.json`: deterministic header, then the cell
+    /// records verbatim in sorted order.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.cells.len() * 192 + 256);
+        out.push_str("{\"version\":");
+        out.push_str(&MATRIX_REPORT_VERSION.to_string());
+        out.push_str(",\"fingerprint\":");
+        write_escaped(&mut out, &self.fingerprint);
+        out.push_str(",\"config\":");
+        write_escaped(&mut out, &self.config);
+        out.push_str(&format!(
+            ",\"n_cells\":{},\"ok\":{},\"failed\":{},\"cells\":[",
+            self.cells.len(),
+            self.ok,
+            self.failed
+        ));
+        for (i, (_, payload)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(payload);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Mean squared errors of `ok` cells, keyed by cell id — the part
+    /// `repro compare` gates on.
+    pub fn ok_mses(&self) -> Result<Vec<(String, f64)>> {
+        let mut mses = Vec::new();
+        for (id, payload) in &self.cells {
+            let cell = CellResult::parse(payload)?;
+            if cell.status == CellStatus::Ok {
+                mses.push((id.clone(), cell.mse));
+            }
+        }
+        Ok(mses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_cell(id: &str, mse: f64) -> CellResult {
+        CellResult {
+            cell_id: id.to_string(),
+            family: "top100".to_string(),
+            window: "full".to_string(),
+            window_kind: "full".to_string(),
+            horizon: 7,
+            status: CellStatus::Ok,
+            train_rows: 400,
+            test_rows: 100,
+            mse,
+            baseline_mse: mse * 1.5,
+            error: String::new(),
+        }
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let cell = ok_cell("top100/full/h7", 0.0123456789);
+        let parsed = CellResult::parse(&cell.encode()).unwrap();
+        assert_eq!(parsed.cell_id, cell.cell_id);
+        assert_eq!(parsed.status, CellStatus::Ok);
+        assert_eq!(parsed.mse, cell.mse);
+        assert_eq!(parsed.baseline_mse, cell.baseline_mse);
+        assert_eq!(parsed.train_rows, 400);
+    }
+
+    #[test]
+    fn failed_cells_serialize_nan_as_null_and_round_trip() {
+        let cell = CellResult::failed("a/b/h1", "a", "b", "bull", 1, "window too short".into());
+        let encoded = cell.encode();
+        assert!(encoded.contains("\"mse\":null"), "{encoded}");
+        let parsed = CellResult::parse(&encoded).unwrap();
+        assert_eq!(parsed.status, CellStatus::Failed);
+        assert!(parsed.mse.is_nan());
+        assert_eq!(parsed.error, "window too short");
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        // The literal byte layout is load-bearing (resume emits stored
+        // records verbatim next to freshly encoded ones).
+        let encoded = ok_cell("top100/full/h7", 0.5).encode();
+        assert_eq!(
+            encoded,
+            "{\"cell\":\"top100/full/h7\",\"family\":\"top100\",\"window\":\"full\",\
+             \"window_kind\":\"full\",\"horizon\":7,\"status\":\"ok\",\
+             \"train_rows\":400,\"test_rows\":100,\"mse\":0.5,\
+             \"baseline_mse\":0.75,\"error\":\"\"}"
+        );
+    }
+
+    #[test]
+    fn report_sorts_cells_and_tallies_statuses() {
+        let b = ok_cell("b", 1.0);
+        let a = CellResult::failed("a", "f", "w", "bear", 1, "nope".into());
+        let report = MatrixReport::assemble(
+            "fp".into(),
+            "cfg".into(),
+            vec![("b".into(), b.encode()), ("a".into(), a.encode())],
+        )
+        .unwrap();
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.cells[0].0, "a");
+        let rendered = report.render();
+        assert!(rendered.starts_with("{\"version\":1,\"fingerprint\":\"fp\""));
+        assert!(rendered.ends_with("\n]}\n"));
+        // Render is itself parseable by the generic json module.
+        let value = c100_obs::json::parse(&rendered).unwrap();
+        assert_eq!(value.req_uint("n_cells").unwrap(), 2);
+        let mses = report.ok_mses().unwrap();
+        assert_eq!(mses, vec![("b".to_string(), 1.0)]);
+    }
+}

@@ -1,0 +1,338 @@
+//! The matrix run: expand, resume, schedule, evaluate, report.
+//!
+//! [`run_matrix`] is the crate's entry point. It simulates the synth
+//! market, builds every family index, expands the window/horizon
+//! cross-product, subtracts the cells an earlier (killed) run already
+//! completed, executes the remainder on the work-stealing scheduler
+//! with shared prep, streams each finished cell through the store, and
+//! renders the byte-deterministic `matrix.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use c100_core::dataset::{assemble, MasterDataset};
+use c100_core::index::IndexFamilySpec;
+use c100_ml::gbdt::GbdtConfig;
+use c100_ml::tree::SplitMethod;
+use c100_ml::Regressor;
+use c100_obs::metrics::MetricsRegistry;
+use c100_obs::ring::FlightRecorder;
+use c100_obs::trace::Tracer;
+use c100_store::MatrixStore;
+use c100_synth::{generate, MarketData};
+
+use crate::prep::{PrepCache, WindowPrep, PREP_MAX_BINS};
+use crate::report::{CellResult, CellStatus, MatrixReport};
+use crate::sched::{run_tasks, SchedStats};
+use crate::spec::{
+    expand_cells, expand_windows, CellPlan, MatrixConfig, SplitRule, MIN_TEST_ROWS, MIN_TRAIN_ROWS,
+    TRAIN_FRACTION,
+};
+use crate::Result;
+
+/// Observability sinks for a matrix run; all optional, all borrowed.
+#[derive(Clone, Copy, Default)]
+pub struct MatrixObs<'a> {
+    /// Span sink (`matrix.plan`, `matrix.prep`, `matrix.cell`, …).
+    pub tracer: Option<&'a Tracer>,
+    /// Counter/histogram sink (`matrix.cells_completed`, …).
+    pub metrics: Option<&'a MetricsRegistry>,
+    /// Failure sink (`matrix_cell_failed` entries).
+    pub flight: Option<&'a FlightRecorder>,
+}
+
+impl<'a> MatrixObs<'a> {
+    /// No observability at all (tests, benches measuring pure work).
+    pub fn disabled() -> MatrixObs<'a> {
+        MatrixObs::default()
+    }
+
+    fn count(&self, name: &str, delta: u64) {
+        if let Some(m) = self.metrics {
+            m.add(name, delta);
+        }
+    }
+
+    fn observe(&self, name: &str, started: Instant) {
+        if let Some(m) = self.metrics {
+            m.observe_micros(name, started.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// What a matrix run produced.
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    /// The assembled report (render with [`MatrixReport::render`]).
+    pub report: MatrixReport,
+    /// Cells recovered from the store instead of recomputed.
+    pub resumed: u64,
+    /// Cells computed this run.
+    pub computed: u64,
+    /// Scheduler counters for the computed portion.
+    pub sched: SchedStats,
+    /// Dataset preps built / served from cache this run.
+    pub prep_builds: u64,
+    /// Cache hits (cells that reused another cell's prep).
+    pub prep_hits: u64,
+}
+
+/// Runs the full matrix on `threads` workers, streaming completed cells
+/// into the store at `store_root` and resuming from whatever a previous
+/// run with the same configuration left there (`fresh` discards it).
+pub fn run_matrix(
+    config: &MatrixConfig,
+    threads: usize,
+    store_root: impl Into<std::path::PathBuf>,
+    fresh: bool,
+    obs: MatrixObs<'_>,
+) -> Result<MatrixOutcome> {
+    config.validate()?;
+    let fingerprint = config.fingerprint();
+    let (store, completed) = MatrixStore::open(store_root, &fingerprint, fresh)?;
+
+    // Plan: simulate the market, build the family indices, expand the
+    // cross-product.
+    let plan_span = obs.tracer.map(|t| t.span("matrix", "matrix.plan"));
+    let data = generate(&config.synth);
+    let master = assemble(&data)?;
+    let families: Vec<(String, Vec<f64>)> = config
+        .families
+        .iter()
+        .map(|f: &IndexFamilySpec| (f.id(), f.build(&data.universe).into_values()))
+        .collect();
+    let windows = expand_windows(config, &data.latents)?;
+    let cells = expand_cells(config, &windows);
+    drop(plan_span);
+    obs.count("matrix.cells_total", cells.len() as u64);
+
+    // Resume: completed cells (validated against the fingerprint by the
+    // store) are emitted verbatim; only the remainder is scheduled.
+    let planned_ids: std::collections::HashSet<String> = cells.iter().map(|c| c.id()).collect();
+    let done: std::collections::HashSet<String> = completed
+        .iter()
+        .filter(|c| planned_ids.contains(&c.cell_id))
+        .map(|c| c.cell_id.clone())
+        .collect();
+    let todo: Vec<&CellPlan> = cells.iter().filter(|c| !done.contains(&c.id())).collect();
+    let resumed = done.len() as u64;
+    obs.count("matrix.cells_resumed", resumed);
+
+    let cache = PrepCache::new(&master, &families);
+    let computed = todo.len() as u64;
+    let store_ref = &store;
+    let (results, sched) = run_tasks(todo, threads, |plan| {
+        let started = Instant::now();
+        let cell_span = obs.tracer.map(|t| t.span(&plan.family_id, "matrix.cell"));
+        let result = evaluate_cell(config, &cache, plan, obs);
+        drop(cell_span);
+        obs.observe("matrix.cell_micros", started);
+        match result.status {
+            CellStatus::Ok => obs.count("matrix.cells_completed", 1),
+            CellStatus::Failed => {
+                obs.count("matrix.cells_failed", 1);
+                if let Some(flight) = obs.flight {
+                    flight.record(
+                        "matrix_cell_failed",
+                        &format!("{}: {}", result.cell_id, result.error),
+                        Some(started.elapsed().as_micros() as u64),
+                    );
+                }
+            }
+        }
+        // Stream the cell into the store the moment it completes — this
+        // is what a SIGKILL'd run resumes from.
+        let payload = result.encode();
+        store_ref
+            .save_cell(&result.cell_id, &payload)
+            .map(|()| (result.cell_id, payload))
+    });
+    obs.count("matrix.prep_builds", cache.builds());
+    obs.count("matrix.prep_hits", cache.hits());
+    obs.count("matrix.steals", sched.steals);
+    let fresh_records: Vec<(String, String)> =
+        results.into_iter().collect::<std::result::Result<_, _>>()?;
+
+    let report_span = obs.tracer.map(|t| t.span("matrix", "matrix.report"));
+    let mut records: Vec<(String, String)> = completed
+        .into_iter()
+        .filter(|c| planned_ids.contains(&c.cell_id))
+        .map(|c| (c.cell_id, c.payload))
+        .collect();
+    records.extend(fresh_records);
+    let report = MatrixReport::assemble(fingerprint, config.canonical_description(), records)?;
+    drop(report_span);
+
+    Ok(MatrixOutcome {
+        report,
+        resumed,
+        computed,
+        sched,
+        prep_builds: cache.builds(),
+        prep_hits: cache.hits(),
+    })
+}
+
+/// The forest every cell fits: small, histogram-mode at the shared
+/// binning width, fully deterministic given its seed.
+fn cell_gbdt() -> GbdtConfig {
+    GbdtConfig {
+        n_estimators: 30,
+        learning_rate: 0.1,
+        max_depth: 3,
+        subsample: 1.0,
+        colsample_bytree: 1.0,
+        split_method: SplitMethod::Histogram {
+            max_bins: PREP_MAX_BINS,
+        },
+        ..GbdtConfig::default()
+    }
+}
+
+/// Evaluates one cell against its (cached) window prep. Never panics on
+/// bad geometry — every failure path produces a `failed` cell.
+fn evaluate_cell(
+    config: &MatrixConfig,
+    cache: &PrepCache<'_>,
+    plan: &CellPlan,
+    obs: MatrixObs<'_>,
+) -> CellResult {
+    let cell_id = plan.id();
+    let kind = plan.window.kind.label();
+    let fail = |error: String| {
+        CellResult::failed(
+            &cell_id,
+            &plan.family_id,
+            &plan.window.id,
+            kind,
+            plan.horizon as u64,
+            error,
+        )
+    };
+
+    let prep_started = Instant::now();
+    let prep_span = obs.tracer.map(|t| t.span(&plan.family_id, "matrix.prep"));
+    let prep = cache.get(
+        plan.family_idx,
+        plan.window.prep_start,
+        plan.window.prep_end,
+    );
+    drop(prep_span);
+    obs.observe("matrix.prep_micros", prep_started);
+    let prep: Arc<WindowPrep> = match prep {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+
+    let len = prep.len();
+    let horizon = plan.horizon;
+    // Rows usable as (features[t], index[t + horizon]) pairs, capped to
+    // the window's evaluation boundary.
+    let rel_eval_end = plan.window.eval_end - plan.window.prep_start;
+    let usable = rel_eval_end.min(len.saturating_sub(horizon));
+    let split = match plan.window.split {
+        SplitRule::Fraction => (usable as f64 * TRAIN_FRACTION).round() as usize,
+        SplitRule::TrainEndsAt(row) => row.saturating_sub(plan.window.prep_start).min(usable),
+    };
+    if split < MIN_TRAIN_ROWS {
+        return fail(format!(
+            "window {} has {split} training rows at horizon {horizon} (need {MIN_TRAIN_ROWS})",
+            plan.window.id
+        ));
+    }
+    let test_rows = usable - split;
+    if test_rows < MIN_TEST_ROWS {
+        return fail(format!(
+            "window {} has {test_rows} test rows at horizon {horizon} (need {MIN_TEST_ROWS})",
+            plan.window.id
+        ));
+    }
+
+    // Train on the window's prefix: shared matrices cut at the split.
+    let y_train: Vec<f64> = (0..split).map(|t| prep.index[t + horizon]).collect();
+    let x_train = match prep.x.prefix_rows(split) {
+        Ok(m) => m,
+        Err(e) => return fail(format!("train cut: {e}")),
+    };
+    let binned_train = match prep.binned.prefix_rows(split) {
+        Ok(b) => b,
+        Err(e) => return fail(format!("train binning cut: {e}")),
+    };
+    let seed = config.cell_seed(&cell_id);
+    let trace = match obs.tracer {
+        Some(t) => t.ctx(),
+        None => c100_obs::trace::TraceCtx::disabled(),
+    };
+    let model = match cell_gbdt().fit_binned_traced(&x_train, &y_train, &binned_train, seed, trace)
+    {
+        Ok(m) => m,
+        Err(e) => return fail(format!("fit: {e}")),
+    };
+
+    // Held-out rows [split, usable): model MSE vs the persistence
+    // baseline (predict today's index level for day t + horizon).
+    let mut se = 0.0;
+    let mut baseline_se = 0.0;
+    for t in split..usable {
+        let actual = prep.index[t + horizon];
+        let predicted = model.predict_row(prep.x.row(t));
+        se += (predicted - actual).powi(2);
+        baseline_se += (prep.index[t] - actual).powi(2);
+    }
+    let n = test_rows as f64;
+
+    CellResult {
+        cell_id,
+        family: plan.family_id.clone(),
+        window: plan.window.id.clone(),
+        window_kind: kind.to_string(),
+        horizon: horizon as u64,
+        status: CellStatus::Ok,
+        train_rows: split as u64,
+        test_rows: test_rows as u64,
+        mse: se / n,
+        baseline_mse: baseline_se / n,
+        error: String::new(),
+    }
+}
+
+/// Exposed for benches: evaluates `plans` with **no** prep sharing —
+/// the naive baseline `matrix_throughput` compares against. Each cell
+/// does what the pre-matrix [`c100_core::pipeline::run_scenario`] path
+/// does for one scenario: assemble the master dataset, build its
+/// family index and prep its own window slice from scratch.
+pub fn evaluate_cells_unshared(
+    config: &MatrixConfig,
+    data: &MarketData,
+    plans: &[CellPlan],
+    threads: usize,
+) -> Vec<CellResult> {
+    let (results, _) = run_tasks(plans.iter().collect(), threads, |plan| {
+        let master = assemble(data).expect("same data the shared path assembled");
+        let family = &config.families[plan.family_idx];
+        let families = vec![(family.id(), family.build(&data.universe).into_values())];
+        let cache = PrepCache::new(&master, &families);
+        let remapped = CellPlan {
+            family_idx: 0,
+            ..plan.clone()
+        };
+        evaluate_cell(config, &cache, &remapped, MatrixObs::disabled())
+    });
+    results
+}
+
+/// Exposed for benches and tests: evaluates `plans` with one shared
+/// cache, as the real run does, returning the results and cache stats.
+pub fn evaluate_cells_shared(
+    config: &MatrixConfig,
+    master: &MasterDataset,
+    families: &[(String, Vec<f64>)],
+    plans: &[CellPlan],
+    threads: usize,
+) -> (Vec<CellResult>, u64, u64) {
+    let cache = PrepCache::new(master, families);
+    let (results, _) = run_tasks(plans.iter().collect(), threads, |plan| {
+        evaluate_cell(config, &cache, plan, MatrixObs::disabled())
+    });
+    (results, cache.builds(), cache.hits())
+}

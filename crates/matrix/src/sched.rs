@@ -1,0 +1,181 @@
+//! A small std-only work-stealing executor for matrix cells.
+//!
+//! Tasks are dealt round-robin onto per-worker deques up front (cells
+//! never spawn cells, so the task set is closed). Each worker drains its
+//! own deque from the front; when empty it scans the other workers and
+//! steals from the *back* of the first non-empty deque it finds —
+//! front/back separation keeps owner and thief off the same end, and
+//! stealing the back grabs the work the owner would reach last. Results
+//! land in a slot vector indexed by task order, so the output order is
+//! independent of which worker ran what.
+//!
+//! Deques are `Mutex<VecDeque>` rather than lock-free: cells run for
+//! milliseconds to seconds, so queue operations are nowhere near the
+//! critical path and the simplest correct structure wins.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters the executor reports after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Tasks executed (always the input length).
+    pub executed: u64,
+    /// Tasks a worker took from another worker's deque.
+    pub steals: u64,
+    /// Workers actually spawned.
+    pub workers: usize,
+}
+
+/// Runs `tasks` on `threads` workers, returning each task's result in
+/// input order plus scheduling counters.
+///
+/// `threads == 1` runs everything inline on the calling thread (no
+/// spawn), which is also the reference ordering for determinism tests.
+/// The worker function must be `Sync` because all workers share it.
+pub fn run_tasks<T, R, F>(tasks: Vec<T>, threads: usize, work: F) -> (Vec<R>, SchedStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n_tasks = tasks.len();
+    if n_tasks == 0 {
+        return (Vec::new(), SchedStats::default());
+    }
+    let workers = threads.max(1).min(n_tasks);
+
+    if workers == 1 {
+        let results = tasks.into_iter().map(&work).collect();
+        return (
+            results,
+            SchedStats {
+                executed: n_tasks as u64,
+                steals: 0,
+                workers: 1,
+            },
+        );
+    }
+
+    // Deal tasks round-robin so each worker starts with a spread of the
+    // input (neighbouring cells share prep; spreading them lets the prep
+    // cache warm from several windows at once).
+    let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        deques.push(Mutex::new(VecDeque::with_capacity(n_tasks / workers + 1)));
+    }
+    for (idx, task) in tasks.into_iter().enumerate() {
+        deques[idx % workers]
+            .get_mut()
+            .unwrap()
+            .push_back((idx, task));
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let steals = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let steals = &steals;
+            let work = &work;
+            scope.spawn(move || loop {
+                // Own work first, front of own deque.
+                let mut next = deques[me].lock().unwrap().pop_front();
+                if next.is_none() {
+                    // Idle: steal from the back of the first non-empty
+                    // victim, scanning from our right neighbour so
+                    // thieves spread over victims.
+                    for offset in 1..workers {
+                        let victim = (me + offset) % workers;
+                        if let Some(stolen) = deques[victim].lock().unwrap().pop_back() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            next = Some(stolen);
+                            break;
+                        }
+                    }
+                }
+                match next {
+                    Some((idx, task)) => {
+                        let result = work(task);
+                        *slots[idx].lock().unwrap() = Some(result);
+                    }
+                    // Every deque was empty and tasks never respawn, so
+                    // the pool is drained for good.
+                    None => break,
+                }
+            });
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("scheduler invariant: every dealt task ran exactly once")
+        })
+        .collect();
+    (
+        results,
+        SchedStats {
+            executed: n_tasks as u64,
+            steals: steals.load(Ordering::Relaxed),
+            workers,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let tasks: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 8] {
+            let (results, stats) = run_tasks(tasks.clone(), threads, |t| t * 3);
+            assert_eq!(results, tasks.iter().map(|t| t * 3).collect::<Vec<_>>());
+            assert_eq!(stats.executed, 257);
+            assert_eq!(stats.workers, threads.min(257));
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let (_, stats) = run_tasks((0..500).collect::<Vec<usize>>(), 6, |t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.executed, 500);
+    }
+
+    #[test]
+    fn uneven_tasks_get_stolen() {
+        // Worker 0's deque holds all the slow tasks (dealt round-robin
+        // with 2 workers: evens to 0, odds to 1); make evens slow so
+        // worker 1 finishes its own and must steal to keep the run short.
+        let (results, stats) = run_tasks((0..64).collect::<Vec<usize>>(), 2, |t| {
+            if t % 2 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            t
+        });
+        assert_eq!(results, (0..64).collect::<Vec<_>>());
+        assert!(stats.steals > 0, "expected steals, got {stats:?}");
+    }
+
+    #[test]
+    fn empty_and_single_task_edge_cases() {
+        let (results, stats) = run_tasks(Vec::<usize>::new(), 4, |t| t);
+        assert!(results.is_empty());
+        assert_eq!(stats.workers, 0);
+        let (results, stats) = run_tasks(vec![41], 4, |t| t + 1);
+        assert_eq!(results, vec![42]);
+        assert_eq!(stats.workers, 1); // capped at task count
+    }
+}

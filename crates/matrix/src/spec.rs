@@ -1,0 +1,420 @@
+//! Matrix configuration and its expansion into cell plans.
+//!
+//! Everything that affects cell *results* lives in [`MatrixConfig`] and
+//! is folded into the run fingerprint; anything that only affects *how*
+//! the run executes (thread count) is deliberately excluded, so a resume
+//! at a different parallelism is still the same run.
+
+use c100_core::index::IndexFamilySpec;
+use c100_synth::latent::LatentPaths;
+use c100_synth::regime::{segments_for, MarketRegime, RegimeConfig};
+use c100_synth::SynthConfig;
+use c100_timeseries::split::walk_forward_folds;
+
+use crate::{fnv1a64, MatrixError, Result};
+
+/// Fewest training rows a cell may fit on.
+pub const MIN_TRAIN_ROWS: usize = 40;
+/// Fewest test rows a cell may evaluate on.
+pub const MIN_TEST_ROWS: usize = 10;
+/// Train fraction of fraction-split windows (regime segments, full span).
+pub const TRAIN_FRACTION: f64 = 0.8;
+/// Bump when the cell protocol changes in a result-affecting way — it
+/// feeds the fingerprint, so stale stores are refused instead of mixed.
+pub const CELL_PROTOCOL_VERSION: u64 = 1;
+
+/// Full description of one matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Master seed; per-cell model seeds derive from it and the cell id.
+    pub seed: u64,
+    /// The synthetic market the run evaluates on.
+    pub synth: SynthConfig,
+    /// Index-family axis.
+    pub families: Vec<IndexFamilySpec>,
+    /// Forecast-horizon axis, days ahead.
+    pub horizons: Vec<usize>,
+    /// Regime labeling parameters for the window axis.
+    pub regime: RegimeConfig,
+    /// Regime segments shorter than this never become windows (they
+    /// could not satisfy [`MIN_TRAIN_ROWS`] + [`MIN_TEST_ROWS`] anyway).
+    pub min_window_days: usize,
+    /// Number of rolling-origin walk-forward folds (0 disables them).
+    pub wf_folds: usize,
+    /// Whether the full observed span is itself a window.
+    pub include_full: bool,
+}
+
+impl MatrixConfig {
+    /// The default matrix: 4 families × (regime segments + 5 walk-forward
+    /// folds + full span) × 3 horizons over the given synth market.
+    pub fn new(seed: u64, synth: SynthConfig) -> MatrixConfig {
+        MatrixConfig {
+            seed,
+            synth,
+            families: IndexFamilySpec::default_families(),
+            horizons: vec![1, 7, 30],
+            regime: RegimeConfig::default(),
+            min_window_days: 90,
+            wf_folds: 5,
+            include_full: true,
+        }
+    }
+
+    /// Validates the axes before expansion.
+    pub fn validate(&self) -> Result<()> {
+        if self.families.is_empty() {
+            return Err(MatrixError::Config("no index families selected".into()));
+        }
+        if self.horizons.is_empty() {
+            return Err(MatrixError::Config("no horizons selected".into()));
+        }
+        if let Some(h) = self.horizons.iter().find(|&&h| h == 0) {
+            let _ = h;
+            return Err(MatrixError::Config("horizon 0 is not a forecast".into()));
+        }
+        if !self.include_full && self.wf_folds == 0 && self.min_window_days == usize::MAX {
+            return Err(MatrixError::Config("no windows selected".into()));
+        }
+        Ok(())
+    }
+
+    /// Canonical description of everything that affects cell results.
+    /// The fingerprint is its hash; two configs with equal descriptions
+    /// are the same run.
+    pub fn canonical_description(&self) -> String {
+        let families: Vec<String> = self.families.iter().map(|f| f.id()).collect();
+        let horizons: Vec<String> = self.horizons.iter().map(|h| h.to_string()).collect();
+        format!(
+            "v{};seed={};synth={},{},{},{},{};families={};horizons={};\
+             regime={},{},{};min_window={};wf_folds={};full={}",
+            CELL_PROTOCOL_VERSION,
+            self.seed,
+            self.synth.seed,
+            self.synth.start,
+            self.synth.end,
+            self.synth.n_assets,
+            self.synth.warmup_days,
+            families.join(","),
+            horizons.join(","),
+            self.regime.lookback,
+            self.regime.threshold,
+            self.regime.min_segment,
+            self.min_window_days,
+            self.wf_folds,
+            self.include_full,
+        )
+    }
+
+    /// The run fingerprint: 16 hex digits over the canonical description.
+    pub fn fingerprint(&self) -> String {
+        format!("{:016x}", fnv1a64(&self.canonical_description()))
+    }
+
+    /// Deterministic per-cell model seed.
+    pub fn cell_seed(&self, cell_id: &str) -> u64 {
+        fnv1a64(&format!("{}:{}", self.seed, cell_id))
+    }
+}
+
+/// How a window's train/test boundary is placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitRule {
+    /// Chronological [`TRAIN_FRACTION`] split of the usable rows.
+    Fraction,
+    /// Train ends at this absolute row (walk-forward folds): rows
+    /// `[prep_start, row)` train, rows `[row, eval_end)` test.
+    TrainEndsAt(usize),
+}
+
+/// What kind of evaluation window a cell runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// The whole observed span.
+    Full,
+    /// One contiguous regime segment.
+    Regime(MarketRegime),
+    /// One rolling-origin walk-forward fold.
+    WalkForward,
+}
+
+impl WindowKind {
+    /// Stable label used in `matrix.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WindowKind::Full => "full",
+            WindowKind::Regime(r) => r.label(),
+            WindowKind::WalkForward => "walkforward",
+        }
+    }
+}
+
+/// One evaluation window of the matrix.
+///
+/// `prep_start..prep_end` is the row range dataset prep runs over — the
+/// prep-cache key together with the family. Walk-forward folds all use
+/// the full span as their prep range (their training prefixes are cut
+/// from one shared binned matrix) and restrict evaluation via
+/// `eval_end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalWindow {
+    /// Stable window id (`full`, `bull-0`, `wf-2`, …).
+    pub id: String,
+    /// The window's kind.
+    pub kind: WindowKind,
+    /// First row (inclusive) of the prep range, in observed-day rows.
+    pub prep_start: usize,
+    /// One past the last row of the prep range.
+    pub prep_end: usize,
+    /// One past the last row cells of this window may evaluate on
+    /// (≤ `prep_end`).
+    pub eval_end: usize,
+    /// Train/test boundary rule.
+    pub split: SplitRule,
+}
+
+/// One cell of the matrix: an (index family, window, horizon) triple.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// Index into [`MatrixConfig::families`].
+    pub family_idx: usize,
+    /// Family id (denormalized for labels).
+    pub family_id: String,
+    /// The evaluation window.
+    pub window: EvalWindow,
+    /// Forecast horizon, days ahead.
+    pub horizon: usize,
+}
+
+impl CellPlan {
+    /// Stable cell id: `family/window/h<horizon>`.
+    pub fn id(&self) -> String {
+        format!("{}/{}/h{}", self.family_id, self.window.id, self.horizon)
+    }
+}
+
+/// Expands the window axis for a simulated latent path.
+///
+/// Pure function of the config and latents: regime segments come from
+/// the seeded latent state, walk-forward folds from row arithmetic —
+/// so every thread count (and every resume) sees the same windows.
+pub fn expand_windows(config: &MatrixConfig, latents: &LatentPaths) -> Result<Vec<EvalWindow>> {
+    let n_days = config.synth.n_days();
+    let mut windows = Vec::new();
+
+    if config.include_full {
+        windows.push(EvalWindow {
+            id: "full".to_string(),
+            kind: WindowKind::Full,
+            prep_start: 0,
+            prep_end: n_days,
+            eval_end: n_days,
+            split: SplitRule::Fraction,
+        });
+    }
+
+    // Regime segments, numbered in chronological order so ids stay
+    // stable even when two segments share a regime.
+    for (ordinal, segment) in segments_for(latents, &config.regime).iter().enumerate() {
+        if segment.len() < config.min_window_days {
+            continue;
+        }
+        windows.push(EvalWindow {
+            id: format!("{}-{}", segment.regime.label(), ordinal),
+            kind: WindowKind::Regime(segment.regime),
+            prep_start: segment.start,
+            prep_end: segment.end,
+            eval_end: segment.end,
+            split: SplitRule::Fraction,
+        });
+    }
+
+    if config.wf_folds > 0 {
+        let min_train = MIN_TRAIN_ROWS.max(n_days / (config.wf_folds + 1));
+        let folds = walk_forward_folds(n_days, config.wf_folds, min_train)
+            .map_err(|e| MatrixError::Config(format!("walk-forward folds: {e}")))?;
+        for (k, (train, test)) in folds.iter().enumerate() {
+            windows.push(EvalWindow {
+                id: format!("wf-{k}"),
+                kind: WindowKind::WalkForward,
+                prep_start: 0,
+                prep_end: n_days,
+                eval_end: test.end,
+                split: SplitRule::TrainEndsAt(train.end),
+            });
+        }
+    }
+
+    Ok(windows)
+}
+
+/// Expands the full cross-product into cell plans, ordered family-major
+/// so consecutive tasks share prep (the scheduler deals them round-robin,
+/// which spreads each prep group over the workers).
+pub fn expand_cells(config: &MatrixConfig, windows: &[EvalWindow]) -> Vec<CellPlan> {
+    let mut cells =
+        Vec::with_capacity(config.families.len() * windows.len() * config.horizons.len());
+    for (family_idx, family) in config.families.iter().enumerate() {
+        let family_id = family.id();
+        for window in windows {
+            for &horizon in &config.horizons {
+                cells.push(CellPlan {
+                    family_idx,
+                    family_id: family_id.clone(),
+                    window: window.clone(),
+                    horizon,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Parses a comma-separated horizon list (`1,7,30`), naming the
+/// offending token and the accepted form on failure.
+pub fn parse_horizons(text: &str) -> Result<Vec<usize>> {
+    let mut horizons = Vec::new();
+    for token in text.split(',') {
+        let token = token.trim();
+        let h: usize = token.parse().map_err(|_| {
+            MatrixError::Config(format!(
+                "invalid horizon {token:?}: not a number \
+                 (expected a comma-separated list of days, e.g. 1,7,30)"
+            ))
+        })?;
+        if h == 0 {
+            return Err(MatrixError::Config(format!(
+                "invalid horizon {token:?}: horizon 0 is not a forecast \
+                 (expected days >= 1, e.g. 1,7,30)"
+            )));
+        }
+        horizons.push(h);
+    }
+    if horizons.is_empty() {
+        return Err(MatrixError::Config(
+            "no horizons given (expected a comma-separated list of days, e.g. 1,7,30)".into(),
+        ));
+    }
+    Ok(horizons)
+}
+
+/// Parses a comma-separated family list (`top100,crix30r30`), delegating
+/// per-token diagnostics to [`IndexFamilySpec::parse`].
+pub fn parse_families(text: &str) -> Result<Vec<IndexFamilySpec>> {
+    let mut families = Vec::new();
+    for token in text.split(',') {
+        families.push(
+            IndexFamilySpec::parse(token.trim()).map_err(|e| MatrixError::Config(e.to_string()))?,
+        );
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c100_synth::latent::simulate;
+
+    fn config() -> MatrixConfig {
+        MatrixConfig::new(7, SynthConfig::small(7))
+    }
+
+    #[test]
+    fn fingerprint_ignores_nothing_result_affecting() {
+        let base = config();
+        assert_eq!(base.fingerprint(), config().fingerprint());
+        let mut seeded = config();
+        seeded.seed = 8;
+        assert_ne!(base.fingerprint(), seeded.fingerprint());
+        let mut horizons = config();
+        horizons.horizons = vec![1, 7];
+        assert_ne!(base.fingerprint(), horizons.fingerprint());
+        let mut families = config();
+        families.families.pop();
+        assert_ne!(base.fingerprint(), families.fingerprint());
+    }
+
+    #[test]
+    fn windows_are_deterministic_and_well_formed() {
+        let cfg = config();
+        let latents = simulate(&cfg.synth);
+        let a = expand_windows(&cfg, &latents).unwrap();
+        let b = expand_windows(&cfg, &latents).unwrap();
+        assert_eq!(a, b);
+        let n_days = cfg.synth.n_days();
+        for w in &a {
+            assert!(w.prep_start < w.prep_end);
+            assert!(w.prep_end <= n_days);
+            assert!(w.eval_end <= w.prep_end);
+            if let SplitRule::TrainEndsAt(row) = w.split {
+                assert!(row > w.prep_start && row < w.eval_end);
+            }
+        }
+        assert!(a.iter().any(|w| w.kind == WindowKind::Full));
+        assert_eq!(
+            a.iter()
+                .filter(|w| w.kind == WindowKind::WalkForward)
+                .count(),
+            cfg.wf_folds
+        );
+    }
+
+    #[test]
+    fn cell_ids_are_unique() {
+        let cfg = config();
+        let latents = simulate(&cfg.synth);
+        let windows = expand_windows(&cfg, &latents).unwrap();
+        let cells = expand_cells(&cfg, &windows);
+        let mut ids: Vec<String> = cells.iter().map(|c| c.id()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        assert_eq!(
+            before,
+            cfg.families.len() * windows.len() * cfg.horizons.len()
+        );
+    }
+
+    #[test]
+    fn cell_seeds_differ_by_cell() {
+        let cfg = config();
+        assert_ne!(cfg.cell_seed("a/full/h1"), cfg.cell_seed("a/full/h7"));
+        // And are stable.
+        assert_eq!(cfg.cell_seed("a/full/h1"), cfg.cell_seed("a/full/h1"));
+    }
+
+    #[test]
+    fn horizon_parse_errors_name_token() {
+        assert_eq!(parse_horizons("1, 7,30").unwrap(), vec![1, 7, 30]);
+        let err = parse_horizons("1,week").unwrap_err().to_string();
+        assert!(err.contains("\"week\""), "{err}");
+        assert!(err.contains("e.g. 1,7,30"), "{err}");
+        let err = parse_horizons("0").unwrap_err().to_string();
+        assert!(err.contains("horizon 0 is not a forecast"), "{err}");
+    }
+
+    #[test]
+    fn family_parse_delegates_diagnostics() {
+        assert_eq!(parse_families("top100,crix30r30").unwrap().len(), 2);
+        let err = parse_families("top100,frankenindex")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("\"frankenindex\""), "{err}");
+        assert!(err.contains("valid families:"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_empty_axes() {
+        let mut cfg = config();
+        cfg.horizons.clear();
+        assert!(cfg.validate().is_err());
+        let mut cfg = config();
+        cfg.families.clear();
+        assert!(cfg.validate().is_err());
+        let mut cfg = config();
+        cfg.horizons = vec![0];
+        assert!(cfg.validate().is_err());
+        assert!(config().validate().is_ok());
+    }
+}

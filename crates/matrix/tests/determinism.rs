@@ -1,0 +1,50 @@
+//! Satellite determinism contract: the same matrix configuration yields
+//! a byte-identical `matrix.json` at 1 thread and at N threads — the
+//! scheduler, the prep cache and the store must all be invisible in the
+//! output.
+
+use std::fs;
+use std::path::PathBuf;
+
+use c100_matrix::{run_matrix, MatrixConfig, MatrixObs};
+use c100_synth::SynthConfig;
+use proptest::prelude::*;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("c100_matrix_det_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deliberately small matrix (two families, two horizons, two folds)
+/// so each proptest case stays cheap; window expansion still exercises
+/// regime segments, folds and the full span.
+fn tiny_config(seed: u64) -> MatrixConfig {
+    let mut config = MatrixConfig::new(seed, SynthConfig::small(seed));
+    config.families.truncate(2);
+    config.horizons = vec![1, 7];
+    config.wf_folds = 2;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn matrix_json_is_byte_equal_across_thread_counts(seed in 1u64..500, threads in 2usize..9) {
+        let config = tiny_config(seed);
+        let dir_single = tmp_dir(&format!("s{seed}_1"));
+        let dir_multi = tmp_dir(&format!("s{seed}_{threads}"));
+
+        let single = run_matrix(&config, 1, &dir_single, false, MatrixObs::disabled()).unwrap();
+        let multi = run_matrix(&config, threads, &dir_multi, false, MatrixObs::disabled()).unwrap();
+
+        let a = single.report.render();
+        let b = multi.report.render();
+        let _ = fs::remove_dir_all(&dir_single);
+        let _ = fs::remove_dir_all(&dir_multi);
+
+        prop_assert!(a == b, "matrix.json differs between 1 and {} threads (seed {})", threads, seed);
+        prop_assert!(single.report.cells.len() >= 12);
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end matrix runs: the full cross-product completes, resume
+//! from a partial store is byte-identical to an uninterrupted run, and
+//! (the crate's determinism contract) thread count never changes a byte
+//! of `matrix.json`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use c100_matrix::{run_matrix, CellStatus, MatrixConfig, MatrixObs};
+use c100_obs::metrics::MetricsRegistry;
+use c100_obs::ring::FlightRecorder;
+use c100_synth::SynthConfig;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("c100_matrix_run_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A matrix small enough for tests but still multi-family,
+/// multi-window, multi-horizon.
+fn small_config(seed: u64) -> MatrixConfig {
+    let mut config = MatrixConfig::new(seed, SynthConfig::small(seed));
+    config.families.truncate(2); // top100, crix30r30
+    config.horizons = vec![1, 7];
+    config.wf_folds = 2;
+    config
+}
+
+#[test]
+fn full_matrix_completes_and_reports_every_cell() {
+    let dir = tmp_dir("full");
+    let metrics = MetricsRegistry::new();
+    let flight = FlightRecorder::new();
+    let obs = MatrixObs {
+        tracer: None,
+        metrics: Some(&metrics),
+        flight: Some(&flight),
+    };
+    let config = small_config(11);
+    let outcome = run_matrix(&config, 2, &dir, false, obs).unwrap();
+
+    let n_cells = outcome.report.cells.len();
+    assert!(n_cells >= 12, "only {n_cells} cells");
+    assert_eq!(outcome.resumed, 0);
+    assert_eq!(outcome.computed as usize, n_cells);
+    assert_eq!(outcome.report.ok + outcome.report.failed, n_cells as u64);
+    // The matrix is useful: most cells evaluate, and shared prep means
+    // strictly fewer preps than cells.
+    assert!(
+        outcome.report.ok as usize > n_cells / 2,
+        "too many failed cells: {} ok of {n_cells}",
+        outcome.report.ok
+    );
+    assert!(outcome.prep_builds > 0);
+    assert!(
+        (outcome.prep_builds as usize) < n_cells,
+        "no prep sharing: {} builds for {n_cells} cells",
+        outcome.prep_builds
+    );
+    // Every failure (if any) hit the flight recorder, not the run.
+    assert_eq!(flight.recorded(), outcome.report.failed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_from_partial_store_is_byte_identical() {
+    let complete_dir = tmp_dir("resume_complete");
+    let partial_dir = tmp_dir("resume_partial");
+    let config = small_config(13);
+
+    let uninterrupted =
+        run_matrix(&config, 2, &complete_dir, false, MatrixObs::disabled()).unwrap();
+    let reference = uninterrupted.report.render();
+
+    // Simulate a SIGKILL mid-run: a store holding the run file and only
+    // some of the completed cells (exactly what atomic per-cell writes
+    // leave behind).
+    fs::create_dir_all(partial_dir.join("cells")).unwrap();
+    fs::copy(
+        complete_dir.join("matrix_run.json"),
+        partial_dir.join("matrix_run.json"),
+    )
+    .unwrap();
+    let mut cell_files: Vec<PathBuf> = fs::read_dir(complete_dir.join("cells"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    cell_files.sort();
+    let keep = cell_files.len() / 3;
+    for file in &cell_files[..keep] {
+        fs::copy(
+            file,
+            partial_dir.join("cells").join(file.file_name().unwrap()),
+        )
+        .unwrap();
+    }
+
+    let resumed = run_matrix(&config, 3, &partial_dir, false, MatrixObs::disabled()).unwrap();
+    assert_eq!(resumed.resumed as usize, keep);
+    assert_eq!(
+        resumed.computed as usize,
+        uninterrupted.report.cells.len() - keep
+    );
+    assert_eq!(resumed.report.render(), reference, "resume changed bytes");
+    let _ = fs::remove_dir_all(&complete_dir);
+    let _ = fs::remove_dir_all(&partial_dir);
+}
+
+#[test]
+fn changed_config_refuses_stale_store_unless_fresh() {
+    let dir = tmp_dir("stale");
+    let config = small_config(17);
+    run_matrix(&config, 1, &dir, false, MatrixObs::disabled()).unwrap();
+
+    let mut changed = small_config(17);
+    changed.horizons = vec![1];
+    let err = run_matrix(&changed, 1, &dir, false, MatrixObs::disabled()).unwrap_err();
+    assert!(
+        err.to_string().contains("--fresh"),
+        "unhelpful mismatch error: {err}"
+    );
+    let outcome = run_matrix(&changed, 1, &dir, true, MatrixObs::disabled()).unwrap();
+    assert_eq!(outcome.resumed, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_run_resumes_everything_and_computes_nothing() {
+    let dir = tmp_dir("rerun");
+    let config = small_config(19);
+    let first = run_matrix(&config, 2, &dir, false, MatrixObs::disabled()).unwrap();
+    let second = run_matrix(&config, 2, &dir, false, MatrixObs::disabled()).unwrap();
+    assert_eq!(second.computed, 0);
+    assert_eq!(second.resumed as usize, first.report.cells.len());
+    assert_eq!(second.report.render(), first.report.render());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn walk_forward_and_regime_windows_both_contribute_ok_cells() {
+    let dir = tmp_dir("kinds");
+    let config = small_config(23);
+    let outcome = run_matrix(&config, 2, &dir, false, MatrixObs::disabled()).unwrap();
+    let cells: Vec<c100_matrix::CellResult> = outcome
+        .report
+        .cells
+        .iter()
+        .map(|(_, payload)| c100_matrix::CellResult::parse(payload).unwrap())
+        .collect();
+    let ok_kinds: std::collections::HashSet<&str> = cells
+        .iter()
+        .filter(|c| c.status == CellStatus::Ok)
+        .map(|c| c.window_kind.as_str())
+        .collect();
+    assert!(ok_kinds.contains("full"), "kinds: {ok_kinds:?}");
+    assert!(ok_kinds.contains("walkforward"), "kinds: {ok_kinds:?}");
+    assert!(
+        ok_kinds
+            .iter()
+            .any(|k| matches!(*k, "bull" | "bear" | "sideways")),
+        "no regime window produced an ok cell: {ok_kinds:?}"
+    );
+    // Ok cells carry finite metrics; failed cells carry a reason.
+    for cell in &cells {
+        match cell.status {
+            CellStatus::Ok => {
+                assert!(cell.mse.is_finite(), "{}: mse {}", cell.cell_id, cell.mse);
+                assert!(cell.baseline_mse.is_finite());
+                assert!(cell.train_rows >= 40 && cell.test_rows >= 10);
+            }
+            CellStatus::Failed => assert!(!cell.error.is_empty(), "{}", cell.cell_id),
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

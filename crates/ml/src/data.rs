@@ -107,6 +107,21 @@ impl Matrix {
         }
     }
 
+    /// Builds a new matrix holding the first `k` rows. Row-major storage
+    /// makes this one contiguous copy.
+    pub fn prefix_rows(&self, k: usize) -> Result<Matrix> {
+        if k > self.n_rows() {
+            return Err(MlError::BadConfig(format!(
+                "prefix of {k} rows exceeds the matrix's {} rows",
+                self.n_rows()
+            )));
+        }
+        Ok(Matrix {
+            n_features: self.n_features,
+            data: self.data[..k * self.n_features].to_vec(),
+        })
+    }
+
     /// Builds a new matrix keeping only the given feature columns, in order.
     pub fn take_columns(&self, cols: &[usize]) -> Matrix {
         let mut data = Vec::with_capacity(self.n_rows() * cols.len());
@@ -268,6 +283,49 @@ impl BinnedMatrix {
         }
     }
 
+    /// A binned view of the first `k` rows that *reuses this matrix's
+    /// quantile cuts* instead of re-binning.
+    ///
+    /// Column-major storage makes each feature's prefix one contiguous
+    /// copy, so the expensive part of [`BinnedMatrix::from_matrix`] — the
+    /// per-feature sort behind the quantile tables — is paid once per
+    /// window and shared across every training prefix cut from it. The
+    /// scenario matrix leans on this to share dataset prep across cells
+    /// that differ only in train/test split point.
+    ///
+    /// The cut tables (`lows`/`highs`, and therefore split thresholds)
+    /// are the parent's: they describe the full window, not the prefix.
+    /// That is the intended semantics — bin once, evaluate subwindows
+    /// under the same discretisation — and keeps thresholds comparable
+    /// across cells of one window.
+    pub fn prefix_rows(&self, k: usize) -> Result<BinnedMatrix> {
+        if k > self.n_rows {
+            return Err(MlError::BadConfig(format!(
+                "prefix of {k} rows exceeds the binned matrix's {} rows",
+                self.n_rows
+            )));
+        }
+        fn prefix<T: Copy>(v: &[T], n_rows: usize, n_features: usize, k: usize) -> Vec<T> {
+            let mut out = Vec::with_capacity(k * n_features);
+            for f in 0..n_features {
+                out.extend_from_slice(&v[f * n_rows..f * n_rows + k]);
+            }
+            out
+        }
+        let n_features = self.n_features();
+        let codes = match &self.codes {
+            Codes::U8(v) => Codes::U8(prefix(v, self.n_rows, n_features, k)),
+            Codes::U16(v) => Codes::U16(prefix(v, self.n_rows, n_features, k)),
+        };
+        Ok(BinnedMatrix {
+            n_rows: k,
+            max_bins: self.max_bins,
+            codes,
+            lows: self.lows.clone(),
+            highs: self.highs.clone(),
+        })
+    }
+
     /// Rewrites feature `f`'s codes so row `r` holds the code previously
     /// at row `perm[r]` — the binned equivalent of permuting the raw
     /// column, used by permutation importance to avoid re-binning.
@@ -400,6 +458,47 @@ mod tests {
         assert_eq!(sub.row(1), &[1.0, 2.0, 3.0]);
         let cols = m.take_columns(&[2, 0]);
         assert_eq!(cols.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn matrix_prefix_rows_is_a_contiguous_head() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        let p = m.prefix_rows(2).unwrap();
+        assert_eq!(p.n_rows(), 2);
+        assert_eq!(p.row(0), m.row(0));
+        assert_eq!(p.row(1), m.row(1));
+        assert!(m.prefix_rows(4).is_err());
+    }
+
+    #[test]
+    fn binned_prefix_keeps_codes_and_cut_tables() {
+        let m = Matrix::from_rows(&[
+            vec![2.0, 30.0],
+            vec![1.0, 10.0],
+            vec![5.0, 20.0],
+            vec![4.0, 40.0],
+        ])
+        .unwrap();
+        let b = BinnedMatrix::from_matrix(&m, 8).unwrap();
+        let p = b.prefix_rows(3).unwrap();
+        assert_eq!(p.n_rows(), 3);
+        assert_eq!(p.n_features(), 2);
+        assert_eq!(p.max_bins(), b.max_bins());
+        for f in 0..2 {
+            // Cut tables are shared with the parent window.
+            assert_eq!(p.bin_edges(f), b.bin_edges(f));
+            for r in 0..3 {
+                assert_eq!(p.code(r, f), b.code(r, f));
+            }
+        }
+        assert!(b.prefix_rows(5).is_err());
+        // Full-length prefix is the identity.
+        assert_eq!(b.prefix_rows(4).unwrap(), b);
     }
 
     #[test]

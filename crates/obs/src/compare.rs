@@ -13,8 +13,9 @@
 //! ([`MIN_GATE_MICROS`]) never gate either; a 3µs stage that became 6µs
 //! is jitter, not a regression.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::json::{self, JsonError, Value};
 use crate::metrics::MetricsSnapshot;
 use crate::profile::ProfileReport;
 
@@ -32,6 +33,57 @@ pub struct RunData {
     pub metrics: Option<MetricsSnapshot>,
     /// Parsed `profile.json`, if present.
     pub profile: Option<ProfileReport>,
+    /// Parsed `matrix.json` (a scenario-matrix report), if present.
+    pub matrix: Option<MatrixSummary>,
+}
+
+/// One cell of a parsed `matrix.json`, reduced to what the gate needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCellSummary {
+    /// Whether the cell completed (`"status":"ok"`).
+    pub ok: bool,
+    /// The cell's model MSE (NaN for failed cells).
+    pub mse: f64,
+}
+
+/// A parsed scenario-matrix report (`matrix.json`).
+///
+/// Parsed generically through this crate's own JSON module so the
+/// comparison engine needs no dependency on the matrix subsystem — any
+/// file with the report's shape compares.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatrixSummary {
+    /// The run fingerprint the report was produced under.
+    pub fingerprint: String,
+    /// Cells keyed by cell id.
+    pub cells: BTreeMap<String, MatrixCellSummary>,
+}
+
+impl MatrixSummary {
+    /// Parses a `matrix.json` report.
+    pub fn from_json(text: &str) -> Result<MatrixSummary, JsonError> {
+        let value = json::parse(text)?;
+        let fingerprint = value.req_str("fingerprint")?.to_string();
+        let cells_value = value
+            .get("cells")
+            .ok_or_else(|| JsonError::new("missing field \"cells\""))?;
+        let items = match cells_value {
+            Value::Array(items) => items,
+            other => {
+                return Err(JsonError::new(format!(
+                    "field \"cells\" is not an array: {other:?}"
+                )))
+            }
+        };
+        let mut cells = BTreeMap::new();
+        for item in items {
+            let id = item.req_str("cell")?.to_string();
+            let ok = item.req_str("status")? == "ok";
+            let mse = item.req_float("mse")?;
+            cells.insert(id, MatrixCellSummary { ok, mse });
+        }
+        Ok(MatrixSummary { fingerprint, cells })
+    }
 }
 
 /// The kind of quantity a [`DeltaRow`] compares.
@@ -43,6 +95,8 @@ pub enum RowKind {
     Quantile,
     /// Per-call span self-time in microseconds.
     SpanSelf,
+    /// A matrix cell's model MSE (dimensionless — no noise floor).
+    MatrixMse,
 }
 
 /// One compared quantity.
@@ -70,7 +124,15 @@ impl DeltaRow {
 
     /// Whether this row participates in the regression gate.
     pub fn gates(&self) -> bool {
-        self.kind != RowKind::Counter && self.baseline.is_some_and(|b| b >= MIN_GATE_MICROS)
+        match self.kind {
+            RowKind::Counter => false,
+            // MSEs are dimensionless; the micros noise floor would mute
+            // every matrix row, so they gate whenever both sides exist.
+            RowKind::MatrixMse => self.baseline.is_some_and(|b| b.is_finite() && b > 0.0),
+            RowKind::Quantile | RowKind::SpanSelf => {
+                self.baseline.is_some_and(|b| b >= MIN_GATE_MICROS)
+            }
+        }
     }
 }
 
@@ -81,6 +143,11 @@ pub struct RunComparison {
     pub rows: Vec<DeltaRow>,
     /// Regression threshold in percent used by [`RunComparison::regressions`].
     pub fail_over_pct: f64,
+    /// Structural matrix failures that gate unconditionally: a changed
+    /// cell count, a cell that flipped from ok to failed, a cell that
+    /// disappeared. Thresholds don't apply — these are behaviour
+    /// changes, not noise.
+    pub matrix_problems: Vec<String>,
 }
 
 impl RunComparison {
@@ -94,7 +161,7 @@ impl RunComparison {
 
     /// Whether the current run passes the gate.
     pub fn passed(&self) -> bool {
-        self.regressions().is_empty()
+        self.regressions().is_empty() && self.matrix_problems.is_empty()
     }
 
     /// Renders the delta table. Gating rows are marked with `!` when
@@ -108,6 +175,7 @@ impl RunComparison {
         for row in &self.rows {
             let fmt_side = |v: Option<f64>| match v {
                 Some(v) if row.kind == RowKind::Counter => format!("{v:.0}"),
+                Some(v) if row.kind == RowKind::MatrixMse => format!("{v:.4e}"),
                 Some(v) => format!("{v:.0}us"),
                 None => "-".to_string(),
             };
@@ -129,17 +197,21 @@ impl RunComparison {
                 marker,
             ));
         }
+        for problem in &self.matrix_problems {
+            out.push_str(&format!("matrix: {problem} !\n"));
+        }
         let regressions = self.regressions();
-        if regressions.is_empty() {
+        if self.passed() {
             out.push_str(&format!(
                 "OK: no tracked stage regressed more than {:.0}%\n",
                 self.fail_over_pct
             ));
         } else {
             out.push_str(&format!(
-                "FAIL: {} stage(s) regressed more than {:.0}%\n",
+                "FAIL: {} stage(s) regressed more than {:.0}%, {} matrix problem(s)\n",
                 regressions.len(),
-                self.fail_over_pct
+                self.fail_over_pct,
+                self.matrix_problems.len(),
             ));
         }
         out
@@ -216,9 +288,41 @@ pub fn compare(baseline: &RunData, current: &RunData, fail_over_pct: f64) -> Run
         });
     }
 
+    // Matrix reports: MSE rows per cell ok on both sides, structural
+    // problems for anything that changed shape or flipped to failed.
+    let mut matrix_problems = Vec::new();
+    if let (Some(base), Some(curr)) = (&baseline.matrix, &current.matrix) {
+        if base.cells.len() != curr.cells.len() {
+            matrix_problems.push(format!(
+                "cell count changed: {} -> {}",
+                base.cells.len(),
+                curr.cells.len()
+            ));
+        }
+        for (id, base_cell) in &base.cells {
+            match curr.cells.get(id) {
+                None => matrix_problems.push(format!("cell {id} disappeared")),
+                Some(curr_cell) => {
+                    if base_cell.ok && !curr_cell.ok {
+                        matrix_problems.push(format!("cell {id} regressed ok -> failed"));
+                    }
+                    if base_cell.ok && curr_cell.ok {
+                        rows.push(DeltaRow {
+                            kind: RowKind::MatrixMse,
+                            name: format!("matrix {id} mse"),
+                            baseline: Some(base_cell.mse),
+                            current: Some(curr_cell.mse),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     RunComparison {
         rows,
         fail_over_pct,
+        matrix_problems,
     }
 }
 
@@ -243,6 +347,7 @@ mod tests {
                     self_micros: micros * 4,
                 }],
             }),
+            matrix: None,
         }
     }
 
@@ -353,12 +458,125 @@ mod tests {
         let baseline = RunData {
             metrics: Some(MetricsSnapshot::from_json(old).expect("old snapshot parses")),
             profile: None,
+            matrix: None,
         };
         let same = compare(&baseline, &run_with_stage(50_000), DEFAULT_FAIL_OVER_PCT);
         assert!(same.passed(), "{}", same.render());
         assert!(same.rows.iter().any(|r| r.name == "stage.fra_micros p999"));
         let regressed = compare(&baseline, &run_with_stage(200_000), DEFAULT_FAIL_OVER_PCT);
         assert!(!regressed.passed());
+    }
+
+    fn matrix_json(cells: &[(&str, &str, f64)]) -> String {
+        let mut out = String::from(
+            "{\"version\":1,\"fingerprint\":\"fp\",\"config\":\"cfg\",\"n_cells\":0,\
+             \"ok\":0,\"failed\":0,\"cells\":[",
+        );
+        for (i, (id, status, mse)) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mse = if mse.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{mse:?}")
+            };
+            out.push_str(&format!(
+                "{{\"cell\":\"{id}\",\"status\":\"{status}\",\"mse\":{mse}}}"
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn run_with_matrix(cells: &[(&str, &str, f64)]) -> RunData {
+        RunData {
+            matrix: Some(MatrixSummary::from_json(&matrix_json(cells)).unwrap()),
+            ..RunData::default()
+        }
+    }
+
+    #[test]
+    fn identical_matrix_reports_pass() {
+        let run = run_with_matrix(&[("a/full/h1", "ok", 0.5), ("a/full/h7", "failed", f64::NAN)]);
+        let cmp = compare(&run, &run, DEFAULT_FAIL_OVER_PCT);
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert!(cmp.rows.iter().any(|r| r.kind == RowKind::MatrixMse));
+    }
+
+    #[test]
+    fn matrix_mse_regression_fails_the_gate() {
+        let baseline = run_with_matrix(&[("a/full/h1", "ok", 0.5)]);
+        let worse = run_with_matrix(&[("a/full/h1", "ok", 0.9)]); // +80%
+        let cmp = compare(&baseline, &worse, DEFAULT_FAIL_OVER_PCT);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .regressions()
+            .iter()
+            .any(|r| r.name == "matrix a/full/h1 mse"));
+        // MSE values are far below the micros noise floor but still gate.
+        let better = run_with_matrix(&[("a/full/h1", "ok", 0.4)]);
+        assert!(compare(&baseline, &better, DEFAULT_FAIL_OVER_PCT).passed());
+    }
+
+    #[test]
+    fn matrix_structural_changes_gate_unconditionally() {
+        let baseline = run_with_matrix(&[("a", "ok", 0.5), ("b", "ok", 0.5)]);
+        // A cell flipped to failed.
+        let flipped = run_with_matrix(&[("a", "ok", 0.5), ("b", "failed", f64::NAN)]);
+        let cmp = compare(&baseline, &flipped, DEFAULT_FAIL_OVER_PCT);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .matrix_problems
+            .iter()
+            .any(|p| p.contains("ok -> failed")));
+        // A cell disappeared (count change too).
+        let shrunk = run_with_matrix(&[("a", "ok", 0.5)]);
+        let cmp = compare(&baseline, &shrunk, DEFAULT_FAIL_OVER_PCT);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .matrix_problems
+            .iter()
+            .any(|p| p.contains("cell count changed")));
+        assert!(cmp
+            .matrix_problems
+            .iter()
+            .any(|p| p.contains("disappeared")));
+        assert!(cmp.render().contains("matrix: "));
+        // A failed baseline cell recovering is not a problem.
+        let failed_base = run_with_matrix(&[("a", "failed", f64::NAN)]);
+        let recovered = run_with_matrix(&[("a", "ok", 0.5)]);
+        assert!(compare(&failed_base, &recovered, DEFAULT_FAIL_OVER_PCT).passed());
+    }
+
+    #[test]
+    fn missing_matrix_side_is_not_a_regression() {
+        let with = run_with_matrix(&[("a", "ok", 0.5)]);
+        let without = RunData::default();
+        assert!(compare(&with, &without, DEFAULT_FAIL_OVER_PCT).passed());
+        assert!(compare(&without, &with, DEFAULT_FAIL_OVER_PCT).passed());
+    }
+
+    #[test]
+    fn matrix_summary_parses_real_report_shape() {
+        let summary = MatrixSummary::from_json(&matrix_json(&[
+            ("top100/full/h1", "ok", 1.25e8),
+            ("top100/bull-1/h7", "failed", f64::NAN),
+        ]))
+        .unwrap();
+        assert_eq!(summary.fingerprint, "fp");
+        assert_eq!(summary.cells.len(), 2);
+        assert!(summary.cells["top100/full/h1"].ok);
+        assert!(!summary.cells["top100/bull-1/h7"].ok);
+        assert!(summary.cells["top100/bull-1/h7"].mse.is_nan());
+        assert!(
+            MatrixSummary::from_json("{\"cells\":[]}").is_err(),
+            "fingerprint required"
+        );
+        assert!(
+            MatrixSummary::from_json("{\"fingerprint\":\"f\"}").is_err(),
+            "cells required"
+        );
     }
 
     #[test]

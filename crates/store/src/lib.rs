@@ -29,11 +29,13 @@
 
 pub mod artifact;
 mod codec;
+pub mod matrix;
 pub mod predict;
 pub mod registry;
 
 pub use artifact::{EncodedArtifact, ModelArtifact, ModelPayload, SCHEMA_VERSION};
 pub use c100_ml::{Engine, Predictor};
+pub use matrix::{CompletedCell, MatrixStore};
 pub use predict::BatchPredictor;
 pub use registry::{ArtifactStore, ManifestEntry};
 
@@ -70,6 +72,14 @@ pub enum StoreError {
     /// No artifact with the requested id (or for the requested
     /// scenario) exists in the store.
     NotFound(String),
+    /// A matrix store belongs to a run with a different configuration
+    /// fingerprint; resuming into it would mix incompatible cells.
+    RunMismatch {
+        /// Fingerprint recorded in the store.
+        found: String,
+        /// Fingerprint of the run attempting to resume.
+        expected: String,
+    },
     /// An input frame does not match the artifact's feature schema.
     Schema(SchemaError),
     /// The decoded model rejected an input (e.g. wrong row width).
@@ -188,6 +198,11 @@ impl fmt::Display for StoreError {
                 "artifact checksum mismatch: header says {expected}, payload hashes to {actual}"
             ),
             StoreError::NotFound(what) => write!(f, "artifact not found: {what}"),
+            StoreError::RunMismatch { found, expected } => write!(
+                f,
+                "matrix store belongs to a different run (fingerprint {found}, \
+                 this run is {expected}); pass --fresh to discard it"
+            ),
             StoreError::Schema(e) => write!(f, "schema validation failed: {e}"),
             StoreError::Ml(e) => write!(f, "model error: {e}"),
         }

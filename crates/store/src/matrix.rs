@@ -1,0 +1,310 @@
+//! Crash-resumable persistence for scenario-matrix runs.
+//!
+//! Layout of a matrix store rooted at `DIR`:
+//!
+//! ```text
+//! DIR/
+//!   matrix_run.json        run fingerprint (hash of the matrix config)
+//!   cells/
+//!     <fnv16hex>.json      one completed cell, named by cell-id hash
+//! ```
+//!
+//! Every write goes through a temp file and an atomic rename, so a
+//! `SIGKILL` mid-run can leave a stray `*.tmp` but never a torn record:
+//! on resume a cell file either exists complete or does not exist. Cell
+//! files are two lines — a header naming the cell and the payload
+//! checksum, then the payload itself — mirroring the model-artifact
+//! envelope, so a damaged file is detected and treated as *incomplete*
+//! (the cell re-runs) rather than poisoning the resume.
+//!
+//! The fingerprint file pins the store to one matrix configuration: a
+//! resume against a store written by a different config would silently
+//! mix incompatible cells, so [`MatrixStore::open`] refuses it unless
+//! the caller explicitly asks for a fresh start.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use c100_obs::json::{self, write_escaped};
+
+use crate::artifact::fnv1a64;
+use crate::{Result, StoreError};
+
+/// Matrix store format revision.
+const MATRIX_STORE_VERSION: u64 = 1;
+
+const RUN_FILE: &str = "matrix_run.json";
+const CELLS_DIR: &str = "cells";
+
+/// One cell recovered from a previous (possibly killed) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedCell {
+    /// The cell id the record was saved under.
+    pub cell_id: String,
+    /// The cell's JSON record, byte-for-byte as saved.
+    pub payload: String,
+}
+
+/// Directory-backed store of completed matrix cells.
+///
+/// The scheduler streams each finished cell through [`MatrixStore::
+/// save_cell`] as it completes; a killed run reopens the store and gets
+/// back every cell that finished, skipping their recomputation.
+#[derive(Debug)]
+pub struct MatrixStore {
+    root: PathBuf,
+}
+
+impl MatrixStore {
+    /// Opens (creating if necessary) a matrix store rooted at `root` for
+    /// a run configuration hashing to `fingerprint`, returning the store
+    /// and every intact completed cell from previous runs.
+    ///
+    /// A store previously written under a *different* fingerprint is
+    /// refused with [`StoreError::RunMismatch`] — unless `fresh` is set,
+    /// in which case the stale cells are deleted and the run starts
+    /// over. Matching fingerprints resume: completed cells are returned
+    /// sorted by cell id, damaged or torn records silently dropped.
+    pub fn open(
+        root: impl Into<PathBuf>,
+        fingerprint: &str,
+        fresh: bool,
+    ) -> Result<(MatrixStore, Vec<CompletedCell>)> {
+        let root = root.into();
+        fs::create_dir_all(root.join(CELLS_DIR))?;
+        let store = MatrixStore { root };
+        let run_path = store.root.join(RUN_FILE);
+        let existing = match fs::read_to_string(&run_path) {
+            Ok(text) => Some(parse_run_file(&text)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        match existing {
+            Some(found) if found == fingerprint => {
+                let cells = store.load_completed()?;
+                Ok((store, cells))
+            }
+            Some(found) if fresh => {
+                let _ = found;
+                store.clear_cells()?;
+                store.write_run_file(fingerprint)?;
+                Ok((store, Vec::new()))
+            }
+            Some(found) => Err(StoreError::RunMismatch {
+                found,
+                expected: fingerprint.to_string(),
+            }),
+            None => {
+                store.write_run_file(fingerprint)?;
+                Ok((store, Vec::new()))
+            }
+        }
+    }
+
+    /// Persists one completed cell atomically. Re-saving a cell id
+    /// overwrites its previous record.
+    pub fn save_cell(&self, cell_id: &str, payload: &str) -> Result<()> {
+        let checksum = fnv1a64(payload.as_bytes());
+        let mut header = String::from("{\"version\":");
+        header.push_str(&MATRIX_STORE_VERSION.to_string());
+        header.push_str(",\"cell\":");
+        write_escaped(&mut header, cell_id);
+        header.push_str(&format!(
+            ",\"checksum\":\"{checksum:016x}\",\"payload_bytes\":{}}}",
+            payload.len()
+        ));
+        let text = format!("{header}\n{payload}\n");
+        write_atomic(&self.cell_path(cell_id), &text)
+    }
+
+    /// Root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn cell_path(&self, cell_id: &str) -> PathBuf {
+        let name = format!("{:016x}.json", fnv1a64(cell_id.as_bytes()));
+        self.root.join(CELLS_DIR).join(name)
+    }
+
+    fn write_run_file(&self, fingerprint: &str) -> Result<()> {
+        let mut text = String::from("{\"version\":");
+        text.push_str(&MATRIX_STORE_VERSION.to_string());
+        text.push_str(",\"fingerprint\":");
+        write_escaped(&mut text, fingerprint);
+        text.push('}');
+        write_atomic(&self.root.join(RUN_FILE), &text)
+    }
+
+    fn clear_cells(&self) -> Result<()> {
+        let dir = self.root.join(CELLS_DIR);
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_file() {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load_completed(&self) -> Result<Vec<CompletedCell>> {
+        let dir = self.root.join(CELLS_DIR);
+        let mut cells = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue; // stray *.tmp from a kill mid-write
+            }
+            let text = match fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            if let Some(cell) = decode_cell(&text) {
+                cells.push(cell);
+            }
+        }
+        cells.sort_by(|a, b| a.cell_id.cmp(&b.cell_id));
+        Ok(cells)
+    }
+}
+
+/// Decodes a two-line cell record, returning `None` for anything torn,
+/// truncated or corrupted — such cells simply re-run.
+fn decode_cell(text: &str) -> Option<CompletedCell> {
+    let (header, rest) = text.split_once('\n')?;
+    let payload = rest.strip_suffix('\n').unwrap_or(rest);
+    let value = json::parse(header).ok()?;
+    if value.req_uint("version").ok()? != MATRIX_STORE_VERSION {
+        return None;
+    }
+    let cell_id = value.req_str("cell").ok()?;
+    let checksum = value.req_str("checksum").ok()?;
+    let bytes = value.req_uint("payload_bytes").ok()?;
+    if payload.len() as u64 != bytes {
+        return None;
+    }
+    if format!("{:016x}", fnv1a64(payload.as_bytes())) != checksum {
+        return None;
+    }
+    Some(CompletedCell {
+        cell_id: cell_id.to_string(),
+        payload: payload.to_string(),
+    })
+}
+
+fn parse_run_file(text: &str) -> Result<String> {
+    let malformed = |e: json::JsonError| StoreError::Malformed(format!("matrix_run.json: {e}"));
+    let value = json::parse(text).map_err(malformed)?;
+    let version = value.req_uint("version").map_err(malformed)?;
+    if version != MATRIX_STORE_VERSION {
+        return Err(StoreError::Malformed(format!(
+            "unsupported matrix store version {version} (expected {MATRIX_STORE_VERSION})"
+        )));
+    }
+    Ok(value.req_str("fingerprint").map_err(malformed)?.to_string())
+}
+
+fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("c100_matrix_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_and_resume_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let (store, cells) = MatrixStore::open(&dir, "fp-1", false).unwrap();
+        assert!(cells.is_empty());
+        store.save_cell("b_cell", "{\"mse\":1.5}").unwrap();
+        store.save_cell("a_cell", "{\"mse\":0.5}").unwrap();
+        drop(store);
+        let (_, cells) = MatrixStore::open(&dir, "fp-1", false).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].cell_id, "a_cell");
+        assert_eq!(cells[0].payload, "{\"mse\":0.5}");
+        assert_eq!(cells[1].cell_id, "b_cell");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resave_overwrites() {
+        let dir = tmp_dir("resave");
+        let (store, _) = MatrixStore::open(&dir, "fp", false).unwrap();
+        store.save_cell("c", "{\"v\":1}").unwrap();
+        store.save_cell("c", "{\"v\":2}").unwrap();
+        let (_, cells) = MatrixStore::open(&dir, "fp", false).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].payload, "{\"v\":2}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused_unless_fresh() {
+        let dir = tmp_dir("mismatch");
+        let (store, _) = MatrixStore::open(&dir, "fp-old", false).unwrap();
+        store.save_cell("c", "{}").unwrap();
+        let err = MatrixStore::open(&dir, "fp-new", false).unwrap_err();
+        match err {
+            StoreError::RunMismatch { found, expected } => {
+                assert_eq!(found, "fp-old");
+                assert_eq!(expected, "fp-new");
+            }
+            other => panic!("expected RunMismatch, got {other}"),
+        }
+        // fresh=true wipes the stale cells and rebinds the fingerprint.
+        let (_, cells) = MatrixStore::open(&dir, "fp-new", true).unwrap();
+        assert!(cells.is_empty());
+        let (_, cells) = MatrixStore::open(&dir, "fp-new", false).unwrap();
+        assert!(cells.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_corrupt_records_are_skipped() {
+        let dir = tmp_dir("torn");
+        let (store, _) = MatrixStore::open(&dir, "fp", false).unwrap();
+        store.save_cell("good", "{\"ok\":true}").unwrap();
+        // A record truncated mid-payload (simulated kill without rename
+        // protection) and a bit-flipped one.
+        let cells_dir = dir.join(CELLS_DIR);
+        fs::write(
+            cells_dir.join("1111111111111111.json"),
+            "{\"version\":1,\"cell\":\"torn\",\"checksum\":\"0000000000000000\",\"payload_bytes\":99}\n{\"tr",
+        )
+        .unwrap();
+        fs::write(
+            cells_dir.join("2222222222222222.json"),
+            "{\"version\":1,\"cell\":\"flip\",\"checksum\":\"0000000000000000\",\"payload_bytes\":2}\n{}\n",
+        )
+        .unwrap();
+        fs::write(cells_dir.join("stray.json.tmp"), "half a wri").unwrap();
+        let (_, cells) = MatrixStore::open(&dir, "fp", false).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].cell_id, "good");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_ids_with_odd_characters_are_safe_filenames() {
+        let dir = tmp_dir("odd");
+        let (store, _) = MatrixStore::open(&dir, "fp", false).unwrap();
+        let id = "crix30r30/bull-0:7 \"quoted\"";
+        store.save_cell(id, "{\"x\":1}").unwrap();
+        let (_, cells) = MatrixStore::open(&dir, "fp", false).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].cell_id, id);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

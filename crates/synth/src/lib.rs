@@ -51,6 +51,7 @@ pub mod latent;
 pub mod macro_econ;
 pub mod onchain_btc;
 pub mod onchain_usdc;
+pub mod regime;
 pub mod sentiment;
 pub mod spec;
 pub mod tradfi;

@@ -1,0 +1,320 @@
+//! Market-regime labeling and segmentation over the synthetic BTC path.
+//!
+//! The scenario matrix (`c100-matrix`) evaluates models inside
+//! regime-conditioned windows: contiguous bull / bear / sideways segments
+//! of the observed sample. Labels are derived from the *latent* log-price
+//! path, which is a pure function of the seed — so for a given
+//! [`crate::SynthConfig`] the segmentation is bit-identical no matter how
+//! many scheduler threads later consume it.
+//!
+//! A day is labeled by its trailing `lookback`-day log-return: above
+//! `threshold` is bull, below `-threshold` is bear, otherwise sideways.
+//! The warm-up days simulated before the first observed day provide the
+//! trailing history, so day 0 is labeled from real (simulated) returns
+//! rather than a truncated window. Raw labels are then run-length encoded
+//! and runs shorter than `min_segment` are merged into a neighbour, so
+//! segments are long enough to train and evaluate inside.
+
+use crate::latent::LatentPaths;
+
+/// Trailing-return market regime of a single observed day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MarketRegime {
+    /// Trailing return above the threshold.
+    Bull,
+    /// Trailing return below the negative threshold.
+    Bear,
+    /// Trailing return within the threshold band.
+    Sideways,
+}
+
+impl MarketRegime {
+    /// All regimes, in the order segments are reported.
+    pub const ALL: [MarketRegime; 3] = [
+        MarketRegime::Bull,
+        MarketRegime::Bear,
+        MarketRegime::Sideways,
+    ];
+
+    /// Stable lowercase label used in scenario ids and `matrix.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            MarketRegime::Bull => "bull",
+            MarketRegime::Bear => "bear",
+            MarketRegime::Sideways => "sideways",
+        }
+    }
+
+    /// Parses a label produced by [`MarketRegime::label`].
+    pub fn parse(s: &str) -> Option<MarketRegime> {
+        MarketRegime::ALL.into_iter().find(|r| r.label() == s)
+    }
+}
+
+impl std::fmt::Display for MarketRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Parameters of the trailing-return labeling rule.
+#[derive(Debug, Clone)]
+pub struct RegimeConfig {
+    /// Trailing window, days, over which the log-return is measured.
+    pub lookback: usize,
+    /// Log-return magnitude separating bull/bear from sideways.
+    pub threshold: f64,
+    /// Minimum segment length; shorter runs are merged into a neighbour.
+    pub min_segment: usize,
+}
+
+impl Default for RegimeConfig {
+    fn default() -> Self {
+        RegimeConfig {
+            lookback: 30,
+            threshold: 0.15,
+            min_segment: 45,
+        }
+    }
+}
+
+/// A maximal run of days assigned to one regime: rows `[start, end)` of
+/// the observed sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegimeSegment {
+    /// Regime the segment was merged under.
+    pub regime: MarketRegime,
+    /// First observed-day row (inclusive).
+    pub start: usize,
+    /// One past the last observed-day row (exclusive).
+    pub end: usize,
+}
+
+impl RegimeSegment {
+    /// Number of days in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty (never produced by segmentation).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Labels every observed day of a simulated log-price path.
+///
+/// `log_price` is the full simulated path (`warmup` hidden days followed
+/// by the observed sample); the result has `log_price.len() - warmup`
+/// entries, one per observed day. The trailing window is clamped at the
+/// start of the simulated path, so short warm-ups degrade gracefully.
+pub fn label_path(log_price: &[f64], warmup: usize, config: &RegimeConfig) -> Vec<MarketRegime> {
+    assert!(warmup <= log_price.len(), "warmup exceeds path length");
+    let n_obs = log_price.len() - warmup;
+    let mut labels = Vec::with_capacity(n_obs);
+    for t in 0..n_obs {
+        let here = warmup + t;
+        let back = here.saturating_sub(config.lookback);
+        let ret = log_price[here] - log_price[back];
+        let label = if ret > config.threshold {
+            MarketRegime::Bull
+        } else if ret < -config.threshold {
+            MarketRegime::Bear
+        } else {
+            MarketRegime::Sideways
+        };
+        labels.push(label);
+    }
+    labels
+}
+
+/// Labels every observed day of the latent BTC path.
+pub fn label_days(latents: &LatentPaths, config: &RegimeConfig) -> Vec<MarketRegime> {
+    label_path(&latents.log_price, latents.warmup, config)
+}
+
+/// Run-length encodes `labels` and merges runs shorter than
+/// `min_segment` into an adjacent run.
+///
+/// The result partitions `0..labels.len()`: segments are non-empty,
+/// contiguous, non-overlapping and cover every day exactly once. A short
+/// run is absorbed by its predecessor (the first run by its successor),
+/// keeping the absorber's regime, until every segment meets the minimum —
+/// or only one segment remains (a degenerate all-sideways path yields one
+/// segment spanning the whole sample).
+pub fn segment_regimes(labels: &[MarketRegime], min_segment: usize) -> Vec<RegimeSegment> {
+    if labels.is_empty() {
+        return Vec::new();
+    }
+    // Run-length encode.
+    let mut segments: Vec<RegimeSegment> = Vec::new();
+    let mut start = 0usize;
+    for t in 1..=labels.len() {
+        if t == labels.len() || labels[t] != labels[start] {
+            segments.push(RegimeSegment {
+                regime: labels[start],
+                start,
+                end: t,
+            });
+            start = t;
+        }
+    }
+    // Merge short runs, shortest first so ties resolve deterministically.
+    // Absorption can leave two same-regime segments adjacent (the absorbed
+    // run was the only thing separating them); coalesce after each step so
+    // segments stay maximal runs.
+    while segments.len() > 1 {
+        let (idx, seg) = segments
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.len(), *i))
+            .map(|(i, s)| (i, *s))
+            .expect("segments is non-empty");
+        if seg.len() >= min_segment {
+            break;
+        }
+        if idx == 0 {
+            segments[1].start = seg.start;
+        } else {
+            segments[idx - 1].end = seg.end;
+        }
+        segments.remove(idx);
+        let mut i = 0;
+        while i + 1 < segments.len() {
+            if segments[i].regime == segments[i + 1].regime {
+                segments[i].end = segments[i + 1].end;
+                segments.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    segments
+}
+
+/// Labels and segments the observed sample in one call.
+pub fn segments_for(latents: &LatentPaths, config: &RegimeConfig) -> Vec<RegimeSegment> {
+    segment_regimes(&label_days(latents, config), config.min_segment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthConfig;
+
+    fn assert_partition(segments: &[RegimeSegment], n_days: usize) {
+        if n_days == 0 {
+            assert!(segments.is_empty());
+            return;
+        }
+        assert!(!segments.is_empty());
+        assert_eq!(segments[0].start, 0);
+        assert_eq!(segments.last().unwrap().end, n_days);
+        for w in segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must tile the window");
+        }
+        for s in segments {
+            assert!(s.start < s.end, "empty segment {s:?}");
+        }
+        // Every day covered exactly once.
+        let covered: usize = segments.iter().map(|s| s.len()).sum();
+        assert_eq!(covered, n_days);
+    }
+
+    #[test]
+    fn labels_cover_observed_days() {
+        let cfg = SynthConfig::small(17);
+        let latents = crate::latent::simulate(&cfg);
+        let labels = label_days(&latents, &RegimeConfig::default());
+        assert_eq!(labels.len(), cfg.n_days());
+    }
+
+    #[test]
+    fn default_config_finds_multiple_regimes() {
+        let cfg = SynthConfig::default();
+        let latents = crate::latent::simulate(&cfg);
+        let labels = label_days(&latents, &RegimeConfig::default());
+        let mut seen: Vec<MarketRegime> = labels.clone();
+        seen.sort();
+        seen.dedup();
+        assert!(
+            seen.len() >= 2,
+            "full-sample path should visit multiple regimes, saw {seen:?}"
+        );
+        let segments = segment_regimes(&labels, RegimeConfig::default().min_segment);
+        assert_partition(&segments, labels.len());
+        for s in &segments {
+            assert!(s.len() >= RegimeConfig::default().min_segment || segments.len() == 1);
+        }
+    }
+
+    #[test]
+    fn constant_path_is_all_sideways() {
+        let log_price = vec![7.0; 400];
+        let labels = label_path(&log_price, 100, &RegimeConfig::default());
+        assert_eq!(labels.len(), 300);
+        assert!(labels.iter().all(|&l| l == MarketRegime::Sideways));
+        let segments = segment_regimes(&labels, 45);
+        assert_eq!(segments.len(), 1);
+        assert_eq!(
+            segments[0],
+            RegimeSegment {
+                regime: MarketRegime::Sideways,
+                start: 0,
+                end: 300
+            }
+        );
+    }
+
+    #[test]
+    fn monotone_ramp_is_all_bull() {
+        let log_price: Vec<f64> = (0..200).map(|t| t as f64 * 0.02).collect();
+        let labels = label_path(&log_price, 50, &RegimeConfig::default());
+        assert!(labels.iter().all(|&l| l == MarketRegime::Bull));
+    }
+
+    #[test]
+    fn short_runs_merge_into_neighbours() {
+        use MarketRegime::*;
+        // 10 bull, 3 bear, 10 bull → the bear blip is absorbed.
+        let mut labels = vec![Bull; 10];
+        labels.extend(vec![Bear; 3]);
+        labels.extend(vec![Bull; 10]);
+        let segments = segment_regimes(&labels, 5);
+        assert_partition(&segments, labels.len());
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].regime, Bull);
+    }
+
+    #[test]
+    fn leading_short_run_merges_forward() {
+        use MarketRegime::*;
+        let mut labels = vec![Bear; 2];
+        labels.extend(vec![Sideways; 20]);
+        let segments = segment_regimes(&labels, 5);
+        assert_partition(&segments, labels.len());
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].regime, Sideways);
+    }
+
+    #[test]
+    fn empty_labels_yield_no_segments() {
+        assert!(segment_regimes(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let cfg = SynthConfig::small(23);
+        let a = segments_for(&crate::latent::simulate(&cfg), &RegimeConfig::default());
+        let b = segments_for(&crate::latent::simulate(&cfg), &RegimeConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regime_labels_round_trip() {
+        for r in MarketRegime::ALL {
+            assert_eq!(MarketRegime::parse(r.label()), Some(r));
+        }
+        assert_eq!(MarketRegime::parse("sidewise"), None);
+    }
+}

@@ -19,6 +19,80 @@ use crate::btc::BtcMarket;
 use crate::latent::{gaussian, LatentPaths};
 use crate::SynthConfig;
 
+/// Coarse asset category, used by sector-restricted index families.
+///
+/// Sectors are assigned from a seed-keyed hash of the asset index — not
+/// from the shared RNG stream — so adding them left every existing cap
+/// path bit-identical, and universes of different sizes agree on the
+/// sector of any common asset index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sector {
+    /// Pure payment / store-of-value coins (BTC is always here).
+    Currency,
+    /// Smart-contract platforms.
+    SmartContract,
+    /// Decentralized-finance protocols.
+    DeFi,
+    /// Exchange, oracle and scaling infrastructure.
+    Infrastructure,
+    /// Everything speculative and narrative-driven.
+    Meme,
+}
+
+impl Sector {
+    /// All sectors in presentation order.
+    pub const ALL: [Sector; 5] = [
+        Sector::Currency,
+        Sector::SmartContract,
+        Sector::DeFi,
+        Sector::Infrastructure,
+        Sector::Meme,
+    ];
+
+    /// Stable lowercase label used in index-family specs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sector::Currency => "currency",
+            Sector::SmartContract => "smartcontract",
+            Sector::DeFi => "defi",
+            Sector::Infrastructure => "infra",
+            Sector::Meme => "meme",
+        }
+    }
+
+    /// Parses a label produced by [`Sector::label`].
+    pub fn parse(s: &str) -> Option<Sector> {
+        Sector::ALL.into_iter().find(|sec| sec.label() == s)
+    }
+}
+
+impl std::fmt::Display for Sector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Seed-keyed FNV-1a mix assigning a sector to an asset index.
+fn sector_for(seed: u64, asset: usize) -> Sector {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for byte in seed
+        .to_le_bytes()
+        .into_iter()
+        .chain((asset as u64).to_le_bytes())
+    {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Currency 20% / smart-contract 25% / DeFi 25% / infra 20% / meme 10%.
+    match h % 100 {
+        0..=19 => Sector::Currency,
+        20..=44 => Sector::SmartContract,
+        45..=69 => Sector::DeFi,
+        70..=89 => Sector::Infrastructure,
+        _ => Sector::Meme,
+    }
+}
+
 /// Daily market caps for every asset plus the aggregates the index needs.
 #[derive(Debug, Clone)]
 pub struct Universe {
@@ -26,6 +100,8 @@ pub struct Universe {
     pub start: Date,
     /// Per-asset daily market caps (`caps[asset][day]`, 0.0 before launch).
     pub caps: Vec<Vec<f64>>,
+    /// Sector label per asset (same indexing as `caps`).
+    pub sectors: Vec<Sector>,
     /// Sum of the 100 largest caps per day.
     pub top100_cap: Vec<f64>,
     /// Sum of all caps per day.
@@ -46,6 +122,21 @@ impl Universe {
     /// Indices of the `k` largest assets on `day`, largest first.
     pub fn top_k(&self, day: usize, k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.caps.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.caps[b][day]
+                .partial_cmp(&self.caps[a][day])
+                .expect("caps are finite")
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// Indices of the `k` largest assets of `sector` on `day`, largest
+    /// first. May return fewer than `k` when the sector is small.
+    pub fn top_k_in_sector(&self, day: usize, k: usize, sector: Sector) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.caps.len())
+            .filter(|&i| self.sectors[i] == sector)
+            .collect();
         idx.sort_by(|&a, &b| {
             self.caps[b][day]
                 .partial_cmp(&self.caps[a][day])
@@ -138,9 +229,13 @@ pub fn simulate_universe(config: &SynthConfig, latents: &LatentPaths, btc: &BtcM
         total_cap.push(total);
     }
 
+    let mut sectors: Vec<Sector> = (0..n_assets).map(|i| sector_for(config.seed, i)).collect();
+    sectors[0] = Sector::Currency; // BTC
+
     Universe {
         start: config.start,
         caps,
+        sectors,
         top100_cap,
         total_cap,
     }
@@ -215,6 +310,60 @@ mod tests {
             .caps
             .iter()
             .any(|c| c[0] == 0.0 && *c.last().unwrap() > 0.0));
+    }
+
+    #[test]
+    fn sectors_are_stable_and_cover_every_label() {
+        let (cfg, u) = build(66);
+        assert_eq!(u.sectors.len(), u.n_assets());
+        assert_eq!(u.sectors[0], Sector::Currency);
+        // Every sector appears in a 120-asset universe.
+        for sector in Sector::ALL {
+            assert!(
+                u.sectors.contains(&sector),
+                "sector {sector} absent from the universe"
+            );
+        }
+        // Scaling the universe up keeps the shared prefix of sector labels
+        // (and the cap streams of RNG-independent assets unchanged in
+        // aggregate structure) — the matrix relies on this to key prep.
+        let big = SynthConfig {
+            n_assets: 400,
+            ..cfg.clone()
+        };
+        let latents = simulate(&big);
+        let btc = simulate_btc(&big, &latents);
+        let ubig = simulate_universe(&big, &latents, &btc);
+        assert_eq!(&ubig.sectors[..u.n_assets()], &u.sectors[..]);
+    }
+
+    #[test]
+    fn top_k_in_sector_is_sorted_and_restricted() {
+        let (_, u) = build(67);
+        let day = u.n_days() / 2;
+        let top = u.top_k_in_sector(day, 15, Sector::DeFi);
+        assert!(!top.is_empty());
+        for &i in &top {
+            assert_eq!(u.sectors[i], Sector::DeFi);
+        }
+        for w in top.windows(2) {
+            assert!(u.caps[w[0]][day] >= u.caps[w[1]][day]);
+        }
+    }
+
+    #[test]
+    fn scales_to_thousands_of_assets() {
+        let cfg = SynthConfig {
+            n_assets: 2000,
+            ..SynthConfig::small(68)
+        };
+        let latents = simulate(&cfg);
+        let btc = simulate_btc(&cfg, &latents);
+        let u = simulate_universe(&cfg, &latents, &btc);
+        assert_eq!(u.n_assets(), 2000);
+        assert_eq!(u.sectors.len(), 2000);
+        let top = u.top_k(u.n_days() - 1, 100);
+        assert_eq!(top.len(), 100);
     }
 
     #[test]

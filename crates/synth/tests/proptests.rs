@@ -2,10 +2,12 @@
 //! invariants and cross-seed robustness of the latent model.
 
 use c100_synth::latent::{phi_for_half_life, simulate};
+use c100_synth::regime::{label_path, segment_regimes, MarketRegime, RegimeConfig, RegimeSegment};
 use c100_synth::universe::simulate_universe;
 use c100_synth::{btc, SynthConfig};
 use c100_timeseries::Date;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 fn tiny_config(seed: u64) -> SynthConfig {
     SynthConfig {
@@ -15,6 +17,45 @@ fn tiny_config(seed: u64) -> SynthConfig {
         n_assets: 110,
         warmup_days: 120,
     }
+}
+
+/// Asserts the segmentation invariants: segments tile `0..n_days` with no
+/// overlap, every day lands in exactly one segment, and every segment
+/// meets the minimum length unless only one segment remains.
+fn assert_segments_partition(
+    segments: &[RegimeSegment],
+    n_days: usize,
+    min_segment: usize,
+) -> Result<(), TestCaseError> {
+    if n_days == 0 {
+        prop_assert!(segments.is_empty());
+        return Ok(());
+    }
+    prop_assert!(!segments.is_empty());
+    prop_assert_eq!(segments[0].start, 0);
+    prop_assert_eq!(segments.last().unwrap().end, n_days);
+    let mut covered = vec![0usize; n_days];
+    for s in segments {
+        prop_assert!(s.start < s.end, "empty segment {:?}", s);
+        prop_assert!(s.end <= n_days);
+        prop_assert!(
+            s.len() >= min_segment || segments.len() == 1,
+            "segment {:?} shorter than min {}",
+            s,
+            min_segment
+        );
+        for day in covered.iter_mut().take(s.end).skip(s.start) {
+            *day += 1;
+        }
+    }
+    for (day, count) in covered.iter().enumerate() {
+        prop_assert!(*count == 1, "day {} labeled {} times", day, count);
+    }
+    // Adjacent segments never share a regime (they would be one run).
+    for w in segments.windows(2) {
+        prop_assert_eq!(w[0].end, w[1].start);
+    }
+    Ok(())
 }
 
 proptest! {
@@ -69,6 +110,47 @@ proptest! {
         let a = simulate(&cfg);
         let b = simulate(&cfg);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regime_segments_partition_synth_paths(seed in 0u64..5_000, min_segment in 1usize..120) {
+        let cfg = tiny_config(seed);
+        let latents = simulate(&cfg);
+        let labels = label_path(&latents.log_price, latents.warmup, &RegimeConfig::default());
+        prop_assert_eq!(labels.len(), cfg.n_days());
+        let segments = segment_regimes(&labels, min_segment);
+        assert_segments_partition(&segments, labels.len(), min_segment)?;
+    }
+
+    #[test]
+    fn regime_segments_partition_arbitrary_paths(
+        steps in prop::collection::vec(-0.2f64..0.2, 1..400),
+        warmup in 0usize..50,
+        lookback in 1usize..60,
+        min_segment in 1usize..80,
+    ) {
+        // Random-walk path, warmup prefix included; degenerate flat paths
+        // (all steps ~0) come out all-sideways and must still partition.
+        let mut log_price = Vec::with_capacity(warmup + steps.len());
+        let mut lp = 5.0;
+        for _ in 0..warmup { log_price.push(lp); }
+        for s in &steps { lp += s; log_price.push(lp); }
+        let cfg = RegimeConfig { lookback, threshold: 0.15, min_segment };
+        let labels = label_path(&log_price, warmup, &cfg);
+        prop_assert_eq!(labels.len(), steps.len());
+        let segments = segment_regimes(&labels, min_segment);
+        assert_segments_partition(&segments, labels.len(), min_segment)?;
+    }
+
+    #[test]
+    fn degenerate_all_sideways_path_is_one_segment(n in 1usize..500, warmup in 0usize..100) {
+        let log_price = vec![3.25; warmup + n];
+        let labels = label_path(&log_price, warmup, &RegimeConfig::default());
+        prop_assert!(labels.iter().all(|&l| l == MarketRegime::Sideways));
+        let segments = segment_regimes(&labels, RegimeConfig::default().min_segment);
+        prop_assert_eq!(segments.len(), 1);
+        prop_assert_eq!(segments[0].start, 0);
+        prop_assert_eq!(segments[0].end, n);
     }
 
     #[test]
