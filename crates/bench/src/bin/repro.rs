@@ -26,8 +26,16 @@
 //!
 //! repro serve --store DIR --addr 127.0.0.1:PORT [--workers N]
 //!             [--queue-depth N] [--max-batch N] [--max-wait-ms N]
+//!             [--reactors N] [--tune] [--max-workers N]
+//!             [--idle-timeout-ms N]
 //!             [--engine interpreted|compiled] [--trace PATH]
 //!             [--flight PATH]
+//!
+//! repro load --addr HOST:PORT [--mode closed|open] [--connections N]
+//!            [--rate R] [--requests N] [--seed N]
+//!            [--scenario ID --features CSV] [--rows-per-request N]
+//!            [--out DIR] [--slo-p99-ms F] [--slo-error-rate F]
+//!            [--timeout-ms N] [--quiet]
 //!
 //! repro stream --store DIR [--ticks N] [--seed N] [--scenario ID]
 //!              [--refit-every N] [--min-train N] [--min-refit-gap N]
@@ -72,8 +80,19 @@
 //!
 //! `repro serve` keeps such a store resident behind an HTTP/1.1
 //! endpoint (`GET /healthz|/models|/metrics|/debug/flight`, `POST
-//! /predict|/reload|/shutdown`) with a bounded queue, micro-batching,
-//! and load shedding; see `crates/serve/README.md` for the design.
+//! /predict|/reload|/shutdown`) with keep-alive connections multiplexed
+//! over `--reactors` event loops, a bounded queue, micro-batching, and
+//! load shedding; `--tune` lets the server resize its worker pool and
+//! queue depth from the observed queue-wait histogram. See
+//! `crates/serve/README.md` for the design.
+//!
+//! `repro load` replays a deterministic request stream (seeded, so two
+//! runs compare the server rather than the workload) against a live
+//! server over keep-alive connections: closed loop at a fixed
+//! concurrency or open loop at a fixed rate with latency measured from
+//! each request's scheduled fire time. It writes `load_report.json`
+//! plus a `metrics.json` that `repro compare` diffs like any run, and
+//! exits non-zero when an `--slo-*` objective is missed.
 //!
 //! `--flight PATH` (serve and stream) dumps the always-on flight
 //! recorder — a bounded ring of the most recent request / rollover /
@@ -248,6 +267,16 @@ fn main() {
             std::process::exit(2);
         }
         return;
+    }
+    if cli.peek().map(String::as_str) == Some("load") {
+        cli.next();
+        match run_load(cli) {
+            Ok(passed) => std::process::exit(if passed { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if cli.peek().map(String::as_str) == Some("compare") {
         cli.next();
@@ -547,6 +576,10 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut queue_depth = 64usize;
     let mut max_batch = 8usize;
     let mut max_wait_ms = 5u64;
+    let mut reactors = 2usize;
+    let mut tune = false;
+    let mut max_workers = 0usize;
+    let mut idle_timeout_ms = 10_000u64;
     let mut engine = Engine::default();
     let mut trace = None;
     let mut flight = None;
@@ -564,6 +597,12 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--queue-depth" => queue_depth = parse_usize("--queue-depth", args.next())?,
             "--max-batch" => max_batch = parse_usize("--max-batch", args.next())?,
             "--max-wait-ms" => max_wait_ms = parse_usize("--max-wait-ms", args.next())? as u64,
+            "--reactors" => reactors = parse_usize("--reactors", args.next())?,
+            "--tune" => tune = true,
+            "--max-workers" => max_workers = parse_usize("--max-workers", args.next())?,
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = parse_usize("--idle-timeout-ms", args.next())? as u64;
+            }
             "--engine" => {
                 let v = args.next().ok_or("--engine needs a value")?;
                 engine = Engine::parse(&v).ok_or(format!(
@@ -586,6 +625,10 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     config.queue_depth = queue_depth;
     config.max_batch = max_batch;
     config.max_wait = std::time::Duration::from_millis(max_wait_ms);
+    config.reactors = reactors;
+    config.self_tune = tune;
+    config.max_workers = max_workers;
+    config.idle_timeout = std::time::Duration::from_millis(idle_timeout_ms);
     config.engine = engine;
     config.flight_path = flight.clone();
 
@@ -617,6 +660,161 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         println!("# {} spans -> {}", tracer.len(), trace_path.display());
     }
     Ok(())
+}
+
+/// `repro load`: deterministic load replay against a live server.
+/// Writes `load_report.json` + `metrics.json` into `--out` and returns
+/// whether every `--slo-*` objective was met.
+fn run_load(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
+    use c100_load::{LoadConfig, LoadPlan, Mode, RequestTemplate, Slo};
+    use std::net::ToSocketAddrs;
+    fn parse_usize(flag: &str, value: Option<String>) -> Result<usize, String> {
+        let v = value.ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag} value {v}"))
+    }
+    fn parse_f64(flag: &str, value: Option<String>) -> Result<f64, String> {
+        let v = value.ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag} value {v}"))
+    }
+    let mut addr_raw: Option<String> = None;
+    let mut mode_raw = "closed".to_string();
+    let mut connections = 8usize;
+    let mut rate = 200.0f64;
+    let mut requests = 1000usize;
+    let mut seed = 42u64;
+    let mut scenario: Option<String> = None;
+    let mut features: Option<PathBuf> = None;
+    let mut rows_per_request = 1usize;
+    let mut out = PathBuf::from("results");
+    let mut slo_p99_ms: Option<f64> = None;
+    let mut slo_error_rate: Option<f64> = None;
+    let mut timeout_ms = 10_000u64;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr_raw = Some(args.next().ok_or("--addr needs a value")?),
+            "--mode" => mode_raw = args.next().ok_or("--mode needs a value")?,
+            "--connections" => connections = parse_usize("--connections", args.next())?,
+            "--rate" => rate = parse_f64("--rate", args.next())?,
+            "--requests" => requests = parse_usize("--requests", args.next())?,
+            "--seed" => seed = parse_usize("--seed", args.next())? as u64,
+            "--scenario" => scenario = Some(args.next().ok_or("--scenario needs a value")?),
+            "--features" => {
+                features = Some(PathBuf::from(
+                    args.next().ok_or("--features needs a value")?,
+                ));
+            }
+            "--rows-per-request" => {
+                rows_per_request = parse_usize("--rows-per-request", args.next())?;
+            }
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--slo-p99-ms" => slo_p99_ms = Some(parse_f64("--slo-p99-ms", args.next())?),
+            "--slo-error-rate" => {
+                slo_error_rate = Some(parse_f64("--slo-error-rate", args.next())?);
+            }
+            "--timeout-ms" => timeout_ms = parse_usize("--timeout-ms", args.next())? as u64,
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let addr_raw = addr_raw.ok_or("load requires --addr HOST:PORT")?;
+    let addr = addr_raw
+        .to_socket_addrs()
+        .map_err(|e| format!("bad --addr {addr_raw}: {e}"))?
+        .next()
+        .ok_or(format!("--addr {addr_raw} resolves to no address"))?;
+    let mode = match mode_raw.as_str() {
+        "closed" => Mode::Closed { connections },
+        "open" => Mode::Open {
+            rate_per_sec: rate,
+            connections,
+        },
+        other => return Err(format!("unknown --mode {other} (expected closed or open)")),
+    };
+
+    // The request mix: real /predict bodies cut from a features CSV
+    // (the same file `repro predict` consumes), or pure health checks
+    // when no CSV is given.
+    let mut templates = Vec::new();
+    if let Some(features_path) = &features {
+        let scenario = scenario
+            .as_deref()
+            .ok_or("--features needs --scenario to label the predict bodies")?;
+        ScenarioSpec::parse(scenario).map_err(|e| e.to_string())?;
+        let frame = read_frame_from_path(features_path).map_err(|e| e.to_string())?;
+        let columns = frame.columns();
+        if columns.is_empty() || frame.is_empty() {
+            return Err(format!("{} holds no feature rows", features_path.display()));
+        }
+        let rows: Vec<Vec<f64>> = (0..frame.len())
+            .map(|r| columns.iter().map(|c| c.values()[r]).collect())
+            .collect();
+        for chunk in rows.chunks(rows_per_request.max(1)) {
+            let rendered: Vec<String> = chunk
+                .iter()
+                .map(|row| {
+                    let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            let body = format!(
+                "{{\"scenario\":\"{scenario}\",\"rows\":[{}]}}",
+                rendered.join(",")
+            );
+            templates.push(RequestTemplate::post("/predict", &body));
+        }
+    } else {
+        templates.push(RequestTemplate::get("/healthz"));
+    }
+
+    if !quiet {
+        println!(
+            "# repro load — {mode_raw} loop, {requests} requests over {connections} connections \
+             (seed {seed}, {} templates) -> http://{addr}",
+            templates.len()
+        );
+    }
+    let plan = LoadPlan::replay(&templates, requests, seed);
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = LoadConfig {
+        addr,
+        mode,
+        seed,
+        timeout: std::time::Duration::from_millis(timeout_ms),
+    };
+    let report = c100_load::run(&plan, &config, &registry);
+
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let report_path = out.join("load_report.json");
+    std::fs::write(&report_path, report.to_json()).map_err(|e| e.to_string())?;
+    let metrics_path = out.join("metrics.json");
+    std::fs::write(&metrics_path, registry.snapshot().to_json()).map_err(|e| e.to_string())?;
+    if !quiet {
+        println!(
+            "# {} requests in {:.2}s ({:.0} req/s) — {} ok, {} shed, {} failed",
+            report.requests,
+            report.elapsed_secs,
+            report.throughput_rps,
+            report.ok,
+            report.shed,
+            report.failed
+        );
+        println!(
+            "# latency p50 {:.0}us  p90 {:.0}us  p99 {:.0}us  max {}us",
+            report.p50_micros, report.p90_micros, report.p99_micros, report.max_micros
+        );
+        println!("  -> {}", report_path.display());
+        println!("  -> {}", metrics_path.display());
+    }
+    let slo = Slo {
+        p99_micros: slo_p99_ms.map(|ms| ms * 1000.0),
+        max_error_rate: slo_error_rate,
+    };
+    let violations = slo.violations(&report);
+    for violation in &violations {
+        eprintln!("SLO violation: {violation}");
+    }
+    Ok(violations.is_empty())
 }
 
 /// `repro stream`: replays the synthetic market tick-by-tick through

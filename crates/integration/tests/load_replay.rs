@@ -1,0 +1,134 @@
+//! `c100-load` against a live `c100-serve` server: a deterministic
+//! closed-loop replay over keep-alive connections completes with zero
+//! failed requests, mixes `/healthz` and `/predict` traffic, and the
+//! server's connection accounting confirms connections were actually
+//! reused rather than reopened per request.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use c100_load::{run, LoadConfig, LoadPlan, Mode, RequestTemplate, Slo};
+use c100_ml::data::Matrix;
+use c100_ml::forest::RandomForestConfig;
+use c100_obs::MetricsRegistry;
+use c100_serve::{ServeConfig, Server};
+use c100_store::{ArtifactStore, ModelArtifact, ModelPayload};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("c100_load_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A small fitted RF artifact so `/predict` exercises a real model.
+fn quick_artifact(seed: u64) -> ModelArtifact {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..80)
+        .map(|_| (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] - 2.0 * r[2]).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let model = RandomForestConfig {
+        n_estimators: 8,
+        max_depth: Some(5),
+        ..Default::default()
+    }
+    .fit(&x, &y, seed)
+    .unwrap();
+    ModelArtifact {
+        scenario: "2019_7".into(),
+        period: "2019".into(),
+        window: 7,
+        features: (0..4).map(|i| format!("feat_{i}")).collect(),
+        profile: "fast".into(),
+        seed,
+        train_rows: x.n_rows() as u64,
+        train_start: "2019-01-01".into(),
+        train_end: "2019-03-21".into(),
+        hyperparameters: BTreeMap::new(),
+        model: ModelPayload::Rf(model),
+    }
+}
+
+#[test]
+fn closed_loop_replay_against_a_live_server_has_zero_failures() {
+    let dir = temp_dir("replay");
+    {
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        store.save(&quick_artifact(11)).unwrap();
+    }
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut config = ServeConfig::new(&dir, "127.0.0.1:0");
+    config.workers = 2;
+    config.queue_depth = 64;
+    config.max_batch = 4;
+    let handle = Server::start(config, registry.clone(), None).unwrap();
+    let addr = handle.local_addr();
+
+    // The smoke mix: health checks interleaved with single-row and
+    // full-batch predicts (the latter exercise the batcher bypass).
+    let templates = vec![
+        RequestTemplate::get("/healthz"),
+        RequestTemplate::post(
+            "/predict",
+            "{\"scenario\":\"2019_7\",\"rows\":[[0.1,0.2,0.3,0.4]]}",
+        ),
+        RequestTemplate::post(
+            "/predict",
+            "{\"scenario\":\"2019_7\",\"rows\":[[0.1,0.2,0.3,0.4],[1.0,-1.0,0.5,0.0],\
+             [0.0,0.0,0.0,0.0],[-0.5,0.25,2.0,-1.5]]}",
+        ),
+    ];
+    let plan = LoadPlan::replay(&templates, 240, 42);
+    let load_registry = Arc::new(MetricsRegistry::new());
+    let load_config = LoadConfig {
+        addr,
+        mode: Mode::Closed { connections: 8 },
+        seed: 42,
+        timeout: Duration::from_secs(10),
+    };
+    let report = run(&plan, &load_config, &load_registry);
+
+    // Zero failed requests is the smoke acceptance bar; with 8-deep
+    // concurrency against a 64-deep queue nothing sheds either.
+    assert_eq!(report.requests, 240);
+    assert_eq!(report.failed, 0, "{report:?}");
+    assert_eq!(report.shed, 0, "{report:?}");
+    assert_eq!(report.ok, 240);
+    assert_eq!(report.statuses.get(&200).copied(), Some(240));
+    let slo = Slo {
+        p99_micros: Some(60_000_000.0),
+        max_error_rate: Some(0.0),
+    };
+    assert!(slo.passed(&report), "{:?}", slo.violations(&report));
+
+    // Keep-alive did its job: at most one connection per worker, not
+    // one per request.
+    let snap = registry.snapshot();
+    let conns = snap.counters["serve.connections_total"];
+    assert!(
+        (1..=8).contains(&conns),
+        "expected <= 8 reused connections, server accepted {conns}"
+    );
+    assert_eq!(snap.counters["http.requests_total"], 240);
+
+    // The load side published the same shapes `repro compare` diffs.
+    let load_snap = load_registry.snapshot();
+    assert_eq!(load_snap.histograms["load.request_micros"].count, 240);
+    let json = load_snap.to_json();
+    let reparsed = c100_obs::MetricsSnapshot::from_json(&json).unwrap();
+    assert_eq!(reparsed.histograms["load.request_micros"].count, 240);
+
+    // Graceful teardown still drains.
+    let shutdown = std::net::TcpStream::connect(addr).and_then(|mut s| {
+        use std::io::Write;
+        s.write_all(b"POST /shutdown HTTP/1.1\r\nConnection: close\r\n\r\n")
+    });
+    assert!(shutdown.is_ok());
+    handle.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}

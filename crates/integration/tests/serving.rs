@@ -30,7 +30,9 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Minimal HTTP client: one request, the full response text back.
+/// Minimal HTTP client: one request, the full response text back. The
+/// write side is half-closed after the request so the keep-alive
+/// server answers, sees end-of-input, and releases the connection.
 fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).unwrap();
@@ -42,6 +44,9 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Strin
         None => format!("{method} {path} HTTP/1.1\r\n\r\n"),
     };
     stream.write_all(raw.as_bytes()).expect("write request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read response");
     response
@@ -317,6 +322,55 @@ fn saturating_burst_sheds_503_and_counts_them() {
         "flight sheds {shed_records} vs client 503s {sheds}"
     );
     assert!(flight_body.contains("\"kind\": \"request\""));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// When every worker is blocked waiting on the same batcher shard, the
+/// batch can never fill — the shard must flush immediately instead of
+/// sitting out `max_wait`. With the deliberately huge 5s deadline here,
+/// the pre-fix batcher would need ~20s for these volleys; the early
+/// flush finishes them in milliseconds.
+#[test]
+fn blocked_single_row_submitters_flush_early_without_deadline_wait() {
+    let dir = temp_dir("earlyflush");
+    let artifact = quick_artifact("2019_7", "2019", 7, 23);
+    let id = ArtifactStore::open(&dir)
+        .unwrap()
+        .save(&artifact)
+        .unwrap()
+        .id;
+
+    let mut config = ServeConfig::new(&dir, "127.0.0.1:0");
+    config.workers = 2;
+    config.max_batch = 64; // can never fill from 2 blocked workers
+    config.max_wait = Duration::from_secs(5); // a trap, not a budget
+    let server = Server::start(config, Arc::new(MetricsRegistry::new()), None).unwrap();
+    let addr = server.local_addr();
+
+    let started = std::time::Instant::now();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let body = format!(
+                "{{\"artifact\":\"{id}\",\"rows\":{}}}",
+                rows_json(&[vec![0.25; 4]])
+            );
+            std::thread::spawn(move || {
+                (0..4)
+                    .map(|_| status_of(&http(addr, "POST", "/predict", Some(&body))))
+                    .collect::<Vec<u16>>()
+            })
+        })
+        .collect();
+    for handle in handles {
+        assert!(handle.join().unwrap().iter().all(|&s| s == 200));
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "16 single-row predicts took {elapsed:?}; batcher waited out its deadline"
+    );
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,224 @@
+//! The client half of a keep-alive connection: blocking writes, an
+//! incremental response reader that consumes exactly one framed
+//! response per call and leaves any over-read bytes buffered for the
+//! next one. `Content-Length` framing only — matching what `c100-serve`
+//! emits — with a hard cap on head size so a misbehaving server can't
+//! balloon the buffer.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Longest response head the reader will buffer before giving up.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// What one request/response exchange produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// HTTP status code.
+    pub status: u16,
+    /// The response body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+    /// True when the server negotiated `Connection: close` — the
+    /// caller must reconnect before the next call.
+    pub close: bool,
+}
+
+/// One keep-alive connection to the server under load.
+#[derive(Debug)]
+pub struct LoadConnection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LoadConnection {
+    /// Connects with `timeout` applied to connect, reads and writes.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<LoadConnection> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(LoadConnection {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Writes one pre-rendered request and reads exactly one response.
+    pub fn call(&mut self, wire: &[u8]) -> std::io::Result<CallOutcome> {
+        self.stream.write_all(wire)?;
+        self.read_response()
+    }
+
+    /// Reads from the socket into the buffer; EOF is an error because
+    /// a response is still outstanding.
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<CallOutcome> {
+        let head_end = loop {
+            if let Some(pos) = find(&self.buf, b"\r\n\r\n") {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    "response head exceeds 64 KiB",
+                ));
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("bad status line: {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("bad Content-Length: {value:?}"),
+                    )
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value
+                    .split(',')
+                    .any(|token| token.trim().eq_ignore_ascii_case("close"));
+            }
+        }
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Keep anything past this response (a pipelined follow-up the
+        // server pushed early) buffered for the next call.
+        self.buf.drain(..body_start + content_length);
+        Ok(CallOutcome {
+            status,
+            body,
+            close,
+        })
+    }
+}
+
+/// First index of `needle` in `haystack`, if any.
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A one-connection server thread that writes scripted bytes after
+    /// consuming each incoming request head+body naively.
+    fn scripted_server(script: Vec<Vec<u8>>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 4096];
+            for part in script {
+                // Consume whatever request bytes arrived; the scripts
+                // are one-response-per-request, so one read suffices
+                // for these tests.
+                let _ = stream.read(&mut sink);
+                stream.write_all(&part).unwrap();
+            }
+        });
+        addr
+    }
+
+    fn response(status: &str, body: &str, extra: &str) -> Vec<u8> {
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Length: {}\r\n{extra}\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    #[test]
+    fn keep_alive_calls_reuse_one_connection() {
+        let addr = scripted_server(vec![
+            response("200 OK", "{\"ok\":true}", "Connection: keep-alive\r\n"),
+            response("200 OK", "second", "Connection: keep-alive\r\n"),
+        ]);
+        let mut conn = LoadConnection::connect(addr, Duration::from_secs(2)).unwrap();
+        let first = conn.call(b"GET /a HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, b"{\"ok\":true}");
+        assert!(!first.close);
+        let second = conn.call(b"GET /b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(second.body, b"second");
+    }
+
+    #[test]
+    fn an_early_pushed_second_response_stays_buffered() {
+        // Both responses arrive in one burst; the reader must hand back
+        // exactly the first and keep the second for the next call.
+        let mut burst = response("200 OK", "one", "");
+        burst.extend_from_slice(&response("503 Service Unavailable", "two", ""));
+        let addr = scripted_server(vec![burst]);
+        let mut conn = LoadConnection::connect(addr, Duration::from_secs(2)).unwrap();
+        let first = conn.call(b"GET /a HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!((first.status, first.body.as_slice()), (200, &b"one"[..]));
+        // No server read needed: the bytes are already client-side.
+        let second = conn.read_response().unwrap();
+        assert_eq!((second.status, second.body.as_slice()), (503, &b"two"[..]));
+    }
+
+    #[test]
+    fn connection_close_is_surfaced_to_the_caller() {
+        let addr = scripted_server(vec![response("200 OK", "x", "Connection: close\r\n")]);
+        let mut conn = LoadConnection::connect(addr, Duration::from_secs(2)).unwrap();
+        let outcome = conn.call(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(outcome.close);
+    }
+
+    #[test]
+    fn eof_mid_response_is_an_error_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 1024];
+            let _ = stream.read(&mut sink);
+            // Promise 100 bytes, deliver 3, hang up.
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nabc")
+                .unwrap();
+        });
+        let mut conn = LoadConnection::connect(addr, Duration::from_secs(2)).unwrap();
+        let err = conn.call(b"GET / HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    }
+}

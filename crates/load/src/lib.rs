@@ -1,0 +1,37 @@
+//! Deterministic load replay for the serving layer.
+//!
+//! `c100-load` drives a live `c100-serve` endpoint with a reproducible
+//! request stream and reports latency/outcome numbers in the same
+//! shapes the rest of the repo already diffs. The pieces:
+//!
+//! - [`plan`] — request templates pre-rendered to HTTP/1.1 wire bytes
+//!   and sequenced by a seeded SplitMix64 draw: same templates + same
+//!   seed ⇒ byte-identical replay, so two runs (or two PRs in CI) are
+//!   comparing the server, not the workload.
+//! - [`client`] — the keep-alive client half: blocking I/O, an
+//!   incremental `Content-Length`-framed response reader that never
+//!   bleeds one response into the next.
+//! - [`runner`] — closed-loop (fixed concurrency, next request on
+//!   response) and open-loop (fixed schedule, latency measured from
+//!   the *scheduled* fire time to dodge coordinated omission) worker
+//!   pools over a shared plan cursor.
+//! - [`report`] — [`LoadReport`] with outcome counts, throughput, and
+//!   latency percentiles, plus [`Slo`] assertions (p99 / error-rate)
+//!   that CI gates on.
+//!
+//! Latencies land in a `load.request_micros` histogram inside a
+//! [`MetricsRegistry`](c100_obs::MetricsRegistry) — the identical
+//! log-linear buckets the server uses — so a load run writes a
+//! `metrics.json` that `repro compare` diffs and gates exactly like a
+//! pipeline run's. A shed 503 is counted separately from a failure:
+//! shedding under overload is the contract, not a bug.
+
+pub mod client;
+pub mod plan;
+pub mod report;
+pub mod runner;
+
+pub use client::{CallOutcome, LoadConnection};
+pub use plan::{LoadPlan, RequestTemplate, SplitMix64};
+pub use report::{LoadReport, Slo};
+pub use runner::{run, LoadConfig, Mode};

@@ -1,0 +1,194 @@
+//! Deterministic request plans: what to send, in what order.
+//!
+//! Load numbers are only comparable across runs — and across PRs in
+//! CI — when both sides replayed the *same* request sequence. A
+//! [`LoadPlan`] pre-renders every template to wire bytes once and
+//! fixes the request order with a seeded [`SplitMix64`] draw, so the
+//! hot loop does zero allocation and zero RNG work: same templates +
+//! same seed ⇒ byte-identical replay on every machine.
+
+/// One request shape: method, path, optional body. Templates are
+/// rendered to HTTP/1.1 wire bytes once, at plan build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTemplate {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Absolute path, e.g. `/predict`.
+    pub path: String,
+    /// Request body; empty means no body (and no `Content-Length`).
+    pub body: String,
+}
+
+impl RequestTemplate {
+    /// A body-less `GET`.
+    pub fn get(path: &str) -> RequestTemplate {
+        RequestTemplate {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: String::new(),
+        }
+    }
+
+    /// A `POST` with a JSON body.
+    pub fn post(path: &str, body: &str) -> RequestTemplate {
+        RequestTemplate {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            body: body.to_string(),
+        }
+    }
+
+    /// The HTTP/1.1 wire form. No `Connection` header: HTTP/1.1
+    /// defaults to keep-alive, which is the whole point of the
+    /// harness — connections persist across the replay.
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        if self.body.is_empty() {
+            format!(
+                "{} {} HTTP/1.1\r\nHost: c100-load\r\n\r\n",
+                self.method, self.path
+            )
+            .into_bytes()
+        } else {
+            format!(
+                "{} {} HTTP/1.1\r\nHost: c100-load\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{}",
+                self.method,
+                self.path,
+                self.body.len(),
+                self.body
+            )
+            .into_bytes()
+        }
+    }
+}
+
+/// SplitMix64: a tiny, high-quality, seedable generator — the same
+/// sequence on every platform, no dependency on `rand`.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator whose whole state is `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A fully materialised replay: `total` requests drawn from a template
+/// set in a seed-fixed order, each pre-rendered to wire bytes.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    templates: Vec<Vec<u8>>,
+    order: Vec<u32>,
+}
+
+impl LoadPlan {
+    /// Draws `total` requests uniformly from `templates` with a
+    /// SplitMix64 stream seeded by `seed`. Deterministic: the i-th
+    /// request is the same template on every run and every machine.
+    pub fn replay(templates: &[RequestTemplate], total: usize, seed: u64) -> LoadPlan {
+        assert!(
+            !templates.is_empty(),
+            "a load plan needs at least one template"
+        );
+        assert!(
+            templates.len() <= u32::MAX as usize,
+            "more templates than a u32 index can address"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let order = (0..total)
+            .map(|_| (rng.next_u64() % templates.len() as u64) as u32)
+            .collect();
+        LoadPlan {
+            templates: templates.iter().map(RequestTemplate::wire_bytes).collect(),
+            order,
+        }
+    }
+
+    /// Number of requests in the replay.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the plan holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of distinct templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The wire bytes of the i-th request.
+    pub fn wire(&self, i: usize) -> &[u8] {
+        &self.templates[self.order[i] as usize]
+    }
+
+    /// Which template the i-th request renders.
+    pub fn template_of(&self, i: usize) -> usize {
+        self.order[i] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn templates() -> Vec<RequestTemplate> {
+        vec![
+            RequestTemplate::get("/healthz"),
+            RequestTemplate::post("/predict", "{\"scenario\":\"2019_7\",\"rows\":[[1,2]]}"),
+        ]
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_sequence() {
+        let a = LoadPlan::replay(&templates(), 64, 7);
+        let b = LoadPlan::replay(&templates(), 64, 7);
+        for i in 0..a.len() {
+            assert_eq!(a.wire(i), b.wire(i), "request {i} diverged");
+        }
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let a = LoadPlan::replay(&templates(), 256, 1);
+        let b = LoadPlan::replay(&templates(), 256, 2);
+        let diverges = (0..a.len()).any(|i| a.template_of(i) != b.template_of(i));
+        assert!(diverges, "256 draws from 2 templates agreed on every index");
+    }
+
+    #[test]
+    fn wire_bytes_frame_the_body_and_omit_connection() {
+        let wire = RequestTemplate::post("/predict", "{\"rows\":[[1]]}").wire_bytes();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("POST /predict HTTP/1.1\r\n"), "{text:?}");
+        assert!(text.contains("Content-Length: 14\r\n"), "{text:?}");
+        assert!(text.ends_with("\r\n\r\n{\"rows\":[[1]]}"), "{text:?}");
+        // Persistence rides on the HTTP/1.1 default; no Connection header.
+        assert!(!text.contains("Connection:"), "{text:?}");
+
+        let get = String::from_utf8(RequestTemplate::get("/healthz").wire_bytes()).unwrap();
+        assert!(get.ends_with("\r\n\r\n"), "{get:?}");
+        assert!(!get.contains("Content-Length"), "{get:?}");
+    }
+
+    #[test]
+    fn a_draw_covers_both_templates() {
+        let plan = LoadPlan::replay(&templates(), 128, 42);
+        let gets = (0..plan.len())
+            .filter(|&i| plan.template_of(i) == 0)
+            .count();
+        assert!(gets > 0 && gets < 128, "degenerate draw: {gets}/128 GETs");
+    }
+}

@@ -1,0 +1,204 @@
+//! The artifact a load run leaves behind: outcome counts, latency
+//! summary, and an SLO verdict — rendered to `load_report.json` next
+//! to the run's `metrics.json` so CI can both eyeball the numbers and
+//! gate on them.
+
+use std::collections::BTreeMap;
+
+use c100_obs::json::{write_escaped, write_float};
+
+/// Everything one replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Worker/connection count.
+    pub connections: usize,
+    /// Open-loop target rate; `0` for closed loop.
+    pub rate_per_sec: f64,
+    /// The plan seed, for byte-identical re-replay.
+    pub seed: u64,
+    /// Requests attempted (`ok + shed + failed`).
+    pub requests: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 503 responses — deliberate load shedding, *not* failures.
+    pub shed: u64,
+    /// Everything else: non-2xx/non-503 statuses, I/O errors, timeouts.
+    pub failed: u64,
+    /// Exact response counts by status code (I/O errors carry none).
+    pub statuses: BTreeMap<u16, u64>,
+    /// Wall-clock of the whole replay.
+    pub elapsed_secs: f64,
+    /// `requests / elapsed_secs`.
+    pub throughput_rps: f64,
+    /// Mean request latency (open loop: from scheduled fire time).
+    pub mean_micros: f64,
+    /// Median latency.
+    pub p50_micros: f64,
+    /// 90th percentile latency.
+    pub p90_micros: f64,
+    /// 99th percentile latency.
+    pub p99_micros: f64,
+    /// Worst observed latency.
+    pub max_micros: u64,
+}
+
+impl LoadReport {
+    /// Failures as a fraction of attempts. Sheds are excluded: a 503
+    /// is the server keeping its latency promise under overload.
+    pub fn error_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.requests as f64
+        }
+    }
+
+    /// Hand-rolled JSON, matching the repo's dependency-free reports.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"mode\":");
+        write_escaped(&mut out, &self.mode);
+        out.push_str(&format!(
+            ",\"connections\":{},\"seed\":{},\"requests\":{},\"ok\":{},\"shed\":{},\
+             \"failed\":{}",
+            self.connections, self.seed, self.requests, self.ok, self.shed, self.failed
+        ));
+        out.push_str(",\"rate_per_sec\":");
+        write_float(&mut out, self.rate_per_sec);
+        out.push_str(",\"error_rate\":");
+        write_float(&mut out, self.error_rate());
+        out.push_str(",\"elapsed_secs\":");
+        write_float(&mut out, self.elapsed_secs);
+        out.push_str(",\"throughput_rps\":");
+        write_float(&mut out, self.throughput_rps);
+        out.push_str(",\"latency_micros\":{\"mean\":");
+        write_float(&mut out, self.mean_micros);
+        out.push_str(",\"p50\":");
+        write_float(&mut out, self.p50_micros);
+        out.push_str(",\"p90\":");
+        write_float(&mut out, self.p90_micros);
+        out.push_str(",\"p99\":");
+        write_float(&mut out, self.p99_micros);
+        out.push_str(&format!(",\"max\":{}}}", self.max_micros));
+        out.push_str(",\"statuses\":{");
+        for (i, (status, n)) in self.statuses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{status}\":{n}"));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The service-level objective a replay must meet to pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Slo {
+    /// Upper bound on p99 latency, when set.
+    pub p99_micros: Option<f64>,
+    /// Upper bound on [`LoadReport::error_rate`], when set.
+    pub max_error_rate: Option<f64>,
+}
+
+impl Slo {
+    /// Every objective the report misses, as human-readable lines.
+    /// Empty means the run passed.
+    pub fn violations(&self, report: &LoadReport) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Some(limit) = self.p99_micros {
+            if report.p99_micros > limit {
+                violations.push(format!(
+                    "p99 latency {:.0}us exceeds the {limit:.0}us objective",
+                    report.p99_micros
+                ));
+            }
+        }
+        if let Some(limit) = self.max_error_rate {
+            if report.error_rate() > limit {
+                violations.push(format!(
+                    "error rate {:.4} ({} of {} requests) exceeds the {limit:.4} objective",
+                    report.error_rate(),
+                    report.failed,
+                    report.requests
+                ));
+            }
+        }
+        violations
+    }
+
+    /// True when the report meets every set objective.
+    pub fn passed(&self, report: &LoadReport) -> bool {
+        self.violations(report).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LoadReport {
+        LoadReport {
+            mode: "closed".to_string(),
+            connections: 8,
+            rate_per_sec: 0.0,
+            seed: 42,
+            requests: 1000,
+            ok: 990,
+            shed: 8,
+            failed: 2,
+            statuses: BTreeMap::from([(200, 990), (503, 8), (500, 2)]),
+            elapsed_secs: 2.0,
+            throughput_rps: 500.0,
+            mean_micros: 800.0,
+            p50_micros: 700.0,
+            p90_micros: 1500.0,
+            p99_micros: 4000.0,
+            max_micros: 9000,
+        }
+    }
+
+    #[test]
+    fn sheds_do_not_count_toward_the_error_rate() {
+        let r = report();
+        assert!((r.error_rate() - 0.002).abs() < 1e-12, "{}", r.error_rate());
+    }
+
+    #[test]
+    fn json_round_trips_through_the_obs_parser() {
+        let text = report().to_json();
+        let value = c100_obs::json::parse(&text).unwrap();
+        assert_eq!(value.req_str("mode").unwrap(), "closed");
+        assert_eq!(value.req_uint("requests").unwrap(), 1000);
+        assert_eq!(value.req_uint("shed").unwrap(), 8);
+        let latency = value.get("latency_micros").unwrap();
+        assert_eq!(latency.req_float("p99").unwrap(), 4000.0);
+        let statuses = value.get("statuses").unwrap();
+        assert_eq!(statuses.req_uint("503").unwrap(), 8);
+    }
+
+    #[test]
+    fn slo_names_each_violated_objective() {
+        let slo = Slo {
+            p99_micros: Some(3000.0),
+            max_error_rate: Some(0.001),
+        };
+        let violations = slo.violations(&report());
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("p99"), "{violations:?}");
+        assert!(violations[1].contains("error rate"), "{violations:?}");
+        assert!(!slo.passed(&report()));
+    }
+
+    #[test]
+    fn an_empty_slo_always_passes() {
+        assert!(Slo::default().passed(&report()));
+        let loose = Slo {
+            p99_micros: Some(1e9),
+            max_error_rate: Some(1.0),
+        };
+        assert!(loose.passed(&report()));
+    }
+}

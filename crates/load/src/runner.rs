@@ -1,0 +1,211 @@
+//! The load loop itself: a worker pool replaying a [`LoadPlan`]
+//! against a live server in closed- or open-loop mode.
+//!
+//! * **Closed loop** — `connections` workers, each holding one
+//!   keep-alive connection and firing its next request the moment the
+//!   previous response lands. Measures the server's sustainable
+//!   throughput at a fixed concurrency.
+//! * **Open loop** — requests fire on a fixed schedule (`rate_per_sec`),
+//!   regardless of how fast responses come back. Latency is measured
+//!   from each request's *scheduled* fire time, so a stalled server
+//!   shows up as growing latency instead of silently slowing the
+//!   request stream (the coordinated-omission trap).
+//!
+//! Every completed exchange lands in the `load.request_micros`
+//! histogram (the same log-linear buckets as the server side) plus the
+//! `load.requests_total` / `load.shed_total` / `load.failed_total`
+//! counters, so a load run's `metrics.json` diffs through
+//! `repro compare` exactly like a pipeline run's.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use c100_obs::MetricsRegistry;
+
+use crate::client::LoadConnection;
+use crate::plan::LoadPlan;
+use crate::report::LoadReport;
+
+/// How the plan is driven.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// `connections` workers, next request on response.
+    Closed {
+        /// Concurrent keep-alive connections.
+        connections: usize,
+    },
+    /// Fixed-rate schedule spread over a worker pool.
+    Open {
+        /// Target request rate across all workers.
+        rate_per_sec: f64,
+        /// Worker pool (and connection) size.
+        connections: usize,
+    },
+}
+
+/// Everything a run needs besides the plan.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Closed or open loop.
+    pub mode: Mode,
+    /// Seed echoed into the report (the plan already baked it in).
+    pub seed: u64,
+    /// Per-call connect/read/write timeout.
+    pub timeout: Duration,
+}
+
+/// Per-worker outcome tallies, merged after the pool joins.
+#[derive(Debug, Default)]
+struct Tally {
+    ok: u64,
+    shed: u64,
+    failed: u64,
+    statuses: BTreeMap<u16, u64>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.failed += other.failed;
+        for (status, n) in other.statuses {
+            *self.statuses.entry(status).or_default() += n;
+        }
+    }
+}
+
+/// Replays `plan` against `config.addr` and reports what came back.
+/// Worker threads share a single atomic cursor into the plan, so each
+/// request is sent exactly once no matter how workers interleave.
+pub fn run(plan: &LoadPlan, config: &LoadConfig, registry: &MetricsRegistry) -> LoadReport {
+    let (connections, rate) = match config.mode {
+        Mode::Closed { connections } => (connections.max(1), 0.0),
+        Mode::Open {
+            rate_per_sec,
+            connections,
+        } => (connections.max(1), rate_per_sec.max(1e-9)),
+    };
+    let schedule_rate = match config.mode {
+        Mode::Closed { .. } => None,
+        Mode::Open { .. } => Some(rate),
+    };
+
+    let latency = registry.histogram("load.request_micros");
+    let requests_total = registry.counter("load.requests_total");
+    let shed_total = registry.counter("load.shed_total");
+    let failed_total = registry.counter("load.failed_total");
+
+    let cursor = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut tally = Tally::default();
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(connections);
+        for _ in 0..connections {
+            let latency = latency.clone();
+            let requests_total = requests_total.clone();
+            let shed_total = shed_total.clone();
+            let failed_total = failed_total.clone();
+            let cursor = &cursor;
+            workers.push(scope.spawn(move || {
+                let mut local = Tally::default();
+                let mut conn: Option<LoadConnection> = None;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= plan.len() {
+                        break;
+                    }
+                    // Open loop: wait for this request's slot, then
+                    // measure from the slot — not from the send — so
+                    // schedule slip counts against the server.
+                    let measured_from = match schedule_rate {
+                        Some(rate) => {
+                            let due = start + Duration::from_secs_f64(i as f64 / rate);
+                            let now = Instant::now();
+                            if due > now {
+                                std::thread::sleep(due - now);
+                            }
+                            due
+                        }
+                        None => Instant::now(),
+                    };
+                    if conn.is_none() {
+                        match LoadConnection::connect(config.addr, config.timeout) {
+                            Ok(c) => conn = Some(c),
+                            Err(_) => {
+                                requests_total.inc();
+                                failed_total.inc();
+                                local.failed += 1;
+                                // Don't spin a dead server at full speed.
+                                std::thread::sleep(Duration::from_millis(10));
+                                continue;
+                            }
+                        }
+                    }
+                    let ready = conn.as_mut().expect("connection just ensured");
+                    match ready.call(plan.wire(i)) {
+                        Ok(outcome) => {
+                            let micros = measured_from.elapsed().as_micros() as u64;
+                            latency.observe_micros(micros);
+                            requests_total.inc();
+                            *local.statuses.entry(outcome.status).or_default() += 1;
+                            match outcome.status {
+                                200..=299 => local.ok += 1,
+                                503 => {
+                                    local.shed += 1;
+                                    shed_total.inc();
+                                }
+                                _ => {
+                                    local.failed += 1;
+                                    failed_total.inc();
+                                }
+                            }
+                            if outcome.close {
+                                conn = None;
+                            }
+                        }
+                        Err(_) => {
+                            requests_total.inc();
+                            failed_total.inc();
+                            local.failed += 1;
+                            conn = None;
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for worker in workers {
+            tally.merge(worker.join().expect("load worker panicked"));
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let snapshot = registry.snapshot();
+    let hist = &snapshot.histograms["load.request_micros"];
+    let requests = tally.ok + tally.shed + tally.failed;
+    LoadReport {
+        mode: match config.mode {
+            Mode::Closed { .. } => "closed".to_string(),
+            Mode::Open { .. } => "open".to_string(),
+        },
+        connections,
+        rate_per_sec: rate,
+        seed: config.seed,
+        requests,
+        ok: tally.ok,
+        shed: tally.shed,
+        failed: tally.failed,
+        statuses: tally.statuses,
+        elapsed_secs: elapsed.as_secs_f64(),
+        throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        mean_micros: hist.mean_micros(),
+        p50_micros: hist.quantile_micros(0.50),
+        p90_micros: hist.quantile_micros(0.90),
+        p99_micros: hist.quantile_micros(0.99),
+        max_micros: hist.max_micros,
+    }
+}

@@ -1,0 +1,172 @@
+//! Whole-harness replays against a toy keep-alive server: closed-loop
+//! and open-loop runs complete the full plan, classify outcomes
+//! exactly, and publish latency into the shared metrics registry.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use c100_load::{run, LoadConfig, LoadPlan, Mode, RequestTemplate, Slo};
+use c100_obs::MetricsRegistry;
+
+/// A tiny keep-alive HTTP server: 200 for most paths, 503 for `/shed`,
+/// `Connection: close` honoured when the client sends it. One thread
+/// per connection — it's a test fixture, not a contender.
+fn toy_server() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            std::thread::spawn(move || serve_connection(stream));
+        }
+    });
+    addr
+}
+
+fn serve_connection(mut stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Accumulate until a full head is buffered.
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let path = head.split(' ').nth(1).unwrap_or("/").to_string();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        while buf.len() < head_end + 4 + content_length {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        buf.drain(..head_end + 4 + content_length);
+        let (status, body) = if path == "/shed" {
+            ("503 Service Unavailable", "{\"error\":\"shed\"}")
+        } else {
+            ("200 OK", "{\"ok\":true}")
+        };
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len()
+        );
+        if stream.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+#[test]
+fn closed_loop_replays_the_whole_plan_with_exact_outcome_counts() {
+    let addr = toy_server();
+    let templates = vec![
+        RequestTemplate::get("/healthz"),
+        RequestTemplate::post("/predict", "{\"rows\":[[1,2,3]]}"),
+        RequestTemplate::get("/shed"),
+    ];
+    let plan = LoadPlan::replay(&templates, 300, 42);
+    let expected_sheds = (0..plan.len())
+        .filter(|&i| plan.template_of(i) == 2)
+        .count() as u64;
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = LoadConfig {
+        addr,
+        mode: Mode::Closed { connections: 4 },
+        seed: 42,
+        timeout: Duration::from_secs(5),
+    };
+    let report = run(&plan, &config, &registry);
+
+    assert_eq!(report.requests, 300);
+    assert_eq!(report.failed, 0, "{report:?}");
+    assert_eq!(report.shed, expected_sheds);
+    assert_eq!(report.ok, 300 - expected_sheds);
+    assert_eq!(
+        report.statuses.get(&503).copied().unwrap_or(0),
+        expected_sheds
+    );
+    assert!(report.throughput_rps > 0.0);
+
+    // Latencies landed in the shared registry under the load namespace.
+    let snap = registry.snapshot();
+    assert_eq!(snap.histograms["load.request_micros"].count, 300);
+    assert_eq!(snap.counters["load.requests_total"], 300);
+    assert_eq!(snap.counters["load.shed_total"], expected_sheds);
+    assert_eq!(snap.counters["load.failed_total"], 0);
+
+    // A generous SLO passes; sheds alone can't fail the error-rate gate.
+    let slo = Slo {
+        p99_micros: Some(60_000_000.0),
+        max_error_rate: Some(0.0),
+    };
+    assert!(slo.passed(&report), "{:?}", slo.violations(&report));
+}
+
+#[test]
+fn open_loop_fires_on_schedule_and_measures_from_the_slot() {
+    let addr = toy_server();
+    let plan = LoadPlan::replay(&[RequestTemplate::get("/healthz")], 120, 7);
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = LoadConfig {
+        addr,
+        mode: Mode::Open {
+            rate_per_sec: 400.0,
+            connections: 4,
+        },
+        seed: 7,
+        timeout: Duration::from_secs(5),
+    };
+    let report = run(&plan, &config, &registry);
+    assert_eq!(report.requests, 120);
+    assert_eq!(report.failed, 0, "{report:?}");
+    assert_eq!(report.mode, "open");
+    // 120 requests at 400/s occupy ~0.3s of schedule; the run can't
+    // finish meaningfully faster than its own schedule.
+    assert!(
+        report.elapsed_secs >= 0.25,
+        "run outpaced its schedule: {:.3}s",
+        report.elapsed_secs
+    );
+}
+
+#[test]
+fn a_dead_server_yields_failed_requests_not_a_hang() {
+    // Bind-then-drop guarantees nothing listens on the port.
+    let addr = TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+    let plan = LoadPlan::replay(&[RequestTemplate::get("/healthz")], 3, 1);
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = LoadConfig {
+        addr,
+        mode: Mode::Closed { connections: 2 },
+        seed: 1,
+        timeout: Duration::from_millis(500),
+    };
+    let report = run(&plan, &config, &registry);
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.failed, 3);
+    assert_eq!(report.ok, 0);
+    let slo = Slo {
+        p99_micros: None,
+        max_error_rate: Some(0.01),
+    };
+    assert!(!slo.passed(&report));
+}

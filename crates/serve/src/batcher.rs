@@ -1,12 +1,43 @@
 //! Micro-batching of `/predict` work.
 //!
-//! Workers hand validated prediction jobs to a single batcher thread,
-//! which coalesces rows destined for the *same artifact* into one
+//! Workers hand validated prediction jobs to a batcher shard, which
+//! coalesces rows destined for the *same artifact* into one
 //! [`BatchPredictor::predict_matrix`] call. A batch flushes when its
-//! accumulated rows reach the configured maximum or when the oldest
-//! job in it has waited out the deadline, whichever comes first — so
-//! under load the server amortises per-batch overhead, and when idle a
-//! lone request pays at most `max_wait` of extra latency.
+//! accumulated rows reach the configured maximum, when a worker runs
+//! out of queued requests (the [`BatchSubmitter::nudge`] below), or
+//! when the oldest job has waited out the `max_wait` deadline,
+//! whichever comes first.
+//!
+//! The batcher is **sharded**: tracing the original single-thread
+//! design under 64 concurrent connections showed every flush
+//! serialising behind one thread — batch-on measured *slower* than
+//! batch-off, pure handoff loss. Jobs now route to one of N shards by
+//! a stable hash of the artifact id, so rows for the same artifact
+//! still meet and coalesce while different artifacts flush in
+//! parallel. (A second part of the fix lives in the predict path:
+//! requests already carrying `max_batch` rows bypass the batcher
+//! entirely — they would flush alone anyway, so the handoff buys
+//! nothing.)
+//!
+//! Submission is **non-blocking** and flushes are **leader-executed**:
+//! a worker parks its job and immediately returns to the queue for
+//! more work; whichever submission completes a batch takes it out of
+//! the shard (under the shard mutex) and runs the flush on its own
+//! thread, handing each finished response straight to the owning
+//! reactor. Profiling earlier designs showed that parking the *worker*
+//! (not just the job) cost a scheduler wake-up per coalesced request —
+//! on small machines that erased the win from coalescing. With
+//! deferred replies the batched path crosses threads exactly as often
+//! as the unbatched one.
+//!
+//! Because workers never block on a batch, a parked job is only ever
+//! waiting for *more traffic*. The moment a worker finds the request
+//! queue empty it nudges the batcher, flushing everything parked:
+//! nothing else is coming, so holding out for the deadline would be
+//! pure added latency. A lone request on an idle server is therefore
+//! flushed by its own worker microseconds after parking. The `max_wait`
+//! deadline — enforced by a per-shard sweeper thread — only bites when
+//! workers stay busy with traffic that cannot join the parked batch.
 //!
 //! Coalescing is bit-identical to serving each request alone: the
 //! ensemble predicts each row independently (`predict_row` never looks
@@ -14,8 +45,9 @@
 //! submission order.
 
 use std::collections::HashMap;
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -30,8 +62,39 @@ pub const BATCH_ROWS_METRIC: &str = "serve.batch_rows";
 /// Histogram of wall time per flush (matrix build + predict + replies).
 pub const BATCH_FLUSH_METRIC: &str = "serve.batch_flush_micros";
 
-/// What a worker gets back for its slice of a flushed batch.
+/// What a job gets back for its slice of a flushed batch.
 pub type BatchReply = Result<Vec<f64>, String>;
+
+/// A finished request the flusher must complete on the submitter's
+/// behalf: everything needed to render the response, account it, and
+/// route it back to the connection's reactor shard.
+#[derive(Clone, Copy)]
+pub struct DeferredReply {
+    /// Reactor-local connection id the response must return to.
+    pub conn_id: u64,
+    /// Which reactor shard owns the connection.
+    pub shard: usize,
+    /// When the request finished parsing (request-latency epoch).
+    pub received_at: Instant,
+    /// When the handler started (handler-latency epoch).
+    pub started: Instant,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Where a flushed job's predictions go.
+pub enum ReplySink {
+    /// Sent over a channel; the submitter is blocked waiting on it.
+    Channel(Sender<BatchReply>),
+    /// Rendered into an HTTP response at flush time and delivered to
+    /// the connection's reactor; the submitting worker has moved on.
+    Deferred(DeferredReply),
+}
+
+/// Completes a deferred job: renders the response from the flush
+/// result, records request accounting, and hands it to the reactor.
+/// Installed by the server at startup.
+pub type Deliver = Arc<dyn Fn(DeferredReply, &str, &Arc<BatchPredictor>, BatchReply) + Send + Sync>;
 
 /// One validated prediction request, ready to coalesce. The rows are
 /// already schema-checked and finite; the batcher treats them as
@@ -46,169 +109,323 @@ pub struct PredictJob {
     /// Feature rows contributed by this job.
     pub rows: Vec<Vec<f64>>,
     /// Where the job's predictions (in row order) are sent.
-    pub reply: Sender<BatchReply>,
+    pub reply: ReplySink,
 }
 
 struct PendingBatch {
+    artifact_id: String,
     predictor: Arc<BatchPredictor>,
     scenario: String,
     rows: Vec<Vec<f64>>,
     /// `(reply, row_count)` per coalesced job, in arrival order.
-    jobs: Vec<(Sender<BatchReply>, usize)>,
+    jobs: Vec<(ReplySink, usize)>,
     deadline: Instant,
 }
 
-/// The batcher thread plus the sender workers submit jobs through.
+struct ShardState {
+    pending: HashMap<String, PendingBatch>,
+    /// Jobs currently parked in `pending`.
+    waiting: usize,
+    shutdown: bool,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Wakes the sweeper when a new deadline appears or on shutdown.
+    sweeper: Condvar,
+    /// Lock-free mirror of `state.waiting`, refreshed under the lock
+    /// whenever it changes; lets `nudge` skip shards without locking.
+    parked: AtomicUsize,
+}
+
+/// Configuration and instrumentation shared by submitters and sweepers.
+struct Inner {
+    shards: Vec<Shard>,
+    max_batch: usize,
+    max_wait: Duration,
+    deliver: Deliver,
+    metrics: BatchMetrics,
+    tracer: Option<Arc<Tracer>>,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+impl Inner {
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, ShardState> {
+        self.shards[shard]
+            .state
+            .lock()
+            .expect("batcher shard poisoned")
+    }
+}
+
+/// Routes jobs to batcher shards by a stable hash of the artifact id,
+/// so the same artifact always lands on the same shard (and therefore
+/// still coalesces) while distinct artifacts flush concurrently.
+#[derive(Clone)]
+pub struct BatchSubmitter {
+    inner: Arc<Inner>,
+}
+
+impl BatchSubmitter {
+    /// Parks a job on its artifact's shard and returns immediately. If
+    /// this submission completes a batch (row budget reached), the
+    /// calling thread flushes it inline before returning. Errors (with
+    /// the job handed back) only once the batcher has shut down.
+    // Handing the whole job back is the point of the error: the caller
+    // serves it inline instead of failing the request. It only happens
+    // during shutdown drain, so the Err size is not a hot-path cost.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, job: PredictJob) -> Result<(), PredictJob> {
+        let inner = &*self.inner;
+        let shard_idx = fnv1a(job.artifact_id.as_bytes()) as usize % inner.shards.len();
+        let to_flush = {
+            let mut state = inner.lock_shard(shard_idx);
+            if state.shutdown {
+                return Err(job);
+            }
+            let new_batch = !state.pending.contains_key(&job.artifact_id);
+            let batch = state
+                .pending
+                .entry(job.artifact_id.clone())
+                .or_insert_with(|| PendingBatch {
+                    artifact_id: job.artifact_id.clone(),
+                    predictor: job.predictor.clone(),
+                    scenario: job.scenario.clone(),
+                    rows: Vec::new(),
+                    jobs: Vec::new(),
+                    deadline: Instant::now() + inner.max_wait,
+                });
+            batch.jobs.push((job.reply, job.rows.len()));
+            batch.rows.extend(job.rows);
+            let batch_full = batch.rows.len() >= inner.max_batch;
+            state.waiting += 1;
+            let flushable = if batch_full {
+                let batch = state
+                    .pending
+                    .remove(&job.artifact_id)
+                    .expect("just inserted");
+                state.waiting -= batch.jobs.len();
+                Some(batch)
+            } else {
+                if new_batch {
+                    // A fresh deadline; make sure the sweeper sees it.
+                    inner.shards[shard_idx].sweeper.notify_one();
+                }
+                None
+            };
+            inner.shards[shard_idx]
+                .parked
+                .store(state.waiting, Ordering::Release);
+            flushable
+        };
+        // Leader execution happens outside the lock, so other workers
+        // keep accumulating the next batch while this one predicts.
+        if let Some(batch) = to_flush {
+            flush(batch, inner);
+        }
+        Ok(())
+    }
+
+    /// Flushes everything parked, everywhere. Workers call this when
+    /// they find the request queue empty: no more traffic is coming to
+    /// grow any batch, so holding parked jobs for the deadline would be
+    /// pure added latency. The lock-free `parked` screen makes this
+    /// free when (as is typical mid-flood) nothing is waiting.
+    pub fn nudge(&self) {
+        let inner = &*self.inner;
+        for (shard_idx, shard) in inner.shards.iter().enumerate() {
+            if shard.parked.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let batches = {
+                let mut state = inner.lock_shard(shard_idx);
+                if state.waiting == 0 {
+                    continue;
+                }
+                let batches: Vec<PendingBatch> =
+                    state.pending.drain().map(|(_, batch)| batch).collect();
+                state.waiting = 0;
+                shard.parked.store(0, Ordering::Release);
+                batches
+            };
+            for batch in batches {
+                flush(batch, inner);
+            }
+        }
+    }
+
+    /// How many shards jobs fan out across.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+}
+
+/// FNV-1a, the cheap stable hash used for shard routing (artifact ids
+/// are short content hashes; distribution quality is not critical, only
+/// determinism).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The shared batching state plus the deadline-sweeper threads.
 pub struct Batcher {
-    tx: Option<Sender<PredictJob>>,
-    handle: Option<JoinHandle<()>>,
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl Batcher {
-    /// Spawns the batcher thread. `max_batch` is the row budget per
-    /// flush; `max_wait` bounds how long the first job of a batch can
-    /// sit before flushing anyway.
+    /// Spawns `shards` deadline sweepers (minimum 1). `max_batch` is
+    /// the row budget per flush; `max_wait` bounds how long the first
+    /// job of a batch can sit before the sweeper flushes it anyway.
+    /// `deliver` completes deferred jobs at flush time (render the
+    /// response, account it, hand it to the reactor).
     pub fn start(
         max_batch: usize,
         max_wait: Duration,
+        shards: usize,
+        deliver: Deliver,
         registry: Arc<MetricsRegistry>,
         tracer: Option<Arc<Tracer>>,
         flight: Option<Arc<FlightRecorder>>,
     ) -> Batcher {
-        let (tx, rx) = mpsc::channel();
-        let handle = thread::Builder::new()
-            .name("serve-batcher".into())
-            .spawn(move || {
-                run(
-                    rx,
-                    max_batch.max(1),
-                    max_wait,
-                    &registry,
-                    tracer.as_deref(),
-                    flight.as_deref(),
-                )
+        let inner = Arc::new(Inner {
+            shards: (0..shards.max(1))
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        pending: HashMap::new(),
+                        waiting: 0,
+                        shutdown: false,
+                    }),
+                    sweeper: Condvar::new(),
+                    parked: AtomicUsize::new(0),
+                })
+                .collect(),
+            max_batch: max_batch.max(1),
+            max_wait,
+            deliver,
+            metrics: BatchMetrics {
+                rows: registry.histogram(BATCH_ROWS_METRIC),
+                flush_micros: registry.histogram(BATCH_FLUSH_METRIC),
+            },
+            tracer,
+            flight,
+        });
+        let handles = (0..inner.shards.len())
+            .map(|i| {
+                let inner = inner.clone();
+                thread::Builder::new()
+                    .name(format!("serve-batcher-{i}"))
+                    .spawn(move || sweep(&inner, i))
+                    .expect("spawn batcher sweeper")
             })
-            .expect("spawn batcher thread");
-        Batcher {
-            tx: Some(tx),
-            handle: Some(handle),
+            .collect();
+        Batcher { inner, handles }
+    }
+
+    /// A submission handle for worker threads.
+    pub fn sender(&self) -> BatchSubmitter {
+        BatchSubmitter {
+            inner: self.inner.clone(),
         }
     }
 
-    /// A submission handle for one worker thread.
-    pub fn sender(&self) -> Sender<PredictJob> {
-        self.tx.as_ref().expect("batcher already shut down").clone()
+    /// Flags every shard as shut down and joins the sweepers, which
+    /// flush whatever is still pending on the way out; submissions
+    /// racing with shutdown get their job handed back instead of being
+    /// stranded.
+    pub fn shutdown(mut self) {
+        self.stop();
     }
 
-    /// Drops the submission side and joins the thread; pending batches
-    /// are flushed, not abandoned. (Worker senders must already be
-    /// dropped or the join would wait on them.)
-    pub fn shutdown(mut self) {
-        self.tx = None;
-        if let Some(handle) = self.handle.take() {
-            handle.join().expect("batcher thread panicked");
+    fn stop(&mut self) {
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            self.inner.lock_shard(i).shutdown = true;
+            shard.sweeper.notify_all();
+        }
+        for handle in std::mem::take(&mut self.handles) {
+            let _ = handle.join();
         }
     }
 }
 
 impl Drop for Batcher {
     fn drop(&mut self) {
-        self.tx = None;
-        if let Some(handle) = self.handle.take() {
-            // Best effort on an un-shutdown drop path.
-            let _ = handle.join();
-        }
+        // Best effort on an un-shutdown drop path.
+        self.stop();
     }
 }
 
-fn run(
-    rx: Receiver<PredictJob>,
-    max_batch: usize,
-    max_wait: Duration,
-    registry: &MetricsRegistry,
-    tracer: Option<&Tracer>,
-    flight: Option<&FlightRecorder>,
-) {
-    // Resolved once; every flush records through lock-free handles.
-    let metrics = BatchMetrics {
-        rows: registry.histogram(BATCH_ROWS_METRIC),
-        flush_micros: registry.histogram(BATCH_FLUSH_METRIC),
-    };
-    let mut pending: HashMap<String, PendingBatch> = HashMap::new();
+/// Deadline sweeper for one shard: sleeps until the earliest pending
+/// deadline (or indefinitely when idle) and flushes whatever is due.
+/// Fill and nudge flushes handle the fast paths; this thread only
+/// exists so a parked batch still flushes within `max_wait` when the
+/// workers stay busy with traffic that cannot join it.
+fn sweep(inner: &Inner, shard_idx: usize) {
+    let shard = &inner.shards[shard_idx];
+    let mut state = inner.lock_shard(shard_idx);
     loop {
-        // Wait for the next job, but never past the oldest deadline.
-        let job = match pending.values().map(|b| b.deadline).min() {
-            None => match rx.recv() {
-                Ok(job) => Some(job),
-                Err(_) => break,
-            },
+        if state.shutdown {
+            let leftovers: Vec<PendingBatch> =
+                state.pending.drain().map(|(_, batch)| batch).collect();
+            state.waiting = 0;
+            shard.parked.store(0, Ordering::Release);
+            drop(state);
+            // Graceful shutdown never strands a waiting request.
+            for batch in leftovers {
+                flush(batch, inner);
+            }
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<String> = state
+            .pending
+            .iter()
+            .filter(|(_, batch)| batch.deadline <= now)
+            .map(|(id, _)| id.clone())
+            .collect();
+        if !due.is_empty() {
+            let mut batches = Vec::with_capacity(due.len());
+            for id in due {
+                let batch = state.pending.remove(&id).expect("key listed as due");
+                state.waiting -= batch.jobs.len();
+                batches.push(batch);
+            }
+            shard.parked.store(state.waiting, Ordering::Release);
+            drop(state);
+            for batch in batches {
+                flush(batch, inner);
+            }
+            state = inner.lock_shard(shard_idx);
+            continue;
+        }
+        state = match state.pending.values().map(|batch| batch.deadline).min() {
+            None => shard.sweeper.wait(state).expect("batcher shard poisoned"),
             Some(deadline) => {
-                let now = Instant::now();
-                if deadline <= now {
-                    None
-                } else {
-                    match rx.recv_timeout(deadline - now) {
-                        Ok(job) => Some(job),
-                        Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
+                shard
+                    .sweeper
+                    .wait_timeout(state, deadline.saturating_duration_since(now))
+                    .expect("batcher shard poisoned")
+                    .0
             }
         };
-
-        match job {
-            Some(job) => {
-                let batch =
-                    pending
-                        .entry(job.artifact_id.clone())
-                        .or_insert_with(|| PendingBatch {
-                            predictor: job.predictor.clone(),
-                            scenario: job.scenario.clone(),
-                            rows: Vec::new(),
-                            jobs: Vec::new(),
-                            deadline: Instant::now() + max_wait,
-                        });
-                batch.jobs.push((job.reply, job.rows.len()));
-                batch.rows.extend(job.rows);
-                if batch.rows.len() >= max_batch {
-                    let batch = pending.remove(&job.artifact_id).expect("just inserted");
-                    flush(batch, &metrics, tracer, flight);
-                }
-            }
-            None => {
-                // Deadline expired: flush every due batch.
-                let now = Instant::now();
-                let due: Vec<String> = pending
-                    .iter()
-                    .filter(|(_, b)| b.deadline <= now)
-                    .map(|(id, _)| id.clone())
-                    .collect();
-                for id in due {
-                    let batch = pending.remove(&id).expect("key listed as due");
-                    flush(batch, &metrics, tracer, flight);
-                }
-            }
-        }
-    }
-    // Channel closed: flush whatever is still pending so graceful
-    // shutdown never strands a waiting request.
-    for (_, batch) in pending.drain() {
-        flush(batch, &metrics, tracer, flight);
     }
 }
 
-/// Handles the batcher thread records flushes through.
+/// Handles flushes record through, resolved once at startup.
 struct BatchMetrics {
     rows: HistogramHandle,
     flush_micros: HistogramHandle,
 }
 
-fn flush(
-    batch: PendingBatch,
-    metrics: &BatchMetrics,
-    tracer: Option<&Tracer>,
-    flight: Option<&FlightRecorder>,
-) {
+fn flush(batch: PendingBatch, inner: &Inner) {
+    let metrics = &inner.metrics;
+    let tracer = inner.tracer.as_deref();
+    let flight = inner.flight.as_deref();
     let n_rows = batch.rows.len();
     if n_rows == 0 {
         return;
@@ -252,19 +469,21 @@ fn flush(
         );
     }
 
-    match result {
-        Ok(preds) => {
-            let mut offset = 0;
-            for (reply, count) in batch.jobs {
+    let mut offset = 0;
+    for (sink, count) in batch.jobs {
+        let job_result = match &result {
+            Ok(preds) => {
                 let slice = preds[offset..offset + count].to_vec();
                 offset += count;
-                // A vanished receiver means the client hung up; fine.
-                let _ = reply.send(Ok(slice));
+                Ok(slice)
             }
-        }
-        Err(message) => {
-            for (reply, _) in batch.jobs {
-                let _ = reply.send(Err(message.clone()));
+            Err(message) => Err(message.clone()),
+        };
+        match sink {
+            // A vanished receiver means the client hung up; fine.
+            ReplySink::Channel(reply) => drop(reply.send(job_result)),
+            ReplySink::Deferred(deferred) => {
+                (inner.deliver)(deferred, &batch.artifact_id, &batch.predictor, job_result)
             }
         }
     }
@@ -274,6 +493,10 @@ fn flush(
 mod tests {
     use super::*;
 
+    fn noop_deliver() -> Deliver {
+        Arc::new(|_, _, _, _| {})
+    }
+
     // Building a real predictor needs a fitted model; batcher behaviour
     // with live models is covered by the server integration tests. The
     // units here exercise scheduling-adjacent pieces that need no model.
@@ -281,7 +504,15 @@ mod tests {
     #[test]
     fn empty_flush_is_a_no_op() {
         let registry = Arc::new(MetricsRegistry::new());
-        let batcher = Batcher::start(8, Duration::from_millis(1), registry.clone(), None, None);
+        let batcher = Batcher::start(
+            8,
+            Duration::from_millis(1),
+            1,
+            noop_deliver(),
+            registry.clone(),
+            None,
+            None,
+        );
         batcher.shutdown();
         // The batcher preregisters its histograms, but records nothing.
         let snap = registry.snapshot();
@@ -292,10 +523,131 @@ mod tests {
     #[test]
     fn batcher_preregisters_flush_histograms() {
         let registry = Arc::new(MetricsRegistry::new());
-        let batcher = Batcher::start(8, Duration::from_millis(1), registry.clone(), None, None);
+        let batcher = Batcher::start(
+            8,
+            Duration::from_millis(1),
+            4,
+            noop_deliver(),
+            registry.clone(),
+            None,
+            None,
+        );
         batcher.shutdown();
         let snap = registry.snapshot();
         assert!(snap.histograms.contains_key(BATCH_ROWS_METRIC));
         assert!(snap.histograms.contains_key(BATCH_FLUSH_METRIC));
+    }
+
+    #[test]
+    fn submitter_routes_an_artifact_to_one_stable_shard() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let batcher = Batcher::start(
+            8,
+            Duration::from_millis(1),
+            4,
+            noop_deliver(),
+            registry,
+            None,
+            None,
+        );
+        let submitter = batcher.sender();
+        assert_eq!(submitter.shards(), 4);
+        // The routing hash is a pure function of the id: same id, same
+        // shard, every time and on every clone of the submitter.
+        let shard_of = |id: &str| fnv1a(id.as_bytes()) as usize % submitter.shards();
+        for id in ["abc123", "def456", "0f0f0f", ""] {
+            assert_eq!(shard_of(id), shard_of(id));
+            assert!(shard_of(id) < 4);
+        }
+        // And distinct ids actually spread (not all on shard 0).
+        let shards: std::collections::HashSet<usize> = (0..64)
+            .map(|i| shard_of(&format!("artifact-{i}")))
+            .collect();
+        assert!(shards.len() > 1, "64 ids all hashed to one shard");
+        // Shutdown does not depend on live submitter clones: shards are
+        // flagged, sweepers join, and this clone gets jobs handed back.
+        batcher.shutdown();
+        assert_eq!(submitter.shards(), 4);
+    }
+
+    #[test]
+    fn parked_jobs_flush_on_nudge_and_submit_refuses_after_shutdown() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let batcher = Batcher::start(
+            64, // can never fill from the submissions below
+            Duration::from_secs(30),
+            2,
+            noop_deliver(),
+            registry.clone(),
+            None,
+            None,
+        );
+        let submitter = batcher.sender();
+        let predictor = Arc::new(dummy_predictor());
+        let (tx, rx) = std::sync::mpsc::channel();
+        submitter
+            .submit(PredictJob {
+                artifact_id: "artifact-a".into(),
+                scenario: "t".into(),
+                predictor: predictor.clone(),
+                rows: vec![vec![1.0]],
+                reply: ReplySink::Channel(tx),
+            })
+            .unwrap_or_else(|_| panic!("live batcher must accept"));
+        // Parked: the batch cannot fill and the deadline is far away.
+        assert!(rx.try_recv().is_err());
+        // A worker going idle nudges; the parked job flushes inline.
+        submitter.nudge();
+        let forecasts = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("nudge flushes the parked job")
+            .expect("predict succeeds");
+        assert_eq!(forecasts.len(), 1);
+        assert_eq!(
+            registry.snapshot().histograms[BATCH_ROWS_METRIC].count,
+            1,
+            "exactly one flush"
+        );
+
+        batcher.shutdown();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let refused = submitter.submit(PredictJob {
+            artifact_id: "gone".into(),
+            scenario: "gone".into(),
+            predictor,
+            rows: vec![vec![0.0]],
+            reply: ReplySink::Channel(tx),
+        });
+        assert!(refused.is_err(), "post-shutdown submit must refuse");
+        // And nothing was sent on the reply channel.
+        assert!(rx.try_recv().is_err());
+    }
+
+    fn dummy_predictor() -> BatchPredictor {
+        use c100_ml::forest::RandomForestConfig;
+        use c100_store::{ModelArtifact, ModelPayload};
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = RandomForestConfig {
+            n_estimators: 1,
+            max_depth: Some(2),
+            ..Default::default()
+        }
+        .fit(&x, &y, 1)
+        .unwrap();
+        BatchPredictor::new(ModelArtifact {
+            scenario: "t".into(),
+            period: "t".into(),
+            window: 1,
+            features: vec!["f0".into()],
+            profile: "fast".into(),
+            seed: 1,
+            train_rows: 8,
+            train_start: String::new(),
+            train_end: String::new(),
+            hyperparameters: Default::default(),
+            model: ModelPayload::Rf(model),
+        })
     }
 }

@@ -25,6 +25,26 @@ pub const MAX_HEAD_BYTES: usize = 32 * 1024;
 /// Default body cap; [`ServeConfig`](crate::ServeConfig) can override.
 pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
+/// The two protocol versions this server accepts. The distinction
+/// matters only for connection persistence: HTTP/1.1 defaults to
+/// keep-alive, HTTP/1.0 defaults to close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0` — persistent only with `Connection: keep-alive`.
+    Http10,
+    /// `HTTP/1.1` — persistent unless `Connection: close`.
+    Http11,
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Version::Http10 => write!(f, "HTTP/1.0"),
+            Version::Http11 => write!(f, "HTTP/1.1"),
+        }
+    }
+}
+
 /// The two methods this server understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
@@ -50,6 +70,8 @@ pub struct Request {
     pub method: Method,
     /// Origin-form target as sent, query string included.
     pub target: String,
+    /// Protocol version from the request line.
+    pub version: Version,
     /// Headers in arrival order; names lowercased, values trimmed.
     pub headers: Vec<(String, String)>,
     /// Body bytes (empty when no `Content-Length` was sent).
@@ -70,6 +92,24 @@ impl Request {
         match self.target.split_once('?') {
             Some((path, _)) => path,
             None => &self.target,
+        }
+    }
+
+    /// Whether the connection persists after this request, per RFC 9112
+    /// §9.3: HTTP/1.1 defaults to keep-alive unless the `Connection`
+    /// header lists `close`; HTTP/1.0 defaults to close unless it lists
+    /// `keep-alive`. The header is a comma-separated token list, matched
+    /// case-insensitively.
+    pub fn keep_alive(&self) -> bool {
+        let tokens = self.header("connection").unwrap_or("");
+        let has = |want: &str| {
+            tokens
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(want))
+        };
+        match self.version {
+            Version::Http11 => !has("close"),
+            Version::Http10 => has("keep-alive"),
         }
     }
 }
@@ -120,7 +160,11 @@ impl std::error::Error for HttpError {}
 
 /// Incremental request parser. Feed socket bytes with
 /// [`push`](Self::push) in whatever splits they arrive; a request is
-/// returned as soon as its head and declared body are complete. Errors
+/// returned as soon as its head and declared body are complete. Under
+/// keep-alive a single read may carry the tail of one request plus the
+/// head of the next; completed requests consume exactly their own bytes
+/// and the surplus stays buffered — [`next_request`](Self::next_request)
+/// pulls further pipelined requests without new socket bytes. Errors
 /// are terminal — the connection should answer with
 /// [`HttpError::status`] and close.
 pub struct RequestParser {
@@ -149,6 +193,13 @@ impl RequestParser {
         self.try_parse()
     }
 
+    /// Attempts to complete a request from bytes already buffered —
+    /// the pipelining path, called after a completed request to drain
+    /// any follow-up request that arrived in the same read.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        self.try_parse()
+    }
+
     fn try_parse(&mut self) -> Result<Option<Request>, HttpError> {
         let Some(head_len) = find_terminator(&self.buf) else {
             // The head is still streaming in; enforce limits on what is
@@ -172,7 +223,7 @@ impl RequestParser {
         if request_line.len() > MAX_REQUEST_LINE_BYTES {
             return Err(HttpError::UriTooLong(request_line.len()));
         }
-        let (method, target) = parse_request_line(request_line)?;
+        let (method, target, version) = parse_request_line(request_line)?;
         let headers = lines
             .map(parse_header_line)
             .collect::<Result<Vec<_>, _>>()?;
@@ -198,6 +249,7 @@ impl RequestParser {
         Ok(Some(Request {
             method,
             target,
+            version,
             headers,
             body,
         }))
@@ -210,7 +262,7 @@ fn find_terminator(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn parse_request_line(line: &str) -> Result<(Method, String), HttpError> {
+fn parse_request_line(line: &str) -> Result<(Method, String, Version), HttpError> {
     let mut parts = line.split(' ');
     let (Some(method), Some(target), Some(version), None) =
         (parts.next(), parts.next(), parts.next(), parts.next())
@@ -234,12 +286,16 @@ fn parse_request_line(line: &str) -> Result<(Method, String), HttpError> {
             "target '{target}' is not origin-form"
         )));
     }
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(HttpError::BadRequest(format!(
-            "unsupported protocol version '{version}'"
-        )));
-    }
-    Ok((method, target.to_string()))
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        other => {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported protocol version '{other}'"
+            )))
+        }
+    };
+    Ok((method, target.to_string(), version))
 }
 
 fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
@@ -278,15 +334,18 @@ fn content_length(headers: &[(String, String)]) -> Result<u64, HttpError> {
         .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length '{first}'")))
 }
 
-/// A response under construction; always framed with `Content-Length`
-/// and `Connection: close` (the server is strictly one request per
-/// connection).
+/// A response under construction; always framed with `Content-Length`,
+/// and carrying the negotiated persistence in its `Connection` header —
+/// `close` unless [`with_keep_alive`](Self::with_keep_alive) marks the
+/// connection as persisting, so every error path defaults to the safe
+/// teardown.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code to send.
     pub status: u16,
     headers: Vec<(String, String)>,
     body: Vec<u8>,
+    keep_alive: bool,
 }
 
 impl Response {
@@ -296,6 +355,7 @@ impl Response {
             status,
             headers: Vec::new(),
             body: Vec::new(),
+            keep_alive: false,
         }
     }
 
@@ -334,15 +394,33 @@ impl Response {
         self
     }
 
+    /// Sets the emitted `Connection` header: `keep-alive` when the
+    /// request negotiated persistence, `close` (the default) otherwise.
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> Response {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// Whether this response leaves the connection open.
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+
     /// The body bytes.
     pub fn body(&self) -> &[u8] {
         &self.body
     }
 
-    /// Serializes status line, headers, and body to the writer.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+    /// Serializes status line, headers, and body into a byte buffer —
+    /// the event loop's unit of pending write.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let connection = if self.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
             self.status,
             reason(self.status),
             self.body.len()
@@ -354,8 +432,14 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes status line, headers, and body to the writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.to_bytes())?;
         w.flush()
     }
 }
@@ -512,8 +596,55 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
+        // Persistence defaults to close; error paths built without a
+        // request context must tear the connection down.
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn response_emits_negotiated_persistence() {
+        let text = String::from_utf8(
+            Response::json(200, "{}".into())
+                .with_keep_alive(true)
+                .to_bytes(),
+        )
+        .unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_tokens() {
+        let cases: [(&[u8], bool); 6] = [
+            (b"GET / HTTP/1.1\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+            // Token list: any `close` member wins over 1.1's default.
+            (b"GET / HTTP/1.1\r\nConnection: foo, CLOSE\r\n\r\n", false),
+        ];
+        for (raw, expect) in cases {
+            let req = parse_all(raw).unwrap().unwrap();
+            assert_eq!(req.keep_alive(), expect, "input {raw:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+        let both = b"POST /predict HTTP/1.1\r\nContent-Length: 2\r\n\r\nab\
+                     GET /healthz HTTP/1.1\r\n\r\n";
+        let first = parser.push(both).unwrap().unwrap();
+        assert_eq!(first.method, Method::Post);
+        assert_eq!(first.body, b"ab");
+        assert!(parser.buffered() > 0, "second request stays buffered");
+        let second = parser.next_request().unwrap().unwrap();
+        assert_eq!(second.method, Method::Get);
+        assert_eq!(second.target, "/healthz");
+        assert_eq!(parser.buffered(), 0);
+        assert!(parser.next_request().unwrap().is_none());
     }
 
     #[test]

@@ -6,26 +6,37 @@
 //! async runtime, no HTTP framework. The pieces:
 //!
 //! - [`http`] — a strict, incremental HTTP/1.1 request parser and
-//!   response writer. Bodies are `Content-Length` framed only; anything
-//!   else (unknown methods, oversized request lines or headers,
-//!   `Transfer-Encoding`) is rejected with the precise 4xx status.
-//! - [`queue`] — a bounded connection queue. The acceptor thread
-//!   `try_push`es sockets; when the queue is full the connection is
-//!   load-shed with `503` + `Retry-After` instead of piling up latency.
+//!   response writer with keep-alive: the parser yields multiple framed
+//!   requests per connection (pipelining included) and persistence is
+//!   negotiated per request from the version + `Connection` header.
+//!   Bodies are `Content-Length` framed only; anything else (unknown
+//!   methods, oversized request lines or headers, `Transfer-Encoding`)
+//!   is rejected with the precise 4xx status.
+//! - [`poll`] — a dependency-free `poll(2)` binding, the readiness
+//!   primitive under the event loop.
+//! - [`reactor`] — sharded event loops owning non-blocking connection
+//!   tables: they parse requests, shed `503` when the queue is full,
+//!   and write worker responses under `POLLOUT` readiness.
+//! - [`queue`] — a bounded request queue between reactors and workers;
+//!   when full, requests load-shed with `503` + `Retry-After` instead
+//!   of piling up latency. Capacity is runtime-adjustable for tuning.
+//! - [`tuner`] — optional self-tuning of worker count and queue depth
+//!   from the observed queue-wait histogram.
 //! - [`cache`] — a [`ModelCache`] mapping artifact
 //!   ids to shared [`BatchPredictor`](c100_store::BatchPredictor)s.
 //!   Artifacts are content-addressed and immutable, so cached entries
 //!   never go stale; `POST /reload` re-reads the manifest to pick up
 //!   models exported after startup without dropping in-flight requests.
-//! - [`batcher`] — a micro-batcher that coalesces queued `/predict`
-//!   rows for the same artifact into one batch-predict call, flushing
-//!   on a row budget or a wait deadline. Per-row predictions are
-//!   independent of batch composition, so coalescing is bit-identical
-//!   to serving each request alone.
-//! - [`server`] — the acceptor + worker-pool assembly, request routing,
-//!   metrics, tracing spans (`serve.accept` / `serve.parse` /
-//!   `serve.batch` / `serve.predict`), and graceful shutdown (drain the
-//!   queue, flush the batcher, join every thread).
+//! - [`batcher`] — a sharded micro-batcher that coalesces queued
+//!   `/predict` rows for the same artifact into one batch-predict
+//!   call, flushing on a row budget or a wait deadline. Per-row
+//!   predictions are independent of batch composition, so coalescing
+//!   is bit-identical to serving each request alone.
+//! - [`server`] — the acceptor + reactor + worker-pool assembly,
+//!   request routing, metrics, tracing spans (`serve.accept` /
+//!   `serve.parse` / `serve.batch` / `serve.predict`), and graceful
+//!   shutdown (drain the queue, flush the batcher, flush reactor write
+//!   buffers, join every thread).
 //! - [`telemetry`] — preregistered lock-free metric handles
 //!   ([`ServeMetrics`]) resolved once at startup, so request handling
 //!   records counters and latency histograms without any lock or
@@ -46,12 +57,15 @@
 pub mod batcher;
 pub mod cache;
 pub mod http;
+pub mod poll;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod telemetry;
+pub mod tuner;
 
 pub use cache::ModelCache;
-pub use http::{HttpError, Method, Request, RequestParser, Response};
+pub use http::{HttpError, Method, Request, RequestParser, Response, Version};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use telemetry::{EndpointMetrics, InflightGuard, ServeMetrics};
 

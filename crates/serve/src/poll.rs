@@ -1,0 +1,117 @@
+//! Minimal, dependency-free binding to `poll(2)`.
+//!
+//! The event loop needs exactly one primitive: "block until any of
+//! these descriptors is readable/writable, or a timeout passes". The
+//! `poll` symbol is already linked into every binary through std, so a
+//! single `extern "C"` declaration — no `libc` crate — is enough. The
+//! wrapper retries `EINTR` and surfaces every other failure as
+//! `io::Error`, keeping all `unsafe` confined to this module.
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::RawFd;
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always polled; never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always polled; never requested).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid descriptor (always polled; never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set, ABI-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the kernel reported any of `mask` (or an error/hangup,
+    /// which `poll` reports regardless of the requested set).
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & (mask | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one entry has pending events or `timeout_ms`
+/// elapses (`0` returns immediately, negative blocks indefinitely).
+/// Returns how many entries have non-zero `revents`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn readable_end_reports_pollin() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        b.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn hangup_is_reported_even_when_only_pollin_was_asked() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        poll_fds(&mut fds, 1000).unwrap();
+        assert!(fds[0].ready(POLLIN), "EOF shows as POLLIN or POLLHUP");
+    }
+
+    #[test]
+    fn writable_socket_reports_pollout() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLOUT));
+    }
+}

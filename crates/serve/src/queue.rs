@@ -25,13 +25,15 @@ pub enum TryPushError<T> {
 
 struct QueueState<T> {
     items: VecDeque<T>,
+    capacity: usize,
     closed: bool,
 }
 
-/// A fixed-capacity FIFO shared between threads.
+/// A bounded FIFO shared between threads. The capacity is adjustable
+/// at runtime ([`set_capacity`](BoundedQueue::set_capacity)) so the
+/// self-tuner can widen or narrow the backlog under load.
 pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
-    capacity: usize,
     available: Condvar,
 }
 
@@ -41,9 +43,9 @@ impl<T> BoundedQueue<T> {
         BoundedQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
+                capacity: capacity.max(1),
                 closed: false,
             }),
-            capacity: capacity.max(1),
             available: Condvar::new(),
         }
     }
@@ -55,7 +57,7 @@ impl<T> BoundedQueue<T> {
         if state.closed {
             return Err(TryPushError::Closed(item));
         }
-        if state.items.len() >= self.capacity {
+        if state.items.len() >= state.capacity {
             return Err(TryPushError::Full(item));
         }
         state.items.push_back(item);
@@ -87,6 +89,18 @@ impl<T> BoundedQueue<T> {
         state.closed = true;
         drop(state);
         self.available.notify_all();
+    }
+
+    /// Current capacity (the shed threshold).
+    pub fn capacity(&self) -> usize {
+        self.state.lock().expect("queue poisoned").capacity
+    }
+
+    /// Rebounds the queue (minimum 1). Shrinking never drops queued
+    /// items — an over-capacity backlog simply rejects pushes until
+    /// consumers drain it below the new bound.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.state.lock().expect("queue poisoned").capacity = capacity.max(1);
     }
 
     /// Current depth (racy by nature; for gauges only).
@@ -124,6 +138,23 @@ mod tests {
             Err(TryPushError::Full(item)) => assert_eq!(item, "c"),
             other => panic!("expected Full, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn set_capacity_rebounds_without_dropping_items() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(TryPushError::Full(2))));
+        q.set_capacity(3);
+        assert_eq!(q.capacity(), 3);
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        // Shrinking below the backlog rejects pushes but keeps items.
+        q.set_capacity(1);
+        assert!(matches!(q.try_push(4), Err(TryPushError::Full(4))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
     }
 
     #[test]

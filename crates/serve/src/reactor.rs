@@ -1,0 +1,540 @@
+//! Readiness-based connection shards: the event-loop half of the
+//! server.
+//!
+//! Each reactor thread owns a private table of non-blocking
+//! connections and multiplexes them with [`poll(2)`](crate::poll). The
+//! acceptor hands fresh sockets to shards round-robin through an
+//! [`Inbox`] (a mutex-guarded queue plus a self-pipe wake-up, so a
+//! reactor blocked in `poll` notices new work immediately). Reactors
+//! never run model code: a completed request is `try_push`ed onto the
+//! bounded job queue (shedding `503` when full — the same backpressure
+//! contract the thread-per-connection design had, now per *request*
+//! instead of per connection), and the worker's finished
+//! [`Response`] comes back through the same inbox to be written when
+//! the socket accepts bytes.
+//!
+//! Connection state machine (one request outstanding per connection;
+//! responses therefore ship in order, and pipelined requests wait
+//! buffered in the parser):
+//!
+//! ```text
+//!          POLLIN                 queue.try_push
+//! Reading ────────▶ parse ──req──▶ Dispatched ──reply──▶ Writing
+//!    ▲                │ (full) 503 + Retry-After            │ POLLOUT
+//!    │                ▼                                     ▼
+//!    │              Writing                          out buffer empty
+//!    └──────────────────────────── keep-alive? ◀────────────┘
+//!                                     │ no (or parse error)
+//!                                     ▼
+//!                                   close
+//! ```
+//!
+//! While a request is dispatched the connection's descriptor is not
+//! polled for readability — the kernel receive buffer throttles a
+//! client that keeps sending, which bounds per-connection memory
+//! without any explicit quota.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{HttpError, Request, RequestParser, Response};
+use crate::poll::{poll_fds, PollFd, POLLIN, POLLNVAL, POLLOUT};
+use crate::queue::TryPushError;
+use crate::server::Shared;
+
+/// A parsed request travelling from a reactor to a worker. The shard
+/// and connection id route the response back to the socket it came
+/// from; `received_at` stamps queue wait for the tuner.
+pub(crate) struct Job {
+    /// The fully parsed request.
+    pub request: Request,
+    /// Reactor-local connection id the response must return to.
+    pub conn_id: u64,
+    /// Which reactor shard owns the connection.
+    pub shard: usize,
+    /// When the request finished parsing (queue-wait epoch).
+    pub received_at: Instant,
+}
+
+/// Work delivered to a reactor shard.
+pub(crate) enum Msg {
+    /// A freshly accepted socket from the acceptor.
+    Accept(TcpStream),
+    /// A worker's finished response for one of this shard's sockets.
+    Reply {
+        /// The connection the response belongs to.
+        conn_id: u64,
+        /// The response to serialize onto that connection.
+        response: Response,
+    },
+}
+
+/// A reactor shard's mailbox: senders enqueue under a short lock and
+/// nudge the self-pipe so a `poll`-blocked reactor wakes. The write end
+/// is non-blocking — a full pipe means a wake-up is already pending,
+/// which is all a level-triggered poll needs.
+pub(crate) struct Inbox {
+    queue: Mutex<VecDeque<Msg>>,
+    wake_tx: UnixStream,
+    wake_rx: Mutex<Option<UnixStream>>,
+}
+
+impl Inbox {
+    /// A mailbox with a fresh self-pipe pair.
+    pub(crate) fn new() -> std::io::Result<Inbox> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        Ok(Inbox {
+            queue: Mutex::new(VecDeque::new()),
+            wake_tx,
+            wake_rx: Mutex::new(Some(wake_rx)),
+        })
+    }
+
+    /// Enqueues a message and wakes the owning reactor.
+    pub(crate) fn send(&self, msg: Msg) {
+        self.queue.lock().expect("inbox poisoned").push_back(msg);
+        self.wake();
+    }
+
+    /// Wakes the owning reactor without a message (shutdown nudge).
+    pub(crate) fn wake(&self) {
+        // WouldBlock means the pipe already holds an unread wake-up.
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    fn drain(&self) -> VecDeque<Msg> {
+        std::mem::take(&mut *self.queue.lock().expect("inbox poisoned"))
+    }
+
+    fn take_rx(&self) -> UnixStream {
+        self.wake_rx
+            .lock()
+            .expect("inbox poisoned")
+            .take()
+            .expect("reactor wake pipe already taken")
+    }
+}
+
+/// How long a finished reactor keeps polling to flush pending
+/// responses after workers have stopped.
+const STOP_FLUSH_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Poll timeout; bounds how stale the idle sweep and shutdown checks
+/// can get when no descriptor turns ready.
+const POLL_TICK_MS: i32 = 100;
+
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A request from this connection sits in the queue or a worker.
+    busy: bool,
+    /// Tear the connection down once `out` is flushed.
+    close_after_write: bool,
+    /// The peer sent FIN; serve what is buffered, accept no more.
+    peer_closed: bool,
+    last_active: Instant,
+}
+
+impl Conn {
+    fn wants_read(&self) -> bool {
+        !self.busy && !self.close_after_write && !self.peer_closed
+    }
+
+    fn wants_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+enum ReadOutcome {
+    NeedMore,
+    Completed(Request),
+    Malformed(HttpError),
+    PeerClosed,
+    Fatal,
+}
+
+enum WriteOutcome {
+    Flushed,
+    Blocked,
+    Fatal,
+}
+
+struct Reactor<'a> {
+    shared: &'a Arc<Shared>,
+    shard: usize,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+}
+
+/// Body of one reactor thread; returns when the server drains.
+pub(crate) fn reactor_loop(shared: &Arc<Shared>, shard: usize) {
+    let wake_rx = shared.inboxes[shard].take_rx();
+    let mut r = Reactor {
+        shared,
+        shard,
+        conns: HashMap::new(),
+        next_id: 1,
+    };
+    let mut stop_deadline: Option<Instant> = None;
+    let mut last_sweep = Instant::now();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut ids: Vec<u64> = Vec::new();
+
+    loop {
+        for msg in shared.inboxes[shard].drain() {
+            r.on_msg(msg);
+        }
+
+        if shared.reactors_stop.load(Ordering::SeqCst) {
+            // Workers are gone: no further replies can arrive, so every
+            // connection with nothing left to write is done. The rest
+            // get a bounded grace period to flush.
+            let deadline =
+                *stop_deadline.get_or_insert_with(|| Instant::now() + STOP_FLUSH_TIMEOUT);
+            let done: Vec<u64> = r
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.wants_write())
+                .map(|(&id, _)| id)
+                .collect();
+            for id in done {
+                r.drop_conn(id);
+            }
+            if r.conns.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+        } else if last_sweep.elapsed() >= Duration::from_secs(1) {
+            r.sweep_idle();
+            last_sweep = Instant::now();
+        }
+
+        fds.clear();
+        ids.clear();
+        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+        for (&id, conn) in &r.conns {
+            let mut events = 0i16;
+            if conn.wants_read() {
+                events |= POLLIN;
+            }
+            if conn.wants_write() {
+                events |= POLLOUT;
+            }
+            // Dispatched connections with nothing to write are left out
+            // entirely: POLLHUP is reported regardless of the requested
+            // set, and including them would spin the loop until the
+            // worker replies.
+            if events != 0 {
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                ids.push(id);
+            }
+        }
+        let timeout = if stop_deadline.is_some() {
+            10
+        } else {
+            POLL_TICK_MS
+        };
+        if poll_fds(&mut fds, timeout).is_err() {
+            continue; // transient; shutdown flags are re-checked above
+        }
+
+        if fds[0].ready(POLLIN) {
+            let mut scratch = [0u8; 64];
+            while matches!((&wake_rx).read(&mut scratch), Ok(n) if n > 0) {}
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let fd = fds[i + 1];
+            if fd.revents == 0 {
+                continue;
+            }
+            if fd.revents & POLLNVAL != 0 {
+                r.drop_conn(id);
+                continue;
+            }
+            if fd.ready(POLLOUT) && r.conns.get(&id).is_some_and(Conn::wants_write) {
+                r.writable(id);
+            }
+            if fd.ready(POLLIN) && r.conns.get(&id).is_some_and(Conn::wants_read) {
+                r.readable(id);
+            }
+        }
+    }
+
+    let leftover: Vec<u64> = r.conns.keys().copied().collect();
+    for id in leftover {
+        r.drop_conn(id);
+    }
+}
+
+impl Reactor<'_> {
+    fn on_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::Accept(stream) => self.on_accept(stream),
+            Msg::Reply { conn_id, response } => self.on_reply(conn_id, response),
+        }
+    }
+
+    fn on_accept(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                parser: RequestParser::new(self.shared.max_body_bytes),
+                out: Vec::new(),
+                out_pos: 0,
+                busy: false,
+                close_after_write: false,
+                peer_closed: false,
+                last_active: Instant::now(),
+            },
+        );
+        self.shared.metrics.connections.add(1.0);
+        // The first request's bytes often race the Accept message here;
+        // read eagerly instead of waiting a poll cycle.
+        self.readable(id);
+    }
+
+    fn on_reply(&mut self, conn_id: u64, response: Response) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return; // the client vanished while the worker computed
+        };
+        conn.busy = false;
+        self.queue_response(conn_id, response);
+    }
+
+    /// Reads until the socket would block, a request completes, or the
+    /// peer closes, then acts on whichever came first.
+    fn readable(&mut self, id: u64) {
+        let _span = self
+            .shared
+            .tracer
+            .as_deref()
+            .map(|t| t.span("serve", "serve.parse"));
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                if !conn.wants_read() {
+                    break ReadOutcome::NeedMore;
+                }
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break ReadOutcome::PeerClosed;
+                    }
+                    Ok(n) => {
+                        conn.last_active = Instant::now();
+                        match conn.parser.push(&buf[..n]) {
+                            Ok(Some(request)) => break ReadOutcome::Completed(request),
+                            Ok(None) => {}
+                            Err(e) => break ReadOutcome::Malformed(e),
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        break ReadOutcome::NeedMore
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break ReadOutcome::Fatal,
+                }
+            }
+        };
+        match outcome {
+            ReadOutcome::NeedMore => {}
+            ReadOutcome::Completed(request) => self.dispatch(id, request),
+            ReadOutcome::Malformed(e) => self.bad_request(id, &e),
+            ReadOutcome::Fatal => self.drop_conn(id),
+            ReadOutcome::PeerClosed => {
+                let verdict = self.conns.get(&id).map(|c| {
+                    (
+                        !c.busy && !c.wants_write() && c.parser.buffered() > 0,
+                        !c.busy && !c.wants_write() && c.parser.buffered() == 0,
+                    )
+                });
+                match verdict {
+                    Some((true, _)) => self.bad_request(
+                        id,
+                        &HttpError::BadRequest("connection closed mid-request".into()),
+                    ),
+                    Some((_, true)) => self.drop_conn(id),
+                    _ => {} // a response is still in flight or pending
+                }
+            }
+        }
+    }
+
+    /// Hands a parsed request to the worker pool, shedding `503` when
+    /// the bounded queue is full or the server is draining.
+    fn dispatch(&mut self, id: u64, request: Request) {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            let resp = Response::error_json(503, "server is shutting down");
+            self.queue_response(id, resp);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        conn.busy = true;
+        let job = Job {
+            request,
+            conn_id: id,
+            shard: self.shard,
+            received_at: Instant::now(),
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(depth) => self.shared.metrics.queue_depth.set(depth as f64),
+            Err(TryPushError::Full(_)) => {
+                conn.busy = false;
+                self.shared.metrics.sheds.inc();
+                self.shared.metrics.responses_5xx.inc();
+                self.shared.flight.record("shed", "queue full, 503", None);
+                let resp = Response::error_json(503, "server is at capacity, retry shortly")
+                    .with_header("Retry-After", "1");
+                self.queue_response(id, resp);
+            }
+            Err(TryPushError::Closed(_)) => {
+                conn.busy = false;
+                let resp = Response::error_json(503, "server is shutting down");
+                self.queue_response(id, resp);
+            }
+        }
+    }
+
+    /// Answers a framing/parse error. The status goes out *after*
+    /// whatever is already buffered (a pipelined follow-up can be
+    /// malformed without corrupting the in-flight response), then the
+    /// connection closes.
+    fn bad_request(&mut self, id: u64, e: &HttpError) {
+        self.shared.metrics.requests_total.inc();
+        self.shared.metrics.responses_4xx.inc();
+        self.shared
+            .flight
+            .record("bad_request", &e.to_string(), None);
+        let resp = Response::error_json(e.status(), &e.to_string());
+        self.queue_response(id, resp);
+    }
+
+    /// Serializes a response onto the connection's write buffer and
+    /// flushes as much as the socket takes right now.
+    fn queue_response(&mut self, id: u64, response: Response) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if !response.keep_alive() {
+            conn.close_after_write = true;
+        }
+        conn.out.extend_from_slice(&response.to_bytes());
+        self.writable(id);
+    }
+
+    fn writable(&mut self, id: u64) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            loop {
+                if !conn.wants_write() {
+                    break WriteOutcome::Flushed;
+                }
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => break WriteOutcome::Fatal,
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_active = Instant::now();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        break WriteOutcome::Blocked
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break WriteOutcome::Fatal,
+                }
+            }
+        };
+        match outcome {
+            WriteOutcome::Blocked => {}
+            WriteOutcome::Fatal => self.drop_conn(id),
+            WriteOutcome::Flushed => {
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.out.clear();
+                    conn.out_pos = 0;
+                }
+                self.advance(id);
+            }
+        }
+    }
+
+    /// After a full flush: close, serve the next pipelined request, or
+    /// go back to waiting for bytes.
+    fn advance(&mut self, id: u64) {
+        enum Next {
+            Close,
+            Dispatch(Request),
+            Reject(HttpError),
+            Wait,
+        }
+        let next = {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.close_after_write {
+                Next::Close
+            } else if conn.busy {
+                Next::Wait
+            } else {
+                match conn.parser.next_request() {
+                    Ok(Some(request)) => Next::Dispatch(request),
+                    Ok(None) if conn.peer_closed && conn.parser.buffered() > 0 => Next::Reject(
+                        HttpError::BadRequest("connection closed mid-request".into()),
+                    ),
+                    Ok(None) if conn.peer_closed => Next::Close,
+                    Ok(None) => Next::Wait,
+                    Err(e) => Next::Reject(e),
+                }
+            }
+        };
+        match next {
+            Next::Close => self.drop_conn(id),
+            Next::Dispatch(request) => self.dispatch(id, request),
+            Next::Reject(e) => self.bad_request(id, &e),
+            Next::Wait => {}
+        }
+    }
+
+    fn drop_conn(&mut self, id: u64) {
+        if self.conns.remove(&id).is_some() {
+            self.shared.metrics.connections.add(-1.0);
+        }
+    }
+
+    /// Closes connections idle past the configured timeout — both
+    /// keep-alive sockets between requests and peers that stalled
+    /// mid-request (the old per-read socket timeout's job).
+    fn sweep_idle(&mut self) {
+        let timeout = self.shared.idle_timeout;
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy && !c.wants_write() && c.last_active.elapsed() > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in idle {
+            self.drop_conn(id);
+        }
+    }
+}

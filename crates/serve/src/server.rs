@@ -1,40 +1,59 @@
-//! Acceptor, worker pool, routing, and graceful shutdown.
+//! Acceptor, reactor shards, worker pool, routing, and graceful
+//! shutdown.
 //!
 //! Thread topology:
 //!
 //! ```text
-//! acceptor ──try_push──▶ BoundedQueue<TcpStream> ──pop──▶ worker × N
-//!                │ (full)                                   │
-//!                ▼                                          ├─▶ direct predict   (batching off)
-//!            503 + Retry-After                              └─▶ batcher thread   (batching on)
+//! acceptor ──round-robin──▶ reactor shard × R   (poll(2) event loops,
+//!                                │    ▲          keep-alive conn tables)
+//!                   parsed req   │    │ response
+//!                                ▼    │
+//!                          BoundedQueue<Job> ──pop──▶ worker × N
+//!                                │ (full)               │
+//!                                ▼                      ├─▶ direct predict    (batching off,
+//!                          503 + Retry-After            │    or rows ≥ max_batch)
+//!                                                       └─▶ batcher shard × B (batching on)
 //! ```
 //!
-//! Each connection carries exactly one request (`Connection: close`),
-//! which keeps the framing trivial and makes load shedding precise:
-//! a queue slot is a whole request. Shutdown is graceful by
-//! construction — the acceptor stops accepting, workers drain what the
-//! queue already holds, the batcher flushes pending rows, and only
-//! then do threads join.
+//! Reactors own all socket I/O: non-blocking reads feed the incremental
+//! parser, completed requests are queued for workers, and worker
+//! responses come back through per-shard inboxes to be written under
+//! `POLLOUT` readiness. Connections persist across requests
+//! (HTTP/1.1 keep-alive, see [`crate::http::Request::keep_alive`]), so
+//! a queue slot is a whole *request* — load shedding stays precise, it
+//! just no longer costs the client its connection setup. Workers never
+//! touch sockets and reactors never run model code.
+//!
+//! When `self_tune` is on, a tuner thread ([`crate::tuner`]) watches
+//! the queue-wait histogram and resizes the worker pool and queue
+//! within configured bounds.
+//!
+//! Shutdown is graceful by construction — the acceptor stops
+//! accepting, reactors stop dispatching (503 + close), workers drain
+//! what the queue already holds, the batcher flushes pending rows,
+//! reactors flush their write buffers, and only then do threads join.
 
-use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Sender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use c100_obs::json::{self, Value};
 use c100_obs::{FlightRecorder, MetricsRegistry, Tracer};
-use c100_store::{BatchPredictor, Engine, StoreError};
+use c100_store::{BatchPredictor, Engine, ModelArtifact, StoreError};
 
-use crate::batcher::{Batcher, PredictJob};
+use crate::batcher::{
+    BatchReply, BatchSubmitter, Batcher, DeferredReply, Deliver, PredictJob, ReplySink,
+};
 use crate::cache::ModelCache;
-use crate::http::{self, HttpError, Method, Request, RequestParser, Response};
-use crate::queue::{BoundedQueue, TryPushError};
+use crate::http::{self, Method, Request, Response};
+use crate::queue::BoundedQueue;
+use crate::reactor::{reactor_loop, Inbox, Job, Msg};
 use crate::telemetry::{InflightGuard, ServeMetrics};
+use crate::tuner::{tuner_loop, TuneLimits};
 use crate::{Result, ServeError};
 
 /// Server construction parameters; every knob has a serviceable
@@ -62,6 +81,18 @@ pub struct ServeConfig {
     /// Where to dump the flight recorder on shutdown (`None` skips the
     /// file; `GET /debug/flight` works regardless).
     pub flight_path: Option<PathBuf>,
+    /// Reactor (event-loop) shards; each owns a private connection
+    /// table and a `poll(2)` loop.
+    pub reactors: usize,
+    /// Close keep-alive connections idle longer than this (also bounds
+    /// how long a peer may stall mid-request).
+    pub idle_timeout: Duration,
+    /// Let the tuner resize workers/queue from observed queue wait.
+    /// Off by default: fixed sizing keeps shed accounting exact, which
+    /// tests and small deployments rely on.
+    pub self_tune: bool,
+    /// Worker ceiling under self-tuning (`0` → `workers * 4`).
+    pub max_workers: usize,
 }
 
 impl ServeConfig {
@@ -77,29 +108,51 @@ impl ServeConfig {
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             engine: Engine::default(),
             flight_path: None,
+            reactors: 2,
+            idle_timeout: Duration::from_secs(10),
+            self_tune: false,
+            max_workers: 0,
         }
     }
 }
 
-/// Everything worker/acceptor threads share.
-struct Shared {
-    cache: ModelCache,
-    /// Connections waiting for a worker, each with its accept time so
-    /// queue-wait is measurable at pop.
-    queue: BoundedQueue<(TcpStream, Instant)>,
-    registry: Arc<MetricsRegistry>,
+/// Everything acceptor/reactor/worker/tuner threads share.
+pub(crate) struct Shared {
+    pub(crate) cache: ModelCache,
+    /// Parsed requests waiting for a worker, stamped at parse
+    /// completion so queue-wait is measurable at pop.
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) registry: Arc<MetricsRegistry>,
     /// Handles preregistered at startup — the request path records
     /// through these, never through the registry's by-name API.
-    metrics: ServeMetrics,
+    pub(crate) metrics: ServeMetrics,
     /// Always-on ring of recent request/shed/reload records.
-    flight: Arc<FlightRecorder>,
+    pub(crate) flight: Arc<FlightRecorder>,
     flight_path: Option<PathBuf>,
-    tracer: Option<Arc<Tracer>>,
-    shutdown: AtomicBool,
+    pub(crate) tracer: Option<Arc<Tracer>>,
+    pub(crate) shutdown: AtomicBool,
+    /// Flipped only after workers have joined; tells reactors no more
+    /// replies can arrive, so they flush and exit.
+    pub(crate) reactors_stop: AtomicBool,
     /// Signalled when any party requests shutdown; `wait` blocks here.
-    shutdown_requested: (Mutex<bool>, Condvar),
-    max_body_bytes: usize,
-    max_batch: usize,
+    pub(crate) shutdown_requested: (Mutex<bool>, Condvar),
+    pub(crate) max_body_bytes: usize,
+    pub(crate) max_batch: usize,
+    pub(crate) idle_timeout: Duration,
+    /// One mailbox per reactor shard.
+    pub(crate) inboxes: Vec<Arc<Inbox>>,
+    /// Worker count the tuner wants; workers retire themselves when
+    /// the live count exceeds it.
+    pub(crate) target_workers: AtomicUsize,
+    /// Live worker count.
+    pub(crate) active_workers: AtomicUsize,
+    /// Join handles for every worker ever spawned (the tuner adds to
+    /// this after start).
+    pub(crate) worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Template submitter new workers clone; taken (dropped) before the
+    /// batcher joins so shutdown cannot deadlock on a live sender.
+    pub(crate) batch_submitter: Mutex<Option<BatchSubmitter>>,
+    worker_seq: AtomicUsize,
     /// When the served model set last changed (start or `POST /reload`);
     /// `/metrics` derives the `serve.model_age_seconds` gauge from it.
     models_loaded_at: Mutex<Instant>,
@@ -114,12 +167,30 @@ impl Shared {
     }
 }
 
+/// Spawns one worker thread and registers it in the shared pool; used
+/// at startup and by the tuner when growing.
+pub(crate) fn spawn_worker(shared: &Arc<Shared>) -> std::io::Result<()> {
+    let id = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+    let cloned = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("serve-worker-{id}"))
+        .spawn(move || worker_loop(&cloned))?;
+    shared.active_workers.fetch_add(1, Ordering::SeqCst);
+    shared
+        .worker_handles
+        .lock()
+        .expect("worker handles poisoned")
+        .push(handle);
+    Ok(())
+}
+
 /// Handle to a running server; dropping it shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    tuner: Option<JoinHandle<()>>,
     batcher: Option<Batcher>,
 }
 
@@ -167,17 +238,42 @@ impl ServerHandle {
     }
 
     fn join_all(&mut self) {
-        // Order matters: stop intake, drain the queue, then let the
-        // batcher flush what the workers submitted.
+        // Order matters: stop intake (acceptor), stop resizing (tuner),
+        // drain the queue (workers deliver every reply into reactor
+        // inboxes), flush the batcher, and only then stop the reactors —
+        // they must outlive the workers to write the final responses.
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        if let Some(tuner) = self.tuner.take() {
+            let _ = tuner.join();
+        }
         self.shared.queue.close();
-        for worker in self.workers.drain(..) {
+        let workers: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .shared
+                .worker_handles
+                .lock()
+                .expect("worker handles poisoned"),
+        );
+        for worker in workers {
             let _ = worker.join();
         }
+        // Drop the template submitter so the batcher's channels close.
+        self.shared
+            .batch_submitter
+            .lock()
+            .expect("batch submitter poisoned")
+            .take();
         if let Some(batcher) = self.batcher.take() {
             batcher.shutdown();
+        }
+        self.shared.reactors_stop.store(true, Ordering::SeqCst);
+        for inbox in &self.shared.inboxes {
+            inbox.wake();
+        }
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
         }
         self.shared.metrics.queue_depth.set(0.0);
         if let Some(path) = &self.shared.flight_path {
@@ -190,7 +286,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || !self.reactors.is_empty() {
             self.shared.request_shutdown();
             wake_acceptor(self.addr);
             self.join_all();
@@ -218,6 +314,9 @@ impl Server {
         if config.workers == 0 {
             return Err(ServeError::Config("workers must be >= 1".into()));
         }
+        if config.reactors == 0 {
+            return Err(ServeError::Config("reactors must be >= 1".into()));
+        }
         // Predictors built by the cache report BatchPredicted events
         // into this registry, so the ml predict path shares the same
         // lock-free histograms as the HTTP layer.
@@ -226,6 +325,10 @@ impl Server {
             .with_observer(registry.clone());
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+
+        let inboxes = (0..config.reactors)
+            .map(|_| Inbox::new().map(Arc::new).map_err(ServeError::Io))
+            .collect::<Result<Vec<_>>>()?;
 
         let shared = Arc::new(Shared {
             cache,
@@ -236,35 +339,108 @@ impl Server {
             flight_path: config.flight_path.clone(),
             tracer: tracer.clone(),
             shutdown: AtomicBool::new(false),
+            reactors_stop: AtomicBool::new(false),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
             max_body_bytes: config.max_body_bytes,
             max_batch: config.max_batch,
+            idle_timeout: config.idle_timeout,
+            inboxes,
+            target_workers: AtomicUsize::new(config.workers),
+            active_workers: AtomicUsize::new(0),
+            worker_handles: Mutex::new(Vec::new()),
+            batch_submitter: Mutex::new(None),
+            worker_seq: AtomicUsize::new(0),
             models_loaded_at: Mutex::new(Instant::now()),
         });
         registry.set_gauge("serve.last_reload_timestamp_seconds", unix_now_seconds());
+        shared.metrics.tuned_workers.set(config.workers as f64);
+        shared
+            .metrics
+            .tuned_queue_depth
+            .set(config.queue_depth as f64);
 
         let batcher = if config.max_batch > 1 {
-            Some(Batcher::start(
+            // Flush-time completion for deferred jobs: render the
+            // /predict response, run the same accounting tail as the
+            // synchronous path, and hand the response to the reactor
+            // shard that owns the connection. Runs on whichever thread
+            // executes the flush (leader worker or sweeper).
+            let deliver: Deliver = {
+                let shared = shared.clone();
+                Arc::new(
+                    move |ctx: DeferredReply,
+                          artifact_id: &str,
+                          predictor: &Arc<BatchPredictor>,
+                          result: BatchReply| {
+                        let response = match result {
+                            Ok(forecasts) => render_predict_response(
+                                artifact_id,
+                                predictor.artifact(),
+                                &forecasts,
+                            ),
+                            Err(message) => Response::error_json(500, &message),
+                        };
+                        let response = finish_response(&shared, "predict", response, &ctx);
+                        shared.inboxes[ctx.shard].send(Msg::Reply {
+                            conn_id: ctx.conn_id,
+                            response,
+                        });
+                    },
+                )
+            };
+            let batcher = Batcher::start(
                 config.max_batch,
                 config.max_wait,
+                config.reactors.max(2),
+                deliver,
                 registry,
                 tracer,
                 Some(shared.flight.clone()),
-            ))
+            );
+            *shared
+                .batch_submitter
+                .lock()
+                .expect("batch submitter poisoned") = Some(batcher.sender());
+            Some(batcher)
         } else {
             None
         };
 
-        let workers = (0..config.workers)
-            .map(|i| {
+        for _ in 0..config.workers {
+            spawn_worker(&shared).map_err(ServeError::Io)?;
+        }
+
+        let reactors = (0..config.reactors)
+            .map(|shard| {
                 let shared = shared.clone();
-                let batch_tx = batcher.as_ref().map(|b| b.sender());
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, batch_tx))
+                    .name(format!("serve-reactor-{shard}"))
+                    .spawn(move || reactor_loop(&shared, shard))
                     .map_err(ServeError::Io)
             })
             .collect::<Result<Vec<_>>>()?;
+
+        let tuner = if config.self_tune {
+            let limits = TuneLimits {
+                min_workers: 1,
+                max_workers: if config.max_workers == 0 {
+                    config.workers * 4
+                } else {
+                    config.max_workers.max(config.workers)
+                },
+                min_queue_depth: config.queue_depth,
+                max_queue_depth: config.queue_depth * 8,
+            };
+            let shared = shared.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("serve-tuner".into())
+                    .spawn(move || tuner_loop(&shared, limits))
+                    .map_err(ServeError::Io)?,
+            )
+        } else {
+            None
+        };
 
         let acceptor = {
             let shared = shared.clone();
@@ -278,13 +454,15 @@ impl Server {
             addr,
             shared,
             acceptor: Some(acceptor),
-            workers,
+            reactors,
+            tuner,
             batcher,
         })
     }
 }
 
 fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_shard = 0usize;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -303,164 +481,164 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .tracer
             .as_deref()
             .map(|t| t.span("serve", "serve.accept"));
-        match shared.queue.try_push((stream, Instant::now())) {
-            Ok(depth) => shared.metrics.queue_depth.set(depth as f64),
-            Err(TryPushError::Full((stream, _))) => {
-                // Count synchronously so /metrics is exact, but write the
-                // 503 off-thread: draining a slow client must not stall
-                // the accept loop. Shed threads are short-lived (500ms
-                // timeouts) and bounded by the accept rate.
-                shared.metrics.sheds.inc();
-                shared.metrics.responses_5xx.inc();
-                shared.flight.record("shed", "queue full, 503", None);
-                std::thread::spawn(move || shed(stream));
+        shared.metrics.connections_total.inc();
+        shared.inboxes[next_shard].send(Msg::Accept(stream));
+        next_shard = (next_shard + 1) % shared.inboxes.len();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let submitter = shared
+        .batch_submitter
+        .lock()
+        .expect("batch submitter poisoned")
+        .clone();
+    loop {
+        // About to (possibly) block for more work: flush anything
+        // parked with the batcher first. An empty queue means no more
+        // rows are coming to grow those batches, so holding them for
+        // the deadline would be pure added latency. The check is racy
+        // (that is fine — whichever worker goes idle *last* repeats
+        // it), and free when nothing is parked.
+        if let Some(submitter) = &submitter {
+            if shared.queue.is_empty() {
+                submitter.nudge();
             }
-            Err(TryPushError::Closed(_)) => return,
         }
-    }
-}
-
-/// Load-shed: answer `503` with `Retry-After` straight from the
-/// acceptor so a saturated worker pool cannot delay the signal.
-fn shed(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let resp = Response::error_json(503, "server is at capacity, retry shortly")
-        .with_header("Retry-After", "1");
-    if resp.write_to(&mut stream).is_err() {
-        return;
-    }
-    // Closing with unread request bytes in the receive buffer makes the
-    // kernel send RST, which can destroy the 503 before the client reads
-    // it. Signal end-of-response, then drain (bounded) until the client's
-    // FIN so the close is graceful.
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut scratch = [0u8; 4096];
-    let mut drained = 0usize;
-    while drained < 256 * 1024 {
-        match stream.read(&mut scratch) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => drained += n,
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared, batch_tx: Option<Sender<PredictJob>>) {
-    while let Some((stream, enqueued_at)) = shared.queue.pop() {
+        let Some(job) = shared.queue.pop() else { break };
         shared.metrics.queue_depth.set(shared.queue.len() as f64);
-        shared.metrics.queue_wait.observe(enqueued_at.elapsed());
-        handle_connection(shared, batch_tx.as_ref(), stream);
-    }
-}
-
-fn handle_connection(
-    shared: &Shared,
-    batch_tx: Option<&Sender<PredictJob>>,
-    mut stream: TcpStream,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_nodelay(true);
-
-    let _inflight = InflightGuard::enter(&shared.metrics.inflight);
-    let accepted = Instant::now();
-    let request = {
-        let _span = shared
-            .tracer
-            .as_deref()
-            .map(|t| t.span("serve", "serve.parse"));
-        match read_request(shared, &mut stream) {
-            Ok(Some(request)) => request,
-            Ok(None) => return, // peer went away before a full request
-            Err(e) => {
-                shared.metrics.requests_total.inc();
-                shared.metrics.responses_4xx.inc();
-                shared.flight.record("bad_request", &e.to_string(), None);
-                let _ = Response::error_json(e.status(), &e.to_string()).write_to(&mut stream);
+        shared.metrics.queue_wait.observe(job.received_at.elapsed());
+        // A deferred (batched) request replies from the flush path
+        // instead; this worker is already free for the next job.
+        if let Some(response) = handle_request(shared, submitter.as_ref(), &job) {
+            shared.inboxes[job.shard].send(Msg::Reply {
+                conn_id: job.conn_id,
+                response,
+            });
+        }
+        // Tuner shrink: when the live count exceeds the target, retire
+        // exactly enough workers, each after finishing its job.
+        loop {
+            let active = shared.active_workers.load(Ordering::SeqCst);
+            if active <= shared.target_workers.load(Ordering::SeqCst) {
+                break;
+            }
+            if shared
+                .active_workers
+                .compare_exchange(active, active - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
                 return;
             }
         }
-    };
+    }
+    shared.active_workers.fetch_sub(1, Ordering::SeqCst);
+}
 
-    let started = Instant::now();
+/// What routing produced: a response to send now, or a promise that
+/// the batcher's flush path will deliver one later.
+enum Routed {
+    Response(Response),
+    Deferred,
+}
+
+impl From<Response> for Routed {
+    fn from(response: Response) -> Routed {
+        Routed::Response(response)
+    }
+}
+
+/// Routes one parsed request. Returns the finished response, or `None`
+/// when the request was handed to the batcher — the flush path owns
+/// accounting and delivery from there. Runs on a worker thread; never
+/// touches the socket.
+fn handle_request(
+    shared: &Shared,
+    submitter: Option<&BatchSubmitter>,
+    job: &Job,
+) -> Option<Response> {
+    let _inflight = InflightGuard::enter(&shared.metrics.inflight);
+    let ctx = DeferredReply {
+        conn_id: job.conn_id,
+        shard: job.shard,
+        received_at: job.received_at,
+        started: Instant::now(),
+        keep_alive: job.request.keep_alive(),
+    };
     // A panic in a handler must not take the worker down with it.
-    let routed = catch_unwind(AssertUnwindSafe(|| route(shared, batch_tx, &request)));
-    let (endpoint, response) = routed.unwrap_or_else(|_| {
+    let routed = catch_unwind(AssertUnwindSafe(|| {
+        route(shared, submitter, &job.request, &ctx)
+    }));
+    let (endpoint, outcome) = routed.unwrap_or_else(|_| {
         (
             "panic",
-            Response::error_json(500, "internal server error: handler panicked"),
+            Response::error_json(500, "internal server error: handler panicked").into(),
         )
     });
+    match outcome {
+        Routed::Deferred => None,
+        Routed::Response(response) => Some(finish_response(shared, endpoint, response, &ctx)),
+    }
+}
 
-    let handler_elapsed = started.elapsed();
+/// The accounting tail every response passes through exactly once —
+/// on the worker for synchronous requests, at flush time for deferred
+/// ones (so handler latency honestly includes time parked in a batch).
+/// Also negotiates keep-alive: the client's preference is honoured
+/// except while draining, when every response closes so clients
+/// reconnect elsewhere.
+fn finish_response(
+    shared: &Shared,
+    endpoint: &str,
+    response: Response,
+    ctx: &DeferredReply,
+) -> Response {
+    let handler_elapsed = ctx.started.elapsed();
     let endpoint_metrics = shared.metrics.endpoint(endpoint);
     shared.metrics.requests_total.inc();
     endpoint_metrics.requests.inc();
     shared.metrics.response_class(response.status).inc();
     endpoint_metrics.handler_micros.observe(handler_elapsed);
-    endpoint_metrics.request_micros.observe(accepted.elapsed());
+    endpoint_metrics
+        .request_micros
+        .observe(ctx.received_at.elapsed());
     shared.flight.record(
         "request",
         &format!("{endpoint} {}", response.status),
         Some(handler_elapsed.as_micros().min(u64::MAX as u128) as u64),
     );
-    let _ = response.write_to(&mut stream);
-}
-
-/// Reads one request off the socket. `Ok(None)` means the peer closed
-/// (or timed out) before completing a request — nothing to answer.
-fn read_request(
-    shared: &Shared,
-    stream: &mut TcpStream,
-) -> std::result::Result<Option<Request>, HttpError> {
-    let mut parser = RequestParser::new(shared.max_body_bytes);
-    let mut buf = [0u8; 8 * 1024];
-    loop {
-        match stream.read(&mut buf) {
-            Ok(0) => {
-                if parser.buffered() > 0 {
-                    return Err(HttpError::BadRequest(
-                        "connection closed mid-request".into(),
-                    ));
-                }
-                return Ok(None);
-            }
-            Ok(n) => {
-                if let Some(request) = parser.push(&buf[..n])? {
-                    return Ok(Some(request));
-                }
-            }
-            Err(_) => return Ok(None),
-        }
-    }
+    response.with_keep_alive(ctx.keep_alive && !shared.shutdown.load(Ordering::SeqCst))
 }
 
 fn route(
     shared: &Shared,
-    batch_tx: Option<&Sender<PredictJob>>,
+    submitter: Option<&BatchSubmitter>,
     request: &Request,
-) -> (&'static str, Response) {
+    ctx: &DeferredReply,
+) -> (&'static str, Routed) {
     match (request.method, request.path()) {
-        (Method::Get, "/healthz") => ("healthz", healthz(shared)),
-        (Method::Get, "/models") => ("models", models(shared)),
-        (Method::Get, "/metrics") => ("metrics", metrics(shared)),
-        (Method::Get, "/debug/flight") => ("flight", flight(shared)),
-        (Method::Post, "/predict") => ("predict", predict(shared, batch_tx, request)),
-        (Method::Post, "/reload") => ("reload", reload(shared, request)),
-        (Method::Post, "/shutdown") => ("shutdown", shutdown(shared)),
+        (Method::Get, "/healthz") => ("healthz", healthz(shared).into()),
+        (Method::Get, "/models") => ("models", models(shared).into()),
+        (Method::Get, "/metrics") => ("metrics", metrics(shared).into()),
+        (Method::Get, "/debug/flight") => ("flight", flight(shared).into()),
+        (Method::Post, "/predict") => ("predict", predict(shared, submitter, request, ctx)),
+        (Method::Post, "/reload") => ("reload", reload(shared, request).into()),
+        (Method::Post, "/shutdown") => ("shutdown", shutdown(shared).into()),
         (_, path @ ("/healthz" | "/models" | "/metrics" | "/debug/flight")) => (
             "other",
             Response::error_json(405, &format!("{path} only supports GET"))
-                .with_header("Allow", "GET"),
+                .with_header("Allow", "GET")
+                .into(),
         ),
         (_, path @ ("/predict" | "/reload" | "/shutdown")) => (
             "other",
             Response::error_json(405, &format!("{path} only supports POST"))
-                .with_header("Allow", "POST"),
+                .with_header("Allow", "POST")
+                .into(),
         ),
         (_, path) => (
             "other",
-            Response::error_json(404, &format!("no such endpoint: {path}")),
+            Response::error_json(404, &format!("no such endpoint: {path}")).into(),
         ),
     }
 }
@@ -594,17 +772,24 @@ struct PredictRequest {
     rows: Vec<Vec<f64>>,
 }
 
-fn predict(shared: &Shared, batch_tx: Option<&Sender<PredictJob>>, request: &Request) -> Response {
+fn predict(
+    shared: &Shared,
+    submitter: Option<&BatchSubmitter>,
+    request: &Request,
+    ctx: &DeferredReply,
+) -> Routed {
     let parsed = match parse_predict_body(&request.body) {
         Ok(parsed) => parsed,
-        Err(message) => return Response::error_json(400, &message),
+        Err(message) => return Response::error_json(400, &message).into(),
     };
 
     // Resolve which artifact to run.
     let entry = if let Some(id) = &parsed.artifact {
         match shared.cache.entry(id) {
             Some(entry) => entry,
-            None => return Response::error_json(404, &format!("no artifact with id '{id}'")),
+            None => {
+                return Response::error_json(404, &format!("no artifact with id '{id}'")).into()
+            }
         }
     } else if let Some(scenario) = &parsed.scenario {
         match shared
@@ -617,16 +802,19 @@ fn predict(shared: &Shared, batch_tx: Option<&Sender<PredictJob>>, request: &Req
                 return Response::error_json(
                     404,
                     &format!("no artifact for scenario '{scenario}' (family: {family})"),
-                );
+                )
+                .into();
             }
         }
     } else {
-        return Response::error_json(400, "body must name either 'artifact' or 'scenario'");
+        return Response::error_json(400, "body must name either 'artifact' or 'scenario'").into();
     };
 
     let predictor = match shared.cache.predictor(&entry.id) {
         Ok(predictor) => predictor,
-        Err(e) => return Response::error_json(500, &format!("failed to load artifact: {e}")),
+        Err(e) => {
+            return Response::error_json(500, &format!("failed to load artifact: {e}")).into()
+        }
     };
 
     // Validate against the stored schema *before* coalescing so batch
@@ -639,7 +827,7 @@ fn predict(shared: &Shared, batch_tx: Option<&Sender<PredictJob>>, request: &Req
                 StoreError::Schema(schema) => schema.to_string(),
                 other => other.to_string(),
             };
-            return Response::error_json(400, &message);
+            return Response::error_json(400, &message).into();
         }
     }
     let width = predictor.artifact().features.len();
@@ -651,7 +839,8 @@ fn predict(shared: &Shared, batch_tx: Option<&Sender<PredictJob>>, request: &Req
                     "row {i} has {} values, the model's schema has {width} features",
                     row.len()
                 ),
-            );
+            )
+            .into();
         }
         if let Some(c) = row.iter().position(|v| !v.is_finite()) {
             return Response::error_json(
@@ -660,53 +849,57 @@ fn predict(shared: &Shared, batch_tx: Option<&Sender<PredictJob>>, request: &Req
                     "row {i} has a non-finite value in column '{}'",
                     predictor.artifact().features[c]
                 ),
-            );
+            )
+            .into();
         }
     }
     if parsed.rows.is_empty() {
-        return Response::error_json(400, "'rows' must contain at least one row");
+        return Response::error_json(400, "'rows' must contain at least one row").into();
     }
 
-    let forecasts = match batch_tx {
-        Some(tx) if shared.max_batch > 1 => {
-            match predict_batched(shared, tx, &entry.id, predictor.clone(), parsed.rows) {
-                Ok(forecasts) => forecasts,
-                Err(message) => return Response::error_json(500, &message),
+    // A request already carrying a full batch of rows flushes alone by
+    // construction — the batcher handoff would only serialise it behind
+    // other artifacts' flushes for zero coalescing benefit. Predict it
+    // inline on the worker.
+    let full_batch = parsed.rows.len() >= shared.max_batch;
+    let rows = match submitter {
+        Some(submitter) if shared.max_batch > 1 && !full_batch => {
+            let job = PredictJob {
+                artifact_id: entry.id.clone(),
+                scenario: predictor.artifact().scenario.clone(),
+                predictor: predictor.clone(),
+                rows: parsed.rows,
+                reply: ReplySink::Deferred(*ctx),
+            };
+            match submitter.submit(job) {
+                // Handed off; the flush path renders, accounts, and
+                // delivers the response. This worker moves on.
+                Ok(()) => return Routed::Deferred,
+                // Submit only refuses during shutdown drain; serve the
+                // straggler inline rather than erroring it.
+                Err(job) => job.rows,
             }
         }
         _ => {
-            let span = shared
-                .tracer
-                .as_deref()
-                .map(|t| t.span(&predictor.artifact().scenario, "serve.predict"));
-            let result = rows_to_forecasts(&predictor, parsed.rows);
-            drop(span);
-            match result {
-                Ok(forecasts) => forecasts,
-                Err(message) => return Response::error_json(500, &message),
+            if submitter.is_some() && shared.max_batch > 1 {
+                shared.metrics.batch_bypass.inc();
             }
+            parsed.rows
         }
     };
 
-    let artifact = predictor.artifact();
-    let mut body = String::with_capacity(64 + forecasts.len() * 20);
-    body.push_str("{\"artifact\":");
-    json::write_escaped(&mut body, &entry.id);
-    body.push_str(",\"scenario\":");
-    json::write_escaped(&mut body, &artifact.scenario);
-    body.push_str(",\"model\":");
-    json::write_escaped(&mut body, artifact.model.family());
-    body.push_str(&format!(",\"rows\":{},\"forecasts\":[", forecasts.len()));
-    for (i, v) in forecasts.iter().enumerate() {
-        if i > 0 {
-            body.push(',');
+    let span = shared
+        .tracer
+        .as_deref()
+        .map(|t| t.span(&predictor.artifact().scenario, "serve.predict"));
+    let result = rows_to_forecasts(&predictor, rows);
+    drop(span);
+    match result {
+        Ok(forecasts) => {
+            render_predict_response(&entry.id, predictor.artifact(), &forecasts).into()
         }
-        // `Display` formatting, matching the CLI's forecast CSV exactly
-        // so `/predict` output diffs clean against `repro predict`.
-        body.push_str(&format!("{v}"));
+        Err(message) => Response::error_json(500, &message).into(),
     }
-    body.push_str("]}\n");
-    Response::json(200, body)
 }
 
 /// Direct (unbatched) prediction on the worker thread.
@@ -724,33 +917,31 @@ fn rows_to_forecasts(
         .and_then(|m| predictor.predict_matrix(&m).map_err(|e| e.to_string()))
 }
 
-/// Hands rows to the batcher and waits for this job's slice.
-fn predict_batched(
-    shared: &Shared,
-    tx: &Sender<PredictJob>,
+/// The `/predict` 200 body, shared by the inline path and the
+/// batcher's flush-time delivery so both render bit-identically.
+fn render_predict_response(
     artifact_id: &str,
-    predictor: Arc<BatchPredictor>,
-    rows: Vec<Vec<f64>>,
-) -> std::result::Result<Vec<f64>, String> {
-    let scenario = predictor.artifact().scenario.clone();
-    let (reply_tx, reply_rx) = mpsc::channel();
-    tx.send(PredictJob {
-        artifact_id: artifact_id.to_string(),
-        scenario,
-        predictor,
-        rows,
-        reply: reply_tx,
-    })
-    .map_err(|_| "batcher is shut down".to_string())?;
-    // The batcher always answers (flush-on-drop included); the timeout
-    // is a last-ditch guard against a wedged thread, not a code path.
-    match reply_rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(reply) => reply,
-        Err(_) => {
-            shared.registry.inc("serve.batch_reply_timeouts");
-            Err("timed out waiting for batched prediction".to_string())
+    artifact: &ModelArtifact,
+    forecasts: &[f64],
+) -> Response {
+    let mut body = String::with_capacity(64 + forecasts.len() * 20);
+    body.push_str("{\"artifact\":");
+    json::write_escaped(&mut body, artifact_id);
+    body.push_str(",\"scenario\":");
+    json::write_escaped(&mut body, &artifact.scenario);
+    body.push_str(",\"model\":");
+    json::write_escaped(&mut body, artifact.model.family());
+    body.push_str(&format!(",\"rows\":{},\"forecasts\":[", forecasts.len()));
+    for (i, v) in forecasts.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
         }
+        // `Display` formatting, matching the CLI's forecast CSV exactly
+        // so `/predict` output diffs clean against `repro predict`.
+        body.push_str(&format!("{v}"));
     }
+    body.push_str("]}\n");
+    Response::json(200, body)
 }
 
 fn parse_predict_body(body: &[u8]) -> std::result::Result<PredictRequest, String> {

@@ -8,8 +8,9 @@
 //! the ROADMAP's batcher-profiling item needs (queue-wait vs
 //! handler-time vs batcher-flush) comes from distinct histograms:
 //!
-//! * `serve.queue_wait_micros` — accept-to-worker-pop time, the
-//!   congestion signal (distinguishes shed-vs-slow).
+//! * `serve.queue_wait_micros` — parse-complete-to-worker-pop time,
+//!   the congestion signal (distinguishes shed-vs-slow) and the
+//!   self-tuner's input.
 //! * `serve.handler_micros.<endpoint>` — routing + handler execution.
 //! * `serve.request_micros.<endpoint>` — parse + handler (the
 //!   pre-existing series, kept for dashboards and `repro compare`).
@@ -57,8 +58,22 @@ pub struct ServeMetrics {
     pub queue_depth: GaugeHandle,
     /// `serve.sheds_total`.
     pub sheds: CounterHandle,
-    /// `serve.queue_wait_micros`: time between accept and worker pop.
+    /// `serve.queue_wait_micros`: time between parse completion and
+    /// worker pop — the self-tuner's congestion signal.
     pub queue_wait: HistogramHandle,
+    /// `serve.connections_total`: accepted connections.
+    pub connections_total: CounterHandle,
+    /// `serve.open_connections` gauge: sockets held across all reactor
+    /// shards (keep-alive makes this outlive any single request).
+    pub connections: GaugeHandle,
+    /// `serve.batch_bypass_total`: `/predict` requests that skipped the
+    /// batcher because they already carried a full batch of rows.
+    pub batch_bypass: CounterHandle,
+    /// `serve.tuned_workers` gauge: current worker count under
+    /// self-tuning (mirrors the static count when tuning is off).
+    pub tuned_workers: GaugeHandle,
+    /// `serve.tuned_queue_depth` gauge: current queue capacity.
+    pub tuned_queue_depth: GaugeHandle,
     endpoints: HashMap<&'static str, EndpointMetrics>,
 }
 
@@ -74,6 +89,11 @@ impl ServeMetrics {
             queue_depth: registry.gauge("serve.queue_depth"),
             sheds: registry.counter("serve.sheds_total"),
             queue_wait: registry.histogram("serve.queue_wait_micros"),
+            connections_total: registry.counter("serve.connections_total"),
+            connections: registry.gauge("serve.open_connections"),
+            batch_bypass: registry.counter("serve.batch_bypass_total"),
+            tuned_workers: registry.gauge("serve.tuned_workers"),
+            tuned_queue_depth: registry.gauge("serve.tuned_queue_depth"),
             endpoints: ENDPOINTS
                 .iter()
                 .map(|&name| {

@@ -1,0 +1,369 @@
+//! Self-tuning of worker count and queue depth from observed
+//! queue wait.
+//!
+//! The signal is the `serve.queue_wait_micros` histogram the workers
+//! already record: every `TUNE_INTERVAL` the tuner diffs the current
+//! snapshot against the previous one, yielding a per-window histogram
+//! whose p90 says how long *recent* requests waited for a worker. The
+//! policy lives in [`plan`] — a pure function over that signal so the
+//! escalation ladder is unit-testable without threads:
+//!
+//! 1. Queue wait above target → add a worker (the queue is backing up
+//!    because service capacity is short).
+//! 2. Sheds while workers are already maxed → widen the queue (capacity
+//!    is capped, so trade latency for availability).
+//! 3. Sustained calm (several consecutive quiet windows) → retire a
+//!    worker, then narrow the queue back down.
+//!
+//! Mechanically, growing spawns a new worker thread; shrinking lowers
+//! the target and lets a worker retire itself after it finishes its
+//! current job (no interruption mid-request). Self-tuning is **off by
+//! default** — `ServeConfig::self_tune` — because fixed worker/queue
+//! sizing is load-bearing for shed-accounting tests and small
+//! deployments.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use c100_obs::metrics::Bucket;
+use c100_obs::HistogramSnapshot;
+
+use crate::server::{spawn_worker, Shared};
+
+/// How often the tuner samples the queue-wait histogram.
+pub const TUNE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Queue-wait p90 (µs) above which the pool grows.
+pub const TARGET_QUEUE_WAIT_MICROS: f64 = 1_000.0;
+
+/// Consecutive quiet windows before the tuner shrinks anything.
+pub const SHRINK_QUIET_WINDOWS: u32 = 8;
+
+/// Bounds the tuner must stay inside.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneLimits {
+    /// Fewest workers the pool may shrink to.
+    pub min_workers: usize,
+    /// Most workers the pool may grow to.
+    pub max_workers: usize,
+    /// Narrowest the queue may get.
+    pub min_queue_depth: usize,
+    /// Widest the queue may get.
+    pub max_queue_depth: usize,
+}
+
+/// One sampling window's observations.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneSignal {
+    /// p90 queue wait over this window (µs); 0 when nothing was popped.
+    pub p90_wait_micros: f64,
+    /// Requests popped by workers this window.
+    pub pops: u64,
+    /// Requests shed (503) this window.
+    pub sheds: u64,
+}
+
+/// Mutable tuner state carried between windows.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneState {
+    /// Current worker count.
+    pub workers: usize,
+    /// Current queue capacity.
+    pub queue_depth: usize,
+    /// Consecutive windows with traffic but negligible wait.
+    pub quiet_windows: u32,
+}
+
+/// What [`plan`] decided for this window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneAction {
+    /// Leave sizing alone.
+    Hold,
+    /// Grow or shrink the worker pool to this count.
+    SetWorkers(usize),
+    /// Rebound the queue to this capacity.
+    SetQueueDepth(usize),
+}
+
+/// The tuning policy: maps one window's signal to an action and
+/// updates the quiet-window streak. Pure — no threads, no clocks.
+pub fn plan(signal: &TuneSignal, state: &mut TuneState, limits: &TuneLimits) -> TuneAction {
+    if signal.pops == 0 && signal.sheds == 0 {
+        // Idle window: no evidence either way. Do not count it as
+        // quiet, or an unloaded server would shrink to minimum and
+        // then pay grow latency on the next burst.
+        return TuneAction::Hold;
+    }
+    if signal.p90_wait_micros > TARGET_QUEUE_WAIT_MICROS || signal.sheds > 0 {
+        state.quiet_windows = 0;
+        if state.workers < limits.max_workers {
+            return TuneAction::SetWorkers(state.workers + 1);
+        }
+        if signal.sheds > 0 && state.queue_depth < limits.max_queue_depth {
+            return TuneAction::SetQueueDepth((state.queue_depth * 2).min(limits.max_queue_depth));
+        }
+        return TuneAction::Hold;
+    }
+    if signal.p90_wait_micros < TARGET_QUEUE_WAIT_MICROS / 4.0 {
+        state.quiet_windows = state.quiet_windows.saturating_add(1);
+        if state.quiet_windows >= SHRINK_QUIET_WINDOWS {
+            if state.workers > limits.min_workers {
+                state.quiet_windows = 0;
+                return TuneAction::SetWorkers(state.workers - 1);
+            }
+            if state.queue_depth > limits.min_queue_depth {
+                state.quiet_windows = 0;
+                return TuneAction::SetQueueDepth(
+                    (state.queue_depth / 2).max(limits.min_queue_depth),
+                );
+            }
+        }
+    } else {
+        state.quiet_windows = 0;
+    }
+    TuneAction::Hold
+}
+
+/// Subtracts `prev` from `cur` bucket-wise, producing the histogram of
+/// only this window's observations. Falls back to `cur` whole-history
+/// if the layouts diverge (cannot happen for one registry, but cheap
+/// to guard).
+pub fn delta_snapshot(prev: &HistogramSnapshot, cur: &HistogramSnapshot) -> HistogramSnapshot {
+    if prev.buckets.len() != cur.buckets.len() {
+        return cur.clone();
+    }
+    HistogramSnapshot {
+        count: cur.count.saturating_sub(prev.count),
+        sum_micros: cur.sum_micros.saturating_sub(prev.sum_micros),
+        min_micros: 0,
+        max_micros: cur.max_micros,
+        buckets: cur
+            .buckets
+            .iter()
+            .zip(&prev.buckets)
+            .map(|(c, p)| Bucket {
+                le_micros: c.le_micros,
+                count: c.count.saturating_sub(p.count),
+            })
+            .collect(),
+    }
+}
+
+/// Body of the tuner thread: sample, plan, apply, repeat until
+/// shutdown is requested.
+pub(crate) fn tuner_loop(shared: &Arc<Shared>, limits: TuneLimits) {
+    let mut prev_wait = shared.metrics.queue_wait.snapshot();
+    let mut prev_sheds = shared.metrics.sheds.value();
+    let mut state = TuneState {
+        workers: shared.active_workers.load(Ordering::Relaxed),
+        queue_depth: shared.queue.capacity(),
+        quiet_windows: 0,
+    };
+    shared.metrics.tuned_workers.set(state.workers as f64);
+    shared
+        .metrics
+        .tuned_queue_depth
+        .set(state.queue_depth as f64);
+
+    loop {
+        // Sleep on the shutdown condvar so a draining server never
+        // waits out a full interval.
+        {
+            let (lock, cv) = &shared.shutdown_requested;
+            let guard = lock.lock().expect("shutdown flag poisoned");
+            if *guard {
+                return;
+            }
+            let (guard, _) = cv
+                .wait_timeout(guard, TUNE_INTERVAL)
+                .expect("shutdown flag poisoned");
+            if *guard {
+                return;
+            }
+        }
+
+        let wait = shared.metrics.queue_wait.snapshot();
+        let sheds = shared.metrics.sheds.value();
+        let window = delta_snapshot(&prev_wait, &wait);
+        let signal = TuneSignal {
+            p90_wait_micros: window.quantile_micros(0.9),
+            pops: window.count,
+            sheds: sheds.saturating_sub(prev_sheds),
+        };
+        prev_wait = wait;
+        prev_sheds = sheds;
+        state.workers = shared.active_workers.load(Ordering::Relaxed);
+        state.queue_depth = shared.queue.capacity();
+
+        match plan(&signal, &mut state, &limits) {
+            TuneAction::Hold => {}
+            TuneAction::SetWorkers(n) => {
+                shared.target_workers.store(n, Ordering::SeqCst);
+                // Growing spawns immediately; shrinking is handled by a
+                // worker observing target < active after its next job.
+                while shared.active_workers.load(Ordering::Relaxed) < n {
+                    if spawn_worker(shared).is_err() {
+                        break;
+                    }
+                }
+                shared.metrics.tuned_workers.set(n as f64);
+            }
+            TuneAction::SetQueueDepth(depth) => {
+                shared.queue.set_capacity(depth);
+                shared.metrics.tuned_queue_depth.set(depth as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> TuneLimits {
+        TuneLimits {
+            min_workers: 1,
+            max_workers: 4,
+            min_queue_depth: 8,
+            max_queue_depth: 64,
+        }
+    }
+
+    fn state(workers: usize, queue_depth: usize) -> TuneState {
+        TuneState {
+            workers,
+            queue_depth,
+            quiet_windows: 0,
+        }
+    }
+
+    #[test]
+    fn idle_windows_hold_and_do_not_build_a_quiet_streak() {
+        let mut s = state(2, 8);
+        let idle = TuneSignal {
+            p90_wait_micros: 0.0,
+            pops: 0,
+            sheds: 0,
+        };
+        for _ in 0..SHRINK_QUIET_WINDOWS * 2 {
+            assert_eq!(plan(&idle, &mut s, &limits()), TuneAction::Hold);
+        }
+        assert_eq!(s.quiet_windows, 0);
+    }
+
+    #[test]
+    fn high_queue_wait_grows_workers_until_the_cap() {
+        let mut s = state(1, 8);
+        let hot = TuneSignal {
+            p90_wait_micros: TARGET_QUEUE_WAIT_MICROS * 5.0,
+            pops: 100,
+            sheds: 0,
+        };
+        assert_eq!(plan(&hot, &mut s, &limits()), TuneAction::SetWorkers(2));
+        s.workers = 4; // at the cap, no sheds → nothing left to do
+        assert_eq!(plan(&hot, &mut s, &limits()), TuneAction::Hold);
+    }
+
+    #[test]
+    fn sheds_at_max_workers_widen_the_queue() {
+        let mut s = state(4, 8);
+        let shedding = TuneSignal {
+            p90_wait_micros: TARGET_QUEUE_WAIT_MICROS * 2.0,
+            pops: 50,
+            sheds: 10,
+        };
+        assert_eq!(
+            plan(&shedding, &mut s, &limits()),
+            TuneAction::SetQueueDepth(16)
+        );
+        s.queue_depth = 64; // queue also at cap → hold
+        assert_eq!(plan(&shedding, &mut s, &limits()), TuneAction::Hold);
+    }
+
+    #[test]
+    fn sustained_calm_shrinks_workers_then_queue() {
+        let mut s = state(2, 16);
+        let calm = TuneSignal {
+            p90_wait_micros: 10.0,
+            pops: 5,
+            sheds: 0,
+        };
+        let mut actions = Vec::new();
+        for _ in 0..SHRINK_QUIET_WINDOWS * 3 {
+            let a = plan(&calm, &mut s, &limits());
+            if let TuneAction::SetWorkers(n) = a {
+                s.workers = n;
+            }
+            if let TuneAction::SetQueueDepth(d) = a {
+                s.queue_depth = d;
+            }
+            if a != TuneAction::Hold {
+                actions.push(a);
+            }
+        }
+        assert_eq!(
+            actions,
+            vec![TuneAction::SetWorkers(1), TuneAction::SetQueueDepth(8)]
+        );
+    }
+
+    #[test]
+    fn a_busy_window_resets_the_quiet_streak() {
+        let mut s = state(2, 8);
+        let calm = TuneSignal {
+            p90_wait_micros: 10.0,
+            pops: 5,
+            sheds: 0,
+        };
+        for _ in 0..SHRINK_QUIET_WINDOWS - 1 {
+            plan(&calm, &mut s, &limits());
+        }
+        let busy = TuneSignal {
+            p90_wait_micros: TARGET_QUEUE_WAIT_MICROS / 2.0,
+            pops: 100,
+            sheds: 0,
+        };
+        assert_eq!(plan(&busy, &mut s, &limits()), TuneAction::Hold);
+        assert_eq!(s.quiet_windows, 0);
+    }
+
+    #[test]
+    fn delta_snapshot_isolates_one_window() {
+        let bucket = |le, count| Bucket {
+            le_micros: le,
+            count,
+        };
+        let prev = HistogramSnapshot {
+            count: 10,
+            sum_micros: 1_000,
+            min_micros: 10,
+            max_micros: 500,
+            buckets: vec![
+                bucket(Some(100), 4),
+                bucket(Some(1_000), 4),
+                bucket(None, 2),
+            ],
+        };
+        let cur = HistogramSnapshot {
+            count: 30,
+            sum_micros: 9_000,
+            min_micros: 10,
+            max_micros: 2_000,
+            buckets: vec![
+                bucket(Some(100), 6),
+                bucket(Some(1_000), 12),
+                bucket(None, 12),
+            ],
+        };
+        let d = delta_snapshot(&prev, &cur);
+        assert_eq!(d.count, 20);
+        assert_eq!(d.sum_micros, 8_000);
+        assert_eq!(d.buckets[0].count, 2);
+        assert_eq!(d.buckets[1].count, 8);
+        assert_eq!(d.buckets[2].count, 10);
+        // p90 rank (18 of 20) lands in the overflow bucket, well above
+        // the window's lower buckets.
+        assert!(d.quantile_micros(0.9) > 1_000.0);
+    }
+}

@@ -67,7 +67,9 @@ fn start_server(root: &PathBuf) -> ServerHandle {
 }
 
 /// Sends raw bytes in `chunk`-sized writes and returns the full
-/// response text (status line, headers, body).
+/// response text (status line, headers, body). Half-closes the write
+/// side after sending so the keep-alive server sees end-of-input and
+/// releases the connection after its response.
 fn roundtrip(server: &ServerHandle, raw: &[u8], chunk: usize) -> String {
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     stream.set_nodelay(true).unwrap();
@@ -78,6 +80,7 @@ fn roundtrip(server: &ServerHandle, raw: &[u8], chunk: usize) -> String {
             std::thread::sleep(Duration::from_micros(200));
         }
     }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
     let mut response = String::new();
     stream.read_to_string(&mut response).unwrap();
     response
@@ -128,10 +131,11 @@ fn response_honours_its_content_length_under_partial_reads() {
     let server = start_server(&root);
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     stream
-        .write_all(b"GET /models HTTP/1.1\r\nHost: x\r\n\r\n")
+        .write_all(b"GET /models HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
         .unwrap();
 
-    // Read in 7-byte sips until EOF (server closes after one response).
+    // Read in 7-byte sips until EOF (`Connection: close` was requested,
+    // so the server closes after this one response).
     let mut response = Vec::new();
     let mut buf = [0u8; 7];
     loop {
@@ -241,6 +245,123 @@ fn schema_mismatch_400_names_every_offending_column() {
     let (_, resp_body) = split_response(&response);
     assert!(resp_body.contains("missing ['feat_2']"), "{resp_body}");
     assert!(resp_body.contains("unexpected ['bonus']"), "{resp_body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Reads exactly one `Content-Length`-framed response off the stream,
+/// leaving any following bytes (the next response) unread.
+fn read_one_response(stream: &mut TcpStream) -> String {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 1];
+    // Head, byte by byte, until the blank line.
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut buf).unwrap(), 1, "EOF inside head");
+        raw.push(buf[0]);
+    }
+    let head = String::from_utf8(raw.clone()).unwrap();
+    let declared: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length present")
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; declared];
+    stream.read_exact(&mut body).unwrap();
+    raw.extend_from_slice(&body);
+    String::from_utf8(raw).unwrap()
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (root, _, _) = seeded_store("keep_alive");
+    let server = start_server(&root);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    for i in 0..5 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let response = read_one_response(&mut stream);
+        assert_eq!(status_of(&response), 200, "request {i}: {response}");
+        assert!(
+            response.contains("Connection: keep-alive"),
+            "request {i} should keep the connection: {response}"
+        );
+    }
+    // The sixth request asks to close; the server must comply with EOF.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).unwrap();
+    assert_eq!(status_of(&rest), 200);
+    assert!(rest.contains("Connection: close"), "{rest}");
+
+    // One TCP connection carried all six requests.
+    let snap = server.registry().snapshot();
+    assert_eq!(snap.counters["http.requests_total"], 6);
+    assert_eq!(snap.counters["serve.connections_total"], 1);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order() {
+    let (root, _, _) = seeded_store("pipelined");
+    let server = start_server(&root);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Three requests in one write; responses must arrive in request
+    // order because the server runs one request per connection at a
+    // time and buffers the rest.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\n\
+              GET /models HTTP/1.1\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let first = read_one_response(&mut stream);
+    let second = read_one_response(&mut stream);
+    let mut third = String::new();
+    stream.read_to_string(&mut third).unwrap();
+
+    assert_eq!(status_of(&first), 200);
+    assert!(first.contains("\"status\":\"ok\""), "{first}");
+    assert_eq!(status_of(&second), 200);
+    assert!(second.contains("\"models\":["), "{second}");
+    assert_eq!(status_of(&third), 200);
+    assert!(third.contains("Connection: close"), "{third}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn malformed_second_request_closes_after_a_clean_first_response() {
+    let (root, _, _) = seeded_store("malformed_second");
+    let server = start_server(&root);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // A valid request pipelined with garbage: the first response must
+    // arrive intact, then a 4xx, then EOF — never a corrupted first
+    // response.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\n\r\nNONSENSE GARBAGE\r\n\r\n")
+        .unwrap();
+    let first = read_one_response(&mut stream);
+    assert_eq!(status_of(&first), 200, "{first}");
+    assert!(first.contains("\"status\":\"ok\""), "{first}");
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).unwrap();
+    assert_eq!(status_of(&rest), 400, "{rest}");
+    assert!(rest.contains("Connection: close"), "{rest}");
 
     server.shutdown();
     std::fs::remove_dir_all(&root).ok();

@@ -1,7 +1,10 @@
 //! Property tests for the HTTP parser: no byte sequence, however
 //! mangled or however split across reads, panics the parser — it either
 //! completes a request, waits for more bytes, or fails with a typed
-//! [`HttpError`]. Split position must never change the outcome.
+//! [`HttpError`]. Split position must never change the outcome. The
+//! pipelining properties extend the same guarantee to keep-alive
+//! streams: multiple framed requests per connection, torn at arbitrary
+//! read boundaries, with trailing or malformed follow-ups.
 
 use c100_serve::http::DEFAULT_MAX_BODY_BYTES;
 use c100_serve::{HttpError, Request, RequestParser};
@@ -37,6 +40,36 @@ fn template(body_len: usize) -> Vec<u8> {
         body
     )
     .into_bytes()
+}
+
+/// Drives a parser over a whole byte stream in the given chunk sizes,
+/// collecting every request it yields — `push` for fresh bytes plus
+/// `next_request` to drain pipelined requests already buffered. On
+/// error, returns the requests completed before it alongside the error.
+fn feed_stream(bytes: &[u8], chunks: &[usize]) -> (Vec<Request>, Option<HttpError>) {
+    let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+    let mut requests = Vec::new();
+    let mut offset = 0;
+    let mut c = 0;
+    while offset < bytes.len() {
+        let step = chunks.get(c % chunks.len()).copied().unwrap_or(1).max(1);
+        c += 1;
+        let end = (offset + step).min(bytes.len());
+        match parser.push(&bytes[offset..end]) {
+            Ok(Some(request)) => requests.push(request),
+            Ok(None) => {}
+            Err(e) => return (requests, Some(e)),
+        }
+        offset = end;
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => requests.push(request),
+                Ok(None) => break,
+                Err(e) => return (requests, Some(e)),
+            }
+        }
+    }
+    (requests, None)
 }
 
 proptest! {
@@ -89,5 +122,66 @@ proptest! {
         // never a request.
         let outcome = feed(&bytes[..cut], &[3]);
         prop_assert!(matches!(outcome, Ok(None)), "prefix of {cut} bytes gave {outcome:?}");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_whole_regardless_of_tearing(
+        (first_len, second_len, chunks) in (
+            0usize..48,
+            0usize..48,
+            proptest::collection::vec(1usize..50, 1..6),
+        )
+    ) {
+        // Two framed requests back to back; reads torn at arbitrary
+        // boundaries (including mid-body of the first / mid-head of the
+        // second) must still yield exactly two requests with the right
+        // bodies, in order.
+        let mut stream = template(first_len);
+        stream.extend_from_slice(&template(second_len));
+        let (requests, error) = feed_stream(&stream, &chunks);
+        prop_assert!(error.is_none(), "unexpected error: {error:?}");
+        prop_assert_eq!(requests.len(), 2);
+        prop_assert_eq!(requests[0].body.len(), first_len);
+        prop_assert_eq!(requests[1].body.len(), second_len);
+        // Tearing must not change what gets parsed.
+        let (reference, _) = feed_stream(&stream, &[stream.len()]);
+        prop_assert_eq!(&requests, &reference);
+    }
+
+    #[test]
+    fn trailing_bytes_of_the_next_request_stay_buffered(
+        (first_len, cut_seed) in (0usize..48, 1usize..4096)
+    ) {
+        // A complete request plus a strict prefix of the next one: the
+        // first parses, the tail waits buffered — not an error, not a
+        // phantom second request.
+        let second = template(32);
+        let cut = 1 + cut_seed % (second.len() - 1);
+        let mut stream = template(first_len);
+        stream.extend_from_slice(&second[..cut]);
+        let (requests, error) = feed_stream(&stream, &[5]);
+        prop_assert!(error.is_none(), "unexpected error: {error:?}");
+        prop_assert_eq!(requests.len(), 1);
+        prop_assert_eq!(requests[0].body.len(), first_len);
+    }
+
+    #[test]
+    fn malformed_second_request_errors_only_after_the_first_completes(
+        (first_len, garbage) in (
+            0usize..48,
+            proptest::collection::vec(0u32..256, 1..64),
+        )
+    ) {
+        // Garbage terminated with a head delimiter so the parser must
+        // judge it rather than wait for more bytes.
+        let mut stream = template(first_len);
+        let mut tail: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
+        tail.extend_from_slice(b"\r\n\r\n");
+        stream.extend_from_slice(&tail);
+        let (requests, _error) = feed_stream(&stream, &[3]);
+        // Whatever the tail is judged as (some byte salads are valid
+        // requests!), the first request always comes through intact.
+        prop_assert!(!requests.is_empty(), "first request lost");
+        prop_assert_eq!(requests[0].body.len(), first_len);
     }
 }

@@ -1,0 +1,140 @@
+//! Stress test for the bounded request queue's shed accounting.
+//!
+//! Load shedding is only trustworthy if the bookkeeping is exact:
+//! under contention every item must be either served (popped by a
+//! consumer) or shed (handed back by `try_push`), never both and never
+//! neither. The server-level saturation test checks the 503 counters;
+//! this one pins the invariant at the queue itself, where it has to
+//! hold item-by-item, by tagging every push with a unique id and
+//! partitioning the id space afterwards.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+use c100_serve::queue::{BoundedQueue, TryPushError};
+
+const PRODUCERS: usize = 8;
+const ITEMS_PER_PRODUCER: usize = 500;
+const CONSUMERS: usize = 4;
+const CAPACITY: usize = 8;
+
+#[test]
+fn every_item_is_served_or_shed_exactly_once() {
+    let queue = Arc::new(BoundedQueue::new(CAPACITY));
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let queue = queue.clone();
+            thread::spawn(move || {
+                let mut served = Vec::new();
+                while let Some(id) = queue.pop() {
+                    served.push(id);
+                }
+                served
+            })
+        })
+        .collect();
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let queue = queue.clone();
+            thread::spawn(move || {
+                let mut shed = Vec::new();
+                for i in 0..ITEMS_PER_PRODUCER {
+                    let id = p * ITEMS_PER_PRODUCER + i;
+                    match queue.try_push(id) {
+                        Ok(depth) => {
+                            // try_push reports the depth after insertion;
+                            // it can never exceed the shed threshold.
+                            assert!(depth <= CAPACITY, "queue overfilled: {depth}");
+                        }
+                        Err(TryPushError::Full(rejected)) => {
+                            // The exact item comes back, not a token.
+                            assert_eq!(rejected, id);
+                            shed.push(rejected);
+                        }
+                        Err(TryPushError::Closed(_)) => {
+                            panic!("queue closed while producers were live")
+                        }
+                    }
+                }
+                shed
+            })
+        })
+        .collect();
+
+    let mut shed = Vec::new();
+    for producer in producers {
+        shed.extend(producer.join().unwrap());
+    }
+    // Consumers drain what is left, observe the close, and exit.
+    queue.close();
+    let mut served = Vec::new();
+    for consumer in consumers {
+        served.extend(consumer.join().unwrap());
+    }
+
+    let total = PRODUCERS * ITEMS_PER_PRODUCER;
+    assert_eq!(
+        served.len() + shed.len(),
+        total,
+        "{} served + {} shed must account for all {total} items",
+        served.len(),
+        shed.len()
+    );
+
+    let served_set: HashSet<usize> = served.iter().copied().collect();
+    let shed_set: HashSet<usize> = shed.iter().copied().collect();
+    assert_eq!(served_set.len(), served.len(), "an item was served twice");
+    assert_eq!(shed_set.len(), shed.len(), "an item was shed twice");
+    assert!(
+        served_set.is_disjoint(&shed_set),
+        "an item was both served and shed: {:?}",
+        served_set.intersection(&shed_set).collect::<Vec<_>>()
+    );
+    let mut all: Vec<usize> = served_set.union(&shed_set).copied().collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..total).collect::<Vec<_>>(), "an item vanished");
+}
+
+#[test]
+fn close_hands_back_the_exact_item_and_wakes_blocked_consumers() {
+    let queue: Arc<BoundedQueue<String>> = Arc::new(BoundedQueue::new(4));
+    let blocked: Vec<_> = (0..3)
+        .map(|_| {
+            let queue = queue.clone();
+            thread::spawn(move || queue.pop())
+        })
+        .collect();
+    queue.close();
+    for consumer in blocked {
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+    match queue.try_push("late".to_string()) {
+        Err(TryPushError::Closed(item)) => assert_eq!(item, "late"),
+        other => panic!("push after close must return Closed, got {other:?}"),
+    }
+}
+
+#[test]
+fn shrinking_capacity_sheds_until_the_backlog_drains() {
+    let queue = BoundedQueue::new(4);
+    for id in 0..4 {
+        queue.try_push(id).expect("within capacity");
+    }
+    // The tuner narrows the queue under a backlog: nothing queued is
+    // dropped, but new pushes shed until consumers drain below the new
+    // bound.
+    queue.set_capacity(2);
+    assert_eq!(queue.len(), 4, "shrinking must not drop queued items");
+    assert!(matches!(queue.try_push(99), Err(TryPushError::Full(99))));
+    assert_eq!(queue.pop(), Some(0));
+    assert_eq!(queue.pop(), Some(1));
+    assert!(
+        matches!(queue.try_push(99), Err(TryPushError::Full(99))),
+        "still at the new capacity"
+    );
+    assert_eq!(queue.pop(), Some(2));
+    assert_eq!(queue.try_push(99).expect("below capacity again"), 2);
+}
